@@ -1,0 +1,1 @@
+bench/scenario.ml: Ariesrh_core Ariesrh_types Ariesrh_wal Config Db List Lsn Oid

@@ -1,0 +1,31 @@
+(* Thin wrapper around bechamel: run a list of tests, return ns/run
+   estimates keyed by test name. *)
+
+open Bechamel
+open Toolkit
+
+let run ?(quota = 0.5) ?(limit = 2000) tests =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit ~quota:(Time.second quota) ~kde:None ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"" ~fmt:"%s%s" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      (name, ns) :: acc)
+    results []
+
+let find name results =
+  match List.assoc_opt name results with Some v -> v | None -> nan

@@ -1,0 +1,72 @@
+(* Synthetic log scenarios for the recovery experiments: parameterized
+   versions of the paper's Fig. 7 situation — groups of loser scopes
+   separated by stretches of winner activity. *)
+
+open Ariesrh_types
+open Ariesrh_core
+
+type t = {
+  db : Db.t;
+  total_records : int;
+  loser_updates : int;  (** updates that recovery must undo *)
+}
+
+(* [build ~groups ~losers_per_group ~updates_per_loser ~gap] builds a
+   database whose durable log contains [groups] clusters of overlapping
+   loser scopes, separated by [gap] winner records, then crashes it.
+   Delegation: each loser's updates are made by a worker transaction and
+   delegated to the loser, so undoing exercises the scope machinery. *)
+let build ?(objects = 4096) ~groups ~losers_per_group ~updates_per_loser ~gap
+    ~delegated () =
+  let db =
+    Db.create
+      (Config.make ~n_objects:objects ~objects_per_page:8 ~buffer_capacity:64
+         ~locking:false ())
+  in
+  let next_ob = ref 0 in
+  let fresh_ob () =
+    let o = !next_ob in
+    incr next_ob;
+    if o >= objects then invalid_arg "Scenario.build: too few objects";
+    Oid.of_int o
+  in
+  let filler_ob = Oid.of_int (objects - 1) in
+  let filler n =
+    let w = Db.begin_txn db in
+    for _ = 1 to n do
+      Db.add db w filler_ob 1
+    done;
+    Db.commit db w
+  in
+  for _ = 1 to groups do
+    let losers = List.init losers_per_group (fun _ -> Db.begin_txn db) in
+    let obs = List.map (fun _ -> fresh_ob ()) losers in
+    (* interleave so all the group's scopes overlap: round-robin the
+       losers' updates *)
+    for _ = 1 to updates_per_loser do
+      List.iter2
+        (fun l o ->
+          if delegated then begin
+            (* a worker invokes the update and delegates it *)
+            let w = Db.begin_txn db in
+            Db.add db w o 1;
+            Db.delegate db ~from_:w ~to_:l o;
+            Db.commit db w
+          end
+          else Db.add db l o 1)
+        losers obs
+    done;
+    filler gap
+  done;
+  (* make the whole log durable (a full log buffer), then crash *)
+  Ariesrh_wal.Log_store.flush (Db.log_store db)
+    ~upto:(Ariesrh_wal.Log_store.head (Db.log_store db));
+  let total_records =
+    Lsn.to_int (Ariesrh_wal.Log_store.head (Db.log_store db))
+  in
+  Db.crash db;
+  {
+    db;
+    total_records;
+    loser_updates = groups * losers_per_group * updates_per_loser;
+  }

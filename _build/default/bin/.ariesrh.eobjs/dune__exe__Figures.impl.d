@@ -1,0 +1,1 @@
+bin/figures.ml: Ariesrh_core Ariesrh_recovery Ariesrh_storage Ariesrh_txn Ariesrh_types Ariesrh_wal Config Db Format List Lsn Oid Page_id String Xid

@@ -1,0 +1,302 @@
+(* The ariesrh command-line tool: figure reproductions, workload runs,
+   and engine comparisons. *)
+
+open Cmdliner
+open Ariesrh_core
+open Ariesrh_workload
+
+let impl_conv =
+  let parse = function
+    | "rh" -> Ok Config.Rh
+    | "eager" -> Ok Config.Eager
+    | "lazy" -> Ok Config.Lazy
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S (rh|eager|lazy)" s))
+  in
+  let print ppf = function
+    | Config.Rh -> Format.pp_print_string ppf "rh"
+    | Config.Eager -> Format.pp_print_string ppf "eager"
+    | Config.Lazy -> Format.pp_print_string ppf "lazy"
+  in
+  Arg.conv (parse, print)
+
+(* --- figures --- *)
+
+let figures_cmd =
+  let which =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"FIGURE"
+           ~doc:"Which figure to reproduce: f1 f2 f3 f4 f5 f7 f8 or all.")
+  in
+  let run which = Figures.run which in
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:"Reproduce the paper's figures as executable, checked artifacts")
+    Term.(const run $ which)
+
+(* --- run --- *)
+
+let spec_of ~objects ~steps ~delegation_rate =
+  let d = delegation_rate in
+  {
+    Gen.default with
+    n_objects = objects;
+    n_steps = steps;
+    p_delegate = d;
+  }
+
+let run_cmd =
+  let steps =
+    Arg.(value & opt int 500 & info [ "steps" ] ~doc:"Workload steps.")
+  in
+  let objects =
+    Arg.(value & opt int 128 & info [ "objects" ] ~doc:"Number of objects.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.")
+  in
+  let rate =
+    Arg.(value & opt float 0.12
+         & info [ "delegation-rate" ] ~doc:"Delegation weight in the mix.")
+  in
+  let impl =
+    Arg.(value & opt impl_conv Config.Rh
+         & info [ "engine" ] ~doc:"Engine: rh, eager, or lazy.")
+  in
+  let crash_frac =
+    Arg.(value & opt float 0.8
+         & info [ "crash-frac" ]
+             ~doc:"Crash after this fraction of the workload (0..1).")
+  in
+  let dump =
+    Arg.(value & flag & info [ "dump-log" ] ~doc:"Print the durable log.")
+  in
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save-script" ] ~docv:"FILE"
+             ~doc:"Write the generated workload script to a file.")
+  in
+  let load =
+    Arg.(value & opt (some string) None
+         & info [ "script" ] ~docv:"FILE"
+             ~doc:"Replay a saved script instead of generating one.")
+  in
+  let run steps objects seed rate impl crash_frac dump save load =
+    let script =
+      match load with
+      | Some file ->
+          let ic = open_in file in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          (match Script.of_string s with
+          | Ok sc -> sc
+          | Error e -> failwith ("bad script file: " ^ e))
+      | None ->
+          let spec = spec_of ~objects ~steps ~delegation_rate:rate in
+          Gen.generate spec ~seed:(Int64.of_int seed)
+    in
+    (match save with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Script.to_string script);
+        close_out oc;
+        Format.printf "script saved to %s@." file
+    | None -> ());
+    let n = List.length script in
+    let at = min n (int_of_float (crash_frac *. float_of_int n)) in
+    Format.printf "workload: %s@." (Script.stats script);
+    let db = Driver.fresh_db ~impl ~n_objects:objects () in
+    Driver.run ~upto:at db script;
+    Db.crash db;
+    Format.printf "crash after %d/%d actions@." at n;
+    if dump then begin
+      let log = Db.log_store db in
+      Ariesrh_wal.Log_store.iter_forward log ~from:Ariesrh_types.Lsn.first
+        (fun lsn r ->
+          Format.printf "  %4d  %a@."
+            (Ariesrh_types.Lsn.to_int lsn)
+            Ariesrh_wal.Record.pp r)
+    end;
+    let t0 = Unix.gettimeofday () in
+    let report = Db.recover db in
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "recovery (%0.3f ms):@.%a@." (1000. *. dt)
+      Ariesrh_recovery.Report.pp report;
+    (* cross-check against the oracle *)
+    let expected = Oracle.expected ~n_objects:objects ~crash_at:at script in
+    if Db.peek_all db = expected then
+      Format.printf "state matches the semantic oracle.@."
+    else Format.printf "STATE MISMATCH against the oracle!@.";
+    (* and against the formal model, when the log has no rewriting *)
+    if impl = Config.Rh then begin
+      let h = Ariesrh_model.History.of_log (Db.log_store db) in
+      (match Ariesrh_model.History.check_well_formed h with
+      | Ok () -> Format.printf "history is well-formed (section 2.1.2).@."
+      | Error e -> Format.printf "HISTORY NOT WELL-FORMED: %s@." e);
+      match Ariesrh_model.History.check_recovery h with
+      | Ok () ->
+          Format.printf "log satisfies the undo/redo obligations (4.1).@."
+      | Error e -> Format.printf "RECOVERY OBLIGATION VIOLATED: %s@." e
+    end
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a random workload, crash, recover, verify against the oracle")
+    Term.(
+      const run $ steps $ objects $ seed $ rate $ impl $ crash_frac $ dump
+      $ save $ load)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let steps =
+    Arg.(value & opt int 2000 & info [ "steps" ] ~doc:"Workload steps.")
+  in
+  let objects =
+    Arg.(value & opt int 256 & info [ "objects" ] ~doc:"Number of objects.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let rate =
+    Arg.(value & opt float 0.12
+         & info [ "delegation-rate" ] ~doc:"Delegation weight in the mix.")
+  in
+  let run steps objects seed rate =
+    let spec =
+      { (spec_of ~objects ~steps ~delegation_rate:rate) with p_checkpoint = 0.0 }
+    in
+    let script = Gen.generate spec ~seed:(Int64.of_int seed) in
+    let n = List.length script in
+    let at = max 1 (n * 4 / 5) in
+    Format.printf "workload: %s; crash at %d/%d@.@." (Script.stats script) at n;
+    Format.printf "%-6s | %14s %10s %9s | %10s %9s %9s %9s %9s@." "engine"
+      "np_rewrites" "np_seeks" "np(ms)" "rec(ms)" "fwd_recs" "bwd_exam"
+      "undos" "rec_seeks";
+    List.iter
+      (fun (name, impl) ->
+        let db = Driver.fresh_db ~impl ~n_objects:objects () in
+        let stats = Ariesrh_wal.Log_store.stats (Db.log_store db) in
+        let t0 = Unix.gettimeofday () in
+        Driver.run ~upto:at db script;
+        let np_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+        let np = Ariesrh_wal.Log_stats.copy stats in
+        Db.crash db;
+        let t0 = Unix.gettimeofday () in
+        let r = Db.recover db in
+        let dt = 1000. *. (Unix.gettimeofday () -. t0) in
+        Format.printf "%-6s | %14d %10d %9.2f | %10.2f %9d %9d %9d %9d@." name
+          np.rewrites np.random_seeks np_ms dt r.forward_records
+          r.backward_examined r.undos r.log_io.random_seeks)
+      [ ("rh", Config.Rh); ("lazy", Config.Lazy); ("eager", Config.Eager) ]
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Recover the same crashed workload under rh, lazy, and eager")
+    Term.(const run $ steps $ objects $ seed $ rate)
+
+(* --- history --- *)
+
+let history_cmd =
+  let ob = Arg.(required & pos 0 (some int) None & info [] ~docv:"OBJECT") in
+  let steps =
+    Arg.(value & opt int 300 & info [ "steps" ] ~doc:"Workload steps.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let rate =
+    Arg.(value & opt float 0.25
+         & info [ "delegation-rate" ] ~doc:"Delegation weight.")
+  in
+  let run ob steps seed rate =
+    let spec =
+      { (spec_of ~objects:32 ~steps ~delegation_rate:rate) with
+        Gen.terminate_all = false }
+    in
+    let script = Gen.generate spec ~seed:(Int64.of_int seed) in
+    let db = Driver.fresh_db ~n_objects:32 () in
+    Driver.run db script;
+    let oid = Ariesrh_types.Oid.of_int ob in
+    Format.printf "history of ob%d (%d events in the run):@.@." ob
+      (List.length (Db.object_history db oid));
+    List.iter
+      (fun e ->
+        match e with
+        | Db.Updated { lsn; invoker; op } ->
+            Format.printf "  %4d  update by %a (%s)@."
+              (Ariesrh_types.Lsn.to_int lsn)
+              Ariesrh_types.Xid.pp invoker
+              (match op with
+              | Ariesrh_wal.Record.Set { before; after } ->
+                  Printf.sprintf "set %d->%d" before after
+              | Ariesrh_wal.Record.Add d -> Printf.sprintf "add %+d" d)
+        | Db.Delegated { lsn; from_; to_; op_lsn } ->
+            Format.printf "  %4d  responsibility %a -> %a%s@."
+              (Ariesrh_types.Lsn.to_int lsn)
+              Ariesrh_types.Xid.pp from_ Ariesrh_types.Xid.pp to_
+              (match op_lsn with
+              | None -> " (whole object)"
+              | Some l ->
+                  Printf.sprintf " (operation at LSN %d)"
+                    (Ariesrh_types.Lsn.to_int l))
+        | Db.Compensated { lsn; by; undone } ->
+            Format.printf "  %4d  compensated by %a (undid LSN %d)@."
+              (Ariesrh_types.Lsn.to_int lsn)
+              Ariesrh_types.Xid.pp by
+              (Ariesrh_types.Lsn.to_int undone))
+      (Db.object_history db oid);
+    match Db.responsible_now db oid with
+    | [] -> Format.printf "@.no live responsibility (all settled).@."
+    | pairs ->
+        Format.printf "@.live responsibility now:@.";
+        List.iter
+          (fun (owner, invoker) ->
+            Format.printf "  %a answers for %a's updates@."
+              Ariesrh_types.Xid.pp owner Ariesrh_types.Xid.pp invoker)
+          pairs
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:"Show an object's update/delegation/compensation history")
+    Term.(const run $ ob $ steps $ seed $ rate)
+
+(* --- sim --- *)
+
+let sim_cmd =
+  let clients =
+    Arg.(value & opt int 8 & info [ "clients" ] ~doc:"Concurrent clients.")
+  in
+  let txns =
+    Arg.(value & opt int 100 & info [ "txns" ] ~doc:"Transactions per client.")
+  in
+  let objects =
+    Arg.(value & opt int 16 & info [ "objects" ] ~doc:"Objects to contend on.")
+  in
+  let rate =
+    Arg.(value & opt float 0.2
+         & info [ "delegation-rate" ] ~doc:"Probability a txn ends by \
+                                            delegating its work.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed.") in
+  let run clients txns objects rate seed =
+    let db =
+      Db.create (Config.make ~n_objects:(max 32 objects) ~buffer_capacity:32 ())
+    in
+    let o =
+      Sim.run ~clients ~txns_per_client:txns ~n_objects:objects
+        ~delegation_rate:rate ~seed:(Int64.of_int seed) db
+    in
+    Format.printf
+      "committed=%d waits=%d deadlocks=%d victims=%d delegations=%d@."
+      o.committed o.waits o.deadlocks o.aborted o.delegations;
+    Format.printf "state %s the committed-increment sums@."
+      (if o.state_ok then "matches" else "DOES NOT MATCH")
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Closed-loop contention simulator with deadlock detection")
+    Term.(const run $ clients $ txns $ objects $ rate $ seed)
+
+let main =
+  Cmd.group
+    (Cmd.info "ariesrh" ~version:"1.0.0"
+       ~doc:"Delegation by efficiently rewriting history (ARIES/RH)")
+    [ figures_cmd; run_cmd; compare_cmd; sim_cmd; history_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/asset_primitives.ml: Ariesrh_core Ariesrh_etm Ariesrh_types Asset Config Db Format Oid

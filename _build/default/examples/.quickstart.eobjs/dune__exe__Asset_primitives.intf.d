@@ -1,0 +1,1 @@
+examples/asset_primitives.mli:

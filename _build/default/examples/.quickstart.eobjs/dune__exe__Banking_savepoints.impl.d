@@ -1,0 +1,1 @@
+examples/banking_savepoints.ml: Ariesrh_core Ariesrh_types Config Db Format List Oid

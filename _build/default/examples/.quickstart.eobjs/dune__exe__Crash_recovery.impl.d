@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Ariesrh_core Ariesrh_recovery Ariesrh_types Ariesrh_wal Config Db Format Lsn Oid Xid

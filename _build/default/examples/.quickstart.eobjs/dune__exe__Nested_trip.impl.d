@@ -1,0 +1,1 @@
+examples/nested_trip.ml: Ariesrh_core Ariesrh_etm Ariesrh_types Asset Config Db Format Nested Oid

@@ -1,0 +1,1 @@
+examples/no_undo_redo.ml: Ariesrh_core Ariesrh_eos Ariesrh_types Config Db Eos_db Format Oid

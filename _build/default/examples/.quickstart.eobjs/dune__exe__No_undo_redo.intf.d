@@ -1,0 +1,1 @@
+examples/no_undo_redo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ariesrh_core Ariesrh_types Config Db Format Oid Xid

@@ -1,0 +1,1 @@
+examples/reporting_pipeline.ml: Ariesrh_core Ariesrh_etm Ariesrh_types Asset Config Cotrans Db Format List Oid Reporting

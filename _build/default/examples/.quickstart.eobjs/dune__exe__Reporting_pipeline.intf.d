@@ -1,0 +1,1 @@
+examples/reporting_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/saga_workflow.ml: Ariesrh_core Ariesrh_etm Ariesrh_types Asset Config Db Format Oid Open_nested

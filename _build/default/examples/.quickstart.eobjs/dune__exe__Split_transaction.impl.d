@@ -1,0 +1,1 @@
+examples/split_transaction.ml: Ariesrh_core Ariesrh_etm Ariesrh_types Asset Config Db Format Oid Split

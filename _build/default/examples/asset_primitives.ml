@@ -1,0 +1,105 @@
+(* The paper's §2.2 code fragments, written against the ASSET primitive
+   layer itself (initiate / begin / wait / commit / abort / delegate /
+   permit) rather than the packaged ETM modules — the same synthesis the
+   paper performs.
+
+   Run with: dune exec examples/asset_primitives.exe *)
+
+open Ariesrh_types
+open Ariesrh_core
+open Ariesrh_etm
+
+let ob = Oid.of_int
+
+(* --- §2.2.1: split transactions ---------------------------------- *)
+(*   t2 = initiate(f);
+     delegate(self(), t2, ob_set);   // self returns t1
+     begin(t2);                                                       *)
+
+let split_fragment rt =
+  Format.printf "== the split fragment (§2.2.1) ==@.";
+  let t1 = Asset.initiate_empty rt ~name:"t1" () in
+  Asset.write rt t1 (ob 0) 10;
+  Asset.write rt t1 (ob 1) 20;
+  (* t2 = initiate(f) — f finishes the split-off work *)
+  let t2 =
+    Asset.initiate rt ~name:"t2" (fun self -> Asset.add rt self (ob 0) 1)
+  in
+  (* delegate(self(), t2, ob_set) *)
+  Asset.delegate rt ~from_:t1 ~to_:t2 (ob 0);
+  (* begin(t2) *)
+  ignore (Asset.begin_run rt t2);
+  (* ...and the join, the other way: wait(t2); delegate(t2, t1) *)
+  ignore (Asset.wait rt t2);
+  Asset.delegate_all rt ~from_:t2 ~to_:t1;
+  Asset.commit rt t2;
+  Asset.commit rt t1;
+  Format.printf "after split + join + commit: ob0=%d ob1=%d@.@."
+    (Db.peek (Asset.db rt) (ob 0))
+    (Db.peek (Asset.db rt) (ob 1))
+
+(* --- §2.2.2: the trip function, literally ------------------------- *)
+(* void trip() {
+     t1 = initiate(airline_res); permit(self(), t1); begin(t1);
+     if (!wait(t1)) abort(self());
+     delegate(t1, self()); commit(t1);
+     t2 = initiate(hotel_res); begin(t2);
+     if (!wait(t2)) abort(self());
+     delegate(t2, self()); commit(t2); }                              *)
+
+exception Trip_canceled
+
+let seats = ob 4
+let rooms = ob 5
+
+let airline_res rt self =
+  if Asset.read rt self seats <= 0 then failwith "sold out";
+  Asset.add rt self seats (-1)
+
+let hotel_res rt self =
+  if Asset.read rt self rooms <= 0 then failwith "no rooms";
+  Asset.add rt self rooms (-1)
+
+let trip rt t =
+  let step name body =
+    let sub = Asset.initiate rt ~name body in
+    Asset.permit rt ~holder:t ~grantee:sub;
+    if not (Asset.begin_run rt sub) then begin
+      Asset.abort rt t;
+      raise Trip_canceled
+    end;
+    Asset.delegate_all rt ~from_:sub ~to_:t;
+    Asset.commit rt sub
+  in
+  step "airline_res" (airline_res rt);
+  step "hotel_res" (hotel_res rt)
+
+let book rt =
+  (* t = initiate(trip); begin(t); commit(t); *)
+  let t = Asset.initiate_empty rt ~name:"trip" () in
+  match trip rt t with
+  | () ->
+      Asset.commit rt t;
+      true
+  | exception Trip_canceled -> false
+
+let () =
+  let db = Db.create (Config.make ~n_objects:16 ()) in
+  let rt = Asset.create db in
+  split_fragment rt;
+
+  Format.printf "== the trip function (§2.2.2) ==@.";
+  let setup = Db.begin_txn db in
+  Db.write db setup seats 1;
+  Db.write db setup rooms 1;
+  Db.commit db setup;
+  Format.printf "inventory: %d seat, %d room@." (Db.peek db seats)
+    (Db.peek db rooms);
+  Format.printf "first customer: %s@."
+    (if book rt then "booked" else "canceled");
+  Format.printf "second customer: %s (inventory exhausted — any partial@."
+    (if book rt then "booked" else "canceled");
+  Format.printf "  reservations were discarded with the trip)@.";
+  Format.printf "inventory: %d seat, %d room@." (Db.peek db seats)
+    (Db.peek db rooms);
+  assert (Db.peek db seats = 0 && Db.peek db rooms = 0)

@@ -1,0 +1,67 @@
+(* Savepoints, partial rollback, and operation-granularity delegation in
+   one banking scenario: a batch-posting transaction that can reject
+   individual postings without restarting, and escalate a disputed
+   posting to a supervisor transaction that decides its fate alone.
+
+   Run with: dune exec examples/banking_savepoints.exe *)
+
+open Ariesrh_types
+open Ariesrh_core
+
+let account i = Oid.of_int i
+let pp_balances db =
+  Format.printf "  balances: a0=%d a1=%d a2=%d a3=%d@." (Db.peek db (account 0))
+    (Db.peek db (account 1))
+    (Db.peek db (account 2))
+    (Db.peek db (account 3))
+
+let () =
+  let db = Db.create (Config.make ~n_objects:16 ()) in
+
+  let setup = Db.begin_txn db in
+  List.iter (fun i -> Db.write db setup (account i) 100) [ 0; 1; 2; 3 ];
+  Db.commit db setup;
+  Format.printf "opening balances:@.";
+  pp_balances db;
+
+  Format.printf "@.== batch posting with per-posting savepoints ==@.";
+  let batch = Db.begin_txn db in
+  (* posting 1: transfer 30 from a0 to a1 — fine *)
+  Db.add db batch (account 0) (-30);
+  Db.add db batch (account 1) 30;
+  (* posting 2: transfer 500 from a2 to a3 — overdraws; reject just it *)
+  let sp = Db.savepoint db batch in
+  Db.add db batch (account 2) (-500);
+  Db.add db batch (account 3) 500;
+  if Db.peek db (account 2) < 0 then begin
+    Format.printf "posting 2 overdraws a2 — rolled back to its savepoint@.";
+    Db.rollback_to db batch sp
+  end;
+  (* posting 3: a disputed 50 debit on a3: post it, then hand just that
+     one operation to the fraud-review transaction *)
+  Db.add db batch (account 3) (-50);
+  let disputed = Db.last_lsn_of db batch in
+  let review = Db.begin_txn db in
+  Db.delegate_update db ~from_:batch ~to_:review (account 3) disputed;
+  Format.printf
+    "posting 3 flagged: that single operation now belongs to the reviewer@.";
+
+  (* the batch commits what it still owns *)
+  Db.commit db batch;
+  Format.printf "@.batch committed (posting 1 + the rest of its work):@.";
+  pp_balances db;
+
+  (* the reviewer decides the disputed debit was fraud: abort undoes it —
+     and only it — even though the batch that invoked it committed *)
+  Db.abort db review;
+  Format.printf "@.review rejected the disputed debit:@.";
+  pp_balances db;
+
+  Db.crash db;
+  ignore (Db.recover db);
+  Format.printf "@.after crash + recovery:@.";
+  pp_balances db;
+  assert (Db.peek db (account 0) = 70);
+  assert (Db.peek db (account 1) = 130);
+  assert (Db.peek db (account 2) = 100);
+  assert (Db.peek db (account 3) = 100)

@@ -1,0 +1,54 @@
+(* A guided tour of recovery with delegation: build the log from
+   Example 1/Example 2 of the paper, crash, and watch ARIES/RH interpret
+   history — winners' delegated updates redone, losers' undone — without
+   rewriting a single log record.
+
+   Run with: dune exec examples/crash_recovery.exe *)
+
+open Ariesrh_types
+open Ariesrh_core
+module Log_store = Ariesrh_wal.Log_store
+module Record = Ariesrh_wal.Record
+
+let ob = Oid.of_int
+
+let dump_log db =
+  let log = Db.log_store db in
+  Log_store.iter_forward log ~from:Lsn.first (fun lsn r ->
+      Format.printf "  %3d  %a@." (Lsn.to_int lsn) Record.pp r)
+
+let () =
+  let db = Db.create (Config.make ~n_objects:16 ~locking:false ()) in
+
+  Format.printf "== Example 2 of the paper, then a crash ==@.@.";
+  (* t updates ob, delegates to t1, updates again, delegates to t2 *)
+  let t = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  let t2 = Db.begin_txn db in
+  Db.add db t (ob 0) 100;
+  Db.delegate db ~from_:t ~to_:t1 (ob 0);
+  Db.add db t (ob 0) 10;
+  Db.delegate db ~from_:t ~to_:t2 (ob 0);
+  (* only t1 commits before the crash *)
+  Db.commit db t1;
+
+  Format.printf "the log before the crash:@.";
+  dump_log db;
+  Format.printf "@.ob0 = %d (both adds applied in place)@.@." (Db.peek db (ob 0));
+
+  Db.crash db;
+  Format.printf "*** CRASH ***@.@.";
+
+  let report = Db.recover db in
+  Format.printf "recovery report:@.  %a@.@." Ariesrh_recovery.Report.pp report;
+
+  Format.printf "ob0 = %d@." (Db.peek db (ob 0));
+  Format.printf
+    "  the first add (delegated to winner %a) survived,@." Xid.pp t1;
+  Format.printf
+    "  the second (delegated to loser %a) was undone,@." Xid.pp t2;
+  Format.printf "  and %a's own fate (loser) did not matter for either.@.@."
+    Xid.pp t;
+
+  Format.printf "the log after recovery (CLRs appended, history intact):@.";
+  dump_log db

@@ -1,0 +1,78 @@
+(* The paper's §2.2.2 example: booking a trip as a nested transaction.
+
+   A trip is a root transaction with two subtransactions — an airline
+   reservation and a hotel reservation. A subtransaction that commits
+   delegates its changes to the parent (that is what "commit" means for
+   a subtransaction); one that fails aborts alone, and the code decides
+   whether the whole trip is still viable.
+
+   Run with: dune exec examples/nested_trip.exe *)
+
+open Ariesrh_types
+open Ariesrh_core
+open Ariesrh_etm
+
+(* object layout: seats left on the flight, rooms left at the hotel,
+   and the customer's itinerary slots *)
+let seats = Oid.of_int 0
+let rooms = Oid.of_int 1
+let flight_booked = Oid.of_int 2
+let hotel_booked = Oid.of_int 3
+
+exception Sold_out of string
+
+let airline_res trip =
+  if Nested.read trip seats <= 0 then raise (Sold_out "no seats");
+  Nested.add trip seats (-1);
+  Nested.write trip flight_booked 1
+
+let hotel_res trip =
+  if Nested.read trip rooms <= 0 then raise (Sold_out "no rooms");
+  Nested.add trip rooms (-1);
+  Nested.write trip hotel_booked 1
+
+let book_trip rt =
+  let trip = Nested.start rt in
+  let ok_air = Nested.run_sub trip airline_res in
+  let ok_hotel = ok_air && Nested.run_sub trip hotel_res in
+  if ok_air && ok_hotel then begin
+    Nested.commit_root trip;
+    true
+  end
+  else begin
+    (* hotel failed: the airline reservation was already delegated to
+       the trip, so aborting the trip releases the seat too *)
+    Nested.abort trip;
+    false
+  end
+
+let () =
+  let db = Db.create (Config.make ~n_objects:16 ()) in
+  let rt = Asset.create db in
+
+  (* stock the inventory: 2 seats, 1 room *)
+  let setup = Db.begin_txn db in
+  Db.write db setup seats 2;
+  Db.write db setup rooms 1;
+  Db.commit db setup;
+
+  Format.printf "inventory: %d seats, %d rooms@.@." (Db.peek db seats)
+    (Db.peek db rooms);
+
+  Format.printf "customer A books a trip... %s@."
+    (if book_trip rt then "confirmed" else "canceled");
+  Format.printf "inventory now: %d seats, %d rooms@.@." (Db.peek db seats)
+    (Db.peek db rooms);
+
+  Format.printf "customer B books a trip... %s@."
+    (if book_trip rt then "confirmed" else "canceled");
+  Format.printf
+    "inventory now: %d seats, %d rooms (hotel was full: the airline@."
+    (Db.peek db seats) (Db.peek db rooms);
+  Format.printf "reservation was rolled back with the trip, seat restored)@.";
+
+  (* the committed trip survives a crash; the canceled one left no trace *)
+  Db.crash db;
+  ignore (Db.recover db);
+  Format.printf "@.after crash + recovery: %d seats, %d rooms@."
+    (Db.peek db seats) (Db.peek db rooms)

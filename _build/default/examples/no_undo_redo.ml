@@ -1,0 +1,57 @@
+(* The EOS-style NO-UNDO/REDO engine (§3.7) side by side with ARIES/RH:
+   same story, two recovery philosophies.
+
+   Run with: dune exec examples/no_undo_redo.exe *)
+
+open Ariesrh_types
+open Ariesrh_core
+open Ariesrh_eos
+
+let ob = Oid.of_int
+
+let () =
+  Format.printf "== EOS: updates never touch the database until commit ==@.@.";
+  let eos = Eos_db.create ~n_objects:8 in
+  let t1 = Eos_db.begin_txn eos in
+  let t2 = Eos_db.begin_txn eos in
+  Eos_db.write eos t1 (ob 0) 42;
+  Format.printf "t1 wrote ob0=42 (private): outside view = %d, t1's view = %d@."
+    (Eos_db.peek eos (ob 0))
+    (Eos_db.read eos t1 (ob 0));
+
+  (* delegation carries an image of the object into t2's private log *)
+  Eos_db.delegate eos ~from_:t1 ~to_:t2 (ob 0);
+  Format.printf "after delegate(t1,t2,ob0): t2's view = %d (the image)@."
+    (Eos_db.read eos t2 (ob 0));
+
+  Eos_db.abort eos t1;
+  Format.printf "t1 aborted — free of charge, nothing was ever applied@.";
+  Eos_db.commit eos t2;
+  Format.printf "t2 committed: ob0 = %d@.@." (Eos_db.peek eos (ob 0));
+
+  Format.printf "recovery is a single forward sweep (no undo exists):@.";
+  Eos_db.crash eos;
+  let r = Eos_db.recover eos in
+  Format.printf "  replayed %d committed entries; ob0 = %d@.@."
+    r.entries_replayed (Eos_db.peek eos (ob 0));
+
+  Format.printf "== the same story on the ARIES/RH engine ==@.@.";
+  let db = Db.create (Config.make ~n_objects:8 ()) in
+  let u1 = Db.begin_txn db in
+  let u2 = Db.begin_txn db in
+  Db.write db u1 (ob 0) 42;
+  Format.printf
+    "UNDO/REDO applies in place: outside view is already %d (STEAL)@."
+    (Db.peek db (ob 0));
+  Db.delegate db ~from_:u1 ~to_:u2 (ob 0);
+  Db.abort db u1;
+  Db.commit db u2;
+  Db.crash db;
+  let r = Db.recover db in
+  Format.printf
+    "restart: %d records forward, %d undos backward; ob0 = %d@.@."
+    r.forward_records r.undos (Db.peek db (ob 0));
+  Format.printf
+    "identical delegation semantics, opposite recovery mechanics —@.";
+  Format.printf "exactly the §3.7 point: RH is protocol-agnostic.@.";
+  assert (Db.peek db (ob 0) = 42 && Eos_db.peek eos (ob 0) = 42)

@@ -1,0 +1,1 @@
+lib/core/db.mli: Ariesrh_recovery Ariesrh_storage Ariesrh_txn Ariesrh_types Ariesrh_wal Config Lsn Oid Page_id Xid

@@ -1,0 +1,1 @@
+lib/core/errors.ml: Ariesrh_types Format Oid Printexc Xid

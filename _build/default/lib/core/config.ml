@@ -1,0 +1,50 @@
+type delegation_impl = Rh | Eager | Lazy
+
+type forward_passes = Merged | Separate
+
+type t = {
+  n_objects : int;
+  objects_per_page : int;
+  buffer_capacity : int;
+  log_page_size : int;
+  impl : delegation_impl;
+  forward_passes : forward_passes;
+  locking : bool;
+}
+
+let default =
+  {
+    n_objects = 1024;
+    objects_per_page = 8;
+    buffer_capacity = 32;
+    log_page_size = 4096;
+    impl = Rh;
+    forward_passes = Merged;
+    locking = true;
+  }
+
+let make ?(n_objects = default.n_objects)
+    ?(objects_per_page = default.objects_per_page)
+    ?(buffer_capacity = default.buffer_capacity)
+    ?(log_page_size = default.log_page_size) ?(impl = default.impl)
+    ?(forward_passes = default.forward_passes) ?(locking = default.locking) ()
+    =
+  {
+    n_objects;
+    objects_per_page;
+    buffer_capacity;
+    log_page_size;
+    impl;
+    forward_passes;
+    locking;
+  }
+
+let pages_needed t = (t.n_objects + t.objects_per_page - 1) / t.objects_per_page
+
+let validate t =
+  if t.n_objects <= 0 then invalid_arg "Config: n_objects must be positive";
+  if t.objects_per_page <= 0 then
+    invalid_arg "Config: objects_per_page must be positive";
+  if t.buffer_capacity <= 0 then
+    invalid_arg "Config: buffer_capacity must be positive";
+  if t.log_page_size <= 0 then invalid_arg "Config: log_page_size must be positive"

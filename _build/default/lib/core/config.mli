@@ -1,0 +1,43 @@
+(** Engine configuration. *)
+
+type delegation_impl =
+  | Rh  (** ARIES/RH: log delegations, interpret at recovery (the paper) *)
+  | Eager
+      (** rewrite the log physically at each delegate (§3.1 baseline);
+          recovery is conventional ARIES *)
+  | Lazy
+      (** log delegations, rewrite the log physically during recovery
+          (§3.2 baseline) *)
+
+type forward_passes =
+  | Merged  (** one combined analysis+redo sweep (default, §3.3) *)
+  | Separate  (** classic ARIES: analysis sweep, then redo sweep *)
+
+type t = {
+  n_objects : int;
+  objects_per_page : int;
+  buffer_capacity : int;  (** data pages held by the buffer pool *)
+  log_page_size : int;  (** bytes per simulated log page *)
+  impl : delegation_impl;
+  forward_passes : forward_passes;
+  locking : bool;  (** disable to drive pure recovery experiments *)
+}
+
+val default : t
+(** 1024 objects, 8 per page, 32-page pool, 4 KiB log pages, [Rh],
+    locking on. *)
+
+val make :
+  ?n_objects:int ->
+  ?objects_per_page:int ->
+  ?buffer_capacity:int ->
+  ?log_page_size:int ->
+  ?impl:delegation_impl ->
+  ?forward_passes:forward_passes ->
+  ?locking:bool ->
+  unit ->
+  t
+
+val pages_needed : t -> int
+val validate : t -> unit
+(** Raises [Invalid_argument] on nonsensical values. *)

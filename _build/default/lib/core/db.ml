@@ -1,0 +1,652 @@
+open Ariesrh_types
+open Ariesrh_wal
+open Ariesrh_storage
+open Ariesrh_lock
+open Ariesrh_txn
+open Ariesrh_recovery
+
+type t = {
+  config : Config.t;
+  disk : Disk.t;
+  log : Log_store.t;
+  mutable pool : Buffer_pool.t;
+  mutable locks : Lock_table.t;
+  mutable tt : Txn_table.t;
+  mutable next_xid : int;
+      (* xid allocation survives crashes, as if drawn from a persistent
+         counter block; keeps invoker identities in delegated scopes
+         unambiguous across restarts *)
+  mutable permits : (Xid.t * Xid.t) list;
+  env : Env.t;
+}
+
+let place_of config oid =
+  let i = Oid.to_int oid in
+  (Page_id.of_int (i / config.Config.objects_per_page),
+   i mod config.Config.objects_per_page)
+
+let create config =
+  Config.validate config;
+  let disk =
+    Disk.create ~pages:(Config.pages_needed config)
+      ~slots_per_page:config.objects_per_page
+  in
+  let log = Log_store.create ~page_size:config.log_page_size () in
+  let pool =
+    Buffer_pool.create ~capacity:config.buffer_capacity ~disk
+      ~wal_flush:(fun lsn -> Log_store.flush log ~upto:lsn)
+  in
+  let env = Env.make ~log ~pool ~place:(place_of config) in
+  {
+    config;
+    disk;
+    log;
+    pool;
+    locks = Lock_table.create ();
+    tt = Txn_table.create ();
+    next_xid = 1;
+    permits = [];
+    env;
+  }
+
+let config t = t.config
+let log_store t = t.log
+let disk_stats t = Disk.stats t.disk
+
+let pool_counters t =
+  (Buffer_pool.hits t.pool, Buffer_pool.misses t.pool,
+   Buffer_pool.evictions t.pool)
+let env t = t.env
+let place t oid = place_of t.config oid
+
+let check_oid t oid =
+  if Oid.to_int oid >= t.config.Config.n_objects then
+    invalid_arg
+      (Format.asprintf "Db: %a out of range (%d objects)" Oid.pp oid
+         t.config.Config.n_objects)
+
+let info_exn t xid =
+  match Txn_table.find t.tt xid with
+  | Some info -> info
+  | None -> raise (Errors.No_such_txn xid)
+
+let active_exn t xid =
+  let info = info_exn t xid in
+  if info.Txn_table.status <> Txn_table.Active then
+    raise (Errors.Txn_not_active xid);
+  info
+
+let append_on_chain t (info : Txn_table.info) body =
+  let lsn = Log_store.append t.log (Record.mk info.xid ~prev:info.last_lsn body) in
+  info.last_lsn <- lsn;
+  lsn
+
+(* --- locking --- *)
+
+let lock t xid oid mode =
+  if t.config.Config.locking then
+    let permit holder = List.mem (holder, xid) t.permits in
+    match Lock_table.acquire ~permit t.locks xid oid mode with
+    | Lock_table.Granted -> ()
+    | Lock_table.Conflict holders ->
+        raise (Errors.Conflict { requester = xid; holders })
+
+let drop_permits t xid =
+  t.permits <-
+    List.filter
+      (fun (a, b) -> not (Xid.equal a xid || Xid.equal b xid))
+      t.permits
+
+let permit t ~holder ~grantee =
+  ignore (info_exn t holder);
+  ignore (info_exn t grantee);
+  if not (List.mem (holder, grantee) t.permits) then
+    t.permits <- (holder, grantee) :: t.permits
+
+(* --- transactions --- *)
+
+let begin_txn t =
+  let xid = Xid.of_int t.next_xid in
+  t.next_xid <- t.next_xid + 1;
+  let info = Txn_table.add t.tt xid in
+  let lsn = append_on_chain t info Record.Begin in
+  info.begin_lsn <- lsn;
+  xid
+
+let is_active t xid =
+  match Txn_table.find t.tt xid with
+  | Some info -> info.status = Txn_table.Active
+  | None -> false
+
+let finish t (info : Txn_table.info) =
+  Lock_table.release_all t.locks info.xid;
+  drop_permits t info.xid;
+  Txn_table.remove t.tt info.xid
+
+let commit t xid =
+  let info = active_exn t xid in
+  ignore (append_on_chain t info Record.Commit);
+  info.status <- Txn_table.Committed;
+  Log_store.flush t.log ~upto:info.last_lsn;
+  ignore (append_on_chain t info Record.End);
+  finish t info
+
+(* rollback over the transaction's scopes (§3.5 abort), shared by [Rh]
+   and [Lazy]; [Eager] has no scopes and follows its chain instead.
+   [floor] restricts the undo to records above a savepoint. *)
+let rollback_scopes ?floor t (info : Txn_table.info) =
+  let scopes =
+    List.map (fun s -> (info.xid, s)) (Ob_list.all_scopes info.ob_list)
+  in
+  let on_undo ~owner:_ ~invoker ~undone ~undo_next upd =
+    let lsn =
+      append_on_chain t info (Record.Clr { upd; undone; invoker; undo_next })
+    in
+    info.undo_next <- undo_next;
+    lsn
+  in
+  ignore (Scope_sweep.sweep ?floor t.env ~scopes ~on_undo)
+
+(* Chain-based rollback for [Eager]: after surgery the chain itself is
+   the authority on responsibility, so start at its head — [undo_next]
+   may point at a record that was delegated away. The chain is kept
+   LSN-sorted by the splice, so a partial rollback just stops at the
+   savepoint [floor]. *)
+let rollback_chain ?(floor = Lsn.nil) t (info : Txn_table.info) =
+  (* Never dereference a CLR's undo_next: after chain surgery it may
+     point at a record that moved to another chain. Walking prev-for and
+     skipping updates whose LSN a CLR higher up declared compensated is
+     always sound. A begin record does not end the walk either — surgery
+     may splice delegated-in records below it. *)
+  let compensated = Hashtbl.create 8 in
+  let k = ref info.last_lsn in
+  while Lsn.(!k > floor) do
+    let record = Log_store.read t.log !k in
+    (match record.Record.body with
+    | Record.Update u when not (Hashtbl.mem compensated (Lsn.to_int !k)) ->
+        let inv = { u with op = Apply.inverse u.op } in
+        let clr_lsn =
+          append_on_chain t info
+            (Record.Clr
+               {
+                 upd = inv;
+                 undone = !k;
+                 invoker = info.xid;
+                 undo_next = record.Record.prev;
+               })
+        in
+        info.undo_next <- record.Record.prev;
+        Apply.force t.env clr_lsn inv
+    | Record.Clr { undone; _ } ->
+        Hashtbl.replace compensated (Lsn.to_int undone) ()
+    | Record.Update _ | Record.Begin | Record.Abort | Record.Commit
+    | Record.End | Record.Delegate _ | Record.Anchor | Record.Ckpt_begin
+    | Record.Ckpt_end _ ->
+        ());
+    k := Record.prev_for record info.xid
+  done
+
+(* A savepoint is a global point in history (the current log head), not
+   the transaction's own last record: responsibility acquired afterwards
+   — by update or by delegation — is what rollback_to must undo, and a
+   delegated-in update invoked before the savepoint carries an LSN below
+   the head but possibly above the transaction's stale last_lsn. *)
+let savepoint t xid =
+  ignore (active_exn t xid);
+  Log_store.head t.log
+
+let rollback_to t xid sp =
+  let info = active_exn t xid in
+  (match t.config.Config.impl with
+  | Config.Rh | Config.Lazy -> rollback_scopes ~floor:sp t info
+  | Config.Eager -> rollback_chain ~floor:sp t info);
+  (* trimmed open scopes must not be extended again: new updates open
+     fresh scopes, or they would stretch back across the compensated
+     range *)
+  info.ob_list <- Ob_list.close_all_open info.ob_list;
+  Log_store.flush t.log ~upto:info.last_lsn
+
+let abort t xid =
+  let info = active_exn t xid in
+  info.status <- Txn_table.Rolling_back;
+  (match t.config.Config.impl with
+  | Config.Rh | Config.Lazy -> rollback_scopes t info
+  | Config.Eager -> rollback_chain t info);
+  ignore (append_on_chain t info Record.Abort);
+  Log_store.flush t.log ~upto:info.last_lsn;
+  ignore (append_on_chain t info Record.End);
+  finish t info
+
+(* --- object operations --- *)
+
+let read t xid oid =
+  check_oid t oid;
+  let info = active_exn t xid in
+  ignore info;
+  lock t xid oid Mode.S;
+  let page, slot = place t oid in
+  Buffer_pool.read_object t.pool page ~slot
+
+let log_update t (info : Txn_table.info) oid op =
+  let page, slot = place t oid in
+  let u = { Record.oid; page; op } in
+  let lsn = append_on_chain t info (Record.Update u) in
+  info.undo_next <- lsn;
+  info.ob_list <- Ob_list.note_update info.ob_list ~owner:info.xid ~oid lsn;
+  Apply.force t.env lsn u;
+  ignore slot
+
+let write t xid oid v =
+  check_oid t oid;
+  let info = active_exn t xid in
+  lock t xid oid Mode.X;
+  let page, slot = place t oid in
+  let before = Buffer_pool.read_object t.pool page ~slot in
+  log_update t info oid (Record.Set { before; after = v })
+
+let add t xid oid d =
+  check_oid t oid;
+  let info = active_exn t xid in
+  lock t xid oid Mode.I;
+  log_update t info oid (Record.Add d)
+
+(* --- delegation --- *)
+
+let delegate t ~from_ ~to_ oid =
+  check_oid t oid;
+  let tor_info = active_exn t from_ in
+  let tee_info = active_exn t to_ in
+  if Xid.equal from_ to_ then invalid_arg "Db.delegate: delegator = delegatee";
+  if not (Ob_list.mem tor_info.ob_list oid) then
+    raise (Errors.Not_responsible { xid = from_; oid });
+  (match t.config.Config.impl with
+  | Config.Rh | Config.Lazy ->
+      let lsn =
+        Log_store.append t.log
+          (Record.mk from_ ~prev:tor_info.last_lsn
+             (Record.Delegate
+                { tee = to_; tee_prev = tee_info.last_lsn; oid; op = None }))
+      in
+      tor_info.last_lsn <- lsn;
+      tee_info.last_lsn <- lsn
+  | Config.Eager ->
+      ignore (Rewrite.eager_delegate t.env ~tor_info ~tee_info oid);
+      (* The surgery's pointer patches span stable and volatile log
+         regions and are not crash-atomic on their own (the §3.2
+         correctness problem): a spliced stable record is unreachable if
+         the volatile chain head pointing at it dies with the crash. Make
+         the new chain heads durable — an anchor record per chain, then a
+         forced flush. This is part of eager delegation's real cost. *)
+      ignore (append_on_chain t tor_info Record.Anchor);
+      ignore (append_on_chain t tee_info Record.Anchor);
+      Log_store.flush t.log ~upto:(Log_store.head t.log);
+      (* after surgery the chains are the only authority; undo must start
+         at their heads (the old undo_next may point at a moved record,
+         or miss records moved in) — and checkpoints persist these *)
+      tor_info.undo_next <- tor_info.last_lsn;
+      tee_info.undo_next <- tee_info.last_lsn);
+  (match Ob_list.take tor_info.ob_list oid with
+  | None -> assert false
+  | Some (entry, rest) ->
+      tor_info.ob_list <- rest;
+      tee_info.ob_list <-
+        Ob_list.receive tee_info.ob_list ~oid ~from_ entry.scopes);
+  if t.config.Config.locking then Lock_table.transfer t.locks oid ~from_ ~to_
+
+let delegate_update t ~from_ ~to_ oid op_lsn =
+  check_oid t oid;
+  let tor_info = active_exn t from_ in
+  let tee_info = active_exn t to_ in
+  if Xid.equal from_ to_ then
+    invalid_arg "Db.delegate_update: delegator = delegatee";
+  (match t.config.Config.impl with
+  | Config.Eager ->
+      invalid_arg
+        "Db.delegate_update: operation granularity requires the Rh or Lazy \
+         engine"
+  | Config.Rh | Config.Lazy -> ());
+  (* identify the operation's invoker: usually a unique covering scope;
+     with overlapping commuting scopes, consult the log record itself *)
+  let invoker =
+    match Ob_list.covering_invokers tor_info.ob_list ~oid op_lsn with
+    | [] -> raise (Errors.Not_responsible { xid = from_; oid })
+    | [ x ] -> x
+    | _ -> (
+        match (Log_store.read t.log op_lsn).Record.body with
+        | Record.Update u when Oid.equal u.Record.oid oid ->
+            Record.writer_exn (Log_store.read t.log op_lsn)
+        | _ -> raise (Errors.Not_responsible { xid = from_; oid }))
+  in
+  (* Operation-granularity delegation is for commuting updates — the
+     §2.1.2 setting where several transactions are responsible for one
+     object at once. The delegator keeps its own increment lock (it may
+     still hold other updates); the delegatee gets one too, so the
+     delegated update stays protected after the delegator resolves. An
+     exclusively-locked object (Set updates) must be delegated whole. *)
+  (if t.config.Config.locking then
+     match Lock_table.held t.locks from_ oid with
+     | Some m when Mode.equal m Mode.X ->
+         invalid_arg
+           "Db.delegate_update: operation granularity requires commuting \
+            (increment) updates; delegate the whole object instead"
+     | _ -> ());
+  match Ob_list.split_out tor_info.ob_list ~oid ~invoker op_lsn with
+  | None, _ -> raise (Errors.Not_responsible { xid = from_; oid })
+  | Some moved, rest ->
+      let lsn =
+        Log_store.append t.log
+          (Record.mk from_ ~prev:tor_info.last_lsn
+             (Record.Delegate
+                {
+                  tee = to_;
+                  tee_prev = tee_info.last_lsn;
+                  oid;
+                  op = Some (op_lsn, invoker);
+                }))
+      in
+      tor_info.last_lsn <- lsn;
+      tee_info.last_lsn <- lsn;
+      tor_info.ob_list <- rest;
+      tee_info.ob_list <- Ob_list.receive tee_info.ob_list ~oid ~from_ [ moved ];
+      if t.config.Config.locking then begin
+        match Lock_table.acquire t.locks to_ oid Mode.I with
+        | Lock_table.Granted -> ()
+        | Lock_table.Conflict holders ->
+            (* cannot happen: every holder is in increment mode *)
+            raise (Errors.Conflict { requester = to_; holders })
+      end
+
+let delegate_all t ~from_ ~to_ =
+  let tor_info = active_exn t from_ in
+  List.iter
+    (fun oid -> delegate t ~from_ ~to_ oid)
+    (Ob_list.objects tor_info.ob_list)
+
+let responsible_objects t xid = Ob_list.objects (info_exn t xid).ob_list
+
+(* --- checkpointing, crash, recovery --- *)
+
+let checkpoint t =
+  ignore (Log_store.append t.log (Record.mk_system Record.Ckpt_begin));
+  let ck_txns, ck_obs = Txn_table.to_ckpt t.tt in
+  let ck_dpt = Buffer_pool.dirty_page_table t.pool in
+  let lsn =
+    Log_store.append t.log
+      (Record.mk_system (Record.Ckpt_end { Record.ck_txns; ck_dpt; ck_obs }))
+  in
+  Log_store.flush t.log ~upto:lsn;
+  Log_store.set_master t.log lsn
+
+let truncation_horizon t =
+  let master = Log_store.master t.log in
+  if Lsn.is_nil master then Lsn.nil
+  else begin
+    let horizon = ref master in
+    List.iter
+      (fun (_, rec_lsn) -> horizon := Lsn.min !horizon rec_lsn)
+      (Buffer_pool.dirty_page_table t.pool);
+    Txn_table.iter t.tt (fun info ->
+        (* conventional (eager-mode) undo walks the whole chain, begin
+           record included, so live transactions pin from their begin *)
+        if not (Lsn.is_nil info.begin_lsn) then
+          horizon := Lsn.min !horizon info.begin_lsn;
+        match Ob_list.min_first info.ob_list with
+        | Some first -> horizon := Lsn.min !horizon first
+        | None -> ());
+    !horizon
+  end
+
+let truncate_log t =
+  let horizon = truncation_horizon t in
+  if Lsn.is_nil horizon then 0
+  else Log_store.truncate t.log ~below:(Lsn.min horizon (Log_store.durable t.log))
+
+let crash t =
+  Log_store.crash t.log;
+  Buffer_pool.crash t.pool;
+  t.locks <- Lock_table.create ();
+  t.tt <- Txn_table.create ();
+  t.permits <- []
+
+(* --- media recovery --- *)
+
+type backup = { pages : Page.t array; complete_upto : Lsn.t }
+
+let backup t =
+  (* quiesce: every logged effect reaches the disk image *)
+  Log_store.flush t.log ~upto:(Log_store.head t.log);
+  Buffer_pool.flush_all t.pool;
+  {
+    pages =
+      Array.init (Disk.page_count t.disk) (fun i ->
+          Disk.read_page t.disk (Page_id.of_int i));
+    complete_upto = Log_store.durable t.log;
+  }
+
+let media_failure t =
+  let blank = Page.create ~slots:t.config.Config.objects_per_page in
+  for i = 0 to Disk.page_count t.disk - 1 do
+    Disk.write_page t.disk (Page_id.of_int i) blank
+  done;
+  Log_store.crash t.log;
+  Buffer_pool.crash t.pool;
+  t.locks <- Lock_table.create ();
+  t.tt <- Txn_table.create ();
+  t.permits <- []
+
+let recover t =
+  let passes =
+    match t.config.Config.forward_passes with
+    | Config.Merged -> Forward.Merged
+    | Config.Separate -> Forward.Separate
+  in
+  let report =
+    match t.config.Config.impl with
+    | Config.Rh -> Aries_rh.recover ~passes t.env
+    | Config.Eager -> Aries.recover ~passes t.env
+    | Config.Lazy -> Aries_rh.recover_physical t.env
+  in
+  t.tt <- Txn_table.create ();
+  t.locks <- Lock_table.create ();
+  t.permits <- [];
+  report
+
+let restore_media t (b : backup) =
+  let replay_from = Lsn.next b.complete_upto in
+  if Lsn.(Log_store.truncated_below t.log > replay_from) then
+    invalid_arg
+      "Db.restore_media: the log was truncated past the backup point";
+  Array.iteri (fun i page -> Disk.write_page t.disk (Page_id.of_int i) page)
+    b.pages;
+  Buffer_pool.crash t.pool;
+  (* roll the archive image forward: redo everything since the backup,
+     conditioned on page LSNs, then let normal restart recovery settle
+     the in-flight transactions *)
+  Log_store.iter_forward t.log ~from:replay_from (fun lsn record ->
+      match record.Record.body with
+      | Record.Update u -> ignore (Apply.redo t.env lsn u)
+      | Record.Clr { upd; _ } -> ignore (Apply.redo t.env lsn upd)
+      | _ -> ());
+  recover t
+
+let recover_with_fuel t ~fuel =
+  match t.config.Config.impl with
+  | Config.Eager | Config.Lazy ->
+      invalid_arg "Db.recover_with_fuel: only supported for the Rh engine"
+  | Config.Rh -> (
+      match Aries_rh.recover ~fuel t.env with
+      | report ->
+          t.tt <- Txn_table.create ();
+          t.locks <- Lock_table.create ();
+          t.permits <- [];
+          `Done report
+      | exception Aries_rh.Interrupted -> `Interrupted)
+
+let shutdown t =
+  Log_store.flush t.log ~upto:(Log_store.head t.log);
+  Buffer_pool.flush_all t.pool
+
+(* --- inspection --- *)
+
+let peek t oid =
+  check_oid t oid;
+  let page, slot = place t oid in
+  Buffer_pool.read_object t.pool page ~slot
+
+let peek_all t =
+  Array.init t.config.Config.n_objects (fun i -> peek t (Oid.of_int i))
+
+let stable_value t oid =
+  check_oid t oid;
+  let page, slot = place t oid in
+  Page.get (Disk.read_page t.disk page) slot
+
+let chain_of t xid =
+  let info = info_exn t xid in
+  (* head (most recent) first *)
+  let rec go lsn acc =
+    if Lsn.is_nil lsn then List.rev acc
+    else
+      let record = Log_store.read t.log lsn in
+      go (Record.prev_for record xid) (lsn :: acc)
+  in
+  go info.last_lsn []
+
+let scopes_of t xid oid = Ob_list.scopes_of (info_exn t xid).ob_list oid
+let active_count t = Txn_table.count t.tt
+let last_lsn_of t xid = (info_exn t xid).last_lsn
+
+type history_event =
+  | Updated of { lsn : Lsn.t; invoker : Xid.t; op : Record.op }
+  | Delegated of {
+      lsn : Lsn.t;
+      from_ : Xid.t;
+      to_ : Xid.t;
+      op_lsn : Lsn.t option;
+    }
+  | Compensated of { lsn : Lsn.t; by : Xid.t; undone : Lsn.t }
+
+let object_history t oid =
+  check_oid t oid;
+  let events = ref [] in
+  Log_store.iter_forward t.log
+    ~from:(Log_store.truncated_below t.log)
+    (fun lsn record ->
+      match record.Record.body with
+      | Record.Update u when Oid.equal u.oid oid ->
+          events :=
+            Updated { lsn; invoker = Record.writer_exn record; op = u.op }
+            :: !events
+      | Record.Delegate { tee; oid = d_oid; op; _ } when Oid.equal d_oid oid ->
+          events :=
+            Delegated
+              {
+                lsn;
+                from_ = Record.writer_exn record;
+                to_ = tee;
+                op_lsn = Option.map fst op;
+              }
+            :: !events
+      | Record.Clr { upd; undone; _ } when Oid.equal upd.oid oid ->
+          events :=
+            Compensated { lsn; by = Record.writer_exn record; undone }
+            :: !events
+      | _ -> ());
+  List.rev !events
+
+let responsible_now t oid =
+  check_oid t oid;
+  Txn_table.fold t.tt ~init:[] ~f:(fun acc info ->
+      List.fold_left
+        (fun acc (s : Scope.t) -> (info.xid, s.invoker) :: acc)
+        acc
+        (Ob_list.scopes_of info.ob_list oid))
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
+  let head = Log_store.head t.log in
+  (* scopes: in-log ranges, and disjoint per (invoker, object) *)
+  let all_scopes =
+    Txn_table.fold t.tt ~init:[] ~f:(fun acc info ->
+        List.map (fun s -> (info.xid, s)) (Ob_list.all_scopes info.ob_list)
+        @ acc)
+  in
+  List.iter
+    (fun ((owner : Xid.t), (s : Scope.t)) ->
+      if Lsn.(s.first > s.last) then
+        err "empty scope leaked into live set: %a (owner %a)" Scope.pp s Xid.pp
+          owner;
+      if Lsn.is_nil s.first || Lsn.(s.last > head) then
+        err "scope %a outside the log (head %a)" Scope.pp s Lsn.pp head)
+    all_scopes;
+  let rec pairs = function
+    | [] -> ()
+    | (o1, (s1 : Scope.t)) :: rest ->
+        List.iter
+          (fun (o2, (s2 : Scope.t)) ->
+            if
+              Xid.equal s1.invoker s2.invoker
+              && Oid.equal s1.oid s2.oid
+              && Scope.overlaps s1 s2
+            then
+              err "same-invoker scopes overlap: %a (owner %a) and %a (owner %a)"
+                Scope.pp s1 Xid.pp o1 Scope.pp s2 Xid.pp o2)
+          rest;
+        pairs rest
+  in
+  pairs all_scopes;
+  (* locks: held by live transactions only; modes pairwise compatible or
+     covered by permits *)
+  let holders_by_oid : (int, (Xid.t * Mode.t) list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  Lock_table.iter t.locks (fun oid xid mode ->
+      if not (Txn_table.mem t.tt xid) then
+        err "lock on %a held by dead transaction %a" Oid.pp oid Xid.pp xid;
+      let k = Oid.to_int oid in
+      Hashtbl.replace holders_by_oid k
+        ((xid, mode) :: Option.value ~default:[] (Hashtbl.find_opt holders_by_oid k)));
+  Hashtbl.iter
+    (fun k holders ->
+      let rec check = function
+        | [] -> ()
+        | (x1, m1) :: rest ->
+            List.iter
+              (fun (x2, m2) ->
+                let permitted =
+                  List.mem (x1, x2) t.permits || List.mem (x2, x1) t.permits
+                in
+                if
+                  (not (Mode.compatible m1 m2))
+                  && (not (Mode.compatible m2 m1))
+                  && not permitted
+                then
+                  err "incompatible locks on ob%d: %a:%a vs %a:%a" k Xid.pp x1
+                    Mode.pp m1 Xid.pp x2 Mode.pp m2)
+              rest;
+            check rest
+      in
+      check holders)
+    holders_by_oid;
+  (* chains: terminate, strictly decreasing *)
+  Txn_table.iter t.tt (fun info ->
+      let rec walk lsn last steps =
+        if steps > Lsn.to_int head + 1 then
+          err "chain of %a does not terminate" Xid.pp info.xid
+        else if not (Lsn.is_nil lsn) then begin
+          if Lsn.(lsn >= last) then
+            err "chain of %a not strictly decreasing at %a" Xid.pp info.xid
+              Lsn.pp lsn
+          else
+            match Log_store.read t.log lsn with
+            | record -> walk (Record.prev_for record info.xid) lsn (steps + 1)
+            | exception _ ->
+                err "chain of %a points at unreadable %a" Xid.pp info.xid
+                  Lsn.pp lsn
+        end
+      in
+      walk info.last_lsn (Lsn.next head) 0);
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))

@@ -1,0 +1,206 @@
+(** The database engine: WAL + buffer pool + locks + transactions +
+    delegation, with ARIES/RH (or a baseline) restart recovery.
+
+    Normal processing follows §3.5 of the paper; {!crash} simulates a
+    failure (volatile state lost, stable log prefix and disk pages
+    survive) and {!recover} runs the restart algorithm selected by the
+    configuration. *)
+
+open Ariesrh_types
+
+type t
+
+val create : Config.t -> t
+val config : t -> Config.t
+
+(** {1 Transactions} *)
+
+val begin_txn : t -> Xid.t
+(** Initiate and begin a fresh transaction (logs its begin record). *)
+
+val commit : t -> Xid.t -> unit
+(** Commit: commit record, log force, lock release, end record. Every
+    update the transaction is responsible for — its own or delegated to
+    it — becomes permanent. Raises {!Errors.Txn_not_active} as needed. *)
+
+val abort : t -> Xid.t -> unit
+(** Roll back every update the transaction is responsible for (§3.5:
+    CLRs over its scopes, sweeping the log backward no further than the
+    oldest scope), then abort + end records. Updates it delegated away
+    are untouched. *)
+
+val is_active : t -> Xid.t -> bool
+
+val savepoint : t -> Xid.t -> Lsn.t
+(** Mark the current point in history (the log head). *)
+
+val rollback_to : t -> Xid.t -> Lsn.t -> unit
+(** Partial rollback: undo (with CLRs) every update the transaction is
+    responsible for whose LSN is above the savepoint, leaving the
+    transaction active. Updates invoked before the savepoint — it is a
+    global point, so this includes updates later delegated in — are
+    untouched; delegations {e out} performed after the savepoint are
+    responsibility transfers, not updates, and are not reversed. *)
+
+(** {1 Operations on objects} *)
+
+val read : t -> Xid.t -> Oid.t -> int
+(** S-lock then read. Raises {!Errors.Conflict} when blocked. *)
+
+val write : t -> Xid.t -> Oid.t -> int -> unit
+(** X-lock, log a [Set] with before/after images, apply in place. *)
+
+val add : t -> Xid.t -> Oid.t -> int -> unit
+(** Increment-lock, log an [Add] delta, apply in place. [Add]s commute,
+    so several transactions may hold increment locks on one object —
+    and each can delegate its own increments independently. *)
+
+(** {1 Delegation and sharing} *)
+
+val delegate : t -> from_:Xid.t -> to_:Xid.t -> Oid.t -> unit
+(** [delegate(t1, t2, ob)]: transfer responsibility for every update on
+    [ob] that [t1] is responsible for to [t2] (§3.5), together with
+    [t1]'s lock on [ob]. Raises {!Errors.Not_responsible} if [t1] is not
+    responsible for [ob], {!Errors.Txn_not_active} if either side is not
+    active. *)
+
+val delegate_update : t -> from_:Xid.t -> to_:Xid.t -> Oid.t -> Lsn.t -> unit
+(** Operation-granularity delegation — the paper's general §2.1.2 model:
+    transfer responsibility for the {e single} update identified by its
+    LSN (as returned by a [write]/[add] at the time, or found in a
+    scope). The covering scope is split around it. Only supported on the
+    [Rh] and [Lazy] engines; raises [Invalid_argument] under [Eager]
+    (whose physical surgery is object-granularity, like §3's
+    implementation). Raises {!Errors.Not_responsible} if no scope of the
+    delegator covers the operation. *)
+
+val delegate_all : t -> from_:Xid.t -> to_:Xid.t -> unit
+(** Delegate every object in the delegator's Ob_List (the [delegate
+    (t2, t1)] form used by join and nested commit in §2.2). *)
+
+val permit : t -> holder:Xid.t -> grantee:Xid.t -> unit
+(** ASSET's [permit]: the grantee's lock requests ignore locks held by
+    [holder]. Dies when either transaction terminates. *)
+
+val responsible_objects : t -> Xid.t -> Oid.t list
+(** The transaction's Ob_List (objects it is currently responsible
+    for). *)
+
+(** {1 Failure and recovery} *)
+
+val checkpoint : t -> unit
+(** Fuzzy checkpoint: begin/end records carrying the transaction table,
+    dirty page table, and Ob_Lists with scopes; sets the master record. *)
+
+val truncation_horizon : t -> Lsn.t
+(** The oldest LSN any future restart or rollback could need: the
+    minimum over the master checkpoint record, every dirty page's
+    recLSN, and — with delegation — every live transaction's oldest
+    {e scope} beginning. Delegated-in scopes reach back to updates whose
+    invokers committed long ago, so delegation pins the log: the
+    experiment harness measures this (E8). Returns [Lsn.nil] when no
+    checkpoint has completed (nothing may be reclaimed yet). *)
+
+val truncate_log : t -> int
+(** Reclaim the log prefix below {!truncation_horizon}; returns how many
+    records were discarded. *)
+
+val crash : t -> unit
+(** Lose all volatile state. Active transactions are gone; the log keeps
+    its flushed prefix; the disk keeps previously written pages. *)
+
+(** {1 Media recovery} *)
+
+type backup
+(** A fuzzy-free archive copy: {!backup} quiesces (flushes pages and
+    log) and snapshots the disk image together with the LSN it is
+    complete up to. *)
+
+val backup : t -> backup
+
+val media_failure : t -> unit
+(** The data disk is destroyed (all pages zeroed) along with volatile
+    state. The log device survives — as in ARIES, media recovery
+    requires the log. *)
+
+val restore_media : t -> backup -> Ariesrh_recovery.Report.t
+(** Restore the archive image, roll it forward by replaying the log
+    from the backup point (redo conditioned on page LSNs), then run
+    normal restart recovery for the transactions in flight at the
+    failure. Raises [Invalid_argument] if the log was truncated past the
+    backup point (the records needed to roll forward are gone). *)
+
+val recover : t -> Ariesrh_recovery.Report.t
+(** Restart recovery per the configured implementation: [Rh] runs
+    ARIES/RH; [Eager] runs conventional ARIES (the log was physically
+    rewritten at delegation time); [Lazy] runs ARIES/RH plus the
+    physical rewrite it models. *)
+
+val recover_with_fuel :
+  t -> fuel:int -> [ `Done of Ariesrh_recovery.Report.t | `Interrupted ]
+(** Like {!recover} but (for [Rh] only) the backward pass dies after
+    [fuel] CLRs, as if the machine crashed mid-recovery. On
+    [`Interrupted], call {!crash} and recover again. *)
+
+val shutdown : t -> unit
+(** Clean stop: flush the log and all dirty pages. *)
+
+(** {1 Inspection (tests, figures, experiments)} *)
+
+val peek : t -> Oid.t -> int
+(** Current value of an object, bypassing transactions and locks. *)
+
+val peek_all : t -> int array
+(** Values of all objects in oid order. *)
+
+val stable_value : t -> Oid.t -> int
+(** Value on disk, ignoring the buffer pool — what a crash would leave
+    behind before recovery. *)
+
+val log_store : t -> Ariesrh_wal.Log_store.t
+
+val disk_stats : t -> Ariesrh_storage.Disk.stats
+
+val pool_counters : t -> int * int * int
+(** (hits, misses, evictions) of the buffer pool. *)
+
+val env : t -> Ariesrh_recovery.Env.t
+val place : t -> Oid.t -> Page_id.t * int
+val chain_of : t -> Xid.t -> Lsn.t list
+(** The live transaction's backward chain, head first. *)
+
+val scopes_of : t -> Xid.t -> Oid.t -> Ariesrh_txn.Scope.t list
+val active_count : t -> int
+val last_lsn_of : t -> Xid.t -> Lsn.t
+
+type history_event =
+  | Updated of { lsn : Lsn.t; invoker : Xid.t; op : Ariesrh_wal.Record.op }
+  | Delegated of {
+      lsn : Lsn.t;
+      from_ : Xid.t;
+      to_ : Xid.t;
+      op_lsn : Lsn.t option;  (** operation-granularity delegations *)
+    }
+  | Compensated of { lsn : Lsn.t; by : Xid.t; undone : Lsn.t }
+
+val object_history : t -> Oid.t -> history_event list
+(** Everything the log records about one object, oldest first: its
+    updates, the delegations that rewrote their responsibility, and the
+    compensations that undid them. The story ARIES/RH {e interprets}
+    instead of rewriting, made visible (also: the [history] subcommand
+    of the CLI). *)
+
+val responsible_now : t -> Oid.t -> (Xid.t * Xid.t) list
+(** Current (responsible transaction, invoker) pairs over the live
+    scopes on the object, across all active transactions. *)
+
+val validate : t -> (unit, string) result
+(** Structural self-check of the live engine state:
+    {ul
+    {- live scopes lie within the log and, per (invoker, object), never
+       overlap across Ob_Lists — the §3.5 remark's invariant;}
+    {- every lock is held by a live transaction, and incompatible modes
+       never coexist on one object;}
+    {- every live transaction's backward chain walks to its beginning
+       with strictly decreasing LSNs.}}
+    Used by the property suite after random workloads. *)

@@ -1,0 +1,17 @@
+open Ariesrh_types
+
+exception Conflict of { requester : Xid.t; holders : Xid.t list }
+exception No_such_txn of Xid.t
+exception Txn_not_active of Xid.t
+exception Not_responsible of { xid : Xid.t; oid : Oid.t }
+
+let pp_exn ppf = function
+  | Conflict { requester; holders } ->
+      Format.fprintf ppf "lock conflict: %a blocked by %a" Xid.pp requester
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Xid.pp)
+        holders
+  | No_such_txn x -> Format.fprintf ppf "no such transaction: %a" Xid.pp x
+  | Txn_not_active x -> Format.fprintf ppf "transaction not active: %a" Xid.pp x
+  | Not_responsible { xid; oid } ->
+      Format.fprintf ppf "%a is not responsible for %a" Xid.pp xid Oid.pp oid
+  | e -> Format.pp_print_string ppf (Printexc.to_string e)

@@ -1,0 +1,16 @@
+(** Engine exceptions. *)
+
+open Ariesrh_types
+
+exception Conflict of { requester : Xid.t; holders : Xid.t list }
+(** A lock request was denied. The caller may wait (see
+    {!Ariesrh_lock.Deadlock}) or abort. *)
+
+exception No_such_txn of Xid.t
+exception Txn_not_active of Xid.t
+
+exception Not_responsible of { xid : Xid.t; oid : Oid.t }
+(** The delegation precondition failed: the would-be delegator is not
+    responsible for any update on the object (§2.1.2). *)
+
+val pp_exn : Format.formatter -> exn -> unit

@@ -1,0 +1,1 @@
+lib/eos/eos_db.ml: Ariesrh_types Array Format List Oid Private_log Xid

@@ -1,0 +1,1 @@
+lib/eos/eos_db.mli: Ariesrh_types Oid Xid

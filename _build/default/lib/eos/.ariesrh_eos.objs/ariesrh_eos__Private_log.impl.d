@@ -1,0 +1,1 @@
+lib/eos/private_log.ml: Ariesrh_types Hashtbl List Oid Xid

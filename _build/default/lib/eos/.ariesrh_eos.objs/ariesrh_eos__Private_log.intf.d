@@ -1,0 +1,1 @@
+lib/eos/private_log.mli: Ariesrh_types Oid Xid

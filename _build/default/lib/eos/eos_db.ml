@@ -1,0 +1,132 @@
+open Ariesrh_types
+
+type global_entry = { xid : Xid.t; updates : (Oid.t * int) list }
+
+type report = { winners : Xid.Set.t; entries_replayed : int; updates_redone : int }
+
+type t = {
+  n_objects : int;
+  mutable db : int array;  (* volatile committed state *)
+  mutable global : global_entry list;  (* newest first; stable *)
+  mutable global_len : int;
+  mutable ckpt : (int array * int) option;
+      (* stable image + the global-log length it reflects *)
+  privates : Private_log.t Xid.Tbl.t;
+  mutable next_xid : int;
+}
+
+let create ~n_objects =
+  if n_objects <= 0 then invalid_arg "Eos_db.create: n_objects";
+  {
+    n_objects;
+    db = Array.make n_objects 0;
+    global = [];
+    global_len = 0;
+    ckpt = None;
+    privates = Xid.Tbl.create 16;
+    next_xid = 1;
+  }
+
+let n_objects t = t.n_objects
+
+let check_oid t oid =
+  if Oid.to_int oid >= t.n_objects then invalid_arg "Eos_db: oid out of range"
+
+let begin_txn t =
+  let xid = Xid.of_int t.next_xid in
+  t.next_xid <- t.next_xid + 1;
+  Xid.Tbl.replace t.privates xid (Private_log.create ());
+  xid
+
+let plog t xid =
+  match Xid.Tbl.find_opt t.privates xid with
+  | Some p -> p
+  | None -> invalid_arg (Format.asprintf "Eos_db: %a is not active" Xid.pp xid)
+
+let read t xid oid =
+  check_oid t oid;
+  match Private_log.value_of (plog t xid) oid with
+  | Some v -> v
+  | None -> t.db.(Oid.to_int oid)
+
+let write t xid oid v =
+  check_oid t oid;
+  Private_log.append (plog t xid) (Private_log.Write (oid, v))
+
+let responsible t xid oid =
+  Private_log.value_of (plog t xid) oid <> None
+
+let delegate t ~from_ ~to_ oid =
+  check_oid t oid;
+  let from_log = plog t from_ in
+  let to_log = plog t to_ in
+  match Private_log.value_of from_log oid with
+  | None ->
+      invalid_arg
+        (Format.asprintf "Eos_db.delegate: %a has no tentative state for %a"
+           Xid.pp from_ Oid.pp oid)
+  | Some image ->
+      Private_log.append to_log (Private_log.Received { from_; oid; image });
+      Private_log.filter_delegated from_log oid
+
+let commit t xid =
+  let p = plog t xid in
+  let updates = Private_log.effective p in
+  (* force-write the entry: EOS logs only commits, atomically *)
+  t.global <- { xid; updates } :: t.global;
+  t.global_len <- t.global_len + 1;
+  List.iter (fun (oid, v) -> t.db.(Oid.to_int oid) <- v) updates;
+  Xid.Tbl.remove t.privates xid
+
+let abort t xid =
+  ignore (plog t xid);
+  Xid.Tbl.remove t.privates xid
+
+let active_count t = Xid.Tbl.length t.privates
+
+let crash t =
+  Xid.Tbl.reset t.privates;
+  t.db <- Array.make t.n_objects 0
+(* committed state must be rebuilt from the global log *)
+
+let recover t =
+  let winners = ref Xid.Set.empty in
+  let redone = ref 0 in
+  let base_len =
+    match t.ckpt with
+    | Some (image, len) ->
+        t.db <- Array.copy image;
+        len
+    | None -> 0
+  in
+  let to_replay = t.global_len - base_len in
+  (* entries are newest-first: replay the suffix after the checkpoint *)
+  let suffix = List.filteri (fun i _ -> i < to_replay) t.global in
+  List.iter
+    (fun entry ->
+      winners := Xid.Set.add entry.xid !winners;
+      List.iter
+        (fun (oid, v) ->
+          incr redone;
+          t.db.(Oid.to_int oid) <- v)
+        entry.updates)
+    (List.rev suffix);
+  { winners = !winners; entries_replayed = to_replay; updates_redone = !redone }
+
+let checkpoint t = t.ckpt <- Some (Array.copy t.db, t.global_len)
+
+let truncate_global_log t =
+  match t.ckpt with
+  | None -> 0
+  | Some (_, len) ->
+      let live = t.global_len - len in
+      let reclaimed = List.length t.global - live in
+      t.global <- List.filteri (fun i _ -> i < live) t.global;
+      reclaimed
+
+let peek t oid =
+  check_oid t oid;
+  t.db.(Oid.to_int oid)
+
+let peek_all t = Array.copy t.db
+let global_log_length t = t.global_len

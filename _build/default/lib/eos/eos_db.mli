@@ -1,0 +1,64 @@
+(** The EOS-style NO-UNDO/REDO engine with delegation (§3.7).
+
+    No uncommitted update ever reaches the database: each transaction
+    works against its private log, and commit atomically installs the
+    transaction's effective updates and appends them to the global log
+    (force-flushed). Abort merely discards the private log. Restart
+    recovery is a single forward sweep of the global log — no undo pass
+    exists by construction.
+
+    Delegation transfers an object's tentative image into the
+    delegatee's private log and filters the delegator's entries, so the
+    delegated state survives the delegator's abort and dies with the
+    delegatee's. Operations are restricted to reads and writes, the case
+    for which the paper gives the image construction. *)
+
+open Ariesrh_types
+
+type t
+
+type report = { winners : Xid.Set.t; entries_replayed : int; updates_redone : int }
+
+val create : n_objects:int -> t
+val n_objects : t -> int
+
+val begin_txn : t -> Xid.t
+val read : t -> Xid.t -> Oid.t -> int
+(** The transaction's view: its tentative value for the object (own
+    write or received image), else the committed value. *)
+
+val write : t -> Xid.t -> Oid.t -> int -> unit
+val delegate : t -> from_:Xid.t -> to_:Xid.t -> Oid.t -> unit
+(** Raises [Invalid_argument] if the delegator has no tentative state
+    for the object (the delegation precondition). *)
+
+val responsible : t -> Xid.t -> Oid.t -> bool
+val commit : t -> Xid.t -> unit
+val abort : t -> Xid.t -> unit
+val active_count : t -> int
+
+val crash : t -> unit
+(** Private logs and the volatile database are lost; the global log
+    survives in full (every entry is force-written at commit). *)
+
+val recover : t -> report
+
+val peek : t -> Oid.t -> int
+(** Committed state. *)
+
+val peek_all : t -> int array
+val global_log_length : t -> int
+
+(** {1 Checkpointing}
+
+    EOS checkpoints are trivial compared to ARIES's: the committed state
+    is always consistent (no uncommitted data ever reaches it), so a
+    checkpoint is just a stable copy of the image plus the global-log
+    position it reflects. *)
+
+val checkpoint : t -> unit
+(** Snapshot the committed image to stable storage. *)
+
+val truncate_global_log : t -> int
+(** Drop the global-log prefix covered by the last checkpoint; returns
+    the number of entries reclaimed. 0 if never checkpointed. *)

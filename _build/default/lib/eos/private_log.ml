@@ -1,0 +1,46 @@
+open Ariesrh_types
+
+type entry =
+  | Write of Oid.t * int
+  | Received of { from_ : Xid.t; oid : Oid.t; image : int }
+
+type t = { mutable entries : entry list (* newest first *) }
+
+let create () = { entries = [] }
+let append t e = t.entries <- e :: t.entries
+let entries t = List.rev t.entries
+
+let oid_of = function Write (o, _) -> o | Received { oid; _ } -> oid
+let value_of_entry = function Write (_, v) -> v | Received { image; _ } -> image
+
+let value_of t oid =
+  let rec go = function
+    | [] -> None
+    | e :: rest -> if Oid.equal (oid_of e) oid then Some (value_of_entry e) else go rest
+  in
+  go t.entries
+
+let filter_delegated t oid =
+  t.entries <- List.filter (fun e -> not (Oid.equal (oid_of e) oid)) t.entries
+
+let effective t =
+  (* newest entry per object wins; report in first-touch order *)
+  let final = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let o = oid_of e in
+      if not (Hashtbl.mem final o) then Hashtbl.replace final o (value_of_entry e))
+    t.entries;
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc e ->
+      let o = oid_of e in
+      if Hashtbl.mem seen o then acc
+      else begin
+        Hashtbl.replace seen o ();
+        (o, Hashtbl.find final o) :: acc
+      end)
+    [] (List.rev t.entries)
+  |> List.rev
+
+let length t = List.length t.entries

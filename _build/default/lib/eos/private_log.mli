@@ -1,0 +1,37 @@
+(** A transaction's private log in the EOS-style NO-UNDO/REDO engine
+    (§3.7 of the paper).
+
+    Updates accumulate here and touch the database only at commit. A
+    delegation appends, on the delegatee's side, a record carrying the
+    {e image} of the object as the delegator saw it — the paper's
+    read/write-case construction, which frees the delegatee from ever
+    consulting the delegator's log again. On the delegator's side the
+    delegated updates are filtered out so they are not committed twice. *)
+
+open Ariesrh_types
+
+type entry =
+  | Write of Oid.t * int
+  | Received of { from_ : Xid.t; oid : Oid.t; image : int }
+
+type t
+
+val create : unit -> t
+val append : t -> entry -> unit
+val entries : t -> entry list
+(** Oldest first. *)
+
+val value_of : t -> Oid.t -> int option
+(** The value the owner currently sees for the object, if its private
+    log determines one (its own last write, or the last received image,
+    whichever is later). *)
+
+val filter_delegated : t -> Oid.t -> unit
+(** Drop the owner's entries for the object (both own writes and
+    previously received images): they have been delegated away. *)
+
+val effective : t -> (Oid.t * int) list
+(** Final value per object this log would install at commit, in first-
+    touch order. *)
+
+val length : t -> int

@@ -1,0 +1,1 @@
+lib/etm/asset.ml: Ariesrh_core Ariesrh_types Db Format List Xid

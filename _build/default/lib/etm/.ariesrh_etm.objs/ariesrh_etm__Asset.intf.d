@@ -1,0 +1,1 @@
+lib/etm/asset.mli: Ariesrh_core Ariesrh_types Db Oid Xid

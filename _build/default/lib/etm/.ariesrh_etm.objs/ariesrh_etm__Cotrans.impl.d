@@ -1,0 +1,1 @@
+lib/etm/cotrans.ml: Asset

@@ -1,0 +1,1 @@
+lib/etm/cotrans.mli: Ariesrh_types Asset Oid Xid

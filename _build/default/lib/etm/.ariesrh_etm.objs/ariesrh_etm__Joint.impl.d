@@ -1,0 +1,1 @@
+lib/etm/joint.ml: Asset List Printf

@@ -1,0 +1,1 @@
+lib/etm/joint.mli: Ariesrh_types Asset Xid

@@ -1,0 +1,1 @@
+lib/etm/nested.ml: Asset

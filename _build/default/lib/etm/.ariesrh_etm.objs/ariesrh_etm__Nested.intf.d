@@ -1,0 +1,1 @@
+lib/etm/nested.mli: Ariesrh_types Asset Oid Xid

@@ -1,0 +1,1 @@
+lib/etm/open_nested.ml: Asset List Printf

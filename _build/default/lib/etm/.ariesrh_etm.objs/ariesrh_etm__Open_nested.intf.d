@@ -1,0 +1,1 @@
+lib/etm/open_nested.mli: Ariesrh_types Asset Oid Xid

@@ -1,0 +1,1 @@
+lib/etm/reporting.ml: Ariesrh_core Asset Db List Printf

@@ -1,0 +1,1 @@
+lib/etm/reporting.mli: Ariesrh_types Asset Oid Xid

@@ -1,0 +1,1 @@
+lib/etm/split.ml: Asset List

@@ -1,0 +1,1 @@
+lib/etm/split.mli: Ariesrh_types Asset Oid

@@ -1,0 +1,144 @@
+open Ariesrh_types
+open Ariesrh_core
+
+type dep_kind = Commit_dep | Abort_dep
+
+exception Dependency_cycle
+exception Aborted of string
+
+type status = Live | Ran of bool | Committed | Aborted_st
+
+type handle = {
+  hxid : Xid.t;
+  hname : string;
+  body : (handle -> unit) option;
+  mutable status : status;
+}
+
+type t = {
+  db : Db.t;
+  mutable deps : (handle * dep_kind * handle) list;  (* dependent, kind, on *)
+}
+
+let create db = { db; deps = [] }
+let db t = t.db
+
+let initiate t ?name body =
+  let hxid = Db.begin_txn t.db in
+  let hname =
+    match name with Some n -> n | None -> Format.asprintf "%a" Xid.pp hxid
+  in
+  { hxid; hname; body = Some body; status = Live }
+
+let initiate_empty t ?name () =
+  let hxid = Db.begin_txn t.db in
+  let hname =
+    match name with Some n -> n | None -> Format.asprintf "%a" Xid.pp hxid
+  in
+  { hxid; hname; body = None; status = Live }
+
+let xid h = h.hxid
+let name h = h.hname
+
+let is_live t h =
+  ignore t;
+  h.status = Live || (match h.status with Ran _ -> true | _ -> false)
+
+let terminated h =
+  match h.status with Committed | Aborted_st -> true | Live | Ran _ -> false
+
+let rec abort t h =
+  if not (terminated h) then begin
+    h.status <- Aborted_st;
+    if Db.is_active t.db h.hxid then Db.abort t.db h.hxid;
+    (* cascade to abort-dependents *)
+    List.iter
+      (fun (dependent, kind, on) ->
+        if kind = Abort_dep && on == h && not (terminated dependent) then
+          abort t dependent)
+      t.deps
+  end
+
+let begin_run t h =
+  match h.body with
+  | None -> invalid_arg "Asset.begin_run: transaction has no body"
+  | Some body -> (
+      match body h with
+      | () ->
+          h.status <- Ran true;
+          true
+      | exception _ ->
+          h.status <- Ran false;
+          abort t h;
+          h.status <- Aborted_st;
+          false)
+
+let wait _t h =
+  match h.status with
+  | Ran ok -> ok
+  | Committed -> true
+  | Aborted_st -> false
+  | Live -> invalid_arg "Asset.wait: body was never run"
+
+let ensure_live h =
+  if terminated h then raise (Aborted (h.hname ^ " already terminated"))
+
+let read t h oid =
+  ensure_live h;
+  Db.read t.db h.hxid oid
+
+let write t h oid v =
+  ensure_live h;
+  Db.write t.db h.hxid oid v
+
+let add t h oid d =
+  ensure_live h;
+  Db.add t.db h.hxid oid d
+
+let delegate t ~from_ ~to_ oid =
+  ensure_live from_;
+  ensure_live to_;
+  Db.delegate t.db ~from_:from_.hxid ~to_:to_.hxid oid
+
+let delegate_all t ~from_ ~to_ =
+  ensure_live from_;
+  ensure_live to_;
+  Db.delegate_all t.db ~from_:from_.hxid ~to_:to_.hxid
+
+let permit t ~holder ~grantee =
+  Db.permit t.db ~holder:holder.hxid ~grantee:grantee.hxid
+
+let would_cycle t ~dependent ~on =
+  (* commit dependencies define a commit order; a cycle would deadlock *)
+  let rec reach src dst seen =
+    List.exists
+      (fun (d, kind, o) ->
+        kind = Commit_dep && d == src
+        && (o == dst || ((not (List.memq o seen)) && reach o dst (o :: seen))))
+      t.deps
+  in
+  on == dependent || reach on dependent []
+
+let form_dependency t ~kind ~dependent ~on =
+  if kind = Commit_dep && would_cycle t ~dependent ~on then
+    raise Dependency_cycle;
+  t.deps <- (dependent, kind, on) :: t.deps
+
+let commit t h =
+  ensure_live h;
+  let blocking =
+    List.filter
+      (fun (dependent, kind, on) ->
+        dependent == h && kind = Commit_dep && not (terminated on))
+      t.deps
+  in
+  (match blocking with
+  | [] -> ()
+  | (_, _, on) :: _ ->
+      abort t h;
+      raise
+        (Aborted
+           (Format.asprintf "%s: commit dependency on %s still pending" h.hname
+              on.hname)));
+  Db.commit t.db h.hxid;
+  h.status <- Committed

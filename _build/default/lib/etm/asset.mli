@@ -1,0 +1,69 @@
+(** The ASSET primitives (Biliris et al., SIGMOD '94) over the engine:
+    [initiate]/[begin]/[wait]/[commit]/[abort] plus the three extended
+    primitives — [delegate], [permit], and [form_dependency] — from which
+    §2.2 of the paper synthesizes extended transaction models.
+
+    Execution is synchronous: [begin_run] runs the transaction's body to
+    completion in the caller (the paper's code fragments always pair
+    [begin] with a [wait], which this collapses). A body signals failure
+    by raising; the runtime then aborts its transaction. *)
+
+open Ariesrh_types
+open Ariesrh_core
+
+type t
+type handle
+
+type dep_kind =
+  | Commit_dep
+      (** ordering: the dependent may commit only once the other side
+          has terminated (ACTA's commit dependency) *)
+  | Abort_dep
+      (** if the other side aborts, the dependent must abort too (ACTA's
+          abort dependency); aborts cascade eagerly *)
+
+exception Dependency_cycle
+exception Aborted of string
+(** Raised into a caller when a dependency forces an abort. *)
+
+val create : Db.t -> t
+val db : t -> Db.t
+
+val initiate : t -> ?name:string -> (handle -> unit) -> handle
+(** Create a transaction (begins it in the engine) with a body to run
+    later; the handle can immediately receive delegations — the split
+    transaction pattern delegates before [begin]. *)
+
+val initiate_empty : t -> ?name:string -> unit -> handle
+(** A transaction with no body, driven entirely through primitives. *)
+
+val begin_run : t -> handle -> bool
+(** Run the body. [false] if it raised (the transaction is then
+    aborted). Also the result later returned by {!wait}. *)
+
+val wait : t -> handle -> bool
+(** Completion status of a run body ([true] = ran to completion). *)
+
+val xid : handle -> Xid.t
+val name : handle -> string
+val is_live : t -> handle -> bool
+
+val read : t -> handle -> Oid.t -> int
+val write : t -> handle -> Oid.t -> int -> unit
+val add : t -> handle -> Oid.t -> int -> unit
+
+val delegate : t -> from_:handle -> to_:handle -> Oid.t -> unit
+val delegate_all : t -> from_:handle -> to_:handle -> unit
+val permit : t -> holder:handle -> grantee:handle -> unit
+
+val form_dependency : t -> kind:dep_kind -> dependent:handle -> on:handle -> unit
+(** Raises {!Dependency_cycle} if the new edge closes a commit-dependency
+    cycle. *)
+
+val commit : t -> handle -> unit
+(** Enforces commit dependencies: if a target is still live the runtime
+    cannot wait (execution is synchronous), so the transaction is
+    aborted and {!Aborted} raised. *)
+
+val abort : t -> handle -> unit
+(** Aborts, cascading to abort-dependents (transitively). *)

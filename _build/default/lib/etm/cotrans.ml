@@ -1,0 +1,35 @@
+type t = {
+  runtime : Asset.t;
+  a : Asset.handle;
+  b : Asset.handle;
+  mutable active_is_a : bool;
+}
+
+let start runtime =
+  {
+    runtime;
+    a = Asset.initiate_empty runtime ~name:"co-a" ();
+    b = Asset.initiate_empty runtime ~name:"co-b" ();
+    active_is_a = true;
+  }
+
+let active t = if t.active_is_a then t.a else t.b
+let idle t = if t.active_is_a then t.b else t.a
+let active_xid t = Asset.xid (active t)
+let idle_xid t = Asset.xid (idle t)
+
+let read t oid = Asset.read t.runtime (active t) oid
+let write t oid v = Asset.write t.runtime (active t) oid v
+let add t oid d = Asset.add t.runtime (active t) oid d
+
+let switch t =
+  Asset.delegate_all t.runtime ~from_:(active t) ~to_:(idle t);
+  t.active_is_a <- not t.active_is_a
+
+let commit t =
+  Asset.commit t.runtime (active t);
+  Asset.abort t.runtime (idle t)
+
+let abort t =
+  Asset.abort t.runtime (active t);
+  Asset.abort t.runtime (idle t)

@@ -1,0 +1,29 @@
+(** Co-transactions (Chrysanthis & Ramamritham): two cooperating
+    transactions that pass control — and, with it, responsibility for
+    the shared state — back and forth. At each hand-off the active side
+    delegates everything it is responsible for to the other, so whichever
+    side ultimately commits carries the whole joint computation, and a
+    mid-flight abort of the idle side costs nothing. *)
+
+open Ariesrh_types
+
+type t
+
+val start : Asset.t -> t
+val active_xid : t -> Xid.t
+val idle_xid : t -> Xid.t
+
+val read : t -> Oid.t -> int
+val write : t -> Oid.t -> int -> unit
+val add : t -> Oid.t -> int -> unit
+(** Operations run on the currently active side. *)
+
+val switch : t -> unit
+(** Hand control (and all responsibility) to the other side. *)
+
+val commit : t -> unit
+(** The active side commits (carrying all delegated work); the idle side
+    is closed with an abort, which by then is responsible for nothing. *)
+
+val abort : t -> unit
+(** Abort both sides: the whole cooperative computation is undone. *)

@@ -1,0 +1,50 @@
+type t = {
+  runtime : Asset.t;
+  anchor : Asset.handle;
+  mutable member_list : Asset.handle list;
+  mutable terminated : bool;
+}
+
+let create runtime =
+  {
+    runtime;
+    anchor = Asset.initiate_empty runtime ~name:"joint-anchor" ();
+    member_list = [];
+    terminated = false;
+  }
+
+let join t =
+  if t.terminated then invalid_arg "Joint.join: group already terminated";
+  let m =
+    Asset.initiate_empty t.runtime
+      ~name:(Printf.sprintf "joint-%d" (List.length t.member_list + 1))
+      ()
+  in
+  (* fail together: aborts cascade through the anchor in both directions *)
+  Asset.form_dependency t.runtime ~kind:Asset.Abort_dep ~dependent:m
+    ~on:t.anchor;
+  Asset.form_dependency t.runtime ~kind:Asset.Abort_dep ~dependent:t.anchor
+    ~on:m;
+  t.member_list <- m :: t.member_list;
+  m
+
+let members t = List.length t.member_list
+let anchor_xid t = Asset.xid t.anchor
+
+let commit t =
+  if t.terminated then invalid_arg "Joint.commit: group already terminated";
+  t.terminated <- true;
+  (* the whole unit's responsibility converges on the anchor, which
+     makes the single commit decision *)
+  List.iter
+    (fun m -> Asset.delegate_all t.runtime ~from_:m ~to_:t.anchor)
+    t.member_list;
+  Asset.commit t.runtime t.anchor;
+  List.iter (fun m -> Asset.commit t.runtime m) t.member_list
+
+let abort t =
+  if not t.terminated then begin
+    t.terminated <- true;
+    Asset.abort t.runtime t.anchor
+    (* members cascade via the dependency graph *)
+  end

@@ -1,0 +1,27 @@
+(** Joint transactions (Chrysanthis & Ramamritham) — §1 of the paper
+    lists them among the models delegation synthesizes: a set of
+    transactions working as one atomic unit. Members fail together
+    (mutual abort dependencies through a group anchor) and commit
+    together: at group commit every member delegates everything it is
+    responsible for to the anchor, which commits the joint work in one
+    decision. *)
+
+open Ariesrh_types
+
+type t
+
+val create : Asset.t -> t
+val join : t -> Asset.handle
+(** A new member transaction. Raises [Invalid_argument] after the group
+    terminated. *)
+
+val members : t -> int
+val anchor_xid : t -> Xid.t
+
+val commit : t -> unit
+(** Commit the whole unit: all members' responsibility flows to the
+    anchor and commits atomically with it. *)
+
+val abort : t -> unit
+(** Abort the whole unit (any member's failure can also cascade here
+    through the dependency graph). *)

@@ -1,0 +1,42 @@
+type t = { runtime : Asset.t; h : Asset.handle; parent : t option }
+
+let start runtime =
+  { runtime; h = Asset.initiate_empty runtime ~name:"root" (); parent = None }
+
+let handle t = t.h
+let xid t = Asset.xid t.h
+let read t oid = Asset.read t.runtime t.h oid
+let write t oid v = Asset.write t.runtime t.h oid v
+let add t oid d = Asset.add t.runtime t.h oid d
+
+let run_sub parent body =
+  let child_h =
+    Asset.initiate_empty parent.runtime ~name:(Asset.name parent.h ^ "/sub") ()
+  in
+  let child = { runtime = parent.runtime; h = child_h; parent = Some parent } in
+  (* a subtransaction may access objects held anywhere up its ancestor
+     chain without conflicting *)
+  let rec grant = function
+    | None -> ()
+    | Some ancestor ->
+        Asset.permit parent.runtime ~holder:ancestor.h ~grantee:child_h;
+        grant ancestor.parent
+  in
+  grant (Some parent);
+  match body child with
+  | () ->
+      (* inheritance: everything the child is responsible for passes to
+         the parent at child commit *)
+      Asset.delegate_all parent.runtime ~from_:child_h ~to_:parent.h;
+      Asset.commit parent.runtime child_h;
+      true
+  | exception _ ->
+      Asset.abort parent.runtime child_h;
+      false
+
+let commit_root t =
+  match t.parent with
+  | Some _ -> invalid_arg "Nested.commit_root: not a root transaction"
+  | None -> Asset.commit t.runtime t.h
+
+let abort t = Asset.abort t.runtime t.h

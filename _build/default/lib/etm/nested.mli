@@ -1,0 +1,32 @@
+(** Nested transactions (Moss '81), synthesized per §2.2.2: a committing
+    subtransaction delegates all its changes to its parent — the
+    "inheritance" of nested transactions is delegation at child commit —
+    while an aborting subtransaction discards them without dooming the
+    parent. Effects become permanent only at root commit. *)
+
+open Ariesrh_types
+
+type t
+(** A node in the transaction tree (root or subtransaction). *)
+
+val start : Asset.t -> t
+(** A new root (top-level) transaction. *)
+
+val handle : t -> Asset.handle
+val xid : t -> Xid.t
+
+val read : t -> Oid.t -> int
+val write : t -> Oid.t -> int -> unit
+val add : t -> Oid.t -> int -> unit
+
+val run_sub : t -> (t -> unit) -> bool
+(** [run_sub parent body] runs a subtransaction: it may access its
+    ancestors' objects without conflict (realized with [permit], as
+    ASSET prescribes). If [body] returns, the child's changes are
+    delegated to [parent] and the child commits — [true]. If [body]
+    raises, the child aborts alone — [false], and the parent continues. *)
+
+val commit_root : t -> unit
+(** Raises [Invalid_argument] on a subtransaction. *)
+
+val abort : t -> unit

@@ -1,0 +1,56 @@
+
+type t = {
+  runtime : Asset.t;
+  h : Asset.handle;
+  mutable comps : (Asset.handle -> unit) list;  (* newest first *)
+  mutable committed_subs : int;
+}
+
+let start runtime =
+  {
+    runtime;
+    h = Asset.initiate_empty runtime ~name:"open-root" ();
+    comps = [];
+    committed_subs = 0;
+  }
+
+let handle t = t.h
+let xid t = Asset.xid t.h
+let read t oid = Asset.read t.runtime t.h oid
+let write t oid v = Asset.write t.runtime t.h oid v
+let add t oid d = Asset.add t.runtime t.h oid d
+
+let run_sub t ~compensate body =
+  let sub =
+    Asset.initiate_empty t.runtime
+      ~name:(Printf.sprintf "open-sub-%d" (t.committed_subs + 1))
+      ()
+  in
+  match body sub with
+  | () ->
+      Asset.commit t.runtime sub;
+      t.comps <- compensate :: t.comps;
+      t.committed_subs <- t.committed_subs + 1;
+      true
+  | exception _ ->
+      Asset.abort t.runtime sub;
+      false
+
+let committed_subs t = t.committed_subs
+
+let commit t =
+  Asset.commit t.runtime t.h;
+  t.comps <- []
+
+let abort t =
+  Asset.abort t.runtime t.h;
+  (* semantic undo of the already-committed subtransactions, newest
+     first, each in its own top-level transaction *)
+  List.iter
+    (fun compensate ->
+      let c = Asset.initiate_empty t.runtime ~name:"compensation" () in
+      match compensate c with
+      | () -> Asset.commit t.runtime c
+      | exception _ -> Asset.abort t.runtime c)
+    t.comps;
+  t.comps <- []

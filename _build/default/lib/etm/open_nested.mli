@@ -1,0 +1,42 @@
+(** Open nested transactions: subtransactions whose results become
+    permanent (and visible) as soon as they commit — released early for
+    concurrency — with {e compensating actions} registered on the parent
+    to semantically undo them if the parent later aborts. One of the
+    models §1 of the paper lists as synthesizable from delegation: the
+    subtransaction delegates nothing up; it commits its own updates, and
+    the recovery coupling to the parent is replaced by compensation. *)
+
+open Ariesrh_types
+
+type t
+
+val start : Asset.t -> t
+val handle : t -> Asset.handle
+val xid : t -> Xid.t
+
+val read : t -> Oid.t -> int
+val write : t -> Oid.t -> int -> unit
+val add : t -> Oid.t -> int -> unit
+(** The parent's own (closed, normally recoverable) work. *)
+
+val run_sub :
+  t ->
+  compensate:(Asset.handle -> unit) ->
+  (Asset.handle -> unit) ->
+  bool
+(** [run_sub parent ~compensate body] runs [body] in a subtransaction.
+    On success the subtransaction {e commits immediately} — its effects
+    are durable and visible to everyone — and [compensate] is stacked on
+    the parent. On failure ([body] raises) the subtransaction aborts and
+    nothing is registered; returns whether it succeeded. *)
+
+val committed_subs : t -> int
+
+val commit : t -> unit
+(** Commit the parent; the compensation stack is discarded. *)
+
+val abort : t -> unit
+(** Abort the parent's own work, then run the compensations in reverse
+    order, each as its own committed transaction. A compensation that
+    raises is skipped (logged as impossible to apply) — compensation
+    must be designed to succeed. *)

@@ -1,0 +1,30 @@
+open Ariesrh_core
+
+type t = { runtime : Asset.t; h : Asset.handle; mutable reports : int }
+
+let start runtime =
+  { runtime; h = Asset.initiate_empty runtime ~name:"reporter" (); reports = 0 }
+
+let xid t = Asset.xid t.h
+let read t oid = Asset.read t.runtime t.h oid
+let write t oid v = Asset.write t.runtime t.h oid v
+let add t oid d = Asset.add t.runtime t.h oid d
+
+let report t =
+  let db = Asset.db t.runtime in
+  let objects = Db.responsible_objects db (Asset.xid t.h) in
+  let n = List.length objects in
+  if n > 0 then begin
+    t.reports <- t.reports + 1;
+    let sink =
+      Asset.initiate_empty t.runtime
+        ~name:(Printf.sprintf "report-%d" t.reports)
+        ()
+    in
+    Asset.delegate_all t.runtime ~from_:t.h ~to_:sink;
+    Asset.commit t.runtime sink
+  end;
+  n
+
+let finish t = Asset.commit t.runtime t.h
+let cancel t = Asset.abort t.runtime t.h

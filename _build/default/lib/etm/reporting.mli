@@ -1,0 +1,26 @@
+(** Reporting transactions (Chrysanthis & Ramamritham): a long-running
+    transaction that periodically {e reports} — makes its results so far
+    permanent and visible — by delegating its current objects to an
+    ephemeral transaction that immediately commits them. The reporter
+    keeps running and may later abort without taking back what it has
+    already reported. *)
+
+open Ariesrh_types
+
+type t
+
+val start : Asset.t -> t
+val xid : t -> Xid.t
+val read : t -> Oid.t -> int
+val write : t -> Oid.t -> int -> unit
+val add : t -> Oid.t -> int -> unit
+
+val report : t -> int
+(** Delegate every object currently in the reporter's Ob_List to a fresh
+    transaction and commit it. Returns how many objects were reported. *)
+
+val finish : t -> unit
+(** Final report and commit of the reporter itself. *)
+
+val cancel : t -> unit
+(** Abort the reporter. Already-reported results stay committed. *)

@@ -1,0 +1,8 @@
+let split t t1 ~objects =
+  let t2 = Asset.initiate_empty t ~name:(Asset.name t1 ^ "-split") () in
+  List.iter (fun ob -> Asset.delegate t ~from_:t1 ~to_:t2 ob) objects;
+  t2
+
+let join t ~from_ ~into =
+  Asset.delegate_all t ~from_ ~to_:into;
+  Asset.commit t from_

@@ -1,0 +1,19 @@
+(** Split/join transactions (Pu, Kaiser & Hutchinson, VLDB '88),
+    synthesized with [delegate] exactly as in §2.2.1 of the paper.
+
+    [split] carves a new transaction out of a running one, handing it
+    responsibility for a set of objects; the two then commit or abort
+    independently. [join] is the converse: one transaction delegates
+    everything it is responsible for to another and disappears. *)
+
+open Ariesrh_types
+
+val split : Asset.t -> Asset.handle -> objects:Oid.t list -> Asset.handle
+(** [split t t1 ~objects] initiates [t2], delegates each object (which
+    [t1] must be responsible for) and returns [t2]. Mirrors the paper's
+    [t2 = initiate(f); delegate(self(), t2, ob_set); begin(t2)]. *)
+
+val join : Asset.t -> from_:Asset.handle -> into:Asset.handle -> unit
+(** [join t ~from_ ~into] delegates {e all} of [from_]'s objects to
+    [into] and commits the now-empty [from_] (the paper's
+    [wait(t2); delegate(t2, t1)]). *)

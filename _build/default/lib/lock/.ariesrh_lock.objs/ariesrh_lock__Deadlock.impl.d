@@ -1,0 +1,1 @@
+lib/lock/deadlock.ml: Ariesrh_types List Xid

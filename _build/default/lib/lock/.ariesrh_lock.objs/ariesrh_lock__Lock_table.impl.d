@@ -1,0 +1,1 @@
+lib/lock/lock_table.ml: Ariesrh_types Mode Oid Xid

@@ -1,0 +1,1 @@
+lib/lock/lock_table.mli: Ariesrh_types Mode Oid Xid

@@ -1,0 +1,54 @@
+open Ariesrh_types
+
+type t = { edges : Xid.Set.t Xid.Tbl.t }
+
+let create () = { edges = Xid.Tbl.create 64 }
+
+let successors t x =
+  match Xid.Tbl.find_opt t.edges x with None -> Xid.Set.empty | Some s -> s
+
+let add_wait t ~waiter ~holder =
+  if not (Xid.equal waiter holder) then
+    Xid.Tbl.replace t.edges waiter (Xid.Set.add holder (successors t waiter))
+
+let clear_waits t x = Xid.Tbl.remove t.edges x
+
+let remove_txn t x =
+  Xid.Tbl.remove t.edges x;
+  Xid.Tbl.iter
+    (fun w s -> if Xid.Set.mem x s then Xid.Tbl.replace t.edges w (Xid.Set.remove x s))
+    (Xid.Tbl.copy t.edges)
+
+let reachable t ~src ~dst =
+  let visited = Xid.Tbl.create 16 in
+  let rec go x =
+    if Xid.equal x dst then true
+    else if Xid.Tbl.mem visited x then false
+    else begin
+      Xid.Tbl.replace visited x ();
+      Xid.Set.exists go (successors t x)
+    end
+  in
+  go src
+
+let would_cycle t ~waiter ~holder =
+  Xid.equal waiter holder || reachable t ~src:holder ~dst:waiter
+
+let cycle_through t x =
+  (* DFS looking for a path x -> ... -> x, returning it if found *)
+  let visited = Xid.Tbl.create 16 in
+  let rec go path node =
+    Xid.Set.fold
+      (fun succ acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if Xid.equal succ x then Some (List.rev path)
+            else if Xid.Tbl.mem visited succ then None
+            else begin
+              Xid.Tbl.replace visited succ ();
+              go (succ :: path) succ
+            end)
+      (successors t node) None
+  in
+  go [ x ] x

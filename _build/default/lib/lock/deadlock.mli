@@ -1,0 +1,26 @@
+(** Waits-for graph with cycle detection.
+
+    The engine is step-interleaved rather than threaded, so blocking is
+    represented explicitly: when a lock request conflicts, the driver
+    records the wait here and asks whether granting it would close a
+    cycle. *)
+
+open Ariesrh_types
+
+type t
+
+val create : unit -> t
+
+val add_wait : t -> waiter:Xid.t -> holder:Xid.t -> unit
+val clear_waits : t -> Xid.t -> unit
+(** Remove all edges out of a transaction (it stopped waiting). *)
+
+val remove_txn : t -> Xid.t -> unit
+(** Remove the transaction entirely (incoming and outgoing edges). *)
+
+val would_cycle : t -> waiter:Xid.t -> holder:Xid.t -> bool
+(** Would adding the edge create a cycle? *)
+
+val cycle_through : t -> Xid.t -> Xid.t list option
+(** A cycle containing the given transaction, if any: each participant
+    listed once, starting with the given transaction. *)

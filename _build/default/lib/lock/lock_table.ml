@@ -1,0 +1,102 @@
+open Ariesrh_types
+
+type outcome = Granted | Conflict of Xid.t list
+
+type t = {
+  by_object : Mode.t Xid.Map.t ref Oid.Tbl.t;
+  by_txn : Oid.Set.t Xid.Tbl.t;
+}
+
+let create () = { by_object = Oid.Tbl.create 256; by_txn = Xid.Tbl.create 64 }
+
+let entry t oid =
+  match Oid.Tbl.find_opt t.by_object oid with
+  | Some e -> e
+  | None ->
+      let e = ref Xid.Map.empty in
+      Oid.Tbl.replace t.by_object oid e;
+      e
+
+let note_txn t xid oid =
+  let cur =
+    match Xid.Tbl.find_opt t.by_txn xid with
+    | Some s -> s
+    | None -> Oid.Set.empty
+  in
+  Xid.Tbl.replace t.by_txn xid (Oid.Set.add oid cur)
+
+let acquire ?(permit = fun _ -> false) t xid oid mode =
+  let e = entry t oid in
+  let requested =
+    match Xid.Map.find_opt xid !e with
+    | Some held when Mode.covers held mode -> None  (* already sufficient *)
+    | Some held -> Some (Mode.sup held mode)
+    | None -> Some mode
+  in
+  match requested with
+  | None -> Granted
+  | Some want ->
+      let blockers =
+        Xid.Map.fold
+          (fun holder held acc ->
+            if Xid.equal holder xid then acc
+            else if Mode.compatible held want then acc
+            else if permit holder then acc
+            else holder :: acc)
+          !e []
+      in
+      if blockers = [] then begin
+        e := Xid.Map.add xid want !e;
+        note_txn t xid oid;
+        Granted
+      end
+      else Conflict blockers
+
+let held t xid oid =
+  match Oid.Tbl.find_opt t.by_object oid with
+  | None -> None
+  | Some e -> Xid.Map.find_opt xid !e
+
+let holders t oid =
+  match Oid.Tbl.find_opt t.by_object oid with
+  | None -> []
+  | Some e -> Xid.Map.bindings !e
+
+let release_all t xid =
+  (match Xid.Tbl.find_opt t.by_txn xid with
+  | None -> ()
+  | Some oids ->
+      Oid.Set.iter
+        (fun oid ->
+          match Oid.Tbl.find_opt t.by_object oid with
+          | None -> ()
+          | Some e ->
+              e := Xid.Map.remove xid !e;
+              if Xid.Map.is_empty !e then Oid.Tbl.remove t.by_object oid)
+        oids);
+  Xid.Tbl.remove t.by_txn xid
+
+let transfer t oid ~from_ ~to_ =
+  if not (Xid.equal from_ to_) then
+    match Oid.Tbl.find_opt t.by_object oid with
+    | None -> ()
+    | Some e -> (
+        match Xid.Map.find_opt from_ !e with
+        | None -> ()
+        | Some mode ->
+            let merged =
+              match Xid.Map.find_opt to_ !e with
+              | Some m -> Mode.sup m mode
+              | None -> mode
+            in
+            e := Xid.Map.add to_ merged (Xid.Map.remove from_ !e);
+            note_txn t to_ oid;
+            (match Xid.Tbl.find_opt t.by_txn from_ with
+            | Some s -> Xid.Tbl.replace t.by_txn from_ (Oid.Set.remove oid s)
+            | None -> ()))
+
+let iter t f =
+  Oid.Tbl.iter (fun oid e -> Xid.Map.iter (fun x m -> f oid x m) !e) t.by_object
+
+let locked_count t =
+  Oid.Tbl.fold (fun _ e acc -> acc + Xid.Map.cardinal !e) t.by_object 0

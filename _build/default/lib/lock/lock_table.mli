@@ -1,0 +1,39 @@
+(** Object-granularity lock table.
+
+    Requests are non-blocking: a conflicting request reports the holders
+    in the way, and the caller (the workload driver) decides whether to
+    wait (recording the edge in {!Deadlock}) or abort. [transfer] moves a
+    transaction's lock on an object to another transaction — delegation
+    must hand the delegatee the means to commit or roll back the
+    delegated updates. *)
+
+open Ariesrh_types
+
+type t
+
+type outcome =
+  | Granted
+  | Conflict of Xid.t list  (** transactions holding incompatible locks *)
+
+val create : unit -> t
+
+val acquire : ?permit:(Xid.t -> bool) -> t -> Xid.t -> Oid.t -> Mode.t -> outcome
+(** Re-acquisition upgrades when no other holder conflicts with the
+    upgraded mode. [permit holder] (default: always false) makes an
+    otherwise-incompatible holder non-blocking — the hook behind ASSET's
+    [permit] primitive. *)
+
+val held : t -> Xid.t -> Oid.t -> Mode.t option
+val holders : t -> Oid.t -> (Xid.t * Mode.t) list
+
+val release_all : t -> Xid.t -> unit
+
+val transfer : t -> Oid.t -> from_:Xid.t -> to_:Xid.t -> unit
+(** Moves [from_]'s lock on the object to [to_] (merging with any lock
+    [to_] already holds). No-op if [from_] holds nothing. *)
+
+val locked_count : t -> int
+(** Number of (transaction, object) lock entries, for tests. *)
+
+val iter : t -> (Oid.t -> Xid.t -> Mode.t -> unit) -> unit
+(** Visit every (object, holder, mode) entry (validation, debugging). *)

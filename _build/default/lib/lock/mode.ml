@@ -1,0 +1,27 @@
+type t = S | X | I
+
+let compatible held requested =
+  match (held, requested) with
+  | S, S -> true
+  | I, I -> true
+  | _, _ -> false
+
+let sup a b =
+  match (a, b) with
+  | S, S -> S
+  | I, I -> I
+  | _, _ -> X
+
+let covers held requested =
+  match (held, requested) with
+  | X, _ -> true
+  | S, S -> true
+  | I, I -> true
+  | _, _ -> false
+
+let equal a b = a = b
+
+let pp ppf = function
+  | S -> Format.pp_print_char ppf 'S'
+  | X -> Format.pp_print_char ppf 'X'
+  | I -> Format.pp_print_char ppf 'I'

@@ -1,0 +1,21 @@
+(** Lock modes.
+
+    [I] (increment) is compatible with itself: commuting [Add] updates by
+    different transactions may run concurrently on the same object, the
+    situation §2.1.2 of the paper uses to show one object appearing in
+    several Ob_Lists. *)
+
+type t = S  (** shared (read) *) | X  (** exclusive (set) *) | I  (** increment *)
+
+val compatible : t -> t -> bool
+(** [compatible held requested]. *)
+
+val sup : t -> t -> t
+(** Least mode covering both (used for upgrades). [sup S I = X]. *)
+
+val covers : t -> t -> bool
+(** [covers held requested]: a holder of [held] may perform actions
+    needing [requested]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

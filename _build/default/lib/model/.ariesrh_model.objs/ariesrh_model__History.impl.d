@@ -1,0 +1,1 @@
+lib/model/history.ml: Ariesrh_types Ariesrh_wal Format Hashtbl List Lsn Oid Option Xid

@@ -1,0 +1,1 @@
+lib/model/history.mli: Ariesrh_types Ariesrh_wal Lsn Oid Xid

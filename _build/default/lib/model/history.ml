@@ -1,0 +1,241 @@
+open Ariesrh_types
+module Record = Ariesrh_wal.Record
+module Log_store = Ariesrh_wal.Log_store
+
+type event =
+  | Began of Xid.t
+  | Updated of { lsn : Lsn.t; invoker : Xid.t; oid : Oid.t }
+  | Delegated of {
+      lsn : Lsn.t;
+      tor : Xid.t;
+      tee : Xid.t;
+      oid : Oid.t;
+      op : Lsn.t option;
+    }
+  | Compensated of { lsn : Lsn.t; by : Xid.t; oid : Oid.t; undone : Lsn.t }
+  | Committed of Xid.t
+  | Aborted of Xid.t
+  | Ended of Xid.t
+
+type t = event list
+
+let of_log log =
+  let events = ref [] in
+  Log_store.iter_forward log ~from:(Log_store.truncated_below log)
+    (fun lsn record ->
+      let w () = Record.writer_exn record in
+      match record.Record.body with
+      | Record.Begin -> events := Began (w ()) :: !events
+      | Record.Update u ->
+          events := Updated { lsn; invoker = w (); oid = u.oid } :: !events
+      | Record.Delegate { tee; oid; op; _ } ->
+          events :=
+            Delegated { lsn; tor = w (); tee; oid; op = Option.map fst op }
+            :: !events
+      | Record.Clr { upd; undone; _ } ->
+          events :=
+            Compensated { lsn; by = w (); oid = upd.oid; undone } :: !events
+      | Record.Commit -> events := Committed (w ()) :: !events
+      | Record.Abort -> events := Aborted (w ()) :: !events
+      | Record.End -> events := Ended (w ()) :: !events
+      | Record.Anchor | Record.Ckpt_begin | Record.Ckpt_end _ -> ());
+  List.rev !events
+
+let winners t =
+  List.fold_left
+    (fun acc -> function Committed x -> Xid.Set.add x acc | _ -> acc)
+    Xid.Set.empty t
+
+let losers t =
+  let begun =
+    List.fold_left
+      (fun acc -> function Began x -> Xid.Set.add x acc | _ -> acc)
+      Xid.Set.empty t
+  in
+  Xid.Set.diff begun (winners t)
+
+(* Replay responsibility and delegation chains in one pass. Per update:
+   the current responsible transaction and the chain so far. Compensated
+   updates are dead and stop participating in delegation transfers. *)
+type upd_state = {
+  u_oid : Oid.t;
+  mutable resp : Xid.t;
+  mutable chain : Xid.t list;  (* reverse: most recent first *)
+  mutable dead : bool;
+}
+
+let replay t =
+  let updates : (int, upd_state) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Updated { lsn; invoker; oid } ->
+          Hashtbl.replace updates (Lsn.to_int lsn)
+            { u_oid = oid; resp = invoker; chain = [ invoker ]; dead = false }
+      | Delegated { tor; tee; oid; op; _ } -> (
+          match op with
+          | Some op_lsn -> (
+              match Hashtbl.find_opt updates (Lsn.to_int op_lsn) with
+              | Some u when (not u.dead) && Xid.equal u.resp tor ->
+                  u.resp <- tee;
+                  u.chain <- tee :: u.chain
+              | _ -> ())
+          | None ->
+              Hashtbl.iter
+                (fun _ u ->
+                  if (not u.dead) && Oid.equal u.u_oid oid && Xid.equal u.resp tor
+                  then begin
+                    u.resp <- tee;
+                    u.chain <- tee :: u.chain
+                  end)
+                updates)
+      | Compensated { undone; _ } -> (
+          match Hashtbl.find_opt updates (Lsn.to_int undone) with
+          | Some u -> u.dead <- true
+          | None -> ())
+      | Began _ | Committed _ | Aborted _ | Ended _ -> ())
+    t;
+  updates
+
+let responsible t =
+  Hashtbl.fold
+    (fun lsn u acc -> (Lsn.of_int lsn, u.resp) :: acc)
+    (replay t) []
+  |> List.sort (fun (a, _) (b, _) -> Lsn.compare a b)
+
+let delegation_chain t lsn =
+  match Hashtbl.find_opt (replay t) (Lsn.to_int lsn) with
+  | None -> []
+  | Some u -> List.rev u.chain
+
+(* --- §2.1.2 well-formedness --- *)
+
+type txn_status = Live | Done
+
+let check_well_formed t =
+  let status : txn_status Xid.Tbl.t = Xid.Tbl.create 16 in
+  let decided : Xid.Set.t ref = ref Xid.Set.empty in
+  (* membership(x): objects x currently "has" — invoked or received and
+     not delegated away since (the engine's Ob_List membership) *)
+  let membership : Oid.Set.t Xid.Tbl.t = Xid.Tbl.create 16 in
+  let member x =
+    Option.value ~default:Oid.Set.empty (Xid.Tbl.find_opt membership x)
+  in
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let rec go = function
+    | [] -> Ok ()
+    | ev :: rest -> (
+        match ev with
+        | Began x ->
+            if Xid.Tbl.mem status x then err "%a began twice" Xid.pp x
+            else begin
+              Xid.Tbl.replace status x Live;
+              go rest
+            end
+        | Updated { invoker; oid; _ } ->
+            if Xid.Tbl.find_opt status invoker <> Some Live then
+              err "update by non-live %a" Xid.pp invoker
+            else begin
+              Xid.Tbl.replace membership invoker (Oid.Set.add oid (member invoker));
+              go rest
+            end
+        | Delegated { tor; tee; oid; op; lsn } ->
+            if Xid.equal tor tee then
+              err "delegation to self at %a" Lsn.pp lsn
+            else if Xid.Tbl.find_opt status tor <> Some Live then
+              err "delegator %a not live at %a" Xid.pp tor Lsn.pp lsn
+            else if Xid.Tbl.find_opt status tee <> Some Live then
+              err "delegatee %a not live at %a" Xid.pp tee Lsn.pp lsn
+            else if not (Oid.Set.mem oid (member tor)) then
+              err "delegator %a not responsible for %a at %a (precondition)"
+                Xid.pp tor Oid.pp oid Lsn.pp lsn
+            else begin
+              (match op with
+              | Some _ ->
+                  (* operation granularity: the object stays with both *)
+                  Xid.Tbl.replace membership tee (Oid.Set.add oid (member tee))
+              | None ->
+                  Xid.Tbl.replace membership tor (Oid.Set.remove oid (member tor));
+                  Xid.Tbl.replace membership tee (Oid.Set.add oid (member tee)));
+              go rest
+            end
+        | Compensated { by; _ } ->
+            if Xid.Tbl.find_opt status by <> Some Live then
+              err "compensation by non-live %a" Xid.pp by
+            else go rest
+        | Committed x | Aborted x ->
+            if Xid.Tbl.find_opt status x <> Some Live then
+              err "decision by non-live %a" Xid.pp x
+            else if Xid.Set.mem x !decided then
+              err "%a decided twice" Xid.pp x
+            else begin
+              decided := Xid.Set.add x !decided;
+              go rest
+            end
+        | Ended x ->
+            if Xid.Tbl.find_opt status x <> Some Live then
+              err "end of non-live %a" Xid.pp x
+            else begin
+              Xid.Tbl.replace status x Done;
+              go rest
+            end)
+  in
+  go t
+
+(* --- §4.1 undo/redo on a post-recovery history --- *)
+
+let check_recovery t =
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let winners = winners t in
+  let losers = losers t in
+  let updates = replay t in
+  (* compensation map: undone lsn -> position(s) in the history *)
+  let comp_positions : (int, int list) Hashtbl.t = Hashtbl.create 32 in
+  let commit_pos : int Xid.Tbl.t = Xid.Tbl.create 16 in
+  let ended : Xid.Set.t ref = ref Xid.Set.empty in
+  List.iteri
+    (fun i ev ->
+      match ev with
+      | Compensated { undone; _ } ->
+          let k = Lsn.to_int undone in
+          Hashtbl.replace comp_positions k
+            (i :: Option.value ~default:[] (Hashtbl.find_opt comp_positions k))
+      | Committed x -> Xid.Tbl.replace commit_pos x i
+      | Ended x -> ended := Xid.Set.add x !ended
+      | _ -> ())
+    t;
+  let problem = ref None in
+  let fail fmt = Format.kasprintf (fun m -> problem := Some m) fmt in
+  (* no over-undo, and compensations hit real updates on the same object *)
+  Hashtbl.iter
+    (fun k positions ->
+      if List.length positions > 1 then
+        fail "update at LSN %d compensated %d times" k (List.length positions);
+      match Hashtbl.find_opt updates k with
+      | None -> fail "compensation for a non-update at LSN %d" k
+      | Some _ -> ())
+    comp_positions;
+  (* undo / redo *)
+  Hashtbl.iter
+    (fun k (u : upd_state) ->
+      let compensated = Hashtbl.mem comp_positions k in
+      if Xid.Set.mem u.resp losers && not compensated then
+        fail "loser-responsible update at LSN %d (resp %a) never undone" k
+          Xid.pp u.resp;
+      if Xid.Set.mem u.resp winners && compensated then
+        let cpos = List.hd (Hashtbl.find comp_positions k) in
+        match Xid.Tbl.find_opt commit_pos u.resp with
+        | Some cp when cpos > cp ->
+            fail
+              "winner-responsible update at LSN %d compensated after the \
+               winner committed"
+              k
+        | _ -> ())
+    updates;
+  (* recovery finished every loser *)
+  Xid.Set.iter
+    (fun x ->
+      if not (Xid.Set.mem x !ended) then
+        fail "loser %a has no end record after recovery" Xid.pp x)
+    losers;
+  match !problem with None -> Ok () | Some m -> err "%s" m

@@ -1,0 +1,68 @@
+(** An executable rendering of the paper's formal framework: the history
+    H as a sequence of events (§2.1.1), the ResponsibleTr function, the
+    delegation preconditions (§2.1.2), and the §4.1 undo/redo correctness
+    properties — checked directly {e on a log}, independently of the
+    engine's own data structures and of the value-level oracle.
+
+    The checker applies to ARIES/RH logs (delegate records present, no
+    physical rewriting); an eager-rewritten log encodes its history in
+    the record attributions instead, which is precisely why the paper
+    calls that design "hard to prove correct". *)
+
+open Ariesrh_types
+
+type event =
+  | Began of Xid.t
+  | Updated of { lsn : Lsn.t; invoker : Xid.t; oid : Oid.t }
+  | Delegated of {
+      lsn : Lsn.t;
+      tor : Xid.t;
+      tee : Xid.t;
+      oid : Oid.t;
+      op : Lsn.t option;
+    }
+  | Compensated of { lsn : Lsn.t; by : Xid.t; oid : Oid.t; undone : Lsn.t }
+  | Committed of Xid.t
+  | Aborted of Xid.t
+  | Ended of Xid.t
+
+type t = event list
+(** In LSN (= temporal) order. *)
+
+val of_log : Ariesrh_wal.Log_store.t -> t
+(** Extract the history from a log (checkpoint records are not events). *)
+
+val winners : t -> Xid.Set.t
+val losers : t -> Xid.Set.t
+(** Began but never committed (§4.1's definitions). *)
+
+val responsible : t -> (Lsn.t * Xid.t) list
+(** ResponsibleTr at the end of the history, per update: the invoker,
+    rewritten by each delegation in order (object-granularity
+    delegations move every update on the object the delegator is
+    responsible for; operation-granularity ones move the single
+    operation). *)
+
+val delegation_chain : t -> Lsn.t -> Xid.t list
+(** The §4.1 delegation chain for one update: invoker first, then each
+    successive delegatee. *)
+
+val check_well_formed : t -> (unit, string) result
+(** §2.1.2 preconditions on every delegate event: delegator and
+    delegatee initiated and not terminated, delegator distinct from
+    delegatee, and the delegator responsible for what it delegates
+    (object membership: it invoked or received something on the object
+    and has not delegated it away since). Also structural sanity: at
+    most one commit/abort per transaction and nothing after its end. *)
+
+val check_recovery : t -> (unit, string) result
+(** The §4.1 obligations on a post-recovery history:
+    {ul
+    {- {b undo}: every update whose responsible transaction is a loser
+       is compensated exactly once;}
+    {- {b no over-undo}: no update is compensated twice, and every
+       compensation names an existing update on the same object;}
+    {- {b redo}: an update whose responsible transaction is a winner is
+       never compensated after that winner's commit (compensations
+       before it are partial rollbacks the transaction itself chose);}
+    {- every loser reaches its End record (recovery finished the job).}} *)

@@ -1,0 +1,1 @@
+lib/recovery/apply.ml: Ariesrh_storage Ariesrh_wal Env Record

@@ -1,0 +1,1 @@
+lib/recovery/apply.mli: Ariesrh_storage Ariesrh_types Ariesrh_wal Env Lsn Record

@@ -1,0 +1,1 @@
+lib/recovery/aries.ml: Apply Ariesrh_txn Ariesrh_types Ariesrh_util Ariesrh_wal Env Forward Hashtbl List Log_stats Log_store Lsn Record Report Txn_table Xid

@@ -1,0 +1,1 @@
+lib/recovery/aries.mli: Env Forward Report

@@ -1,0 +1,1 @@
+lib/recovery/aries_rh.ml: Ariesrh_txn Ariesrh_types Ariesrh_wal Env Forward List Log_stats Log_store Lsn Ob_list Record Report Scope_sweep Trace Txn_table Xid

@@ -1,0 +1,1 @@
+lib/recovery/aries_rh.mli: Env Forward Report

@@ -1,0 +1,1 @@
+lib/recovery/env.ml: Ariesrh_storage Ariesrh_types Ariesrh_wal Oid Page_id

@@ -1,0 +1,1 @@
+lib/recovery/env.mli: Ariesrh_storage Ariesrh_types Ariesrh_wal Oid Page_id

@@ -1,0 +1,1 @@
+lib/recovery/forward.ml: Apply Ariesrh_txn Ariesrh_types Ariesrh_wal Env List Log_store Lsn Ob_list Page_id Record Scope Txn_table Xid

@@ -1,0 +1,1 @@
+lib/recovery/forward.mli: Ariesrh_txn Ariesrh_types Env Txn_table Xid

@@ -1,0 +1,1 @@
+lib/recovery/report.mli: Ariesrh_types Ariesrh_wal Format Xid

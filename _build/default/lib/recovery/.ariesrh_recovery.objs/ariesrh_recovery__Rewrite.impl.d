@@ -1,0 +1,1 @@
+lib/recovery/rewrite.ml: Ariesrh_txn Ariesrh_types Ariesrh_wal Env Hashtbl Log_store Lsn Oid Record Txn_table Xid

@@ -1,0 +1,1 @@
+lib/recovery/rewrite.mli: Ariesrh_txn Ariesrh_types Env Lsn Oid Txn_table Xid

@@ -1,0 +1,1 @@
+lib/recovery/scope_sweep.ml: Apply Ariesrh_txn Ariesrh_types Ariesrh_util Ariesrh_wal Env List Log_store Lsn Record Xid

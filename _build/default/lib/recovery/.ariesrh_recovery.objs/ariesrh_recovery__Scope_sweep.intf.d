@@ -1,0 +1,1 @@
+lib/recovery/scope_sweep.mli: Ariesrh_txn Ariesrh_types Ariesrh_wal Env Lsn Record Xid

@@ -1,0 +1,1 @@
+lib/recovery/trace.ml: Logs

@@ -1,0 +1,20 @@
+open Ariesrh_wal
+
+let inverse = function
+  | Record.Set { before; after } -> Record.Set { before = after; after = before }
+  | Record.Add d -> Record.Add (-d)
+
+let run_op page ~slot = function
+  | Record.Set { after; _ } -> Ariesrh_storage.Page.set page slot after
+  | Record.Add d ->
+      Ariesrh_storage.Page.set page slot (Ariesrh_storage.Page.get page slot + d)
+
+let redo (env : Env.t) lsn (u : Record.update) =
+  let _page_id, slot = env.place u.oid in
+  Ariesrh_storage.Buffer_pool.apply_if_newer env.pool u.page ~lsn (fun page ->
+      run_op page ~slot u.op)
+
+let force (env : Env.t) lsn (u : Record.update) =
+  let _page_id, slot = env.place u.oid in
+  Ariesrh_storage.Buffer_pool.apply env.pool u.page ~lsn (fun page ->
+      run_op page ~slot u.op)

@@ -1,0 +1,20 @@
+(** Applying logged operations to pages: redo, and inversion for undo. *)
+
+open Ariesrh_types
+open Ariesrh_wal
+
+val inverse : Record.op -> Record.op
+(** [inverse (Set {before; after}) = Set {before = after; after = before}];
+    [inverse (Add d) = Add (-d)]. The inverse is itself redoable. *)
+
+val run_op : Ariesrh_storage.Page.t -> slot:int -> Record.op -> unit
+(** Apply the operation to the slot ([Set] writes [after]). *)
+
+val redo : Env.t -> Lsn.t -> Record.update -> bool
+(** ARIES redo step: apply iff the page LSN is older than the record's
+    LSN; returns whether it applied. *)
+
+val force : Env.t -> Lsn.t -> Record.update -> unit
+(** Apply unconditionally, stamping the page with the given LSN (used
+    during normal processing and for undo, where the applied LSN is the
+    CLR's). *)

@@ -1,0 +1,105 @@
+open Ariesrh_types
+open Ariesrh_wal
+open Ariesrh_txn
+module Heap = Ariesrh_util.Heap
+
+let recover ?(passes = Forward.Merged) (env : Env.t) =
+  let io_before = Log_stats.copy (Log_store.stats env.log) in
+  let fwd = Forward.run ~passes env ~mode:Forward.Conventional in
+  let tt = fwd.tt in
+  let losers = Forward.losers fwd in
+  let loser_set =
+    List.fold_left (fun s i -> Xid.Set.add i.Txn_table.xid s) Xid.Set.empty losers
+  in
+  let examined = ref 0 in
+  let undos = ref 0 in
+  (* compensated update LSNs, collected from CLRs on the way down; the
+     walk never dereferences undo_next (see Db.rollback_chain) *)
+  let compensated = Hashtbl.create 32 in
+  (* outstanding (next lsn to examine, transaction) pairs, largest first.
+     The walk starts at each loser's chain head, not its undo_next: eager
+     history rewriting can attach records to a chain below the analysis
+     window (even below the transaction's own begin record), and only the
+     chain itself is authoritative. CLRs on the way still short-circuit
+     through their undo_next. *)
+  let heap = Heap.create ~leq:(fun (a, _) (b, _) -> Lsn.(a <= b)) in
+  List.iter
+    (fun (info : Txn_table.info) ->
+      if not (Lsn.is_nil info.last_lsn) then Heap.push heap (info.last_lsn, info))
+    losers;
+  let rec undo_loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (lsn, info) ->
+        incr examined;
+        let record = Log_store.read env.log lsn in
+        let next =
+          match record.Record.body with
+          | Record.Update u when not (Hashtbl.mem compensated (Lsn.to_int lsn))
+            ->
+              let inv = { u with op = Apply.inverse u.op } in
+              let clr =
+                Record.mk info.xid ~prev:info.last_lsn
+                  (Record.Clr
+                     {
+                       upd = inv;
+                       undone = lsn;
+                       invoker = info.xid;
+                       undo_next = record.Record.prev;
+                     })
+              in
+              let clr_lsn = Log_store.append env.log clr in
+              info.last_lsn <- clr_lsn;
+              info.undo_next <- record.Record.prev;
+              Apply.force env clr_lsn inv;
+              incr undos;
+              record.Record.prev
+          | Record.Update _ -> record.Record.prev
+          | Record.Clr { undone; _ } ->
+              Hashtbl.replace compensated (Lsn.to_int undone) ();
+              record.Record.prev
+          | Record.Abort | Record.Anchor -> record.Record.prev
+          (* begin usually terminates the chain, but eager surgery may
+             have spliced delegated-in records below it *)
+          | Record.Begin -> record.Record.prev
+          | Record.Commit | Record.End ->
+              failwith "ARIES undo: commit/end on a loser chain"
+          | Record.Delegate _ ->
+              failwith "ARIES (conventional): delegate record in the log"
+          | Record.Ckpt_begin | Record.Ckpt_end _ ->
+              failwith "ARIES undo: checkpoint record on a transaction chain"
+        in
+        if not (Lsn.is_nil next) then Heap.push heap (next, info);
+        undo_loop ()
+  in
+  undo_loop ();
+  let infos = Txn_table.fold tt ~init:[] ~f:(fun acc i -> i :: acc) in
+  List.iter
+    (fun (info : Txn_table.info) ->
+      let append body =
+        let lsn =
+          Log_store.append env.log (Record.mk info.xid ~prev:info.last_lsn body)
+        in
+        info.last_lsn <- lsn
+      in
+      (match info.status with
+      | Txn_table.Committed -> append Record.End
+      | Txn_table.Active ->
+          append Record.Abort;
+          append Record.End
+      | Txn_table.Rolling_back -> append Record.End);
+      Txn_table.remove tt info.xid)
+    infos;
+  Log_store.flush env.log ~upto:(Log_store.head env.log);
+  let io_after = Log_store.stats env.log in
+  {
+    Report.winners = fwd.winners;
+    losers = loser_set;
+    forward_records = fwd.forward_records;
+    redo_applied = fwd.redo_applied;
+    backward_examined = !examined;
+    backward_skipped = 0;
+    clusters = 0;
+    undos = !undos;
+    log_io = Log_stats.diff io_after io_before;
+  }

@@ -1,0 +1,7 @@
+(** Conventional ARIES restart recovery (§3.3): forward pass, then undo
+    by following each loser's backward chain in globally decreasing LSN
+    order. Supports logs {e without} delegate records only; ARIES/RH
+    reduces to this when delegation is unused, which test suites verify. *)
+
+val recover : ?passes:Forward.passes -> Env.t -> Report.t
+(** Raises [Failure] if the log contains a delegate record. *)

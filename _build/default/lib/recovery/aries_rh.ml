@@ -1,0 +1,104 @@
+open Ariesrh_types
+open Ariesrh_wal
+open Ariesrh_txn
+
+let append_on_chain env (info : Txn_table.info) body =
+  let record = Record.mk info.xid ~prev:info.last_lsn body in
+  let lsn = Log_store.append env.Env.log record in
+  info.last_lsn <- lsn;
+  lsn
+
+let finish_losers env tt =
+  let infos = Txn_table.fold tt ~init:[] ~f:(fun acc info -> info :: acc) in
+  List.iter
+    (fun (info : Txn_table.info) ->
+      (match info.status with
+      | Txn_table.Committed -> ignore (append_on_chain env info Record.End)
+      | Txn_table.Active ->
+          ignore (append_on_chain env info Record.Abort);
+          ignore (append_on_chain env info Record.End)
+      | Txn_table.Rolling_back -> ignore (append_on_chain env info Record.End));
+      Txn_table.remove tt info.xid)
+    infos
+
+exception Interrupted
+
+let recover_gen ?(naive_sweep = false) ?(passes = Forward.Merged) ~physical
+    ?fuel (env : Env.t) =
+  let io_before = Log_stats.copy (Log_store.stats env.log) in
+  Trace.Log.debug (fun m ->
+      m "restart: forward pass from master=%a head=%a" Lsn.pp
+        (Log_store.master env.log) Lsn.pp (Log_store.head env.log));
+  let fwd = Forward.run ~passes env ~mode:Forward.Rh in
+  let tt = fwd.tt in
+  let losers = Forward.losers fwd in
+  Trace.Log.debug (fun m ->
+      m "analysis done: %d records, %d redone, %d winners, %d losers"
+        fwd.forward_records fwd.redo_applied
+        (Xid.Set.cardinal fwd.winners)
+        (List.length losers));
+  let loser_set =
+    List.fold_left (fun s i -> Xid.Set.add i.Txn_table.xid s) Xid.Set.empty losers
+  in
+  let scopes =
+    List.concat_map
+      (fun (info : Txn_table.info) ->
+        List.map (fun s -> (info.xid, s)) (Ob_list.all_scopes info.ob_list))
+      losers
+  in
+  let undos_done = ref 0 in
+  let on_undo ~owner ~invoker ~undone ~undo_next upd =
+    (match fuel with
+    | Some n when !undos_done >= n ->
+        (* simulate a crash in the middle of the backward pass: the CLRs
+           written so far are made durable, then the machine dies *)
+        Log_store.flush env.log ~upto:(Log_store.head env.log);
+        raise Interrupted
+    | _ -> ());
+    incr undos_done;
+    if physical && not (Xid.equal owner invoker) then begin
+      (* the rewrite the lazy algorithm would do: attribute the record to
+         its responsible transaction, and patch the chain pointer of the
+         record the old chain linked to *)
+      let original = Log_store.read env.log undone in
+      Log_store.rewrite env.log undone (Record.set_writer original owner);
+      if not (Lsn.is_nil original.Record.prev) then begin
+        let neighbour = Log_store.read env.log original.Record.prev in
+        Log_store.rewrite env.log original.Record.prev neighbour
+      end
+    end;
+    let info = Txn_table.find_exn tt owner in
+    let lsn =
+      append_on_chain env info
+        (Record.Clr { upd; undone; invoker; undo_next })
+    in
+    info.undo_next <- undo_next;
+    lsn
+  in
+  let sweep =
+    if naive_sweep then Scope_sweep.sweep_naive env ~scopes ~on_undo
+    else Scope_sweep.sweep env ~scopes ~on_undo
+  in
+  Trace.Log.debug (fun m ->
+      m
+        "backward pass done: %d clusters, %d examined, %d skipped, %d          undone"
+        sweep.Scope_sweep.clusters sweep.Scope_sweep.examined
+        sweep.Scope_sweep.skipped sweep.Scope_sweep.undone);
+  finish_losers env tt;
+  Log_store.flush env.log ~upto:(Log_store.head env.log);
+  let io_after = Log_store.stats env.log in
+  {
+    Report.winners = fwd.winners;
+    losers = loser_set;
+    forward_records = fwd.forward_records;
+    redo_applied = fwd.redo_applied;
+    backward_examined = sweep.Scope_sweep.examined;
+    backward_skipped = sweep.Scope_sweep.skipped;
+    clusters = sweep.Scope_sweep.clusters;
+    undos = sweep.Scope_sweep.undone;
+    log_io = Log_stats.diff io_after io_before;
+  }
+
+let recover ?passes ?fuel env = recover_gen ?passes ~physical:false ?fuel env
+let recover_naive_sweep env = recover_gen ~naive_sweep:true ~physical:false env
+let recover_physical env = recover_gen ~physical:true env

@@ -1,0 +1,35 @@
+(** ARIES/RH restart recovery (§3.6): forward pass rebuilding scopes,
+    then the cluster-based backward pass undoing exactly the updates that
+    were ultimately delegated to loser transactions. The log is never
+    rewritten; history is {e interpreted} according to the logged
+    delegations. *)
+
+exception Interrupted
+(** Raised by {!recover} when its [fuel] runs out. *)
+
+val recover : ?passes:Forward.passes -> ?fuel:int -> Env.t -> Report.t
+(** Run full restart recovery and terminate every loser (CLRs,
+    abort/end records, flushed). Afterwards the system state reflects
+    every winner update and no loser update, per the paper's undo/redo
+    properties (§4.1).
+
+    [passes] selects the forward-pass organisation (default
+    {!Forward.Merged}).
+
+    [fuel] is a fault-injection hook: after that many CLRs the backward
+    pass stops and {!Interrupted} is raised with the log flushed — the
+    observable state of a crash in the middle of recovery. Tests use it
+    to verify that re-running recovery from scratch is idempotent. *)
+
+val recover_naive_sweep : Env.t -> Report.t
+(** Ablation: same recovery decisions, but the backward pass scans every
+    record between the newest and oldest loser scope instead of jumping
+    between clusters ({!Scope_sweep.sweep_naive}). *)
+
+val recover_physical : Env.t -> Report.t
+(** The "lazy rewriting" baseline of §3.2: identical decisions, but the
+    backward pass additionally performs the physical history rewrite it
+    implies — attributing each delegated loser update to its responsible
+    transaction in place, plus the matching backward-chain pointer patch
+    — so the log I/O cost of actually rewriting history during recovery
+    can be measured. *)

@@ -1,0 +1,9 @@
+open Ariesrh_types
+
+type t = {
+  log : Ariesrh_wal.Log_store.t;
+  pool : Ariesrh_storage.Buffer_pool.t;
+  place : Oid.t -> Page_id.t * int;
+}
+
+let make ~log ~pool ~place = { log; pool; place }

@@ -1,0 +1,15 @@
+(** The pieces of the database that recovery algorithms operate on. *)
+
+open Ariesrh_types
+
+type t = {
+  log : Ariesrh_wal.Log_store.t;
+  pool : Ariesrh_storage.Buffer_pool.t;
+  place : Oid.t -> Page_id.t * int;  (** object -> (page, slot) *)
+}
+
+val make :
+  log:Ariesrh_wal.Log_store.t ->
+  pool:Ariesrh_storage.Buffer_pool.t ->
+  place:(Oid.t -> Page_id.t * int) ->
+  t

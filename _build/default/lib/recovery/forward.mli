@@ -1,0 +1,37 @@
+(** The forward (analysis + redo) pass, shared by conventional ARIES and
+    ARIES/RH (§3.6.1).
+
+    Starting from the last complete checkpoint (or the log's beginning),
+    the pass rebuilds the transaction table, redoes logged work
+    ("repeating history"), and — in RH mode — rebuilds every Ob_List with
+    its scopes by replaying update, delegate, and CLR records exactly as
+    normal processing maintains them. *)
+
+open Ariesrh_types
+open Ariesrh_txn
+
+type mode =
+  | Conventional  (** plain ARIES; a delegate record is a fatal error *)
+  | Rh  (** ARIES/RH: maintain Ob_Lists and scopes *)
+
+type passes =
+  | Merged
+      (** one combined analysis+redo sweep — the variant §3.3 says
+          ARIES/RH relies on (default) *)
+  | Separate
+      (** classic ARIES: an analysis-only sweep, then a redo sweep from
+          the dirty-page table's oldest recLSN. Costs a second read of
+          the post-redo-point region; delegation handling is identical
+          because scopes are built during analysis either way. *)
+
+type result = {
+  tt : Txn_table.t;  (** transactions still live at the crash *)
+  winners : Xid.Set.t;  (** committed before the crash (seen in this scan) *)
+  forward_records : int;
+  redo_applied : int;
+}
+
+val run : ?passes:passes -> Env.t -> mode:mode -> result
+
+val losers : result -> Txn_table.info list
+(** Live transactions that did not commit: to be rolled back. *)

@@ -1,0 +1,22 @@
+open Ariesrh_types
+
+type t = {
+  winners : Xid.Set.t;
+  losers : Xid.Set.t;
+  forward_records : int;
+  redo_applied : int;
+  backward_examined : int;
+  backward_skipped : int;
+  clusters : int;
+  undos : int;
+  log_io : Ariesrh_wal.Log_stats.t;
+}
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>winners=%d losers=%d@ forward_records=%d redo_applied=%d@ \
+     backward: examined=%d skipped=%d clusters=%d undos=%d@ log_io: %a@]"
+    (Xid.Set.cardinal t.winners)
+    (Xid.Set.cardinal t.losers)
+    t.forward_records t.redo_applied t.backward_examined t.backward_skipped
+    t.clusters t.undos Ariesrh_wal.Log_stats.pp t.log_io

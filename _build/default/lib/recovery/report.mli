@@ -1,0 +1,17 @@
+(** What a restart recovery did, for tests and experiments. *)
+
+open Ariesrh_types
+
+type t = {
+  winners : Xid.Set.t;
+  losers : Xid.Set.t;  (** includes transactions found mid-rollback *)
+  forward_records : int;  (** records processed by the forward pass *)
+  redo_applied : int;  (** updates/CLRs actually re-applied to pages *)
+  backward_examined : int;  (** records read inside loser clusters *)
+  backward_skipped : int;  (** records jumped over between clusters *)
+  clusters : int;
+  undos : int;  (** CLRs written by the backward pass *)
+  log_io : Ariesrh_wal.Log_stats.t;  (** log device activity during recovery *)
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+open Ariesrh_types
+open Ariesrh_wal
+open Ariesrh_txn
+
+(* Only live update records move. A compensated update is dead history:
+   moving it without its CLR would make the delegatee undo it again, and
+   moving the CLR would carry an undo_next pointer into the delegator's
+   chain. Both stay put; the delegator's own chain walk skips them. The
+   walk sees CLRs before the updates they compensate (they are newer),
+   so a set of compensated LSNs collected on the way down suffices. *)
+let moves_with record tor oid ~compensated ~at =
+  match record.Record.xid with
+  | Some w when Xid.equal w tor -> (
+      match record.Record.body with
+      | Record.Update u ->
+          Oid.equal u.oid oid && not (Hashtbl.mem compensated (Lsn.to_int at))
+      | _ -> false)
+  | _ -> false
+
+let eager_delegate (env : Env.t) ~tor_info ~tee_info oid =
+  let log = env.Env.log in
+  let tor = tor_info.Txn_table.xid and tee = tee_info.Txn_table.xid in
+  let rewrites = ref 0 in
+  let patch lsn record =
+    Log_store.rewrite log lsn record;
+    incr rewrites
+  in
+  (* most recent record retained on the delegator's chain, whose pointer
+     must be patched when the record below it moves away *)
+  let succ_tor : (Lsn.t * Record.t) option ref = ref None in
+  (* lowest-LSN record visited so far on the delegatee's chain; the next
+     insertion happens directly below it *)
+  let tee_succ : (Lsn.t * Record.t) option ref = ref None in
+  (* advance the delegatee-side cursor until the position below it is < k *)
+  let rec advance_tee k =
+    let below =
+      match !tee_succ with
+      | None -> tee_info.Txn_table.last_lsn
+      | Some (_, r) -> Record.prev_for r tee
+    in
+    if (not (Lsn.is_nil below)) && Lsn.(below > k) then begin
+      tee_succ := Some (below, Log_store.read log below);
+      advance_tee k
+    end
+  in
+  let compensated = Hashtbl.create 8 in
+  let k = ref tor_info.Txn_table.last_lsn in
+  while not (Lsn.is_nil !k) do
+    let record = Log_store.read log !k in
+    let next = Record.prev_for record tor in
+    (match record.Record.body with
+    | Record.Clr { undone; _ } ->
+        Hashtbl.replace compensated (Lsn.to_int undone) ()
+    | _ -> ());
+    if moves_with record tor oid ~compensated ~at:!k then begin
+      (* detach from the delegator's chain *)
+      (match !succ_tor with
+      | None -> tor_info.Txn_table.last_lsn <- next
+      | Some (sl, sr) ->
+          let sr' = Record.set_prev_for sr tor next in
+          patch sl sr';
+          succ_tor := Some (sl, sr'));
+      (* splice into the delegatee's chain, keeping it LSN-ordered *)
+      advance_tee !k;
+      let below =
+        match !tee_succ with
+        | None -> tee_info.Txn_table.last_lsn
+        | Some (_, r) -> Record.prev_for r tee
+      in
+      let moved = Record.set_prev_for (Record.set_writer record tee) tee below in
+      patch !k moved;
+      (match !tee_succ with
+      | None -> tee_info.Txn_table.last_lsn <- !k
+      | Some (sl, sr) -> patch sl (Record.set_prev_for sr tee !k));
+      tee_succ := Some (!k, moved)
+    end
+    else succ_tor := Some (!k, record);
+    k := next
+  done;
+  !rewrites
+
+let attribute_only (env : Env.t) ~tor ~tee oid ~from =
+  let log = env.Env.log in
+  let count = ref 0 in
+  let k = ref from in
+  while not (Lsn.is_nil !k) do
+    let record = Log_store.read log !k in
+    (match (record.Record.xid, record.Record.body) with
+    | Some w, Record.Update u when Xid.equal w tor && Oid.equal u.oid oid ->
+        Log_store.rewrite log !k (Record.set_writer record tee);
+        incr count
+    | _ -> ());
+    k :=
+      (match record.Record.xid with
+      | Some w when Xid.equal w tor -> Record.prev_for record tor
+      | _ -> if Lsn.equal !k Lsn.first then Lsn.nil else Lsn.prev !k)
+  done;
+  !count

@@ -1,0 +1,29 @@
+(** The eager history-rewriting baseline (§3.1–3.2, Fig. 1).
+
+    Eager delegation physically rewrites the log at the moment of each
+    [delegate]: every record of the delegator on the delegated object is
+    re-attributed to the delegatee ([setTransID]) {e and} moved from the
+    delegator's backward chain to the delegatee's (the chain surgery the
+    paper notes is required for recovery to remain correct). After eager
+    delegation the log contains no delegate records, and conventional
+    ARIES recovery applies unchanged — at the price of random mid-log
+    reads and in-place writes that ARIES/RH avoids entirely. *)
+
+open Ariesrh_types
+open Ariesrh_txn
+
+val eager_delegate :
+  Env.t ->
+  tor_info:Txn_table.info ->
+  tee_info:Txn_table.info ->
+  Oid.t ->
+  int
+(** Perform the surgery; maintains both transactions' [last_lsn] chain
+    heads. Returns the number of in-place record rewrites performed. *)
+
+val attribute_only : Env.t -> tor:Xid.t -> tee:Xid.t -> Oid.t -> from:Lsn.t -> int
+(** The {e literal} Fig. 1 loop: walk the delegator's backward chain from
+    [from], re-attributing matching update records, without chain
+    surgery. Kept for the figure reproductions; not a correct
+    implementation on its own (the paper's point). Returns the number of
+    records re-attributed. *)

@@ -1,0 +1,6 @@
+(* Logs source for recovery tracing. Enable with
+   [Logs.Src.set_level Ariesrh_recovery.Trace.src (Some Logs.Debug)]. *)
+
+let src = Logs.Src.create "ariesrh.recovery" ~doc:"ARIES/RH restart recovery"
+
+module Log = (val Logs.src_log src : Logs.LOG)

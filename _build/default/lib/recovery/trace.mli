@@ -1,0 +1,6 @@
+(** Recovery tracing. Applications that want to watch restart recovery
+    set this source's level to [Debug] and install a [Logs] reporter. *)
+
+val src : Logs.src
+
+module Log : Logs.LOG

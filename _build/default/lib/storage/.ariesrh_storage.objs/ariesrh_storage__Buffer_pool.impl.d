@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.ml: Ariesrh_types Disk Lsn Page Page_id

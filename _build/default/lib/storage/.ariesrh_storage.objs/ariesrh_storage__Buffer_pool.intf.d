@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.mli: Ariesrh_types Disk Lsn Page Page_id

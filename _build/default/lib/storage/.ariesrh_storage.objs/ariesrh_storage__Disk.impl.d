@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Ariesrh_types Array Page Page_id Printf

@@ -1,0 +1,1 @@
+lib/storage/disk.mli: Ariesrh_types Page Page_id

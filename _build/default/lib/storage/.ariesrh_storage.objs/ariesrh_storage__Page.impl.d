@@ -1,0 +1,1 @@
+lib/storage/page.ml: Ariesrh_types Array Format Lsn String

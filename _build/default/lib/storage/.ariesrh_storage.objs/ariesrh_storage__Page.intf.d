@@ -1,0 +1,1 @@
+lib/storage/page.mli: Ariesrh_types Format Lsn

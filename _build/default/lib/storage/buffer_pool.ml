@@ -1,0 +1,121 @@
+open Ariesrh_types
+
+type frame = {
+  page : Page.t;
+  mutable dirty : bool;
+  mutable rec_lsn : Lsn.t;  (* meaningful only when dirty *)
+  mutable last_used : int;
+}
+
+type t = {
+  capacity : int;
+  disk : Disk.t;
+  wal_flush : Lsn.t -> unit;
+  frames : frame Page_id.Tbl.t;
+  mutable clock : int;
+  mutable evictions : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity ~disk ~wal_flush =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  {
+    capacity;
+    disk;
+    wal_flush;
+    frames = Page_id.Tbl.create capacity;
+    clock = 0;
+    evictions = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let write_back t pid frame =
+  if frame.dirty then begin
+    t.wal_flush (Page.page_lsn frame.page);
+    Disk.write_page t.disk pid frame.page;
+    frame.dirty <- false;
+    frame.rec_lsn <- Lsn.nil
+  end
+
+let evict_one t =
+  (* LRU victim *)
+  let victim =
+    Page_id.Tbl.fold
+      (fun pid frame acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= frame.last_used -> acc
+        | _ -> Some (pid, frame))
+      t.frames None
+  in
+  match victim with
+  | None -> ()
+  | Some (pid, frame) ->
+      write_back t pid frame;
+      Page_id.Tbl.remove t.frames pid;
+      t.evictions <- t.evictions + 1
+
+let get_frame t pid =
+  match Page_id.Tbl.find_opt t.frames pid with
+  | Some frame ->
+      frame.last_used <- tick t;
+      t.hits <- t.hits + 1;
+      frame
+  | None ->
+      if Page_id.Tbl.length t.frames >= t.capacity then evict_one t;
+      let page = Disk.read_page t.disk pid in
+      let frame = { page; dirty = false; rec_lsn = Lsn.nil; last_used = tick t } in
+      Page_id.Tbl.replace t.frames pid frame;
+      t.misses <- t.misses + 1;
+      frame
+
+let read_object t pid ~slot =
+  let frame = get_frame t pid in
+  Page.get frame.page slot
+
+let page_lsn t pid =
+  let frame = get_frame t pid in
+  Page.page_lsn frame.page
+
+let mark_dirty frame ~lsn =
+  if not frame.dirty then begin
+    frame.dirty <- true;
+    frame.rec_lsn <- lsn
+  end
+
+let apply t pid ~lsn f =
+  let frame = get_frame t pid in
+  mark_dirty frame ~lsn;
+  f frame.page;
+  Page.set_page_lsn frame.page lsn
+
+let apply_if_newer t pid ~lsn f =
+  let frame = get_frame t pid in
+  if Lsn.(Page.page_lsn frame.page < lsn) then begin
+    mark_dirty frame ~lsn;
+    f frame.page;
+    Page.set_page_lsn frame.page lsn;
+    true
+  end
+  else false
+
+let dirty_page_table t =
+  Page_id.Tbl.fold
+    (fun pid frame acc -> if frame.dirty then (pid, frame.rec_lsn) :: acc else acc)
+    t.frames []
+
+let flush_all t =
+  Page_id.Tbl.iter (fun pid frame -> write_back t pid frame) t.frames
+
+let crash t =
+  Page_id.Tbl.reset t.frames;
+  t.clock <- 0
+
+let evictions t = t.evictions
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,48 @@
+(** Buffer pool over the simulated disk, STEAL / NO-FORCE.
+
+    STEAL: a dirty page holding uncommitted updates may be evicted and
+    written to disk (after the WAL rule below), which is why recovery
+    needs UNDO. NO-FORCE: commit does not write data pages, which is why
+    recovery needs REDO. Together these are the policies ARIES assumes.
+
+    WAL rule: before a dirty page is written to disk, the log is flushed
+    up to that page's page LSN, via the [wal_flush] callback supplied at
+    creation.
+
+    The pool also maintains the dirty page table (page -> recLSN, the LSN
+    of the first record that dirtied the page since it was last clean),
+    used by checkpoints and by recovery's redo pass. *)
+
+open Ariesrh_types
+
+type t
+
+val create : capacity:int -> disk:Disk.t -> wal_flush:(Lsn.t -> unit) -> t
+
+val read_object : t -> Page_id.t -> slot:int -> int
+(** Fetches the page (possibly evicting) and reads a slot. *)
+
+val page_lsn : t -> Page_id.t -> Lsn.t
+
+val apply : t -> Page_id.t -> lsn:Lsn.t -> (Page.t -> unit) -> unit
+(** [apply t pid ~lsn f] runs [f] on the (fetched) page, marks it dirty
+    with [recLSN = lsn] if it was clean, and sets its page LSN to [lsn]. *)
+
+val apply_if_newer : t -> Page_id.t -> lsn:Lsn.t -> (Page.t -> unit) -> bool
+(** ARIES redo step: apply only when the page LSN is older than [lsn];
+    returns whether the update was applied. Also maintains the dirty
+    page table. *)
+
+val dirty_page_table : t -> (Page_id.t * Lsn.t) list
+
+val flush_all : t -> unit
+(** Write every dirty page to disk (respecting the WAL rule) and mark
+    the pool clean. Used by tests and by the "stop" shutdown path. *)
+
+val crash : t -> unit
+(** Drop all frames and the dirty page table; the disk keeps only pages
+    already written. *)
+
+val evictions : t -> int
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,38 @@
+open Ariesrh_types
+
+type stats = { mutable page_reads : int; mutable page_writes : int }
+
+type t = { pages : Page.t array; slots_per_page : int; stats : stats }
+
+let create ~pages ~slots_per_page =
+  if pages <= 0 then invalid_arg "Disk.create: pages must be positive";
+  {
+    pages = Array.init pages (fun _ -> Page.create ~slots:slots_per_page);
+    slots_per_page;
+    stats = { page_reads = 0; page_writes = 0 };
+  }
+
+let page_count t = Array.length t.pages
+let slots_per_page t = t.slots_per_page
+
+let check t pid =
+  let i = Page_id.to_int pid in
+  if i >= Array.length t.pages then
+    invalid_arg (Printf.sprintf "Disk: page %d out of range" i);
+  i
+
+let read_page t pid =
+  let i = check t pid in
+  t.stats.page_reads <- t.stats.page_reads + 1;
+  Page.copy t.pages.(i)
+
+let write_page t pid p =
+  let i = check t pid in
+  t.stats.page_writes <- t.stats.page_writes + 1;
+  t.pages.(i) <- Page.copy p
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.page_reads <- 0;
+  t.stats.page_writes <- 0

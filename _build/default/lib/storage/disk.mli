@@ -1,0 +1,22 @@
+(** Simulated stable storage for data pages.
+
+    Pages written here survive crashes. Reads and writes are counted so
+    experiments can report data I/O alongside log I/O. *)
+
+open Ariesrh_types
+
+type stats = { mutable page_reads : int; mutable page_writes : int }
+
+type t
+
+val create : pages:int -> slots_per_page:int -> t
+val page_count : t -> int
+val slots_per_page : t -> int
+val read_page : t -> Page_id.t -> Page.t
+(** Returns a private copy; mutating it does not affect the disk. *)
+
+val write_page : t -> Page_id.t -> Page.t -> unit
+(** Stores a copy of the given page. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,18 @@
+open Ariesrh_types
+
+type t = { mutable page_lsn : Lsn.t; values : int array }
+
+let create ~slots =
+  if slots <= 0 then invalid_arg "Page.create: slots must be positive";
+  { page_lsn = Lsn.nil; values = Array.make slots 0 }
+
+let copy t = { page_lsn = t.page_lsn; values = Array.copy t.values }
+let slots t = Array.length t.values
+let page_lsn t = t.page_lsn
+let set_page_lsn t lsn = t.page_lsn <- lsn
+let get t i = t.values.(i)
+let set t i v = t.values.(i) <- v
+
+let pp ppf t =
+  Format.fprintf ppf "page_lsn=%a [%s]" Lsn.pp t.page_lsn
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.values)))

@@ -1,0 +1,19 @@
+(** A database page: a fixed array of integer-valued object slots plus
+    the page LSN (the LSN of the last log record whose update was applied
+    to this page). Redo is conditioned on the page LSN, which is what
+    makes ARIES redo idempotent. *)
+
+open Ariesrh_types
+
+type t
+
+val create : slots:int -> t
+(** All slots start at 0 with [page_lsn = Lsn.nil]. *)
+
+val copy : t -> t
+val slots : t -> int
+val page_lsn : t -> Lsn.t
+val set_page_lsn : t -> Lsn.t -> unit
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/txn/ob_list.ml: Ariesrh_types Ariesrh_wal Format List Lsn Oid Scope Xid

@@ -1,0 +1,1 @@
+lib/txn/ob_list.mli: Ariesrh_types Ariesrh_wal Format Lsn Oid Scope Xid

@@ -1,0 +1,1 @@
+lib/txn/scope.ml: Ariesrh_types Format Lsn Oid Xid

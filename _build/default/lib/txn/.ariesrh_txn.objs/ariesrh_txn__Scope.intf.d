@@ -1,0 +1,1 @@
+lib/txn/scope.mli: Ariesrh_types Format Lsn Oid Xid

@@ -1,0 +1,1 @@
+lib/txn/txn_table.ml: Ariesrh_types Ariesrh_wal Format Lsn Ob_list Xid

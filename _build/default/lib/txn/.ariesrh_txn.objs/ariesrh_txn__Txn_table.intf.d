@@ -1,0 +1,1 @@
+lib/txn/txn_table.mli: Ariesrh_types Ariesrh_wal Lsn Ob_list Xid

@@ -1,0 +1,181 @@
+open Ariesrh_types
+
+type entry = {
+  deleg : Xid.t option;
+  scopes : Scope.t list;
+  open_scope : Scope.t option;
+}
+
+type t = entry Oid.Map.t
+
+let empty = Oid.Map.empty
+let is_empty = Oid.Map.is_empty
+let mem t oid = Oid.Map.mem oid t
+let find t oid = Oid.Map.find_opt oid t
+let objects t = List.map fst (Oid.Map.bindings t)
+let cardinal = Oid.Map.cardinal
+
+let live_scopes entry = List.filter (fun s -> not (Scope.is_empty s)) entry.scopes
+
+let note_update t ~owner ~oid lsn =
+  match Oid.Map.find_opt oid t with
+  | Some entry -> (
+      match entry.open_scope with
+      | Some s ->
+          s.Scope.last <- Lsn.max s.Scope.last lsn;
+          t
+      | None ->
+          let s = Scope.singleton ~invoker:owner ~oid lsn in
+          Oid.Map.add oid
+            { entry with scopes = s :: entry.scopes; open_scope = Some s }
+            t)
+  | None ->
+      let s = Scope.singleton ~invoker:owner ~oid lsn in
+      Oid.Map.add oid { deleg = None; scopes = [ s ]; open_scope = Some s } t
+
+let take t oid =
+  match Oid.Map.find_opt oid t with
+  | None -> None
+  | Some entry -> Some (entry, Oid.Map.remove oid t)
+
+let receive t ~oid ~from_ scopes =
+  let incoming = List.filter (fun s -> not (Scope.is_empty s)) scopes in
+  match Oid.Map.find_opt oid t with
+  | Some entry ->
+      Oid.Map.add oid
+        { entry with deleg = Some from_; scopes = incoming @ entry.scopes }
+        t
+  | None ->
+      Oid.Map.add oid
+        { deleg = Some from_; scopes = incoming; open_scope = None }
+        t
+
+let covering_invokers t ~oid lsn =
+  match Oid.Map.find_opt oid t with
+  | None -> []
+  | Some entry ->
+      List.filter_map
+        (fun (s : Scope.t) ->
+          if
+            (not (Scope.is_empty s))
+            && Lsn.(s.first <= lsn)
+            && Lsn.(lsn <= s.last)
+          then Some s.invoker
+          else None)
+        entry.scopes
+
+let split_out t ~oid ~invoker lsn =
+  match Oid.Map.find_opt oid t with
+  | None -> (None, t)
+  | Some entry -> (
+      let covering, rest =
+        List.partition (fun s -> Scope.covers s ~invoker ~oid lsn) entry.scopes
+      in
+      match covering with
+      | [] -> (None, t)
+      | s :: extra ->
+          (* same-invoker scopes on one object never overlap *)
+          assert (extra = []);
+          let moved = Scope.make ~invoker ~oid ~first:lsn ~last:lsn in
+          let pre =
+            if Lsn.(s.Scope.first < lsn) then
+              [ Scope.make ~invoker ~oid ~first:s.Scope.first
+                  ~last:(Lsn.prev lsn) ]
+            else []
+          in
+          let post =
+            if Lsn.(s.Scope.last > lsn) then
+              [ Scope.make ~invoker ~oid ~first:(Lsn.next lsn)
+                  ~last:s.Scope.last ]
+            else []
+          in
+          let was_open =
+            match entry.open_scope with Some o -> o == s | None -> false
+          in
+          let open_scope =
+            if was_open then
+              match post with suffix :: _ -> Some suffix | [] -> None
+            else entry.open_scope
+          in
+          ( Some moved,
+            Oid.Map.add oid
+              { entry with scopes = pre @ post @ rest; open_scope }
+              t ))
+
+let close_open t oid =
+  match Oid.Map.find_opt oid t with
+  | None | Some { open_scope = None; _ } -> t
+  | Some entry -> Oid.Map.add oid { entry with open_scope = None } t
+
+let close_all_open t =
+  Oid.Map.map
+    (fun entry ->
+      match entry.open_scope with
+      | None -> entry
+      | Some _ -> { entry with open_scope = None })
+    t
+
+let all_scopes t =
+  Oid.Map.fold (fun _ entry acc -> live_scopes entry @ acc) t []
+
+let scopes_of t oid =
+  match Oid.Map.find_opt oid t with None -> [] | Some e -> live_scopes e
+
+let min_first t =
+  Oid.Map.fold
+    (fun _ entry acc ->
+      List.fold_left
+        (fun acc (s : Scope.t) ->
+          if Scope.is_empty s then acc
+          else
+            match acc with
+            | None -> Some s.first
+            | Some m -> Some (Lsn.min m s.first))
+        acc entry.scopes)
+    t None
+
+let to_ckpt ~owner t =
+  let open Ariesrh_wal.Record in
+  (* an entry whose scopes were all trimmed away (a partial rollback
+     undid everything) is still Ob_List membership — the delegation
+     precondition — so it is checkpointed with an empty scope list *)
+  Oid.Map.fold
+    (fun oid entry acc ->
+      {
+        ck_owner = owner;
+        ck_oid = oid;
+        ck_deleg = entry.deleg;
+        ck_scopes =
+          List.map
+            (fun (s : Scope.t) ->
+              { ck_invoker = s.invoker; ck_first = s.first; ck_last = s.last })
+            (live_scopes entry);
+      }
+      :: acc)
+    t []
+
+let of_ckpt_entry t (ob : Ariesrh_wal.Record.ckpt_ob) =
+  let scopes =
+    List.map
+      (fun (s : Ariesrh_wal.Record.ckpt_scope) ->
+        Scope.make ~invoker:s.ck_invoker ~oid:ob.ck_oid ~first:s.ck_first
+          ~last:s.ck_last)
+      ob.ck_scopes
+  in
+  (* The checkpointed state is mid-flight; conservatively no scope is
+     open — the next update by the owner opens a fresh one, which is
+     always sound (scopes need not be maximal). *)
+  Oid.Map.add ob.ck_oid
+    { deleg = ob.ck_deleg; scopes; open_scope = None }
+    t
+
+let pp ppf t =
+  Oid.Map.iter
+    (fun oid entry ->
+      Format.fprintf ppf "@[%a:%s {%a}@]@ " Oid.pp oid
+        (match entry.deleg with
+        | None -> ""
+        | Some x -> Format.asprintf " deleg=%a" Xid.pp x)
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Scope.pp)
+        entry.scopes)
+    t

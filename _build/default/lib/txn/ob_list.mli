@@ -1,0 +1,75 @@
+(** Per-transaction object lists (§3.4, Fig. 5).
+
+    [Ob_List(t)] maps each object [t] is responsible for to the scopes
+    covering the updates delegated to (or invoked by) [t], plus the last
+    delegator when the entry arrived by delegation.
+
+    A transaction's {e open scope} on an object is the scope its own new
+    updates extend. Delegating the object out closes it; the next update
+    opens a fresh scope (this is the "first update since t started or
+    last delegated ob" rule of §3.5, made explicit so that an object
+    delegated {e back} never extends a scope across records that were
+    meanwhile delegated to a third party). *)
+
+open Ariesrh_types
+
+type entry = {
+  deleg : Xid.t option;  (** last delegator, if the entry arrived by delegation *)
+  scopes : Scope.t list;
+  open_scope : Scope.t option;  (** member of [scopes]; grows with own updates *)
+}
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val mem : t -> Oid.t -> bool
+val find : t -> Oid.t -> entry option
+val objects : t -> Oid.t list
+val cardinal : t -> int
+
+val note_update : t -> owner:Xid.t -> oid:Oid.t -> Lsn.t -> t
+(** Extend the open scope on the object, or open one (§3.5 update). *)
+
+val take : t -> Oid.t -> (entry * t) option
+(** Remove the entry for delegation out; [None] if absent (the
+    well-formedness precondition failed). *)
+
+val receive : t -> oid:Oid.t -> from_:Xid.t -> Scope.t list -> t
+(** Merge delegated-in scopes (§3.5 delegate step 3). The receiver's
+    open scope, if any, stays open. *)
+
+val split_out : t -> oid:Oid.t -> invoker:Xid.t -> Lsn.t -> Scope.t option * t
+(** Extract a single operation for operation-granularity delegation
+    (§2.1.2): find the scope of the given invoker covering the LSN,
+    split it into the prefix below, the singleton at the LSN (returned),
+    and the suffix above. [None] if no scope covers the operation (the
+    precondition failed). If the covering scope was the open scope, the
+    suffix (or nothing) stays open. *)
+
+val covering_invokers : t -> oid:Oid.t -> Lsn.t -> Xid.t list
+(** Invokers of the live scopes covering an LSN (used to disambiguate an
+    operation handle before splitting). *)
+
+val close_open : t -> Oid.t -> t
+(** Close the open scope on one object: the next own update opens a
+    fresh scope instead of extending. Required after a partial rollback
+    trims the open scope — extending it again would stretch it back
+    across the compensated LSN range and resurrect undone updates. *)
+
+val close_all_open : t -> t
+(** {!close_open} on every entry (after a partial rollback). *)
+
+val all_scopes : t -> Scope.t list
+(** Every non-empty scope (trimmed-empty scopes are dropped). *)
+
+val scopes_of : t -> Oid.t -> Scope.t list
+
+val min_first : t -> Lsn.t option
+(** Smallest scope beginning, the [minLSN] of §3.5 abort. *)
+
+val to_ckpt : owner:Xid.t -> t -> Ariesrh_wal.Record.ckpt_ob list
+val of_ckpt_entry : t -> Ariesrh_wal.Record.ckpt_ob -> t
+(** Install one checkpointed entry into the (owner's) list. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+open Ariesrh_types
+
+type t = {
+  invoker : Xid.t;
+  oid : Oid.t;
+  first : Lsn.t;
+  mutable last : Lsn.t;
+}
+
+let make ~invoker ~oid ~first ~last =
+  (* nb: [Lsn.(last < first)] would silently compare against the
+     module's [Lsn.first] constant — compare explicitly *)
+  if Lsn.compare last first < 0 then invalid_arg "Scope.make: last < first";
+  { invoker; oid; first; last }
+
+let singleton ~invoker ~oid lsn = { invoker; oid; first = lsn; last = lsn }
+
+let covers t ~invoker ~oid lsn =
+  Xid.equal t.invoker invoker
+  && Oid.equal t.oid oid
+  && Lsn.(t.first <= lsn)
+  && Lsn.(lsn <= t.last)
+
+let is_empty t = Lsn.(t.last < t.first)
+
+let trim_below t lsn =
+  if Lsn.(t.last >= lsn) then
+    t.last <- (if Lsn.is_nil lsn then Lsn.nil else Lsn.prev lsn)
+
+let overlaps a b = Lsn.(a.first <= b.last) && Lsn.(b.first <= a.last)
+
+let equal a b =
+  Xid.equal a.invoker b.invoker
+  && Oid.equal a.oid b.oid
+  && Lsn.equal a.first b.first
+  && Lsn.equal a.last b.last
+
+let pp ppf t =
+  Format.fprintf ppf "(%a,%a,%a..%a)" Xid.pp t.invoker Oid.pp t.oid Lsn.pp
+    t.first Lsn.pp t.last

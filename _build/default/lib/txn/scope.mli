@@ -1,0 +1,48 @@
+(** Update scopes (§3.4 of the paper).
+
+    A scope [(invoker, ob, first, last)] says: {e the owner of the
+    Ob_List entry holding this scope is responsible for every update to
+    object [ob] invoked by [invoker] whose LSN lies in [\[first, last\]].}
+    Scopes are how ARIES/RH computes ResponsibleTr without touching the
+    log.
+
+    Two deliberate deviations from the paper's presentation, both needed
+    for correctness (see DESIGN.md):
+
+    - Scopes carry their object. Fig. 8's loser-update test matches on
+      invoking transaction only; when an invoker's scope range spans its
+      updates to {e other} objects (delegated elsewhere), that test
+      undoes the wrong records.
+    - [last] is mutable: when an update inside the scope is compensated
+      (a CLR is written), the scope is trimmed down past it. Rollback
+      proceeds in decreasing LSN order within a scope, so trimming keeps
+      the scope exactly equal to its not-yet-undone suffix; checkpoints
+      and repeated recoveries then never re-undo compensated updates. *)
+
+open Ariesrh_types
+
+type t = {
+  invoker : Xid.t;  (** transaction that invoked the updates *)
+  oid : Oid.t;
+  first : Lsn.t;
+  mutable last : Lsn.t;
+}
+
+val make : invoker:Xid.t -> oid:Oid.t -> first:Lsn.t -> last:Lsn.t -> t
+val singleton : invoker:Xid.t -> oid:Oid.t -> Lsn.t -> t
+
+val covers : t -> invoker:Xid.t -> oid:Oid.t -> Lsn.t -> bool
+(** Does the scope claim the update at this LSN? *)
+
+val is_empty : t -> bool
+(** True once trimmed past its beginning. *)
+
+val trim_below : t -> Lsn.t -> unit
+(** [trim_below s lsn] shrinks [s.last] to [lsn - 1] if it currently
+    reaches [lsn] or beyond. *)
+
+val overlaps : t -> t -> bool
+(** LSN ranges intersect (used to form clusters). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

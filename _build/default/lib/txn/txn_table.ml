@@ -1,0 +1,87 @@
+open Ariesrh_types
+
+type status = Active | Committed | Rolling_back
+
+type info = {
+  xid : Xid.t;
+  mutable status : status;
+  mutable begin_lsn : Lsn.t;
+  mutable last_lsn : Lsn.t;
+  mutable undo_next : Lsn.t;
+  mutable ob_list : Ob_list.t;
+}
+
+type t = { tbl : info Xid.Tbl.t; mutable max_xid : int }
+
+let create () = { tbl = Xid.Tbl.create 64; max_xid = 0 }
+
+let note_max t xid = if Xid.to_int xid > t.max_xid then t.max_xid <- Xid.to_int xid
+
+let add t xid =
+  if Xid.Tbl.mem t.tbl xid then
+    invalid_arg (Format.asprintf "Txn_table.add: %a already present" Xid.pp xid);
+  let info =
+    {
+      xid;
+      status = Active;
+      begin_lsn = Lsn.nil;
+      last_lsn = Lsn.nil;
+      undo_next = Lsn.nil;
+      ob_list = Ob_list.empty;
+    }
+  in
+  Xid.Tbl.replace t.tbl xid info;
+  note_max t xid;
+  info
+
+let restore t (ck : Ariesrh_wal.Record.ckpt_txn) =
+  let status =
+    match ck.ck_status with
+    | Ariesrh_wal.Record.Ck_active -> Active
+    | Ariesrh_wal.Record.Ck_committed -> Committed
+    | Ariesrh_wal.Record.Ck_rolling_back -> Rolling_back
+  in
+  let info =
+    {
+      xid = ck.ck_xid;
+      status;
+      begin_lsn = Lsn.nil;
+      last_lsn = ck.ck_last_lsn;
+      undo_next = ck.ck_undo_next;
+      ob_list = Ob_list.empty;
+    }
+  in
+  Xid.Tbl.replace t.tbl ck.ck_xid info;
+  note_max t ck.ck_xid;
+  info
+
+let find t xid = Xid.Tbl.find_opt t.tbl xid
+
+let find_exn t xid =
+  match find t xid with
+  | Some i -> i
+  | None ->
+      invalid_arg (Format.asprintf "Txn_table: unknown transaction %a" Xid.pp xid)
+
+let mem t xid = Xid.Tbl.mem t.tbl xid
+let remove t xid = Xid.Tbl.remove t.tbl xid
+let iter t f = Xid.Tbl.iter (fun _ info -> f info) t.tbl
+let fold t ~init ~f = Xid.Tbl.fold (fun _ info acc -> f acc info) t.tbl init
+let count t = Xid.Tbl.length t.tbl
+let max_xid t = t.max_xid
+
+let to_ckpt t =
+  fold t ~init:([], []) ~f:(fun (txns, obs) info ->
+      let ck_txn =
+        {
+          Ariesrh_wal.Record.ck_xid = info.xid;
+          ck_status =
+            (match info.status with
+            | Active -> Ariesrh_wal.Record.Ck_active
+            | Committed -> Ariesrh_wal.Record.Ck_committed
+            | Rolling_back -> Ariesrh_wal.Record.Ck_rolling_back);
+          ck_last_lsn = info.last_lsn;
+          ck_undo_next = info.undo_next;
+        }
+      in
+      (ck_txn :: txns, Ob_list.to_ckpt ~owner:info.xid info.ob_list @ obs))

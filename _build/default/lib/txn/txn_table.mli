@@ -1,0 +1,53 @@
+(** The transaction list (Tr_List, §3.4).
+
+    Holds, per live transaction, its status, the head of its backward
+    chain ([last_lsn]), the next record to undo during conventional
+    rollback ([undo_next]), and its Ob_List. Entries are removed when the
+    transaction's End record is written. *)
+
+open Ariesrh_types
+
+type status =
+  | Active
+  | Committed  (** commit record written, End not yet *)
+  | Rolling_back  (** abort record pending; CLRs being written *)
+
+type info = {
+  xid : Xid.t;
+  mutable status : status;
+  mutable begin_lsn : Lsn.t;
+      (** LSN of the begin record (volatile bookkeeping for the log
+          truncation horizon; not checkpointed — restart rebuilds its
+          own table) *)
+  mutable last_lsn : Lsn.t;
+  mutable undo_next : Lsn.t;
+  mutable ob_list : Ob_list.t;
+}
+
+type t
+
+val create : unit -> t
+
+val add : t -> Xid.t -> info
+(** Fresh entry, [Active], nil LSNs, empty Ob_List. Raises
+    [Invalid_argument] if already present. *)
+
+val restore : t -> Ariesrh_wal.Record.ckpt_txn -> info
+(** Re-create an entry from a checkpoint. *)
+
+val find : t -> Xid.t -> info option
+val find_exn : t -> Xid.t -> info
+val mem : t -> Xid.t -> bool
+val remove : t -> Xid.t -> unit
+val iter : t -> (info -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> info -> 'a) -> 'a
+val count : t -> int
+
+val max_xid : t -> int
+(** Largest xid ever added (0 if none); survives removals. Used to keep
+    xid allocation monotone across entries. *)
+
+val to_ckpt :
+  t -> Ariesrh_wal.Record.ckpt_txn list * Ariesrh_wal.Record.ckpt_ob list
+(** Snapshot for a fuzzy checkpoint: live transactions and every
+    Ob_List entry (with scopes). *)

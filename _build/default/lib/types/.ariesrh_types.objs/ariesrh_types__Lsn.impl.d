@@ -1,0 +1,1 @@
+lib/types/lsn.ml: Format Int Stdlib

@@ -1,0 +1,1 @@
+lib/types/oid.ml: Format Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/types/oid.mli: Format Hashtbl Map Set

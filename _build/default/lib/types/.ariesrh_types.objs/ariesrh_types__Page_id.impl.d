@@ -1,0 +1,1 @@
+lib/types/page_id.ml: Format Hashtbl Int Map

@@ -1,0 +1,1 @@
+lib/types/page_id.mli: Format Hashtbl Map

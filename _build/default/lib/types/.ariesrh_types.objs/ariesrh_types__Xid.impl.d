@@ -1,0 +1,1 @@
+lib/types/xid.ml: Format Hashtbl Int Map Set

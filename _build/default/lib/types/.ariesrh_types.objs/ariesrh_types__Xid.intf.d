@@ -1,0 +1,1 @@
+lib/types/xid.mli: Format Hashtbl Map Set

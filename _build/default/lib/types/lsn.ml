@@ -1,0 +1,26 @@
+type t = int
+
+let nil = 0
+let first = 1
+
+let of_int i =
+  if i < 0 then invalid_arg "Lsn.of_int: negative";
+  i
+
+let to_int t = t
+let is_nil t = t = 0
+let next t = t + 1
+
+let prev t =
+  if t = 0 then invalid_arg "Lsn.prev: nil has no predecessor";
+  t - 1
+
+let compare = Int.compare
+let equal = Int.equal
+let ( < ) a b = Stdlib.( < ) a b
+let ( <= ) a b = Stdlib.( <= ) a b
+let ( > ) a b = Stdlib.( > ) a b
+let ( >= ) a b = Stdlib.( >= ) a b
+let max = Stdlib.max
+let min = Stdlib.min
+let pp ppf t = if t = 0 then Format.fprintf ppf "nil" else Format.fprintf ppf "%d" t

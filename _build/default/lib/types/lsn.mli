@@ -1,0 +1,32 @@
+(** Log sequence numbers.
+
+    LSNs identify log records and increase monotonically with append
+    order. [nil] is smaller than every real LSN and marks "no previous
+    record" in backward chains. *)
+
+type t
+
+val nil : t
+(** The null LSN: no record. Compares below every real LSN. *)
+
+val first : t
+(** LSN of the first record ever appended. *)
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negatives. [of_int 0 = nil]. *)
+
+val to_int : t -> int
+val is_nil : t -> bool
+val next : t -> t
+val prev : t -> t
+(** [prev first = nil]; [prev nil] raises [Invalid_argument]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val max : t -> t -> t
+val min : t -> t -> t
+val pp : Format.formatter -> t -> unit

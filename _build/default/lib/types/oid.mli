@@ -1,0 +1,20 @@
+(** Object identifiers.
+
+    The engine stores a fixed population of integer-valued objects; an
+    [Oid.t] names one of them. The paper delegates at object granularity
+    (§2.1.2), so oids are the unit of delegation. *)
+
+type t
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negatives. *)
+
+val to_int : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,13 @@
+(** Page identifiers for the simulated disk. *)
+
+type t
+
+val of_int : int -> t
+val to_int : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,23 @@
+type t = int
+
+let of_int i =
+  if i <= 0 then invalid_arg "Xid.of_int: xids are positive";
+  i
+
+let to_int t = t
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+let pp ppf t = Format.fprintf ppf "t%d" t
+
+module Key = struct
+  type nonrec t = t
+
+  let compare = compare
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Key)
+module Map = Map.Make (Key)
+module Tbl = Hashtbl.Make (Key)

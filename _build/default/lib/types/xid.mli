@@ -1,0 +1,16 @@
+(** Transaction identifiers. *)
+
+type t
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on non-positive values: xids start at 1. *)
+
+val to_int : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,25 @@
+(** Imperative binary max-heap with a caller-supplied ordering.
+
+    The ARIES/RH backward pass keeps the outstanding loser scopes in a
+    priority queue ordered by the right end of each scope (§3.6.2); this
+    is that queue. *)
+
+type 'a t
+
+val create : leq:('a -> 'a -> bool) -> 'a t
+(** [create ~leq] makes an empty heap. [leq a b] must hold iff [a] has
+    lower-or-equal priority than [b]; [pop] returns a maximal element. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Maximal element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return a maximal element. *)
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified order (heap unchanged). *)

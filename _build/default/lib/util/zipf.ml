@@ -1,0 +1,31 @@
+(* Inverse-CDF sampling over a precomputed cumulative table. Exact (no
+   approximation); fine for the n <= ~1e6 range used in experiments. *)
+
+type t = { n : int; cdf : float array }
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0. then invalid_arg "Zipf.create: theta must be >= 0";
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  cdf.(n - 1) <- 1.0;
+  { n; cdf }
+
+let sample t rng =
+  let u = Prng.float rng 1.0 in
+  (* binary search for first index with cdf >= u *)
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then go lo mid else go (mid + 1) hi
+  in
+  go 0 (t.n - 1)
+
+let n t = t.n

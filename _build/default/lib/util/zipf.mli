@@ -1,0 +1,16 @@
+(** Zipfian distribution sampler over [\[0, n)].
+
+    Used by workload generators to create skewed object access patterns,
+    the common case in transaction-processing benchmarks. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over [n] items with skew
+    [theta] (0.0 = uniform; typical skew 0.99). Raises [Invalid_argument]
+    if [n <= 0] or [theta < 0.]. *)
+
+val sample : t -> Prng.t -> int
+(** Draw an item; item 0 is the most popular. *)
+
+val n : t -> int

@@ -1,0 +1,1 @@
+lib/wal/log_store.ml: Ariesrh_types Array Log_stats Lsn Printf Record String

@@ -1,0 +1,1 @@
+lib/wal/log_store.mli: Ariesrh_types Log_stats Lsn Record

@@ -1,0 +1,1 @@
+lib/wal/record.ml: Ariesrh_types Buffer Char Format Int64 List Lsn Oid Page_id Printf String Xid

@@ -1,0 +1,1 @@
+lib/wal/record.mli: Ariesrh_types Format Lsn Oid Page_id Xid

@@ -1,0 +1,53 @@
+type t = {
+  mutable appends : int;
+  mutable reads : int;
+  mutable page_fetches : int;
+  mutable random_seeks : int;
+  mutable rewrites : int;
+  mutable rewrite_page_writes : int;
+  mutable flushes : int;
+  mutable bytes_flushed : int;
+}
+
+let create () =
+  {
+    appends = 0;
+    reads = 0;
+    page_fetches = 0;
+    random_seeks = 0;
+    rewrites = 0;
+    rewrite_page_writes = 0;
+    flushes = 0;
+    bytes_flushed = 0;
+  }
+
+let reset t =
+  t.appends <- 0;
+  t.reads <- 0;
+  t.page_fetches <- 0;
+  t.random_seeks <- 0;
+  t.rewrites <- 0;
+  t.rewrite_page_writes <- 0;
+  t.flushes <- 0;
+  t.bytes_flushed <- 0
+
+let copy t = { t with appends = t.appends }
+
+let diff a b =
+  {
+    appends = a.appends - b.appends;
+    reads = a.reads - b.reads;
+    page_fetches = a.page_fetches - b.page_fetches;
+    random_seeks = a.random_seeks - b.random_seeks;
+    rewrites = a.rewrites - b.rewrites;
+    rewrite_page_writes = a.rewrite_page_writes - b.rewrite_page_writes;
+    flushes = a.flushes - b.flushes;
+    bytes_flushed = a.bytes_flushed - b.bytes_flushed;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "appends=%d reads=%d page_fetches=%d random_seeks=%d rewrites=%d \
+     rewrite_page_writes=%d flushes=%d bytes_flushed=%d"
+    t.appends t.reads t.page_fetches t.random_seeks t.rewrites
+    t.rewrite_page_writes t.flushes t.bytes_flushed

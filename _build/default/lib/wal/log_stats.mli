@@ -1,0 +1,27 @@
+(** I/O accounting for the simulated log device.
+
+    The paper's efficiency argument (§4.2) is about log access patterns:
+    appends are cheap, sequential sweeps are cheap, random mid-log reads
+    and in-place rewrites are expensive. These counters make that
+    measurable. The device model keeps one log page buffered; touching a
+    record on another page costs a page fetch, and a fetch of a page not
+    adjacent to the previous one also costs a random seek. *)
+
+type t = {
+  mutable appends : int;  (** records appended *)
+  mutable reads : int;  (** stable records decoded *)
+  mutable page_fetches : int;  (** log pages brought into the buffer *)
+  mutable random_seeks : int;  (** non-adjacent page fetches *)
+  mutable rewrites : int;  (** in-place record rewrites (history surgery) *)
+  mutable rewrite_page_writes : int;  (** pages written back by rewrites *)
+  mutable flushes : int;  (** flush calls that wrote something *)
+  mutable bytes_flushed : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+val diff : t -> t -> t
+(** [diff after before] — counter-wise subtraction. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,157 @@
+open Ariesrh_types
+
+type t = {
+  page_size : int;
+  mutable enc : string array;  (* encoded records, index = lsn - 1 *)
+  mutable offsets : int array;  (* byte offset of each record *)
+  mutable count : int;  (* total records, stable + tail *)
+  mutable next_offset : int;
+  mutable durable_count : int;  (* records flushed *)
+  mutable buffered_page : int;  (* log page currently in the device buffer *)
+  mutable master : int;  (* stable pointer to the last complete checkpoint *)
+  mutable low : int;  (* records with lsn <= low were truncated away *)
+  stats : Log_stats.t;
+}
+
+let create ?(page_size = 4096) () =
+  {
+    page_size;
+    enc = [||];
+    offsets = [||];
+    count = 0;
+    next_offset = 0;
+    durable_count = 0;
+    buffered_page = -1;
+    master = 0;
+    low = 0;
+    stats = Log_stats.create ();
+  }
+
+let stats t = t.stats
+let head t = Lsn.of_int t.count
+let durable t = Lsn.of_int t.durable_count
+let length t = t.count
+
+let ensure_capacity t =
+  let cap = Array.length t.enc in
+  if t.count = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let ne = Array.make ncap "" in
+    Array.blit t.enc 0 ne 0 t.count;
+    t.enc <- ne;
+    let no = Array.make ncap 0 in
+    Array.blit t.offsets 0 no 0 t.count;
+    t.offsets <- no
+  end
+
+let append t r =
+  ensure_capacity t;
+  let s = Record.encode r in
+  t.enc.(t.count) <- s;
+  t.offsets.(t.count) <- t.next_offset;
+  t.next_offset <- t.next_offset + String.length s;
+  t.count <- t.count + 1;
+  t.stats.appends <- t.stats.appends + 1;
+  Lsn.of_int t.count
+
+let flush t ~upto =
+  let target = min (Lsn.to_int upto) t.count in
+  if target > t.durable_count then begin
+    let bytes = ref 0 in
+    for i = t.durable_count to target - 1 do
+      bytes := !bytes + String.length t.enc.(i)
+    done;
+    t.durable_count <- target;
+    t.stats.flushes <- t.stats.flushes + 1;
+    t.stats.bytes_flushed <- t.stats.bytes_flushed + !bytes
+  end
+
+let crash t =
+  t.count <- t.durable_count;
+  t.next_offset <-
+    (if t.count = 0 then 0
+     else t.offsets.(t.count - 1) + String.length t.enc.(t.count - 1));
+  t.buffered_page <- -1
+
+let master t = Lsn.of_int t.master
+
+let set_master t lsn =
+  if Lsn.to_int lsn > t.durable_count then
+    invalid_arg "Log_store.set_master: checkpoint record not durable";
+  t.master <- Lsn.to_int lsn
+
+let page_of t idx = t.offsets.(idx) / t.page_size
+
+let touch_page t idx =
+  let page = page_of t idx in
+  if page <> t.buffered_page then begin
+    t.stats.page_fetches <- t.stats.page_fetches + 1;
+    if t.buffered_page >= 0 && abs (page - t.buffered_page) > 1 then
+      t.stats.random_seeks <- t.stats.random_seeks + 1;
+    t.buffered_page <- page
+  end
+
+let check_lsn t lsn =
+  let i = Lsn.to_int lsn in
+  if i <= t.low then
+    invalid_arg (Printf.sprintf "Log_store: lsn %d was truncated away" i);
+  if i < 1 || i > t.count then
+    invalid_arg
+      (Printf.sprintf "Log_store: lsn %d out of range [1..%d]" i t.count);
+  i - 1
+
+let truncate t ~below =
+  let b = Lsn.to_int below in
+  if t.master = 0 || b > t.master then
+    invalid_arg "Log_store.truncate: would discard records restart needs";
+  if b > t.durable_count then
+    invalid_arg "Log_store.truncate: prefix not durable";
+  let reclaimed = max 0 (b - 1 - t.low) in
+  if reclaimed > 0 then begin
+    (* drop the encoded bytes so the space is really gone *)
+    for i = t.low to b - 2 do
+      t.enc.(i) <- ""
+    done;
+    t.low <- b - 1
+  end;
+  reclaimed
+
+let truncated_below t = Lsn.of_int (t.low + 1)
+
+let read t lsn =
+  let idx = check_lsn t lsn in
+  if idx < t.durable_count then begin
+    t.stats.reads <- t.stats.reads + 1;
+    touch_page t idx
+  end;
+  Record.decode t.enc.(idx)
+
+let rewrite t lsn r =
+  let idx = check_lsn t lsn in
+  let s = Record.encode r in
+  if String.length s <> String.length t.enc.(idx) then
+    invalid_arg "Log_store.rewrite: record size changed";
+  t.enc.(idx) <- s;
+  t.stats.rewrites <- t.stats.rewrites + 1;
+  if idx < t.durable_count then begin
+    touch_page t idx;
+    t.stats.rewrite_page_writes <- t.stats.rewrite_page_writes + 1
+  end
+
+let iter_forward ?upto t ~from f =
+  let start = if Lsn.is_nil from then 1 else Lsn.to_int from in
+  let start = max start (t.low + 1) in
+  let stop =
+    match upto with
+    | None -> t.count
+    | Some l -> min (Lsn.to_int l) t.count
+  in
+  for i = start to stop do
+    f (Lsn.of_int i) (read t (Lsn.of_int i))
+  done
+
+let iter_backward t ~from f =
+  let start = if Lsn.is_nil from then t.count else Lsn.to_int from in
+  for i = start downto t.low + 1 do
+    f (Lsn.of_int i) (read t (Lsn.of_int i))
+  done

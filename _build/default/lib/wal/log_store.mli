@@ -1,0 +1,73 @@
+(** The simulated stable log.
+
+    Records are appended to a volatile tail and become durable when
+    flushed; a {!crash} discards the unflushed tail, exactly the failure
+    model the WAL protocol assumes. LSNs are dense (the n-th record ever
+    appended has LSN n), so recovery's "K <- K - 1" sweep from the paper's
+    Fig. 1/Fig. 8 maps directly onto {!read}.
+
+    Records are held encoded; {!read} decodes (and verifies the checksum
+    of) the stored bytes, so every recovery run exercises the codec.
+
+    In-place {!rewrite} exists solely for the eager/lazy
+    history-rewriting baselines of §3.1–3.2; ARIES/RH never calls it. *)
+
+open Ariesrh_types
+
+type t
+
+val create : ?page_size:int -> unit -> t
+(** [page_size] (bytes, default 4096) governs the I/O cost model; see
+    {!Log_stats}. *)
+
+val stats : t -> Log_stats.t
+val head : t -> Lsn.t
+(** LSN of the most recently appended record; [Lsn.nil] when empty. *)
+
+val durable : t -> Lsn.t
+(** LSN up to which the log is flushed; [Lsn.nil] when nothing is. *)
+
+val append : t -> Record.t -> Lsn.t
+val flush : t -> upto:Lsn.t -> unit
+(** No-op if already durable up to [upto]. Clamped to [head]. *)
+
+val crash : t -> unit
+(** Discard the unflushed tail. The stable prefix survives. *)
+
+val read : t -> Lsn.t -> Record.t
+(** Raises [Invalid_argument] for [Lsn.nil] or beyond [head]. Reads
+    above [durable] come from the in-memory tail and cost nothing. *)
+
+val rewrite : t -> Lsn.t -> Record.t -> unit
+(** Replace the record at an LSN (history surgery, baselines only).
+    Charged as a page fetch + page write when the record is stable. *)
+
+val iter_forward :
+  ?upto:Lsn.t -> t -> from:Lsn.t -> (Lsn.t -> Record.t -> unit) -> unit
+(** Sequential sweep from [from] (or [Lsn.first] if nil) to [upto]
+    (default: [head]). *)
+
+val iter_backward : t -> from:Lsn.t -> (Lsn.t -> Record.t -> unit) -> unit
+(** Sequential sweep from [from] (or [head] if nil) down to [Lsn.first]. *)
+
+val length : t -> int
+(** Total records (stable + tail). *)
+
+val truncate : t -> below:Lsn.t -> int
+(** [truncate t ~below] reclaims every record with LSN strictly below
+    [below]; returns how many were discarded. LSNs are never renumbered;
+    reading a reclaimed LSN raises. Requires a completed checkpoint with
+    [master >= below] (restart must never need the reclaimed prefix) and
+    [below <= durable]. *)
+
+val truncated_below : t -> Lsn.t
+(** First retained LSN ([Lsn.first] if nothing was ever truncated). *)
+
+val master : t -> Lsn.t
+(** The master record: LSN of the end record of the last complete
+    checkpoint, where restart recovery begins. [Lsn.nil] if no
+    checkpoint ever completed. Stable: survives {!crash}. *)
+
+val set_master : t -> Lsn.t -> unit
+(** Raises [Invalid_argument] unless the LSN is durable — the WAL rule
+    for the master record itself. *)

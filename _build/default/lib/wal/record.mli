@@ -1,0 +1,119 @@
+(** Log records and their binary codec.
+
+    A record is written by at most one transaction (checkpoints have no
+    writer). [prev] is the backward-chain pointer of the writer: the LSN
+    of the previous record written on behalf of the same transaction
+    ([Lsn.nil] for the first). A {!Delegate} record sits on {e two}
+    backward chains (Fig. 6 of the paper): [prev] is the delegator's
+    pointer ([torBC]) and [tee_prev] the delegatee's ([teeBC]). *)
+
+open Ariesrh_types
+
+type op =
+  | Set of { before : int; after : int }
+      (** Overwrite; conflicts with everything. Undone by restoring
+          [before]. *)
+  | Add of int
+      (** Commutative increment by a (possibly negative) delta. Undone by
+          adding the negation; commutes with other [Add]s, which is how
+          several transactions can be responsible for updates to the same
+          object at once (§2.1.2). *)
+
+type update = { oid : Oid.t; page : Page_id.t; op : op }
+
+type ckpt_status = Ck_active | Ck_committed | Ck_rolling_back
+
+type ckpt_txn = {
+  ck_xid : Xid.t;
+  ck_status : ckpt_status;
+  ck_last_lsn : Lsn.t;
+  ck_undo_next : Lsn.t;
+}
+
+type ckpt_scope = { ck_invoker : Xid.t; ck_first : Lsn.t; ck_last : Lsn.t }
+
+type ckpt_ob = {
+  ck_owner : Xid.t;  (** transaction whose Ob_List holds the entry *)
+  ck_oid : Oid.t;
+  ck_deleg : Xid.t option;  (** last delegator of the object, if any *)
+  ck_scopes : ckpt_scope list;
+}
+
+type ckpt = {
+  ck_txns : ckpt_txn list;
+  ck_dpt : (Page_id.t * Lsn.t) list;  (** dirty page table: (page, recLSN) *)
+  ck_obs : ckpt_ob list;  (** Ob_Lists with scopes, needed by ARIES/RH *)
+}
+
+type body =
+  | Begin
+  | Update of update
+  | Commit
+  | Abort  (** rollback has started; an [End] follows when it completes *)
+  | End
+  | Clr of {
+      upd : update;  (** the {e inverse} operation, as applied — redoable *)
+      undone : Lsn.t;  (** LSN of the update record this CLR compensates *)
+      invoker : Xid.t;  (** invoking transaction of the undone update *)
+      undo_next : Lsn.t;  (** next record of the writer left to undo *)
+    }
+      (** Compensation log record. [undone]/[invoker] let the ARIES/RH
+          forward pass trim the covering scope so that re-recovery (and
+          recovery after a crash mid-rollback) never undoes twice. *)
+  | Delegate of {
+      tee : Xid.t;
+      tee_prev : Lsn.t;
+      oid : Oid.t;
+      op : (Lsn.t * Xid.t) option;
+          (** [None]: the whole object (the granularity §3 implements);
+              [Some (lsn, invoker)]: a single operation — the paper's
+              general model of §2.1.2, where one update is delegated *)
+    }
+  | Ckpt_begin
+  | Ckpt_end of ckpt
+  | Anchor
+      (** chain-head anchor: a no-op record whose only job is to make a
+          transaction's current backward-chain head durable. Written (and
+          force-flushed) by {e eager} delegation after its log surgery —
+          without it, a spliced stable record can become unreachable when
+          a crash eats the volatile records that pointed at it. ARIES/RH
+          never needs one; the delegate record plays this role. *)
+
+type t = {
+  xid : Xid.t option;  (** writer; [None] only for checkpoint records *)
+  prev : Lsn.t;  (** writer's backward-chain pointer *)
+  body : body;
+}
+
+val mk : Xid.t -> prev:Lsn.t -> body -> t
+val mk_system : body -> t
+
+val writer_exn : t -> Xid.t
+(** Raises [Invalid_argument] on checkpoint records. *)
+
+val prev_for : t -> Xid.t -> Lsn.t
+(** [prev_for r x]: the next-older LSN on [x]'s backward chain, assuming
+    [r] lies on it. For a delegate record this is [prev] when [x] is the
+    delegator and [tee_prev] when [x] is the delegatee. Raises
+    [Invalid_argument] if [r] is not on [x]'s chain. *)
+
+val set_writer : t -> Xid.t -> t
+(** [set_writer r x] is [setTransID] from Fig. 1: the same record
+    attributed to [x]. Only meaningful for [Update]/[Clr] records. *)
+
+val set_prev_for : t -> Xid.t -> Lsn.t -> t
+(** Patch the backward-chain pointer that [x] follows through this
+    record (the [prev] field, or [tee_prev] when [x] is the delegatee of
+    a delegate record). Used only by the history-rewriting baselines. *)
+
+val is_update : t -> bool
+val pp : Format.formatter -> t -> unit
+
+val encode : t -> string
+(** Binary encoding, checksummed. *)
+
+val decode : string -> t
+(** Inverse of {!encode}. Raises [Failure] on truncation or checksum
+    mismatch. *)
+
+val encoded_size : t -> int

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Ariesrh_core Ariesrh_types Config Db Hashtbl List Oid Option Script

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Ariesrh_core Ariesrh_recovery Config Db Script

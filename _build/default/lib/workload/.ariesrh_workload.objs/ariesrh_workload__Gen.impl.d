@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Ariesrh_lock Ariesrh_types Ariesrh_util Array Hashtbl List Oid Option Script Xid

@@ -1,0 +1,1 @@
+lib/workload/script.ml: Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/workload/sim.ml: Ariesrh_core Ariesrh_lock Ariesrh_types Ariesrh_util Array Config Db Errors List Lsn Oid Seq Xid

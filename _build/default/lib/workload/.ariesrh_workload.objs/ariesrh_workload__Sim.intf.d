@@ -1,0 +1,1 @@
+lib/workload/sim.mli: Ariesrh_core Db

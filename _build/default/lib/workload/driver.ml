@@ -1,0 +1,40 @@
+open Ariesrh_types
+open Ariesrh_core
+
+let fresh_db ?(impl = Config.Rh) ?(locking = true) ~n_objects () =
+  Db.create
+    (Config.make ~n_objects ~objects_per_page:8
+       ~buffer_capacity:(max 4 (n_objects / 32))
+       ~impl ~locking ())
+
+let run ?upto ?(on_action = fun _ -> ()) db script =
+  (* symbolic transaction index -> engine xid *)
+  let xids = Hashtbl.create 16 in
+  let xid t = Hashtbl.find xids t in
+  let savepoints = Hashtbl.create 16 in
+  let limit = Option.value ~default:(List.length script) upto in
+  List.iteri
+    (fun i action ->
+      if i < limit then begin
+        (match action with
+        | Script.Begin t -> Hashtbl.replace xids t (Db.begin_txn db)
+        | Script.Read (t, o) -> ignore (Db.read db (xid t) (Oid.of_int o))
+        | Script.Write (t, o, v) -> Db.write db (xid t) (Oid.of_int o) v
+        | Script.Add (t, o, d) -> Db.add db (xid t) (Oid.of_int o) d
+        | Script.Delegate (from_, to_, o) ->
+            Db.delegate db ~from_:(xid from_) ~to_:(xid to_) (Oid.of_int o)
+        | Script.Savepoint (t, tag) ->
+            Hashtbl.replace savepoints tag (Db.savepoint db (xid t))
+        | Script.Rollback_to (t, tag) ->
+            Db.rollback_to db (xid t) (Hashtbl.find savepoints tag)
+        | Script.Commit t -> Db.commit db (xid t)
+        | Script.Abort t -> Db.abort db (xid t)
+        | Script.Checkpoint -> Db.checkpoint db);
+        on_action i
+      end)
+    script
+
+let run_to_crash db script ~crash_at =
+  run ~upto:crash_at db script;
+  Db.crash db;
+  Db.recover db

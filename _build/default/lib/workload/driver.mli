@@ -1,0 +1,18 @@
+(** Replaying scripts against a live engine. *)
+
+open Ariesrh_core
+
+val run : ?upto:int -> ?on_action:(int -> unit) -> Db.t -> Script.t -> unit
+(** Execute the first [upto] actions (default: all). [on_action] runs
+    after each executed action with its index — experiment harnesses use
+    it to inject checkpoints at chosen intervals. A {!Errors.Conflict}
+    here means the generator and engine disagree about locking — a bug,
+    so it propagates. *)
+
+val run_to_crash :
+  Db.t -> Script.t -> crash_at:int -> Ariesrh_recovery.Report.t
+(** Execute the prefix, crash, recover; returns the recovery report. *)
+
+val fresh_db :
+  ?impl:Config.delegation_impl -> ?locking:bool -> n_objects:int -> unit -> Db.t
+(** A Db sized for scripts over [n_objects] symbolic objects. *)

@@ -1,0 +1,235 @@
+module Prng = Ariesrh_util.Prng
+module Zipf = Ariesrh_util.Zipf
+module Lock_table = Ariesrh_lock.Lock_table
+module Mode = Ariesrh_lock.Mode
+open Ariesrh_types
+
+type spec = {
+  n_objects : int;
+  n_steps : int;
+  max_concurrent : int;
+  theta : float;
+  p_begin : float;
+  p_read : float;
+  p_write : float;
+  p_add : float;
+  p_delegate : float;
+  p_savepoint : float;
+  p_rollback : float;
+  p_commit : float;
+  p_abort : float;
+  p_checkpoint : float;
+  terminate_all : bool;
+}
+
+let default =
+  {
+    n_objects = 64;
+    n_steps = 200;
+    max_concurrent = 6;
+    theta = 0.6;
+    p_begin = 0.08;
+    p_read = 0.10;
+    p_write = 0.25;
+    p_add = 0.25;
+    p_delegate = 0.12;
+    p_savepoint = 0.04;
+    p_rollback = 0.03;
+    p_commit = 0.10;
+    p_abort = 0.05;
+    p_checkpoint = 0.02;
+    terminate_all = true;
+  }
+
+let spec_no_delegation = { default with p_delegate = 0.0 }
+
+(* The generator runs the engine's own lock table over symbolic
+   transactions, so a script it emits can never conflict at replay. *)
+type state = {
+  rng : Prng.t;
+  zipf : Zipf.t;
+  mutable next_txn : int;
+  mutable active : int list;
+  locks : Lock_table.t;
+  responsible : (int, int list) Hashtbl.t;  (* txn -> objects (Ob_List) *)
+  savepoints : (int, int list) Hashtbl.t;  (* txn -> issued tags *)
+  mutable next_tag : int;
+}
+
+let xid_of t = Xid.of_int (t + 1)
+
+let resp_add st txn obj =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt st.responsible txn) in
+  if not (List.mem obj cur) then Hashtbl.replace st.responsible txn (obj :: cur)
+
+let resp_remove st txn obj =
+  match Hashtbl.find_opt st.responsible txn with
+  | None -> ()
+  | Some objs ->
+      Hashtbl.replace st.responsible txn (List.filter (( <> ) obj) objs)
+
+let try_lock st txn obj mode =
+  match Lock_table.acquire st.locks (xid_of txn) (Oid.of_int obj) mode with
+  | Lock_table.Granted -> true
+  | Lock_table.Conflict _ -> false
+
+let pick_active st =
+  match st.active with
+  | [] -> None
+  | l -> Some (List.nth l (Prng.int st.rng (List.length l)))
+
+let finish_txn st t =
+  Lock_table.release_all st.locks (xid_of t);
+  st.active <- List.filter (( <> ) t) st.active;
+  Hashtbl.remove st.responsible t;
+  Hashtbl.remove st.savepoints t
+
+(* try to produce one action of the requested kind; None if infeasible *)
+let try_kind st spec kind =
+  match kind with
+  | `Begin ->
+      if List.length st.active >= spec.max_concurrent then None
+      else begin
+        let t = st.next_txn in
+        st.next_txn <- t + 1;
+        st.active <- t :: st.active;
+        Hashtbl.replace st.responsible t [];
+        Some (Script.Begin t)
+      end
+  | `Read -> (
+      match pick_active st with
+      | None -> None
+      | Some t ->
+          let o = Zipf.sample st.zipf st.rng in
+          if try_lock st t o Mode.S then Some (Script.Read (t, o)) else None)
+  | `Write -> (
+      match pick_active st with
+      | None -> None
+      | Some t ->
+          let o = Zipf.sample st.zipf st.rng in
+          if try_lock st t o Mode.X then begin
+            resp_add st t o;
+            Some (Script.Write (t, o, Prng.int st.rng 1000))
+          end
+          else None)
+  | `Add -> (
+      match pick_active st with
+      | None -> None
+      | Some t ->
+          let o = Zipf.sample st.zipf st.rng in
+          if try_lock st t o Mode.I then begin
+            resp_add st t o;
+            Some (Script.Add (t, o, 1 + Prng.int st.rng 9))
+          end
+          else None)
+  | `Delegate -> (
+      match pick_active st with
+      | None -> None
+      | Some from_ -> (
+          match Hashtbl.find_opt st.responsible from_ with
+          | None | Some [] -> None
+          | Some objs -> (
+              match List.filter (( <> ) from_) st.active with
+              | [] -> None
+              | others ->
+                  let to_ =
+                    List.nth others (Prng.int st.rng (List.length others))
+                  in
+                  let o = List.nth objs (Prng.int st.rng (List.length objs)) in
+                  Lock_table.transfer st.locks (Oid.of_int o)
+                    ~from_:(xid_of from_) ~to_:(xid_of to_);
+                  resp_remove st from_ o;
+                  resp_add st to_ o;
+                  Some (Script.Delegate (from_, to_, o)))))
+  | `Savepoint -> (
+      match pick_active st with
+      | None -> None
+      | Some t ->
+          let tag = st.next_tag in
+          st.next_tag <- tag + 1;
+          let cur = Option.value ~default:[] (Hashtbl.find_opt st.savepoints t) in
+          Hashtbl.replace st.savepoints t (tag :: cur);
+          Some (Script.Savepoint (t, tag)))
+  | `Rollback -> (
+      match pick_active st with
+      | None -> None
+      | Some t -> (
+          match Hashtbl.find_opt st.savepoints t with
+          | None | Some [] -> None
+          | Some tags ->
+              let tag = List.nth tags (Prng.int st.rng (List.length tags)) in
+              (* locks are retained across a partial rollback, and objects
+                 stay in the Ob_List (possibly with empty scopes), so the
+                 symbolic state needs no adjustment *)
+              Some (Script.Rollback_to (t, tag))))
+  | `Commit -> (
+      match pick_active st with
+      | None -> None
+      | Some t ->
+          finish_txn st t;
+          Some (Script.Commit t))
+  | `Abort -> (
+      match pick_active st with
+      | None -> None
+      | Some t ->
+          finish_txn st t;
+          Some (Script.Abort t))
+  | `Checkpoint -> Some Script.Checkpoint
+
+let generate spec ~seed =
+  if spec.n_objects <= 0 then invalid_arg "Gen.generate: n_objects";
+  let st =
+    {
+      rng = Prng.create seed;
+      zipf = Zipf.create ~n:spec.n_objects ~theta:spec.theta;
+      next_txn = 0;
+      active = [];
+      locks = Lock_table.create ();
+      responsible = Hashtbl.create 16;
+      savepoints = Hashtbl.create 16;
+      next_tag = 0;
+    }
+  in
+  let kinds =
+    [|
+      (`Begin, spec.p_begin);
+      (`Read, spec.p_read);
+      (`Write, spec.p_write);
+      (`Add, spec.p_add);
+      (`Delegate, spec.p_delegate);
+      (`Savepoint, spec.p_savepoint);
+      (`Rollback, spec.p_rollback);
+      (`Commit, spec.p_commit);
+      (`Abort, spec.p_abort);
+      (`Checkpoint, spec.p_checkpoint);
+    |]
+  in
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 kinds in
+  let pick_kind () =
+    let x = Prng.float st.rng total in
+    let rec go i acc =
+      if i = Array.length kinds - 1 then fst kinds.(i)
+      else
+        let acc = acc +. snd kinds.(i) in
+        if x < acc then fst kinds.(i) else go (i + 1) acc
+    in
+    go 0 0.0
+  in
+  let acc = ref [] in
+  for _ = 1 to spec.n_steps do
+    let rec attempt n =
+      if n = 0 then ()
+      else
+        match try_kind st spec (pick_kind ()) with
+        | Some a -> acc := a :: !acc
+        | None -> attempt (n - 1)
+    in
+    attempt 4
+  done;
+  if spec.terminate_all then
+    List.iter
+      (fun t ->
+        let a = if Prng.bool st.rng then Script.Commit t else Script.Abort t in
+        acc := a :: !acc)
+      st.active;
+  List.rev !acc

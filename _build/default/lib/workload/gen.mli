@@ -1,0 +1,38 @@
+(** Random workload generation.
+
+    Scripts are generated against a symbolic lock table so that replaying
+    them on the engine (with locking on) never hits a conflict: writes
+    require exclusive access, adds share increment locks, and delegation
+    transfers lock ownership — the same rules the engine enforces. Every
+    prefix of a valid script is valid, which is what makes crash-point
+    sweeps and shrinking sound. *)
+
+type spec = {
+  n_objects : int;
+  n_steps : int;
+  max_concurrent : int;
+  theta : float;  (** zipf skew for object choice; 0 = uniform *)
+  p_begin : float;
+  p_read : float;
+  p_write : float;
+  p_add : float;
+  p_delegate : float;
+  p_savepoint : float;
+  p_rollback : float;  (** partial rollback to a random live savepoint *)
+  p_commit : float;
+  p_abort : float;
+  p_checkpoint : float;
+  terminate_all : bool;
+      (** append commits/aborts for transactions still running at the
+          end, so the no-crash end state is deterministic *)
+}
+
+val default : spec
+(** 64 objects, 200 steps, up to 6 concurrent transactions, mild skew,
+    moderate delegation, [terminate_all = true]. *)
+
+val spec_no_delegation : spec
+(** Same mix with [p_delegate = 0] — the "boring" workload used for the
+    no-overhead experiments. *)
+
+val generate : spec -> seed:int64 -> Script.t

@@ -1,0 +1,66 @@
+type op = Set of int | AddOp of int
+
+type upd = {
+  obj : int;
+  op : op;
+  idx : int;  (* position of the update action in the script *)
+  mutable responsible : int;
+  mutable dead : bool;  (* undone by a partial rollback *)
+}
+
+let take_prefix ?crash_at script =
+  match crash_at with
+  | None -> script
+  | Some n -> List.filteri (fun i _ -> i < n) script
+
+let replay ?crash_at script =
+  let updates = ref [] in
+  (* in reverse order *)
+  let committed = Hashtbl.create 16 in
+  let savepoints = Hashtbl.create 16 in
+  (* tag -> script index *)
+  let touch u = updates := u :: !updates in
+  List.iteri
+    (fun idx action ->
+      match action with
+      | Script.Begin _ | Script.Read _ | Script.Checkpoint -> ()
+      | Script.Write (t, o, v) ->
+          touch { obj = o; op = Set v; idx; responsible = t; dead = false }
+      | Script.Add (t, o, d) ->
+          touch { obj = o; op = AddOp d; idx; responsible = t; dead = false }
+      | Script.Delegate (from_, to_, o) ->
+          List.iter
+            (fun u ->
+              if (not u.dead) && u.obj = o && u.responsible = from_ then
+                u.responsible <- to_)
+            !updates
+      | Script.Savepoint (_, tag) -> Hashtbl.replace savepoints tag idx
+      | Script.Rollback_to (t, tag) ->
+          (* kill every live update the transaction is responsible for
+             that was invoked after the savepoint — LSN order and script
+             order agree for update records *)
+          let sp = Hashtbl.find savepoints tag in
+          List.iter
+            (fun u -> if u.responsible = t && u.idx > sp then u.dead <- true)
+            !updates
+      | Script.Commit t -> Hashtbl.replace committed t ()
+      | Script.Abort _ -> ())
+    (take_prefix ?crash_at script);
+  (List.rev !updates, committed)
+
+let expected ~n_objects ?crash_at script =
+  let updates, committed = replay ?crash_at script in
+  let values = Array.make n_objects 0 in
+  List.iter
+    (fun u ->
+      if (not u.dead) && Hashtbl.mem committed u.responsible then
+        match u.op with
+        | Set v -> values.(u.obj) <- v
+        | AddOp d -> values.(u.obj) <- values.(u.obj) + d)
+    updates;
+  values
+
+let winners ?crash_at script =
+  let _, committed = replay ?crash_at script in
+  Hashtbl.fold (fun t () acc -> t :: acc) committed []
+  |> List.sort compare

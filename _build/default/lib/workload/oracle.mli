@@ -1,0 +1,17 @@
+(** The semantic oracle: a pure, engine-free replay of a script that
+    computes the database state recovery must produce.
+
+    It implements the paper's §4.1 correctness properties directly: an
+    update is applied iff the transaction {e responsible} for it when
+    the crash hits (its last delegatee, or its invoker if never
+    delegated) committed before the crash; every other update is
+    obliterated. Engine results after crash + recovery are compared
+    against this, for every prefix of a script. *)
+
+val expected : n_objects:int -> ?crash_at:int -> Script.t -> int array
+(** [expected ~n_objects ~crash_at script]: final object values when the
+    crash happens after the first [crash_at] actions (default: after the
+    whole script). *)
+
+val winners : ?crash_at:int -> Script.t -> int list
+(** Symbolic indices of transactions committed before the crash. *)

@@ -1,0 +1,124 @@
+type action =
+  | Begin of int
+  | Read of int * int
+  | Write of int * int * int
+  | Add of int * int * int
+  | Delegate of int * int * int
+  | Savepoint of int * int
+  | Rollback_to of int * int
+  | Commit of int
+  | Abort of int
+  | Checkpoint
+
+type t = action list
+
+let pp_action ppf = function
+  | Begin t -> Format.fprintf ppf "begin t%d" t
+  | Read (t, o) -> Format.fprintf ppf "read t%d ob%d" t o
+  | Write (t, o, v) -> Format.fprintf ppf "write t%d ob%d %d" t o v
+  | Add (t, o, d) -> Format.fprintf ppf "add t%d ob%d %+d" t o d
+  | Delegate (a, b, o) -> Format.fprintf ppf "delegate t%d->t%d ob%d" a b o
+  | Savepoint (t, tag) -> Format.fprintf ppf "savepoint t%d #%d" t tag
+  | Rollback_to (t, tag) -> Format.fprintf ppf "rollback t%d to #%d" t tag
+  | Commit t -> Format.fprintf ppf "commit t%d" t
+  | Abort t -> Format.fprintf ppf "abort t%d" t
+  | Checkpoint -> Format.pp_print_string ppf "checkpoint"
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+    pp_action ppf t
+
+let stats t =
+  let b = ref 0
+  and r = ref 0
+  and w = ref 0
+  and a = ref 0
+  and d = ref 0
+  and c = ref 0
+  and ab = ref 0
+  and sp = ref 0
+  and rb = ref 0
+  and ck = ref 0 in
+  List.iter
+    (function
+      | Begin _ -> incr b
+      | Read _ -> incr r
+      | Write _ -> incr w
+      | Add _ -> incr a
+      | Delegate _ -> incr d
+      | Savepoint _ -> incr sp
+      | Rollback_to _ -> incr rb
+      | Commit _ -> incr c
+      | Abort _ -> incr ab
+      | Checkpoint -> incr ck)
+    t;
+  Printf.sprintf
+    "begin=%d read=%d write=%d add=%d delegate=%d savepoint=%d rollback=%d \
+     commit=%d abort=%d ckpt=%d"
+    !b !r !w !a !d !sp !rb !c !ab !ck
+
+let txns t =
+  List.fold_left (fun acc -> function Begin _ -> acc + 1 | _ -> acc) 0 t
+
+let action_to_string = function
+  | Begin t -> Printf.sprintf "begin %d" t
+  | Read (t, o) -> Printf.sprintf "read %d %d" t o
+  | Write (t, o, v) -> Printf.sprintf "write %d %d %d" t o v
+  | Add (t, o, d) -> Printf.sprintf "add %d %d %d" t o d
+  | Delegate (a, b, o) -> Printf.sprintf "delegate %d %d %d" a b o
+  | Savepoint (t, tag) -> Printf.sprintf "savepoint %d %d" t tag
+  | Rollback_to (t, tag) -> Printf.sprintf "rollback %d %d" t tag
+  | Commit t -> Printf.sprintf "commit %d" t
+  | Abort t -> Printf.sprintf "abort %d" t
+  | Checkpoint -> "checkpoint"
+
+let to_string t = String.concat "\n" (List.map action_to_string t) ^ "\n"
+
+let action_of_string line =
+  let parts = String.split_on_char ' ' (String.trim line) in
+  let int s = int_of_string_opt s in
+  match parts with
+  | [ "begin"; a ] -> Option.map (fun t -> Begin t) (int a)
+  | [ "read"; a; b ] -> (
+      match (int a, int b) with
+      | Some t, Some o -> Some (Read (t, o))
+      | _ -> None)
+  | [ "write"; a; b; c ] -> (
+      match (int a, int b, int c) with
+      | Some t, Some o, Some v -> Some (Write (t, o, v))
+      | _ -> None)
+  | [ "add"; a; b; c ] -> (
+      match (int a, int b, int c) with
+      | Some t, Some o, Some d -> Some (Add (t, o, d))
+      | _ -> None)
+  | [ "delegate"; a; b; c ] -> (
+      match (int a, int b, int c) with
+      | Some f, Some g, Some o -> Some (Delegate (f, g, o))
+      | _ -> None)
+  | [ "savepoint"; a; b ] -> (
+      match (int a, int b) with
+      | Some t, Some tag -> Some (Savepoint (t, tag))
+      | _ -> None)
+  | [ "rollback"; a; b ] -> (
+      match (int a, int b) with
+      | Some t, Some tag -> Some (Rollback_to (t, tag))
+      | _ -> None)
+  | [ "commit"; a ] -> Option.map (fun t -> Commit t) (int a)
+  | [ "abort"; a ] -> Option.map (fun t -> Abort t) (int a)
+  | [ "checkpoint" ] -> Some Checkpoint
+  | _ -> None
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go (i + 1) acc rest
+        else (
+          match action_of_string trimmed with
+          | Some a -> go (i + 1) (a :: acc) rest
+          | None -> Error (Printf.sprintf "line %d: cannot parse %S" i line))
+  in
+  go 1 [] lines

@@ -1,0 +1,35 @@
+(** Workload scripts: sequences of engine actions over symbolic
+    transaction indices, independent of any particular [Db] instance so
+    the same script can be replayed against every engine variant and
+    against the semantic oracle. *)
+
+type action =
+  | Begin of int
+  | Read of int * int  (** txn, object *)
+  | Write of int * int * int  (** txn, object, value *)
+  | Add of int * int * int  (** txn, object, delta *)
+  | Delegate of int * int * int  (** from txn, to txn, object *)
+  | Savepoint of int * int  (** txn, savepoint tag (unique per txn) *)
+  | Rollback_to of int * int  (** txn, savepoint tag *)
+  | Commit of int
+  | Abort of int
+  | Checkpoint
+
+type t = action list
+
+val pp_action : Format.formatter -> action -> unit
+val pp : Format.formatter -> t -> unit
+
+val stats : t -> string
+(** One-line summary (counts per action kind). *)
+
+val txns : t -> int
+(** Number of distinct transactions begun. *)
+
+val to_string : t -> string
+(** Line-based textual form, one action per line — stable across
+    versions, suitable for saving a workload to a file and replaying it
+    (the CLI's [--save-script]/[--script]). *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; the error names the offending line. *)

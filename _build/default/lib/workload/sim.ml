@@ -1,0 +1,243 @@
+open Ariesrh_types
+open Ariesrh_core
+module Prng = Ariesrh_util.Prng
+module Deadlock = Ariesrh_lock.Deadlock
+
+type outcome = {
+  committed : int;
+  aborted : int;
+  waits : int;
+  deadlocks : int;
+  delegations : int;
+  state_ok : bool;
+}
+
+(* one planned operation of a client transaction; all updates are
+   commutative adds, reads provide the S/I contention *)
+type op = Add_op of int * int | Read_op of int | Delegate_op
+
+type phase =
+  | Idle  (** about to (re)start the current transaction *)
+  | Running of { xid : Xid.t; remaining : op list }
+  | Blocked of { xid : Xid.t; op : op; remaining : op list }
+  | Finished
+
+type client = {
+  id : int;
+  mutable txns_left : int;
+  mutable plan : op list;  (** ops of the current transaction *)
+  mutable phase : phase;
+}
+
+let plan_txn rng ~ops_per_txn ~n_objects ~delegation_rate =
+  let ops =
+    List.init ops_per_txn (fun _ ->
+        let o = Prng.int rng n_objects in
+        if Prng.int rng 100 < 30 then Read_op o
+        else Add_op (o, 1 + Prng.int rng 9))
+  in
+  if Prng.float rng 1.0 < delegation_rate then ops @ [ Delegate_op ] else ops
+
+let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
+    ?(n_objects = 32) ?(delegation_rate = 0.2) ?(seed = 42L) db =
+  if not (Db.config db).Config.locking then
+    invalid_arg "Sim.run: the database must have locking enabled";
+  if n_objects > (Db.config db).Config.n_objects then
+    invalid_arg "Sim.run: more objects than the database holds";
+  let rng = Prng.create seed in
+  let graph = Deadlock.create () in
+  let committed = ref 0
+  and aborted = ref 0
+  and waits = ref 0
+  and deadlocks = ref 0
+  and delegations = ref 0 in
+  (* per-operation increments each live transaction is responsible for:
+     (object, delta, update lsn) — lsn-level tracking lets the simulator
+     exercise operation-granularity delegation too *)
+  let pending : (int * int * Lsn.t) list ref Xid.Tbl.t = Xid.Tbl.create 32 in
+  let expected = Array.make n_objects 0 in
+  let pend_list xid =
+    match Xid.Tbl.find_opt pending xid with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Xid.Tbl.replace pending xid l;
+        l
+  in
+  let pend_add xid o d lsn = pend_list xid := (o, d, lsn) :: !(pend_list xid) in
+  let pend_move ~from_ ~to_ =
+    match Xid.Tbl.find_opt pending from_ with
+    | None -> ()
+    | Some l ->
+        pend_list to_ := !l @ !(pend_list to_);
+        Xid.Tbl.remove pending from_
+  in
+  let pend_move_one ~from_ ~to_ lsn =
+    match Xid.Tbl.find_opt pending from_ with
+    | None -> ()
+    | Some l ->
+        let moved, kept =
+          List.partition (fun (_, _, u) -> Lsn.equal u lsn) !l
+        in
+        l := kept;
+        pend_list to_ := moved @ !(pend_list to_)
+  in
+  let pend_commit xid =
+    (match Xid.Tbl.find_opt pending xid with
+    | None -> ()
+    | Some l ->
+        List.iter (fun (o, d, _) -> expected.(o) <- expected.(o) + d) !l);
+    Xid.Tbl.remove pending xid
+  in
+  let cs =
+    Array.init clients (fun id ->
+        { id; txns_left = txns_per_client; plan = []; phase = Idle })
+  in
+  let client_of_xid xid =
+    Array.to_seq cs
+    |> Seq.find (fun c ->
+           match c.phase with
+           | Running r -> Xid.equal r.xid xid
+           | Blocked b -> Xid.equal b.xid xid
+           | Idle | Finished -> false)
+  in
+  let victimize xid =
+    match client_of_xid xid with
+    | None -> ()
+    | Some c ->
+        Db.abort db xid;
+        Xid.Tbl.remove pending xid;
+        Deadlock.remove_txn graph xid;
+        incr aborted;
+        c.phase <- Idle (* retries the same plan with a fresh xid *)
+  in
+  (* execute one op for [xid]; true if it went through *)
+  let attempt c xid op =
+    match op with
+    | Read_op o -> (
+        match Db.read db xid (Oid.of_int o) with
+        | _ ->
+            Deadlock.clear_waits graph xid;
+            true
+        | exception Errors.Conflict { holders; _ } ->
+            incr waits;
+            Deadlock.clear_waits graph xid;
+            List.iter (fun h -> Deadlock.add_wait graph ~waiter:xid ~holder:h) holders;
+            false)
+    | Add_op (o, d) -> (
+        match Db.add db xid (Oid.of_int o) d with
+        | () ->
+            Deadlock.clear_waits graph xid;
+            pend_add xid o d (Db.last_lsn_of db xid);
+            true
+        | exception Errors.Conflict { holders; _ } ->
+            incr waits;
+            Deadlock.clear_waits graph xid;
+            List.iter (fun h -> Deadlock.add_wait graph ~waiter:xid ~holder:h) holders;
+            false)
+    | Delegate_op ->
+        (* hand everything to some other running transaction *)
+        let targets =
+          Array.to_list cs
+          |> List.filter_map (fun c' ->
+                 if c'.id = c.id then None
+                 else
+                   match c'.phase with
+                   | Running r -> Some r.xid
+                   | Blocked b -> Some b.xid
+                   | Idle | Finished -> None)
+        in
+        (match targets with
+        | [] -> ()
+        | _ -> (
+            let to_ = List.nth targets (Prng.int rng (List.length targets)) in
+            let ops = !(pend_list xid) in
+            let whole_object () =
+              match Db.responsible_objects db xid with
+              | [] -> ()
+              | _ ->
+                  Db.delegate_all db ~from_:xid ~to_;
+                  pend_move ~from_:xid ~to_;
+                  incr delegations
+            in
+            match ((Db.config db).Config.impl, ops) with
+            | (Config.Rh | Config.Lazy), _ :: _ when Prng.bool rng -> (
+                (* operation granularity: hand over one random update —
+                   unless this client read the object too and upgraded
+                   to an exclusive lock, in which case it goes whole *)
+                let o, _, lsn = List.nth ops (Prng.int rng (List.length ops)) in
+                match Db.delegate_update db ~from_:xid ~to_ (Oid.of_int o) lsn with
+                | () ->
+                    pend_move_one ~from_:xid ~to_ lsn;
+                    incr delegations
+                | exception Invalid_argument _ -> whole_object ())
+            | _, _ -> whole_object ()));
+        true
+  in
+  let break_deadlock xid =
+    match Deadlock.cycle_through graph xid with
+    | None -> ()
+    | Some cycle ->
+        incr deadlocks;
+        (* youngest participant dies *)
+        let victim =
+          List.fold_left
+            (fun acc x -> if Xid.to_int x > Xid.to_int acc then x else acc)
+            xid cycle
+        in
+        victimize victim
+  in
+  let step c =
+    match c.phase with
+    | Finished -> ()
+    | Idle ->
+        if c.txns_left = 0 then c.phase <- Finished
+        else begin
+          if c.plan = [] then
+            c.plan <- plan_txn rng ~ops_per_txn ~n_objects ~delegation_rate;
+          let xid = Db.begin_txn db in
+          c.phase <- Running { xid; remaining = c.plan }
+        end
+    | Running { xid; remaining = [] } ->
+        Db.commit db xid;
+        pend_commit xid;
+        Deadlock.remove_txn graph xid;
+        incr committed;
+        c.txns_left <- c.txns_left - 1;
+        c.plan <- [];
+        c.phase <- Idle
+    | Running { xid; remaining = op :: rest } ->
+        if attempt c xid op then c.phase <- Running { xid; remaining = rest }
+        else begin
+          c.phase <- Blocked { xid; op; remaining = rest };
+          break_deadlock xid
+        end
+    | Blocked { xid; op; remaining } ->
+        if attempt c xid op then c.phase <- Running { xid; remaining }
+        else break_deadlock xid
+  in
+  let budget = ref (clients * txns_per_client * (ops_per_txn + 4) * 50) in
+  let all_done () =
+    Array.for_all (fun c -> c.phase = Finished) cs
+  in
+  while (not (all_done ())) && !budget > 0 do
+    decr budget;
+    step cs.(Prng.int rng clients)
+  done;
+  if !budget = 0 then failwith "Sim.run: live-lock (scheduling budget exhausted)";
+  let state_ok =
+    let ok = ref true in
+    for o = 0 to n_objects - 1 do
+      if Db.peek db (Oid.of_int o) <> expected.(o) then ok := false
+    done;
+    (match Db.validate db with Ok () -> () | Error _ -> ok := false);
+    !ok
+  in
+  {
+    committed = !committed;
+    aborted = !aborted;
+    waits = !waits;
+    deadlocks = !deadlocks;
+    delegations = !delegations;
+    state_ok;
+  }

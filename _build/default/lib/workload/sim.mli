@@ -1,0 +1,40 @@
+(** A step-interleaved concurrency simulator.
+
+    Unlike {!Gen}, which emits conflict-free scripts, the simulator
+    drives a population of client "threads" that freely collide: a
+    blocked lock request parks the client on a waits-for edge; deadlock
+    cycles are detected on the spot and broken by aborting the youngest
+    participant. This exercises the lock manager, the waits-for graph,
+    and delegation's lock transfer under contention — and the final
+    state is still checked, because every client records the increments
+    it {e successfully committed responsibility for}.
+
+    Clients run closed-loop: each picks a transaction profile, performs
+    its operations step by step (yielding between steps), and retries
+    from scratch when chosen as a deadlock victim. All updates are
+    commutative [Add]s, so the expected final value of every object is
+    the sum of committed increments, delegation notwithstanding —
+    delegated increments count for the committer. *)
+
+open Ariesrh_core
+
+type outcome = {
+  committed : int;  (** transactions committed *)
+  aborted : int;  (** deadlock victims (before their retries) *)
+  waits : int;  (** times a client parked on a lock *)
+  deadlocks : int;  (** cycles broken *)
+  delegations : int;
+  state_ok : bool;  (** engine state matches the committed-increment sums *)
+}
+
+val run :
+  ?clients:int ->
+  ?txns_per_client:int ->
+  ?ops_per_txn:int ->
+  ?n_objects:int ->
+  ?delegation_rate:float ->
+  ?seed:int64 ->
+  Db.t ->
+  outcome
+(** Raises [Invalid_argument] if the database was not created with
+    locking enabled. *)

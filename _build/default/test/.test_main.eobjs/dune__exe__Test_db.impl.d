@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Ariesrh_core Ariesrh_types Ariesrh_wal Config Db Errors List Lsn Oid Printf Xid

@@ -1,0 +1,1 @@
+test/test_eos.ml: Alcotest Ariesrh_core Ariesrh_eos Ariesrh_types Ariesrh_workload Driver Eos_db Gen Hashtbl Int64 List Oid Oracle Printf QCheck QCheck_alcotest Script Xid

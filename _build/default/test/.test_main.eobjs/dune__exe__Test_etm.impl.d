@@ -1,0 +1,1 @@
+test/test_etm.ml: Alcotest Ariesrh_core Ariesrh_etm Ariesrh_types Asset Config Cotrans Db Joint Nested Oid Open_nested Reporting Split

@@ -1,0 +1,1 @@
+test/test_introspection.ml: Alcotest Ariesrh_core Ariesrh_recovery Ariesrh_types Config Db Errors Format List Lsn Oid String Xid

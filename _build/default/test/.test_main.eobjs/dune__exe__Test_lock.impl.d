@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Ariesrh_lock Ariesrh_types Deadlock List Lock_table Mode Oid Xid

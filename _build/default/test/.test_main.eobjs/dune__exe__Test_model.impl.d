@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Ariesrh_core Ariesrh_model Ariesrh_types Ariesrh_wal Ariesrh_workload Config Db Driver Gen History Int64 List Lsn Oid Printf QCheck QCheck_alcotest Xid

@@ -1,0 +1,1 @@
+test/test_model_based.ml: Ariesrh_storage Ariesrh_txn Ariesrh_types Ariesrh_util Ariesrh_wal Array Int64 List Lsn Oid Page_id QCheck QCheck_alcotest Xid

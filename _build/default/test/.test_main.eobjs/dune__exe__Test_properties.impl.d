@@ -1,0 +1,1 @@
+test/test_properties.ml: Ariesrh_core Ariesrh_types Ariesrh_workload Array Config Db Driver Gen Int64 List Oracle Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_small.ml: Alcotest Ariesrh_eos Ariesrh_txn Ariesrh_types Ariesrh_util Ariesrh_wal Array Format List Lsn Oid Page_id String Xid

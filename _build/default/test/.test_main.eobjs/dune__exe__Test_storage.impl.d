@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Ariesrh_storage Ariesrh_types Buffer_pool Disk List Lsn Page Page_id

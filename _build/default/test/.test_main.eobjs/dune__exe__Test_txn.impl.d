@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Ariesrh_txn Ariesrh_types List Lsn Ob_list Oid Option Scope Txn_table Xid

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Ariesrh_util Array Fun List QCheck QCheck_alcotest

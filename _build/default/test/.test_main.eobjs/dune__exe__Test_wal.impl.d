@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Ariesrh_types Ariesrh_wal Bytes Char List Log_store Lsn Oid Page_id Printf QCheck QCheck_alcotest Record String Xid

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Ariesrh_core Ariesrh_workload Config Db Driver Gen Int64 List Oracle QCheck QCheck_alcotest Script Sim String

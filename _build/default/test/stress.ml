@@ -1,0 +1,90 @@
+(* Deep fuzz of the correctness pipeline: thousands of random workloads
+   x crash points x engines, checked against the value oracle, the
+   formal model, and the engine validator. Not part of `dune runtest`
+   (it takes a while): run with `dune exec test/stress.exe -- [iters]`. *)
+
+open Ariesrh_core
+open Ariesrh_workload
+module Prng = Ariesrh_util.Prng
+
+let n_objects = 48
+
+let () =
+  let iters =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1000
+  in
+  let rng = Prng.create 20260706L in
+  let failures = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to iters do
+    let seed = Prng.next rng in
+    let steps = 20 + Prng.int rng 200 in
+    let spec = { Gen.default with n_objects; n_steps = steps } in
+    let script = Gen.generate spec ~seed in
+    let n = List.length script in
+    let at = Prng.int rng (n + 1) in
+    let impl =
+      match Prng.int rng 3 with
+      | 0 -> Config.Rh
+      | 1 -> Config.Eager
+      | _ -> Config.Lazy
+    in
+    let passes =
+      if Prng.bool rng then Config.Merged else Config.Separate
+    in
+    let db =
+      Db.create
+        (Config.make ~n_objects ~objects_per_page:8
+           ~buffer_capacity:(2 + Prng.int rng 16)
+           ~impl ~forward_passes:passes ())
+    in
+    let ok =
+      try
+        Driver.run ~upto:at db script;
+        (match Db.validate db with
+        | Ok () -> ()
+        | Error e -> failwith ("validate mid-flight: " ^ e));
+        (* sometimes crash during recovery first *)
+        Db.crash db;
+        if impl = Config.Rh && Prng.bool rng then begin
+          match Db.recover_with_fuel db ~fuel:(Prng.int rng 8) with
+          | `Done _ -> ()
+          | `Interrupted ->
+              Db.crash db;
+              ignore (Db.recover db)
+        end
+        else ignore (Db.recover db);
+        let expected = Oracle.expected ~n_objects ~crash_at:at script in
+        if Db.peek_all db <> expected then failwith "oracle mismatch";
+        (match Db.validate db with
+        | Ok () -> ()
+        | Error e -> failwith ("validate post-recovery: " ^ e));
+        if impl = Config.Rh then begin
+          let h = Ariesrh_model.History.of_log (Db.log_store db) in
+          (match Ariesrh_model.History.check_well_formed h with
+          | Ok () -> ()
+          | Error e -> failwith ("well-formedness: " ^ e));
+          match Ariesrh_model.History.check_recovery h with
+          | Ok () -> ()
+          | Error e -> failwith ("recovery obligation: " ^ e)
+        end;
+        true
+      with e ->
+        Printf.printf "FAIL iter=%d seed=%Ld steps=%d at=%d impl=%s: %s\n%!" i
+          seed steps at
+          (match impl with
+          | Config.Rh -> "rh"
+          | Config.Eager -> "eager"
+          | Config.Lazy -> "lazy")
+          (Printexc.to_string e);
+        false
+    in
+    if not ok then incr failures;
+    if i mod 500 = 0 then
+      Printf.printf "%d/%d scenarios, %d failures (%.1fs)\n%!" i iters
+        !failures
+        (Unix.gettimeofday () -. t0)
+  done;
+  Printf.printf "stress: %d scenarios, %d failures (%.1fs)\n" iters !failures
+    (Unix.gettimeofday () -. t0);
+  exit (if !failures = 0 then 0 else 1)

@@ -1,0 +1,656 @@
+(* Engine-level scenarios: normal processing, crash, recovery, and the
+   delegation semantics of §2.1.2 exercised through the public API. *)
+
+open Ariesrh_types
+open Ariesrh_core
+
+let oid = Oid.of_int
+
+let mk ?(impl = Config.Rh) ?(locking = true) () =
+  Db.create (Config.make ~n_objects:64 ~objects_per_page:4 ~buffer_capacity:8
+               ~impl ~locking ())
+
+let check_val db o expected msg = Alcotest.(check int) msg expected (Db.peek db (oid o))
+
+let commit_survives_crash impl () =
+  let db = mk ~impl () in
+  let t1 = Db.begin_txn db in
+  Db.write db t1 (oid 0) 42;
+  Db.add db t1 (oid 1) 7;
+  Db.commit db t1;
+  Db.crash db;
+  ignore (Db.recover db);
+  check_val db 0 42 "committed set survives";
+  check_val db 1 7 "committed add survives"
+
+let uncommitted_rolls_back impl () =
+  let db = mk ~impl () in
+  let t1 = Db.begin_txn db in
+  Db.write db t1 (oid 0) 42;
+  let t2 = Db.begin_txn db in
+  Db.write db t2 (oid 2) 9;
+  Db.commit db t1;
+  Db.crash db;
+  let report = Db.recover db in
+  check_val db 0 42 "winner survives";
+  check_val db 2 0 "loser rolled back";
+  Alcotest.(check int) "one winner" 1 (Xid.Set.cardinal report.winners);
+  Alcotest.(check int) "one loser" 1 (Xid.Set.cardinal report.losers)
+
+let abort_undoes impl () =
+  let db = mk ~impl () in
+  let t1 = Db.begin_txn db in
+  Db.write db t1 (oid 0) 5;
+  Db.add db t1 (oid 1) 3;
+  Db.abort db t1;
+  check_val db 0 0 "set undone";
+  check_val db 1 0 "add undone"
+
+(* t0 updates, delegates to t1, t0 aborts; t1 commits: update survives *)
+let delegated_survives_delegator_abort impl () =
+  let db = mk ~impl () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.write db t0 (oid 0) 11;
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+  Db.abort db t0;
+  check_val db 0 11 "delegator abort leaves delegated update";
+  Db.commit db t1;
+  Db.crash db;
+  ignore (Db.recover db);
+  check_val db 0 11 "delegatee commit makes it permanent"
+
+(* ... and symmetrically: delegatee aborts, delegator commits: undone *)
+let delegated_dies_with_delegatee impl () =
+  let db = mk ~impl () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.write db t0 (oid 0) 11;
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+  Db.commit db t0;
+  check_val db 0 11 "still visible before delegatee aborts";
+  Db.abort db t1;
+  check_val db 0 0 "delegatee abort undoes delegated update"
+
+(* Example 2 of the paper: two delegations of the same object by the
+   same transaction; fates diverge *)
+let example2 impl () =
+  let db = mk ~impl () in
+  let t = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  let t2 = Db.begin_txn db in
+  Db.add db t (oid 0) 100;
+  Db.delegate db ~from_:t ~to_:t1 (oid 0);
+  Db.add db t (oid 0) 10;
+  Db.delegate db ~from_:t ~to_:t2 (oid 0);
+  Alcotest.(check int) "both adds applied" 110 (Db.peek db (oid 0));
+  Db.abort db t2;
+  Alcotest.(check int) "second add undone" 100 (Db.peek db (oid 0));
+  Db.commit db t1;
+  Db.abort db t;
+  Alcotest.(check int) "first add survives regardless of t" 100
+    (Db.peek db (oid 0));
+  Db.crash db;
+  ignore (Db.recover db);
+  check_val db 0 100 "after recovery"
+
+(* crash instead of orderly terminations: t1 committed, t2 and t loser *)
+let example2_crash impl () =
+  let db = mk ~impl () in
+  let t = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  let t2 = Db.begin_txn db in
+  Db.add db t (oid 0) 100;
+  Db.delegate db ~from_:t ~to_:t1 (oid 0);
+  Db.add db t (oid 0) 10;
+  Db.delegate db ~from_:t ~to_:t2 (oid 0);
+  Db.commit db t1;
+  Db.crash db;
+  ignore (Db.recover db);
+  check_val db 0 100 "winner's delegated add redone, loser's undone"
+
+let delegation_chain impl () =
+  let db = mk ~impl () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  let t2 = Db.begin_txn db in
+  Db.write db t0 (oid 3) 33;
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 3);
+  Db.delegate db ~from_:t1 ~to_:t2 (oid 3);
+  Db.abort db t0;
+  Db.abort db t1;
+  check_val db 3 33 "chain: survives both earlier aborts";
+  Db.commit db t2;
+  Db.crash db;
+  ignore (Db.recover db);
+  check_val db 3 33 "chain: final delegatee decides"
+
+let not_responsible impl () =
+  let db = mk ~impl () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Alcotest.check_raises "cannot delegate an object never updated"
+    (Errors.Not_responsible { xid = t0; oid = oid 0 }) (fun () ->
+      Db.delegate db ~from_:t0 ~to_:t1 (oid 0));
+  Db.write db t0 (oid 0) 1;
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+  Alcotest.check_raises "responsibility is gone after delegating"
+    (Errors.Not_responsible { xid = t0; oid = oid 0 }) (fun () ->
+      Db.delegate db ~from_:t0 ~to_:t1 (oid 0))
+
+let update_after_delegation impl () =
+  let db = mk ~impl () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t0 (oid 0) 5;
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+  (* increment locks commute, so t0 can update the object again even
+     though its earlier update now belongs to t1 (§2.1.2) *)
+  Db.add db t0 (oid 0) 2;
+  Db.abort db t0;
+  Alcotest.(check int) "only t0's new add undone" 5 (Db.peek db (oid 0));
+  Db.commit db t1;
+  Alcotest.(check int) "delegated add committed" 5 (Db.peek db (oid 0))
+
+let checkpoint_recovery impl () =
+  let db = mk ~impl () in
+  let t1 = Db.begin_txn db in
+  Db.write db t1 (oid 0) 1;
+  Db.commit db t1;
+  let t2 = Db.begin_txn db in
+  Db.write db t2 (oid 1) 2;
+  Db.checkpoint db;
+  let t3 = Db.begin_txn db in
+  Db.write db t3 (oid 2) 3;
+  Db.commit db t3;
+  Db.crash db;
+  ignore (Db.recover db);
+  check_val db 0 1 "pre-checkpoint winner survives";
+  check_val db 1 0 "checkpoint-spanning loser undone";
+  check_val db 2 3 "post-checkpoint winner survives"
+
+let checkpoint_with_delegation () =
+  let db = mk ~impl:Config.Rh () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.write db t0 (oid 0) 7;
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+  Db.checkpoint db;
+  (* the scope travels through the checkpoint; t1 is the loser *)
+  Db.commit db t0;
+  Db.crash db;
+  ignore (Db.recover db);
+  check_val db 0 0 "delegated-to-loser update undone via checkpointed scope"
+
+let double_crash_idempotent impl () =
+  let db = mk ~impl () in
+  let t1 = Db.begin_txn db in
+  Db.add db t1 (oid 0) 10;
+  let t2 = Db.begin_txn db in
+  Db.add db t2 (oid 0) 100;
+  Db.commit db t1;
+  Db.crash db;
+  ignore (Db.recover db);
+  check_val db 0 10 "first recovery";
+  Db.crash db;
+  ignore (Db.recover db);
+  check_val db 0 10 "second recovery is a no-op"
+
+let lock_conflict () =
+  let db = mk () in
+  let t1 = Db.begin_txn db in
+  let t2 = Db.begin_txn db in
+  Db.write db t1 (oid 0) 1;
+  (try
+     Db.write db t2 (oid 0) 2;
+     Alcotest.fail "expected a lock conflict"
+   with Errors.Conflict { holders; _ } ->
+     Alcotest.(check (list int)) "t1 blocks" [ Xid.to_int t1 ]
+       (List.map Xid.to_int holders));
+  Db.commit db t1;
+  Db.write db t2 (oid 0) 2;
+  Db.commit db t2;
+  check_val db 0 2 "eventually both wrote"
+
+let permit_allows_sharing () =
+  let db = mk () in
+  let t1 = Db.begin_txn db in
+  let t2 = Db.begin_txn db in
+  Db.write db t1 (oid 0) 1;
+  Db.permit db ~holder:t1 ~grantee:t2;
+  Db.write db t2 (oid 0) 2;
+  Db.commit db t1;
+  Db.commit db t2;
+  check_val db 0 2 "permit let t2 through"
+
+let lock_transferred_on_delegate () =
+  let db = mk () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.write db t0 (oid 0) 1;
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+  (* t0 lost its lock with the delegation; now t0 is the one blocked *)
+  (try
+     Db.write db t0 (oid 0) 5;
+     Alcotest.fail "expected t0 to be blocked by the delegatee"
+   with Errors.Conflict { holders; _ } ->
+     Alcotest.(check (list int)) "t1 holds" [ Xid.to_int t1 ]
+       (List.map Xid.to_int holders));
+  Db.commit db t1;
+  check_val db 0 1 "delegated write committed by delegatee"
+
+let savepoint_basic impl () =
+  let db = mk ~impl () in
+  let t1 = Db.begin_txn db in
+  Db.write db t1 (oid 0) 1;
+  let sp = Db.savepoint db t1 in
+  Db.write db t1 (oid 1) 2;
+  Db.add db t1 (oid 2) 3;
+  Db.rollback_to db t1 sp;
+  check_val db 0 1 "pre-savepoint survives";
+  check_val db 1 0 "post-savepoint set undone";
+  check_val db 2 0 "post-savepoint add undone";
+  Db.write db t1 (oid 1) 9;
+  Db.commit db t1;
+  check_val db 0 1 "committed pre-savepoint";
+  check_val db 1 9 "work after partial rollback committed"
+
+let savepoint_survives_crash impl () =
+  let db = mk ~impl () in
+  let t1 = Db.begin_txn db in
+  Db.add db t1 (oid 0) 5;
+  let sp = Db.savepoint db t1 in
+  Db.add db t1 (oid 0) 50;
+  Db.rollback_to db t1 sp;
+  Db.commit db t1;
+  Db.crash db;
+  ignore (Db.recover db);
+  check_val db 0 5 "partial rollback is durable (CLRs redone)"
+
+let savepoint_then_loser impl () =
+  let db = mk ~impl () in
+  let t1 = Db.begin_txn db in
+  Db.add db t1 (oid 0) 5;
+  let sp = Db.savepoint db t1 in
+  Db.add db t1 (oid 0) 50;
+  Db.rollback_to db t1 sp;
+  (* crash with t1 still active: everything goes, with no double undo of
+     the already-compensated suffix *)
+  Ariesrh_wal.Log_store.flush (Db.log_store db)
+    ~upto:(Ariesrh_wal.Log_store.head (Db.log_store db));
+  Db.crash db;
+  ignore (Db.recover db);
+  check_val db 0 0 "full rollback after partial rollback"
+
+let savepoint_spares_delegated_in impl () =
+  let db = mk ~impl () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t0 (oid 0) 7;
+  Db.add db t1 (oid 1) 1;
+  let sp = Db.savepoint db t1 in
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+  Db.add db t1 (oid 2) 2;
+  (* the delegated-in update predates the savepoint: partial rollback
+     only undoes t1's own post-savepoint work *)
+  Db.rollback_to db t1 sp;
+  check_val db 0 7 "older delegated-in update spared";
+  check_val db 2 0 "own post-savepoint work undone";
+  Db.commit db t1;
+  check_val db 0 7 "delegated update committed by delegatee"
+
+let nested_savepoints impl () =
+  let db = mk ~impl () in
+  let t1 = Db.begin_txn db in
+  Db.add db t1 (oid 0) 1;
+  let sp1 = Db.savepoint db t1 in
+  Db.add db t1 (oid 1) 2;
+  let sp2 = Db.savepoint db t1 in
+  Db.add db t1 (oid 2) 3;
+  Db.rollback_to db t1 sp2;
+  check_val db 2 0 "inner rollback";
+  check_val db 1 2 "middle survives inner rollback";
+  Db.rollback_to db t1 sp1;
+  check_val db 1 0 "outer rollback";
+  check_val db 0 1 "first update survives";
+  Db.abort db t1;
+  check_val db 0 0 "abort finishes the job"
+
+(* --- operation-granularity delegation (§2.1.2's general model) --- *)
+
+let op_delegation_splits_responsibility () =
+  let db = mk ~impl:Config.Rh () in
+  let t = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t (oid 0) 100;
+  let first_add = Db.last_lsn_of db t in
+  Db.add db t (oid 0) 10;
+  (* delegate only the first add; the second stays with t *)
+  Db.delegate_update db ~from_:t ~to_:t1 (oid 0) first_add;
+  Db.abort db t;
+  Alcotest.(check int) "only t's retained update undone" 100
+    (Db.peek db (oid 0));
+  Db.commit db t1;
+  Alcotest.(check int) "delegated single op committed" 100 (Db.peek db (oid 0))
+
+let op_delegation_middle_of_scope () =
+  let db = mk ~impl:Config.Rh () in
+  let t = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t (oid 0) 1;
+  Db.add db t (oid 0) 10;
+  let middle = Db.last_lsn_of db t in
+  Db.add db t (oid 0) 100;
+  Db.delegate_update db ~from_:t ~to_:t1 (oid 0) middle;
+  (* the scope was split: t keeps the 1 and the 100 *)
+  Db.abort db t;
+  Alcotest.(check int) "prefix and suffix undone" 10 (Db.peek db (oid 0));
+  Db.commit db t1
+
+let op_delegation_survives_crash () =
+  let db = mk ~impl:Config.Rh () in
+  let t = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t (oid 0) 100;
+  let l = Db.last_lsn_of db t in
+  Db.add db t (oid 0) 10;
+  Db.delegate_update db ~from_:t ~to_:t1 (oid 0) l;
+  Db.commit db t1;
+  Db.crash db;
+  ignore (Db.recover db);
+  Alcotest.(check int) "split replayed from the log" 100 (Db.peek db (oid 0))
+
+let op_delegation_preconditions () =
+  let db = mk ~impl:Config.Rh () in
+  let t = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t (oid 0) 1;
+  let l = Db.last_lsn_of db t in
+  Alcotest.check_raises "operation not covered"
+    (Errors.Not_responsible { xid = t1; oid = oid 0 }) (fun () ->
+      Db.delegate_update db ~from_:t1 ~to_:t (oid 0) l);
+  let db2 = mk ~impl:Config.Eager () in
+  let u = Db.begin_txn db2 in
+  let u1 = Db.begin_txn db2 in
+  Db.add db2 u (oid 0) 1;
+  let l2 = Db.last_lsn_of db2 u in
+  match Db.delegate_update db2 ~from_:u ~to_:u1 (oid 0) l2 with
+  | () -> Alcotest.fail "eager should not support operation granularity"
+  | exception Invalid_argument _ -> ()
+
+let op_delegation_keeps_isolation () =
+  let db = mk ~impl:Config.Rh () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t0 (oid 0) 5;
+  let l = Db.last_lsn_of db t0 in
+  Db.delegate_update db ~from_:t0 ~to_:t1 (oid 0) l;
+  (* the delegator resolves, but the delegated update is uncommitted:
+     the delegatee's own increment lock must keep writers out *)
+  Db.commit db t0;
+  let t2 = Db.begin_txn db in
+  (try
+     Db.write db t2 (oid 0) 100;
+     Alcotest.fail "a Set slipped past an uncommitted delegated update"
+   with Errors.Conflict { holders; _ } ->
+     Alcotest.(check (list int)) "the delegatee blocks" [ Xid.to_int t1 ]
+       (List.map Xid.to_int holders));
+  Db.abort db t1;
+  Db.write db t2 (oid 0) 100;
+  Db.commit db t2;
+  check_val db 0 100 "clean final state"
+
+let op_delegation_requires_commuting () =
+  let db = mk ~impl:Config.Rh () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.write db t0 (oid 0) 5;
+  let l = Db.last_lsn_of db t0 in
+  match Db.delegate_update db ~from_:t0 ~to_:t1 (oid 0) l with
+  | () -> Alcotest.fail "a Set (X-locked) must not be op-delegable"
+  | exception Invalid_argument _ ->
+      (* the whole-object path still works *)
+      Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+      Db.commit db t1;
+      check_val db 0 5 "set delegated whole and committed"
+
+let op_delegation_open_scope_continues () =
+  let db = mk ~impl:Config.Rh () in
+  let t = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t (oid 0) 1;
+  let l = Db.last_lsn_of db t in
+  Db.delegate_update db ~from_:t ~to_:t1 (oid 0) l;
+  (* t keeps updating: the suffix (empty here) means a fresh scope *)
+  Db.add db t (oid 0) 10;
+  Db.commit db t;
+  Db.abort db t1;
+  Alcotest.(check int) "t's later add committed, delegated one undone" 10
+    (Db.peek db (oid 0))
+
+let truncation_basic () =
+  let db = mk () in
+  let t1 = Db.begin_txn db in
+  Db.write db t1 (oid 0) 1;
+  Db.commit db t1;
+  Alcotest.(check int) "nothing reclaimable before a checkpoint" 0
+    (Db.truncate_log db);
+  Db.shutdown db;
+  (* pages flushed: only the master record limits reclamation *)
+  Db.checkpoint db;
+  let reclaimed = Db.truncate_log db in
+  Alcotest.(check bool) "committed prefix reclaimed" true (reclaimed >= 4);
+  (* the engine still works, and restarts from the checkpoint *)
+  let t2 = Db.begin_txn db in
+  Db.write db t2 (oid 1) 2;
+  Db.commit db t2;
+  Db.crash db;
+  ignore (Db.recover db);
+  check_val db 0 1 "old committed data intact";
+  check_val db 1 2 "new data recovered"
+
+let truncation_pinned_by_delegation () =
+  let db = mk () in
+  (* a worker updates and delegates to a long-lived collector, then
+     commits: the update's fate now hangs on the collector, so the log
+     record must survive even though its writer committed *)
+  let collector = Db.begin_txn db in
+  let worker = Db.begin_txn db in
+  Db.add db worker (oid 0) 5;
+  let update_lsn = Db.last_lsn_of db worker in
+  Db.delegate db ~from_:worker ~to_:collector (oid 0);
+  Db.commit db worker;
+  Db.checkpoint db;
+  let horizon = Db.truncation_horizon db in
+  Alcotest.(check bool) "horizon pinned at or before the delegated update"
+    true
+    Lsn.(horizon <= update_lsn);
+  ignore (Db.truncate_log db);
+  (* the pinned record is still readable, and aborting the collector
+     still undoes it *)
+  Db.abort db collector;
+  check_val db 0 0 "delegated update undone after truncation";
+  (* with the collector gone the log can advance *)
+  Db.shutdown db;
+  Db.checkpoint db;
+  let horizon' = Db.truncation_horizon db in
+  Alcotest.(check bool) "horizon advances once the delegatee ends" true
+    Lsn.(horizon' > horizon)
+
+let truncation_respects_dirty_pages () =
+  let db =
+    Db.create
+      (Config.make ~n_objects:64 ~objects_per_page:4 ~buffer_capacity:64 ())
+  in
+  let t1 = Db.begin_txn db in
+  Db.write db t1 (oid 0) 1;
+  let rec_lsn = Db.last_lsn_of db t1 in
+  Db.commit db t1;
+  Db.checkpoint db;
+  (* the page is still dirty (big pool, never evicted): its recLSN pins *)
+  let horizon = Db.truncation_horizon db in
+  Alcotest.(check bool) "dirty page pins the horizon" true
+    Lsn.(horizon <= rec_lsn)
+
+let dpt_bounds_redo_page_fetches () =
+  (* lots of committed, flushed, checkpointed history: restart must not
+     re-read those data pages (the DPT tells it they were clean) *)
+  let db =
+    Db.create
+      (Config.make ~n_objects:256 ~objects_per_page:8 ~buffer_capacity:64 ())
+  in
+  for i = 0 to 199 do
+    let t = Db.begin_txn db in
+    Db.write db t (oid (i mod 64)) i;
+    Db.commit db t
+  done;
+  Db.shutdown db;
+  Db.checkpoint db;
+  let t = Db.begin_txn db in
+  Db.write db t (oid 0) 999;
+  Db.commit db t;
+  Db.crash db;
+  let before = (Db.disk_stats db).page_reads in
+  ignore (Db.recover db);
+  let reads = (Db.disk_stats db).page_reads - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "recovery read %d data pages (expected < 5)" reads)
+    true (reads < 5);
+  check_val db 0 999 "state correct nonetheless"
+
+let crash_during_checkpoint () =
+  let db = mk () in
+  let t1 = Db.begin_txn db in
+  Db.write db t1 (oid 0) 7;
+  Db.commit db t1;
+  Db.checkpoint db;
+  let t2 = Db.begin_txn db in
+  Db.write db t2 (oid 1) 8;
+  Db.commit db t2;
+  (* a checkpoint starts but the machine dies before its end record is
+     durable: the master still names the previous, complete checkpoint *)
+  let log = Db.log_store db in
+  ignore
+    (Ariesrh_wal.Log_store.append log
+       (Ariesrh_wal.Record.mk_system Ariesrh_wal.Record.Ckpt_begin));
+  Ariesrh_wal.Log_store.flush log ~upto:(Ariesrh_wal.Log_store.head log);
+  Db.crash db;
+  ignore (Db.recover db);
+  check_val db 0 7 "pre-checkpoint winner";
+  check_val db 1 8 "post-checkpoint winner"
+
+(* --- media recovery --- *)
+
+let media_recovery_basic impl () =
+  let db = mk ~impl () in
+  let t1 = Db.begin_txn db in
+  Db.write db t1 (oid 0) 11;
+  Db.commit db t1;
+  let b = Db.backup db in
+  let t2 = Db.begin_txn db in
+  Db.write db t2 (oid 1) 22;
+  Db.commit db t2;
+  let t3 = Db.begin_txn db in
+  Db.write db t3 (oid 2) 33;
+  (* t3 in flight when the disk dies *)
+  Db.media_failure db;
+  check_val db 0 0 "disk really gone";
+  ignore (Db.restore_media db b);
+  check_val db 0 11 "pre-backup work restored from the archive";
+  check_val db 1 22 "post-backup work rolled forward from the log";
+  check_val db 2 0 "in-flight transaction rolled back"
+
+let media_recovery_with_delegation () =
+  let db = mk ~impl:Config.Rh () in
+  let b = Db.backup db in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  let t2 = Db.begin_txn db in
+  Db.add db t0 (oid 0) 100;
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+  Db.add db t0 (oid 0) 10;
+  Db.delegate db ~from_:t0 ~to_:t2 (oid 0);
+  Db.commit db t1;
+  Db.media_failure db;
+  ignore (Db.restore_media db b);
+  check_val db 0 100 "delegation semantics hold through media recovery"
+
+let media_recovery_rejects_truncated_log () =
+  let db = mk () in
+  let b = Db.backup db in
+  let t1 = Db.begin_txn db in
+  Db.write db t1 (oid 0) 1;
+  Db.commit db t1;
+  Db.shutdown db;
+  Db.checkpoint db;
+  ignore (Db.truncate_log db);
+  Db.media_failure db;
+  match Db.restore_media db b with
+  | _ -> Alcotest.fail "restore from a pre-truncation backup must fail"
+  | exception Invalid_argument _ -> ()
+
+let for_impls name f =
+  [
+    Alcotest.test_case (name ^ " (rh)") `Quick (f Config.Rh);
+    Alcotest.test_case (name ^ " (eager)") `Quick (f Config.Eager);
+    Alcotest.test_case (name ^ " (lazy)") `Quick (f Config.Lazy);
+  ]
+
+let suite =
+  List.concat
+    [
+      for_impls "commit survives crash" commit_survives_crash;
+      for_impls "uncommitted rolls back" uncommitted_rolls_back;
+      for_impls "abort undoes" abort_undoes;
+      for_impls "delegated survives delegator abort"
+        delegated_survives_delegator_abort;
+      for_impls "delegated dies with delegatee" delegated_dies_with_delegatee;
+      for_impls "example 2" example2;
+      for_impls "example 2 with crash" example2_crash;
+      for_impls "delegation chain" delegation_chain;
+      for_impls "not responsible" not_responsible;
+      for_impls "update after delegation" update_after_delegation;
+      for_impls "checkpoint recovery" checkpoint_recovery;
+      for_impls "double crash idempotent" double_crash_idempotent;
+      for_impls "savepoint basic" savepoint_basic;
+      for_impls "savepoint survives crash" savepoint_survives_crash;
+      for_impls "savepoint then loser" savepoint_then_loser;
+      for_impls "savepoint spares delegated-in" savepoint_spares_delegated_in;
+      for_impls "nested savepoints" nested_savepoints;
+      for_impls "media recovery basic" media_recovery_basic;
+      [
+        Alcotest.test_case "checkpoint with delegation" `Quick
+          checkpoint_with_delegation;
+        Alcotest.test_case "lock conflict" `Quick lock_conflict;
+        Alcotest.test_case "permit allows sharing" `Quick permit_allows_sharing;
+        Alcotest.test_case "lock transferred on delegate" `Quick
+          lock_transferred_on_delegate;
+        Alcotest.test_case "op delegation splits responsibility" `Quick
+          op_delegation_splits_responsibility;
+        Alcotest.test_case "op delegation mid-scope" `Quick
+          op_delegation_middle_of_scope;
+        Alcotest.test_case "op delegation survives crash" `Quick
+          op_delegation_survives_crash;
+        Alcotest.test_case "op delegation preconditions" `Quick
+          op_delegation_preconditions;
+        Alcotest.test_case "op delegation then open scope continues" `Quick
+          op_delegation_open_scope_continues;
+        Alcotest.test_case "op delegation keeps isolation" `Quick
+          op_delegation_keeps_isolation;
+        Alcotest.test_case "op delegation requires commuting updates" `Quick
+          op_delegation_requires_commuting;
+        Alcotest.test_case "truncation basic" `Quick truncation_basic;
+        Alcotest.test_case "truncation pinned by delegation" `Quick
+          truncation_pinned_by_delegation;
+        Alcotest.test_case "truncation respects dirty pages" `Quick
+          truncation_respects_dirty_pages;
+        Alcotest.test_case "DPT bounds redo page fetches" `Quick
+          dpt_bounds_redo_page_fetches;
+        Alcotest.test_case "crash during checkpoint" `Quick
+          crash_during_checkpoint;
+        Alcotest.test_case "media recovery with delegation" `Quick
+          media_recovery_with_delegation;
+        Alcotest.test_case "media recovery rejects truncated log" `Quick
+          media_recovery_rejects_truncated_log;
+      ];
+    ]

@@ -1,0 +1,214 @@
+(* The EOS-style NO-UNDO/REDO engine with delegation (§3.7), including
+   its equivalence with ARIES/RH on read/write workloads. *)
+
+open Ariesrh_types
+open Ariesrh_eos
+open Ariesrh_workload
+
+let oid = Oid.of_int
+
+let no_undo_isolation () =
+  let db = Eos_db.create ~n_objects:8 in
+  let t1 = Eos_db.begin_txn db in
+  Eos_db.write db t1 (oid 0) 5;
+  Alcotest.(check int) "uncommitted write invisible outside" 0
+    (Eos_db.peek db (oid 0));
+  Alcotest.(check int) "but visible to the writer" 5 (Eos_db.read db t1 (oid 0));
+  Eos_db.commit db t1;
+  Alcotest.(check int) "installed at commit" 5 (Eos_db.peek db (oid 0))
+
+let abort_is_free () =
+  let db = Eos_db.create ~n_objects:8 in
+  let t1 = Eos_db.begin_txn db in
+  Eos_db.write db t1 (oid 0) 5;
+  Eos_db.abort db t1;
+  Alcotest.(check int) "nothing ever applied" 0 (Eos_db.peek db (oid 0));
+  Alcotest.(check int) "nothing logged" 0 (Eos_db.global_log_length db)
+
+let delegation_image () =
+  let db = Eos_db.create ~n_objects:8 in
+  let t1 = Eos_db.begin_txn db in
+  let t2 = Eos_db.begin_txn db in
+  Eos_db.write db t1 (oid 0) 7;
+  Eos_db.delegate db ~from_:t1 ~to_:t2 (oid 0);
+  (* visibility passed with the image *)
+  Alcotest.(check int) "delegatee sees the tentative value" 7
+    (Eos_db.read db t2 (oid 0));
+  Alcotest.(check bool) "delegator no longer responsible" false
+    (Eos_db.responsible db t1 (oid 0));
+  Eos_db.abort db t1;
+  Eos_db.commit db t2;
+  Alcotest.(check int) "delegated write survives delegator abort" 7
+    (Eos_db.peek db (oid 0))
+
+let delegation_dies_with_delegatee () =
+  let db = Eos_db.create ~n_objects:8 in
+  let t1 = Eos_db.begin_txn db in
+  let t2 = Eos_db.begin_txn db in
+  Eos_db.write db t1 (oid 0) 7;
+  Eos_db.delegate db ~from_:t1 ~to_:t2 (oid 0);
+  Eos_db.commit db t1;
+  (* t1 filtered the delegated write out: commits nothing for ob0 *)
+  Alcotest.(check int) "not installed by the delegator" 0 (Eos_db.peek db (oid 0));
+  Eos_db.abort db t2;
+  Alcotest.(check int) "gone with the delegatee" 0 (Eos_db.peek db (oid 0))
+
+let delegate_requires_state () =
+  let db = Eos_db.create ~n_objects:8 in
+  let t1 = Eos_db.begin_txn db in
+  let t2 = Eos_db.begin_txn db in
+  match Eos_db.delegate db ~from_:t1 ~to_:t2 (oid 0) with
+  | () -> Alcotest.fail "expected precondition failure"
+  | exception Invalid_argument _ -> ()
+
+let crash_recovery () =
+  let db = Eos_db.create ~n_objects:8 in
+  let t1 = Eos_db.begin_txn db in
+  Eos_db.write db t1 (oid 0) 3;
+  Eos_db.commit db t1;
+  let t2 = Eos_db.begin_txn db in
+  Eos_db.write db t2 (oid 1) 9;
+  (* t2 never commits *)
+  Eos_db.crash db;
+  let report = Eos_db.recover db in
+  Alcotest.(check int) "winner restored" 3 (Eos_db.peek db (oid 0));
+  Alcotest.(check int) "loser never existed" 0 (Eos_db.peek db (oid 1));
+  Alcotest.(check int) "one winner" 1 (Xid.Set.cardinal report.winners)
+
+let chain_delegation () =
+  let db = Eos_db.create ~n_objects:8 in
+  let t1 = Eos_db.begin_txn db in
+  let t2 = Eos_db.begin_txn db in
+  let t3 = Eos_db.begin_txn db in
+  Eos_db.write db t1 (oid 0) 1;
+  Eos_db.delegate db ~from_:t1 ~to_:t2 (oid 0);
+  Eos_db.write db t2 (oid 0) 2;
+  Eos_db.delegate db ~from_:t2 ~to_:t3 (oid 0);
+  Eos_db.abort db t1;
+  Eos_db.abort db t2;
+  Eos_db.commit db t3;
+  Alcotest.(check int) "last delegatee's view wins" 2 (Eos_db.peek db (oid 0))
+
+let checkpoint_bounds_recovery () =
+  let db = Eos_db.create ~n_objects:8 in
+  for i = 0 to 4 do
+    let t = Eos_db.begin_txn db in
+    Eos_db.write db t (oid 0) i;
+    Eos_db.commit db t
+  done;
+  Eos_db.checkpoint db;
+  let reclaimed = Eos_db.truncate_global_log db in
+  Alcotest.(check int) "old entries reclaimed" 5 reclaimed;
+  let t = Eos_db.begin_txn db in
+  Eos_db.write db t (oid 1) 9;
+  Eos_db.commit db t;
+  Eos_db.crash db;
+  let r = Eos_db.recover db in
+  Alcotest.(check int) "only the post-checkpoint entry replayed" 1
+    r.entries_replayed;
+  Alcotest.(check int) "checkpointed state restored" 4 (Eos_db.peek db (oid 0));
+  Alcotest.(check int) "post-checkpoint work restored" 9 (Eos_db.peek db (oid 1))
+
+let checkpoint_with_pending_delegation () =
+  let db = Eos_db.create ~n_objects:8 in
+  let t1 = Eos_db.begin_txn db in
+  let t2 = Eos_db.begin_txn db in
+  Eos_db.write db t1 (oid 0) 7;
+  Eos_db.delegate db ~from_:t1 ~to_:t2 (oid 0);
+  (* checkpoint sees no uncommitted data by construction *)
+  Eos_db.checkpoint db;
+  Eos_db.commit db t2;
+  Eos_db.abort db t1;
+  Eos_db.crash db;
+  ignore (Eos_db.recover db);
+  Alcotest.(check int) "delegated write replayed after the checkpoint" 7
+    (Eos_db.peek db (oid 0))
+
+(* scripted equivalence: EOS and the ARIES/RH engine agree on committed
+   state for write-only workloads (EOS is read/write per §3.7) *)
+let eos_spec steps =
+  {
+    Gen.default with
+    n_objects = 32;
+    n_steps = steps;
+    p_add = 0.0;
+    p_checkpoint = 0.0;
+    p_savepoint = 0.0;
+    p_rollback = 0.0;
+  }
+
+let run_eos db script ~upto =
+  let xids = Hashtbl.create 16 in
+  let x t = Hashtbl.find xids t in
+  List.iteri
+    (fun i action ->
+      if i < upto then
+        match action with
+        | Script.Begin t -> Hashtbl.replace xids t (Eos_db.begin_txn db)
+        | Script.Read (t, o) -> ignore (Eos_db.read db (x t) (oid o))
+        | Script.Write (t, o, v) -> Eos_db.write db (x t) (oid o) v
+        | Script.Add _ -> Alcotest.fail "EOS scripts must be write-only"
+        | Script.Delegate (f, g, o) ->
+            (* the generator only delegates objects in the Ob_List, which
+               for EOS means tentative state exists *)
+            Eos_db.delegate db ~from_:(x f) ~to_:(x g) (oid o)
+        | Script.Savepoint _ | Script.Rollback_to _ ->
+            Alcotest.fail "EOS scripts do not use savepoints"
+        | Script.Commit t -> Eos_db.commit db (x t)
+        | Script.Abort t -> Eos_db.abort db (x t)
+        | Script.Checkpoint -> ())
+    script
+
+let matches_oracle =
+  QCheck.Test.make ~count:200 ~name:"EOS matches oracle after crash"
+    (QCheck.make
+       ~print:(fun (s, f) -> Printf.sprintf "seed=%Ld frac=%.2f" s f)
+       QCheck.Gen.(
+         map2
+           (fun s f -> (Int64.of_int s, f))
+           (int_bound 1_000_000) (float_bound_inclusive 1.0)))
+    (fun (seed, frac) ->
+      let script = Gen.generate (eos_spec 120) ~seed in
+      let n = List.length script in
+      let at = min n (int_of_float (frac *. float_of_int n)) in
+      let db = Eos_db.create ~n_objects:32 in
+      run_eos db script ~upto:at;
+      Eos_db.crash db;
+      ignore (Eos_db.recover db);
+      Eos_db.peek_all db = Oracle.expected ~n_objects:32 ~crash_at:at script)
+
+let agrees_with_rh =
+  QCheck.Test.make ~count:120 ~name:"EOS and ARIES/RH agree"
+    (QCheck.make ~print:Int64.to_string
+       QCheck.Gen.(map Int64.of_int (int_bound 1_000_000)))
+    (fun seed ->
+      let script = Gen.generate (eos_spec 100) ~seed in
+      let n = List.length script in
+      let eos = Eos_db.create ~n_objects:32 in
+      run_eos eos script ~upto:n;
+      Eos_db.crash eos;
+      ignore (Eos_db.recover eos);
+      let rh = Driver.fresh_db ~n_objects:32 () in
+      Driver.run rh script;
+      Ariesrh_core.Db.crash rh;
+      ignore (Ariesrh_core.Db.recover rh);
+      Eos_db.peek_all eos = Ariesrh_core.Db.peek_all rh)
+
+let suite =
+  [
+    Alcotest.test_case "no-undo isolation" `Quick no_undo_isolation;
+    Alcotest.test_case "abort is free" `Quick abort_is_free;
+    Alcotest.test_case "delegation carries an image" `Quick delegation_image;
+    Alcotest.test_case "delegation dies with delegatee" `Quick
+      delegation_dies_with_delegatee;
+    Alcotest.test_case "delegate requires tentative state" `Quick
+      delegate_requires_state;
+    Alcotest.test_case "crash recovery is redo-only" `Quick crash_recovery;
+    Alcotest.test_case "chain delegation" `Quick chain_delegation;
+    Alcotest.test_case "checkpoint bounds recovery" `Quick
+      checkpoint_bounds_recovery;
+    Alcotest.test_case "checkpoint with pending delegation" `Quick
+      checkpoint_with_pending_delegation;
+    QCheck_alcotest.to_alcotest matches_oracle;
+    QCheck_alcotest.to_alcotest agrees_with_rh;
+  ]

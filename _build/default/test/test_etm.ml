@@ -1,0 +1,391 @@
+(* Extended transaction models synthesized on delegation (§2.2), driven
+   through the ASSET primitive layer. *)
+
+open Ariesrh_types
+open Ariesrh_core
+open Ariesrh_etm
+
+let oid = Oid.of_int
+
+let mk () =
+  let db =
+    Db.create (Config.make ~n_objects:64 ~objects_per_page:4 ~buffer_capacity:8 ())
+  in
+  (db, Asset.create db)
+
+(* --- ASSET primitives --- *)
+
+let asset_run_and_wait () =
+  let db, rt = mk () in
+  let h = Asset.initiate rt ~name:"worker" (fun self ->
+      Asset.write rt self (oid 0) 5)
+  in
+  Alcotest.(check bool) "body ran" true (Asset.begin_run rt h);
+  Alcotest.(check bool) "wait sees success" true (Asset.wait rt h);
+  Asset.commit rt h;
+  Alcotest.(check int) "committed" 5 (Db.peek db (oid 0))
+
+let asset_failed_body_aborts () =
+  let db, rt = mk () in
+  let h = Asset.initiate rt (fun self ->
+      Asset.write rt self (oid 0) 5;
+      failwith "boom")
+  in
+  Alcotest.(check bool) "body failed" false (Asset.begin_run rt h);
+  Alcotest.(check bool) "wait sees failure" false (Asset.wait rt h);
+  Alcotest.(check int) "rolled back" 0 (Db.peek db (oid 0))
+
+let asset_commit_dependency () =
+  let db, rt = mk () in
+  ignore db;
+  let a = Asset.initiate_empty rt ~name:"a" () in
+  let b = Asset.initiate_empty rt ~name:"b" () in
+  Asset.form_dependency rt ~kind:Asset.Commit_dep ~dependent:a ~on:b;
+  (match Asset.commit rt a with
+  | () -> Alcotest.fail "commit should be blocked by the pending dependency"
+  | exception Asset.Aborted _ -> ());
+  Asset.commit rt b
+(* a was aborted by the failed commit; b is free to commit *)
+
+let asset_commit_dependency_satisfied () =
+  let db, rt = mk () in
+  let a = Asset.initiate_empty rt ~name:"a" () in
+  let b = Asset.initiate_empty rt ~name:"b" () in
+  Asset.write rt a (oid 1) 11;
+  Asset.form_dependency rt ~kind:Asset.Commit_dep ~dependent:a ~on:b;
+  Asset.commit rt b;
+  Asset.commit rt a;
+  Alcotest.(check int) "a committed after b" 11 (Db.peek db (oid 1))
+
+let asset_abort_dependency_cascades () =
+  let db, rt = mk () in
+  let a = Asset.initiate_empty rt ~name:"a" () in
+  let b = Asset.initiate_empty rt ~name:"b" () in
+  let c = Asset.initiate_empty rt ~name:"c" () in
+  Asset.write rt a (oid 0) 1;
+  Asset.write rt b (oid 1) 2;
+  Asset.write rt c (oid 2) 3;
+  (* a depends on b depends on c: aborting c kills all three *)
+  Asset.form_dependency rt ~kind:Asset.Abort_dep ~dependent:a ~on:b;
+  Asset.form_dependency rt ~kind:Asset.Abort_dep ~dependent:b ~on:c;
+  Asset.abort rt c;
+  Alcotest.(check int) "c undone" 0 (Db.peek db (oid 2));
+  Alcotest.(check int) "b cascaded" 0 (Db.peek db (oid 1));
+  Alcotest.(check int) "a cascaded transitively" 0 (Db.peek db (oid 0))
+
+let asset_dependency_cycle_rejected () =
+  let _, rt = mk () in
+  let a = Asset.initiate_empty rt () in
+  let b = Asset.initiate_empty rt () in
+  Asset.form_dependency rt ~kind:Asset.Commit_dep ~dependent:a ~on:b;
+  match Asset.form_dependency rt ~kind:Asset.Commit_dep ~dependent:b ~on:a with
+  | () -> Alcotest.fail "cycle accepted"
+  | exception Asset.Dependency_cycle -> ()
+
+(* --- split / join (§2.2.1) --- *)
+
+let split_independent_fates () =
+  let db, rt = mk () in
+  let t1 = Asset.initiate_empty rt ~name:"t1" () in
+  Asset.write rt t1 (oid 0) 10;
+  Asset.write rt t1 (oid 1) 20;
+  Asset.write rt t1 (oid 2) 30;
+  (* split off responsibility for ob0 and ob1 *)
+  let t2 = Split.split rt t1 ~objects:[ oid 0; oid 1 ] in
+  Asset.abort rt t1;
+  Alcotest.(check int) "t1's remaining work undone" 0 (Db.peek db (oid 2));
+  Alcotest.(check int) "split-off work alive" 10 (Db.peek db (oid 0));
+  Asset.commit rt t2;
+  Alcotest.(check int) "split commits independently" 20 (Db.peek db (oid 1))
+
+let split_then_join () =
+  let db, rt = mk () in
+  let t1 = Asset.initiate_empty rt ~name:"t1" () in
+  Asset.write rt t1 (oid 0) 10;
+  let t2 = Split.split rt t1 ~objects:[ oid 0 ] in
+  Asset.write rt t2 (oid 1) 5;
+  (* t2 rejoins t1: everything is t1's again *)
+  Split.join rt ~from_:t2 ~into:t1;
+  Asset.commit rt t1;
+  Alcotest.(check int) "original write" 10 (Db.peek db (oid 0));
+  Alcotest.(check int) "work done while split" 5 (Db.peek db (oid 1))
+
+let split_join_then_abort () =
+  let db, rt = mk () in
+  let t1 = Asset.initiate_empty rt ~name:"t1" () in
+  Asset.write rt t1 (oid 0) 10;
+  let t2 = Split.split rt t1 ~objects:[ oid 0 ] in
+  Split.join rt ~from_:t2 ~into:t1;
+  Asset.abort rt t1;
+  Alcotest.(check int) "everything undone after join + abort" 0
+    (Db.peek db (oid 0))
+
+(* --- nested transactions (§2.2.2) --- *)
+
+let nested_trip () =
+  (* the paper's trip example: airline + hotel; hotel failure cancels all *)
+  let db, rt = mk () in
+  let book_trip ~hotel_ok =
+    let trip = Nested.start rt in
+    let airline = Nested.run_sub trip (fun sub -> Nested.write sub (oid 0) 1) in
+    Alcotest.(check bool) "airline reserved" true airline;
+    let hotel =
+      Nested.run_sub trip (fun sub ->
+          Nested.write sub (oid 1) 1;
+          if not hotel_ok then failwith "no rooms")
+    in
+    if airline && hotel then begin
+      Nested.commit_root trip;
+      true
+    end
+    else begin
+      Nested.abort trip;
+      false
+    end
+  in
+  Alcotest.(check bool) "failed trip reports failure" false (book_trip ~hotel_ok:false);
+  Alcotest.(check int) "airline reservation not permanent" 0 (Db.peek db (oid 0));
+  Alcotest.(check int) "hotel reservation undone" 0 (Db.peek db (oid 1));
+  Alcotest.(check bool) "successful trip" true (book_trip ~hotel_ok:true);
+  Alcotest.(check int) "airline booked" 1 (Db.peek db (oid 0));
+  Alcotest.(check int) "hotel booked" 1 (Db.peek db (oid 1))
+
+let nested_subabort_does_not_doom_parent () =
+  let db, rt = mk () in
+  let root = Nested.start rt in
+  Nested.write root (oid 0) 7;
+  let ok = Nested.run_sub root (fun sub ->
+      Nested.write sub (oid 1) 9;
+      failwith "sub fails")
+  in
+  Alcotest.(check bool) "sub failed" false ok;
+  Alcotest.(check int) "sub's work undone immediately" 0 (Db.peek db (oid 1));
+  Nested.commit_root root;
+  Alcotest.(check int) "parent survives" 7 (Db.peek db (oid 0))
+
+let nested_child_sees_parent_objects () =
+  let db, rt = mk () in
+  let root = Nested.start rt in
+  Nested.write root (oid 0) 7;
+  let ok = Nested.run_sub root (fun sub ->
+      (* would deadlock without the permit *)
+      Nested.write sub (oid 0) 8)
+  in
+  Alcotest.(check bool) "child wrote the parent's object" true ok;
+  Nested.commit_root root;
+  Alcotest.(check int) "child's update inherited and committed" 8
+    (Db.peek db (oid 0))
+
+let nested_three_levels () =
+  let db, rt = mk () in
+  let root = Nested.start rt in
+  let ok = Nested.run_sub root (fun mid ->
+      Nested.write mid (oid 0) 1;
+      let deep_ok = Nested.run_sub mid (fun deep -> Nested.write deep (oid 1) 2) in
+      if not deep_ok then failwith "deep failed")
+  in
+  Alcotest.(check bool) "both levels succeeded" true ok;
+  Alcotest.(check int) "nothing permanent before root commit" 0
+    (Db.stable_value db (oid 0));
+  Nested.commit_root root;
+  Db.crash db;
+  ignore (Db.recover db);
+  Alcotest.(check int) "level 1 work permanent" 1 (Db.peek db (oid 0));
+  Alcotest.(check int) "level 2 work permanent" 2 (Db.peek db (oid 1))
+
+(* --- reporting transactions --- *)
+
+let reporting_reports_survive_cancel () =
+  let db, rt = mk () in
+  let r = Reporting.start rt in
+  Reporting.add r (oid 0) 5;
+  Alcotest.(check int) "one object reported" 1 (Reporting.report r);
+  Reporting.add r (oid 1) 7;
+  Reporting.cancel r;
+  Db.crash db;
+  ignore (Db.recover db);
+  Alcotest.(check int) "reported result is permanent" 5 (Db.peek db (oid 0));
+  Alcotest.(check int) "unreported result dies with the reporter" 0
+    (Db.peek db (oid 1))
+
+let reporting_finish_commits_rest () =
+  let db, rt = mk () in
+  let r = Reporting.start rt in
+  Reporting.add r (oid 0) 5;
+  ignore (Reporting.report r);
+  Reporting.add r (oid 1) 7;
+  Reporting.finish r;
+  Alcotest.(check int) "reported" 5 (Db.peek db (oid 0));
+  Alcotest.(check int) "final work committed" 7 (Db.peek db (oid 1))
+
+let reporting_empty_report () =
+  let _, rt = mk () in
+  let r = Reporting.start rt in
+  Alcotest.(check int) "nothing to report" 0 (Reporting.report r);
+  Reporting.finish r
+
+(* --- joint transactions --- *)
+
+let joint_commit_together () =
+  let db, rt = mk () in
+  let g = Joint.create rt in
+  let m1 = Joint.join g in
+  let m2 = Joint.join g in
+  Asset.write rt m1 (oid 0) 1;
+  Asset.write rt m2 (oid 1) 2;
+  Alcotest.(check int) "two members" 2 (Joint.members g);
+  Joint.commit g;
+  Alcotest.(check int) "m1's work committed" 1 (Db.peek db (oid 0));
+  Alcotest.(check int) "m2's work committed" 2 (Db.peek db (oid 1));
+  Db.crash db;
+  ignore (Db.recover db);
+  Alcotest.(check int) "durable" 1 (Db.peek db (oid 0))
+
+let joint_abort_together () =
+  let db, rt = mk () in
+  let g = Joint.create rt in
+  let m1 = Joint.join g in
+  let m2 = Joint.join g in
+  Asset.write rt m1 (oid 0) 1;
+  Asset.write rt m2 (oid 1) 2;
+  Joint.abort g;
+  Alcotest.(check int) "m1 undone" 0 (Db.peek db (oid 0));
+  Alcotest.(check int) "m2 undone" 0 (Db.peek db (oid 1))
+
+let joint_member_failure_cascades () =
+  let db, rt = mk () in
+  let g = Joint.create rt in
+  let m1 = Joint.join g in
+  let m2 = Joint.join g in
+  Asset.write rt m1 (oid 0) 1;
+  Asset.write rt m2 (oid 1) 2;
+  (* one member dies: the whole unit dies with it *)
+  Asset.abort rt m1;
+  Alcotest.(check int) "m1 undone" 0 (Db.peek db (oid 0));
+  Alcotest.(check int) "m2 cascaded" 0 (Db.peek db (oid 1))
+
+(* --- open nested transactions --- *)
+
+let open_nested_early_release () =
+  let db, rt = mk () in
+  let order = Open_nested.start rt in
+  let ok =
+    Open_nested.run_sub order
+      ~compensate:(fun c -> Asset.add rt c (oid 0) 1)
+      (fun sub -> Asset.add rt sub (oid 0) (-1))
+  in
+  Alcotest.(check bool) "sub committed" true ok;
+  (* the sub's effect is durable before the parent finishes *)
+  Db.crash db;
+  ignore (Db.recover db);
+  Alcotest.(check int) "early release is permanent" (-1) (Db.peek db (oid 0))
+
+let open_nested_compensation_on_abort () =
+  let db, rt = mk () in
+  let order = Open_nested.start rt in
+  ignore
+    (Open_nested.run_sub order
+       ~compensate:(fun c -> Asset.add rt c (oid 0) 5)
+       (fun sub -> Asset.add rt sub (oid 0) (-5)));
+  ignore
+    (Open_nested.run_sub order
+       ~compensate:(fun c -> Asset.add rt c (oid 1) 3)
+       (fun sub -> Asset.add rt sub (oid 1) (-3)));
+  Open_nested.write order (oid 2) 9;
+  Alcotest.(check int) "two subs committed" 2 (Open_nested.committed_subs order);
+  Open_nested.abort order;
+  Alcotest.(check int) "first sub compensated" 0 (Db.peek db (oid 0));
+  Alcotest.(check int) "second sub compensated" 0 (Db.peek db (oid 1));
+  Alcotest.(check int) "parent's own work undone normally" 0 (Db.peek db (oid 2))
+
+let open_nested_commit_discards_compensations () =
+  let db, rt = mk () in
+  let order = Open_nested.start rt in
+  ignore
+    (Open_nested.run_sub order
+       ~compensate:(fun c -> Asset.add rt c (oid 0) 99)
+       (fun sub -> Asset.add rt sub (oid 0) 1));
+  Open_nested.commit order;
+  Alcotest.(check int) "no compensation after commit" 1 (Db.peek db (oid 0))
+
+let open_nested_failed_sub () =
+  let db, rt = mk () in
+  let order = Open_nested.start rt in
+  let ok =
+    Open_nested.run_sub order
+      ~compensate:(fun _ -> Alcotest.fail "must not be registered")
+      (fun sub ->
+        Asset.add rt sub (oid 0) 1;
+        failwith "boom")
+  in
+  Alcotest.(check bool) "failed" false ok;
+  Alcotest.(check int) "aborted cleanly" 0 (Db.peek db (oid 0));
+  Open_nested.abort order
+
+(* --- co-transactions --- *)
+
+let cotrans_handoff () =
+  let db, rt = mk () in
+  let pair = Cotrans.start rt in
+  Cotrans.write pair (oid 0) 1;
+  Cotrans.switch pair;
+  (* the other side continues where the first left off *)
+  Alcotest.(check int) "sees the passed state" 1 (Cotrans.read pair (oid 0));
+  Cotrans.write pair (oid 1) 2;
+  Cotrans.switch pair;
+  Cotrans.write pair (oid 2) 3;
+  Cotrans.commit pair;
+  Alcotest.(check int) "first side's work" 1 (Db.peek db (oid 0));
+  Alcotest.(check int) "second side's work" 2 (Db.peek db (oid 1));
+  Alcotest.(check int) "third hop's work" 3 (Db.peek db (oid 2))
+
+let cotrans_abort_undoes_everything () =
+  let db, rt = mk () in
+  let pair = Cotrans.start rt in
+  Cotrans.write pair (oid 0) 1;
+  Cotrans.switch pair;
+  Cotrans.write pair (oid 1) 2;
+  Cotrans.abort pair;
+  Alcotest.(check int) "hop 1 undone" 0 (Db.peek db (oid 0));
+  Alcotest.(check int) "hop 2 undone" 0 (Db.peek db (oid 1))
+
+let suite =
+  [
+    Alcotest.test_case "asset run and wait" `Quick asset_run_and_wait;
+    Alcotest.test_case "asset failed body aborts" `Quick asset_failed_body_aborts;
+    Alcotest.test_case "asset commit dependency blocks" `Quick asset_commit_dependency;
+    Alcotest.test_case "asset commit dependency satisfied" `Quick
+      asset_commit_dependency_satisfied;
+    Alcotest.test_case "asset abort dependency cascades" `Quick
+      asset_abort_dependency_cascades;
+    Alcotest.test_case "asset dependency cycle rejected" `Quick
+      asset_dependency_cycle_rejected;
+    Alcotest.test_case "split: independent fates" `Quick split_independent_fates;
+    Alcotest.test_case "split then join" `Quick split_then_join;
+    Alcotest.test_case "split, join, abort" `Quick split_join_then_abort;
+    Alcotest.test_case "nested: the trip example" `Quick nested_trip;
+    Alcotest.test_case "nested: sub abort spares parent" `Quick
+      nested_subabort_does_not_doom_parent;
+    Alcotest.test_case "nested: child accesses parent objects" `Quick
+      nested_child_sees_parent_objects;
+    Alcotest.test_case "nested: three levels + crash" `Quick nested_three_levels;
+    Alcotest.test_case "reporting: reports survive cancel" `Quick
+      reporting_reports_survive_cancel;
+    Alcotest.test_case "reporting: finish commits rest" `Quick
+      reporting_finish_commits_rest;
+    Alcotest.test_case "reporting: empty report" `Quick reporting_empty_report;
+    Alcotest.test_case "joint: commit together" `Quick joint_commit_together;
+    Alcotest.test_case "joint: abort together" `Quick joint_abort_together;
+    Alcotest.test_case "joint: member failure cascades" `Quick
+      joint_member_failure_cascades;
+    Alcotest.test_case "open nested: early release" `Quick
+      open_nested_early_release;
+    Alcotest.test_case "open nested: compensation on abort" `Quick
+      open_nested_compensation_on_abort;
+    Alcotest.test_case "open nested: commit discards compensations" `Quick
+      open_nested_commit_discards_compensations;
+    Alcotest.test_case "open nested: failed sub" `Quick open_nested_failed_sub;
+    Alcotest.test_case "cotrans: handoff" `Quick cotrans_handoff;
+    Alcotest.test_case "cotrans: abort undoes everything" `Quick
+      cotrans_abort_undoes_everything;
+  ]

@@ -1,0 +1,131 @@
+(* Inspection surfaces: object history, live responsibility, chains,
+   the engine validator, and printers. *)
+
+open Ariesrh_types
+open Ariesrh_core
+
+let oid = Oid.of_int
+
+let mk () =
+  Db.create
+    (Config.make ~n_objects:32 ~objects_per_page:4 ~buffer_capacity:8 ())
+
+let object_history_tells_the_story () =
+  let db = mk () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t0 (oid 0) 5;
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+  Db.abort db t1;
+  let events = Db.object_history db (oid 0) in
+  match events with
+  | [ Db.Updated u; Db.Delegated d; Db.Compensated c ] ->
+      Alcotest.(check int) "update by t0" (Xid.to_int t0) (Xid.to_int u.invoker);
+      Alcotest.(check int) "delegated to t1" (Xid.to_int t1) (Xid.to_int d.to_);
+      Alcotest.(check bool) "object granularity" true (d.op_lsn = None);
+      Alcotest.(check int) "compensated by the delegatee" (Xid.to_int t1)
+        (Xid.to_int c.by);
+      Alcotest.(check int) "compensates the original update"
+        (Lsn.to_int u.lsn) (Lsn.to_int c.undone)
+  | l -> Alcotest.failf "unexpected history (%d events)" (List.length l)
+
+let history_shows_op_granularity () =
+  let db = mk () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t0 (oid 0) 5;
+  let l = Db.last_lsn_of db t0 in
+  Db.delegate_update db ~from_:t0 ~to_:t1 (oid 0) l;
+  (match Db.object_history db (oid 0) with
+  | [ Db.Updated _; Db.Delegated { op_lsn = Some op; _ } ] ->
+      Alcotest.(check int) "names the operation" (Lsn.to_int l) (Lsn.to_int op)
+  | _ -> Alcotest.fail "expected update + op-granular delegation");
+  Db.commit db t1;
+  Db.commit db t0
+
+let responsible_now_reflects_delegation () =
+  let db = mk () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t0 (oid 0) 5;
+  (match Db.responsible_now db (oid 0) with
+  | [ (owner, invoker) ] ->
+      Alcotest.(check bool) "own update" true
+        (Xid.equal owner t0 && Xid.equal invoker t0)
+  | _ -> Alcotest.fail "one pair expected");
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+  match Db.responsible_now db (oid 0) with
+  | [ (owner, invoker) ] ->
+      Alcotest.(check bool) "responsibility moved, invoker preserved" true
+        (Xid.equal owner t1 && Xid.equal invoker t0)
+  | _ -> Alcotest.fail "one pair expected"
+
+let chain_of_walks_the_chain () =
+  let db = mk () in
+  let t0 = Db.begin_txn db in
+  Db.add db t0 (oid 0) 1;
+  Db.add db t0 (oid 1) 2;
+  let chain = Db.chain_of db t0 in
+  Alcotest.(check int) "begin + two updates" 3 (List.length chain);
+  let ints = List.map Lsn.to_int chain in
+  Alcotest.(check (list int)) "head first, decreasing"
+    (List.sort (fun a b -> compare b a) ints)
+    ints
+
+let validate_fresh_and_busy () =
+  let db = mk () in
+  (match Db.validate db with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fresh engine invalid: %s" e);
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t0 (oid 0) 5;
+  Db.add db t1 (oid 0) 7;
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+  match Db.validate db with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "busy engine invalid: %s" e
+
+let config_validation () =
+  Alcotest.check_raises "zero objects"
+    (Invalid_argument "Config: n_objects must be positive") (fun () ->
+      Config.validate (Config.make ~n_objects:0 ()));
+  Alcotest.check_raises "zero pool"
+    (Invalid_argument "Config: buffer_capacity must be positive") (fun () ->
+      Config.validate (Config.make ~buffer_capacity:0 ()));
+  Alcotest.(check int) "pages needed rounds up" 3
+    (Config.pages_needed (Config.make ~n_objects:17 ~objects_per_page:8 ()))
+
+let error_printers () =
+  let s e = Format.asprintf "%a" Errors.pp_exn e in
+  Alcotest.(check bool) "conflict mentions blockers" true
+    (String.length
+       (s (Errors.Conflict { requester = Xid.of_int 1; holders = [ Xid.of_int 2 ] }))
+    > 0);
+  Alcotest.(check bool) "not responsible names both" true
+    (s (Errors.Not_responsible { xid = Xid.of_int 3; oid = oid 4 })
+    = "t3 is not responsible for ob4")
+
+let report_printer_smoke () =
+  let db = mk () in
+  let t = Db.begin_txn db in
+  Db.add db t (oid 0) 1;
+  Db.crash db;
+  let r = Db.recover db in
+  Alcotest.(check bool) "report prints" true
+    (String.length (Format.asprintf "%a" Ariesrh_recovery.Report.pp r) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "object history tells the story" `Quick
+      object_history_tells_the_story;
+    Alcotest.test_case "history shows op granularity" `Quick
+      history_shows_op_granularity;
+    Alcotest.test_case "responsible_now reflects delegation" `Quick
+      responsible_now_reflects_delegation;
+    Alcotest.test_case "chain_of walks the chain" `Quick chain_of_walks_the_chain;
+    Alcotest.test_case "validate fresh and busy" `Quick validate_fresh_and_busy;
+    Alcotest.test_case "config validation" `Quick config_validation;
+    Alcotest.test_case "error printers" `Quick error_printers;
+    Alcotest.test_case "report printer smoke" `Quick report_printer_smoke;
+  ]

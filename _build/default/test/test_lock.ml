@@ -1,0 +1,135 @@
+(* Lock modes, the lock table (with transfer — the delegation hook), and
+   the waits-for graph. *)
+
+open Ariesrh_types
+open Ariesrh_lock
+
+let xid = Xid.of_int
+let oid = Oid.of_int
+
+let mode_matrix () =
+  let open Mode in
+  Alcotest.(check bool) "S/S" true (compatible S S);
+  Alcotest.(check bool) "S/X" false (compatible S X);
+  Alcotest.(check bool) "S/I" false (compatible S I);
+  Alcotest.(check bool) "X/anything" false
+    (compatible X S || compatible X X || compatible X I);
+  Alcotest.(check bool) "I/I commute" true (compatible I I);
+  Alcotest.(check bool) "I/S" false (compatible I S);
+  Alcotest.(check bool) "sup S I = X" true (equal (sup S I) X);
+  Alcotest.(check bool) "X covers all" true
+    (covers X S && covers X X && covers X I);
+  Alcotest.(check bool) "S does not cover X" false (covers S X)
+
+let grant expect t x o m =
+  match Lock_table.acquire t (xid x) (oid o) m with
+  | Lock_table.Granted -> if not expect then Alcotest.fail "unexpected grant"
+  | Lock_table.Conflict _ -> if expect then Alcotest.fail "unexpected conflict"
+
+let basic_locking () =
+  let t = Lock_table.create () in
+  grant true t 1 0 Mode.S;
+  grant true t 2 0 Mode.S;
+  grant false t 3 0 Mode.X;
+  grant true t 1 1 Mode.X;
+  grant false t 2 1 Mode.S;
+  Lock_table.release_all t (xid 1);
+  grant true t 2 1 Mode.S
+
+let increment_locks_commute () =
+  let t = Lock_table.create () in
+  grant true t 1 0 Mode.I;
+  grant true t 2 0 Mode.I;
+  grant true t 3 0 Mode.I;
+  grant false t 4 0 Mode.S;
+  grant false t 4 0 Mode.X
+
+let upgrade () =
+  let t = Lock_table.create () in
+  grant true t 1 0 Mode.S;
+  grant true t 1 0 Mode.X;
+  (* sole holder upgrades *)
+  grant false t 2 0 Mode.S;
+  let t2 = Lock_table.create () in
+  grant true t2 1 1 Mode.S;
+  grant true t2 2 1 Mode.S;
+  grant false t2 1 1 Mode.X (* cannot upgrade past another reader *)
+
+let reacquire_is_noop () =
+  let t = Lock_table.create () in
+  grant true t 1 0 Mode.X;
+  grant true t 1 0 Mode.S;
+  (* covered *)
+  Alcotest.(check int) "still one entry" 1 (Lock_table.locked_count t)
+
+let transfer_moves_lock () =
+  let t = Lock_table.create () in
+  grant true t 1 0 Mode.X;
+  Lock_table.transfer t (oid 0) ~from_:(xid 1) ~to_:(xid 2);
+  Alcotest.(check bool) "from released" true (Lock_table.held t (xid 1) (oid 0) = None);
+  Alcotest.(check bool) "to holds X" true
+    (match Lock_table.held t (xid 2) (oid 0) with
+    | Some m -> Mode.equal m Mode.X
+    | None -> false);
+  grant false t 1 0 Mode.X
+
+let transfer_merges () =
+  let t = Lock_table.create () in
+  grant true t 1 0 Mode.I;
+  grant true t 2 0 Mode.I;
+  Lock_table.transfer t (oid 0) ~from_:(xid 1) ~to_:(xid 2);
+  Alcotest.(check bool) "merged into I" true
+    (match Lock_table.held t (xid 2) (oid 0) with
+    | Some m -> Mode.equal m Mode.I
+    | None -> false);
+  (* other increment holders are unaffected *)
+  grant true t 3 0 Mode.I
+
+let permit_bypasses () =
+  let t = Lock_table.create () in
+  grant true t 1 0 Mode.X;
+  (match Lock_table.acquire ~permit:(fun h -> Xid.equal h (xid 1)) t (xid 2) (oid 0) Mode.X with
+  | Lock_table.Granted -> ()
+  | Lock_table.Conflict _ -> Alcotest.fail "permit should bypass");
+  (* a third party is still blocked, by both holders now *)
+  match Lock_table.acquire t (xid 3) (oid 0) Mode.X with
+  | Lock_table.Granted -> Alcotest.fail "expected conflict"
+  | Lock_table.Conflict hs -> Alcotest.(check int) "two blockers" 2 (List.length hs)
+
+let deadlock_cycle () =
+  let g = Deadlock.create () in
+  Deadlock.add_wait g ~waiter:(xid 1) ~holder:(xid 2);
+  Deadlock.add_wait g ~waiter:(xid 2) ~holder:(xid 3);
+  Alcotest.(check bool) "2-cycle detected" true
+    (Deadlock.would_cycle g ~waiter:(xid 2) ~holder:(xid 1));
+  Alcotest.(check bool) "3-cycle detected" true
+    (Deadlock.would_cycle g ~waiter:(xid 3) ~holder:(xid 1));
+  Alcotest.(check bool) "unrelated edge is fine" false
+    (Deadlock.would_cycle g ~waiter:(xid 4) ~holder:(xid 1));
+  Deadlock.add_wait g ~waiter:(xid 3) ~holder:(xid 1);
+  (match Deadlock.cycle_through g (xid 1) with
+  | Some cycle -> Alcotest.(check int) "cycle length" 3 (List.length cycle)
+  | None -> Alcotest.fail "cycle not found");
+  Deadlock.remove_txn g (xid 2);
+  Alcotest.(check bool) "cycle broken" true (Deadlock.cycle_through g (xid 1) = None)
+
+let deadlock_clear_waits () =
+  let g = Deadlock.create () in
+  Deadlock.add_wait g ~waiter:(xid 1) ~holder:(xid 2);
+  Deadlock.clear_waits g (xid 1);
+  Alcotest.(check bool) "no cycle after clearing" false
+    (Deadlock.would_cycle g ~waiter:(xid 2) ~holder:(xid 1))
+
+let suite =
+  [
+    Alcotest.test_case "mode matrix" `Quick mode_matrix;
+    Alcotest.test_case "basic locking" `Quick basic_locking;
+    Alcotest.test_case "increment locks commute" `Quick increment_locks_commute;
+    Alcotest.test_case "upgrade" `Quick upgrade;
+    Alcotest.test_case "reacquire is noop" `Quick reacquire_is_noop;
+    Alcotest.test_case "transfer moves lock" `Quick transfer_moves_lock;
+    Alcotest.test_case "transfer merges" `Quick transfer_merges;
+    Alcotest.test_case "permit bypasses" `Quick permit_bypasses;
+    Alcotest.test_case "deadlock cycle detection" `Quick deadlock_cycle;
+    Alcotest.test_case "deadlock clear waits" `Quick deadlock_clear_waits;
+  ]

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "ariesrh"
+    [
+      ("util", Test_util.suite);
+      ("small", Test_small.suite);
+      ("wal", Test_wal.suite);
+      ("storage", Test_storage.suite);
+      ("lock", Test_lock.suite);
+      ("txn", Test_txn.suite);
+      ("recovery", Test_recovery.suite);
+      ("db", Test_db.suite);
+      ("eos", Test_eos.suite);
+      ("etm", Test_etm.suite);
+      ("workload", Test_workload.suite);
+      ("introspection", Test_introspection.suite);
+      ("model", Test_model.suite);
+      ("model-based", Test_model_based.suite);
+      ("properties", Test_properties.suite);
+    ]

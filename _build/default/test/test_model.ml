@@ -1,0 +1,185 @@
+(* The executable formal model (§2.1 / §4.1): history extraction,
+   ResponsibleTr, delegation chains, well-formedness, and the recovery
+   obligations checked on real post-recovery logs. *)
+
+open Ariesrh_types
+open Ariesrh_core
+open Ariesrh_model
+open Ariesrh_workload
+
+let oid = Oid.of_int
+
+let mk () =
+  Db.create
+    (Config.make ~n_objects:48 ~objects_per_page:8 ~buffer_capacity:8
+       ~locking:false ())
+
+let history_extraction () =
+  let db = mk () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t0 (oid 0) 5;
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+  Db.commit db t1;
+  let h = History.of_log (Db.log_store db) in
+  Alcotest.(check int) "six events" 6 (List.length h);
+  Alcotest.(check bool) "t1 is a winner" true
+    (Xid.Set.mem t1 (History.winners h));
+  Alcotest.(check bool) "t0 is a loser so far" true
+    (Xid.Set.mem t0 (History.losers h))
+
+let responsibility_follows_delegations () =
+  let db = mk () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  let t2 = Db.begin_txn db in
+  Db.add db t0 (oid 0) 5;
+  let u = Db.last_lsn_of db t0 in
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+  Db.delegate db ~from_:t1 ~to_:t2 (oid 0);
+  let h = History.of_log (Db.log_store db) in
+  (match History.responsible h with
+  | [ (lsn, resp) ] ->
+      Alcotest.(check int) "the one update" (Lsn.to_int u) (Lsn.to_int lsn);
+      Alcotest.(check int) "responsible is the last delegatee" (Xid.to_int t2)
+        (Xid.to_int resp)
+  | l -> Alcotest.failf "expected one update, got %d" (List.length l));
+  Alcotest.(check (list int)) "the §4.1 delegation chain"
+    (List.map Xid.to_int [ t0; t1; t2 ])
+    (List.map Xid.to_int (History.delegation_chain h u))
+
+let op_granularity_responsibility () =
+  let db = mk () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t0 (oid 0) 5;
+  let u1 = Db.last_lsn_of db t0 in
+  Db.add db t0 (oid 0) 7;
+  let u2 = Db.last_lsn_of db t0 in
+  Db.delegate_update db ~from_:t0 ~to_:t1 (oid 0) u1;
+  let h = History.of_log (Db.log_store db) in
+  let resp = History.responsible h in
+  Alcotest.(check int) "first update moved" (Xid.to_int t1)
+    (Xid.to_int (List.assoc u1 resp));
+  Alcotest.(check int) "second update stayed" (Xid.to_int t0)
+    (Xid.to_int (List.assoc u2 resp))
+
+let well_formedness_accepts_engine_logs () =
+  let db = mk () in
+  let t0 = Db.begin_txn db in
+  let t1 = Db.begin_txn db in
+  Db.add db t0 (oid 0) 5;
+  Db.delegate db ~from_:t0 ~to_:t1 (oid 0);
+  Db.add db t0 (oid 0) 2;
+  Db.abort db t0;
+  Db.commit db t1;
+  match History.check_well_formed (History.of_log (Db.log_store db)) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "engine log rejected: %s" e
+
+let well_formedness_rejects_bad_histories () =
+  let x1 = Xid.of_int 1 and x2 = Xid.of_int 2 in
+  let l = Lsn.of_int in
+  let reject name h =
+    match History.check_well_formed h with
+    | Ok () -> Alcotest.failf "%s accepted" name
+    | Error _ -> ()
+  in
+  reject "update before begin"
+    [ History.Updated { lsn = l 1; invoker = x1; oid = oid 0 } ];
+  reject "delegation without responsibility"
+    [
+      History.Began x1; History.Began x2;
+      History.Delegated { lsn = l 3; tor = x1; tee = x2; oid = oid 0; op = None };
+    ];
+  reject "delegation to self"
+    [
+      History.Began x1;
+      History.Updated { lsn = l 2; invoker = x1; oid = oid 0 };
+      History.Delegated { lsn = l 3; tor = x1; tee = x1; oid = oid 0; op = None };
+    ];
+  reject "double commit"
+    [ History.Began x1; History.Committed x1; History.Committed x1 ];
+  reject "delegation by terminated delegator"
+    [
+      History.Began x1; History.Began x2;
+      History.Updated { lsn = l 3; invoker = x1; oid = oid 0 };
+      History.Committed x1; History.Ended x1;
+      History.Delegated { lsn = l 6; tor = x1; tee = x2; oid = oid 0; op = None };
+    ]
+
+let recovery_check_rejects_wrong_logs () =
+  let x1 = Xid.of_int 1 in
+  let l = Lsn.of_int in
+  (* a loser whose update was never compensated *)
+  (match
+     History.check_recovery
+       [
+         History.Began x1;
+         History.Updated { lsn = l 2; invoker = x1; oid = oid 0 };
+         History.Aborted x1; History.Ended x1;
+       ]
+   with
+  | Ok () -> Alcotest.fail "missing compensation accepted"
+  | Error _ -> ());
+  (* double compensation *)
+  match
+    History.check_recovery
+      [
+        History.Began x1;
+        History.Updated { lsn = l 2; invoker = x1; oid = oid 0 };
+        History.Compensated { lsn = l 3; by = x1; oid = oid 0; undone = l 2 };
+        History.Compensated { lsn = l 4; by = x1; oid = oid 0; undone = l 2 };
+        History.Aborted x1; History.Ended x1;
+      ]
+  with
+  | Ok () -> Alcotest.fail "double compensation accepted"
+  | Error _ -> ()
+
+(* the big one: every post-recovery engine log satisfies §4.1 *)
+let n_objects = 48
+
+let recovery_obligations_on_random_logs =
+  QCheck.Test.make ~count:250
+    ~name:"post-recovery logs satisfy the §4.1 obligations"
+    (QCheck.make
+       ~print:(fun (s, f) -> Printf.sprintf "seed=%Ld frac=%.2f" s f)
+       QCheck.Gen.(
+         map2
+           (fun s f -> (Int64.of_int s, f))
+           (int_bound 1_000_000) (float_bound_inclusive 1.0)))
+    (fun (seed, frac) ->
+      let script =
+        Gen.generate { Gen.default with n_objects; n_steps = 120 } ~seed
+      in
+      let n = List.length script in
+      let at = min n (int_of_float (frac *. float_of_int n)) in
+      let db = Driver.fresh_db ~n_objects () in
+      Driver.run ~upto:at db script;
+      Ariesrh_wal.Log_store.flush (Db.log_store db)
+        ~upto:(Ariesrh_wal.Log_store.head (Db.log_store db));
+      Db.crash db;
+      ignore (Db.recover db);
+      let h = History.of_log (Db.log_store db) in
+      (match History.check_well_formed h with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "well-formedness: %s" e);
+      match History.check_recovery h with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "recovery obligation: %s" e)
+
+let suite =
+  [
+    Alcotest.test_case "history extraction" `Quick history_extraction;
+    Alcotest.test_case "responsibility follows delegations" `Quick
+      responsibility_follows_delegations;
+    Alcotest.test_case "op-granularity responsibility" `Quick
+      op_granularity_responsibility;
+    Alcotest.test_case "well-formedness accepts engine logs" `Quick
+      well_formedness_accepts_engine_logs;
+    Alcotest.test_case "well-formedness rejects bad histories" `Quick
+      well_formedness_rejects_bad_histories;
+    Alcotest.test_case "recovery check rejects wrong logs" `Quick
+      recovery_check_rejects_wrong_logs;
+    QCheck_alcotest.to_alcotest recovery_obligations_on_random_logs;
+  ]

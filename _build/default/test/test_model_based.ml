@@ -1,0 +1,223 @@
+(* Model-based property tests for the storage substrate and the scope
+   algebra: random operation sequences compared against trivial
+   reference models. *)
+
+open Ariesrh_types
+module Prng = Ariesrh_util.Prng
+module Scope = Ariesrh_txn.Scope
+module Ob_list = Ariesrh_txn.Ob_list
+module Log_store = Ariesrh_wal.Log_store
+module Record = Ariesrh_wal.Record
+
+let seed_arb =
+  QCheck.make ~print:Int64.to_string
+    QCheck.Gen.(map Int64.of_int (int_bound 1_000_000))
+
+(* --- log store vs a list model ------------------------------------ *)
+
+let log_store_model =
+  QCheck.Test.make ~count:300 ~name:"log store behaves like a list with a \
+                                     durable prefix" seed_arb (fun seed ->
+      let rng = Prng.create seed in
+      let log = Log_store.create ~page_size:128 () in
+      (* model: all appended records, durable watermark *)
+      let model = ref [] in
+      (* newest first *)
+      let durable = ref 0 in
+      let mk i =
+        Record.mk (Xid.of_int 1) ~prev:Lsn.nil
+          (Record.Update
+             {
+               oid = Oid.of_int (i mod 16);
+               page = Page_id.of_int 0;
+               op = Record.Add i;
+             })
+      in
+      let steps = 40 + Prng.int rng 100 in
+      let ok = ref true in
+      for i = 1 to steps do
+        match Prng.int rng 10 with
+        | 0 | 1 | 2 | 3 | 4 ->
+            let r = mk i in
+            ignore (Log_store.append log r);
+            model := r :: !model
+        | 5 | 6 ->
+            let upto = Prng.int rng (List.length !model + 1) in
+            Log_store.flush log ~upto:(Lsn.of_int upto);
+            durable := max !durable (min upto (List.length !model))
+        | 7 ->
+            Log_store.crash log;
+            let n = List.length !model in
+            model := List.filteri (fun i _ -> i >= n - !durable) !model
+        | _ ->
+            if List.length !model > 0 then begin
+              let i = 1 + Prng.int rng (List.length !model) in
+              let expected = List.nth !model (List.length !model - i) in
+              if Log_store.read log (Lsn.of_int i) <> expected then ok := false
+            end
+      done;
+      !ok
+      && Lsn.to_int (Log_store.head log) = List.length !model
+      && Lsn.to_int (Log_store.durable log) = !durable)
+
+(* --- buffer pool vs an array model -------------------------------- *)
+
+let buffer_pool_model =
+  QCheck.Test.make ~count:300
+    ~name:"buffer pool reads equal an array model under eviction pressure"
+    seed_arb (fun seed ->
+      let rng = Prng.create seed in
+      let pages = 8 and slots = 4 in
+      let disk = Ariesrh_storage.Disk.create ~pages ~slots_per_page:slots in
+      let pool =
+        Ariesrh_storage.Buffer_pool.create
+          ~capacity:(1 + Prng.int rng 4)
+          ~disk
+          ~wal_flush:(fun _ -> ())
+      in
+      let model = Array.make (pages * slots) 0 in
+      let lsn = ref 0 in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let p = Prng.int rng pages and s = Prng.int rng slots in
+        let pid = Page_id.of_int p in
+        match Prng.int rng 4 with
+        | 0 | 1 ->
+            incr lsn;
+            let v = Prng.int rng 1000 in
+            Ariesrh_storage.Buffer_pool.apply pool pid ~lsn:(Lsn.of_int !lsn)
+              (fun page -> Ariesrh_storage.Page.set page s v);
+            model.((p * slots) + s) <- v
+        | 2 ->
+            if
+              Ariesrh_storage.Buffer_pool.read_object pool pid ~slot:s
+              <> model.((p * slots) + s)
+            then ok := false
+        | _ -> Ariesrh_storage.Buffer_pool.flush_all pool
+      done;
+      (* after a final flush, the disk agrees with the model too *)
+      Ariesrh_storage.Buffer_pool.flush_all pool;
+      for p = 0 to pages - 1 do
+        let page = Ariesrh_storage.Disk.read_page disk (Page_id.of_int p) in
+        for s = 0 to slots - 1 do
+          if Ariesrh_storage.Page.get page s <> model.((p * slots) + s) then
+            ok := false
+        done
+      done;
+      !ok)
+
+(* --- scope algebra invariants -------------------------------------- *)
+
+(* Random sequences of note_update / take / receive / split_out across a
+   few owners; after every step, same-invoker same-object scopes must be
+   pairwise disjoint across all lists, and every scope must cover only
+   LSNs at which that invoker updated that object. *)
+let scope_algebra =
+  QCheck.Test.make ~count:400 ~name:"scope algebra preserves disjointness"
+    seed_arb (fun seed ->
+      let rng = Prng.create seed in
+      let owners = Array.make 3 Ob_list.empty in
+      let xid i = Xid.of_int (i + 1) in
+      let lsn = ref 0 in
+      (* ground truth: (invoker, oid, lsn) of every update *)
+      let updates = ref [] in
+      let ok = ref true in
+      let check () =
+        let scopes =
+          Array.to_list owners |> List.concat_map Ob_list.all_scopes
+        in
+        let rec pairwise = function
+          | [] -> ()
+          | (s1 : Scope.t) :: rest ->
+              List.iter
+                (fun (s2 : Scope.t) ->
+                  if
+                    Xid.equal s1.invoker s2.invoker
+                    && Oid.equal s1.oid s2.oid
+                    && Scope.overlaps s1 s2
+                  then ok := false)
+                rest;
+              pairwise rest
+        in
+        pairwise scopes
+      in
+      for _ = 1 to 60 do
+        let o = Prng.int rng 3 in
+        let oid = Oid.of_int (Prng.int rng 4) in
+        (match Prng.int rng 5 with
+        | 0 | 1 ->
+            incr lsn;
+            owners.(o) <-
+              Ob_list.note_update owners.(o) ~owner:(xid o) ~oid
+                (Lsn.of_int !lsn);
+            updates := (xid o, oid, !lsn) :: !updates
+        | 2 -> (
+            (* whole-object delegation to another owner *)
+            let dst = (o + 1 + Prng.int rng 2) mod 3 in
+            match Ob_list.take owners.(o) oid with
+            | None -> ()
+            | Some (entry, rest) ->
+                owners.(o) <- rest;
+                owners.(dst) <-
+                  Ob_list.receive owners.(dst) ~oid ~from_:(xid o)
+                    entry.Ob_list.scopes)
+        | 3 -> (
+            (* operation-granularity: split out one of this owner's own
+               updates currently in its list *)
+            let candidates =
+              List.filter_map
+                (fun (inv, uoid, l) ->
+                  if
+                    Oid.equal uoid oid
+                    && List.exists
+                         (fun (s : Scope.t) ->
+                           Scope.covers s ~invoker:inv ~oid (Lsn.of_int l))
+                         (Ob_list.scopes_of owners.(o) oid)
+                  then Some (inv, l)
+                  else None)
+                !updates
+            in
+            match candidates with
+            | [] -> ()
+            | _ ->
+                let inv, l =
+                  List.nth candidates (Prng.int rng (List.length candidates))
+                in
+                let dst = (o + 1 + Prng.int rng 2) mod 3 in
+                let moved, rest =
+                  Ob_list.split_out owners.(o) ~oid ~invoker:inv (Lsn.of_int l)
+                in
+                owners.(o) <- rest;
+                (match moved with
+                | Some s ->
+                    owners.(dst) <-
+                      Ob_list.receive owners.(dst) ~oid ~from_:(xid o) [ s ]
+                | None -> ()))
+        | _ ->
+            (* close an open scope, as a partial rollback would *)
+            owners.(o) <- Ob_list.close_open owners.(o) oid);
+        check ()
+      done;
+      (* final: responsibility is total and unique — every update is
+         covered by exactly one live scope across all owners (a scope
+         itself may cover no updates: split suffixes are legitimate
+         potential ranges) *)
+      let scopes = Array.to_list owners |> List.concat_map Ob_list.all_scopes in
+      List.iter
+        (fun (inv, uoid, l) ->
+          let covering =
+            List.length
+              (List.filter
+                 (fun s -> Scope.covers s ~invoker:inv ~oid:uoid (Lsn.of_int l))
+                 scopes)
+          in
+          if covering <> 1 then ok := false)
+        !updates;
+      !ok)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest log_store_model;
+    QCheck_alcotest.to_alcotest buffer_pool_model;
+    QCheck_alcotest.to_alcotest scope_algebra;
+  ]

@@ -1,0 +1,162 @@
+(* Coverage sweep over the small API surfaces: identifier modules, stat
+   arithmetic, the EOS private log, and record helpers. *)
+
+open Ariesrh_types
+module Record = Ariesrh_wal.Record
+module Log_stats = Ariesrh_wal.Log_stats
+module Private_log = Ariesrh_eos.Private_log
+module Prng = Ariesrh_util.Prng
+
+let lsn_edges () =
+  Alcotest.(check bool) "nil is nil" true (Lsn.is_nil Lsn.nil);
+  Alcotest.(check int) "first" 1 (Lsn.to_int Lsn.first);
+  Alcotest.(check int) "next" 6 (Lsn.to_int (Lsn.next (Lsn.of_int 5)));
+  Alcotest.(check int) "prev of first is nil" 0 (Lsn.to_int (Lsn.prev Lsn.first));
+  Alcotest.check_raises "prev of nil"
+    (Invalid_argument "Lsn.prev: nil has no predecessor") (fun () ->
+      ignore (Lsn.prev Lsn.nil));
+  Alcotest.check_raises "negative lsn"
+    (Invalid_argument "Lsn.of_int: negative") (fun () ->
+      ignore (Lsn.of_int (-1)));
+  Alcotest.(check bool) "comparisons" true
+    Lsn.(of_int 3 < of_int 4 && of_int 4 <= of_int 4 && of_int 5 > of_int 4);
+  Alcotest.(check int) "max/min" 7
+    (Lsn.to_int (Lsn.max (Lsn.of_int 7) (Lsn.min (Lsn.of_int 9) (Lsn.of_int 3))));
+  Alcotest.(check string) "pp nil" "nil" (Format.asprintf "%a" Lsn.pp Lsn.nil);
+  Alcotest.(check string) "pp" "12" (Format.asprintf "%a" Lsn.pp (Lsn.of_int 12))
+
+let id_modules () =
+  Alcotest.check_raises "xid zero"
+    (Invalid_argument "Xid.of_int: xids are positive") (fun () ->
+      ignore (Xid.of_int 0));
+  Alcotest.(check string) "xid pp" "t9"
+    (Format.asprintf "%a" Xid.pp (Xid.of_int 9));
+  Alcotest.(check string) "oid pp" "ob4"
+    (Format.asprintf "%a" Oid.pp (Oid.of_int 4));
+  Alcotest.(check string) "page pp" "p2"
+    (Format.asprintf "%a" Page_id.pp (Page_id.of_int 2));
+  Alcotest.(check bool) "sets work" true
+    (Xid.Set.mem (Xid.of_int 3) (Xid.Set.of_list [ Xid.of_int 3 ]));
+  Alcotest.(check bool) "hash is stable" true
+    (Xid.hash (Xid.of_int 5) = Xid.hash (Xid.of_int 5))
+
+let log_stats_arith () =
+  let a = Log_stats.create () in
+  a.appends <- 10;
+  a.reads <- 7;
+  a.rewrites <- 2;
+  let b = Log_stats.copy a in
+  b.appends <- 25;
+  b.random_seeks <- 3;
+  let d = Log_stats.diff b a in
+  Alcotest.(check int) "appends diff" 15 d.appends;
+  Alcotest.(check int) "reads diff" 0 d.reads;
+  Alcotest.(check int) "seeks diff" 3 d.random_seeks;
+  Alcotest.(check bool) "copy detached" true (a.appends = 10);
+  Log_stats.reset a;
+  Alcotest.(check int) "reset" 0 a.appends;
+  Alcotest.(check bool) "pp" true
+    (String.length (Format.asprintf "%a" Log_stats.pp d) > 0)
+
+let prng_misc () =
+  let rng = Prng.create 5L in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Prng.choose rng arr in
+    if not (Array.mem v arr) then Alcotest.fail "choose out of array"
+  done;
+  let a = Prng.split rng in
+  let b = Prng.split rng in
+  Alcotest.(check bool) "split streams differ" false (Prng.next a = Prng.next b);
+  Alcotest.check_raises "choose empty"
+    (Invalid_argument "Prng.choose: empty array") (fun () ->
+      ignore (Prng.choose rng [||]))
+
+let record_helpers () =
+  let u =
+    Record.mk (Xid.of_int 1) ~prev:Lsn.nil
+      (Record.Update
+         {
+           oid = Oid.of_int 0;
+           page = Page_id.of_int 0;
+           op = Record.Set { before = 1; after = 2 };
+         })
+  in
+  Alcotest.(check bool) "is_update" true (Record.is_update u);
+  Alcotest.(check bool) "commit is not update" false
+    (Record.is_update (Record.mk (Xid.of_int 1) ~prev:Lsn.nil Record.Commit));
+  Alcotest.(check int) "writer" 1 (Xid.to_int (Record.writer_exn u));
+  Alcotest.check_raises "system record has no writer"
+    (Invalid_argument "Record.writer_exn: checkpoint record has no writer")
+    (fun () -> ignore (Record.writer_exn (Record.mk_system Record.Ckpt_begin)));
+  Alcotest.(check int) "set_writer" 7
+    (Xid.to_int (Record.writer_exn (Record.set_writer u (Xid.of_int 7))));
+  Alcotest.(check bool) "encoded_size positive" true (Record.encoded_size u > 0)
+
+let private_log_semantics () =
+  let p = Private_log.create () in
+  Alcotest.(check int) "empty" 0 (Private_log.length p);
+  Alcotest.(check (option int)) "no value" None
+    (Private_log.value_of p (Oid.of_int 0));
+  Private_log.append p (Private_log.Write (Oid.of_int 0, 5));
+  Private_log.append p (Private_log.Write (Oid.of_int 1, 7));
+  Private_log.append p (Private_log.Write (Oid.of_int 0, 9));
+  Alcotest.(check (option int)) "latest write wins" (Some 9)
+    (Private_log.value_of p (Oid.of_int 0));
+  Alcotest.(check int) "effective is one per object" 2
+    (List.length (Private_log.effective p));
+  Private_log.append p
+    (Private_log.Received { from_ = Xid.of_int 9; oid = Oid.of_int 0; image = 3 });
+  Alcotest.(check (option int)) "image newer than writes" (Some 3)
+    (Private_log.value_of p (Oid.of_int 0));
+  Private_log.filter_delegated p (Oid.of_int 0);
+  Alcotest.(check (option int)) "filtered out" None
+    (Private_log.value_of p (Oid.of_int 0));
+  Alcotest.(check (option int)) "other object untouched" (Some 7)
+    (Private_log.value_of p (Oid.of_int 1))
+
+let zipf_n_and_errors () =
+  let z = Ariesrh_util.Zipf.create ~n:10 ~theta:0.5 in
+  Alcotest.(check int) "n" 10 (Ariesrh_util.Zipf.n z);
+  Alcotest.check_raises "n=0"
+    (Invalid_argument "Zipf.create: n must be positive") (fun () ->
+      ignore (Ariesrh_util.Zipf.create ~n:0 ~theta:1.0));
+  Alcotest.check_raises "negative theta"
+    (Invalid_argument "Zipf.create: theta must be >= 0") (fun () ->
+      ignore (Ariesrh_util.Zipf.create ~n:5 ~theta:(-1.0)))
+
+let heap_duplicates () =
+  let h = Ariesrh_util.Heap.create ~leq:(fun a b -> a <= b) in
+  List.iter (Ariesrh_util.Heap.push h) [ 5; 5; 5; 3; 5 ];
+  let rec drain acc =
+    match Ariesrh_util.Heap.pop h with
+    | None -> List.rev acc
+    | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "duplicates preserved" [ 5; 5; 5; 5; 3 ] (drain [])
+
+let scope_printer_and_errors () =
+  let s =
+    Ariesrh_txn.Scope.make ~invoker:(Xid.of_int 1) ~oid:(Oid.of_int 2)
+      ~first:(Lsn.of_int 3) ~last:(Lsn.of_int 9)
+  in
+  Alcotest.(check string) "pp" "(t1,ob2,3..9)"
+    (Format.asprintf "%a" Ariesrh_txn.Scope.pp s);
+  Alcotest.check_raises "last < first"
+    (Invalid_argument "Scope.make: last < first") (fun () ->
+      ignore
+        (Ariesrh_txn.Scope.make ~invoker:(Xid.of_int 1) ~oid:(Oid.of_int 2)
+           ~first:(Lsn.of_int 9) ~last:(Lsn.of_int 3)))
+
+let suite =
+  [
+    Alcotest.test_case "lsn edges" `Quick lsn_edges;
+    Alcotest.test_case "identifier modules" `Quick id_modules;
+    Alcotest.test_case "log stats arithmetic" `Quick log_stats_arith;
+    Alcotest.test_case "prng choose/split" `Quick prng_misc;
+    Alcotest.test_case "record helpers" `Quick record_helpers;
+    Alcotest.test_case "private log semantics" `Quick private_log_semantics;
+    Alcotest.test_case "zipf n and errors" `Quick zipf_n_and_errors;
+    Alcotest.test_case "heap duplicates" `Quick heap_duplicates;
+    Alcotest.test_case "scope printer and errors" `Quick scope_printer_and_errors;
+  ]

@@ -1,0 +1,104 @@
+(* Pages, simulated disk, and the buffer pool's STEAL/NO-FORCE + WAL
+   discipline. *)
+
+open Ariesrh_types
+open Ariesrh_storage
+
+let pid = Page_id.of_int
+let lsn = Lsn.of_int
+
+let page_basics () =
+  let p = Page.create ~slots:4 in
+  Alcotest.(check int) "slots" 4 (Page.slots p);
+  Alcotest.(check int) "initial zero" 0 (Page.get p 2);
+  Page.set p 2 99;
+  Page.set_page_lsn p (lsn 5);
+  Alcotest.(check int) "set/get" 99 (Page.get p 2);
+  Alcotest.(check int) "page lsn" 5 (Lsn.to_int (Page.page_lsn p));
+  let q = Page.copy p in
+  Page.set p 2 1;
+  Alcotest.(check int) "copy is independent" 99 (Page.get q 2)
+
+let disk_copies () =
+  let d = Disk.create ~pages:2 ~slots_per_page:4 in
+  let p = Disk.read_page d (pid 0) in
+  Page.set p 0 7;
+  Alcotest.(check int) "disk unaffected by mutating a read copy" 0
+    (Page.get (Disk.read_page d (pid 0)) 0);
+  Disk.write_page d (pid 0) p;
+  Page.set p 0 8;
+  Alcotest.(check int) "disk stores a copy" 7
+    (Page.get (Disk.read_page d (pid 0)) 0);
+  Alcotest.(check int) "reads counted" 3 (Disk.stats d).page_reads;
+  Alcotest.(check int) "writes counted" 1 (Disk.stats d).page_writes
+
+let pool_eviction_writes_back () =
+  let d = Disk.create ~pages:8 ~slots_per_page:2 in
+  let flushed = ref [] in
+  let pool =
+    Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun l ->
+        flushed := Lsn.to_int l :: !flushed)
+  in
+  Buffer_pool.apply pool (pid 0) ~lsn:(lsn 10) (fun p -> Page.set p 0 1);
+  Buffer_pool.apply pool (pid 1) ~lsn:(lsn 11) (fun p -> Page.set p 0 2);
+  (* touching a third page forces out the LRU (page 0) *)
+  ignore (Buffer_pool.read_object pool (pid 2) ~slot:0);
+  Alcotest.(check int) "evicted dirty page hit the disk" 1
+    (Page.get (Disk.read_page d (pid 0)) 0);
+  Alcotest.(check bool) "WAL rule: log flushed up to page lsn first" true
+    (List.mem 10 !flushed);
+  Alcotest.(check int) "one eviction" 1 (Buffer_pool.evictions pool)
+
+let pool_dirty_page_table () =
+  let d = Disk.create ~pages:4 ~slots_per_page:2 in
+  let pool = Buffer_pool.create ~capacity:4 ~disk:d ~wal_flush:(fun _ -> ()) in
+  Buffer_pool.apply pool (pid 1) ~lsn:(lsn 5) (fun p -> Page.set p 0 1);
+  Buffer_pool.apply pool (pid 1) ~lsn:(lsn 9) (fun p -> Page.set p 1 2);
+  let dpt = Buffer_pool.dirty_page_table pool in
+  Alcotest.(check int) "one dirty page" 1 (List.length dpt);
+  let _, rec_lsn = List.hd dpt in
+  Alcotest.(check int) "recLSN is the first dirtying lsn" 5 (Lsn.to_int rec_lsn);
+  Buffer_pool.flush_all pool;
+  Alcotest.(check int) "clean after flush_all" 0
+    (List.length (Buffer_pool.dirty_page_table pool))
+
+let pool_apply_if_newer () =
+  let d = Disk.create ~pages:2 ~slots_per_page:2 in
+  let pool = Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun _ -> ()) in
+  Alcotest.(check bool) "applies on fresh page" true
+    (Buffer_pool.apply_if_newer pool (pid 0) ~lsn:(lsn 5) (fun p -> Page.set p 0 1));
+  Alcotest.(check bool) "skips older lsn" false
+    (Buffer_pool.apply_if_newer pool (pid 0) ~lsn:(lsn 4) (fun p -> Page.set p 0 9));
+  Alcotest.(check bool) "skips equal lsn" false
+    (Buffer_pool.apply_if_newer pool (pid 0) ~lsn:(lsn 5) (fun p -> Page.set p 0 9));
+  Alcotest.(check int) "value from the applied update" 1
+    (Buffer_pool.read_object pool (pid 0) ~slot:0)
+
+let pool_crash_loses_dirty () =
+  let d = Disk.create ~pages:2 ~slots_per_page:2 in
+  let pool = Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun _ -> ()) in
+  Buffer_pool.apply pool (pid 0) ~lsn:(lsn 3) (fun p -> Page.set p 0 77);
+  Buffer_pool.crash pool;
+  Alcotest.(check int) "dirty update lost" 0
+    (Buffer_pool.read_object pool (pid 0) ~slot:0)
+
+let pool_hit_miss_accounting () =
+  let d = Disk.create ~pages:4 ~slots_per_page:2 in
+  let pool = Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun _ -> ()) in
+  ignore (Buffer_pool.read_object pool (pid 0) ~slot:0);
+  ignore (Buffer_pool.read_object pool (pid 0) ~slot:1);
+  ignore (Buffer_pool.read_object pool (pid 1) ~slot:0);
+  Alcotest.(check int) "misses" 2 (Buffer_pool.misses pool);
+  Alcotest.(check int) "hits" 1 (Buffer_pool.hits pool)
+
+let suite =
+  [
+    Alcotest.test_case "page basics" `Quick page_basics;
+    Alcotest.test_case "disk copies" `Quick disk_copies;
+    Alcotest.test_case "pool eviction writes back (STEAL + WAL)" `Quick
+      pool_eviction_writes_back;
+    Alcotest.test_case "pool dirty page table" `Quick pool_dirty_page_table;
+    Alcotest.test_case "pool apply_if_newer (redo test)" `Quick pool_apply_if_newer;
+    Alcotest.test_case "pool crash loses dirty pages" `Quick pool_crash_loses_dirty;
+    Alcotest.test_case "pool hit/miss accounting" `Quick pool_hit_miss_accounting;
+  ]

@@ -1,0 +1,181 @@
+(* Scopes, Ob_Lists, and the transaction table — the paper's §3.4 data
+   structures, including the subtle delegate-back behaviour. *)
+
+open Ariesrh_types
+open Ariesrh_txn
+
+let xid = Xid.of_int
+let oid = Oid.of_int
+let lsn = Lsn.of_int
+
+let scope_covers () =
+  let s = Scope.make ~invoker:(xid 1) ~oid:(oid 5) ~first:(lsn 3) ~last:(lsn 9) in
+  Alcotest.(check bool) "inside" true (Scope.covers s ~invoker:(xid 1) ~oid:(oid 5) (lsn 5));
+  Alcotest.(check bool) "ends inclusive" true
+    (Scope.covers s ~invoker:(xid 1) ~oid:(oid 5) (lsn 3)
+    && Scope.covers s ~invoker:(xid 1) ~oid:(oid 5) (lsn 9));
+  Alcotest.(check bool) "wrong invoker" false
+    (Scope.covers s ~invoker:(xid 2) ~oid:(oid 5) (lsn 5));
+  Alcotest.(check bool) "wrong object" false
+    (Scope.covers s ~invoker:(xid 1) ~oid:(oid 6) (lsn 5));
+  Alcotest.(check bool) "outside" false
+    (Scope.covers s ~invoker:(xid 1) ~oid:(oid 5) (lsn 10))
+
+let scope_trim () =
+  let s = Scope.make ~invoker:(xid 1) ~oid:(oid 0) ~first:(lsn 3) ~last:(lsn 9) in
+  Scope.trim_below s (lsn 7);
+  Alcotest.(check int) "trimmed" 6 (Lsn.to_int s.Scope.last);
+  Scope.trim_below s (lsn 8);
+  Alcotest.(check int) "no-op when already lower" 6 (Lsn.to_int s.Scope.last);
+  Scope.trim_below s (lsn 3);
+  Alcotest.(check bool) "trimmed to empty" true (Scope.is_empty s)
+
+let scope_overlap () =
+  let s1 = Scope.make ~invoker:(xid 1) ~oid:(oid 0) ~first:(lsn 1) ~last:(lsn 5) in
+  let s2 = Scope.make ~invoker:(xid 2) ~oid:(oid 1) ~first:(lsn 5) ~last:(lsn 8) in
+  let s3 = Scope.make ~invoker:(xid 3) ~oid:(oid 2) ~first:(lsn 6) ~last:(lsn 9) in
+  Alcotest.(check bool) "touching overlaps" true (Scope.overlaps s1 s2);
+  Alcotest.(check bool) "disjoint" false (Scope.overlaps s1 s3);
+  Alcotest.(check bool) "symmetric" true (Scope.overlaps s3 s2)
+
+let ob_list_extends_open_scope () =
+  let t = xid 1 and o = oid 4 in
+  let ol = Ob_list.empty in
+  let ol = Ob_list.note_update ol ~owner:t ~oid:o (lsn 5) in
+  let ol = Ob_list.note_update ol ~owner:t ~oid:o (lsn 9) in
+  match Ob_list.scopes_of ol o with
+  | [ s ] ->
+      Alcotest.(check int) "first" 5 (Lsn.to_int s.Scope.first);
+      Alcotest.(check int) "last extended" 9 (Lsn.to_int s.Scope.last)
+  | l -> Alcotest.failf "expected one scope, got %d" (List.length l)
+
+let ob_list_new_scope_after_delegation () =
+  let t = xid 1 and o = oid 4 in
+  let ol = Ob_list.note_update Ob_list.empty ~owner:t ~oid:o (lsn 5) in
+  let entry, ol = Option.get (Ob_list.take ol o) in
+  Alcotest.(check int) "entry had the scope" 1 (List.length entry.Ob_list.scopes);
+  Alcotest.(check bool) "removed" false (Ob_list.mem ol o);
+  let ol = Ob_list.note_update ol ~owner:t ~oid:o (lsn 9) in
+  match Ob_list.scopes_of ol o with
+  | [ s ] ->
+      Alcotest.(check int) "fresh scope, not an extension" 9
+        (Lsn.to_int s.Scope.first)
+  | l -> Alcotest.failf "expected one scope, got %d" (List.length l)
+
+(* the hazard: delegate out, receive back, update again — the update
+   must NOT extend the old received scope across the delegation gap *)
+let ob_list_delegate_back () =
+  let t = xid 1 and t2 = xid 2 and o = oid 4 in
+  let ol = Ob_list.note_update Ob_list.empty ~owner:t ~oid:o (lsn 5) in
+  let entry, ol = Option.get (Ob_list.take ol o) in
+  (* ... t2 holds it for a while, then delegates back *)
+  let ol = Ob_list.receive ol ~oid:o ~from_:t2 entry.Ob_list.scopes in
+  let ol = Ob_list.note_update ol ~owner:t ~oid:o (lsn 9) in
+  match List.sort (fun a b -> Lsn.compare a.Scope.first b.Scope.first)
+          (Ob_list.scopes_of ol o) with
+  | [ s1; s2 ] ->
+      Alcotest.(check int) "old scope intact" 5 (Lsn.to_int s1.Scope.last);
+      Alcotest.(check int) "new scope opened at 9" 9 (Lsn.to_int s2.Scope.first)
+  | l -> Alcotest.failf "expected two scopes, got %d" (List.length l)
+
+let ob_list_receive_merges () =
+  let t = xid 1 and o = oid 4 in
+  let ol = Ob_list.note_update Ob_list.empty ~owner:t ~oid:o (lsn 8) in
+  let incoming =
+    [ Scope.make ~invoker:(xid 2) ~oid:o ~first:(lsn 2) ~last:(lsn 6) ]
+  in
+  let ol = Ob_list.receive ol ~oid:o ~from_:(xid 2) incoming in
+  Alcotest.(check int) "scopes merged" 2 (List.length (Ob_list.scopes_of ol o));
+  (match Ob_list.find ol o with
+  | Some e -> (
+      Alcotest.(check bool) "deleg recorded" true (e.Ob_list.deleg = Some (xid 2));
+      match e.Ob_list.open_scope with
+      | Some s -> Alcotest.(check int) "own open scope survives" 8 (Lsn.to_int s.Scope.first)
+      | None -> Alcotest.fail "open scope lost")
+  | None -> Alcotest.fail "entry missing");
+  (* the receiver's next own update still extends its own scope *)
+  let ol = Ob_list.note_update ol ~owner:t ~oid:o (lsn 12) in
+  let own =
+    List.find (fun s -> Xid.equal s.Scope.invoker t) (Ob_list.scopes_of ol o)
+  in
+  Alcotest.(check int) "extended to 12" 12 (Lsn.to_int own.Scope.last)
+
+let ob_list_min_first () =
+  let ol = Ob_list.note_update Ob_list.empty ~owner:(xid 1) ~oid:(oid 0) (lsn 7) in
+  let ol = Ob_list.note_update ol ~owner:(xid 1) ~oid:(oid 1) (lsn 3) in
+  Alcotest.(check (option int)) "min over scopes" (Some 3)
+    (Option.map Lsn.to_int (Ob_list.min_first ol));
+  Alcotest.(check (option int)) "empty" None
+    (Option.map Lsn.to_int (Ob_list.min_first Ob_list.empty))
+
+let ob_list_ckpt_roundtrip () =
+  let t = xid 3 and o = oid 4 in
+  let ol = Ob_list.note_update Ob_list.empty ~owner:t ~oid:o (lsn 5) in
+  let ol =
+    Ob_list.receive ol ~oid:(oid 7) ~from_:(xid 9)
+      [ Scope.make ~invoker:(xid 9) ~oid:(oid 7) ~first:(lsn 1) ~last:(lsn 2) ]
+  in
+  let cks = Ob_list.to_ckpt ~owner:t ol in
+  Alcotest.(check int) "two entries" 2 (List.length cks);
+  let ol' = List.fold_left Ob_list.of_ckpt_entry Ob_list.empty cks in
+  Alcotest.(check int) "objects restored" 2 (List.length (Ob_list.objects ol'));
+  Alcotest.(check int) "scopes restored" 2 (List.length (Ob_list.all_scopes ol'));
+  let restored_own = List.hd (Ob_list.scopes_of ol' o) in
+  Alcotest.(check bool) "scope content" true
+    (Scope.covers restored_own ~invoker:t ~oid:o (lsn 5))
+
+let ob_list_drops_empty_scopes () =
+  let t = xid 1 and o = oid 0 in
+  let ol = Ob_list.note_update Ob_list.empty ~owner:t ~oid:o (lsn 5) in
+  (match Ob_list.scopes_of ol o with
+  | [ s ] -> Scope.trim_below s (lsn 5)
+  | _ -> Alcotest.fail "scope missing");
+  Alcotest.(check int) "trimmed-empty scopes filtered" 0
+    (List.length (Ob_list.all_scopes ol))
+
+let txn_table_basics () =
+  let tt = Txn_table.create () in
+  let i1 = Txn_table.add tt (xid 1) in
+  Alcotest.(check bool) "fresh is active" true (i1.status = Txn_table.Active);
+  Alcotest.check_raises "double add"
+    (Invalid_argument "Txn_table.add: t1 already present") (fun () ->
+      ignore (Txn_table.add tt (xid 1)));
+  ignore (Txn_table.add tt (xid 7));
+  Alcotest.(check int) "count" 2 (Txn_table.count tt);
+  Alcotest.(check int) "max xid" 7 (Txn_table.max_xid tt);
+  Txn_table.remove tt (xid 7);
+  Alcotest.(check int) "max xid survives removal" 7 (Txn_table.max_xid tt);
+  Alcotest.(check bool) "find" true (Txn_table.find tt (xid 1) <> None);
+  Alcotest.(check bool) "find removed" true (Txn_table.find tt (xid 7) = None)
+
+let txn_table_ckpt_roundtrip () =
+  let tt = Txn_table.create () in
+  let i1 = Txn_table.add tt (xid 1) in
+  i1.status <- Txn_table.Committed;
+  i1.last_lsn <- lsn 12;
+  i1.undo_next <- lsn 10;
+  i1.ob_list <- Ob_list.note_update i1.ob_list ~owner:(xid 1) ~oid:(oid 2) (lsn 4);
+  let txns, obs = Txn_table.to_ckpt tt in
+  Alcotest.(check int) "one txn" 1 (List.length txns);
+  Alcotest.(check int) "one ob entry" 1 (List.length obs);
+  let tt' = Txn_table.create () in
+  let i1' = Txn_table.restore tt' (List.hd txns) in
+  Alcotest.(check bool) "status restored" true (i1'.status = Txn_table.Committed);
+  Alcotest.(check int) "last lsn restored" 12 (Lsn.to_int i1'.last_lsn)
+
+let suite =
+  [
+    Alcotest.test_case "scope covers" `Quick scope_covers;
+    Alcotest.test_case "scope trim" `Quick scope_trim;
+    Alcotest.test_case "scope overlap" `Quick scope_overlap;
+    Alcotest.test_case "ob_list extends open scope" `Quick ob_list_extends_open_scope;
+    Alcotest.test_case "ob_list new scope after delegation" `Quick
+      ob_list_new_scope_after_delegation;
+    Alcotest.test_case "ob_list delegate back" `Quick ob_list_delegate_back;
+    Alcotest.test_case "ob_list receive merges" `Quick ob_list_receive_merges;
+    Alcotest.test_case "ob_list min_first" `Quick ob_list_min_first;
+    Alcotest.test_case "ob_list checkpoint roundtrip" `Quick ob_list_ckpt_roundtrip;
+    Alcotest.test_case "ob_list drops empty scopes" `Quick ob_list_drops_empty_scopes;
+    Alcotest.test_case "txn table basics" `Quick txn_table_basics;
+    Alcotest.test_case "txn table checkpoint roundtrip" `Quick txn_table_ckpt_roundtrip;
+  ]

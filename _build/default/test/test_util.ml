@@ -1,0 +1,131 @@
+(* Unit and property tests for the utility substrate. *)
+
+module Prng = Ariesrh_util.Prng
+module Zipf = Ariesrh_util.Zipf
+module Heap = Ariesrh_util.Heap
+
+let prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let prng_differs_by_seed () =
+  let a = Prng.create 1L and b = Prng.create 2L in
+  Alcotest.(check bool) "different seeds diverge" false
+    (List.init 10 (fun _ -> Prng.next a) = List.init 10 (fun _ -> Prng.next b))
+
+let prng_int_range () =
+  let rng = Prng.create 7L in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let prng_int_in () =
+  let rng = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "out of range: %d" v
+  done
+
+let prng_float_range () =
+  let rng = Prng.create 9L in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 1.0 in
+    if v < 0.0 || v >= 1.0 then Alcotest.failf "out of range: %f" v
+  done
+
+let prng_copy_independent () =
+  let a = Prng.create 5L in
+  ignore (Prng.next a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next a) (Prng.next b)
+
+let prng_shuffle_permutes () =
+  let rng = Prng.create 11L in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Prng.shuffle rng b;
+  Alcotest.(check bool) "same multiset" true
+    (List.sort compare (Array.to_list b) = Array.to_list a)
+
+let zipf_bounds () =
+  let rng = Prng.create 3L in
+  let z = Zipf.create ~n:100 ~theta:0.99 in
+  for _ = 1 to 10_000 do
+    let v = Zipf.sample z rng in
+    if v < 0 || v >= 100 then Alcotest.failf "out of range: %d" v
+  done
+
+let zipf_skew () =
+  let rng = Prng.create 3L in
+  let z = Zipf.create ~n:100 ~theta:0.99 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let v = Zipf.sample z rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "item 0 much more popular than item 99" true
+    (counts.(0) > 10 * max 1 counts.(99))
+
+let zipf_uniform_when_theta_zero () =
+  let rng = Prng.create 3L in
+  let z = Zipf.create ~n:10 ~theta:0.0 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 50_000 do
+    let v = Zipf.sample z rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      if c < 4_000 || c > 6_000 then Alcotest.failf "not uniform: %d" c)
+    counts
+
+let heap_pop_order =
+  QCheck.Test.make ~count:200 ~name:"heap pops in decreasing order"
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~leq:(fun a b -> a <= b) in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort (fun a b -> compare b a) xs)
+
+let heap_peek () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) in
+  Alcotest.(check (option int)) "empty peek" None (Heap.peek h);
+  Heap.push h 3;
+  Heap.push h 9;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "peek is max" (Some 9) (Heap.peek h);
+  Alcotest.(check int) "length" 3 (Heap.length h);
+  Alcotest.(check (option int)) "pop" (Some 9) (Heap.pop h);
+  Alcotest.(check int) "length after pop" 2 (Heap.length h)
+
+let heap_to_list () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) in
+  List.iter (Heap.push h) [ 4; 2; 7 ];
+  Alcotest.(check (list int)) "all elements" [ 2; 4; 7 ]
+    (List.sort compare (Heap.to_list h));
+  Alcotest.(check int) "unchanged" 3 (Heap.length h)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick prng_deterministic;
+    Alcotest.test_case "prng differs by seed" `Quick prng_differs_by_seed;
+    Alcotest.test_case "prng int range" `Quick prng_int_range;
+    Alcotest.test_case "prng int_in range" `Quick prng_int_in;
+    Alcotest.test_case "prng float range" `Quick prng_float_range;
+    Alcotest.test_case "prng copy independent" `Quick prng_copy_independent;
+    Alcotest.test_case "prng shuffle permutes" `Quick prng_shuffle_permutes;
+    Alcotest.test_case "zipf bounds" `Quick zipf_bounds;
+    Alcotest.test_case "zipf skew" `Quick zipf_skew;
+    Alcotest.test_case "zipf uniform at theta 0" `Quick zipf_uniform_when_theta_zero;
+    QCheck_alcotest.to_alcotest heap_pop_order;
+    Alcotest.test_case "heap peek/pop/length" `Quick heap_peek;
+    Alcotest.test_case "heap to_list" `Quick heap_to_list;
+  ]

@@ -1,0 +1,279 @@
+(* Log record codec and simulated stable log. *)
+
+open Ariesrh_types
+open Ariesrh_wal
+
+let xid = Xid.of_int
+let oid = Oid.of_int
+let pid = Page_id.of_int
+let lsn = Lsn.of_int
+
+let sample_records =
+  [
+    Record.mk (xid 1) ~prev:Lsn.nil Record.Begin;
+    Record.mk (xid 1) ~prev:(lsn 1)
+      (Record.Update
+         { oid = oid 3; page = pid 0; op = Record.Set { before = 0; after = 42 } });
+    Record.mk (xid 2) ~prev:(lsn 2)
+      (Record.Update { oid = oid 7; page = pid 1; op = Record.Add (-5) });
+    Record.mk (xid 1) ~prev:(lsn 2) Record.Commit;
+    Record.mk (xid 1) ~prev:(lsn 4) Record.End;
+    Record.mk (xid 2) ~prev:(lsn 3) Record.Abort;
+    Record.mk (xid 2) ~prev:(lsn 6)
+      (Record.Clr
+         {
+           upd = { oid = oid 7; page = pid 1; op = Record.Add 5 };
+           undone = lsn 3;
+           invoker = xid 2;
+           undo_next = Lsn.nil;
+         });
+    Record.mk (xid 3) ~prev:(lsn 9)
+      (Record.Delegate { tee = xid 4; tee_prev = lsn 5; oid = oid 2; op = None });
+    Record.mk (xid 3) ~prev:(lsn 9)
+      (Record.Delegate
+         {
+           tee = xid 4;
+           tee_prev = lsn 5;
+           oid = oid 2;
+           op = Some (lsn 4, xid 3);
+         });
+    Record.mk_system Record.Ckpt_begin;
+    Record.mk_system
+      (Record.Ckpt_end
+         {
+           ck_txns =
+             [
+               {
+                 Record.ck_xid = xid 3;
+                 ck_status = Record.Ck_active;
+                 ck_last_lsn = lsn 10;
+                 ck_undo_next = lsn 9;
+               };
+               {
+                 Record.ck_xid = xid 4;
+                 ck_status = Record.Ck_committed;
+                 ck_last_lsn = lsn 11;
+                 ck_undo_next = Lsn.nil;
+               };
+             ];
+           ck_dpt = [ (pid 0, lsn 2); (pid 1, lsn 3) ];
+           ck_obs =
+             [
+               {
+                 Record.ck_owner = xid 4;
+                 ck_oid = oid 2;
+                 ck_deleg = Some (xid 3);
+                 ck_scopes =
+                   [
+                     {
+                       Record.ck_invoker = xid 3;
+                       ck_first = lsn 2;
+                       ck_last = lsn 9;
+                     };
+                   ];
+               };
+             ];
+         });
+  ]
+
+let roundtrip () =
+  List.iteri
+    (fun i r ->
+      let r' = Record.decode (Record.encode r) in
+      if r <> r' then
+        Alcotest.failf "record %d did not roundtrip: %a vs %a" i Record.pp r
+          Record.pp r')
+    sample_records
+
+let checksum_detects_corruption () =
+  let s = Record.encode (List.nth sample_records 1) in
+  let b = Bytes.of_string s in
+  Bytes.set b 6 (Char.chr (Char.code (Bytes.get b 6) lxor 0xff));
+  Alcotest.check_raises "corrupted byte detected"
+    (Failure "Record.decode: checksum mismatch") (fun () ->
+      ignore (Record.decode (Bytes.to_string b)))
+
+let truncation_detected () =
+  let s = Record.encode (List.nth sample_records 1) in
+  match Record.decode (String.sub s 0 (String.length s - 1)) with
+  | _ -> Alcotest.fail "truncated record decoded"
+  | exception Failure _ -> ()
+
+(* random record generator for the codec property *)
+let gen_op =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun before after -> Record.Set { before; after })
+          (int_range (-1000000) 1000000)
+          (int_range (-1000000) 1000000);
+        map (fun d -> Record.Add d) (int_range (-1000) 1000);
+      ])
+
+let gen_update =
+  QCheck.Gen.(
+    map3
+      (fun o p op -> { Record.oid = oid o; page = pid p; op })
+      (int_bound 500) (int_bound 100) gen_op)
+
+let gen_record =
+  QCheck.Gen.(
+    let* x = int_range 1 1000 in
+    let* prev = int_bound 1000 in
+    let mk body = Record.mk (xid x) ~prev:(lsn prev) body in
+    oneof
+      [
+        return (mk Record.Begin);
+        map (fun u -> mk (Record.Update u)) gen_update;
+        return (mk Record.Commit);
+        return (mk Record.Abort);
+        return (mk Record.End);
+        map3
+          (fun u undone inv ->
+            mk
+              (Record.Clr
+                 {
+                   upd = u;
+                   undone = lsn undone;
+                   invoker = xid inv;
+                   undo_next = lsn prev;
+                 }))
+          gen_update (int_bound 1000) (int_range 1 1000);
+        map3
+          (fun tee tp o ->
+            mk
+              (Record.Delegate
+                 { tee = xid tee; tee_prev = lsn tp; oid = oid o; op = None }))
+          (int_range 1 1000) (int_bound 1000) (int_bound 500);
+      ])
+
+let codec_roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"codec roundtrips on random records"
+    (QCheck.make gen_record)
+    (fun r -> Record.decode (Record.encode r) = r)
+
+let store_append_read () =
+  let log = Log_store.create () in
+  let lsns = List.map (Log_store.append log) sample_records in
+  Alcotest.(check int) "dense lsns" (List.length sample_records)
+    (Lsn.to_int (Log_store.head log));
+  List.iter2
+    (fun l r ->
+      Alcotest.(check bool) "read back" true (Log_store.read log l = r))
+    lsns sample_records
+
+let store_crash_drops_tail () =
+  let log = Log_store.create () in
+  let l1 = Log_store.append log (List.nth sample_records 0) in
+  let _l2 = Log_store.append log (List.nth sample_records 1) in
+  Log_store.flush log ~upto:l1;
+  let _l3 = Log_store.append log (List.nth sample_records 2) in
+  Log_store.crash log;
+  Alcotest.(check int) "only flushed survives" 1 (Log_store.length log);
+  (* appending after crash reuses the LSNs of the lost tail *)
+  let l2' = Log_store.append log (List.nth sample_records 3) in
+  Alcotest.(check int) "lsn 2 reissued" 2 (Lsn.to_int l2')
+
+let store_flush_clamps () =
+  let log = Log_store.create () in
+  let l1 = Log_store.append log (List.nth sample_records 0) in
+  Log_store.flush log ~upto:(lsn 999);
+  Alcotest.(check int) "durable clamped to head" (Lsn.to_int l1)
+    (Lsn.to_int (Log_store.durable log))
+
+let store_master () =
+  let log = Log_store.create () in
+  let l1 = Log_store.append log (List.nth sample_records 0) in
+  Alcotest.check_raises "master must be durable"
+    (Invalid_argument "Log_store.set_master: checkpoint record not durable")
+    (fun () -> Log_store.set_master log l1);
+  Log_store.flush log ~upto:l1;
+  Log_store.set_master log l1;
+  Log_store.crash log;
+  Alcotest.(check int) "master survives crash" 1 (Lsn.to_int (Log_store.master log))
+
+let store_rewrite () =
+  let log = Log_store.create () in
+  let r = List.nth sample_records 1 in
+  let l = Log_store.append log r in
+  Log_store.flush log ~upto:l;
+  let r' = Record.set_writer r (xid 9) in
+  Log_store.rewrite log l r';
+  Alcotest.(check bool) "rewritten in place" true (Log_store.read log l = r');
+  Alcotest.(check int) "rewrite counted" 1 (Log_store.stats log).rewrites
+
+let store_iteration () =
+  let log = Log_store.create () in
+  List.iter (fun r -> ignore (Log_store.append log r)) sample_records;
+  let fwd = ref [] in
+  Log_store.iter_forward log ~from:Lsn.nil (fun l _ -> fwd := Lsn.to_int l :: !fwd);
+  Alcotest.(check (list int)) "forward order"
+    (List.init (List.length sample_records) (fun i -> i + 1))
+    (List.rev !fwd);
+  let bwd = ref [] in
+  Log_store.iter_backward log ~from:Lsn.nil (fun l _ -> bwd := Lsn.to_int l :: !bwd);
+  Alcotest.(check (list int)) "backward order"
+    (List.init (List.length sample_records) (fun i -> i + 1))
+    !bwd
+
+let sequential_vs_random_io () =
+  let log = Log_store.create ~page_size:256 () in
+  let lsns = ref [] in
+  for i = 1 to 200 do
+    let r =
+      Record.mk (xid 1) ~prev:(lsn (i - 1))
+        (Record.Update
+           { oid = oid 1; page = pid 0; op = Record.Set { before = i; after = i } })
+    in
+    lsns := Log_store.append log r :: !lsns
+  done;
+  Log_store.flush log ~upto:(Log_store.head log);
+  (* sequential sweep: few seeks *)
+  let before = (Log_store.stats log).random_seeks in
+  Log_store.iter_forward log ~from:Lsn.nil (fun _ _ -> ());
+  let seq_seeks = (Log_store.stats log).random_seeks - before in
+  (* ping-pong access: many seeks *)
+  let before = (Log_store.stats log).random_seeks in
+  for i = 1 to 50 do
+    ignore (Log_store.read log (lsn i));
+    ignore (Log_store.read log (lsn (201 - i)))
+  done;
+  let rnd_seeks = (Log_store.stats log).random_seeks - before in
+  Alcotest.(check int) "sequential sweep seeks nothing" 0 seq_seeks;
+  Alcotest.(check bool)
+    (Printf.sprintf "random access seeks a lot (%d)" rnd_seeks)
+    true (rnd_seeks > 50)
+
+let prev_for_delegate () =
+  let d = List.nth sample_records 7 in
+  Alcotest.(check int) "delegator side" 9 (Lsn.to_int (Record.prev_for d (xid 3)));
+  Alcotest.(check int) "delegatee side" 5 (Lsn.to_int (Record.prev_for d (xid 4)));
+  Alcotest.check_raises "stranger"
+    (Invalid_argument "Record.prev_for: not on this transaction's chain")
+    (fun () -> ignore (Record.prev_for d (xid 9)))
+
+let set_prev_for_delegate () =
+  let d = List.nth sample_records 7 in
+  let d' = Record.set_prev_for d (xid 4) (lsn 77) in
+  Alcotest.(check int) "tee side patched" 77 (Lsn.to_int (Record.prev_for d' (xid 4)));
+  Alcotest.(check int) "tor side untouched" 9 (Lsn.to_int (Record.prev_for d' (xid 3)));
+  let d'' = Record.set_prev_for d (xid 3) (lsn 66) in
+  Alcotest.(check int) "tor side patched" 66 (Lsn.to_int (Record.prev_for d'' (xid 3)))
+
+let suite =
+  [
+    Alcotest.test_case "codec roundtrip (samples)" `Quick roundtrip;
+    Alcotest.test_case "checksum detects corruption" `Quick checksum_detects_corruption;
+    Alcotest.test_case "truncation detected" `Quick truncation_detected;
+    QCheck_alcotest.to_alcotest codec_roundtrip_prop;
+    Alcotest.test_case "store append/read" `Quick store_append_read;
+    Alcotest.test_case "store crash drops tail" `Quick store_crash_drops_tail;
+    Alcotest.test_case "store flush clamps" `Quick store_flush_clamps;
+    Alcotest.test_case "store master record" `Quick store_master;
+    Alcotest.test_case "store rewrite in place" `Quick store_rewrite;
+    Alcotest.test_case "store iteration" `Quick store_iteration;
+    Alcotest.test_case "sequential vs random io model" `Quick sequential_vs_random_io;
+    Alcotest.test_case "prev_for on delegate records" `Quick prev_for_delegate;
+    Alcotest.test_case "set_prev_for on delegate records" `Quick set_prev_for_delegate;
+  ]
