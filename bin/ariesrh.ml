@@ -293,10 +293,93 @@ let sim_cmd =
        ~doc:"Closed-loop contention simulator with deadlock detection")
     Term.(const run $ clients $ txns $ objects $ rate $ seed)
 
+(* --- crash-storm --- *)
+
+let storm_cmd =
+  let steps =
+    Arg.(value & opt int 160
+         & info [ "steps" ] ~doc:"Scripted workload steps per storm.")
+  in
+  let objects =
+    Arg.(value & opt int 32 & info [ "objects" ] ~doc:"Number of objects.")
+  in
+  let seeds =
+    Arg.(value & opt int 4
+         & info [ "seeds" ] ~doc:"Number of scripted storms (distinct seeds).")
+  in
+  let seed0 =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First storm seed.")
+  in
+  let rate =
+    Arg.(value & opt float 0.2
+         & info [ "delegation-rate" ] ~doc:"Delegation weight in the mix.")
+  in
+  let impl =
+    Arg.(value & opt impl_conv Config.Rh
+         & info [ "engine" ] ~doc:"Engine: rh, eager, or lazy.")
+  in
+  let depth =
+    Arg.(value & opt int 2
+         & info [ "depth" ] ~doc:"Nested crash-during-recovery levels.")
+  in
+  let crash_step =
+    Arg.(value & opt int 1
+         & info [ "crash-step" ]
+             ~doc:"Scripted: escalate the crash I/O point by this much.")
+  in
+  let sim_steps =
+    Arg.(value & opt int 1200
+         & info [ "sim-steps" ] ~doc:"Simulated storm scheduler steps.")
+  in
+  let clients =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~doc:"Simulated storm concurrent clients.")
+  in
+  let run steps objects seeds seed0 rate impl depth crash_step sim_steps
+      clients =
+    let base =
+      { Crash_storm.default_config with
+        recovery_crash_depth = depth;
+        crash_step = max 1 crash_step }
+    in
+    let spec = spec_of ~objects ~steps ~delegation_rate:rate in
+    let total = ref None in
+    let add label o =
+      Format.printf "%s:@.  %a@." label Crash_storm.pp_outcome o;
+      total := Some (match !total with None -> o | Some t -> Crash_storm.merge t o)
+    in
+    for i = 0 to seeds - 1 do
+      let config = { base with seed = Int64.of_int (seed0 + i) } in
+      add
+        (Printf.sprintf "scripted storm (seed %d)" (seed0 + i))
+        (Crash_storm.run_script ~config ~impl spec)
+    done;
+    if sim_steps > 0 then begin
+      let sim =
+        { Crash_storm.default_sim with steps = sim_steps; clients }
+      in
+      add "simulated storm"
+        (Crash_storm.run_sim ~config:{ base with seed = Int64.of_int seed0 }
+           ~sim ())
+    end;
+    match !total with
+    | None -> ()
+    | Some t ->
+        Format.printf "@.total:@.  %a@." Crash_storm.pp_outcome t;
+        if not (Crash_storm.ok t) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "crash-storm"
+       ~doc:"Crash at every I/O point, re-crash during recovery, tear pages \
+             and log tails; verify every restart against the oracle")
+    Term.(
+      const run $ steps $ objects $ seeds $ seed0 $ rate $ impl $ depth
+      $ crash_step $ sim_steps $ clients)
+
 let main =
   Cmd.group
     (Cmd.info "ariesrh" ~version:"1.0.0"
        ~doc:"Delegation by efficiently rewriting history (ARIES/RH)")
-    [ figures_cmd; run_cmd; compare_cmd; sim_cmd; history_cmd ]
+    [ figures_cmd; run_cmd; compare_cmd; sim_cmd; history_cmd; storm_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -66,8 +66,9 @@ let fig2_log () =
 let env_of log =
   let pool =
     Ariesrh_storage.Buffer_pool.create ~capacity:4
-      ~disk:(Ariesrh_storage.Disk.create ~pages:1 ~slots_per_page:4)
+      ~disk:(Ariesrh_storage.Disk.create ~pages:1 ~slots_per_page:4 ())
       ~wal_flush:(fun _ -> ())
+      ()
   in
   Env.make ~log ~pool ~place:(fun oid -> (Page_id.of_int 0, Oid.to_int oid))
 

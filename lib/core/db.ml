@@ -4,9 +4,11 @@ open Ariesrh_storage
 open Ariesrh_lock
 open Ariesrh_txn
 open Ariesrh_recovery
+module Fault = Ariesrh_fault.Fault
 
 type t = {
   config : Config.t;
+  fault : Fault.t;
   disk : Disk.t;
   log : Log_store.t;
   mutable pool : Buffer_pool.t;
@@ -25,20 +27,26 @@ let place_of config oid =
   (Page_id.of_int (i / config.Config.objects_per_page),
    i mod config.Config.objects_per_page)
 
-let create config =
+let create ?(fault = Fault.none ()) config =
   Config.validate config;
   let disk =
-    Disk.create ~pages:(Config.pages_needed config)
-      ~slots_per_page:config.objects_per_page
+    Disk.create ~fault
+      ~pages:(Config.pages_needed config)
+      ~slots_per_page:config.objects_per_page ()
   in
-  let log = Log_store.create ~page_size:config.log_page_size () in
+  let log = Log_store.create ~page_size:config.log_page_size ~fault () in
   let pool =
-    Buffer_pool.create ~capacity:config.buffer_capacity ~disk
+    Buffer_pool.create ~fault ~capacity:config.buffer_capacity ~disk
       ~wal_flush:(fun lsn -> Log_store.flush log ~upto:lsn)
+      ()
   in
   let env = Env.make ~log ~pool ~place:(place_of config) in
+  (* A torn page found by any fetch is repaired in place: restore the
+     before-image and replay the log for that page. *)
+  Buffer_pool.set_repair pool (fun pid shadow -> Repair.page env pid shadow);
   {
     config;
+    fault;
     disk;
     log;
     pool;
@@ -50,6 +58,7 @@ let create config =
   }
 
 let config t = t.config
+let fault t = t.fault
 let log_store t = t.log
 let disk_stats t = Disk.stats t.disk
 
@@ -57,6 +66,7 @@ let pool_counters t =
   (Buffer_pool.hits t.pool, Buffer_pool.misses t.pool,
    Buffer_pool.evictions t.pool)
 let env t = t.env
+let repairs_total t = t.env.Env.repairs
 let place t oid = place_of t.config oid
 
 let check_oid t oid =

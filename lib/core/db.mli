@@ -10,8 +10,13 @@ open Ariesrh_types
 
 type t
 
-val create : Config.t -> t
+val create : ?fault:Ariesrh_fault.Fault.t -> Config.t -> t
+(** [fault] (default inert) is threaded into the disk, the log store and
+    the buffer pool; a torn-page repair callback is installed so that
+    checksum-failing pages are repaired transparently on fetch. *)
+
 val config : t -> Config.t
+val fault : t -> Ariesrh_fault.Fault.t
 
 (** {1 Transactions} *)
 
@@ -165,6 +170,11 @@ val pool_counters : t -> int * int * int
 (** (hits, misses, evictions) of the buffer pool. *)
 
 val env : t -> Ariesrh_recovery.Env.t
+
+val repairs_total : t -> int
+(** Lifetime count of torn data pages repaired on fetch (normal
+    operation and restart alike); see [Ariesrh_recovery.Repair.page]. *)
+
 val place : t -> Oid.t -> Page_id.t * int
 val chain_of : t -> Xid.t -> Lsn.t list
 (** The live transaction's backward chain, head first. *)

@@ -14,4 +14,13 @@ let pp_exn ppf = function
   | Txn_not_active x -> Format.fprintf ppf "transaction not active: %a" Xid.pp x
   | Not_responsible { xid; oid } ->
       Format.fprintf ppf "%a is not responsible for %a" Xid.pp xid Oid.pp oid
+  | Ariesrh_wal.Log_store.Corrupt_record { lsn; error } ->
+      Format.fprintf ppf "corrupt log record at %a: %a" Lsn.pp lsn
+        Ariesrh_wal.Record.pp_decode_error error
+  | Ariesrh_storage.Buffer_pool.Torn_page pid ->
+      Format.fprintf ppf "torn data page %a (checksum failed, no repair)"
+        Page_id.pp pid
+  | Ariesrh_fault.Fault.Injected_crash { io; site } ->
+      Format.fprintf ppf "injected crash at io #%d (%a)" io
+        Ariesrh_fault.Fault.pp_site site
   | e -> Format.pp_print_string ppf (Printexc.to_string e)

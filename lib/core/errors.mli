@@ -14,3 +14,7 @@ exception Not_responsible of { xid : Xid.t; oid : Oid.t }
     responsible for any update on the object (§2.1.2). *)
 
 val pp_exn : Format.formatter -> exn -> unit
+(** Also renders the storage/WAL corruption exceptions
+    ([Ariesrh_wal.Log_store.Corrupt_record],
+    [Ariesrh_storage.Buffer_pool.Torn_page]) and
+    [Ariesrh_fault.Fault.Injected_crash]. *)

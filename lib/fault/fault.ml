@@ -1,0 +1,123 @@
+module Prng = Ariesrh_util.Prng
+
+type site = Disk_read | Disk_write | Log_flush | Pool_miss
+
+let pp_site ppf = function
+  | Disk_read -> Format.pp_print_string ppf "disk-read"
+  | Disk_write -> Format.pp_print_string ppf "disk-write"
+  | Log_flush -> Format.pp_print_string ppf "log-flush"
+  | Pool_miss -> Format.pp_print_string ppf "pool-miss"
+
+exception Injected_crash of { io : int; site : site }
+
+type log_tear = Truncate_tail of int | Flip_byte of int
+
+type write_decision = { torn_keep : int option; crash : bool }
+type flush_decision = { tear : log_tear option; crash : bool }
+
+type stats = {
+  mutable ios : int;
+  mutable crashes : int;
+  mutable torn_writes : int;
+  mutable torn_flushes : int;
+}
+
+type t = {
+  rng : Prng.t;
+  mutable live : bool;  (* a [none] injector is permanently dead *)
+  mutable enabled : bool;
+  mutable crash_at : int;  (* absolute io count; -1 = disarmed *)
+  mutable tear_data_every : int;  (* 0 = never *)
+  mutable tear_data_on_crash : bool;
+  mutable tear_log_on_crash : bool;
+  mutable writes : int;  (* data page writes observed *)
+  stats : stats;
+}
+
+let make live seed =
+  {
+    rng = Prng.create seed;
+    live;
+    enabled = live;
+    crash_at = -1;
+    tear_data_every = 0;
+    tear_data_on_crash = false;
+    tear_log_on_crash = false;
+    writes = 0;
+    stats = { ios = 0; crashes = 0; torn_writes = 0; torn_flushes = 0 };
+  }
+
+let none () = make false 0L
+let create ?(seed = 1L) () = make true seed
+let enabled t = t.live && t.enabled
+let set_enabled t b = if t.live then t.enabled <- b
+let arm_crash_at t io = t.crash_at <- io
+let arm_crash_in t n = t.crash_at <- t.stats.ios + max 1 n
+let disarm_crash t = t.crash_at <- -1
+let crash_armed t = t.crash_at >= 0
+let set_tear_data_every t n = t.tear_data_every <- max 0 n
+let set_tear_data_on_crash t b = t.tear_data_on_crash <- b
+let set_tear_log_on_crash t b = t.tear_log_on_crash <- b
+let stats t = t.stats
+
+let fault_points t =
+  t.stats.crashes + t.stats.torn_writes + t.stats.torn_flushes
+
+(* Advance the I/O counter and consume the armed crash point if reached.
+   Returns whether a crash fires at this operation. *)
+let tick t =
+  t.stats.ios <- t.stats.ios + 1;
+  if t.crash_at >= 0 && t.stats.ios >= t.crash_at then begin
+    t.crash_at <- -1;
+    t.stats.crashes <- t.stats.crashes + 1;
+    true
+  end
+  else false
+
+let die t site = raise (Injected_crash { io = t.stats.ios; site })
+
+let on_disk_read t =
+  if enabled t then if tick t then die t Disk_read
+
+let on_pool_miss t =
+  if enabled t then if tick t then die t Pool_miss
+
+let no_write = { torn_keep = None; crash = false }
+
+let on_disk_write t ~slots =
+  if not (enabled t) then no_write
+  else begin
+    let crash = tick t in
+    t.writes <- t.writes + 1;
+    let tear =
+      (t.tear_data_every > 0 && t.writes mod t.tear_data_every = 0)
+      || (crash && t.tear_data_on_crash)
+    in
+    let torn_keep =
+      if tear && slots > 0 then begin
+        t.stats.torn_writes <- t.stats.torn_writes + 1;
+        Some (Prng.int t.rng slots)
+      end
+      else None
+    in
+    { torn_keep; crash }
+  end
+
+let no_flush = { tear = None; crash = false }
+
+let on_log_flush t ~last_len =
+  if not (enabled t) then no_flush
+  else begin
+    let crash = tick t in
+    let tear =
+      if crash && t.tear_log_on_crash && last_len > 0 then begin
+        t.stats.torn_flushes <- t.stats.torn_flushes + 1;
+        if Prng.bool t.rng then
+          (* keep at least 0 and at most last_len - 1 bytes *)
+          Some (Truncate_tail (1 + Prng.int t.rng last_len))
+        else Some (Flip_byte (Prng.int t.rng last_len))
+      end
+      else None
+    in
+    { tear; crash }
+  end

@@ -1,0 +1,103 @@
+(** Deterministic, seeded fault injection for the storage and WAL stack.
+
+    An injector is threaded into [Disk], [Log_store] and [Buffer_pool] and
+    fires faults keyed on a global I/O operation counter, so a given seed
+    and schedule reproduce the exact same failure history every run.
+
+    Failure model (chosen to match what a synchronous WAL actually
+    guarantees on real hardware):
+
+    - A {e crash} ([Injected_crash]) can fire at any I/O site: data page
+      read, data page write, log flush, or buffer pool miss. The caller is
+      expected to simulate a power failure ([Db.crash]) and restart.
+    - A {e torn data page write} persists only a prefix of the page's
+      slots. It may fire on its own (lying disk / latent sector error,
+      detected later by checksum) or together with a crash at that write.
+    - A {e torn log flush} truncates or bit-flips the last record of the
+      flush batch. It only ever fires {e together with} a crash at that
+      flush: a synchronous flush that returns success implies intact data,
+      so a torn log tail can only be observed after a power failure
+      interrupted the write. (This also preserves the WAL ordering
+      invariant: no data page ever reaches disk after a torn flush.) *)
+
+type site = Disk_read | Disk_write | Log_flush | Pool_miss
+
+val pp_site : Format.formatter -> site -> unit
+
+exception Injected_crash of { io : int; site : site }
+(** Raised by the hooks below when an armed crash point is reached. [io]
+    is the value of the global I/O counter at the crash. *)
+
+type log_tear =
+  | Truncate_tail of int  (** drop this many bytes from the last record *)
+  | Flip_byte of int  (** XOR a bit into the byte at this offset *)
+
+type write_decision = { torn_keep : int option; crash : bool }
+(** [torn_keep = Some k]: persist only the first [k] slots of the new
+    page image (the rest keep their old contents). [crash]: raise
+    [Injected_crash] {e after} the (possibly torn) write is applied. *)
+
+type flush_decision = { tear : log_tear option; crash : bool }
+
+type stats = {
+  mutable ios : int;  (** total I/O operations observed *)
+  mutable crashes : int;  (** injected crashes fired *)
+  mutable torn_writes : int;  (** torn data page writes *)
+  mutable torn_flushes : int;  (** torn log flush tails *)
+}
+
+type t
+
+val none : unit -> t
+(** An inert injector: never fires, never counts. The default everywhere. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Live injector. [seed] (default 1) drives tear parameters (how many
+    slots survive a torn write, where a log tail is cut or flipped). No
+    faults fire until armed via the setters below. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+(** Temporarily gate all sites (counters stop too); used by drivers while
+    verifying state so checks themselves are fault-free. *)
+
+val arm_crash_at : t -> int -> unit
+(** Crash at the first I/O whose counter reaches this absolute value. *)
+
+val arm_crash_in : t -> int -> unit
+(** Crash [n] I/O operations from now ([n >= 1]). *)
+
+val disarm_crash : t -> unit
+val crash_armed : t -> bool
+
+val set_tear_data_every : t -> int -> unit
+(** Tear every [n]-th data page write ([0] = never, the default). These
+    fire without a crash: latent corruption detected by checksum. *)
+
+val set_tear_data_on_crash : t -> bool -> unit
+(** Also tear the data page write a crash lands on (default [false]). *)
+
+val set_tear_log_on_crash : t -> bool -> unit
+(** Tear the last record of the log flush a crash lands on (default
+    [false]). *)
+
+val on_disk_read : t -> unit
+(** May raise [Injected_crash]. *)
+
+val on_pool_miss : t -> unit
+(** May raise [Injected_crash]. *)
+
+val on_disk_write : t -> slots:int -> write_decision
+(** Never raises: the caller applies the (possibly torn) write first and
+    then calls [die] if [crash] is set. *)
+
+val on_log_flush : t -> last_len:int -> flush_decision
+(** Never raises: the caller records the tear and then calls [die] if
+    [crash] is set. *)
+
+val die : t -> site -> 'a
+(** Raise [Injected_crash] at the current counter value. *)
+
+val stats : t -> stats
+val fault_points : t -> int
+(** Total faults fired so far: crashes + torn writes + torn flushes. *)

@@ -14,7 +14,15 @@ let redo (env : Env.t) lsn (u : Record.update) =
   Ariesrh_storage.Buffer_pool.apply_if_newer env.pool u.page ~lsn (fun page ->
       run_op page ~slot u.op)
 
+(* Also page-LSN conditioned, even though the caller just appended the
+   record and its LSN is the log's maximum: fetching the target page may
+   run demand repair (Repair.page), and if the log was flushed past this
+   record in the meantime — say by the eviction making room for the very
+   fetch — the replay has already installed the effect. Applying it
+   again would double it; the condition makes installation idempotent,
+   exactly like redo. *)
 let force (env : Env.t) lsn (u : Record.update) =
   let _page_id, slot = env.place u.oid in
-  Ariesrh_storage.Buffer_pool.apply env.pool u.page ~lsn (fun page ->
-      run_op page ~slot u.op)
+  ignore
+    (Ariesrh_storage.Buffer_pool.apply_if_newer env.pool u.page ~lsn
+       (fun page -> run_op page ~slot u.op))

@@ -5,6 +5,7 @@ module Heap = Ariesrh_util.Heap
 
 let recover ?(passes = Forward.Merged) (env : Env.t) =
   let io_before = Log_stats.copy (Log_store.stats env.log) in
+  let repairs_before = env.repairs in
   let fwd = Forward.run ~passes env ~mode:Forward.Conventional in
   let tt = fwd.tt in
   let losers = Forward.losers fwd in
@@ -101,5 +102,7 @@ let recover ?(passes = Forward.Merged) (env : Env.t) =
     backward_skipped = 0;
     clusters = 0;
     undos = !undos;
+    amputated = fwd.amputated;
+    repaired_pages = env.repairs - repairs_before;
     log_io = Log_stats.diff io_after io_before;
   }

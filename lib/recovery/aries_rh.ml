@@ -26,10 +26,12 @@ exception Interrupted
 let recover_gen ?(naive_sweep = false) ?(passes = Forward.Merged) ~physical
     ?fuel (env : Env.t) =
   let io_before = Log_stats.copy (Log_store.stats env.log) in
+  let repairs_before = env.repairs in
   Trace.Log.debug (fun m ->
       m "restart: forward pass from master=%a head=%a" Lsn.pp
         (Log_store.master env.log) Lsn.pp (Log_store.head env.log));
-  let fwd = Forward.run ~passes env ~mode:Forward.Rh in
+  let mode = if physical then Forward.Rh_rewritten else Forward.Rh in
+  let fwd = Forward.run ~passes env ~mode in
   let tt = fwd.tt in
   let losers = Forward.losers fwd in
   Trace.Log.debug (fun m ->
@@ -67,6 +69,11 @@ let recover_gen ?(naive_sweep = false) ?(passes = Forward.Merged) ~physical
         Log_store.rewrite env.log original.Record.prev neighbour
       end
     end;
+    (* After the rewrite, history reads as if [owner] invoked the update
+       itself, and a restart over the rewritten log will rebuild the
+       scope with [owner] as the invoker. The CLR must agree, or that
+       restart's trim misses and the update is undone twice. *)
+    let invoker = if physical then owner else invoker in
     let info = Txn_table.find_exn tt owner in
     let lsn =
       append_on_chain env info
@@ -96,6 +103,8 @@ let recover_gen ?(naive_sweep = false) ?(passes = Forward.Merged) ~physical
     backward_skipped = sweep.Scope_sweep.skipped;
     clusters = sweep.Scope_sweep.clusters;
     undos = sweep.Scope_sweep.undone;
+    amputated = fwd.amputated;
+    repaired_pages = env.repairs - repairs_before;
     log_io = Log_stats.diff io_after io_before;
   }
 

@@ -4,6 +4,7 @@ type t = {
   log : Ariesrh_wal.Log_store.t;
   pool : Ariesrh_storage.Buffer_pool.t;
   place : Oid.t -> Page_id.t * int;
+  mutable repairs : int;
 }
 
-let make ~log ~pool ~place = { log; pool; place }
+let make ~log ~pool ~place = { log; pool; place; repairs = 0 }

@@ -6,6 +6,11 @@ type t = {
   log : Ariesrh_wal.Log_store.t;
   pool : Ariesrh_storage.Buffer_pool.t;
   place : Oid.t -> Page_id.t * int;  (** object -> (page, slot) *)
+  mutable repairs : int;
+      (** lifetime count of torn pages repaired ({!Repair.page}); a
+          counter rather than a per-restart report figure because the
+          restart doing a repair may itself be killed by a fault while
+          the repaired page — persisted immediately — survives *)
 }
 
 val make :

@@ -2,7 +2,7 @@ open Ariesrh_types
 open Ariesrh_wal
 open Ariesrh_txn
 
-type mode = Conventional | Rh
+type mode = Conventional | Rh | Rh_rewritten
 
 type passes = Merged | Separate
 
@@ -11,6 +11,7 @@ type result = {
   winners : Xid.Set.t;
   forward_records : int;
   redo_applied : int;
+  amputated : int;
 }
 
 let trim_scope info ~oid ~invoker ~undone =
@@ -24,6 +25,21 @@ let trim_scope info ~oid ~invoker ~undone =
   info.ob_list <- Ob_list.close_open info.Txn_table.ob_list oid
 
 let run ?(passes = Merged) (env : Env.t) ~mode =
+  (* Restart preamble, before any scan: amputate the corrupt stable
+     tail — in the failure model only the last record of the crashing
+     flush can be torn, and ARIES treats the first corrupt record as
+     end-of-log. (Torn data pages need no sweep here: every page fetch
+     goes through the buffer pool's checksum gate, so redo, undo, or a
+     later normal read repairs a torn page on demand — see Repair.)
+     Amputation is idempotent, so a crash anywhere in restart is
+     survived by running restart again. *)
+  let amputated = Log_store.recover_tail env.log in
+  List.iter
+    (fun (lsn, e) ->
+      Trace.Log.info (fun m ->
+          m "restart: corrupt stable tail at %a (%a); treating as end of log"
+            Lsn.pp lsn Record.pp_decode_error e))
+    amputated;
   let tt = Txn_table.create () in
   let winners = ref Xid.Set.empty in
   let forward_records = ref 0 in
@@ -50,7 +66,7 @@ let run ?(passes = Merged) (env : Env.t) ~mode =
           if info.status = Txn_table.Committed then
             winners := Xid.Set.add info.xid !winners)
         ck.ck_txns;
-      if mode = Rh then
+      if mode <> Conventional then
         List.iter
           (fun (ob : Record.ckpt_ob) ->
             let info = Txn_table.find_exn tt ob.ck_owner in
@@ -115,7 +131,7 @@ let run ?(passes = Merged) (env : Env.t) ~mode =
           let info = lookup (Record.writer_exn record) in
           info.last_lsn <- lsn;
           info.undo_next <- lsn;
-          if mode = Rh then
+          if mode <> Conventional then
             info.ob_list <-
               Ob_list.note_update info.ob_list ~owner:info.xid ~oid:u.oid lsn;
           if redo_here then redo ~authoritative:false lsn u
@@ -123,7 +139,8 @@ let run ?(passes = Merged) (env : Env.t) ~mode =
           let info = lookup (Record.writer_exn record) in
           info.last_lsn <- lsn;
           info.undo_next <- undo_next;
-          if mode = Rh then trim_scope info ~oid:upd.oid ~invoker ~undone;
+          if mode <> Conventional then
+            trim_scope info ~oid:upd.oid ~invoker ~undone;
           if redo_here then redo ~authoritative:false lsn upd
       | Record.Commit ->
           let info = lookup (Record.writer_exn record) in
@@ -139,18 +156,24 @@ let run ?(passes = Merged) (env : Env.t) ~mode =
           match mode with
           | Conventional ->
               failwith "ARIES (conventional): delegate record in the log"
-          | Rh -> (
+          | Rh | Rh_rewritten -> (
               let tor = Record.writer_exn record in
               let tor_info = lookup tor in
               let tee_info = lookup tee in
               tor_info.last_lsn <- lsn;
               tee_info.last_lsn <- lsn;
+              (* Under [Rh_rewritten], a missing delegator scope means a
+                 prior lazy restart already re-attributed the delegated
+                 records in place: the delegate record is a no-op relic.
+                 Under [Rh] nothing rewrites the log, so the scope must
+                 be there — a miss is corruption. *)
               match op with
               | Some (op_lsn, invoker) -> (
                   (* operation granularity: split the covering scope *)
                   match
                     Ob_list.split_out tor_info.ob_list ~oid ~invoker op_lsn
                   with
+                  | None, _ when mode = Rh_rewritten -> ()
                   | None, _ ->
                       failwith
                         "ARIES/RH forward pass: operation delegation by a \
@@ -162,6 +185,7 @@ let run ?(passes = Merged) (env : Env.t) ~mode =
                           [ moved ])
               | None -> (
                   match Ob_list.take tor_info.ob_list oid with
+                  | None when mode = Rh_rewritten -> ()
                   | None ->
                       failwith
                         "ARIES/RH forward pass: delegation by a \
@@ -181,6 +205,7 @@ let run ?(passes = Merged) (env : Env.t) ~mode =
     winners = !winners;
     forward_records = !forward_records;
     redo_applied = !redo_applied;
+    amputated = List.length amputated;
   }
 
 let losers result =

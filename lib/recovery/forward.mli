@@ -13,6 +13,13 @@ open Ariesrh_txn
 type mode =
   | Conventional  (** plain ARIES; a delegate record is a fatal error *)
   | Rh  (** ARIES/RH: maintain Ob_Lists and scopes *)
+  | Rh_rewritten
+      (** like [Rh], but the log may already have been physically
+          rewritten by a prior (possibly interrupted) lazy restart:
+          a delegate record whose delegator no longer holds the scope
+          is old news — its updates were re-attributed in place — and
+          is skipped instead of rejected. Used by the lazy engine,
+          whose restarts must stay re-entrant across such rewrites. *)
 
 type passes =
   | Merged
@@ -29,9 +36,18 @@ type result = {
   winners : Xid.Set.t;  (** committed before the crash (seen in this scan) *)
   forward_records : int;
   redo_applied : int;
+  amputated : int;
+      (** corrupt stable tail records dropped by the restart preamble *)
 }
 
 val run : ?passes:passes -> Env.t -> mode:mode -> result
+(** Runs the restart preamble first: amputate the corrupt stable log
+    tail ([Log_store.recover_tail]). Torn data pages are repaired on
+    demand when fetched through the buffer pool (see [Repair.page]), so
+    redo never trusts a torn image yet restart I/O stays bounded by the
+    dirty page table. The preamble and the pass itself are idempotent,
+    which is what makes restart re-entrant under crashes injected during
+    recovery. *)
 
 val losers : result -> Txn_table.info list
 (** Live transactions that did not commit: to be rolled back. *)

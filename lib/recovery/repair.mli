@@ -1,0 +1,31 @@
+(** Torn data page repair.
+
+    A torn write leaves a page whose checksum fails: a prefix of the
+    intended slot image over the previous contents. The disk keeps the
+    last known-good before-image of every page; repair restores that
+    image and replays every {e durable} retained log record touching the
+    page, conditioned on the page LSN — full per-page REDO from the
+    log's retained start, not from the dirty page table's recLSN,
+    because the before-image can be arbitrarily older than anything the
+    last checkpoint knew about. The repaired page is written back to
+    disk immediately, so repair itself is re-entrant: a crash mid-repair
+    just repairs again at the next restart. *)
+
+open Ariesrh_types
+
+val page : Env.t -> Page_id.t -> Ariesrh_storage.Page.t -> Ariesrh_storage.Page.t
+(** [page env pid shadow] replays the durable log onto a copy of
+    [shadow], persists and returns the repaired page, bumping
+    [env.repairs]. Replaying the durable prefix suffices: the WAL rule
+    means no disk image ever holds a volatile effect. Volatile records
+    are left to whoever appended them — they install their own effects,
+    page-LSN conditioned. Installed as the buffer pool's repair callback
+    by [Db] — repair is demand-driven: whatever fetches the page
+    (restart redo, undo, or a normal read) triggers it, so restart costs
+    stay bounded by the dirty page table instead of a full-disk scan. *)
+
+val torn_pages : Env.t -> int
+(** Offline scrub: sweep the whole disk, repairing every page that fails
+    its checksum; returns how many were repaired. Not part of restart —
+    demand-driven repair covers correctness — but useful for tests and
+    integrity audits. *)

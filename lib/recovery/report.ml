@@ -9,14 +9,18 @@ type t = {
   backward_skipped : int;
   clusters : int;
   undos : int;
+  amputated : int;
+  repaired_pages : int;
   log_io : Ariesrh_wal.Log_stats.t;
 }
 
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>winners=%d losers=%d@ forward_records=%d redo_applied=%d@ \
-     backward: examined=%d skipped=%d clusters=%d undos=%d@ log_io: %a@]"
+     backward: examined=%d skipped=%d clusters=%d undos=%d@ faults: \
+     amputated=%d repaired_pages=%d@ log_io: %a@]"
     (Xid.Set.cardinal t.winners)
     (Xid.Set.cardinal t.losers)
     t.forward_records t.redo_applied t.backward_examined t.backward_skipped
-    t.clusters t.undos Ariesrh_wal.Log_stats.pp t.log_io
+    t.clusters t.undos t.amputated t.repaired_pages Ariesrh_wal.Log_stats.pp
+    t.log_io

@@ -11,6 +11,8 @@ type t = {
   backward_skipped : int;  (** records jumped over between clusters *)
   clusters : int;
   undos : int;  (** CLRs written by the backward pass *)
+  amputated : int;  (** corrupt stable tail records dropped at restart *)
+  repaired_pages : int;  (** torn data pages repaired at restart *)
   log_io : Ariesrh_wal.Log_stats.t;  (** log device activity during recovery *)
 }
 

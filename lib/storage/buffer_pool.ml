@@ -1,4 +1,7 @@
 open Ariesrh_types
+module Fault = Ariesrh_fault.Fault
+
+exception Torn_page of Page_id.t
 
 type frame = {
   page : Page.t;
@@ -12,24 +15,34 @@ type t = {
   disk : Disk.t;
   wal_flush : Lsn.t -> unit;
   frames : frame Page_id.Tbl.t;
+  fault : Fault.t;
+  (* Torn-page repair: given the page id and the last known-good image,
+     return a repaired page (and persist it). Installed by Db so both
+     normal operation and recovery transparently repair torn pages. *)
+  mutable repair : (Page_id.t -> Page.t -> Page.t) option;
   mutable clock : int;
   mutable evictions : int;
   mutable hits : int;
   mutable misses : int;
 }
 
-let create ~capacity ~disk ~wal_flush =
+let create ?(fault = Fault.none ()) ~capacity ~disk ~wal_flush () =
   if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
   {
     capacity;
     disk;
     wal_flush;
     frames = Page_id.Tbl.create capacity;
+    fault;
+    repair = None;
     clock = 0;
     evictions = 0;
     hits = 0;
     misses = 0;
   }
+
+let set_repair t f = t.repair <- Some f
+let disk t = t.disk
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -68,7 +81,15 @@ let get_frame t pid =
       frame
   | None ->
       if Page_id.Tbl.length t.frames >= t.capacity then evict_one t;
-      let page = Disk.read_page t.disk pid in
+      Fault.on_pool_miss t.fault;
+      let page =
+        match Disk.read_page_checked t.disk pid with
+        | Ok p -> p
+        | Error shadow -> (
+            match t.repair with
+            | Some f -> f pid shadow
+            | None -> raise (Torn_page pid))
+      in
       let frame = { page; dirty = false; rec_lsn = Lsn.nil; last_used = tick t } in
       Page_id.Tbl.replace t.frames pid frame;
       t.misses <- t.misses + 1;

@@ -15,9 +15,28 @@
 
 open Ariesrh_types
 
+exception Torn_page of Page_id.t
+(** A fetched page failed its checksum and no repair function is
+    installed (see {!set_repair}). *)
+
 type t
 
-val create : capacity:int -> disk:Disk.t -> wal_flush:(Lsn.t -> unit) -> t
+val create :
+  ?fault:Ariesrh_fault.Fault.t ->
+  capacity:int ->
+  disk:Disk.t ->
+  wal_flush:(Lsn.t -> unit) ->
+  unit ->
+  t
+
+val set_repair : t -> (Page_id.t -> Page.t -> Page.t) -> unit
+(** [set_repair t f] installs a torn-page repair function. When a fetch
+    fails its checksum, [f pid shadow] is called with the last known-good
+    image and must return the repaired page (typically by replaying the
+    log onto [shadow] and writing the result back to disk). Without one,
+    a torn fetch raises {!Torn_page}. *)
+
+val disk : t -> Disk.t
 
 val read_object : t -> Page_id.t -> slot:int -> int
 (** Fetches the page (possibly evicting) and reads a slot. *)
@@ -26,7 +45,10 @@ val page_lsn : t -> Page_id.t -> Lsn.t
 
 val apply : t -> Page_id.t -> lsn:Lsn.t -> (Page.t -> unit) -> unit
 (** [apply t pid ~lsn f] runs [f] on the (fetched) page, marks it dirty
-    with [recLSN = lsn] if it was clean, and sets its page LSN to [lsn]. *)
+    with [recLSN = lsn] if it was clean, and sets its page LSN to [lsn].
+    Unconditional — engine code installing a logged record's effect must
+    use {!apply_if_newer} instead: the fetch itself can run torn-page
+    repair, which may already have replayed that record onto the page. *)
 
 val apply_if_newer : t -> Page_id.t -> lsn:Lsn.t -> (Page.t -> unit) -> bool
 (** ARIES redo step: apply only when the page LSN is older than [lsn];

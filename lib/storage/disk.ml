@@ -1,15 +1,27 @@
 open Ariesrh_types
+module Fault = Ariesrh_fault.Fault
 
 type stats = { mutable page_reads : int; mutable page_writes : int }
 
-type t = { pages : Page.t array; slots_per_page : int; stats : stats }
+type t = {
+  pages : Page.t array;
+  (* Last known-good image of each page (doublewrite-style before-image):
+     updated only by clean writes, so it always verifies. Torn-page repair
+     starts from here and replays the log forward. *)
+  shadow : Page.t array;
+  slots_per_page : int;
+  stats : stats;
+  fault : Fault.t;
+}
 
-let create ~pages ~slots_per_page =
+let create ?(fault = Fault.none ()) ~pages ~slots_per_page () =
   if pages <= 0 then invalid_arg "Disk.create: pages must be positive";
   {
     pages = Array.init pages (fun _ -> Page.create ~slots:slots_per_page);
+    shadow = Array.init pages (fun _ -> Page.create ~slots:slots_per_page);
     slots_per_page;
     stats = { page_reads = 0; page_writes = 0 };
+    fault;
   }
 
 let page_count t = Array.length t.pages
@@ -23,13 +35,40 @@ let check t pid =
 
 let read_page t pid =
   let i = check t pid in
+  Fault.on_disk_read t.fault;
   t.stats.page_reads <- t.stats.page_reads + 1;
   Page.copy t.pages.(i)
 
+let read_page_checked t pid =
+  let i = check t pid in
+  Fault.on_disk_read t.fault;
+  t.stats.page_reads <- t.stats.page_reads + 1;
+  let p = t.pages.(i) in
+  if Page.verify p then Ok (Page.copy p) else Error (Page.copy t.shadow.(i))
+
 let write_page t pid p =
   let i = check t pid in
+  let d = Fault.on_disk_write t.fault ~slots:(Page.slots p) in
   t.stats.page_writes <- t.stats.page_writes + 1;
-  t.pages.(i) <- Page.copy p
+  (match d.Fault.torn_keep with
+  | None ->
+      let stored = Page.copy p in
+      Page.seal stored;
+      t.pages.(i) <- stored;
+      t.shadow.(i) <- Page.copy stored
+  | Some keep ->
+      (* Only the first [keep] slots of the new image reach the platter;
+         the tail keeps the old contents. The checksum is the one intended
+         for the full new image, so verification fails unless the tear
+         happened to change nothing. The shadow is left alone. *)
+      let torn = Page.copy p in
+      Page.seal torn;
+      let old = t.pages.(i) in
+      for s = keep to Page.slots p - 1 do
+        Page.set torn s (Page.get old s)
+      done;
+      t.pages.(i) <- torn);
+  if d.Fault.crash then Fault.die t.fault Fault.Disk_write
 
 let stats t = t.stats
 

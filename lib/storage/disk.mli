@@ -1,7 +1,15 @@
 (** Simulated stable storage for data pages.
 
     Pages written here survive crashes. Reads and writes are counted so
-    experiments can report data I/O alongside log I/O. *)
+    experiments can report data I/O alongside log I/O.
+
+    When a live {!Ariesrh_fault.Fault} injector is attached, writes can
+    be torn (only a prefix of the new slot image persists) and any read
+    or write can raise [Fault.Injected_crash]. Pages are checksummed as
+    they are written, so torn images are detectable via
+    {!read_page_checked}; the disk also keeps the last known-good image
+    of every page (a doublewrite-style before-image) from which recovery
+    repairs a torn page by replaying the log. *)
 
 open Ariesrh_types
 
@@ -9,14 +17,24 @@ type stats = { mutable page_reads : int; mutable page_writes : int }
 
 type t
 
-val create : pages:int -> slots_per_page:int -> t
+val create :
+  ?fault:Ariesrh_fault.Fault.t -> pages:int -> slots_per_page:int -> unit -> t
+
 val page_count : t -> int
 val slots_per_page : t -> int
+
 val read_page : t -> Page_id.t -> Page.t
-(** Returns a private copy; mutating it does not affect the disk. *)
+(** Returns a private copy; mutating it does not affect the disk. No
+    integrity check: a torn page is returned as stored. *)
+
+val read_page_checked : t -> Page_id.t -> (Page.t, Page.t) result
+(** Like {!read_page} but verifies the page checksum. [Error shadow]
+    returns a copy of the last known-good image of the page instead;
+    callers repair by replaying the log from that before-image. *)
 
 val write_page : t -> Page_id.t -> Page.t -> unit
-(** Stores a copy of the given page. *)
+(** Stores a sealed copy of the given page (possibly torn under fault
+    injection; may raise [Fault.Injected_crash] after the write). *)
 
 val stats : t -> stats
 val reset_stats : t -> unit

@@ -16,4 +16,16 @@ val page_lsn : t -> Lsn.t
 val set_page_lsn : t -> Lsn.t -> unit
 val get : t -> int -> int
 val set : t -> int -> int -> unit
+
+val seal : t -> unit
+(** Recompute the stored checksum from the current LSN and slot values.
+    [Disk.write_page] seals pages as they reach stable storage; in-memory
+    buffer pool frames carry stale checksums between writes. *)
+
+val verify : t -> bool
+(** Whether the stored checksum matches the current contents. False for a
+    torn write that persisted only part of a page image. *)
+
+val checksum : t -> int
+
 val pp : Format.formatter -> t -> unit

@@ -1,4 +1,7 @@
 open Ariesrh_types
+module Fault = Ariesrh_fault.Fault
+
+exception Corrupt_record of { lsn : Lsn.t; error : Record.decode_error }
 
 type t = {
   page_size : int;
@@ -10,10 +13,19 @@ type t = {
   mutable buffered_page : int;  (* log page currently in the device buffer *)
   mutable master : int;  (* stable pointer to the last complete checkpoint *)
   mutable low : int;  (* records with lsn <= low were truncated away *)
+  (* A tear scheduled for the last record of the most recent flush:
+     (index, corrupted bytes). It materialises only if a crash happens
+     before the next flush rewrites that log page. *)
+  mutable pending_tear : (int * string) option;
+  mutable amputated_total : int;
+      (* lifetime count of corrupt tail records dropped by recover_tail;
+         lets harnesses observe amputation even when the restart that
+         performed it is itself killed by an injected crash *)
+  fault : Fault.t;
   stats : Log_stats.t;
 }
 
-let create ?(page_size = 4096) () =
+let create ?(page_size = 4096) ?(fault = Fault.none ()) () =
   {
     page_size;
     enc = [||];
@@ -24,10 +36,14 @@ let create ?(page_size = 4096) () =
     buffered_page = -1;
     master = 0;
     low = 0;
+    pending_tear = None;
+    amputated_total = 0;
+    fault;
     stats = Log_stats.create ();
   }
 
 let stats t = t.stats
+let amputated_total t = t.amputated_total
 let head t = Lsn.of_int t.count
 let durable t = Lsn.of_int t.durable_count
 let length t = t.count
@@ -61,12 +77,31 @@ let flush t ~upto =
     for i = t.durable_count to target - 1 do
       bytes := !bytes + String.length t.enc.(i)
     done;
+    (* rewriting the tail log page heals any previously scheduled tear *)
+    t.pending_tear <- None;
     t.durable_count <- target;
     t.stats.flushes <- t.stats.flushes + 1;
-    t.stats.bytes_flushed <- t.stats.bytes_flushed + !bytes
+    t.stats.bytes_flushed <- t.stats.bytes_flushed + !bytes;
+    let last = t.enc.(target - 1) in
+    let d = Fault.on_log_flush t.fault ~last_len:(String.length last) in
+    (match d.Fault.tear with
+    | None -> ()
+    | Some (Fault.Truncate_tail n) ->
+        t.pending_tear <-
+          Some (target - 1, String.sub last 0 (max 0 (String.length last - n)))
+    | Some (Fault.Flip_byte i) ->
+        let b = Bytes.of_string last in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+        t.pending_tear <- Some (target - 1, Bytes.to_string b));
+    if d.Fault.crash then Fault.die t.fault Fault.Log_flush
   end
 
 let crash t =
+  (match t.pending_tear with
+  | Some (idx, bytes) ->
+      if idx < t.durable_count then t.enc.(idx) <- bytes;
+      t.pending_tear <- None
+  | None -> ());
   t.count <- t.durable_count;
   t.next_offset <-
     (if t.count = 0 then 0
@@ -118,13 +153,18 @@ let truncate t ~below =
 
 let truncated_below t = Lsn.of_int (t.low + 1)
 
-let read t lsn =
+let read_result t lsn =
   let idx = check_lsn t lsn in
   if idx < t.durable_count then begin
     t.stats.reads <- t.stats.reads + 1;
     touch_page t idx
   end;
   Record.decode t.enc.(idx)
+
+let read t lsn =
+  match read_result t lsn with
+  | Ok r -> r
+  | Error error -> raise (Corrupt_record { lsn; error })
 
 let rewrite t lsn r =
   let idx = check_lsn t lsn in
@@ -150,8 +190,54 @@ let iter_forward ?upto t ~from f =
     f (Lsn.of_int i) (read t (Lsn.of_int i))
   done
 
+let iter_valid_forward ?upto t ~from f =
+  let start = if Lsn.is_nil from then 1 else Lsn.to_int from in
+  let start = max start (t.low + 1) in
+  let stop =
+    match upto with
+    | None -> t.count
+    | Some l -> min (Lsn.to_int l) t.count
+  in
+  let corrupt = ref None in
+  let i = ref start in
+  while !corrupt = None && !i <= stop do
+    let lsn = Lsn.of_int !i in
+    (match read_result t lsn with
+    | Ok r -> f lsn r
+    | Error e -> corrupt := Some (lsn, e));
+    incr i
+  done;
+  !corrupt
+
 let iter_backward t ~from f =
   let start = if Lsn.is_nil from then t.count else Lsn.to_int from in
   for i = start downto t.low + 1 do
     f (Lsn.of_int i) (read t (Lsn.of_int i))
   done
+
+let recover_tail t =
+  let dropped = ref [] in
+  let continue = ref true in
+  while !continue && t.count > t.low do
+    match Record.decode t.enc.(t.count - 1) with
+    | Ok _ -> continue := false
+    | Error e ->
+        dropped := (Lsn.of_int t.count, e) :: !dropped;
+        t.enc.(t.count - 1) <- "";
+        t.count <- t.count - 1;
+        t.durable_count <- min t.durable_count t.count;
+        t.amputated_total <- t.amputated_total + 1
+  done;
+  t.next_offset <-
+    (if t.count = 0 then 0
+     else t.offsets.(t.count - 1) + String.length t.enc.(t.count - 1));
+  t.pending_tear <- None;
+  if t.master > t.count then begin
+    (* the master checkpoint was amputated with the corrupt tail; fall
+       back to a full-scan restart from the log's beginning *)
+    if t.low > 0 then
+      invalid_arg
+        "Log_store.recover_tail: master checkpoint corrupt after truncation";
+    t.master <- 0
+  end;
+  !dropped

@@ -14,13 +14,28 @@
 
 open Ariesrh_types
 
+exception Corrupt_record of { lsn : Lsn.t; error : Record.decode_error }
+(** Raised by {!read} when the stored bytes fail to decode — a torn or
+    bit-flipped stable tail. Restart amputates such records up front
+    ({!recover_tail}); seeing this exception later means the log was
+    corrupted somewhere other than the tail, which the failure model
+    does not produce. *)
+
 type t
 
-val create : ?page_size:int -> unit -> t
+val create : ?page_size:int -> ?fault:Ariesrh_fault.Fault.t -> unit -> t
 (** [page_size] (bytes, default 4096) governs the I/O cost model; see
-    {!Log_stats}. *)
+    {!Log_stats}. A live [fault] injector can tear the last record of a
+    crashing flush and raise [Fault.Injected_crash] at flush points. *)
 
 val stats : t -> Log_stats.t
+
+val amputated_total : t -> int
+(** Lifetime count of corrupt tail records dropped by {!recover_tail}.
+    Fault harnesses read this rather than the restart report because an
+    injected crash can kill the very restart that amputated the tail —
+    the work still happened and must be observable. *)
+
 val head : t -> Lsn.t
 (** LSN of the most recently appended record; [Lsn.nil] when empty. *)
 
@@ -32,11 +47,19 @@ val flush : t -> upto:Lsn.t -> unit
 (** No-op if already durable up to [upto]. Clamped to [head]. *)
 
 val crash : t -> unit
-(** Discard the unflushed tail. The stable prefix survives. *)
+(** Discard the unflushed tail. The stable prefix survives — except that
+    a tear scheduled by the fault injector at the last flush is applied
+    to the final stable record now (the power failure interrupted that
+    log page write). *)
 
 val read : t -> Lsn.t -> Record.t
-(** Raises [Invalid_argument] for [Lsn.nil] or beyond [head]. Reads
-    above [durable] come from the in-memory tail and cost nothing. *)
+(** Raises [Invalid_argument] for [Lsn.nil] or beyond [head], and
+    {!Corrupt_record} if the stored bytes fail to decode. Reads above
+    [durable] come from the in-memory tail and cost nothing. *)
+
+val read_result : t -> Lsn.t -> (Record.t, Record.decode_error) result
+(** Like {!read} but surfaces corruption as a typed result. Still raises
+    [Invalid_argument] for out-of-range or truncated-away LSNs. *)
 
 val rewrite : t -> Lsn.t -> Record.t -> unit
 (** Replace the record at an LSN (history surgery, baselines only).
@@ -47,8 +70,30 @@ val iter_forward :
 (** Sequential sweep from [from] (or [Lsn.first] if nil) to [upto]
     (default: [head]). *)
 
+val iter_valid_forward :
+  ?upto:Lsn.t ->
+  t ->
+  from:Lsn.t ->
+  (Lsn.t -> Record.t -> unit) ->
+  (Lsn.t * Record.decode_error) option
+(** Like {!iter_forward} but stops at the first record that fails to
+    decode and returns it, instead of raising. [None] means the whole
+    range decoded. This is how scans treat a corrupt record as
+    end-of-log. *)
+
 val iter_backward : t -> from:Lsn.t -> (Lsn.t -> Record.t -> unit) -> unit
 (** Sequential sweep from [from] (or [head] if nil) down to [Lsn.first]. *)
+
+val recover_tail : t -> (Lsn.t * Record.decode_error) list
+(** Restart preamble: drop trailing stable records that fail to decode
+    (in the failure model only the very last record of the crashing
+    flush can be corrupt, but amputation loops to be safe). Returns the
+    dropped (lsn, error) pairs, oldest first; the freed LSNs will be
+    reused by new appends, exactly as if those records had never been
+    flushed. If the master checkpoint pointer points into the amputated
+    tail it falls back to [0] (full-scan restart); raises
+    [Invalid_argument] if that fallback is impossible because the log
+    prefix was truncated. *)
 
 val length : t -> int
 (** Total records (stable + tail). *)

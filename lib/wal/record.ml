@@ -220,10 +220,23 @@ let encode t =
   put_u32 b2 (fnv1a payload);
   Buffer.contents b2
 
+type decode_error =
+  | Truncated
+  | Checksum_mismatch
+  | Bad_tag of int
+  | Bad_encoding of string
+
+let pp_decode_error ppf = function
+  | Truncated -> Format.pp_print_string ppf "truncated"
+  | Checksum_mismatch -> Format.pp_print_string ppf "checksum mismatch"
+  | Bad_tag n -> Format.fprintf ppf "bad tag %d" n
+  | Bad_encoding what -> Format.fprintf ppf "bad encoding (%s)" what
+
+exception Bad of decode_error
+
 type cursor = { s : string; mutable pos : int }
 
-let need c n =
-  if c.pos + n > String.length c.s then failwith "Record.decode: truncated"
+let need c n = if c.pos + n > String.length c.s then raise (Bad Truncated)
 
 let get_u8 c =
   need c 1;
@@ -252,7 +265,7 @@ let get_op c =
       let after = get_i64 c in
       Set { before; after }
   | 2 -> Add (get_i64 c)
-  | n -> failwith (Printf.sprintf "Record.decode: bad op tag %d" n)
+  | n -> raise (Bad (Bad_encoding (Printf.sprintf "op tag %d" n)))
 
 let get_update c =
   let oid = Oid.of_int (get_u32 c) in
@@ -273,7 +286,7 @@ let get_ckpt c =
           | 0 -> Ck_active
           | 1 -> Ck_committed
           | 2 -> Ck_rolling_back
-          | n -> failwith (Printf.sprintf "Record.decode: bad status %d" n)
+          | n -> raise (Bad (Bad_encoding (Printf.sprintf "ckpt status %d" n)))
         in
         let ck_last_lsn = Lsn.of_int (get_u32 c) in
         let ck_undo_next = Lsn.of_int (get_u32 c) in
@@ -302,12 +315,12 @@ let get_ckpt c =
   in
   { ck_txns; ck_dpt; ck_obs }
 
-let decode s =
-  if String.length s < 13 then failwith "Record.decode: too short";
+let decode_exn s =
+  if String.length s < 13 then raise (Bad Truncated);
   let payload = String.sub s 0 (String.length s - 4) in
   let c = { s; pos = String.length s - 4 } in
   let sum = get_u32 c in
-  if sum <> fnv1a payload then failwith "Record.decode: checksum mismatch";
+  if sum <> fnv1a payload then raise (Bad Checksum_mismatch);
   let c = { s = payload; pos = 0 } in
   let tag = get_u8 c in
   let xid_raw = get_u32 c in
@@ -342,9 +355,12 @@ let decode s =
     | 8 -> Ckpt_begin
     | 9 -> Ckpt_end (get_ckpt c)
     | 10 -> Anchor
-    | n -> failwith (Printf.sprintf "Record.decode: bad tag %d" n)
+    | n -> raise (Bad (Bad_tag n))
   in
-  if c.pos <> String.length payload then failwith "Record.decode: trailing bytes";
+  if c.pos <> String.length payload then
+    raise (Bad (Bad_encoding "trailing bytes"));
   { xid; prev; body }
+
+let decode s = match decode_exn s with t -> Ok t | exception Bad e -> Error e
 
 let encoded_size t = String.length (encode t)

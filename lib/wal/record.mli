@@ -112,8 +112,17 @@ val pp : Format.formatter -> t -> unit
 val encode : t -> string
 (** Binary encoding, checksummed. *)
 
-val decode : string -> t
-(** Inverse of {!encode}. Raises [Failure] on truncation or checksum
-    mismatch. *)
+type decode_error =
+  | Truncated  (** fewer bytes than the fixed header + trailer *)
+  | Checksum_mismatch
+  | Bad_tag of int
+  | Bad_encoding of string
+
+val pp_decode_error : Format.formatter -> decode_error -> unit
+
+val decode : string -> (t, decode_error) result
+(** Inverse of {!encode}. A torn or bit-flipped stable record surfaces
+    as [Error] — recovery treats a corrupt record at the stable tail as
+    end-of-log rather than failing restart. *)
 
 val encoded_size : t -> int

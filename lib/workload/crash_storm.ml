@@ -1,0 +1,429 @@
+open Ariesrh_types
+open Ariesrh_core
+module Fault = Ariesrh_fault.Fault
+module Log_store = Ariesrh_wal.Log_store
+module Record = Ariesrh_wal.Record
+module Prng = Ariesrh_util.Prng
+
+type config = {
+  seed : int64;
+  tear_data_every : int;
+  tear_data_on_crash : bool;
+  tear_log_on_crash : bool;
+  crash_step : int;
+  recovery_crash_depth : int;
+  recovery_crash_gap : int;
+}
+
+let default_config =
+  {
+    seed = 1L;
+    tear_data_every = 7;
+    tear_data_on_crash = true;
+    tear_log_on_crash = true;
+    crash_step = 1;
+    recovery_crash_depth = 2;
+    recovery_crash_gap = 3;
+  }
+
+type outcome = {
+  mutable runs : int;
+  mutable actions : int;
+  mutable crashes : int;
+  mutable nested_crashes : int;
+  mutable recoveries : int;
+  mutable torn_writes : int;
+  mutable torn_flushes : int;
+  mutable amputated : int;
+  mutable repaired_pages : int;
+  mutable fault_points : int;
+  mutable checks : int;
+  mutable failures : string list;
+}
+
+let fresh_outcome () =
+  {
+    runs = 0;
+    actions = 0;
+    crashes = 0;
+    nested_crashes = 0;
+    recoveries = 0;
+    torn_writes = 0;
+    torn_flushes = 0;
+    amputated = 0;
+    repaired_pages = 0;
+    fault_points = 0;
+    checks = 0;
+    failures = [];
+  }
+
+let ok o = o.failures = []
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>runs=%d actions=%d@ crashes=%d nested=%d recoveries=%d@ \
+     torn_writes=%d torn_flushes=%d amputated=%d repaired_pages=%d@ \
+     fault_points=%d checks=%d failures=%d%a@]"
+    o.runs o.actions o.crashes o.nested_crashes o.recoveries o.torn_writes
+    o.torn_flushes o.amputated o.repaired_pages o.fault_points o.checks
+    (List.length o.failures)
+    (fun ppf -> function
+      | [] -> ()
+      | fs ->
+          List.iter (fun f -> Format.fprintf ppf "@   FAIL %s" f) (List.rev fs))
+    o.failures
+
+let merge a b =
+  {
+    runs = a.runs + b.runs;
+    actions = a.actions + b.actions;
+    crashes = a.crashes + b.crashes;
+    nested_crashes = a.nested_crashes + b.nested_crashes;
+    recoveries = a.recoveries + b.recoveries;
+    torn_writes = a.torn_writes + b.torn_writes;
+    torn_flushes = a.torn_flushes + b.torn_flushes;
+    amputated = a.amputated + b.amputated;
+    repaired_pages = a.repaired_pages + b.repaired_pages;
+    fault_points = a.fault_points + b.fault_points;
+    checks = a.checks + b.checks;
+    failures = b.failures @ a.failures;
+  }
+
+let fail o msg = o.failures <- msg :: o.failures
+
+(* Ground truth for "who committed": the transactions whose commit
+   records are durable and decode — exactly what any restart will see.
+   Called after [Db.crash], when only the stable prefix (with its
+   possibly-torn tail) remains. *)
+let durable_commits log =
+  let s = ref Xid.Set.empty in
+  ignore
+    (Log_store.iter_valid_forward log ~from:(Log_store.truncated_below log)
+       (fun _ r ->
+         match r.Record.body with
+         | Record.Commit -> s := Xid.Set.add (Record.writer_exn r) !s
+         | _ -> ()));
+  !s
+
+(* Restart under continued fault injection: arm a re-crash a few I/Os
+   into each recovery until [recovery_crash_depth] nested crashes have
+   fired, then let it finish. Every injected crash is answered with
+   [Db.crash] and another restart — the re-entrancy the storm proves. *)
+let recover_until_stable ~config ~outcome fault db =
+  (* count amputation via the log store's lifetime counter: the restart
+     attempt that drops the corrupt tail may itself be killed by a
+     nested crash, in which case its report never materialises but the
+     amputation did happen (and the retry finds a clean tail) *)
+  let amputated_before = Log_store.amputated_total (Db.log_store db) in
+  let rec go depth =
+    if depth < config.recovery_crash_depth then
+      Fault.arm_crash_in fault config.recovery_crash_gap
+    else Fault.disarm_crash fault;
+    match Db.recover db with
+    | report ->
+        Fault.disarm_crash fault;
+        outcome.recoveries <- outcome.recoveries + 1;
+        outcome.amputated <-
+          outcome.amputated
+          + Log_store.amputated_total (Db.log_store db)
+          - amputated_before;
+        Ok report
+    | exception Fault.Injected_crash _ when depth <= config.recovery_crash_depth
+      ->
+        outcome.nested_crashes <- outcome.nested_crashes + 1;
+        Db.crash db;
+        go (depth + 1)
+    | exception e ->
+        (* anything else escaping restart is a storm failure *)
+        Error (Printexc.to_string e)
+  in
+  go 0
+
+(* Post-restart verification: state against the oracle, structural
+   invariants, and restart idempotence (crash + bare restart must
+   reproduce the same state). Runs with faults gated off so the check
+   itself is deterministic. *)
+(* On a mismatch, the first diverging object's log history (updates,
+   delegations, compensations) is the fastest route to the bug. *)
+let describe_object db i =
+  let b = Buffer.create 128 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (match e with
+        | Db.Updated { lsn; invoker; op } ->
+            Printf.sprintf " %d:upd(%s,%s)" (Lsn.to_int lsn)
+              (Format.asprintf "%a" Xid.pp invoker)
+              (match op with
+              | Record.Set { before; after } ->
+                  Printf.sprintf "set %d->%d" before after
+              | Record.Add d -> Printf.sprintf "%+d" d)
+        | Db.Delegated { lsn; from_; to_; _ } ->
+            Printf.sprintf " %d:del(%s->%s)" (Lsn.to_int lsn)
+              (Format.asprintf "%a" Xid.pp from_)
+              (Format.asprintf "%a" Xid.pp to_)
+        | Db.Compensated { lsn; by; undone } ->
+            Printf.sprintf " %d:clr(%s,undid %d)" (Lsn.to_int lsn)
+              (Format.asprintf "%a" Xid.pp by)
+              (Lsn.to_int undone)))
+    (Db.object_history db (Oid.of_int i));
+  Buffer.contents b
+
+let check_state ~outcome ~label fault db expected =
+  Fault.set_enabled fault false;
+  outcome.checks <- outcome.checks + 1;
+  let peek () =
+    Array.init (Array.length expected) (fun i -> Db.peek db (Oid.of_int i))
+  in
+  let pp_arr a =
+    String.concat ";" (Array.to_list (Array.map string_of_int a))
+  in
+  let first_diff a =
+    let rec go i =
+      if i >= Array.length a then ""
+      else if a.(i) <> expected.(i) then
+        Printf.sprintf " (ob%d: got %d want %d; history:%s)" i a.(i)
+          expected.(i) (describe_object db i)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let actual = peek () in
+  if actual <> expected then
+    fail outcome
+      (Printf.sprintf "%s: state mismatch: got [%s] want [%s]%s" label
+         (pp_arr actual) (pp_arr expected) (first_diff actual));
+  (match Db.validate db with
+  | Ok () -> ()
+  | Error msg -> fail outcome (Printf.sprintf "%s: invariants: %s" label msg));
+  (match Db.crash db; Db.recover db with
+  | _ ->
+      outcome.recoveries <- outcome.recoveries + 1;
+      let again = peek () in
+      if again <> expected then
+        fail outcome
+          (Printf.sprintf "%s: restart not idempotent: got [%s] want [%s]"
+             label (pp_arr again) (pp_arr expected))
+  | exception e ->
+      fail outcome
+        (Printf.sprintf "%s: re-restart raised %s" label (Printexc.to_string e)));
+  Fault.set_enabled fault true
+
+let absorb_fault_stats outcome fault =
+  let s = Fault.stats fault in
+  outcome.torn_writes <- outcome.torn_writes + s.Fault.torn_writes;
+  outcome.torn_flushes <- outcome.torn_flushes + s.Fault.torn_flushes;
+  outcome.fault_points <- outcome.fault_points + Fault.fault_points fault
+
+let make_fault config ~salt =
+  let fault = Fault.create ~seed:(Int64.add config.seed (Int64.of_int salt)) () in
+  Fault.set_tear_data_every fault config.tear_data_every;
+  Fault.set_tear_data_on_crash fault config.tear_data_on_crash;
+  Fault.set_tear_log_on_crash fault config.tear_log_on_crash;
+  fault
+
+(* --- scripted storm --- *)
+
+let run_script ?(config = default_config) ?(impl = Config.Rh) spec =
+  let outcome = fresh_outcome () in
+  let script = Gen.generate spec ~seed:config.seed in
+  let n_objects = spec.Gen.n_objects in
+  let crash_io = ref (max 1 config.crash_step) in
+  let continue = ref true in
+  while !continue do
+    outcome.runs <- outcome.runs + 1;
+    let fault = make_fault config ~salt:!crash_io in
+    Fault.arm_crash_at fault !crash_io;
+    let db = Driver.fresh_db ~fault ~impl ~n_objects () in
+    let xid_map = Hashtbl.create 16 in
+    let executed = ref 0 in
+    let finished =
+      match
+        Driver.run ~xid_map ~on_action:(fun i -> executed := i + 1) db script
+      with
+      | () -> true
+      | exception Fault.Injected_crash _ -> false
+    in
+    outcome.actions <- outcome.actions + !executed;
+    if finished then begin
+      (* the armed crash point lies beyond the script's total I/O count:
+         every I/O of this history has been a crash point — done *)
+      continue := false;
+      Fault.disarm_crash fault
+    end
+    else outcome.crashes <- outcome.crashes + 1;
+    Db.crash db;
+    let commits = durable_commits (Db.log_store db) in
+    (match recover_until_stable ~config ~outcome fault db with
+    | Error msg ->
+        fail outcome (Printf.sprintf "script crash_io=%d: %s" !crash_io msg)
+    | Ok _report ->
+        let committed t =
+          match Hashtbl.find_opt xid_map t with
+          | Some x -> Xid.Set.mem x commits
+          | None -> false
+        in
+        let expected =
+          Oracle.expected_for ~n_objects ~committed ~crash_at:!executed script
+        in
+        check_state ~outcome
+          ~label:(Printf.sprintf "script crash_io=%d" !crash_io)
+          fault db expected);
+    absorb_fault_stats outcome fault;
+    outcome.repaired_pages <- outcome.repaired_pages + Db.repairs_total db;
+    crash_io := !crash_io + max 1 config.crash_step
+  done;
+  outcome
+
+(* --- simulated storm --- *)
+
+type sim_config = {
+  clients : int;
+  steps : int;
+  ops_per_txn : int;
+  n_objects : int;
+  p_delegate : float;
+  checkpoint_every : int;
+  crash_every : int;
+}
+
+let default_sim =
+  {
+    clients = 4;
+    steps = 600;
+    ops_per_txn = 6;
+    n_objects = 48;
+    p_delegate = 0.25;
+    checkpoint_every = 5;
+    crash_every = 11;
+  }
+
+type client = {
+  mutable xid : Xid.t option;
+  mutable ops_left : int;
+  mutable touched : int list;  (* objects this txn is responsible for *)
+}
+
+let run_sim ?(config = default_config) ?(sim = default_sim) () =
+  let outcome = fresh_outcome () in
+  let fault = make_fault config ~salt:0x5117 in
+  let db = Driver.fresh_db ~fault ~n_objects:sim.n_objects () in
+  let rng = Prng.create (Int64.add config.seed 77L) in
+  let clients =
+    Array.init sim.clients (fun _ -> { xid = None; ops_left = 0; touched = [] })
+  in
+  (* The responsibility ledger: engine xid -> increments it is currently
+     responsible for. Entries move on delegation and never otherwise;
+     expected state = the entries of transactions whose commit records
+     are durable. The subtlety this relies on: a commit record's log
+     force covers (prefix flush) every earlier delegate record, so a
+     durable commit implies its delegated-in entries' transfers are
+     durable too. *)
+  let ledger : (int * int) list Xid.Tbl.t = Xid.Tbl.create 64 in
+  let ledger_of x = match Xid.Tbl.find_opt ledger x with Some l -> l | None -> [] in
+  let ledger_add x o d = Xid.Tbl.replace ledger x ((o, d) :: ledger_of x) in
+  let ledger_move ~from_ ~to_ o =
+    let moved, kept = List.partition (fun (o', _) -> o' = o) (ledger_of from_) in
+    Xid.Tbl.replace ledger from_ kept;
+    Xid.Tbl.replace ledger to_ (moved @ ledger_of to_)
+  in
+  let expected () =
+    let commits = durable_commits (Db.log_store db) in
+    let v = Array.make sim.n_objects 0 in
+    Xid.Tbl.iter
+      (fun x entries ->
+        if Xid.Set.mem x commits then
+          List.iter (fun (o, d) -> v.(o) <- v.(o) + d) entries)
+      ledger;
+    v
+  in
+  let other_active self =
+    let cands = ref [] in
+    Array.iteri
+      (fun i c ->
+        match c.xid with
+        | Some x when i <> self -> cands := (i, x) :: !cands
+        | _ -> ())
+      clients;
+    match !cands with
+    | [] -> None
+    | l -> Some (List.nth l (Prng.int rng (List.length l)))
+  in
+  let commits_done = ref 0 in
+  let step self =
+    let c = clients.(self) in
+    match c.xid with
+    | None ->
+        let x = Db.begin_txn db in
+        c.xid <- Some x;
+        c.ops_left <- 1 + Prng.int rng sim.ops_per_txn;
+        c.touched <- []
+    | Some x when c.ops_left > 0 -> (
+        c.ops_left <- c.ops_left - 1;
+        let delegate_now =
+          c.touched <> [] && Prng.float rng 1.0 < sim.p_delegate
+        in
+        match (if delegate_now then other_active self else None) with
+        | Some (yi, y) ->
+            let o = List.nth c.touched (Prng.int rng (List.length c.touched)) in
+            Db.delegate db ~from_:x ~to_:y (Oid.of_int o);
+            ledger_move ~from_:x ~to_:y o;
+            c.touched <- List.filter (fun o' -> o' <> o) c.touched;
+            clients.(yi).touched <- o :: clients.(yi).touched
+        | None ->
+            let o = Prng.int rng sim.n_objects in
+            let d = 1 + Prng.int rng 9 in
+            Db.add db x (Oid.of_int o) d;
+            ledger_add x o d;
+            if not (List.mem o c.touched) then c.touched <- o :: c.touched)
+    | Some x ->
+        if Prng.int rng 10 = 0 then Db.abort db x
+        else begin
+          Db.commit db x;
+          incr commits_done;
+          if
+            sim.checkpoint_every > 0
+            && !commits_done mod sim.checkpoint_every = 0
+          then Db.checkpoint db
+        end;
+        c.xid <- None;
+        c.touched <- []
+  in
+  let reset_clients () =
+    Array.iter
+      (fun c ->
+        c.xid <- None;
+        c.ops_left <- 0;
+        c.touched <- [])
+      clients
+  in
+  let handle_crash () =
+    outcome.crashes <- outcome.crashes + 1;
+    Db.crash db;
+    (match recover_until_stable ~config ~outcome fault db with
+    | Error msg ->
+        fail outcome
+          (Printf.sprintf "sim crash #%d: %s" outcome.crashes msg)
+    | Ok _report ->
+        outcome.runs <- outcome.runs + 1;
+        check_state ~outcome
+          ~label:(Printf.sprintf "sim crash #%d" outcome.crashes)
+          fault db (expected ()));
+    reset_clients ();
+    Fault.arm_crash_in fault sim.crash_every
+  in
+  Fault.arm_crash_in fault sim.crash_every;
+  for i = 1 to sim.steps do
+    outcome.actions <- outcome.actions + 1;
+    try step (i mod sim.clients)
+    with Fault.Injected_crash _ -> handle_crash ()
+  done;
+  (* final clean crash + restart + reconciliation *)
+  Fault.disarm_crash fault;
+  Db.crash db;
+  (match recover_until_stable ~config ~outcome fault db with
+  | Error msg -> fail outcome (Printf.sprintf "sim final restart: %s" msg)
+  | Ok _ -> check_state ~outcome ~label:"sim final" fault db (expected ()));
+  absorb_fault_stats outcome fault;
+  outcome.repaired_pages <- outcome.repaired_pages + Db.repairs_total db;
+  outcome

@@ -1,0 +1,77 @@
+(** Crash storms: scripted and simulated histories driven under an
+    escalating fault plan, checking recovered state after every restart.
+
+    A scripted storm replays one generated script repeatedly, arming a
+    crash at the k-th I/O with k escalating each iteration until the
+    script survives untouched — so every I/O operation of the history
+    gets its turn to be the crash point. A sim storm runs a closed-loop
+    multi-client increment/delegate workload on a single database,
+    crashing every few I/Os, forever reconciling against a ledger.
+
+    Every crash is followed by restart under continued fault injection:
+    re-crashes are armed during recovery up to a configured depth, torn
+    data pages and torn log tails fire per the plan. After each restart
+    the engine state is compared against the oracle (committed = the
+    transactions whose commit records are durable and intact in the
+    log), the engine's structural invariants are validated, and restart
+    idempotence is checked (crash + bare restart must reproduce the same
+    state). *)
+
+open Ariesrh_core
+
+type config = {
+  seed : int64;
+  tear_data_every : int;
+      (** tear every n-th data page write (latent corruption); 0 = never *)
+  tear_data_on_crash : bool;  (** tear the page write a crash lands on *)
+  tear_log_on_crash : bool;  (** tear the log tail when a crash hits a flush *)
+  crash_step : int;  (** scripted: escalate the crash I/O point by this *)
+  recovery_crash_depth : int;  (** nested crash-during-recovery levels *)
+  recovery_crash_gap : int;  (** I/Os into each recovery before re-crash *)
+}
+
+val default_config : config
+
+type outcome = {
+  mutable runs : int;  (** storm iterations (scripted) or crashes survived *)
+  mutable actions : int;  (** workload actions executed *)
+  mutable crashes : int;  (** top-level injected crashes *)
+  mutable nested_crashes : int;  (** crashes injected during restart *)
+  mutable recoveries : int;  (** restarts that completed *)
+  mutable torn_writes : int;
+  mutable torn_flushes : int;
+  mutable amputated : int;  (** corrupt tail records dropped by restarts *)
+  mutable repaired_pages : int;
+  mutable fault_points : int;  (** crashes + nested + torn writes + tears *)
+  mutable checks : int;  (** oracle/invariant/idempotence check rounds *)
+  mutable failures : string list;  (** newest first; empty = storm passed *)
+}
+
+val ok : outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val merge : outcome -> outcome -> outcome
+(** Field-wise sum (for aggregating several storms). *)
+
+val run_script :
+  ?config:config -> ?impl:Config.delegation_impl -> Gen.spec -> outcome
+(** Scripted storm over [Gen.generate spec ~seed:config.seed]. *)
+
+type sim_config = {
+  clients : int;
+  steps : int;  (** scheduler steps (one client action each) *)
+  ops_per_txn : int;  (** max adds/delegations per transaction *)
+  n_objects : int;
+  p_delegate : float;
+  checkpoint_every : int;  (** fuzzy checkpoint every n commits; 0 = never *)
+  crash_every : int;  (** arm a crash this many I/Os after each restart *)
+}
+
+val default_sim : sim_config
+
+val run_sim : ?config:config -> ?sim:sim_config -> unit -> outcome
+(** Closed-loop simulated storm: concurrent clients issuing commutative
+    increments with random delegation, periodic checkpoints, and a crash
+    armed every [crash_every] I/Os. State is reconciled after every
+    restart against a responsibility ledger filtered by the durable
+    commit set. *)

@@ -1,15 +1,15 @@
 open Ariesrh_types
 open Ariesrh_core
 
-let fresh_db ?(impl = Config.Rh) ?(locking = true) ~n_objects () =
-  Db.create
+let fresh_db ?fault ?(impl = Config.Rh) ?(locking = true) ~n_objects () =
+  Db.create ?fault
     (Config.make ~n_objects ~objects_per_page:8
        ~buffer_capacity:(max 4 (n_objects / 32))
        ~impl ~locking ())
 
-let run ?upto ?(on_action = fun _ -> ()) db script =
+let run ?upto ?(on_action = fun _ -> ()) ?xid_map db script =
   (* symbolic transaction index -> engine xid *)
-  let xids = Hashtbl.create 16 in
+  let xids = match xid_map with Some h -> h | None -> Hashtbl.create 16 in
   let xid t = Hashtbl.find xids t in
   let savepoints = Hashtbl.create 16 in
   let limit = Option.value ~default:(List.length script) upto in

@@ -2,17 +2,30 @@
 
 open Ariesrh_core
 
-val run : ?upto:int -> ?on_action:(int -> unit) -> Db.t -> Script.t -> unit
+val run :
+  ?upto:int ->
+  ?on_action:(int -> unit) ->
+  ?xid_map:(int, Ariesrh_types.Xid.t) Hashtbl.t ->
+  Db.t ->
+  Script.t ->
+  unit
 (** Execute the first [upto] actions (default: all). [on_action] runs
     after each executed action with its index — experiment harnesses use
-    it to inject checkpoints at chosen intervals. A {!Errors.Conflict}
-    here means the generator and engine disagree about locking — a bug,
-    so it propagates. *)
+    it to inject checkpoints at chosen intervals. [xid_map] (symbolic
+    transaction index -> engine xid) is filled in as begins execute;
+    pass one to keep the mapping when the run dies mid-script on an
+    injected crash. A {!Errors.Conflict} here means the generator and
+    engine disagree about locking — a bug, so it propagates. *)
 
 val run_to_crash :
   Db.t -> Script.t -> crash_at:int -> Ariesrh_recovery.Report.t
 (** Execute the prefix, crash, recover; returns the recovery report. *)
 
 val fresh_db :
-  ?impl:Config.delegation_impl -> ?locking:bool -> n_objects:int -> unit -> Db.t
+  ?fault:Ariesrh_fault.Fault.t ->
+  ?impl:Config.delegation_impl ->
+  ?locking:bool ->
+  n_objects:int ->
+  unit ->
+  Db.t
 (** A Db sized for scripts over [n_objects] symbolic objects. *)

@@ -48,17 +48,24 @@ let replay ?crash_at script =
     (take_prefix ?crash_at script);
   (List.rev !updates, committed)
 
-let expected ~n_objects ?crash_at script =
-  let updates, committed = replay ?crash_at script in
+let apply_committed ~n_objects updates committed =
   let values = Array.make n_objects 0 in
   List.iter
     (fun u ->
-      if (not u.dead) && Hashtbl.mem committed u.responsible then
+      if (not u.dead) && committed u.responsible then
         match u.op with
         | Set v -> values.(u.obj) <- v
         | AddOp d -> values.(u.obj) <- values.(u.obj) + d)
     updates;
   values
+
+let expected ~n_objects ?crash_at script =
+  let updates, committed = replay ?crash_at script in
+  apply_committed ~n_objects updates (Hashtbl.mem committed)
+
+let expected_for ~n_objects ~committed ?crash_at script =
+  let updates, _ = replay ?crash_at script in
+  apply_committed ~n_objects updates committed
 
 let winners ?crash_at script =
   let _, committed = replay ?crash_at script in

@@ -13,5 +13,15 @@ val expected : n_objects:int -> ?crash_at:int -> Script.t -> int array
     crash happens after the first [crash_at] actions (default: after the
     whole script). *)
 
+val expected_for :
+  n_objects:int -> committed:(int -> bool) -> ?crash_at:int -> Script.t ->
+  int array
+(** Like {!expected}, but with the committed set supplied by the caller
+    instead of derived from the prefix. Fault-injection harnesses need
+    this: when a crash lands {e inside} a commit action, whether that
+    transaction committed is decided by which records reached the stable
+    log, so the ground truth is read off the durable log rather than the
+    script. *)
+
 val winners : ?crash_at:int -> Script.t -> int list
 (** Symbolic indices of transactions committed before the crash. *)

@@ -16,4 +16,5 @@ let () =
       ("model", Test_model.suite);
       ("model-based", Test_model_based.suite);
       ("properties", Test_properties.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -68,12 +68,13 @@ let buffer_pool_model =
     seed_arb (fun seed ->
       let rng = Prng.create seed in
       let pages = 8 and slots = 4 in
-      let disk = Ariesrh_storage.Disk.create ~pages ~slots_per_page:slots in
+      let disk = Ariesrh_storage.Disk.create ~pages ~slots_per_page:slots () in
       let pool =
         Ariesrh_storage.Buffer_pool.create
           ~capacity:(1 + Prng.int rng 4)
           ~disk
           ~wal_flush:(fun _ -> ())
+          ()
       in
       let model = Array.make (pages * slots) 0 in
       let lsn = ref 0 in

@@ -14,9 +14,11 @@ let lsn = Lsn.of_int
 (* a raw environment over one 16-slot page *)
 let raw_env () =
   let log = Log_store.create () in
-  let disk = Ariesrh_storage.Disk.create ~pages:1 ~slots_per_page:16 in
+  let disk = Ariesrh_storage.Disk.create ~pages:1 ~slots_per_page:16 () in
   let pool =
-    Ariesrh_storage.Buffer_pool.create ~capacity:2 ~disk ~wal_flush:(fun _ -> ())
+    Ariesrh_storage.Buffer_pool.create ~capacity:2 ~disk
+      ~wal_flush:(fun _ -> ())
+      ()
   in
   Env.make ~log ~pool ~place:(fun o -> (Page_id.of_int 0, Oid.to_int o))
 

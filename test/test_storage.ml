@@ -20,7 +20,7 @@ let page_basics () =
   Alcotest.(check int) "copy is independent" 99 (Page.get q 2)
 
 let disk_copies () =
-  let d = Disk.create ~pages:2 ~slots_per_page:4 in
+  let d = Disk.create ~pages:2 ~slots_per_page:4 () in
   let p = Disk.read_page d (pid 0) in
   Page.set p 0 7;
   Alcotest.(check int) "disk unaffected by mutating a read copy" 0
@@ -33,11 +33,11 @@ let disk_copies () =
   Alcotest.(check int) "writes counted" 1 (Disk.stats d).page_writes
 
 let pool_eviction_writes_back () =
-  let d = Disk.create ~pages:8 ~slots_per_page:2 in
+  let d = Disk.create ~pages:8 ~slots_per_page:2 () in
   let flushed = ref [] in
   let pool =
     Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun l ->
-        flushed := Lsn.to_int l :: !flushed)
+        flushed := Lsn.to_int l :: !flushed) ()
   in
   Buffer_pool.apply pool (pid 0) ~lsn:(lsn 10) (fun p -> Page.set p 0 1);
   Buffer_pool.apply pool (pid 1) ~lsn:(lsn 11) (fun p -> Page.set p 0 2);
@@ -50,8 +50,8 @@ let pool_eviction_writes_back () =
   Alcotest.(check int) "one eviction" 1 (Buffer_pool.evictions pool)
 
 let pool_dirty_page_table () =
-  let d = Disk.create ~pages:4 ~slots_per_page:2 in
-  let pool = Buffer_pool.create ~capacity:4 ~disk:d ~wal_flush:(fun _ -> ()) in
+  let d = Disk.create ~pages:4 ~slots_per_page:2 () in
+  let pool = Buffer_pool.create ~capacity:4 ~disk:d ~wal_flush:(fun _ -> ()) () in
   Buffer_pool.apply pool (pid 1) ~lsn:(lsn 5) (fun p -> Page.set p 0 1);
   Buffer_pool.apply pool (pid 1) ~lsn:(lsn 9) (fun p -> Page.set p 1 2);
   let dpt = Buffer_pool.dirty_page_table pool in
@@ -63,8 +63,8 @@ let pool_dirty_page_table () =
     (List.length (Buffer_pool.dirty_page_table pool))
 
 let pool_apply_if_newer () =
-  let d = Disk.create ~pages:2 ~slots_per_page:2 in
-  let pool = Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun _ -> ()) in
+  let d = Disk.create ~pages:2 ~slots_per_page:2 () in
+  let pool = Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun _ -> ()) () in
   Alcotest.(check bool) "applies on fresh page" true
     (Buffer_pool.apply_if_newer pool (pid 0) ~lsn:(lsn 5) (fun p -> Page.set p 0 1));
   Alcotest.(check bool) "skips older lsn" false
@@ -75,16 +75,16 @@ let pool_apply_if_newer () =
     (Buffer_pool.read_object pool (pid 0) ~slot:0)
 
 let pool_crash_loses_dirty () =
-  let d = Disk.create ~pages:2 ~slots_per_page:2 in
-  let pool = Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun _ -> ()) in
+  let d = Disk.create ~pages:2 ~slots_per_page:2 () in
+  let pool = Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun _ -> ()) () in
   Buffer_pool.apply pool (pid 0) ~lsn:(lsn 3) (fun p -> Page.set p 0 77);
   Buffer_pool.crash pool;
   Alcotest.(check int) "dirty update lost" 0
     (Buffer_pool.read_object pool (pid 0) ~slot:0)
 
 let pool_hit_miss_accounting () =
-  let d = Disk.create ~pages:4 ~slots_per_page:2 in
-  let pool = Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun _ -> ()) in
+  let d = Disk.create ~pages:4 ~slots_per_page:2 () in
+  let pool = Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun _ -> ()) () in
   ignore (Buffer_pool.read_object pool (pid 0) ~slot:0);
   ignore (Buffer_pool.read_object pool (pid 0) ~slot:1);
   ignore (Buffer_pool.read_object pool (pid 1) ~slot:0);

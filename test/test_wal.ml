@@ -79,25 +79,33 @@ let sample_records =
 let roundtrip () =
   List.iteri
     (fun i r ->
-      let r' = Record.decode (Record.encode r) in
-      if r <> r' then
-        Alcotest.failf "record %d did not roundtrip: %a vs %a" i Record.pp r
-          Record.pp r')
+      match Record.decode (Record.encode r) with
+      | Ok r' when r = r' -> ()
+      | Ok r' ->
+          Alcotest.failf "record %d did not roundtrip: %a vs %a" i Record.pp r
+            Record.pp r'
+      | Error e ->
+          Alcotest.failf "record %d did not decode: %a" i
+            Record.pp_decode_error e)
     sample_records
 
 let checksum_detects_corruption () =
   let s = Record.encode (List.nth sample_records 1) in
   let b = Bytes.of_string s in
   Bytes.set b 6 (Char.chr (Char.code (Bytes.get b 6) lxor 0xff));
-  Alcotest.check_raises "corrupted byte detected"
-    (Failure "Record.decode: checksum mismatch") (fun () ->
-      ignore (Record.decode (Bytes.to_string b)))
+  match Record.decode (Bytes.to_string b) with
+  | Error Record.Checksum_mismatch -> ()
+  | Ok _ -> Alcotest.fail "corrupted record decoded"
+  | Error e ->
+      Alcotest.failf "wrong error: %a" Record.pp_decode_error e
 
 let truncation_detected () =
   let s = Record.encode (List.nth sample_records 1) in
   match Record.decode (String.sub s 0 (String.length s - 1)) with
-  | _ -> Alcotest.fail "truncated record decoded"
-  | exception Failure _ -> ()
+  | Ok _ -> Alcotest.fail "truncated record decoded"
+  | Error (Record.Truncated | Record.Checksum_mismatch) -> ()
+  | Error e ->
+      Alcotest.failf "wrong error: %a" Record.pp_decode_error e
 
 (* random record generator for the codec property *)
 let gen_op =
@@ -151,7 +159,7 @@ let gen_record =
 let codec_roundtrip_prop =
   QCheck.Test.make ~count:500 ~name:"codec roundtrips on random records"
     (QCheck.make gen_record)
-    (fun r -> Record.decode (Record.encode r) = r)
+    (fun r -> Record.decode (Record.encode r) = Ok r)
 
 let store_append_read () =
   let log = Log_store.create () in
