@@ -58,7 +58,7 @@ let e1 () =
       (Bechamel.Staged.stage (fun db -> ignore (Db.recover db)))
   in
   let results =
-    Bech.run ~quota:1.0 ~limit:60
+    Bench.run ~quota:1.0 ~limit:60
       [
         np_test "np/aries-rh" Config.Rh;
         np_test "np/aries" Config.Eager;
@@ -66,7 +66,7 @@ let e1 () =
         rec_test "rec/aries" Config.Eager;
       ]
   in
-  let v n = Bech.find n results /. 1e6 in
+  let v n = Bench.find n results /. 1e6 in
   Format.printf "%-24s %12s@." "phase" "ms/run";
   Format.printf "%-24s %12.3f@." "normal ARIES/RH" (v "np/aries-rh");
   Format.printf "%-24s %12.3f@." "normal ARIES" (v "np/aries");
@@ -112,15 +112,15 @@ let e2 () =
             Db.delegate_all db ~from_:tor ~to_:tee))
   in
   let results =
-    Bech.run ~quota:0.5 ~limit:40
+    Bench.run ~quota:0.5 ~limit:40
       [ test "rh" Config.Rh; test "eager" Config.Eager ]
   in
   Format.printf "%-6s %14s %14s %16s@." "k" "rh (us)" "eager (us)"
     "rh us/object";
   List.iter
     (fun k ->
-      let rh = Bech.find (Printf.sprintf "rh:%d" k) results /. 1e3 in
-      let eager = Bech.find (Printf.sprintf "eager:%d" k) results /. 1e3 in
+      let rh = Bench.find (Printf.sprintf "rh:%d" k) results /. 1e3 in
+      let eager = Bench.find (Printf.sprintf "eager:%d" k) results /. 1e3 in
       Format.printf "%-6d %14.2f %14.2f %16.3f@." k rh eager
         (rh /. float_of_int k))
     ks
@@ -672,11 +672,101 @@ let e14 () =
         (Db.active_count db))
     [ 0.0; 0.1; 0.2; 0.4 ]
 
+(* ------------------------------------------------------------------ *)
+(* E15: sustained load on a bounded log                                 *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  header "E15: sustained load on a bounded log (governor + backpressure)"
+    "The closed-loop simulator against a WAL with a hard byte budget: a\n\
+     governor checkpoints, truncates and applies delegation-aware\n\
+     backpressure; refused clients retry with exponential backoff. The\n\
+     cost of keeping the log bounded differs per engine: every scope a\n\
+     delegatee holds pins the truncation horizon (E8), and eager's\n\
+     anchor records eat budget at each delegation. Stall = scheduler\n\
+     steps clients spent parked; pinned = head - truncation horizon at\n\
+     the end of the run.";
+  let module Governor = Ariesrh_maintenance.Governor in
+  let rows = ref [] in
+  Format.printf
+    "%-8s %-6s | %9s %8s %9s %9s %9s | %6s %6s %7s | %8s %6s@." "budget"
+    "engine" "committed" "txn/s" "stall" "overload" "abandon" "ckpts"
+    "trunc" "victims" "pinned" "peak";
+  List.iter
+    (fun capacity ->
+      List.iter
+        (fun (name, impl) ->
+          let db =
+            Db.create
+              (Config.make ~n_objects:64 ~buffer_capacity:16 ~impl
+                 ~locking:true
+                 ?log_capacity_bytes:
+                   (if capacity = 0 then None else Some capacity)
+                 ())
+          in
+          let gov = Governor.create db in
+          let peak = ref 0.0 in
+          let tick () =
+            Governor.tick gov;
+            let p = Db.log_pressure db in
+            if p > !peak then peak := p
+          in
+          let o, ms =
+            time (fun () ->
+                Sim.run ~clients:8 ~txns_per_client:60 ~n_objects:48
+                  ~delegation_rate:0.25 ~seed:31L ~tick db)
+          in
+          let gs = Governor.stats gov in
+          let pinned =
+            Lsn.to_int (Log_store.head (Db.log_store db))
+            - Lsn.to_int (Db.truncation_horizon db)
+          in
+          let tps = float_of_int o.Sim.committed /. (ms /. 1000.) in
+          assert o.Sim.state_ok;
+          Format.printf
+            "%-8d %-6s | %9d %8.0f %9d %9d %9d | %6d %6d %7d | %8d %6.2f@."
+            capacity name o.Sim.committed tps o.Sim.stall_steps
+            o.Sim.overloads o.Sim.abandoned gs.Governor.checkpoints
+            gs.Governor.truncations gs.Governor.victims pinned !peak;
+          rows := (name, capacity, o, tps, gs, pinned, !peak) :: !rows)
+        [ ("rh", Config.Rh); ("lazy", Config.Lazy); ("eager", Config.Eager) ])
+    (* 0 = unbounded: the no-governor baseline every bounded row is
+       paying against *)
+    [ 0; 32768; 12288; 4096 ];
+  (* machine-readable artifact for CI trend tracking *)
+  match Sys.getenv_opt "ARIESRH_E15_JSON" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let engines =
+        List.rev_map
+          (fun (name, capacity, (o : Sim.outcome), tps,
+                (gs : Governor.stats), pinned, peak) ->
+            Printf.sprintf
+              {|    { "engine": %S, "capacity_bytes": %d, "committed": %d,
+      "throughput_txn_per_s": %.1f, "stall_steps": %d, "backoffs": %d,
+      "overloads": %d, "log_fulls": %d, "abandoned": %d, "victimized": %d,
+      "delegations": %d, "checkpoints": %d, "truncations": %d,
+      "records_truncated": %d, "governor_victims": %d,
+      "pinned_records": %d, "peak_pressure": %.3f, "state_ok": %b }|}
+              name capacity o.Sim.committed tps o.Sim.stall_steps
+              o.Sim.backoffs o.Sim.overloads o.Sim.log_fulls o.Sim.abandoned
+              o.Sim.victimized o.Sim.delegations gs.Governor.checkpoints
+              gs.Governor.truncations gs.Governor.records_truncated
+              gs.Governor.victims pinned peak o.Sim.state_ok)
+          !rows
+      in
+      Printf.fprintf oc
+        "{\n  \"experiment\": \"e15\",\n  \"engines\": [\n%s\n  ]\n}\n"
+        (String.concat ",\n" engines);
+      close_out oc;
+      Format.printf "@.wrote %s@." path
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
   ]
 
 let () =

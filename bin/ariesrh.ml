@@ -376,10 +376,92 @@ let storm_cmd =
       const run $ steps $ objects $ seeds $ seed0 $ rate $ impl $ depth
       $ crash_step $ sim_steps $ clients)
 
+(* --- pressure-storm --- *)
+
+let pressure_storm_cmd =
+  let seeds =
+    Arg.(value & opt int 3
+         & info [ "seeds" ] ~doc:"Number of storms (distinct seeds).")
+  in
+  let seed0 =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First storm seed.")
+  in
+  let steps =
+    Arg.(value & opt int 800 & info [ "steps" ] ~doc:"Scheduler steps.")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Concurrent clients.")
+  in
+  let capacity =
+    Arg.(value & opt int 6144
+         & info [ "capacity" ] ~doc:"Log byte budget (the tight part).")
+  in
+  let crash_every =
+    Arg.(value & opt int 40
+         & info [ "crash-every" ]
+             ~doc:"I/Os between injected crashes (0 = none).")
+  in
+  let depth =
+    Arg.(value & opt int 1
+         & info [ "depth" ] ~doc:"Nested crash-during-recovery levels.")
+  in
+  let rate =
+    Arg.(value & opt float 0.25
+         & info [ "delegation-rate" ] ~doc:"Delegation weight in the mix.")
+  in
+  let impl =
+    Arg.(value & opt (some impl_conv) None
+         & info [ "engine" ]
+             ~doc:"Engine: rh, eager, or lazy. Default: all three.")
+  in
+  let run seeds seed0 steps clients capacity crash_every depth rate impl =
+    let engines =
+      match impl with
+      | Some i -> [ i ]
+      | None -> [ Config.Rh; Config.Lazy; Config.Eager ]
+    in
+    let name = function
+      | Config.Rh -> "rh"
+      | Config.Eager -> "eager"
+      | Config.Lazy -> "lazy"
+    in
+    let failed = ref false in
+    List.iter
+      (fun impl ->
+        for i = 0 to seeds - 1 do
+          let config =
+            { Pressure_storm.default_config with
+              seed = Int64.of_int (seed0 + i);
+              impl;
+              steps;
+              clients;
+              capacity_bytes = capacity;
+              crash_every;
+              recovery_crash_depth = depth;
+              p_delegate = rate }
+          in
+          let o = Pressure_storm.run ~config () in
+          Format.printf "%s pressure storm (seed %d):@.  %a@.@." (name impl)
+            (seed0 + i) Pressure_storm.pp_outcome o;
+          if not (Pressure_storm.ok o) then failed := true
+        done)
+      engines;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "pressure-storm"
+       ~doc:"Crash storms on a bounded, shrinking log: the governor \
+             checkpoints, truncates and applies backpressure while clients \
+             retry with backoff; the oracle is checked after every restart")
+    Term.(
+      const run $ seeds $ seed0 $ steps $ clients $ capacity $ crash_every
+      $ depth $ rate $ impl)
+
 let main =
   Cmd.group
     (Cmd.info "ariesrh" ~version:"1.0.0"
        ~doc:"Delegation by efficiently rewriting history (ARIES/RH)")
-    [ figures_cmd; run_cmd; compare_cmd; sim_cmd; history_cmd; storm_cmd ]
+    [ figures_cmd; run_cmd; compare_cmd; sim_cmd; history_cmd; storm_cmd;
+      pressure_storm_cmd ]
 
 let () = exit (Cmd.eval main)

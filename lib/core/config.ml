@@ -10,6 +10,8 @@ type t = {
   impl : delegation_impl;
   forward_passes : forward_passes;
   locking : bool;
+  log_capacity_bytes : int option;
+  log_capacity_records : int option;
 }
 
 let default =
@@ -21,14 +23,16 @@ let default =
     impl = Rh;
     forward_passes = Merged;
     locking = true;
+    log_capacity_bytes = None;
+    log_capacity_records = None;
   }
 
 let make ?(n_objects = default.n_objects)
     ?(objects_per_page = default.objects_per_page)
     ?(buffer_capacity = default.buffer_capacity)
     ?(log_page_size = default.log_page_size) ?(impl = default.impl)
-    ?(forward_passes = default.forward_passes) ?(locking = default.locking) ()
-    =
+    ?(forward_passes = default.forward_passes) ?(locking = default.locking)
+    ?log_capacity_bytes ?log_capacity_records () =
   {
     n_objects;
     objects_per_page;
@@ -37,6 +41,8 @@ let make ?(n_objects = default.n_objects)
     impl;
     forward_passes;
     locking;
+    log_capacity_bytes;
+    log_capacity_records;
   }
 
 let pages_needed t = (t.n_objects + t.objects_per_page - 1) / t.objects_per_page
@@ -47,4 +53,13 @@ let validate t =
     invalid_arg "Config: objects_per_page must be positive";
   if t.buffer_capacity <= 0 then
     invalid_arg "Config: buffer_capacity must be positive";
-  if t.log_page_size <= 0 then invalid_arg "Config: log_page_size must be positive"
+  if t.log_page_size <= 0 then
+    invalid_arg "Config: log_page_size must be positive";
+  (match t.log_capacity_bytes with
+  | Some c when c <= 0 ->
+      invalid_arg "Config: log_capacity_bytes must be positive"
+  | _ -> ());
+  match t.log_capacity_records with
+  | Some c when c <= 0 ->
+      invalid_arg "Config: log_capacity_records must be positive"
+  | _ -> ()

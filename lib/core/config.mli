@@ -21,11 +21,15 @@ type t = {
   impl : delegation_impl;
   forward_passes : forward_passes;
   locking : bool;  (** disable to drive pure recovery experiments *)
+  log_capacity_bytes : int option;
+      (** hard byte budget for the WAL; [None] = unbounded (default) *)
+  log_capacity_records : int option;
+      (** hard record budget for the WAL; [None] = unbounded (default) *)
 }
 
 val default : t
 (** 1024 objects, 8 per page, 32-page pool, 4 KiB log pages, [Rh],
-    locking on. *)
+    locking on, unbounded log. *)
 
 val make :
   ?n_objects:int ->
@@ -35,6 +39,8 @@ val make :
   ?impl:delegation_impl ->
   ?forward_passes:forward_passes ->
   ?locking:bool ->
+  ?log_capacity_bytes:int ->
+  ?log_capacity_records:int ->
   unit ->
   t
 

@@ -6,6 +6,18 @@ open Ariesrh_txn
 open Ariesrh_recovery
 module Fault = Ariesrh_fault.Fault
 
+(* Per-transaction rollback reservation: space set aside in the log so
+   that abort (or restart undo of the same work) can always write its
+   CLRs and resolution records even when the log is otherwise full.
+   [base_bytes] covers the Abort/Commit + End pair; [entries] holds one
+   (oid, update lsn, clr bytes) obligation per update the transaction is
+   currently responsible for — delegation moves entries between ledgers
+   exactly as it moves responsibility. *)
+type txn_reserve = {
+  mutable base_bytes : int;
+  mutable entries : (int * int * int) list;
+}
+
 type t = {
   config : Config.t;
   fault : Fault.t;
@@ -19,6 +31,9 @@ type t = {
          counter block; keeps invoker identities in delegated scopes
          unambiguous across restarts *)
   mutable permits : (Xid.t * Xid.t) list;
+  reserves : (int, txn_reserve) Hashtbl.t;  (* keyed by xid *)
+  mutable refuse_begins : bool;  (* governor backpressure flags *)
+  mutable refuse_delegations : bool;
   env : Env.t;
 }
 
@@ -34,7 +49,11 @@ let create ?(fault = Fault.none ()) config =
       ~pages:(Config.pages_needed config)
       ~slots_per_page:config.objects_per_page ()
   in
-  let log = Log_store.create ~page_size:config.log_page_size ~fault () in
+  let log =
+    Log_store.create ~page_size:config.log_page_size
+      ?capacity_bytes:config.log_capacity_bytes
+      ?capacity_records:config.log_capacity_records ~fault ()
+  in
   let pool =
     Buffer_pool.create ~fault ~capacity:config.buffer_capacity ~disk
       ~wal_flush:(fun lsn -> Log_store.flush log ~upto:lsn)
@@ -54,6 +73,9 @@ let create ?(fault = Fault.none ()) config =
     tt = Txn_table.create ();
     next_xid = 1;
     permits = [];
+    reserves = Hashtbl.create 16;
+    refuse_begins = false;
+    refuse_delegations = false;
     env;
   }
 
@@ -86,10 +108,87 @@ let active_exn t xid =
     raise (Errors.Txn_not_active xid);
   info
 
-let append_on_chain t (info : Txn_table.info) body =
-  let lsn = Log_store.append t.log (Record.mk info.xid ~prev:info.last_lsn body) in
+(* Reserved chain append: for records whose space was secured up front
+   (rollback CLRs, Abort/Commit/End, eager anchors). Never raises
+   [Log_full]. Admission-checked appends (Begin, Update, Delegate) each
+   go through [Log_store] directly because they bundle a reservation or
+   need record-specific admission handling. *)
+let append_on_chain_reserved t (info : Txn_table.info) body =
+  let lsn =
+    Log_store.append_reserved t.log (Record.mk info.xid ~prev:info.last_lsn body)
+  in
   info.last_lsn <- lsn;
   lsn
+
+(* --- rollback-space ledger --- *)
+
+(* The codec is fixed-size per body shape, so the cost of any future
+   record can be computed exactly from a throwaway instance. *)
+let probe_xid = Xid.of_int 1
+let record_cost body = Record.encoded_size (Record.mk probe_xid ~prev:Lsn.nil body)
+let base_cost = lazy (record_cost Record.Abort + record_cost Record.End)
+let anchor_cost = lazy (record_cost Record.Anchor)
+
+let clr_cost (u : Record.update) =
+  record_cost
+    (Record.Clr
+       { upd = u; undone = Lsn.nil; invoker = probe_xid; undo_next = Lsn.nil })
+
+let ledger_of t xid =
+  let k = Xid.to_int xid in
+  match Hashtbl.find_opt t.reserves k with
+  | Some r -> r
+  | None ->
+      let r = { base_bytes = 0; entries = [] } in
+      Hashtbl.replace t.reserves k r;
+      r
+
+(* A CLR was written for [undone]: that obligation is discharged. *)
+let release_clr t xid ~undone =
+  let r = ledger_of t xid in
+  match
+    List.partition (fun (_, l, _) -> l = Lsn.to_int undone) r.entries
+  with
+  | (_, _, c) :: _, rest ->
+      r.entries <- rest;
+      Log_store.unreserve t.log ~bytes:c ~records:1
+  | [], _ -> ()
+
+(* Resolution (commit, or abort after all CLRs): the transaction will
+   never need its remaining reserved space again. *)
+let release_ledger t xid =
+  let k = Xid.to_int xid in
+  match Hashtbl.find_opt t.reserves k with
+  | None -> ()
+  | Some r ->
+      let bytes =
+        r.base_bytes + List.fold_left (fun a (_, _, c) -> a + c) 0 r.entries
+      in
+      let records =
+        (if r.base_bytes > 0 then 2 else 0) + List.length r.entries
+      in
+      Hashtbl.remove t.reserves k;
+      Log_store.unreserve t.log ~bytes ~records
+
+(* Delegation moves rollback obligations with responsibility. *)
+let move_reserved_object t ~from_ ~to_ oid =
+  let src = ledger_of t from_ in
+  let dst = ledger_of t to_ in
+  let k = Oid.to_int oid in
+  let mine, rest = List.partition (fun (o, _, _) -> o = k) src.entries in
+  src.entries <- rest;
+  dst.entries <- mine @ dst.entries
+
+let move_reserved_update t ~from_ ~to_ op_lsn =
+  let src = ledger_of t from_ in
+  let dst = ledger_of t to_ in
+  match
+    List.partition (fun (_, l, _) -> l = Lsn.to_int op_lsn) src.entries
+  with
+  | e :: _, rest ->
+      src.entries <- rest;
+      dst.entries <- e :: dst.entries
+  | [], _ -> ()
 
 (* --- locking --- *)
 
@@ -116,11 +215,22 @@ let permit t ~holder ~grantee =
 (* --- transactions --- *)
 
 let begin_txn t =
+  if t.refuse_begins then
+    raise (Errors.Overloaded { xid = None; reason = Errors.Begin_refused });
+  let base = Lazy.force base_cost in
   let xid = Xid.of_int t.next_xid in
+  (* admit the Begin record and its resolution reservation atomically:
+     once a transaction exists, its Abort/End (or Commit/End) pair is
+     guaranteed log space *)
+  let lsn =
+    Log_store.append_with_reserve t.log ~reserve_bytes:base ~reserve_records:2
+      (Record.mk xid ~prev:Lsn.nil Record.Begin)
+  in
   t.next_xid <- t.next_xid + 1;
   let info = Txn_table.add t.tt xid in
-  let lsn = append_on_chain t info Record.Begin in
+  info.last_lsn <- lsn;
   info.begin_lsn <- lsn;
+  (ledger_of t xid).base_bytes <- base;
   xid
 
 let is_active t xid =
@@ -135,10 +245,13 @@ let finish t (info : Txn_table.info) =
 
 let commit t xid =
   let info = active_exn t xid in
-  ignore (append_on_chain t info Record.Commit);
+  (* commit must never be refused for log space: it only shrinks the
+     obligation set, so it draws on the reservation taken at begin *)
+  release_ledger t xid;
+  ignore (append_on_chain_reserved t info Record.Commit);
   info.status <- Txn_table.Committed;
   Log_store.flush t.log ~upto:info.last_lsn;
-  ignore (append_on_chain t info Record.End);
+  ignore (append_on_chain_reserved t info Record.End);
   finish t info
 
 (* rollback over the transaction's scopes (§3.5 abort), shared by [Rh]
@@ -149,8 +262,10 @@ let rollback_scopes ?floor t (info : Txn_table.info) =
     List.map (fun s -> (info.xid, s)) (Ob_list.all_scopes info.ob_list)
   in
   let on_undo ~owner:_ ~invoker ~undone ~undo_next upd =
+    release_clr t info.xid ~undone;
     let lsn =
-      append_on_chain t info (Record.Clr { upd; undone; invoker; undo_next })
+      append_on_chain_reserved t info
+        (Record.Clr { upd; undone; invoker; undo_next })
     in
     info.undo_next <- undo_next;
     lsn
@@ -175,8 +290,9 @@ let rollback_chain ?(floor = Lsn.nil) t (info : Txn_table.info) =
     (match record.Record.body with
     | Record.Update u when not (Hashtbl.mem compensated (Lsn.to_int !k)) ->
         let inv = { u with op = Apply.inverse u.op } in
+        release_clr t info.xid ~undone:!k;
         let clr_lsn =
-          append_on_chain t info
+          append_on_chain_reserved t info
             (Record.Clr
                {
                  upd = inv;
@@ -219,12 +335,15 @@ let rollback_to t xid sp =
 let abort t xid =
   let info = active_exn t xid in
   info.status <- Txn_table.Rolling_back;
+  (* the whole rollback path draws on the reservation ledger: it must
+     never be refused for log space, or a full log would be fatal *)
   (match t.config.Config.impl with
   | Config.Rh | Config.Lazy -> rollback_scopes t info
   | Config.Eager -> rollback_chain t info);
-  ignore (append_on_chain t info Record.Abort);
+  ignore (append_on_chain_reserved t info Record.Abort);
   Log_store.flush t.log ~upto:info.last_lsn;
-  ignore (append_on_chain t info Record.End);
+  ignore (append_on_chain_reserved t info Record.End);
+  release_ledger t xid;
   finish t info
 
 (* --- object operations --- *)
@@ -240,7 +359,16 @@ let read t xid oid =
 let log_update t (info : Txn_table.info) oid op =
   let page, slot = place t oid in
   let u = { Record.oid; page; op } in
-  let lsn = append_on_chain t info (Record.Update u) in
+  (* an update is admitted only together with space for the CLR that may
+     later undo it — the invariant that keeps rollback Log_full-proof *)
+  let clr = clr_cost u in
+  let lsn =
+    Log_store.append_with_reserve t.log ~reserve_bytes:clr ~reserve_records:1
+      (Record.mk info.xid ~prev:info.last_lsn (Record.Update u))
+  in
+  info.last_lsn <- lsn;
+  let r = ledger_of t info.xid in
+  r.entries <- (Oid.to_int oid, Lsn.to_int lsn, clr) :: r.entries;
   info.undo_next <- lsn;
   info.ob_list <- Ob_list.note_update info.ob_list ~owner:info.xid ~oid lsn;
   Apply.force t.env lsn u;
@@ -267,10 +395,16 @@ let delegate t ~from_ ~to_ oid =
   let tor_info = active_exn t from_ in
   let tee_info = active_exn t to_ in
   if Xid.equal from_ to_ then invalid_arg "Db.delegate: delegator = delegatee";
+  if t.refuse_delegations then
+    raise
+      (Errors.Overloaded
+         { xid = Some from_; reason = Errors.Delegation_refused });
   if not (Ob_list.mem tor_info.ob_list oid) then
     raise (Errors.Not_responsible { xid = from_; oid });
   (match t.config.Config.impl with
   | Config.Rh | Config.Lazy ->
+      (* admission-checked; [Log_full] propagates before any state
+         change, so a refused delegation is a clean no-op *)
       let lsn =
         Log_store.append t.log
           (Record.mk from_ ~prev:tor_info.last_lsn
@@ -280,6 +414,10 @@ let delegate t ~from_ ~to_ oid =
       tor_info.last_lsn <- lsn;
       tee_info.last_lsn <- lsn
   | Config.Eager ->
+      (* secure space for both anchor records before surgery mutates the
+         chains; [Log_full] here aborts the delegation cleanly *)
+      let anchors = 2 * Lazy.force anchor_cost in
+      Log_store.reserve t.log ~bytes:anchors ~records:2;
       ignore (Rewrite.eager_delegate t.env ~tor_info ~tee_info oid);
       (* The surgery's pointer patches span stable and volatile log
          regions and are not crash-atomic on their own (the §3.2
@@ -287,8 +425,9 @@ let delegate t ~from_ ~to_ oid =
          the volatile chain head pointing at it dies with the crash. Make
          the new chain heads durable — an anchor record per chain, then a
          forced flush. This is part of eager delegation's real cost. *)
-      ignore (append_on_chain t tor_info Record.Anchor);
-      ignore (append_on_chain t tee_info Record.Anchor);
+      ignore (append_on_chain_reserved t tor_info Record.Anchor);
+      ignore (append_on_chain_reserved t tee_info Record.Anchor);
+      Log_store.unreserve t.log ~bytes:anchors ~records:2;
       Log_store.flush t.log ~upto:(Log_store.head t.log);
       (* after surgery the chains are the only authority; undo must start
          at their heads (the old undo_next may point at a moved record,
@@ -301,6 +440,7 @@ let delegate t ~from_ ~to_ oid =
       tor_info.ob_list <- rest;
       tee_info.ob_list <-
         Ob_list.receive tee_info.ob_list ~oid ~from_ entry.scopes);
+  move_reserved_object t ~from_ ~to_ oid;
   if t.config.Config.locking then Lock_table.transfer t.locks oid ~from_ ~to_
 
 let delegate_update t ~from_ ~to_ oid op_lsn =
@@ -311,10 +451,14 @@ let delegate_update t ~from_ ~to_ oid op_lsn =
     invalid_arg "Db.delegate_update: delegator = delegatee";
   (match t.config.Config.impl with
   | Config.Eager ->
-      invalid_arg
-        "Db.delegate_update: operation granularity requires the Rh or Lazy \
-         engine"
+      raise
+        (Errors.Unsupported_by_engine
+           { op = "operation-granularity delegation"; impl = "eager" })
   | Config.Rh | Config.Lazy -> ());
+  if t.refuse_delegations then
+    raise
+      (Errors.Overloaded
+         { xid = Some from_; reason = Errors.Delegation_refused });
   (* identify the operation's invoker: usually a unique covering scope;
      with overlapping commuting scopes, consult the log record itself *)
   let invoker =
@@ -358,6 +502,7 @@ let delegate_update t ~from_ ~to_ oid op_lsn =
       tee_info.last_lsn <- lsn;
       tor_info.ob_list <- rest;
       tee_info.ob_list <- Ob_list.receive tee_info.ob_list ~oid ~from_ [ moved ];
+      move_reserved_update t ~from_ ~to_ op_lsn;
       if t.config.Config.locking then begin
         match Lock_table.acquire t.locks to_ oid Mode.I with
         | Lock_table.Granted -> ()
@@ -377,11 +522,13 @@ let responsible_objects t xid = Ob_list.objects (info_exn t xid).ob_list
 (* --- checkpointing, crash, recovery --- *)
 
 let checkpoint t =
-  ignore (Log_store.append t.log (Record.mk_system Record.Ckpt_begin));
+  (* checkpoints relieve log pressure — refusing one for log space would
+     deadlock the governor, so they bypass admission *)
+  ignore (Log_store.append_reserved t.log (Record.mk_system Record.Ckpt_begin));
   let ck_txns, ck_obs = Txn_table.to_ckpt t.tt in
   let ck_dpt = Buffer_pool.dirty_page_table t.pool in
   let lsn =
-    Log_store.append t.log
+    Log_store.append_reserved t.log
       (Record.mk_system (Record.Ckpt_end { Record.ck_txns; ck_dpt; ck_obs }))
   in
   Log_store.flush t.log ~upto:lsn;
@@ -411,12 +558,44 @@ let truncate_log t =
   if Lsn.is_nil horizon then 0
   else Log_store.truncate t.log ~below:(Lsn.min horizon (Log_store.durable t.log))
 
+(* Live transactions that keep the truncation horizon from advancing:
+   each active transaction with the LSN it pins (its begin record or the
+   start of its oldest scope, delegated-in scopes included), oldest pin
+   first. The governor's victim list under hard log pressure. *)
+let horizon_pinners t =
+  let pins =
+    Txn_table.fold t.tt ~init:[] ~f:(fun acc info ->
+        if info.Txn_table.status <> Txn_table.Active then acc
+        else
+          let pin =
+            match Ob_list.min_first info.ob_list with
+            | Some first ->
+                if Lsn.is_nil info.begin_lsn then first
+                else Lsn.min info.begin_lsn first
+            | None -> info.begin_lsn
+          in
+          if Lsn.is_nil pin then acc else (info.Txn_table.xid, pin) :: acc)
+  in
+  List.sort (fun (_, a) (_, b) -> Lsn.compare a b) pins
+
+let log_pressure t = Log_store.pressure t.log
+
+let set_backpressure t ~begins ~delegations =
+  t.refuse_begins <- begins;
+  t.refuse_delegations <- delegations
+
+let backpressure t = (t.refuse_begins, t.refuse_delegations)
+
 let crash t =
   Log_store.crash t.log;
   Buffer_pool.crash t.pool;
   t.locks <- Lock_table.create ();
   t.tt <- Txn_table.create ();
-  t.permits <- []
+  t.permits <- [];
+  (* reservation ledgers and backpressure are volatile control state *)
+  Hashtbl.reset t.reserves;
+  t.refuse_begins <- false;
+  t.refuse_delegations <- false
 
 (* --- media recovery --- *)
 
@@ -442,7 +621,10 @@ let media_failure t =
   Buffer_pool.crash t.pool;
   t.locks <- Lock_table.create ();
   t.tt <- Txn_table.create ();
-  t.permits <- []
+  t.permits <- [];
+  Hashtbl.reset t.reserves;
+  t.refuse_begins <- false;
+  t.refuse_delegations <- false
 
 let recover t =
   let passes =
@@ -464,8 +646,12 @@ let recover t =
 let restore_media t (b : backup) =
   let replay_from = Lsn.next b.complete_upto in
   if Lsn.(Log_store.truncated_below t.log > replay_from) then
-    invalid_arg
-      "Db.restore_media: the log was truncated past the backup point";
+    raise
+      (Errors.Log_truncated_past_backup
+         {
+           backup = b.complete_upto;
+           retained = Log_store.truncated_below t.log;
+         });
   Array.iteri (fun i page -> Disk.write_page t.disk (Page_id.of_int i) page)
     b.pages;
   Buffer_pool.crash t.pool;

@@ -110,6 +110,35 @@ val truncate_log : t -> int
 (** Reclaim the log prefix below {!truncation_horizon}; returns how many
     records were discarded. *)
 
+(** {1 Log-space governance}
+
+    With [Config.log_capacity_bytes] / [log_capacity_records] set, the
+    WAL enforces admission: {!begin_txn}, {!write}, {!add}, {!delegate}
+    and {!delegate_update} may raise [Ariesrh_wal.Log_store.Log_full].
+    Rollback and resolution never do — every admitted update reserves
+    space for its CLR up front, and every transaction reserves its
+    Abort/End pair at begin. Delegation moves CLR reservations between
+    transactions along with responsibility, so the guarantee survives
+    arbitrary delegation chains and crash-restart. *)
+
+val log_pressure : t -> float
+(** [(used + reserved) / capacity] of the WAL, worse of the byte and
+    record ratios; [0.] when unbounded. *)
+
+val horizon_pinners : t -> (Xid.t * Lsn.t) list
+(** Active transactions pinning the truncation horizon, each with the
+    LSN it pins (its begin record or the start of its oldest scope,
+    delegated-in scopes included), oldest pin first. Who to victimize
+    when truncation cannot reclaim enough. *)
+
+val set_backpressure : t -> begins:bool -> delegations:bool -> unit
+(** Governor backpressure: with [begins] set, {!begin_txn} raises
+    [Errors.Overloaded]; with [delegations] set, {!delegate} and
+    {!delegate_update} do. Both flags reset on {!crash}. *)
+
+val backpressure : t -> bool * bool
+(** [(refuse_begins, refuse_delegations)]. *)
+
 val crash : t -> unit
 (** Lose all volatile state. Active transactions are gone; the log keeps
     its flushed prefix; the disk keeps previously written pages. *)
@@ -132,8 +161,9 @@ val restore_media : t -> backup -> Ariesrh_recovery.Report.t
 (** Restore the archive image, roll it forward by replaying the log
     from the backup point (redo conditioned on page LSNs), then run
     normal restart recovery for the transactions in flight at the
-    failure. Raises [Invalid_argument] if the log was truncated past the
-    backup point (the records needed to roll forward are gone). *)
+    failure. Raises [Errors.Log_truncated_past_backup] if the log was
+    truncated past the backup point (the records needed to roll forward
+    are gone). *)
 
 val recover : t -> Ariesrh_recovery.Report.t
 (** Restart recovery per the configured implementation: [Rh] runs

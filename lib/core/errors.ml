@@ -5,6 +5,18 @@ exception No_such_txn of Xid.t
 exception Txn_not_active of Xid.t
 exception Not_responsible of { xid : Xid.t; oid : Oid.t }
 
+type overload_reason = Begin_refused | Delegation_refused
+
+exception Overloaded of { xid : Xid.t option; reason : overload_reason }
+exception Log_truncated_past_backup of { backup : Lsn.t; retained : Lsn.t }
+exception Unsupported_by_engine of { op : string; impl : string }
+
+let pp_overload_reason ppf = function
+  | Begin_refused ->
+      Format.pp_print_string ppf "new transactions refused under log pressure"
+  | Delegation_refused ->
+      Format.pp_print_string ppf "delegations refused under log pressure"
+
 let pp_exn ppf = function
   | Conflict { requester; holders } ->
       Format.fprintf ppf "lock conflict: %a blocked by %a" Xid.pp requester
@@ -14,6 +26,24 @@ let pp_exn ppf = function
   | Txn_not_active x -> Format.fprintf ppf "transaction not active: %a" Xid.pp x
   | Not_responsible { xid; oid } ->
       Format.fprintf ppf "%a is not responsible for %a" Xid.pp xid Oid.pp oid
+  | Overloaded { xid; reason } ->
+      Format.fprintf ppf "overloaded%a: %a"
+        (fun ppf -> function
+          | None -> ()
+          | Some x -> Format.fprintf ppf " (%a)" Xid.pp x)
+        xid pp_overload_reason reason
+  | Log_truncated_past_backup { backup; retained } ->
+      Format.fprintf ppf
+        "log truncated past the backup point (backup at %a, log retained \
+         from %a)"
+        Lsn.pp backup Lsn.pp retained
+  | Unsupported_by_engine { op; impl } ->
+      Format.fprintf ppf "%s is not supported by the %s engine" op impl
+  | Ariesrh_wal.Log_store.Log_full { dimension; need; used; reserved; capacity }
+    ->
+      Format.fprintf ppf
+        "log full: need %d %a, %d used + %d reserved of %d" need
+        Ariesrh_wal.Log_store.pp_dimension dimension used reserved capacity
   | Ariesrh_wal.Log_store.Corrupt_record { lsn; error } ->
       Format.fprintf ppf "corrupt log record at %a: %a" Lsn.pp lsn
         Ariesrh_wal.Record.pp_decode_error error

@@ -13,8 +13,26 @@ exception Not_responsible of { xid : Xid.t; oid : Oid.t }
 (** The delegation precondition failed: the would-be delegator is not
     responsible for any update on the object (§2.1.2). *)
 
+type overload_reason = Begin_refused | Delegation_refused
+
+exception Overloaded of { xid : Xid.t option; reason : overload_reason }
+(** Admission control under log pressure: the governor has engaged
+    backpressure and the engine refuses the request rather than risk an
+    unrecoverable [Log_full] later. Retry after backing off. *)
+
+exception Log_truncated_past_backup of { backup : Lsn.t; retained : Lsn.t }
+(** Media recovery needs the log from the backup point forward, but
+    truncation already reclaimed part of that range. *)
+
+exception Unsupported_by_engine of { op : string; impl : string }
+(** The operation requires a capability this engine variant lacks (e.g.
+    operation-granularity delegation under [Eager]). *)
+
+val pp_overload_reason : Format.formatter -> overload_reason -> unit
+
 val pp_exn : Format.formatter -> exn -> unit
-(** Also renders the storage/WAL corruption exceptions
+(** Also renders the storage/WAL corruption and capacity exceptions
     ([Ariesrh_wal.Log_store.Corrupt_record],
+    [Ariesrh_wal.Log_store.Log_full],
     [Ariesrh_storage.Buffer_pool.Torn_page]) and
     [Ariesrh_fault.Fault.Injected_crash]. *)

@@ -20,6 +20,7 @@ type stats = {
   mutable crashes : int;
   mutable torn_writes : int;
   mutable torn_flushes : int;
+  mutable squeezes : int;
 }
 
 type t = {
@@ -31,6 +32,9 @@ type t = {
   mutable tear_data_on_crash : bool;
   mutable tear_log_on_crash : bool;
   mutable writes : int;  (* data page writes observed *)
+  mutable appends : int;  (* log appends observed (volatile, not I/O) *)
+  mutable squeeze_at : int;  (* absolute append count; -1 = disarmed *)
+  mutable squeeze_keep : float;
   stats : stats;
 }
 
@@ -44,7 +48,11 @@ let make live seed =
     tear_data_on_crash = false;
     tear_log_on_crash = false;
     writes = 0;
-    stats = { ios = 0; crashes = 0; torn_writes = 0; torn_flushes = 0 };
+    appends = 0;
+    squeeze_at = -1;
+    squeeze_keep = 1.0;
+    stats = { ios = 0; crashes = 0; torn_writes = 0; torn_flushes = 0;
+              squeezes = 0 };
   }
 
 let none () = make false 0L
@@ -58,10 +66,19 @@ let crash_armed t = t.crash_at >= 0
 let set_tear_data_every t n = t.tear_data_every <- max 0 n
 let set_tear_data_on_crash t b = t.tear_data_on_crash <- b
 let set_tear_log_on_crash t b = t.tear_log_on_crash <- b
+
+let arm_squeeze_in t ~appends ~keep =
+  if t.live then begin
+    t.squeeze_at <- t.appends + max 1 appends;
+    t.squeeze_keep <- keep
+  end
+
+let squeeze_armed t = t.squeeze_at >= 0
 let stats t = t.stats
 
 let fault_points t =
   t.stats.crashes + t.stats.torn_writes + t.stats.torn_flushes
+  + t.stats.squeezes
 
 (* Advance the I/O counter and consume the armed crash point if reached.
    Returns whether a crash fires at this operation. *)
@@ -101,6 +118,21 @@ let on_disk_write t ~slots =
       else None
     in
     { torn_keep; crash }
+  end
+
+(* Log appends are volatile memory writes, not I/O: they advance their
+   own counter so a log-pressure squeeze never perturbs the I/O-keyed
+   crash schedule of an existing storm. *)
+let on_log_append t =
+  if not (enabled t) then None
+  else begin
+    t.appends <- t.appends + 1;
+    if t.squeeze_at >= 0 && t.appends >= t.squeeze_at then begin
+      t.squeeze_at <- -1;
+      t.stats.squeezes <- t.stats.squeezes + 1;
+      Some t.squeeze_keep
+    end
+    else None
   end
 
 let no_flush = { tear = None; crash = false }

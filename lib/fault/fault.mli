@@ -44,6 +44,7 @@ type stats = {
   mutable crashes : int;  (** injected crashes fired *)
   mutable torn_writes : int;  (** torn data page writes *)
   mutable torn_flushes : int;  (** torn log flush tails *)
+  mutable squeezes : int;  (** log-capacity squeezes fired *)
 }
 
 type t
@@ -81,6 +82,15 @@ val set_tear_log_on_crash : t -> bool -> unit
 (** Tear the last record of the log flush a crash lands on (default
     [false]). *)
 
+val arm_squeeze_in : t -> appends:int -> keep:float -> unit
+(** Log-pressure fault: [appends] log appends from now, the log device
+    "loses" capacity — the store multiplies its byte budget by [keep]
+    (clamped to at least one record of headroom). Fires once per arming.
+    Appends are counted on their own clock, not the I/O counter, so a
+    squeeze composes with a crash schedule without shifting it. *)
+
+val squeeze_armed : t -> bool
+
 val on_disk_read : t -> unit
 (** May raise [Injected_crash]. *)
 
@@ -94,6 +104,11 @@ val on_disk_write : t -> slots:int -> write_decision
 val on_log_flush : t -> last_len:int -> flush_decision
 (** Never raises: the caller records the tear and then calls [die] if
     [crash] is set. *)
+
+val on_log_append : t -> float option
+(** Advance the append clock; [Some keep] when an armed squeeze fires at
+    this append (the caller shrinks its capacity by the factor). Never
+    raises and never counts as an I/O. *)
 
 val die : t -> site -> 'a
 (** Raise [Injected_crash] at the current counter value. *)

@@ -1,0 +1,173 @@
+open Ariesrh_types
+open Ariesrh_wal
+open Ariesrh_core
+
+type policy = Refuse_delegations | Refuse_begins | Victimize_oldest
+
+let pp_policy ppf = function
+  | Refuse_delegations -> Format.pp_print_string ppf "refuse-delegations"
+  | Refuse_begins -> Format.pp_print_string ppf "refuse-begins"
+  | Victimize_oldest -> Format.pp_print_string ppf "victimize-oldest"
+
+type config = {
+  soft : float;
+  hard : float;
+  tick_every : int;
+  min_ckpt_gap : int;
+  policies : policy list;
+}
+
+let default_config =
+  {
+    soft = 0.60;
+    hard = 0.85;
+    tick_every = 8;
+    min_ckpt_gap = 16;
+    policies = [ Refuse_delegations; Refuse_begins; Victimize_oldest ];
+  }
+
+let validate_config c =
+  if not (c.soft > 0. && c.soft <= 1.) then
+    invalid_arg "Governor: soft watermark must be in (0, 1]";
+  if c.hard < c.soft then
+    invalid_arg "Governor: hard watermark must be >= soft";
+  if c.tick_every <= 0 then invalid_arg "Governor: tick_every must be positive";
+  if c.min_ckpt_gap < 0 then
+    invalid_arg "Governor: min_ckpt_gap must be non-negative"
+
+type stats = {
+  mutable ticks : int;
+  mutable checkpoints : int;
+  mutable truncations : int;
+  mutable records_truncated : int;
+  mutable soft_trips : int;
+  mutable hard_trips : int;
+  mutable victims : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "ticks=%d checkpoints=%d truncations=%d records_truncated=%d \
+     soft_trips=%d hard_trips=%d victims=%d"
+    s.ticks s.checkpoints s.truncations s.records_truncated s.soft_trips
+    s.hard_trips s.victims
+
+type t = {
+  config : config;
+  db : Db.t;
+  stats : stats;
+  mutable steps : int;  (* engine steps observed since creation *)
+  mutable last_ckpt_head : int;  (* log head at the last checkpoint taken *)
+  mutable level : int;  (* how many policies are currently engaged *)
+  mutable victims : Xid.t list;  (* every transaction ever victimized *)
+}
+
+let create ?(config = default_config) db =
+  validate_config config;
+  {
+    config;
+    db;
+    stats =
+      {
+        ticks = 0;
+        checkpoints = 0;
+        truncations = 0;
+        records_truncated = 0;
+        soft_trips = 0;
+        hard_trips = 0;
+        victims = 0;
+      };
+    steps = 0;
+    last_ckpt_head = 0;
+    level = 0;
+    victims = [];
+  }
+
+let stats t = t.stats
+let level t = t.level
+let victims t = List.rev t.victims
+
+let note_crash t =
+  (* Db.crash already dropped the backpressure flags with the rest of
+     the volatile state; resync the governor's view *)
+  t.level <- 0;
+  t.last_ckpt_head <- Lsn.to_int (Log_store.head (Db.log_store t.db))
+
+let active p t =
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  List.mem p (take t.level t.config.policies)
+
+let apply_flags t =
+  Db.set_backpressure t.db
+    ~begins:(active Refuse_begins t)
+    ~delegations:(active Refuse_delegations t)
+
+(* A checkpoint only moves the truncation horizon if the log head has
+   advanced since the last one; gate on that so a stuck horizon does not
+   degenerate into a checkpoint per tick. *)
+let maybe_checkpoint t =
+  let head = Lsn.to_int (Log_store.head (Db.log_store t.db)) in
+  if head - t.last_ckpt_head >= t.config.min_ckpt_gap then begin
+    (* flush dirty pages first: their recLSNs pin the redo point, and a
+       checkpoint over a dirty pool moves the horizon nowhere *)
+    Db.shutdown t.db;
+    Db.checkpoint t.db;
+    t.last_ckpt_head <- Lsn.to_int (Log_store.head (Db.log_store t.db));
+    t.stats.checkpoints <- t.stats.checkpoints + 1
+  end
+
+let reclaim t =
+  let n = Db.truncate_log t.db in
+  if n > 0 then begin
+    t.stats.truncations <- t.stats.truncations + 1;
+    t.stats.records_truncated <- t.stats.records_truncated + n
+  end
+
+let victimize t =
+  match Db.horizon_pinners t.db with
+  | [] -> ()
+  | (xid, _) :: _ ->
+      (* abort draws only on reserved space, so the victim's rollback
+         cannot itself die of Log_full *)
+      Db.abort t.db xid;
+      t.stats.victims <- t.stats.victims + 1;
+      t.victims <- xid :: t.victims;
+      (* the victim's scopes no longer pin the horizon *)
+      maybe_checkpoint t;
+      reclaim t
+
+let evaluate t =
+  t.stats.ticks <- t.stats.ticks + 1;
+  let p = Db.log_pressure t.db in
+  if p < t.config.soft then begin
+    if t.level > 0 then begin
+      t.level <- 0;
+      apply_flags t
+    end
+  end
+  else begin
+    t.stats.soft_trips <- t.stats.soft_trips + 1;
+    maybe_checkpoint t;
+    reclaim t;
+    let p = Db.log_pressure t.db in
+    if p >= t.config.hard then begin
+      t.stats.hard_trips <- t.stats.hard_trips + 1;
+      t.level <- min (t.level + 1) (List.length t.config.policies);
+      apply_flags t;
+      if active Victimize_oldest t then victimize t
+    end
+    else if p < t.config.soft && t.level > 0 then begin
+      (* hysteresis: drop backpressure only once below the soft mark *)
+      t.level <- 0;
+      apply_flags t
+    end
+  end
+
+let tick t =
+  t.steps <- t.steps + 1;
+  if t.steps mod t.config.tick_every = 0 then evaluate t
+
+let force_tick t = evaluate t

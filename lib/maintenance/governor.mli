@@ -1,0 +1,85 @@
+(** Autonomous log-space governance.
+
+    A bounded WAL ({!Ariesrh_core.Config.log_capacity_bytes}) needs
+    someone to reclaim space before admission control starts refusing
+    work. The governor is that someone: ticked from the engine's step
+    loop, it watches {!Ariesrh_core.Db.log_pressure} against two
+    watermarks.
+
+    - Below [soft]: do nothing; lift any backpressure still engaged.
+    - At or above [soft]: run a fuzzy checkpoint (throttled by
+      [min_ckpt_gap]) and truncate the reclaimable prefix.
+    - Still at or above [hard] after reclaiming: the horizon is pinned —
+      with delegation, typically by a transaction holding delegated-in
+      scopes that reach far back (the paper's E8 effect). Escalate one
+      [policies] step per tick: refuse new delegations (they extend
+      pins), refuse new transactions (typed
+      [Errors.Overloaded]), and finally victimize the oldest pinner by
+      aborting it — abort draws only on reserved log space, so the
+      victim's rollback cannot die of [Log_full].
+
+    De-escalation is hysteretic: every policy disengages as soon as
+    pressure falls back below [soft]. *)
+
+open Ariesrh_types
+open Ariesrh_core
+
+type policy =
+  | Refuse_delegations  (** delegations raise [Errors.Overloaded] *)
+  | Refuse_begins  (** [begin_txn] raises [Errors.Overloaded] *)
+  | Victimize_oldest  (** abort the transaction with the oldest pin *)
+
+val pp_policy : Format.formatter -> policy -> unit
+
+type config = {
+  soft : float;  (** reclaim watermark, fraction of capacity *)
+  hard : float;  (** backpressure watermark, [>= soft] *)
+  tick_every : int;  (** evaluate every n-th {!tick} *)
+  min_ckpt_gap : int;
+      (** minimum log-head advance (records) between checkpoints *)
+  policies : policy list;  (** escalation ladder, engaged left to right *)
+}
+
+val default_config : config
+(** soft 0.60, hard 0.85, tick_every 8, min_ckpt_gap 16, all three
+    policies in the order above. *)
+
+type stats = {
+  mutable ticks : int;  (** evaluations run *)
+  mutable checkpoints : int;
+  mutable truncations : int;  (** truncate calls that reclaimed > 0 *)
+  mutable records_truncated : int;
+  mutable soft_trips : int;  (** evaluations at or above [soft] *)
+  mutable hard_trips : int;  (** evaluations still at or above [hard] *)
+  mutable victims : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type t
+
+val create : ?config:config -> Db.t -> t
+(** Raises [Invalid_argument] on a nonsensical config (watermarks
+    outside (0, 1], [hard < soft], non-positive [tick_every]). *)
+
+val tick : t -> unit
+(** Call once per engine step. Every [tick_every]-th call evaluates the
+    watermarks and acts. May raise [Fault.Injected_crash] out of a
+    checkpoint's log flush when fault injection is live — exactly like
+    any other engine step. *)
+
+val force_tick : t -> unit
+(** Evaluate immediately, ignoring the [tick_every] throttle. *)
+
+val note_crash : t -> unit
+(** Tell the governor the database crashed and restarted: resets the
+    escalation level (the [Db] flags were already cleared by the crash)
+    and resyncs its checkpoint bookkeeping to the recovered log. *)
+
+val stats : t -> stats
+
+val level : t -> int
+(** How many policies are currently engaged (0 = no backpressure). *)
+
+val victims : t -> Xid.t list
+(** Every transaction victimized so far, oldest first. *)

@@ -49,7 +49,9 @@ let recover ?(passes = Forward.Merged) (env : Env.t) =
                        undo_next = record.Record.prev;
                      })
               in
-              let clr_lsn = Log_store.append env.log clr in
+              (* restart appends bypass admission: a bounded log must
+                 never refuse the records that make it recoverable *)
+              let clr_lsn = Log_store.append_reserved env.log clr in
               info.last_lsn <- clr_lsn;
               info.undo_next <- record.Record.prev;
               Apply.force env clr_lsn inv;
@@ -79,7 +81,8 @@ let recover ?(passes = Forward.Merged) (env : Env.t) =
     (fun (info : Txn_table.info) ->
       let append body =
         let lsn =
-          Log_store.append env.log (Record.mk info.xid ~prev:info.last_lsn body)
+          Log_store.append_reserved env.log
+            (Record.mk info.xid ~prev:info.last_lsn body)
         in
         info.last_lsn <- lsn
       in

@@ -2,9 +2,11 @@ open Ariesrh_types
 open Ariesrh_wal
 open Ariesrh_txn
 
+(* Restart appends bypass admission ([append_reserved]): a bounded log
+   must never refuse the records that make it recoverable. *)
 let append_on_chain env (info : Txn_table.info) body =
   let record = Record.mk info.xid ~prev:info.last_lsn body in
-  let lsn = Log_store.append env.Env.log record in
+  let lsn = Log_store.append_reserved env.Env.log record in
   info.last_lsn <- lsn;
   lsn
 
@@ -64,7 +66,16 @@ let recover_gen ?(naive_sweep = false) ?(passes = Forward.Merged) ~physical
          record the old chain linked to *)
       let original = Log_store.read env.log undone in
       Log_store.rewrite env.log undone (Record.set_writer original owner);
-      if not (Lsn.is_nil original.Record.prev) then begin
+      (* The neighbour below the splice point belongs to the original
+         invoker's chain — a transaction that may have resolved long ago,
+         so nothing pins it and a governor may have truncated it away
+         (only the delegated scope itself pins the horizon, E8). A
+         reclaimed neighbour needs no patch: every future restart scans
+         from the truncation point, above it. *)
+      if
+        (not (Lsn.is_nil original.Record.prev))
+        && Lsn.(original.Record.prev >= Log_store.truncated_below env.log)
+      then begin
         let neighbour = Log_store.read env.log original.Record.prev in
         Log_store.rewrite env.log original.Record.prev neighbour
       end

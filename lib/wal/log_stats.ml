@@ -7,6 +7,8 @@ type t = {
   mutable rewrite_page_writes : int;
   mutable flushes : int;
   mutable bytes_flushed : int;
+  mutable reservations : int;
+  mutable admission_rejects : int;
 }
 
 let create () =
@@ -19,6 +21,8 @@ let create () =
     rewrite_page_writes = 0;
     flushes = 0;
     bytes_flushed = 0;
+    reservations = 0;
+    admission_rejects = 0;
   }
 
 let reset t =
@@ -29,7 +33,9 @@ let reset t =
   t.rewrites <- 0;
   t.rewrite_page_writes <- 0;
   t.flushes <- 0;
-  t.bytes_flushed <- 0
+  t.bytes_flushed <- 0;
+  t.reservations <- 0;
+  t.admission_rejects <- 0
 
 let copy t = { t with appends = t.appends }
 
@@ -43,11 +49,15 @@ let diff a b =
     rewrite_page_writes = a.rewrite_page_writes - b.rewrite_page_writes;
     flushes = a.flushes - b.flushes;
     bytes_flushed = a.bytes_flushed - b.bytes_flushed;
+    reservations = a.reservations - b.reservations;
+    admission_rejects = a.admission_rejects - b.admission_rejects;
   }
 
 let pp ppf t =
   Format.fprintf ppf
     "appends=%d reads=%d page_fetches=%d random_seeks=%d rewrites=%d \
-     rewrite_page_writes=%d flushes=%d bytes_flushed=%d"
+     rewrite_page_writes=%d flushes=%d bytes_flushed=%d reservations=%d \
+     admission_rejects=%d"
     t.appends t.reads t.page_fetches t.random_seeks t.rewrites
-    t.rewrite_page_writes t.flushes t.bytes_flushed
+    t.rewrite_page_writes t.flushes t.bytes_flushed t.reservations
+    t.admission_rejects

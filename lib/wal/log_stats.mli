@@ -16,6 +16,8 @@ type t = {
   mutable rewrite_page_writes : int;  (** pages written back by rewrites *)
   mutable flushes : int;  (** flush calls that wrote something *)
   mutable bytes_flushed : int;
+  mutable reservations : int;  (** CLR-space reservations taken *)
+  mutable admission_rejects : int;  (** appends refused with [Log_full] *)
 }
 
 val create : unit -> t

@@ -3,6 +3,21 @@ module Fault = Ariesrh_fault.Fault
 
 exception Corrupt_record of { lsn : Lsn.t; error : Record.decode_error }
 
+type dimension = Bytes | Records
+
+let pp_dimension ppf = function
+  | Bytes -> Format.pp_print_string ppf "bytes"
+  | Records -> Format.pp_print_string ppf "records"
+
+exception
+  Log_full of {
+    dimension : dimension;
+    need : int;
+    used : int;
+    reserved : int;
+    capacity : int;
+  }
+
 type t = {
   page_size : int;
   mutable enc : string array;  (* encoded records, index = lsn - 1 *)
@@ -21,11 +36,18 @@ type t = {
       (* lifetime count of corrupt tail records dropped by recover_tail;
          lets harnesses observe amputation even when the restart that
          performed it is itself killed by an injected crash *)
+  (* --- bounded-log accounting --- *)
+  mutable cap_bytes : int option;  (* hard byte budget; None = unbounded *)
+  mutable cap_records : int option;
+  mutable live_bytes : int;  (* encoded bytes of retained records *)
+  mutable reserved_bytes : int;  (* pool set aside for rollback CLRs *)
+  mutable reserved_records : int;
   fault : Fault.t;
   stats : Log_stats.t;
 }
 
-let create ?(page_size = 4096) ?(fault = Fault.none ()) () =
+let create ?(page_size = 4096) ?capacity_bytes ?capacity_records
+    ?(fault = Fault.none ()) () =
   {
     page_size;
     enc = [||];
@@ -38,6 +60,11 @@ let create ?(page_size = 4096) ?(fault = Fault.none ()) () =
     low = 0;
     pending_tear = None;
     amputated_total = 0;
+    cap_bytes = capacity_bytes;
+    cap_records = capacity_records;
+    live_bytes = 0;
+    reserved_bytes = 0;
+    reserved_records = 0;
     fault;
     stats = Log_stats.create ();
   }
@@ -60,15 +87,114 @@ let ensure_capacity t =
     t.offsets <- no
   end
 
-let append t r =
+let capacity_bytes t = t.cap_bytes
+let capacity_records t = t.cap_records
+let set_capacity_bytes t c = t.cap_bytes <- c
+let set_capacity_records t c = t.cap_records <- c
+let used_bytes t = t.live_bytes
+let used_records t = t.count - t.low
+let reserved_bytes t = t.reserved_bytes
+let reserved_records t = t.reserved_records
+
+let pressure t =
+  let ratio used reserved = function
+    | None -> 0.
+    | Some cap when cap <= 0 -> 1.
+    | Some cap -> float_of_int (used + reserved) /. float_of_int cap
+  in
+  max
+    (ratio t.live_bytes t.reserved_bytes t.cap_bytes)
+    (ratio (used_records t) t.reserved_records t.cap_records)
+
+(* A log-pressure squeeze shrinks the byte budget mid-run. On an
+   unbounded log it imposes one, scaled from current usage, so the fault
+   is meaningful in every configuration. *)
+let apply_squeeze t =
+  match Fault.on_log_append t.fault with
+  | None -> ()
+  | Some keep ->
+      let base =
+        match t.cap_bytes with
+        | Some c -> c
+        | None -> max 1 (t.live_bytes + t.reserved_bytes)
+      in
+      let floor = t.live_bytes + t.reserved_bytes in
+      t.cap_bytes <-
+        Some (max floor (int_of_float (keep *. float_of_int base)))
+
+let admit t ~bytes ~records =
+  (match t.cap_bytes with
+  | Some cap when t.live_bytes + t.reserved_bytes + bytes > cap ->
+      t.stats.admission_rejects <- t.stats.admission_rejects + 1;
+      raise
+        (Log_full
+           {
+             dimension = Bytes;
+             need = bytes;
+             used = t.live_bytes;
+             reserved = t.reserved_bytes;
+             capacity = cap;
+           })
+  | _ -> ());
+  match t.cap_records with
+  | Some cap when used_records t + t.reserved_records + records > cap ->
+      t.stats.admission_rejects <- t.stats.admission_rejects + 1;
+      raise
+        (Log_full
+           {
+             dimension = Records;
+             need = records;
+             used = used_records t;
+             reserved = t.reserved_records;
+             capacity = cap;
+           })
+  | _ -> ()
+
+let reserve t ~bytes ~records =
+  admit t ~bytes ~records;
+  t.reserved_bytes <- t.reserved_bytes + bytes;
+  t.reserved_records <- t.reserved_records + records;
+  t.stats.reservations <- t.stats.reservations + 1
+
+let unreserve t ~bytes ~records =
+  t.reserved_bytes <- max 0 (t.reserved_bytes - bytes);
+  t.reserved_records <- max 0 (t.reserved_records - records)
+
+let store t s =
   ensure_capacity t;
-  let s = Record.encode r in
   t.enc.(t.count) <- s;
   t.offsets.(t.count) <- t.next_offset;
   t.next_offset <- t.next_offset + String.length s;
   t.count <- t.count + 1;
+  t.live_bytes <- t.live_bytes + String.length s;
   t.stats.appends <- t.stats.appends + 1;
   Lsn.of_int t.count
+
+let append t r =
+  apply_squeeze t;
+  let s = Record.encode r in
+  admit t ~bytes:(String.length s) ~records:1;
+  store t s
+
+(* Bypasses admission: for records whose space was paid for up front by
+   [reserve] (rollback CLRs, Abort/Commit/End, checkpoint records) and
+   for everything restart recovery writes. The pool is not drawn down
+   here — the caller releases exact obligations via [unreserve], so the
+   pool always equals the sum of live obligations. *)
+let append_reserved t r =
+  apply_squeeze t;
+  store t (Record.encode r)
+
+let append_with_reserve t ~reserve_bytes ~reserve_records r =
+  apply_squeeze t;
+  let s = Record.encode r in
+  admit t
+    ~bytes:(String.length s + reserve_bytes)
+    ~records:(1 + reserve_records);
+  t.reserved_bytes <- t.reserved_bytes + reserve_bytes;
+  t.reserved_records <- t.reserved_records + reserve_records;
+  t.stats.reservations <- t.stats.reservations + 1;
+  store t s
 
 let flush t ~upto =
   let target = min (Lsn.to_int upto) t.count in
@@ -99,14 +225,26 @@ let flush t ~upto =
 let crash t =
   (match t.pending_tear with
   | Some (idx, bytes) ->
-      if idx < t.durable_count then t.enc.(idx) <- bytes;
+      if idx < t.durable_count then begin
+        t.live_bytes <-
+          t.live_bytes - String.length t.enc.(idx) + String.length bytes;
+        t.enc.(idx) <- bytes
+      end;
       t.pending_tear <- None
   | None -> ());
+  for i = t.durable_count to t.count - 1 do
+    t.live_bytes <- t.live_bytes - String.length t.enc.(i)
+  done;
   t.count <- t.durable_count;
   t.next_offset <-
     (if t.count = 0 then 0
      else t.offsets.(t.count - 1) + String.length t.enc.(t.count - 1));
-  t.buffered_page <- -1
+  t.buffered_page <- -1;
+  (* reservations are volatile bookkeeping for live transactions; after a
+     crash no transaction is live, so the pool resets and restart's own
+     CLRs go through [append_reserved] unchecked *)
+  t.reserved_bytes <- 0;
+  t.reserved_records <- 0
 
 let master t = Lsn.of_int t.master
 
@@ -145,6 +283,7 @@ let truncate t ~below =
   if reclaimed > 0 then begin
     (* drop the encoded bytes so the space is really gone *)
     for i = t.low to b - 2 do
+      t.live_bytes <- t.live_bytes - String.length t.enc.(i);
       t.enc.(i) <- ""
     done;
     t.low <- b - 1
@@ -223,6 +362,7 @@ let recover_tail t =
     | Ok _ -> continue := false
     | Error e ->
         dropped := (Lsn.of_int t.count, e) :: !dropped;
+        t.live_bytes <- t.live_bytes - String.length t.enc.(t.count - 1);
         t.enc.(t.count - 1) <- "";
         t.count <- t.count - 1;
         t.durable_count <- min t.durable_count t.count;

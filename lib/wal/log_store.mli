@@ -21,12 +21,38 @@ exception Corrupt_record of { lsn : Lsn.t; error : Record.decode_error }
     corrupted somewhere other than the tail, which the failure model
     does not produce. *)
 
+type dimension = Bytes | Records
+
+val pp_dimension : Format.formatter -> dimension -> unit
+
+exception
+  Log_full of {
+    dimension : dimension;
+    need : int;  (** bytes or records the rejected operation asked for *)
+    used : int;  (** live bytes / retained records at the rejection *)
+    reserved : int;  (** pool set aside for rollback obligations *)
+    capacity : int;
+  }
+(** Raised by admission-checked appends and by {!reserve} when the
+    request does not fit within the configured capacity net of existing
+    reservations. Typed so callers can distinguish log pressure from
+    programming errors and react (back off, checkpoint, truncate). *)
+
 type t
 
-val create : ?page_size:int -> ?fault:Ariesrh_fault.Fault.t -> unit -> t
+val create :
+  ?page_size:int ->
+  ?capacity_bytes:int ->
+  ?capacity_records:int ->
+  ?fault:Ariesrh_fault.Fault.t ->
+  unit ->
+  t
 (** [page_size] (bytes, default 4096) governs the I/O cost model; see
-    {!Log_stats}. A live [fault] injector can tear the last record of a
-    crashing flush and raise [Fault.Injected_crash] at flush points. *)
+    {!Log_stats}. [capacity_bytes] / [capacity_records] bound the log
+    (default: unbounded); see {!append} and {!reserve}. A live [fault]
+    injector can tear the last record of a crashing flush, raise
+    [Fault.Injected_crash] at flush points, and squeeze the byte budget
+    at append points. *)
 
 val stats : t -> Log_stats.t
 
@@ -43,6 +69,49 @@ val durable : t -> Lsn.t
 (** LSN up to which the log is flushed; [Lsn.nil] when nothing is. *)
 
 val append : t -> Record.t -> Lsn.t
+(** Admission-checked: raises {!Log_full} if the encoded record does not
+    fit within the capacity net of the reservation pool. *)
+
+val append_reserved : t -> Record.t -> Lsn.t
+(** Append bypassing admission, for records whose space was secured up
+    front by {!reserve} (rollback CLRs, Abort/Commit/End, checkpoint
+    records) and for everything restart recovery writes. Does {e not}
+    draw down the pool — the caller releases exact obligations via
+    {!unreserve}, keeping the pool equal to the sum of live
+    obligations. *)
+
+val append_with_reserve :
+  t -> reserve_bytes:int -> reserve_records:int -> Record.t -> Lsn.t
+(** Atomically admit [record + reservation] and take the reservation,
+    then append. Used for updates: an update is only admitted if the CLR
+    that may later undo it is guaranteed to fit too. Raises {!Log_full}
+    without any side effect if the combined request does not fit. *)
+
+val reserve : t -> bytes:int -> records:int -> unit
+(** Set aside space for future {!append_reserved} calls. Raises
+    {!Log_full} (with no side effect) if the request does not fit. *)
+
+val unreserve : t -> bytes:int -> records:int -> unit
+(** Release previously reserved space (clamped at zero). *)
+
+val capacity_bytes : t -> int option
+val capacity_records : t -> int option
+val set_capacity_bytes : t -> int option -> unit
+val set_capacity_records : t -> int option -> unit
+
+val used_bytes : t -> int
+(** Encoded bytes of all retained records (stable + volatile tail). *)
+
+val used_records : t -> int
+(** Retained records, i.e. [length] minus the truncated prefix. *)
+
+val reserved_bytes : t -> int
+val reserved_records : t -> int
+
+val pressure : t -> float
+(** [(used + reserved) / capacity], the worse of the byte and record
+    ratios; [0.] when unbounded. The governor's watermark input. *)
+
 val flush : t -> upto:Lsn.t -> unit
 (** No-op if already durable up to [upto]. Clamped to [head]. *)
 

@@ -25,7 +25,11 @@ val fresh_db :
   ?fault:Ariesrh_fault.Fault.t ->
   ?impl:Config.delegation_impl ->
   ?locking:bool ->
+  ?log_capacity_bytes:int ->
+  ?log_capacity_records:int ->
   n_objects:int ->
   unit ->
   Db.t
-(** A Db sized for scripts over [n_objects] symbolic objects. *)
+(** A Db sized for scripts over [n_objects] symbolic objects. The
+    capacity knobs bound the WAL (default unbounded) — see
+    {!Ariesrh_wal.Log_store.create}. *)

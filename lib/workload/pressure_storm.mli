@@ -1,0 +1,94 @@
+(** Crash storms under a bounded, shrinking log.
+
+    The pressure storm crosses {!Crash_storm}'s simulated storm with the
+    log-space machinery this repo grew around it: the WAL has a hard
+    byte capacity, a {!Ariesrh_maintenance.Governor} ticks on every
+    scheduler step (checkpointing, truncating, and applying
+    delegation-aware backpressure), a {!Ariesrh_fault.Fault} squeeze
+    shrinks the capacity mid-run, and injected crashes with torn log
+    tails keep firing throughout.
+
+    Clients degrade the way {!Sim} clients do — typed
+    [Errors.Overloaded] / [Log_store.Log_full] refusals roll back and
+    retry with deterministic exponential backoff — and the harness keeps
+    the crash storm's responsibility ledger so the engine state is
+    reconciled against the oracle after {e every} restart.
+
+    What the storm proves, beyond the state oracle:
+    - rollback and restart recovery never raise [Log_full] — they draw
+      on reserved space ([abort]) or bypass admission (recovery);
+    - every refusal is a typed error; any raw [Invalid_argument] or
+      assertion escaping the engine fails the storm;
+    - after the storm, with crashes disarmed, surviving clients drain:
+      backoff-retry eventually commits the remaining work even while
+      the governor stays engaged.
+
+    One wrinkle relative to the crash storm's oracle: the governor
+    truncates the log while the storm runs, so "which commit records are
+    durable" can no longer be re-derived by scanning — truncation
+    reclaims old commit records. The harness accumulates the durable
+    commit set monotonically instead: a scan at every crash (before
+    recovery, when the stable prefix is intact) plus every successful
+    [commit] return (the commit's own log force just made it durable). *)
+
+open Ariesrh_core
+module Governor := Ariesrh_maintenance.Governor
+
+type config = {
+  seed : int64;
+  impl : Config.delegation_impl;
+  clients : int;
+  steps : int;  (** scheduler steps of the storm phase *)
+  ops_per_txn : int;  (** max ops per client transaction *)
+  n_objects : int;
+  p_delegate : float;
+  capacity_bytes : int;  (** hard WAL byte budget *)
+  crash_every : int;  (** I/Os between injected crashes; [0] = none *)
+  recovery_crash_depth : int;  (** nested crashes during each restart *)
+  recovery_crash_gap : int;  (** I/Os into recovery before a re-crash *)
+  squeeze_every : int;  (** appends between capacity squeezes; [0] = none *)
+  squeeze_keep : float;  (** capacity multiplier per squeeze *)
+  max_squeezes : int;
+  governor : Governor.config;
+  backoff_base : int;
+  max_backoff : int;
+  max_retries : int;
+}
+
+val default_config : config
+(** 4 clients, 800 steps, 6 KiB log budget, a crash roughly every 40
+    I/Os with one nested re-crash, 3 squeezes of 0.9 each, the default
+    governor, Rh delegation. *)
+
+type outcome = {
+  mutable steps_run : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable delegations : int;
+  mutable overloads : int;  (** typed [Errors.Overloaded] refusals *)
+  mutable log_fulls : int;  (** typed [Log_full] refusals *)
+  mutable backoffs : int;
+  mutable abandoned : int;  (** retry cycles given up *)
+  mutable victimized : int;  (** governor kills observed by clients *)
+  mutable crashes : int;
+  mutable nested_crashes : int;
+  mutable recoveries : int;
+  mutable squeezes : int;
+  mutable checks : int;  (** post-restart oracle reconciliations *)
+  mutable drain_commits : int;  (** commits after crashes were disarmed *)
+  mutable gov_ticks : int;
+  mutable gov_checkpoints : int;
+  mutable gov_truncations : int;
+  mutable gov_records_truncated : int;
+  mutable gov_victims : int;
+  mutable reservations : int;  (** log-store reservation operations *)
+  mutable admission_rejects : int;  (** appends the log store refused *)
+  mutable peak_pressure : float;  (** highest {!Db.log_pressure} seen *)
+  mutable failures : string list;
+}
+
+val ok : outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run : ?config:config -> unit -> outcome
+(** Run one storm; deterministic for a given config. *)

@@ -2,6 +2,7 @@ open Ariesrh_types
 open Ariesrh_core
 module Prng = Ariesrh_util.Prng
 module Deadlock = Ariesrh_lock.Deadlock
+module Log_store = Ariesrh_wal.Log_store
 
 type outcome = {
   committed : int;
@@ -9,6 +10,12 @@ type outcome = {
   waits : int;
   deadlocks : int;
   delegations : int;
+  overloads : int;
+  log_fulls : int;
+  backoffs : int;
+  stall_steps : int;
+  abandoned : int;
+  victimized : int;
   state_ok : bool;
 }
 
@@ -20,6 +27,8 @@ type phase =
   | Idle  (** about to (re)start the current transaction *)
   | Running of { xid : Xid.t; remaining : op list }
   | Blocked of { xid : Xid.t; op : op; remaining : op list }
+  | Backoff of { until : int }
+      (** refused for log pressure; retry at scheduler step [until] *)
   | Finished
 
 type client = {
@@ -27,6 +36,7 @@ type client = {
   mutable txns_left : int;
   mutable plan : op list;  (** ops of the current transaction *)
   mutable phase : phase;
+  mutable attempts : int;  (** pressure-refused attempts of this plan *)
 }
 
 let plan_txn rng ~ops_per_txn ~n_objects ~delegation_rate =
@@ -39,7 +49,9 @@ let plan_txn rng ~ops_per_txn ~n_objects ~delegation_rate =
   if Prng.float rng 1.0 < delegation_rate then ops @ [ Delegate_op ] else ops
 
 let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
-    ?(n_objects = 32) ?(delegation_rate = 0.2) ?(seed = 42L) db =
+    ?(n_objects = 32) ?(delegation_rate = 0.2) ?(seed = 42L)
+    ?(backoff_base = 4) ?(max_backoff = 64) ?(max_retries = 8)
+    ?(tick = fun () -> ()) db =
   if not (Db.config db).Config.locking then
     invalid_arg "Sim.run: the database must have locking enabled";
   if n_objects > (Db.config db).Config.n_objects then
@@ -50,7 +62,14 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
   and aborted = ref 0
   and waits = ref 0
   and deadlocks = ref 0
-  and delegations = ref 0 in
+  and delegations = ref 0
+  and overloads = ref 0
+  and log_fulls = ref 0
+  and backoffs = ref 0
+  and stall_steps = ref 0
+  and abandoned = ref 0
+  and victimized = ref 0
+  and now = ref 0 in
   (* per-operation increments each live transaction is responsible for:
      (object, delta, update lsn) — lsn-level tracking lets the simulator
      exercise operation-granularity delegation too *)
@@ -91,7 +110,8 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
   in
   let cs =
     Array.init clients (fun id ->
-        { id; txns_left = txns_per_client; plan = []; phase = Idle })
+        { id; txns_left = txns_per_client; plan = []; phase = Idle;
+          attempts = 0 })
   in
   let client_of_xid xid =
     Array.to_seq cs
@@ -99,16 +119,60 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
            match c.phase with
            | Running r -> Xid.equal r.xid xid
            | Blocked b -> Xid.equal b.xid xid
-           | Idle | Finished -> false)
+           | Idle | Backoff _ | Finished -> false)
+  in
+  (* Deterministic bounded retry: a client refused for log pressure
+     parks for [backoff_base * 2^attempt] scheduler steps (capped), and
+     gives the current transaction up entirely after [max_retries]. *)
+  let enter_backoff c =
+    c.attempts <- c.attempts + 1;
+    if c.attempts > max_retries then begin
+      incr abandoned;
+      c.txns_left <- c.txns_left - 1;
+      c.plan <- [];
+      c.attempts <- 0;
+      c.phase <- Idle
+    end
+    else begin
+      incr backoffs;
+      let delay =
+        min max_backoff (backoff_base * (1 lsl min 16 (c.attempts - 1)))
+      in
+      stall_steps := !stall_steps + delay;
+      c.phase <- Backoff { until = !now + delay }
+    end
+  in
+  (* the client's transaction died under it (aborted by a governor under
+     hard log pressure): drop its volatile tracking and retry the plan *)
+  let on_victimized c xid =
+    incr victimized;
+    Xid.Tbl.remove pending xid;
+    Deadlock.remove_txn graph xid;
+    enter_backoff c
+  in
+  (* an operation was refused with [Log_full]: roll the transaction back
+     (always possible — rollback draws on reserved space), back off,
+     retry the same plan *)
+  let on_log_full c xid =
+    incr log_fulls;
+    (match Db.abort db xid with
+    | () -> incr aborted
+    | exception (Errors.No_such_txn _ | Errors.Txn_not_active _) -> ());
+    Xid.Tbl.remove pending xid;
+    Deadlock.remove_txn graph xid;
+    enter_backoff c
   in
   let victimize xid =
     match client_of_xid xid with
     | None -> ()
     | Some c ->
-        Db.abort db xid;
+        (match Db.abort db xid with
+        | () -> incr aborted
+        | exception (Errors.No_such_txn _ | Errors.Txn_not_active _) ->
+            (* already gone — a governor got there first *)
+            incr victimized);
         Xid.Tbl.remove pending xid;
         Deadlock.remove_txn graph xid;
-        incr aborted;
         c.phase <- Idle (* retries the same plan with a fresh xid *)
   in
   (* execute one op for [xid]; true if it went through *)
@@ -145,11 +209,12 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
                    match c'.phase with
                    | Running r -> Some r.xid
                    | Blocked b -> Some b.xid
-                   | Idle | Finished -> None)
+                   | Idle | Backoff _ | Finished -> None)
         in
-        (match targets with
-        | [] -> ()
-        | _ -> (
+        (try
+          match targets with
+          | [] -> ()
+          | _ -> (
             let to_ = List.nth targets (Prng.int rng (List.length targets)) in
             let ops = !(pend_list xid) in
             let whole_object () =
@@ -171,7 +236,21 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
                     pend_move_one ~from_:xid ~to_ lsn;
                     incr delegations
                 | exception Invalid_argument _ -> whole_object ())
-            | _, _ -> whole_object ()));
+            | _, _ -> whole_object ())
+        with
+        | Errors.Overloaded _ ->
+            (* delegation refused under backpressure: optional work, the
+               transaction simply keeps its responsibility *)
+            incr overloads
+        | Log_store.Log_full _ -> incr log_fulls
+        | (Errors.No_such_txn x | Errors.Txn_not_active x)
+          when not (Xid.equal x xid) ->
+            (* the chosen delegatee died under us (a governor victimized
+               it) between target selection and transfer. Only [x]'s own
+               client may retire it; treating the typed error as OUR
+               death would orphan a live transaction that keeps its
+               locks and pins the horizon forever. *)
+            ());
         true
   in
   let break_deadlock xid =
@@ -190,38 +269,65 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
   let step c =
     match c.phase with
     | Finished -> ()
+    | Backoff { until } -> if !now >= until then c.phase <- Idle
     | Idle ->
         if c.txns_left = 0 then c.phase <- Finished
         else begin
           if c.plan = [] then
             c.plan <- plan_txn rng ~ops_per_txn ~n_objects ~delegation_rate;
-          let xid = Db.begin_txn db in
-          c.phase <- Running { xid; remaining = c.plan }
+          match Db.begin_txn db with
+          | xid -> c.phase <- Running { xid; remaining = c.plan }
+          | exception Errors.Overloaded _ ->
+              incr overloads;
+              enter_backoff c
+          | exception Log_store.Log_full _ ->
+              incr log_fulls;
+              enter_backoff c
         end
-    | Running { xid; remaining = [] } ->
-        Db.commit db xid;
-        pend_commit xid;
-        Deadlock.remove_txn graph xid;
-        incr committed;
-        c.txns_left <- c.txns_left - 1;
-        c.plan <- [];
-        c.phase <- Idle
-    | Running { xid; remaining = op :: rest } ->
-        if attempt c xid op then c.phase <- Running { xid; remaining = rest }
-        else begin
-          c.phase <- Blocked { xid; op; remaining = rest };
-          break_deadlock xid
-        end
-    | Blocked { xid; op; remaining } ->
-        if attempt c xid op then c.phase <- Running { xid; remaining }
-        else break_deadlock xid
+    | Running { xid; remaining = [] } -> (
+        match Db.commit db xid with
+        | () ->
+            pend_commit xid;
+            Deadlock.remove_txn graph xid;
+            incr committed;
+            c.txns_left <- c.txns_left - 1;
+            c.plan <- [];
+            c.attempts <- 0;
+            c.phase <- Idle
+        | exception (Errors.No_such_txn _ | Errors.Txn_not_active _) ->
+            on_victimized c xid)
+    | Running { xid; remaining = op :: rest } -> (
+        match attempt c xid op with
+        | true -> c.phase <- Running { xid; remaining = rest }
+        | false ->
+            c.phase <- Blocked { xid; op; remaining = rest };
+            break_deadlock xid
+        | exception Log_store.Log_full _ -> on_log_full c xid
+        | exception (Errors.No_such_txn _ | Errors.Txn_not_active _) ->
+            on_victimized c xid)
+    | Blocked { xid; op; remaining } -> (
+        match attempt c xid op with
+        | true -> c.phase <- Running { xid; remaining }
+        | false -> break_deadlock xid
+        | exception Log_store.Log_full _ -> on_log_full c xid
+        | exception (Errors.No_such_txn _ | Errors.Txn_not_active _) ->
+            on_victimized c xid)
   in
-  let budget = ref (clients * txns_per_client * (ops_per_txn + 4) * 50) in
+  (* live-lock guard: enough steps for every transaction's operations
+     plus, under log pressure, a full complement of refused attempts
+     spent parked in backoff before abandonment *)
+  let budget =
+    ref
+      (clients * txns_per_client
+      * (((ops_per_txn + 4) * 50) + (max_retries * max_backoff)))
+  in
   let all_done () =
     Array.for_all (fun c -> c.phase = Finished) cs
   in
   while (not (all_done ())) && !budget > 0 do
     decr budget;
+    incr now;
+    tick ();
     step cs.(Prng.int rng clients)
   done;
   if !budget = 0 then failwith "Sim.run: live-lock (scheduling budget exhausted)";
@@ -239,5 +345,11 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
     waits = !waits;
     deadlocks = !deadlocks;
     delegations = !delegations;
+    overloads = !overloads;
+    log_fulls = !log_fulls;
+    backoffs = !backoffs;
+    stall_steps = !stall_steps;
+    abandoned = !abandoned;
+    victimized = !victimized;
     state_ok;
   }

@@ -20,10 +20,16 @@ open Ariesrh_core
 
 type outcome = {
   committed : int;  (** transactions committed *)
-  aborted : int;  (** deadlock victims (before their retries) *)
+  aborted : int;  (** rollbacks (deadlock victims, pressure retries) *)
   waits : int;  (** times a client parked on a lock *)
   deadlocks : int;  (** cycles broken *)
   delegations : int;
+  overloads : int;  (** typed [Errors.Overloaded] refusals observed *)
+  log_fulls : int;  (** typed [Log_store.Log_full] refusals observed *)
+  backoffs : int;  (** times a client parked in exponential backoff *)
+  stall_steps : int;  (** total scheduler steps spent parked *)
+  abandoned : int;  (** transactions given up after [max_retries] *)
+  victimized : int;  (** transactions killed externally (governor) *)
   state_ok : bool;  (** engine state matches the committed-increment sums *)
 }
 
@@ -34,7 +40,24 @@ val run :
   ?n_objects:int ->
   ?delegation_rate:float ->
   ?seed:int64 ->
+  ?backoff_base:int ->
+  ?max_backoff:int ->
+  ?max_retries:int ->
+  ?tick:(unit -> unit) ->
   Db.t ->
   outcome
 (** Raises [Invalid_argument] if the database was not created with
-    locking enabled. *)
+    locking enabled.
+
+    On a bounded log, clients degrade gracefully instead of failing:
+    a typed [Errors.Overloaded] or [Log_store.Log_full] refusal rolls
+    the transaction back (when one was open) and parks the client for
+    [backoff_base * 2^attempt] scheduler steps, capped at [max_backoff]
+    (defaults 4 and 64) — deterministic, so a given seed still replays
+    exactly. After [max_retries] (default 8) refused attempts the
+    transaction is abandoned and counted. A transaction aborted
+    externally mid-plan (a governor victimizing the oldest horizon
+    pinner) is detected by the typed [No_such_txn]/[Txn_not_active] on
+    its next operation and retried the same way. [tick] runs once per
+    scheduler step — the hook a {!Ariesrh_maintenance.Governor} ticks
+    from. *)

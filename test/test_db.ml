@@ -376,7 +376,7 @@ let op_delegation_preconditions () =
   let l2 = Db.last_lsn_of db2 u in
   match Db.delegate_update db2 ~from_:u ~to_:u1 (oid 0) l2 with
   | () -> Alcotest.fail "eager should not support operation granularity"
-  | exception Invalid_argument _ -> ()
+  | exception Errors.Unsupported_by_engine { impl = "eager"; _ } -> ()
 
 let op_delegation_keeps_isolation () =
   let db = mk ~impl:Config.Rh () in
@@ -587,7 +587,7 @@ let media_recovery_rejects_truncated_log () =
   Db.media_failure db;
   match Db.restore_media db b with
   | _ -> Alcotest.fail "restore from a pre-truncation backup must fail"
-  | exception Invalid_argument _ -> ()
+  | exception Errors.Log_truncated_past_backup _ -> ()
 
 let for_impls name f =
   [

@@ -17,4 +17,5 @@ let () =
       ("model-based", Test_model_based.suite);
       ("properties", Test_properties.suite);
       ("fault", Test_fault.suite);
+      ("governor", Test_governor.suite);
     ]
