@@ -769,6 +769,50 @@ let experiments =
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
   ]
 
+(* Every experiment unconditionally leaves a machine-readable artifact
+   behind: BENCH_e<N>.json with the wall time and a metrics snapshot
+   merged across every database the experiment created (counters and
+   histograms sum; the Db create hook collects the registries). Unlike
+   the forensic/trace artifacts, wall time is fine here — bench output
+   is a measurement, not a committed repro. *)
+module Obs = Ariesrh_obs
+
+let run_instrumented name f =
+  (* Retaining every database's registry would pin each db's log and
+     pool alive for the whole experiment (the registry holds read
+     closures over them), distorting GC behaviour under bechamel's
+     db-per-run allocation. Instead pin only the most recent database
+     and fold its snapshot into the accumulator when the next one
+     appears — experiments drive their databases sequentially. *)
+  let snaps = ref [] and live = ref None and dbs = ref 0 in
+  let roll () =
+    match !live with
+    | Some db ->
+        snaps := Obs.Metrics.snapshot (Db.metrics db) :: !snaps;
+        live := None
+    | None -> ()
+  in
+  Db.set_create_hook
+    (Some
+       (fun db ->
+         roll ();
+         live := Some db;
+         incr dbs));
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> Db.set_create_hook None) f;
+  let ms = 1000. *. (Unix.gettimeofday () -. t0) in
+  roll ();
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  Obs.Json.to_file path
+    (Obs.Json.Obj
+       [
+         ("experiment", Obs.Json.String name);
+         ("wall_ms", Obs.Json.Float ms);
+         ("databases", Obs.Json.Int !dbs);
+         ("metrics", Obs.Metrics.to_json (Obs.Metrics.merge (List.rev !snaps)));
+       ]);
+  Format.printf "@.[%s: %.0f ms; metrics -> %s]@." name ms path
+
 let () =
   let requested =
     match Array.to_list Sys.argv with
@@ -781,6 +825,6 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f -> run_instrumented name f
       | None -> Format.eprintf "unknown experiment %S@." name)
     requested

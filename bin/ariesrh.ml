@@ -19,6 +19,70 @@ let impl_conv =
   in
   Arg.conv (parse, print)
 
+(* --- observability plumbing shared by every subcommand --- *)
+
+module Obs = Ariesrh_obs
+
+type obs = { metrics_json : string option }
+
+(* every database the command creates registers here (via the Db create
+   hook), so the final metrics export aggregates across all of them —
+   a storm builds a fresh db per crash point *)
+let registries : Obs.Metrics.t list ref = ref []
+
+let verbosity_conv =
+  let parse s =
+    match Logs.level_of_string s with
+    | Ok l -> Ok l
+    | Error (`Msg m) -> Error (`Msg m)
+  in
+  let print ppf l = Format.pp_print_string ppf (Logs.level_to_string l) in
+  Arg.conv (parse, print)
+
+let verbosity_arg =
+  Arg.(
+    value
+    & opt (some verbosity_conv) None
+    & info [ "verbosity" ] ~docv:"LEVEL"
+        ~doc:
+          "Engine trace verbosity: quiet, error, warning, info or debug. \
+           Installs a Logs reporter over the unified ariesrh source \
+           (Ariesrh_obs.Trace).")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "On exit, write an aggregated metrics snapshot of every database \
+           the command created to $(docv) (deterministic JSON; counters and \
+           histograms sum across databases).")
+
+let obs_setup verbosity metrics_json =
+  (match verbosity with
+  | None -> ()
+  | Some level ->
+      Logs.set_reporter (Logs.format_reporter ());
+      Obs.Trace.set_level level);
+  registries := [];
+  Db.set_create_hook
+    (Some (fun db -> registries := Db.metrics db :: !registries));
+  { metrics_json }
+
+let obs_term = Term.(const obs_setup $ verbosity_arg $ metrics_json_arg)
+
+(* call before any [exit]: cmdliner bodies that fail with [exit 1] must
+   still flush the metrics export *)
+let finish obs =
+  match obs.metrics_json with
+  | None -> ()
+  | Some file ->
+      let snaps = List.rev_map Obs.Metrics.snapshot !registries in
+      Obs.Json.to_file file (Obs.Metrics.to_json (Obs.Metrics.merge snaps));
+      Format.eprintf "metrics: %d registries merged into %s@."
+        (List.length snaps) file
+
 (* --- figures --- *)
 
 let figures_cmd =
@@ -26,11 +90,14 @@ let figures_cmd =
     Arg.(value & pos 0 string "all" & info [] ~docv:"FIGURE"
            ~doc:"Which figure to reproduce: f1 f2 f3 f4 f5 f7 f8 or all.")
   in
-  let run which = Figures.run which in
+  let run obs which =
+    Figures.run which;
+    finish obs
+  in
   Cmd.v
     (Cmd.info "figures"
        ~doc:"Reproduce the paper's figures as executable, checked artifacts")
-    Term.(const run $ which)
+    Term.(const run $ obs_term $ which)
 
 (* --- run --- *)
 
@@ -79,7 +146,7 @@ let run_cmd =
          & info [ "script" ] ~docv:"FILE"
              ~doc:"Replay a saved script instead of generating one.")
   in
-  let run steps objects seed rate impl crash_frac dump save load =
+  let run obs steps objects seed rate impl crash_frac dump save load =
     let script =
       match load with
       | Some file ->
@@ -136,14 +203,15 @@ let run_cmd =
       | Ok () ->
           Format.printf "log satisfies the undo/redo obligations (4.1).@."
       | Error e -> Format.printf "RECOVERY OBLIGATION VIOLATED: %s@." e
-    end
+    end;
+    finish obs
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run a random workload, crash, recover, verify against the oracle")
     Term.(
-      const run $ steps $ objects $ seed $ rate $ impl $ crash_frac $ dump
-      $ save $ load)
+      const run $ obs_term $ steps $ objects $ seed $ rate $ impl $ crash_frac
+      $ dump $ save $ load)
 
 (* --- compare --- *)
 
@@ -159,7 +227,7 @@ let compare_cmd =
     Arg.(value & opt float 0.12
          & info [ "delegation-rate" ] ~doc:"Delegation weight in the mix.")
   in
-  let run steps objects seed rate =
+  let run obs steps objects seed rate =
     let spec =
       { (spec_of ~objects ~steps ~delegation_rate:rate) with p_checkpoint = 0.0 }
     in
@@ -185,12 +253,13 @@ let compare_cmd =
         Format.printf "%-6s | %14d %10d %9.2f | %10.2f %9d %9d %9d %9d@." name
           np.rewrites np.random_seeks np_ms dt r.forward_records
           r.backward_examined r.undos r.log_io.random_seeks)
-      [ ("rh", Config.Rh); ("lazy", Config.Lazy); ("eager", Config.Eager) ]
+      [ ("rh", Config.Rh); ("lazy", Config.Lazy); ("eager", Config.Eager) ];
+    finish obs
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Recover the same crashed workload under rh, lazy, and eager")
-    Term.(const run $ steps $ objects $ seed $ rate)
+    Term.(const run $ obs_term $ steps $ objects $ seed $ rate)
 
 (* --- history --- *)
 
@@ -204,7 +273,7 @@ let history_cmd =
     Arg.(value & opt float 0.25
          & info [ "delegation-rate" ] ~doc:"Delegation weight.")
   in
-  let run ob steps seed rate =
+  let run obs ob steps seed rate =
     let spec =
       { (spec_of ~objects:32 ~steps ~delegation_rate:rate) with
         Gen.terminate_all = false }
@@ -241,7 +310,7 @@ let history_cmd =
               Ariesrh_types.Xid.pp by
               (Ariesrh_types.Lsn.to_int undone))
       (Db.object_history db oid);
-    match Db.responsible_now db oid with
+    (match Db.responsible_now db oid with
     | [] -> Format.printf "@.no live responsibility (all settled).@."
     | pairs ->
         Format.printf "@.live responsibility now:@.";
@@ -249,12 +318,13 @@ let history_cmd =
           (fun (owner, invoker) ->
             Format.printf "  %a answers for %a's updates@."
               Ariesrh_types.Xid.pp owner Ariesrh_types.Xid.pp invoker)
-          pairs
+          pairs);
+    finish obs
   in
   Cmd.v
     (Cmd.info "history"
        ~doc:"Show an object's update/delegation/compensation history")
-    Term.(const run $ ob $ steps $ seed $ rate)
+    Term.(const run $ obs_term $ ob $ steps $ seed $ rate)
 
 (* --- sim --- *)
 
@@ -274,7 +344,7 @@ let sim_cmd =
                                             delegating its work.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed.") in
-  let run clients txns objects rate seed =
+  let run obs clients txns objects rate seed =
     let db =
       Db.create (Config.make ~n_objects:(max 32 objects) ~buffer_capacity:32 ())
     in
@@ -286,12 +356,13 @@ let sim_cmd =
       "committed=%d waits=%d deadlocks=%d victims=%d delegations=%d@."
       o.committed o.waits o.deadlocks o.aborted o.delegations;
     Format.printf "state %s the committed-increment sums@."
-      (if o.state_ok then "matches" else "DOES NOT MATCH")
+      (if o.state_ok then "matches" else "DOES NOT MATCH");
+    finish obs
   in
   Cmd.v
     (Cmd.info "sim"
        ~doc:"Closed-loop contention simulator with deadlock detection")
-    Term.(const run $ clients $ txns $ objects $ rate $ seed)
+    Term.(const run $ obs_term $ clients $ txns $ objects $ rate $ seed)
 
 (* --- crash-storm --- *)
 
@@ -335,12 +406,20 @@ let storm_cmd =
     Arg.(value & opt int 4
          & info [ "clients" ] ~doc:"Simulated storm concurrent clients.")
   in
-  let run steps objects seeds seed0 rate impl depth crash_step sim_steps
-      clients =
+  let forensic_dir =
+    Arg.(value & opt string "."
+         & info [ "forensic-dir" ] ~docv:"DIR"
+             ~doc:"Directory for forensic failure dumps (event trail, \
+                   per-mismatch lineage, metrics); $(b,none) disables them.")
+  in
+  let run obs steps objects seeds seed0 rate impl depth crash_step sim_steps
+      clients forensic_dir =
     let base =
       { Crash_storm.default_config with
         recovery_crash_depth = depth;
-        crash_step = max 1 crash_step }
+        crash_step = max 1 crash_step;
+        forensic_dir =
+          (if forensic_dir = "none" then None else Some forensic_dir) }
     in
     let spec = spec_of ~objects ~steps ~delegation_rate:rate in
     let total = ref None in
@@ -363,9 +442,10 @@ let storm_cmd =
            ~sim ())
     end;
     match !total with
-    | None -> ()
+    | None -> finish obs
     | Some t ->
         Format.printf "@.total:@.  %a@." Crash_storm.pp_outcome t;
+        finish obs;
         if not (Crash_storm.ok t) then exit 1
   in
   Cmd.v
@@ -373,8 +453,8 @@ let storm_cmd =
        ~doc:"Crash at every I/O point, re-crash during recovery, tear pages \
              and log tails; verify every restart against the oracle")
     Term.(
-      const run $ steps $ objects $ seeds $ seed0 $ rate $ impl $ depth
-      $ crash_step $ sim_steps $ clients)
+      const run $ obs_term $ steps $ objects $ seeds $ seed0 $ rate $ impl
+      $ depth $ crash_step $ sim_steps $ clients $ forensic_dir)
 
 (* --- pressure-storm --- *)
 
@@ -414,16 +494,18 @@ let pressure_storm_cmd =
          & info [ "engine" ]
              ~doc:"Engine: rh, eager, or lazy. Default: all three.")
   in
-  let run seeds seed0 steps clients capacity crash_every depth rate impl =
+  let forensic_dir =
+    Arg.(value & opt string "."
+         & info [ "forensic-dir" ] ~docv:"DIR"
+             ~doc:"Directory for forensic failure dumps (event trail, \
+                   per-mismatch lineage, metrics); $(b,none) disables them.")
+  in
+  let run obs seeds seed0 steps clients capacity crash_every depth rate impl
+      forensic_dir =
     let engines =
       match impl with
       | Some i -> [ i ]
       | None -> [ Config.Rh; Config.Lazy; Config.Eager ]
-    in
-    let name = function
-      | Config.Rh -> "rh"
-      | Config.Eager -> "eager"
-      | Config.Lazy -> "lazy"
     in
     let failed = ref false in
     List.iter
@@ -438,14 +520,18 @@ let pressure_storm_cmd =
               capacity_bytes = capacity;
               crash_every;
               recovery_crash_depth = depth;
-              p_delegate = rate }
+              p_delegate = rate;
+              forensic_dir =
+                (if forensic_dir = "none" then None else Some forensic_dir) }
           in
           let o = Pressure_storm.run ~config () in
-          Format.printf "%s pressure storm (seed %d):@.  %a@.@." (name impl)
-            (seed0 + i) Pressure_storm.pp_outcome o;
+          Format.printf "%s pressure storm (seed %d):@.  %a@.@."
+            (Forensics.engine_name impl) (seed0 + i) Pressure_storm.pp_outcome
+            o;
           if not (Pressure_storm.ok o) then failed := true
         done)
       engines;
+    finish obs;
     if !failed then exit 1
   in
   Cmd.v
@@ -454,14 +540,62 @@ let pressure_storm_cmd =
              checkpoints, truncates and applies backpressure while clients \
              retry with backoff; the oracle is checked after every restart")
     Term.(
-      const run $ seeds $ seed0 $ steps $ clients $ capacity $ crash_every
-      $ depth $ rate $ impl)
+      const run $ obs_term $ seeds $ seed0 $ steps $ clients $ capacity
+      $ crash_every $ depth $ rate $ impl $ forensic_dir)
+
+(* --- metrics --- *)
+
+let metrics_cmd =
+  let steps =
+    Arg.(value & opt int 400 & info [ "steps" ] ~doc:"Workload steps.")
+  in
+  let objects =
+    Arg.(value & opt int 64 & info [ "objects" ] ~doc:"Number of objects.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.")
+  in
+  let rate =
+    Arg.(value & opt float 0.2
+         & info [ "delegation-rate" ] ~doc:"Delegation weight in the mix.")
+  in
+  let impl =
+    Arg.(value & opt impl_conv Config.Rh
+         & info [ "engine" ] ~doc:"Engine: rh, eager, or lazy.")
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("openmetrics", `Openmetrics); ("json", `Json) ])
+             `Openmetrics
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Exposition format: openmetrics (Prometheus text) or json.")
+  in
+  let run obs impl steps objects seed rate format =
+    let spec = spec_of ~objects ~steps ~delegation_rate:rate in
+    let script = Gen.generate spec ~seed:(Int64.of_int seed) in
+    let db = Driver.fresh_db ~impl ~n_objects:objects () in
+    Driver.run db script;
+    Db.checkpoint db;
+    Db.crash db;
+    ignore (Db.recover db);
+    let samples = Obs.Metrics.snapshot (Db.metrics db) in
+    (match format with
+    | `Openmetrics -> print_string (Obs.Metrics.to_openmetrics samples)
+    | `Json -> print_endline (Obs.Json.to_string (Obs.Metrics.to_json samples)));
+    finish obs
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a canned workload (with a checkpoint and a crash-restart) \
+             and export every registered metric")
+    Term.(
+      const run $ obs_term $ impl $ steps $ objects $ seed $ rate $ format)
 
 let main =
   Cmd.group
     (Cmd.info "ariesrh" ~version:"1.0.0"
        ~doc:"Delegation by efficiently rewriting history (ARIES/RH)")
     [ figures_cmd; run_cmd; compare_cmd; sim_cmd; history_cmd; storm_cmd;
-      pressure_storm_cmd ]
+      pressure_storm_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -70,7 +70,9 @@ let env_of log =
       ~wal_flush:(fun _ -> ())
       ()
   in
-  Env.make ~log ~pool ~place:(fun oid -> (Page_id.of_int 0, Oid.to_int oid))
+  Env.make ~log ~pool
+    ~place:(fun oid -> (Page_id.of_int 0, Oid.to_int oid))
+    ()
 
 let fig1_2 () =
   Format.printf "=== Figures 1 & 2: rewriting history, operationally ===@.@.";

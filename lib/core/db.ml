@@ -5,6 +5,7 @@ open Ariesrh_lock
 open Ariesrh_txn
 open Ariesrh_recovery
 module Fault = Ariesrh_fault.Fault
+module Obs = Ariesrh_obs
 
 (* Per-transaction rollback reservation: space set aside in the log so
    that abort (or restart undo of the same work) can always write its
@@ -16,6 +17,19 @@ module Fault = Ariesrh_fault.Fault
 type txn_reserve = {
   mutable base_bytes : int;
   mutable entries : (int * int * int) list;
+}
+
+(* Engine-level tallies, registered with the metrics registry like every
+   other component's stat record: plain field increments on the hot
+   path, read through a closure at snapshot time. *)
+type db_stats = {
+  mutable begins : int;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable delegations : int;
+  mutable delegate_ops : int;
+  mutable checkpoints : int;
+  mutable recoveries : int;
 }
 
 type t = {
@@ -35,14 +49,33 @@ type t = {
   mutable refuse_begins : bool;  (* governor backpressure flags *)
   mutable refuse_delegations : bool;
   env : Env.t;
+  ring : Obs.Ring.t;
+  metrics : Obs.Metrics.t Lazy.t;
+      (* the registry (and its ~30 read closures) is built on first
+         access, so creating a database costs no registration work *)
+  stats : db_stats;
 }
+
+(* Trace emission is guarded at every call site so a disabled ring (the
+   default) costs one load and branch, with no event allocation. *)
+let tracing t = Obs.Ring.enabled t.ring
+
+let obs_op : Record.op -> Obs.Event.op = function
+  | Record.Add d -> Obs.Event.Add d
+  | Record.Set { before; after } -> Obs.Event.Set { before; after }
+
+(* Session hook: lets a CLI collect every database a command creates so
+   [--metrics-json] can aggregate their registries at exit. *)
+let on_create : (t -> unit) option ref = ref None
+let set_create_hook f = on_create := f
 
 let place_of config oid =
   let i = Oid.to_int oid in
   (Page_id.of_int (i / config.Config.objects_per_page),
    i mod config.Config.objects_per_page)
 
-let create ?(fault = Fault.none ()) config =
+let create ?(fault = Fault.none ()) ?(tracing = false)
+    ?(trace_capacity = Obs.Ring.default_capacity) config =
   Config.validate config;
   let disk =
     Disk.create ~fault
@@ -59,28 +92,87 @@ let create ?(fault = Fault.none ()) config =
       ~wal_flush:(fun lsn -> Log_store.flush log ~upto:lsn)
       ()
   in
-  let env = Env.make ~log ~pool ~place:(place_of config) in
+  let ring = Obs.Ring.create ~capacity:trace_capacity ~enabled:tracing () in
+  (* stamp every trace event with the fault injector's logical I/O
+     clock, so trace positions line up with armed crash points *)
+  Obs.Ring.set_clock ring (fun () -> (Fault.stats fault).Fault.ios);
+  Fault.set_tracer fault
+    (Some
+       (fun kind site ->
+         Obs.Ring.emit ring (Obs.Event.Fault { kind; site })));
+  let env = Env.make ~ring ~log ~pool ~place:(place_of config) () in
   (* A torn page found by any fetch is repaired in place: restore the
      before-image and replay the log for that page. *)
   Buffer_pool.set_repair pool (fun pid shadow -> Repair.page env pid shadow);
-  {
-    config;
-    fault;
-    disk;
-    log;
-    pool;
-    locks = Lock_table.create ();
-    tt = Txn_table.create ();
-    next_xid = 1;
-    permits = [];
-    reserves = Hashtbl.create 16;
-    refuse_begins = false;
-    refuse_delegations = false;
-    env;
-  }
+  let stats =
+    {
+      begins = 0;
+      commits = 0;
+      aborts = 0;
+      delegations = 0;
+      delegate_ops = 0;
+      checkpoints = 0;
+      recoveries = 0;
+    }
+  in
+  let metrics =
+    lazy
+      (let metrics = Obs.Metrics.create () in
+       Log_store.register_metrics log metrics;
+       Disk.register_metrics disk metrics;
+       Buffer_pool.register_metrics pool metrics;
+       Fault.register_metrics fault metrics;
+       let module M = Obs.Metrics in
+       M.counter metrics ~help:"transactions begun"
+         "ariesrh_txn_begins_total" (fun () -> stats.begins);
+       M.counter metrics ~help:"transactions committed"
+         "ariesrh_txn_commits_total" (fun () -> stats.commits);
+       M.counter metrics ~help:"transactions aborted"
+         "ariesrh_txn_aborts_total" (fun () -> stats.aborts);
+       M.counter metrics ~help:"whole-object delegations"
+         "ariesrh_delegations_total" (fun () -> stats.delegations);
+       M.counter metrics ~help:"operation-granularity delegations"
+         "ariesrh_delegate_ops_total" (fun () -> stats.delegate_ops);
+       M.counter metrics ~help:"fuzzy checkpoints taken"
+         "ariesrh_checkpoints_total" (fun () -> stats.checkpoints);
+       M.counter metrics ~help:"restart recoveries run"
+         "ariesrh_recoveries_total" (fun () -> stats.recoveries);
+       M.counter metrics ~help:"torn pages repaired" "ariesrh_repairs_total"
+         (fun () -> env.Env.repairs);
+       M.counter metrics ~help:"trace events emitted"
+         "ariesrh_trace_events_total" (fun () -> Obs.Ring.total ring);
+       M.counter metrics ~help:"trace events lost to ring wraparound"
+         "ariesrh_trace_dropped_total" (fun () -> Obs.Ring.dropped ring);
+       metrics)
+  in
+  let t =
+    {
+      config;
+      fault;
+      disk;
+      log;
+      pool;
+      locks = Lock_table.create ();
+      tt = Txn_table.create ();
+      next_xid = 1;
+      permits = [];
+      reserves = Hashtbl.create 16;
+      refuse_begins = false;
+      refuse_delegations = false;
+      env;
+      ring;
+      metrics;
+      stats;
+    }
+  in
+  (match !on_create with None -> () | Some f -> f t);
+  t
 
 let config t = t.config
 let fault t = t.fault
+let ring t = t.ring
+let metrics t = Lazy.force t.metrics
+let set_tracing t b = Obs.Ring.set_enabled t.ring b
 let log_store t = t.log
 let disk_stats t = Disk.stats t.disk
 
@@ -231,6 +323,8 @@ let begin_txn t =
   info.last_lsn <- lsn;
   info.begin_lsn <- lsn;
   (ledger_of t xid).base_bytes <- base;
+  t.stats.begins <- t.stats.begins + 1;
+  if tracing t then Obs.Ring.emit t.ring (Obs.Event.Begin { xid; lsn });
   xid
 
 let is_active t xid =
@@ -248,10 +342,13 @@ let commit t xid =
   (* commit must never be refused for log space: it only shrinks the
      obligation set, so it draws on the reservation taken at begin *)
   release_ledger t xid;
-  ignore (append_on_chain_reserved t info Record.Commit);
+  let commit_lsn = append_on_chain_reserved t info Record.Commit in
   info.status <- Txn_table.Committed;
   Log_store.flush t.log ~upto:info.last_lsn;
   ignore (append_on_chain_reserved t info Record.End);
+  t.stats.commits <- t.stats.commits + 1;
+  if tracing t then
+    Obs.Ring.emit t.ring (Obs.Event.Commit { xid; lsn = commit_lsn });
   finish t info
 
 (* rollback over the transaction's scopes (§3.5 abort), shared by [Rh]
@@ -267,6 +364,10 @@ let rollback_scopes ?floor t (info : Txn_table.info) =
       append_on_chain_reserved t info
         (Record.Clr { upd; undone; invoker; undo_next })
     in
+    if tracing t then
+      Obs.Ring.emit t.ring
+        (Obs.Event.Clr
+           { xid = info.xid; invoker; oid = upd.Record.oid; lsn; undone });
     info.undo_next <- undo_next;
     lsn
   in
@@ -301,6 +402,16 @@ let rollback_chain ?(floor = Lsn.nil) t (info : Txn_table.info) =
                  undo_next = record.Record.prev;
                })
         in
+        if tracing t then
+          Obs.Ring.emit t.ring
+            (Obs.Event.Clr
+               {
+                 xid = info.xid;
+                 invoker = info.xid;
+                 oid = u.Record.oid;
+                 lsn = clr_lsn;
+                 undone = !k;
+               });
         info.undo_next <- record.Record.prev;
         Apply.force t.env clr_lsn inv
     | Record.Clr { undone; _ } ->
@@ -340,10 +451,13 @@ let abort t xid =
   (match t.config.Config.impl with
   | Config.Rh | Config.Lazy -> rollback_scopes t info
   | Config.Eager -> rollback_chain t info);
-  ignore (append_on_chain_reserved t info Record.Abort);
+  let abort_lsn = append_on_chain_reserved t info Record.Abort in
   Log_store.flush t.log ~upto:info.last_lsn;
   ignore (append_on_chain_reserved t info Record.End);
   release_ledger t xid;
+  t.stats.aborts <- t.stats.aborts + 1;
+  if tracing t then
+    Obs.Ring.emit t.ring (Obs.Event.Abort { xid; lsn = abort_lsn });
   finish t info
 
 (* --- object operations --- *)
@@ -372,6 +486,9 @@ let log_update t (info : Txn_table.info) oid op =
   info.undo_next <- lsn;
   info.ob_list <- Ob_list.note_update info.ob_list ~owner:info.xid ~oid lsn;
   Apply.force t.env lsn u;
+  if tracing t then
+    Obs.Ring.emit t.ring
+      (Obs.Event.Update { xid = info.xid; oid; lsn; op = obs_op op });
   ignore slot
 
 let write t xid oid v =
@@ -412,7 +529,10 @@ let delegate t ~from_ ~to_ oid =
                 { tee = to_; tee_prev = tee_info.last_lsn; oid; op = None }))
       in
       tor_info.last_lsn <- lsn;
-      tee_info.last_lsn <- lsn
+      tee_info.last_lsn <- lsn;
+      if tracing t then
+        Obs.Ring.emit t.ring
+          (Obs.Event.Delegate { from_; to_; oid; lsn; op_lsn = None })
   | Config.Eager ->
       (* secure space for both anchor records before surgery mutates the
          chains; [Log_full] here aborts the delegation cleanly *)
@@ -425,10 +545,14 @@ let delegate t ~from_ ~to_ oid =
          the volatile chain head pointing at it dies with the crash. Make
          the new chain heads durable — an anchor record per chain, then a
          forced flush. This is part of eager delegation's real cost. *)
-      ignore (append_on_chain_reserved t tor_info Record.Anchor);
+      let anchor_lsn = append_on_chain_reserved t tor_info Record.Anchor in
       ignore (append_on_chain_reserved t tee_info Record.Anchor);
       Log_store.unreserve t.log ~bytes:anchors ~records:2;
       Log_store.flush t.log ~upto:(Log_store.head t.log);
+      if tracing t then
+        Obs.Ring.emit t.ring
+          (Obs.Event.Delegate
+             { from_; to_; oid; lsn = anchor_lsn; op_lsn = None });
       (* after surgery the chains are the only authority; undo must start
          at their heads (the old undo_next may point at a moved record,
          or miss records moved in) — and checkpoints persist these *)
@@ -441,7 +565,14 @@ let delegate t ~from_ ~to_ oid =
       tee_info.ob_list <-
         Ob_list.receive tee_info.ob_list ~oid ~from_ entry.scopes);
   move_reserved_object t ~from_ ~to_ oid;
-  if t.config.Config.locking then Lock_table.transfer t.locks oid ~from_ ~to_
+  t.stats.delegations <- t.stats.delegations + 1;
+  if tracing t then
+    Obs.Ring.emit t.ring (Obs.Event.Scope_transfer { from_; to_; oid });
+  if t.config.Config.locking then begin
+    Lock_table.transfer t.locks oid ~from_ ~to_;
+    if tracing t then
+      Obs.Ring.emit t.ring (Obs.Event.Lock_transfer { from_; to_; oid })
+  end
 
 let delegate_update t ~from_ ~to_ oid op_lsn =
   check_oid t oid;
@@ -503,6 +634,12 @@ let delegate_update t ~from_ ~to_ oid op_lsn =
       tor_info.ob_list <- rest;
       tee_info.ob_list <- Ob_list.receive tee_info.ob_list ~oid ~from_ [ moved ];
       move_reserved_update t ~from_ ~to_ op_lsn;
+      t.stats.delegate_ops <- t.stats.delegate_ops + 1;
+      if tracing t then begin
+        Obs.Ring.emit t.ring
+          (Obs.Event.Delegate { from_; to_; oid; lsn; op_lsn = Some op_lsn });
+        Obs.Ring.emit t.ring (Obs.Event.Scope_transfer { from_; to_; oid })
+      end;
       if t.config.Config.locking then begin
         match Lock_table.acquire t.locks to_ oid Mode.I with
         | Lock_table.Granted -> ()
@@ -524,7 +661,9 @@ let responsible_objects t xid = Ob_list.objects (info_exn t xid).ob_list
 let checkpoint t =
   (* checkpoints relieve log pressure — refusing one for log space would
      deadlock the governor, so they bypass admission *)
-  ignore (Log_store.append_reserved t.log (Record.mk_system Record.Ckpt_begin));
+  let begin_lsn =
+    Log_store.append_reserved t.log (Record.mk_system Record.Ckpt_begin)
+  in
   let ck_txns, ck_obs = Txn_table.to_ckpt t.tt in
   let ck_dpt = Buffer_pool.dirty_page_table t.pool in
   let lsn =
@@ -532,7 +671,10 @@ let checkpoint t =
       (Record.mk_system (Record.Ckpt_end { Record.ck_txns; ck_dpt; ck_obs }))
   in
   Log_store.flush t.log ~upto:lsn;
-  Log_store.set_master t.log lsn
+  Log_store.set_master t.log lsn;
+  t.stats.checkpoints <- t.stats.checkpoints + 1;
+  if tracing t then
+    Obs.Ring.emit t.ring (Obs.Event.Checkpoint { begin_lsn; end_lsn = lsn })
 
 let truncation_horizon t =
   let master = Log_store.master t.log in
@@ -556,7 +698,13 @@ let truncation_horizon t =
 let truncate_log t =
   let horizon = truncation_horizon t in
   if Lsn.is_nil horizon then 0
-  else Log_store.truncate t.log ~below:(Lsn.min horizon (Log_store.durable t.log))
+  else begin
+    let below = Lsn.min horizon (Log_store.durable t.log) in
+    let reclaimed = Log_store.truncate t.log ~below in
+    if reclaimed > 0 && tracing t then
+      Obs.Ring.emit t.ring (Obs.Event.Truncate { below; reclaimed });
+    reclaimed
+  end
 
 (* Live transactions that keep the truncation horizon from advancing:
    each active transaction with the LSN it pins (its begin record or the
@@ -587,6 +735,9 @@ let set_backpressure t ~begins ~delegations =
 let backpressure t = (t.refuse_begins, t.refuse_delegations)
 
 let crash t =
+  if tracing t then
+    Obs.Ring.emit t.ring
+      (Obs.Event.Crash { durable = Log_store.durable t.log });
   Log_store.crash t.log;
   Buffer_pool.crash t.pool;
   t.locks <- Lock_table.create ();
@@ -613,6 +764,9 @@ let backup t =
   }
 
 let media_failure t =
+  if tracing t then
+    Obs.Ring.emit t.ring
+      (Obs.Event.Crash { durable = Log_store.durable t.log });
   let blank = Page.create ~slots:t.config.Config.objects_per_page in
   for i = 0 to Disk.page_count t.disk - 1 do
     Disk.write_page t.disk (Page_id.of_int i) blank
@@ -641,6 +795,7 @@ let recover t =
   t.tt <- Txn_table.create ();
   t.locks <- Lock_table.create ();
   t.permits <- [];
+  t.stats.recoveries <- t.stats.recoveries + 1;
   report
 
 let restore_media t (b : backup) =

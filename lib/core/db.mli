@@ -10,13 +10,42 @@ open Ariesrh_types
 
 type t
 
-val create : ?fault:Ariesrh_fault.Fault.t -> Config.t -> t
+val create :
+  ?fault:Ariesrh_fault.Fault.t ->
+  ?tracing:bool ->
+  ?trace_capacity:int ->
+  Config.t ->
+  t
 (** [fault] (default inert) is threaded into the disk, the log store and
     the buffer pool; a torn-page repair callback is installed so that
-    checksum-failing pages are repaired transparently on fetch. *)
+    checksum-failing pages are repaired transparently on fetch.
+
+    [tracing] (default [false]) enables the structured trace ring from
+    the first operation; [trace_capacity] bounds its memory (default
+    {!Ariesrh_obs.Ring.default_capacity} entries). Every database also
+    carries a metrics registry ({!metrics}) into which the log store,
+    disk, buffer pool, fault injector and the engine's own tallies are
+    registered at creation — snapshotting it is always available and
+    costs nothing until read. *)
 
 val config : t -> Config.t
 val fault : t -> Ariesrh_fault.Fault.t
+
+(** {1 Observability} *)
+
+val ring : t -> Ariesrh_obs.Ring.t
+(** The structured trace ring. Disabled by default; see {!set_tracing}. *)
+
+val metrics : t -> Ariesrh_obs.Metrics.t
+(** The database's metrics registry (pull-based; snapshot to read). *)
+
+val set_tracing : t -> bool -> unit
+(** Toggle trace-event capture at runtime. *)
+
+val set_create_hook : (t -> unit) option -> unit
+(** Session-global hook invoked with every database subsequently
+    created; the CLI uses it to aggregate metrics across the many
+    databases a command may build. [None] uninstalls. *)
 
 (** {1 Transactions} *)
 

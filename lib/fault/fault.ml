@@ -36,6 +36,8 @@ type t = {
   mutable squeeze_at : int;  (* absolute append count; -1 = disarmed *)
   mutable squeeze_keep : float;
   stats : stats;
+  mutable tracer : (Ariesrh_obs.Event.fault_kind -> string -> unit) option;
+      (* observability hook: fires on every fault; [None] costs nothing *)
 }
 
 let make live seed =
@@ -53,6 +55,7 @@ let make live seed =
     squeeze_keep = 1.0;
     stats = { ios = 0; crashes = 0; torn_writes = 0; torn_flushes = 0;
               squeezes = 0 };
+    tracer = None;
   }
 
 let none () = make false 0L
@@ -75,6 +78,24 @@ let arm_squeeze_in t ~appends ~keep =
 
 let squeeze_armed t = t.squeeze_at >= 0
 let stats t = t.stats
+let set_tracer t f = t.tracer <- f
+
+let fire t kind site =
+  match t.tracer with None -> () | Some f -> f kind site
+
+let register_metrics t m =
+  let module M = Ariesrh_obs.Metrics in
+  let s = t.stats in
+  M.counter m ~help:"I/O operations observed" "ariesrh_fault_ios_total"
+    (fun () -> s.ios);
+  M.counter m ~help:"injected crashes fired" "ariesrh_fault_crashes_total"
+    (fun () -> s.crashes);
+  M.counter m ~help:"torn data page writes"
+    "ariesrh_fault_torn_writes_total" (fun () -> s.torn_writes);
+  M.counter m ~help:"torn log flush tails"
+    "ariesrh_fault_torn_flushes_total" (fun () -> s.torn_flushes);
+  M.counter m ~help:"log-capacity squeezes fired"
+    "ariesrh_fault_squeezes_total" (fun () -> s.squeezes)
 
 let fault_points t =
   t.stats.crashes + t.stats.torn_writes + t.stats.torn_flushes
@@ -94,10 +115,18 @@ let tick t =
 let die t site = raise (Injected_crash { io = t.stats.ios; site })
 
 let on_disk_read t =
-  if enabled t then if tick t then die t Disk_read
+  if enabled t then
+    if tick t then begin
+      fire t Ariesrh_obs.Event.Crash_point "disk-read";
+      die t Disk_read
+    end
 
 let on_pool_miss t =
-  if enabled t then if tick t then die t Pool_miss
+  if enabled t then
+    if tick t then begin
+      fire t Ariesrh_obs.Event.Crash_point "pool-miss";
+      die t Pool_miss
+    end
 
 let no_write = { torn_keep = None; crash = false }
 
@@ -113,10 +142,12 @@ let on_disk_write t ~slots =
     let torn_keep =
       if tear && slots > 0 then begin
         t.stats.torn_writes <- t.stats.torn_writes + 1;
+        fire t Ariesrh_obs.Event.Torn_write "disk-write";
         Some (Prng.int t.rng slots)
       end
       else None
     in
+    if crash then fire t Ariesrh_obs.Event.Crash_point "disk-write";
     { torn_keep; crash }
   end
 
@@ -130,6 +161,7 @@ let on_log_append t =
     if t.squeeze_at >= 0 && t.appends >= t.squeeze_at then begin
       t.squeeze_at <- -1;
       t.stats.squeezes <- t.stats.squeezes + 1;
+      fire t Ariesrh_obs.Event.Squeeze "log-append";
       Some t.squeeze_keep
     end
     else None
@@ -144,6 +176,7 @@ let on_log_flush t ~last_len =
     let tear =
       if crash && t.tear_log_on_crash && last_len > 0 then begin
         t.stats.torn_flushes <- t.stats.torn_flushes + 1;
+        fire t Ariesrh_obs.Event.Torn_flush "log-flush";
         if Prng.bool t.rng then
           (* keep at least 0 and at most last_len - 1 bytes *)
           Some (Truncate_tail (1 + Prng.int t.rng last_len))
@@ -151,5 +184,6 @@ let on_log_flush t ~last_len =
       end
       else None
     in
+    if crash then fire t Ariesrh_obs.Event.Crash_point "log-flush";
     { tear; crash }
   end

@@ -116,3 +116,13 @@ val die : t -> site -> 'a
 val stats : t -> stats
 val fault_points : t -> int
 (** Total faults fired so far: crashes + torn writes + torn flushes. *)
+
+val set_tracer :
+  t -> (Ariesrh_obs.Event.fault_kind -> string -> unit) option -> unit
+(** Observability hook, called with (fault kind, site name) at every
+    fault firing — crash points included, just before [Injected_crash]
+    is raised or the crash decision is returned. [None] (the default)
+    costs nothing on the hot path. *)
+
+val register_metrics : t -> Ariesrh_obs.Metrics.t -> unit
+(** Register the injector's counters with the metrics registry. *)

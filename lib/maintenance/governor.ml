@@ -1,6 +1,7 @@
 open Ariesrh_types
 open Ariesrh_wal
 open Ariesrh_core
+module Obs = Ariesrh_obs
 
 type policy = Refuse_delegations | Refuse_begins | Victimize_oldest
 
@@ -62,8 +63,11 @@ type t = {
   mutable victims : Xid.t list;  (* every transaction ever victimized *)
 }
 
+let policy_name p = Format.asprintf "%a" pp_policy p
+
 let create ?(config = default_config) db =
   validate_config config;
+  let t =
   {
     config;
     db;
@@ -82,6 +86,32 @@ let create ?(config = default_config) db =
     level = 0;
     victims = [];
   }
+  in
+  let m = Db.metrics db in
+  let module M = Obs.Metrics in
+  let s = t.stats in
+  M.counter m ~help:"governor evaluations" "ariesrh_governor_ticks_total"
+    (fun () -> s.ticks);
+  M.counter m ~help:"checkpoints taken by the governor"
+    "ariesrh_governor_checkpoints_total" (fun () -> s.checkpoints);
+  M.counter m ~help:"log truncations performed"
+    "ariesrh_governor_truncations_total" (fun () -> s.truncations);
+  M.counter m ~help:"records reclaimed by truncation"
+    "ariesrh_governor_records_truncated_total" (fun () ->
+      s.records_truncated);
+  M.counter m ~help:"soft watermark trips"
+    "ariesrh_governor_soft_trips_total" (fun () -> s.soft_trips);
+  M.counter m ~help:"hard watermark trips"
+    "ariesrh_governor_hard_trips_total" (fun () -> s.hard_trips);
+  M.counter m ~help:"transactions victimized under hard pressure"
+    "ariesrh_governor_victims_total" (fun () -> s.victims);
+  M.gauge m ~help:"policies currently engaged" "ariesrh_governor_level"
+    (fun () -> t.level);
+  t
+
+let emit t ev =
+  let ring = Db.ring t.db in
+  if Obs.Ring.enabled ring then Obs.Ring.emit ring (Obs.Event.Governor ev)
 
 let stats t = t.stats
 let level t = t.level
@@ -116,14 +146,17 @@ let maybe_checkpoint t =
     Db.shutdown t.db;
     Db.checkpoint t.db;
     t.last_ckpt_head <- Lsn.to_int (Log_store.head (Db.log_store t.db));
-    t.stats.checkpoints <- t.stats.checkpoints + 1
+    t.stats.checkpoints <- t.stats.checkpoints + 1;
+    emit t Obs.Event.Gov_checkpoint
   end
 
 let reclaim t =
+  let below_before = Db.truncation_horizon t.db in
   let n = Db.truncate_log t.db in
   if n > 0 then begin
     t.stats.truncations <- t.stats.truncations + 1;
-    t.stats.records_truncated <- t.stats.records_truncated + n
+    t.stats.records_truncated <- t.stats.records_truncated + n;
+    emit t (Obs.Event.Gov_truncate { below = below_before; reclaimed = n })
   end
 
 let victimize t =
@@ -135,18 +168,23 @@ let victimize t =
       Db.abort t.db xid;
       t.stats.victims <- t.stats.victims + 1;
       t.victims <- xid :: t.victims;
+      emit t (Obs.Event.Victimize xid);
       (* the victim's scopes no longer pin the horizon *)
       maybe_checkpoint t;
       reclaim t
 
 let evaluate t =
   t.stats.ticks <- t.stats.ticks + 1;
+  let deescalate t =
+    (match List.nth_opt t.config.policies (t.level - 1) with
+    | Some p -> emit t (Obs.Event.Deescalate (policy_name p))
+    | None -> ());
+    t.level <- 0;
+    apply_flags t
+  in
   let p = Db.log_pressure t.db in
   if p < t.config.soft then begin
-    if t.level > 0 then begin
-      t.level <- 0;
-      apply_flags t
-    end
+    if t.level > 0 then deescalate t
   end
   else begin
     t.stats.soft_trips <- t.stats.soft_trips + 1;
@@ -155,15 +193,18 @@ let evaluate t =
     let p = Db.log_pressure t.db in
     if p >= t.config.hard then begin
       t.stats.hard_trips <- t.stats.hard_trips + 1;
+      let before = t.level in
       t.level <- min (t.level + 1) (List.length t.config.policies);
+      if t.level > before then (
+        match List.nth_opt t.config.policies (t.level - 1) with
+        | Some pol -> emit t (Obs.Event.Escalate (policy_name pol))
+        | None -> ());
       apply_flags t;
       if active Victimize_oldest t then victimize t
     end
-    else if p < t.config.soft && t.level > 0 then begin
+    else if p < t.config.soft && t.level > 0 then
       (* hysteresis: drop backpressure only once below the soft mark *)
-      t.level <- 0;
-      apply_flags t
-    end
+      deescalate t
   end
 
 let tick t =

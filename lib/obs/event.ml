@@ -1,0 +1,169 @@
+open Ariesrh_types
+
+type op = Add of int | Set of { before : int; after : int }
+
+type restart_phase = Amputate | Forward | Backward | Repair | Finish
+
+type fault_kind = Crash_point | Torn_write | Torn_flush | Squeeze
+
+type gov_action =
+  | Escalate of string
+  | Deescalate of string
+  | Gov_checkpoint
+  | Gov_truncate of { below : Lsn.t; reclaimed : int }
+  | Victimize of Xid.t
+
+type t =
+  | Begin of { xid : Xid.t; lsn : Lsn.t }
+  | Commit of { xid : Xid.t; lsn : Lsn.t }
+  | Abort of { xid : Xid.t; lsn : Lsn.t }
+  | Update of { xid : Xid.t; oid : Oid.t; lsn : Lsn.t; op : op }
+  | Clr of {
+      xid : Xid.t;  (** transaction whose rollback wrote the CLR *)
+      invoker : Xid.t;  (** original invoker of the compensated update *)
+      oid : Oid.t;
+      lsn : Lsn.t;  (** LSN of the CLR itself *)
+      undone : Lsn.t;  (** LSN of the update it compensates *)
+    }
+  | Delegate of {
+      from_ : Xid.t;
+      to_ : Xid.t;
+      oid : Oid.t;
+      lsn : Lsn.t;
+      op_lsn : Lsn.t option;  (** [None] = whole object *)
+    }
+  | Scope_transfer of { from_ : Xid.t; to_ : Xid.t; oid : Oid.t }
+  | Lock_transfer of { from_ : Xid.t; to_ : Xid.t; oid : Oid.t }
+  | Checkpoint of { begin_lsn : Lsn.t; end_lsn : Lsn.t }
+  | Truncate of { below : Lsn.t; reclaimed : int }
+  | Crash of { durable : Lsn.t }
+  | Restart_enter of restart_phase
+  | Restart_leave of restart_phase
+  | Recovered of { winners : int; losers : int; undos : int }
+  | Governor of gov_action
+  | Fault of { kind : fault_kind; site : string }
+
+let op_str = function
+  | Add d -> Printf.sprintf "add(%+d)" d
+  | Set { before; after } -> Printf.sprintf "set(%d->%d)" before after
+
+let phase_str = function
+  | Amputate -> "amputate"
+  | Forward -> "forward"
+  | Backward -> "backward"
+  | Repair -> "repair"
+  | Finish -> "finish"
+
+let fault_str = function
+  | Crash_point -> "crash"
+  | Torn_write -> "torn-write"
+  | Torn_flush -> "torn-flush"
+  | Squeeze -> "squeeze"
+
+let xi = Xid.to_int
+let oi = Oid.to_int
+let li = Lsn.to_int
+
+let kind_str = function
+  | Begin _ -> "begin"
+  | Commit _ -> "commit"
+  | Abort _ -> "abort"
+  | Update _ -> "update"
+  | Clr _ -> "clr"
+  | Delegate _ -> "delegate"
+  | Scope_transfer _ -> "scope-transfer"
+  | Lock_transfer _ -> "lock-transfer"
+  | Checkpoint _ -> "checkpoint"
+  | Truncate _ -> "truncate"
+  | Crash _ -> "crash"
+  | Restart_enter _ -> "restart-enter"
+  | Restart_leave _ -> "restart-leave"
+  | Recovered _ -> "recovered"
+  | Governor _ -> "governor"
+  | Fault _ -> "fault"
+
+let fields = function
+  | Begin { xid; lsn } | Commit { xid; lsn } | Abort { xid; lsn } ->
+      [ ("xid", Json.Int (xi xid)); ("lsn", Json.Int (li lsn)) ]
+  | Update { xid; oid; lsn; op } ->
+      [
+        ("xid", Json.Int (xi xid));
+        ("oid", Json.Int (oi oid));
+        ("lsn", Json.Int (li lsn));
+        ("op", Json.String (op_str op));
+      ]
+  | Clr { xid; invoker; oid; lsn; undone } ->
+      [
+        ("xid", Json.Int (xi xid));
+        ("invoker", Json.Int (xi invoker));
+        ("oid", Json.Int (oi oid));
+        ("lsn", Json.Int (li lsn));
+        ("undone", Json.Int (li undone));
+      ]
+  | Delegate { from_; to_; oid; lsn; op_lsn } ->
+      [
+        ("from", Json.Int (xi from_));
+        ("to", Json.Int (xi to_));
+        ("oid", Json.Int (oi oid));
+        ("lsn", Json.Int (li lsn));
+        ( "op_lsn",
+          match op_lsn with None -> Json.Null | Some l -> Json.Int (li l) );
+      ]
+  | Scope_transfer { from_; to_; oid } | Lock_transfer { from_; to_; oid } ->
+      [
+        ("from", Json.Int (xi from_));
+        ("to", Json.Int (xi to_));
+        ("oid", Json.Int (oi oid));
+      ]
+  | Checkpoint { begin_lsn; end_lsn } ->
+      [
+        ("begin_lsn", Json.Int (li begin_lsn));
+        ("end_lsn", Json.Int (li end_lsn));
+      ]
+  | Truncate { below; reclaimed } ->
+      [ ("below", Json.Int (li below)); ("reclaimed", Json.Int reclaimed) ]
+  | Crash { durable } -> [ ("durable", Json.Int (li durable)) ]
+  | Restart_enter phase | Restart_leave phase ->
+      [ ("phase", Json.String (phase_str phase)) ]
+  | Recovered { winners; losers; undos } ->
+      [
+        ("winners", Json.Int winners);
+        ("losers", Json.Int losers);
+        ("undos", Json.Int undos);
+      ]
+  | Governor g -> (
+      match g with
+      | Escalate p -> [ ("action", Json.String "escalate"); ("policy", Json.String p) ]
+      | Deescalate p ->
+          [ ("action", Json.String "deescalate"); ("policy", Json.String p) ]
+      | Gov_checkpoint -> [ ("action", Json.String "checkpoint") ]
+      | Gov_truncate { below; reclaimed } ->
+          [
+            ("action", Json.String "truncate");
+            ("below", Json.Int (li below));
+            ("reclaimed", Json.Int reclaimed);
+          ]
+      | Victimize x ->
+          [ ("action", Json.String "victimize"); ("xid", Json.Int (xi x)) ])
+  | Fault { kind; site } ->
+      [
+        ("fault", Json.String (fault_str kind));
+        ("site", Json.String site);
+      ]
+
+let to_json ev = Json.Obj (("event", Json.String (kind_str ev)) :: fields ev)
+
+let pp ppf ev =
+  let fs =
+    fields ev
+    |> List.map (fun (k, v) ->
+           let s =
+             match v with
+             | Json.Int i -> string_of_int i
+             | Json.String s -> s
+             | Json.Null -> "-"
+             | other -> Json.to_string other
+           in
+           Printf.sprintf "%s=%s" k s)
+  in
+  Format.fprintf ppf "%s %s" (kind_str ev) (String.concat " " fs)

@@ -1,0 +1,63 @@
+(** Typed trace events.
+
+    One constructor per observable state transition in the engine:
+    transaction lifecycle, updates and their compensation, delegation
+    (whole-object and op-granularity) with the accompanying scope and
+    lock transfers, checkpoint/truncation maintenance, crashes, restart
+    phase transitions, governor actions, and fault-injector firings.
+
+    The [op] type mirrors [Ariesrh_wal.Record.op] without depending on
+    the WAL library — [lib/obs] sits below every other library so that
+    all of them can emit into it. *)
+
+open Ariesrh_types
+
+type op = Add of int | Set of { before : int; after : int }
+
+type restart_phase = Amputate | Forward | Backward | Repair | Finish
+
+type fault_kind = Crash_point | Torn_write | Torn_flush | Squeeze
+
+type gov_action =
+  | Escalate of string  (** policy name *)
+  | Deescalate of string
+  | Gov_checkpoint
+  | Gov_truncate of { below : Lsn.t; reclaimed : int }
+  | Victimize of Xid.t
+
+type t =
+  | Begin of { xid : Xid.t; lsn : Lsn.t }
+  | Commit of { xid : Xid.t; lsn : Lsn.t }
+  | Abort of { xid : Xid.t; lsn : Lsn.t }
+  | Update of { xid : Xid.t; oid : Oid.t; lsn : Lsn.t; op : op }
+  | Clr of {
+      xid : Xid.t;
+      invoker : Xid.t;
+      oid : Oid.t;
+      lsn : Lsn.t;
+      undone : Lsn.t;
+    }
+  | Delegate of {
+      from_ : Xid.t;
+      to_ : Xid.t;
+      oid : Oid.t;
+      lsn : Lsn.t;
+      op_lsn : Lsn.t option;
+    }
+  | Scope_transfer of { from_ : Xid.t; to_ : Xid.t; oid : Oid.t }
+  | Lock_transfer of { from_ : Xid.t; to_ : Xid.t; oid : Oid.t }
+  | Checkpoint of { begin_lsn : Lsn.t; end_lsn : Lsn.t }
+  | Truncate of { below : Lsn.t; reclaimed : int }
+  | Crash of { durable : Lsn.t }
+  | Restart_enter of restart_phase
+  | Restart_leave of restart_phase
+  | Recovered of { winners : int; losers : int; undos : int }
+  | Governor of gov_action
+  | Fault of { kind : fault_kind; site : string }
+
+val op_str : op -> string
+val phase_str : restart_phase -> string
+val fault_str : fault_kind -> string
+val kind_str : t -> string
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

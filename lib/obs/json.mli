@@ -1,0 +1,25 @@
+(** A minimal deterministic JSON value + printer.
+
+    Field order is whatever the producer chose (producers sort where
+    determinism matters) and the printer has no configuration, so the
+    same value always serialises to the same bytes — a requirement for
+    committed metrics/trace artifacts. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val float_str : float -> string
+(** Stable float rendering used by the printers. *)
+
+val to_string : t -> string
+(** Pretty-printed with two-space indent, no trailing newline. *)
+
+val to_file : string -> t -> unit
+(** [to_string] plus a trailing newline, written atomically enough for
+    our purposes (single [output_string]). *)

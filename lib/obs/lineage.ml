@@ -1,0 +1,170 @@
+open Ariesrh_types
+
+type transfer = {
+  seq : int;
+  io : int;
+  from_ : Xid.t;
+  to_ : Xid.t;
+  at : Lsn.t;
+  op_level : bool;
+}
+
+type status =
+  | Live
+  | Committed of { by : Xid.t; at : Lsn.t }
+  | Aborted of { by : Xid.t; at : Lsn.t }
+  | Compensated of { by : Xid.t; clr : Lsn.t }
+  | Annulled of { durable : Lsn.t }
+
+type t = {
+  lsn : Lsn.t;
+  oid : Oid.t;
+  op : Event.op;
+  invoker : Xid.t;
+  transfers : transfer list;
+  holder : Xid.t;
+  status : status;
+}
+
+let holder_of invoker transfers =
+  match List.rev transfers with [] -> invoker | last :: _ -> last.to_
+
+let status_lsn = function
+  | Live -> None
+  | Committed { at; _ } | Aborted { at; _ } -> Some at
+  | Compensated { clr; _ } -> Some clr
+  | Annulled _ -> None
+
+let query ring ~lsn ?as_of () =
+  let as_of = match as_of with Some k -> k | None -> Ring.total ring in
+  let step st (e : Ring.entry) =
+    if e.seq >= as_of then st
+    else
+      match (e.ev, st) with
+      (* A fresh matching update (re-)starts the fold: after a crash
+         amputates the tail, the same LSN can be reassigned. *)
+      | Event.Update { xid; oid; lsn = l; op }, _ when Lsn.equal l lsn ->
+          Some
+            {
+              lsn;
+              oid;
+              op;
+              invoker = xid;
+              transfers = [];
+              holder = xid;
+              status = Live;
+            }
+      | _, None -> None
+      | ev, Some t -> (
+          match ev with
+          | Event.Delegate { from_; to_; oid; lsn = dlsn; op_lsn }
+            when t.status = Live && Xid.equal from_ t.holder
+                 && (match op_lsn with
+                    | Some l -> Lsn.equal l t.lsn
+                    | None -> Oid.equal oid t.oid) ->
+              let tr =
+                {
+                  seq = e.seq;
+                  io = e.io;
+                  from_;
+                  to_;
+                  at = dlsn;
+                  op_level = op_lsn <> None;
+                }
+              in
+              Some
+                {
+                  t with
+                  transfers = t.transfers @ [ tr ];
+                  holder = to_;
+                }
+          | Event.Clr { xid; lsn = clr; undone; _ }
+            when Lsn.equal undone t.lsn ->
+              Some { t with status = Compensated { by = xid; clr } }
+          | Event.Commit { xid; lsn = at }
+            when t.status = Live && Xid.equal xid t.holder ->
+              Some { t with status = Committed { by = xid; at } }
+          | Event.Abort { xid; lsn = at }
+            when t.status = Live && Xid.equal xid t.holder ->
+              Some { t with status = Aborted { by = xid; at } }
+          | Event.Crash { durable } ->
+              if Lsn.( > ) t.lsn durable then
+                (* the update itself was never durable: it is gone *)
+                Some { t with status = Annulled { durable }; transfers = [] }
+              else
+                let transfers =
+                  List.filter
+                    (fun tr -> Lsn.( <= ) tr.at durable)
+                    t.transfers
+                in
+                let status =
+                  match status_lsn t.status with
+                  | Some l when Lsn.( > ) l durable -> Live
+                  | _ -> t.status
+                in
+                Some
+                  {
+                    t with
+                    transfers;
+                    holder = holder_of t.invoker transfers;
+                    status;
+                  }
+          | _ -> Some t)
+  in
+  List.fold_left step None (Ring.entries ring)
+
+let status_str = function
+  | Live -> "live"
+  | Committed _ -> "committed"
+  | Aborted _ -> "aborted"
+  | Compensated _ -> "compensated"
+  | Annulled _ -> "annulled"
+
+let status_json s =
+  let base = [ ("state", Json.String (status_str s)) ] in
+  Json.Obj
+    (base
+    @
+    match s with
+    | Live -> []
+    | Committed { by; at } | Aborted { by; at } ->
+        [ ("by", Json.Int (Xid.to_int by)); ("at", Json.Int (Lsn.to_int at)) ]
+    | Compensated { by; clr } ->
+        [ ("by", Json.Int (Xid.to_int by)); ("clr", Json.Int (Lsn.to_int clr)) ]
+    | Annulled { durable } -> [ ("durable", Json.Int (Lsn.to_int durable)) ])
+
+let transfer_json tr =
+  Json.Obj
+    [
+      ("seq", Json.Int tr.seq);
+      ("io", Json.Int tr.io);
+      ("from", Json.Int (Xid.to_int tr.from_));
+      ("to", Json.Int (Xid.to_int tr.to_));
+      ("at", Json.Int (Lsn.to_int tr.at));
+      ("op_level", Json.Bool tr.op_level);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("lsn", Json.Int (Lsn.to_int t.lsn));
+      ("oid", Json.Int (Oid.to_int t.oid));
+      ("op", Json.String (Event.op_str t.op));
+      ("invoker", Json.Int (Xid.to_int t.invoker));
+      ("transfers", Json.List (List.map transfer_json t.transfers));
+      ("responsible", Json.Int (Xid.to_int t.holder));
+      ("status", status_json t.status);
+    ]
+
+let pp ppf t =
+  let chain =
+    String.concat " -> "
+      (Printf.sprintf "t%d" (Xid.to_int t.invoker)
+      :: List.map
+           (fun tr ->
+             Printf.sprintf "t%d@%d" (Xid.to_int tr.to_) (Lsn.to_int tr.at))
+           t.transfers)
+  in
+  Format.fprintf ppf "lsn %a ob%d %s: invoker %a, responsible %a (%s), %s"
+    Lsn.pp t.lsn (Oid.to_int t.oid) (Event.op_str t.op) Xid.pp t.invoker
+    Xid.pp t.holder (status_str t.status) chain

@@ -1,0 +1,52 @@
+(** Delegation-lineage query: who is responsible for the update at LSN
+    [n] as of step [k]?
+
+    The answer is reconstructed by folding the trace ring: the matching
+    [Update] event names the invoker; each matching [Delegate] event
+    (whole-object, or op-granularity naming this LSN) transfers
+    responsibility along the chain; a [Clr] naming this LSN marks it
+    compensated; [Commit]/[Abort] by the current holder resolves it;
+    and a [Crash] annuls the update — or any transfers/resolutions —
+    whose LSN lies above the durable horizon, exactly mirroring what
+    tail amputation does to the log itself. A later [Update] event
+    reusing the LSN (possible after amputation) restarts the fold.
+
+    Requires the ring to have been enabled for the events in question;
+    returns [None] when no matching update is in the retained window. *)
+
+open Ariesrh_types
+
+type transfer = {
+  seq : int;  (** ring step at which the delegation was observed *)
+  io : int;  (** logical I/O clock at that step *)
+  from_ : Xid.t;
+  to_ : Xid.t;
+  at : Lsn.t;  (** LSN of the Delegate record *)
+  op_level : bool;  (** true = op-granularity, false = whole object *)
+}
+
+type status =
+  | Live  (** uncommitted, holder still responsible *)
+  | Committed of { by : Xid.t; at : Lsn.t }
+  | Aborted of { by : Xid.t; at : Lsn.t }
+  | Compensated of { by : Xid.t; clr : Lsn.t }
+  | Annulled of { durable : Lsn.t }
+      (** the update itself was lost to a crash *)
+
+type t = {
+  lsn : Lsn.t;
+  oid : Oid.t;
+  op : Event.op;
+  invoker : Xid.t;  (** transaction that performed the update *)
+  transfers : transfer list;  (** responsibility chain, oldest first *)
+  holder : Xid.t;  (** currently responsible transaction *)
+  status : status;
+}
+
+val query : Ring.t -> lsn:Lsn.t -> ?as_of:int -> unit -> t option
+(** [as_of] is an exclusive ring sequence bound (events with
+    [seq >= as_of] are ignored); default = everything emitted so far. *)
+
+val status_str : status -> string
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

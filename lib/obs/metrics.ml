@@ -1,0 +1,227 @@
+type kind = Counter | Gauge | Histogram
+
+type hist = { bounds : int array; counts : int array; sum : int }
+
+type value = Int of int | Float of float | Hist of hist
+
+type sample = {
+  name : string;
+  labels : (string * string) list;
+  kind : kind;
+  help : string;
+  value : value;
+}
+
+type source = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_kind : kind;
+  s_help : string;
+  read : unit -> value;
+}
+
+type t = { mutable sources : source list }
+
+let create () = { sources = [] }
+
+let canon_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let register t ?(help = "") ?(labels = []) ~name kind read =
+  let labels = canon_labels labels in
+  let fresh =
+    { s_name = name; s_labels = labels; s_kind = kind; s_help = help; read }
+  in
+  t.sources <-
+    fresh
+    :: List.filter
+         (fun s -> not (s.s_name = name && s.s_labels = labels))
+         t.sources
+
+let counter t ?help ?labels name f =
+  register t ?help ?labels ~name Counter (fun () -> Int (f ()))
+
+let gauge t ?help ?labels name f =
+  register t ?help ?labels ~name Gauge (fun () -> Int (f ()))
+
+let gauge_f t ?help ?labels name f =
+  register t ?help ?labels ~name Gauge (fun () -> Float (f ()))
+
+let histogram t ?help ?labels name f =
+  register t ?help ?labels ~name Histogram (fun () -> Hist (f ()))
+
+let compare_sample a b =
+  match String.compare a.name b.name with
+  | 0 -> compare a.labels b.labels
+  | c -> c
+
+let snapshot t =
+  t.sources
+  |> List.map (fun s ->
+         {
+           name = s.s_name;
+           labels = s.s_labels;
+           kind = s.s_kind;
+           help = s.s_help;
+           value = s.read ();
+         })
+  |> List.sort compare_sample
+
+let find samples ?(labels = []) name =
+  let labels = canon_labels labels in
+  List.find_opt (fun s -> s.name = name && s.labels = labels) samples
+
+let sub_value a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x - y)
+  | Float x, Float y -> Float (x -. y)
+  | Hist x, Hist y when x.bounds = y.bounds ->
+      Hist
+        {
+          bounds = x.bounds;
+          counts = Array.mapi (fun i c -> c - y.counts.(i)) x.counts;
+          sum = x.sum - y.sum;
+        }
+  | v, _ -> v
+
+let diff after before =
+  List.map
+    (fun s ->
+      match s.kind with
+      | Gauge -> s
+      | Counter | Histogram -> (
+          match find before ~labels:s.labels s.name with
+          | Some b -> { s with value = sub_value s.value b.value }
+          | None -> s))
+    after
+
+let add_value a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x + y)
+  | Float x, Float y -> Float (x +. y)
+  | Hist x, Hist y when x.bounds = y.bounds ->
+      Hist
+        {
+          bounds = x.bounds;
+          counts = Array.mapi (fun i c -> c + y.counts.(i)) x.counts;
+          sum = x.sum + y.sum;
+        }
+  | v, _ -> v
+
+(* Counters and histograms sum across snapshots; for gauges the value
+   from the last snapshot in list order wins (the merge is used to
+   aggregate the many short-lived databases a storm creates, where the
+   final database's state is the meaningful one). *)
+let merge snapshots =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun samples ->
+      List.iter
+        (fun s ->
+          let k = (s.name, s.labels) in
+          match Hashtbl.find_opt tbl k with
+          | None ->
+              Hashtbl.add tbl k s;
+              order := k :: !order
+          | Some prev ->
+              let value =
+                match s.kind with
+                | Gauge -> s.value
+                | Counter | Histogram -> add_value prev.value s.value
+              in
+              Hashtbl.replace tbl k { s with value })
+        samples)
+    snapshots;
+  !order |> List.rev_map (Hashtbl.find tbl) |> List.sort compare_sample
+
+let kind_str = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+let value_json = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Hist h ->
+      Json.Obj
+        [
+          ("bounds", Json.List (Array.to_list h.bounds |> List.map (fun b -> Json.Int b)));
+          ("counts", Json.List (Array.to_list h.counts |> List.map (fun c -> Json.Int c)));
+          ("sum", Json.Int h.sum);
+        ]
+
+let to_json samples =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           (("name", Json.String s.name)
+           :: (if s.labels = [] then []
+               else
+                 [
+                   ( "labels",
+                     Json.Obj
+                       (List.map (fun (k, v) -> (k, Json.String v)) s.labels)
+                   );
+                 ])
+           @ [
+               ("kind", Json.String (kind_str s.kind));
+               ("value", value_json s.value);
+             ]))
+       samples)
+
+let label_str labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
+
+let hist_count h = Array.fold_left ( + ) 0 h.counts
+
+let to_openmetrics samples =
+  let b = Buffer.create 1024 in
+  let seen_meta = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem seen_meta s.name) then begin
+        Hashtbl.add seen_meta s.name ();
+        if s.help <> "" then
+          Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" s.name s.help);
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s %s\n" s.name (kind_str s.kind))
+      end;
+      match s.value with
+      | Int i ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" s.name (label_str s.labels) i)
+      | Float f ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" s.name (label_str s.labels)
+               (Json.float_str f))
+      | Hist h ->
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              let le =
+                if i < Array.length h.bounds then
+                  string_of_int h.bounds.(i)
+                else "+Inf"
+              in
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" s.name
+                   (label_str (s.labels @ [ ("le", le) ]))
+                   !cum))
+            h.counts;
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %d\n" s.name (label_str s.labels) h.sum);
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" s.name (label_str s.labels)
+               (hist_count h)))
+    samples;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b

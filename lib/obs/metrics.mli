@@ -1,0 +1,78 @@
+(** Pull-based metrics registry.
+
+    Components keep their existing mutable stat records and increment
+    plain fields on the hot path — zero allocation, no call-site churn.
+    At registration time a component hands the registry a read closure
+    over that record; [snapshot] evaluates every closure and returns a
+    deterministic (name, labels)-sorted sample list that the exporters
+    serialise. Re-registering the same (name, labels) replaces the old
+    source, so a component whose internals are rebuilt (e.g. across a
+    simulated crash) can just register again. *)
+
+type kind = Counter | Gauge | Histogram
+
+type hist = {
+  bounds : int array;  (** inclusive upper bounds, ascending *)
+  counts : int array;  (** per-bucket (not cumulative); length bounds+1, last = overflow *)
+  sum : int;
+}
+
+type value = Int of int | Float of float | Hist of hist
+
+type sample = {
+  name : string;
+  labels : (string * string) list;  (** sorted by key *)
+  kind : kind;
+  help : string;
+  value : value;
+}
+
+type t
+
+val create : unit -> t
+
+val register :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  name:string ->
+  kind ->
+  (unit -> value) ->
+  unit
+
+val counter :
+  t -> ?help:string -> ?labels:(string * string) list -> string ->
+  (unit -> int) -> unit
+
+val gauge :
+  t -> ?help:string -> ?labels:(string * string) list -> string ->
+  (unit -> int) -> unit
+
+val gauge_f :
+  t -> ?help:string -> ?labels:(string * string) list -> string ->
+  (unit -> float) -> unit
+
+val histogram :
+  t -> ?help:string -> ?labels:(string * string) list -> string ->
+  (unit -> hist) -> unit
+
+val snapshot : t -> sample list
+(** Sorted by (name, labels); deterministic for a fixed registry state. *)
+
+val find : sample list -> ?labels:(string * string) list -> string ->
+  sample option
+
+val diff : sample list -> sample list -> sample list
+(** [diff after before]: counters and histograms are subtracted
+    pointwise; gauges keep the [after] value. *)
+
+val merge : sample list list -> sample list
+(** Aggregate snapshots from many registries: counters and histograms
+    sum, gauges take the value from the last snapshot that carries
+    them. Result is (name, labels)-sorted. *)
+
+val hist_count : hist -> int
+
+val to_json : sample list -> Json.t
+val to_openmetrics : sample list -> string
+(** OpenMetrics/Prometheus text exposition, ending in [# EOF]. *)

@@ -1,0 +1,71 @@
+type phase = {
+  name : string;
+  mutable runs : int;
+  mutable seconds : float;
+  mutable counts : (string * int) list;
+}
+
+type t = { mutable rev_phases : phase list }
+
+let create () = { rev_phases = [] }
+
+let phase t name =
+  match List.find_opt (fun p -> p.name = name) t.rev_phases with
+  | Some p -> p
+  | None ->
+      let p = { name; runs = 0; seconds = 0.; counts = [] } in
+      t.rev_phases <- p :: t.rev_phases;
+      p
+
+let time t name f =
+  let p = phase t name in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      p.runs <- p.runs + 1;
+      p.seconds <- p.seconds +. (Unix.gettimeofday () -. t0))
+    f
+
+let count t name key n =
+  let p = phase t name in
+  let rec bump = function
+    | [] -> [ (key, n) ]
+    | (k, v) :: rest when k = key -> (k, v + n) :: rest
+    | kv :: rest -> kv :: bump rest
+  in
+  p.counts <- bump p.counts
+
+let phases t = List.rev t.rev_phases
+
+let total_seconds t =
+  List.fold_left (fun acc p -> acc +. p.seconds) 0. (phases t)
+
+(* Wall time is deliberately excluded: profiler JSON lands in committed
+   artifacts that must be byte-identical across same-seed runs. *)
+let to_json t =
+  Json.List
+    (phases t
+    |> List.map (fun p ->
+           Json.Obj
+             [
+               ("phase", Json.String p.name);
+               ("runs", Json.Int p.runs);
+               ( "counts",
+                 Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) p.counts)
+               );
+             ]))
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+    (fun ppf p ->
+      Format.fprintf ppf "%s: runs=%d %.3fms%s" p.name p.runs
+        (1000. *. p.seconds)
+        (if p.counts = [] then ""
+         else
+           " "
+           ^ String.concat " "
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                  p.counts)))
+    ppf (phases t)

@@ -1,0 +1,31 @@
+(** Recovery profiler: per-phase wall time and counters.
+
+    Restart recovery wraps each pass (amputate, forward, backward,
+    repair, finish) in [time] and attaches pass-specific counters with
+    [count]. Phases are reported in first-use order. Wall-clock time is
+    available to [pp] and [total_seconds] but is excluded from
+    [to_json], because profiler JSON is part of deterministic committed
+    artifacts. *)
+
+type phase = {
+  name : string;
+  mutable runs : int;
+  mutable seconds : float;
+  mutable counts : (string * int) list;  (** insertion order *)
+}
+
+type t
+
+val create : unit -> t
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk under the named phase, accumulating wall time even if
+    it raises (recovery passes can be killed by injected crashes). *)
+
+val count : t -> string -> string -> int -> unit
+(** [count t phase key n] adds [n] to counter [key] of [phase]. *)
+
+val phases : t -> phase list
+val total_seconds : t -> float
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+type entry = { seq : int; io : int; ev : Event.t }
+
+type t = {
+  cap : int;
+  (* allocated lazily on first enable, so databases created with tracing
+     off never pay for the window *)
+  mutable slots : entry option array;
+  mutable next : int;  (* total events ever emitted *)
+  mutable enabled : bool;
+  mutable clock : unit -> int;
+}
+
+let default_capacity = 4096
+
+let ensure_slots t =
+  if Array.length t.slots < t.cap then t.slots <- Array.make t.cap None
+
+let create ?(capacity = default_capacity) ?(enabled = false) () =
+  let t =
+    { cap = max 1 capacity; slots = [||]; next = 0; enabled;
+      clock = (fun () -> 0) }
+  in
+  if enabled then ensure_slots t;
+  t
+
+let set_clock t f = t.clock <- f
+let enabled t = t.enabled
+
+let set_enabled t b =
+  if b then ensure_slots t;
+  t.enabled <- b
+
+let capacity t = t.cap
+let total t = t.next
+let dropped t = max 0 (t.next - t.cap)
+
+let emit t ev =
+  if t.enabled then begin
+    let seq = t.next in
+    t.next <- seq + 1;
+    t.slots.(seq mod t.cap) <- Some { seq; io = t.clock (); ev }
+  end
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.next <- 0
+
+let entries t =
+  if Array.length t.slots = 0 then []
+  else begin
+  let cap = Array.length t.slots in
+  let first = max 0 (t.next - cap) in
+  let rec go i acc =
+    if i < first then acc
+    else
+      match t.slots.(i mod cap) with
+      | Some e when e.seq = i -> go (i - 1) (e :: acc)
+      | _ -> go (i - 1) acc
+  in
+  go (t.next - 1) []
+  end
+
+let last t n =
+  let es = entries t in
+  let len = List.length es in
+  if len <= n then es else List.filteri (fun i _ -> i >= len - n) es
+
+let entry_to_json e =
+  match Event.to_json e.ev with
+  | Json.Obj fields ->
+      Json.Obj (("seq", Json.Int e.seq) :: ("io", Json.Int e.io) :: fields)
+  | other -> other
+
+let to_json ?last:(n = max_int) t =
+  Json.List (List.map entry_to_json (last t n))
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%d io=%d] %a" e.seq e.io Event.pp e.ev

@@ -1,0 +1,46 @@
+(** Bounded ring buffer of trace events.
+
+    Memory is bounded by [capacity] slots; older events are overwritten
+    once the buffer wraps. Each entry is stamped with a monotonically
+    increasing sequence number ([seq], the global step counter used by
+    lineage queries) and the current logical I/O clock ([io]), read from
+    an installable closure — the database wires it to the fault
+    injector's I/O counter so trace stamps line up with crash points.
+
+    The ring is disabled by default; [emit] on a disabled ring does no
+    work and allocates nothing, which is what keeps the observability
+    overhead of the hot path under the benchmark budget. *)
+
+type entry = { seq : int; io : int; ev : Event.t }
+
+type t
+
+val default_capacity : int
+(** 4096 *)
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+val set_clock : t -> (unit -> int) -> unit
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+val capacity : t -> int
+
+val emit : t -> Event.t -> unit
+(** No-op when disabled. *)
+
+val total : t -> int
+(** Events ever emitted (including overwritten ones). *)
+
+val dropped : t -> int
+(** Events lost to wraparound. *)
+
+val clear : t -> unit
+
+val entries : t -> entry list
+(** Retained window, oldest first. *)
+
+val last : t -> int -> entry list
+(** Last [n] retained entries, oldest first. *)
+
+val entry_to_json : entry -> Json.t
+val to_json : ?last:int -> t -> Json.t
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,10 @@
+(* The single Logs source for engine debug tracing (recovery passes,
+   scope sweeps, rewrite surgery). Enable programmatically with
+   [Logs.Src.set_level Ariesrh_obs.Trace.src (Some Logs.Debug)] or from
+   the CLI with [--verbosity debug]. *)
+
+let src = Logs.Src.create "ariesrh" ~doc:"ARIES/RH engine tracing"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let set_level l = Logs.Src.set_level src l

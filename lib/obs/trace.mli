@@ -1,0 +1,11 @@
+(** Unified [Logs] source for human-readable engine debug tracing.
+
+    This replaces the old per-library sources (previously
+    [Ariesrh_recovery.Trace]); every library logs through here so one
+    CLI flag ([--verbosity]) controls all of it. *)
+
+val src : Logs.src
+
+module Log : Logs.LOG
+
+val set_level : Logs.level option -> unit

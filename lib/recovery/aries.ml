@@ -2,8 +2,10 @@ open Ariesrh_types
 open Ariesrh_wal
 open Ariesrh_txn
 module Heap = Ariesrh_util.Heap
+module Obs = Ariesrh_obs
 
 let recover ?(passes = Forward.Merged) (env : Env.t) =
+  env.prof <- Obs.Profiler.create ();
   let io_before = Log_stats.copy (Log_store.stats env.log) in
   let repairs_before = env.repairs in
   let fwd = Forward.run ~passes env ~mode:Forward.Conventional in
@@ -52,6 +54,15 @@ let recover ?(passes = Forward.Merged) (env : Env.t) =
               (* restart appends bypass admission: a bounded log must
                  never refuse the records that make it recoverable *)
               let clr_lsn = Log_store.append_reserved env.log clr in
+              Obs.Ring.emit env.ring
+                (Obs.Event.Clr
+                   {
+                     xid = info.xid;
+                     invoker = info.xid;
+                     oid = u.Record.oid;
+                     lsn = clr_lsn;
+                     undone = lsn;
+                   });
               info.last_lsn <- clr_lsn;
               info.undo_next <- record.Record.prev;
               Apply.force env clr_lsn inv;
@@ -75,7 +86,12 @@ let recover ?(passes = Forward.Merged) (env : Env.t) =
         if not (Lsn.is_nil next) then Heap.push heap (next, info);
         undo_loop ()
   in
-  undo_loop ();
+  Obs.Ring.emit env.ring (Obs.Event.Restart_enter Obs.Event.Backward);
+  Obs.Profiler.time env.prof "restart.backward" (fun () -> undo_loop ());
+  Obs.Profiler.count env.prof "restart.backward" "examined" !examined;
+  Obs.Profiler.count env.prof "restart.backward" "undos" !undos;
+  Obs.Ring.emit env.ring (Obs.Event.Restart_leave Obs.Event.Backward);
+  Obs.Ring.emit env.ring (Obs.Event.Restart_enter Obs.Event.Finish);
   let infos = Txn_table.fold tt ~init:[] ~f:(fun acc i -> i :: acc) in
   List.iter
     (fun (info : Txn_table.info) ->
@@ -94,7 +110,16 @@ let recover ?(passes = Forward.Merged) (env : Env.t) =
       | Txn_table.Rolling_back -> append Record.End);
       Txn_table.remove tt info.xid)
     infos;
-  Log_store.flush env.log ~upto:(Log_store.head env.log);
+  Obs.Profiler.time env.prof "restart.finish" (fun () ->
+      Log_store.flush env.log ~upto:(Log_store.head env.log));
+  Obs.Ring.emit env.ring (Obs.Event.Restart_leave Obs.Event.Finish);
+  Obs.Ring.emit env.ring
+    (Obs.Event.Recovered
+       {
+         winners = Xid.Set.cardinal fwd.winners;
+         losers = Xid.Set.cardinal loser_set;
+         undos = !undos;
+       });
   let io_after = Log_store.stats env.log in
   {
     Report.winners = fwd.winners;
@@ -108,4 +133,5 @@ let recover ?(passes = Forward.Merged) (env : Env.t) =
     amputated = fwd.amputated;
     repaired_pages = env.repairs - repairs_before;
     log_io = Log_stats.diff io_after io_before;
+    profile = env.prof;
   }

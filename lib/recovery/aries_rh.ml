@@ -1,6 +1,8 @@
 open Ariesrh_types
 open Ariesrh_wal
 open Ariesrh_txn
+module Trace = Ariesrh_obs.Trace
+module Obs = Ariesrh_obs
 
 (* Restart appends bypass admission ([append_reserved]): a bounded log
    must never refuse the records that make it recoverable. *)
@@ -27,6 +29,7 @@ exception Interrupted
 
 let recover_gen ?(naive_sweep = false) ?(passes = Forward.Merged) ~physical
     ?fuel (env : Env.t) =
+  env.prof <- Obs.Profiler.create ();
   let io_before = Log_stats.copy (Log_store.stats env.log) in
   let repairs_before = env.repairs in
   Trace.Log.debug (fun m ->
@@ -84,26 +87,52 @@ let recover_gen ?(naive_sweep = false) ?(passes = Forward.Merged) ~physical
        itself, and a restart over the rewritten log will rebuild the
        scope with [owner] as the invoker. The CLR must agree, or that
        restart's trim misses and the update is undone twice. *)
+    if physical && not (Xid.equal owner invoker) then
+      Obs.Profiler.count env.prof "restart.backward" "rewrites" 1;
     let invoker = if physical then owner else invoker in
     let info = Txn_table.find_exn tt owner in
     let lsn =
       append_on_chain env info
         (Record.Clr { upd; undone; invoker; undo_next })
     in
+    Obs.Ring.emit env.ring
+      (Obs.Event.Clr
+         { xid = owner; invoker; oid = upd.Record.oid; lsn; undone });
     info.undo_next <- undo_next;
     lsn
   in
+  Obs.Ring.emit env.ring (Obs.Event.Restart_enter Obs.Event.Backward);
   let sweep =
-    if naive_sweep then Scope_sweep.sweep_naive env ~scopes ~on_undo
-    else Scope_sweep.sweep env ~scopes ~on_undo
+    Obs.Profiler.time env.prof "restart.backward" (fun () ->
+        if naive_sweep then Scope_sweep.sweep_naive env ~scopes ~on_undo
+        else Scope_sweep.sweep env ~scopes ~on_undo)
   in
+  Obs.Profiler.count env.prof "restart.backward" "clusters"
+    sweep.Scope_sweep.clusters;
+  Obs.Profiler.count env.prof "restart.backward" "examined"
+    sweep.Scope_sweep.examined;
+  Obs.Profiler.count env.prof "restart.backward" "skipped"
+    sweep.Scope_sweep.skipped;
+  Obs.Profiler.count env.prof "restart.backward" "undos"
+    sweep.Scope_sweep.undone;
+  Obs.Ring.emit env.ring (Obs.Event.Restart_leave Obs.Event.Backward);
   Trace.Log.debug (fun m ->
       m
         "backward pass done: %d clusters, %d examined, %d skipped, %d          undone"
         sweep.Scope_sweep.clusters sweep.Scope_sweep.examined
         sweep.Scope_sweep.skipped sweep.Scope_sweep.undone);
-  finish_losers env tt;
-  Log_store.flush env.log ~upto:(Log_store.head env.log);
+  Obs.Ring.emit env.ring (Obs.Event.Restart_enter Obs.Event.Finish);
+  Obs.Profiler.time env.prof "restart.finish" (fun () ->
+      finish_losers env tt;
+      Log_store.flush env.log ~upto:(Log_store.head env.log));
+  Obs.Ring.emit env.ring (Obs.Event.Restart_leave Obs.Event.Finish);
+  Obs.Ring.emit env.ring
+    (Obs.Event.Recovered
+       {
+         winners = Xid.Set.cardinal fwd.winners;
+         losers = Xid.Set.cardinal loser_set;
+         undos = sweep.Scope_sweep.undone;
+       });
   let io_after = Log_store.stats env.log in
   {
     Report.winners = fwd.winners;
@@ -117,6 +146,7 @@ let recover_gen ?(naive_sweep = false) ?(passes = Forward.Merged) ~physical
     amputated = fwd.amputated;
     repaired_pages = env.repairs - repairs_before;
     log_io = Log_stats.diff io_after io_before;
+    profile = env.prof;
   }
 
 let recover ?passes ?fuel env = recover_gen ?passes ~physical:false ?fuel env

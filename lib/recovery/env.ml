@@ -1,10 +1,16 @@
 open Ariesrh_types
+module Obs = Ariesrh_obs
 
 type t = {
   log : Ariesrh_wal.Log_store.t;
   pool : Ariesrh_storage.Buffer_pool.t;
   place : Oid.t -> Page_id.t * int;
   mutable repairs : int;
+  ring : Obs.Ring.t;
+  mutable prof : Obs.Profiler.t;
 }
 
-let make ~log ~pool ~place = { log; pool; place; repairs = 0 }
+let make ?ring ?prof ~log ~pool ~place () =
+  let ring = match ring with Some r -> r | None -> Obs.Ring.create () in
+  let prof = match prof with Some p -> p | None -> Obs.Profiler.create () in
+  { log; pool; place; repairs = 0; ring; prof }

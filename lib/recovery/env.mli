@@ -11,10 +11,22 @@ type t = {
           counter rather than a per-restart report figure because the
           restart doing a repair may itself be killed by a fault while
           the repaired page — persisted immediately — survives *)
+  ring : Ariesrh_obs.Ring.t;
+      (** trace ring shared with the owning database; restart phases,
+          CLRs, and recovery outcomes are emitted into it (no-ops when
+          tracing is disabled) *)
+  mutable prof : Ariesrh_obs.Profiler.t;
+      (** per-restart profiler; each recovery entry point installs a
+          fresh one and hands it out via [Report.profile] *)
 }
 
 val make :
+  ?ring:Ariesrh_obs.Ring.t ->
+  ?prof:Ariesrh_obs.Profiler.t ->
   log:Ariesrh_wal.Log_store.t ->
   pool:Ariesrh_storage.Buffer_pool.t ->
   place:(Oid.t -> Page_id.t * int) ->
+  unit ->
   t
+(** Omitted [ring] defaults to a fresh disabled ring; omitted [prof] to
+    a fresh profiler. *)

@@ -1,6 +1,8 @@
 open Ariesrh_types
 open Ariesrh_wal
 open Ariesrh_txn
+module Trace = Ariesrh_obs.Trace
+module Obs = Ariesrh_obs
 
 type mode = Conventional | Rh | Rh_rewritten
 
@@ -24,22 +26,7 @@ let trim_scope info ~oid ~invoker ~undone =
      instead of stretching back across the compensated range *)
   info.ob_list <- Ob_list.close_open info.Txn_table.ob_list oid
 
-let run ?(passes = Merged) (env : Env.t) ~mode =
-  (* Restart preamble, before any scan: amputate the corrupt stable
-     tail — in the failure model only the last record of the crashing
-     flush can be torn, and ARIES treats the first corrupt record as
-     end-of-log. (Torn data pages need no sweep here: every page fetch
-     goes through the buffer pool's checksum gate, so redo, undo, or a
-     later normal read repairs a torn page on demand — see Repair.)
-     Amputation is idempotent, so a crash anywhere in restart is
-     survived by running restart again. *)
-  let amputated = Log_store.recover_tail env.log in
-  List.iter
-    (fun (lsn, e) ->
-      Trace.Log.info (fun m ->
-          m "restart: corrupt stable tail at %a (%a); treating as end of log"
-            Lsn.pp lsn Record.pp_decode_error e))
-    amputated;
+let scan ?(passes = Merged) (env : Env.t) ~mode ~amputated =
   let tt = Txn_table.create () in
   let winners = ref Xid.Set.empty in
   let forward_records = ref 0 in
@@ -205,8 +192,43 @@ let run ?(passes = Merged) (env : Env.t) ~mode =
     winners = !winners;
     forward_records = !forward_records;
     redo_applied = !redo_applied;
-    amputated = List.length amputated;
+    amputated;
   }
+
+let run ?passes (env : Env.t) ~mode =
+  (* Restart preamble, before any scan: amputate the corrupt stable
+     tail — in the failure model only the last record of the crashing
+     flush can be torn, and ARIES treats the first corrupt record as
+     end-of-log. (Torn data pages need no sweep here: every page fetch
+     goes through the buffer pool's checksum gate, so redo, undo, or a
+     later normal read repairs a torn page on demand — see Repair.)
+     Amputation is idempotent, so a crash anywhere in restart is
+     survived by running restart again. *)
+  Obs.Ring.emit env.ring (Obs.Event.Restart_enter Obs.Event.Amputate);
+  let amputated =
+    Obs.Profiler.time env.prof "restart.amputate" (fun () ->
+        Log_store.recover_tail env.log)
+  in
+  Obs.Profiler.count env.prof "restart.amputate" "records"
+    (List.length amputated);
+  Obs.Ring.emit env.ring (Obs.Event.Restart_leave Obs.Event.Amputate);
+  List.iter
+    (fun (lsn, e) ->
+      Trace.Log.info (fun m ->
+          m "restart: corrupt stable tail at %a (%a); treating as end of log"
+            Lsn.pp lsn Record.pp_decode_error e))
+    amputated;
+  Obs.Ring.emit env.ring (Obs.Event.Restart_enter Obs.Event.Forward);
+  let result =
+    Obs.Profiler.time env.prof "restart.forward" (fun () ->
+        scan ?passes env ~mode ~amputated:(List.length amputated))
+  in
+  Obs.Profiler.count env.prof "restart.forward" "records"
+    result.forward_records;
+  Obs.Profiler.count env.prof "restart.forward" "redo_applied"
+    result.redo_applied;
+  Obs.Ring.emit env.ring (Obs.Event.Restart_leave Obs.Event.Forward);
+  result
 
 let losers result =
   Txn_table.fold result.tt ~init:[] ~f:(fun acc info ->

@@ -31,11 +31,14 @@ let replay_onto (env : Env.t) pid page =
          | _ -> ()))
 
 let page (env : Env.t) pid shadow =
-  let p = Page.copy shadow in
-  replay_onto env pid p;
-  Disk.write_page (Buffer_pool.disk env.pool) pid p;
-  env.repairs <- env.repairs + 1;
-  p
+  let module Obs = Ariesrh_obs in
+  Obs.Profiler.time env.prof "restart.repair" (fun () ->
+      let p = Page.copy shadow in
+      replay_onto env pid p;
+      Disk.write_page (Buffer_pool.disk env.pool) pid p;
+      env.repairs <- env.repairs + 1;
+      Obs.Profiler.count env.prof "restart.repair" "pages" 1;
+      p)
 
 let torn_pages (env : Env.t) =
   let disk = Buffer_pool.disk env.pool in

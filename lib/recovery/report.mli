@@ -14,6 +14,9 @@ type t = {
   amputated : int;  (** corrupt stable tail records dropped at restart *)
   repaired_pages : int;  (** torn data pages repaired at restart *)
   log_io : Ariesrh_wal.Log_stats.t;  (** log device activity during recovery *)
+  profile : Ariesrh_obs.Profiler.t;
+      (** per-pass timings and counters for this restart
+          (amputate / forward / backward / repair / finish) *)
 }
 
 val pp : Format.formatter -> t -> unit

@@ -140,3 +140,14 @@ let crash t =
 let evictions t = t.evictions
 let hits t = t.hits
 let misses t = t.misses
+
+let register_metrics t m =
+  let module M = Ariesrh_obs.Metrics in
+  M.counter m ~help:"buffer pool hits" "ariesrh_pool_hits_total" (fun () ->
+      hits t);
+  M.counter m ~help:"buffer pool misses" "ariesrh_pool_misses_total"
+    (fun () -> misses t);
+  M.counter m ~help:"buffer pool evictions" "ariesrh_pool_evictions_total"
+    (fun () -> evictions t);
+  M.gauge m ~help:"entries in the dirty page table"
+    "ariesrh_pool_dirty_pages" (fun () -> List.length (dirty_page_table t))

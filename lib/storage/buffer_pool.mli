@@ -68,3 +68,5 @@ val crash : t -> unit
 val evictions : t -> int
 val hits : t -> int
 val misses : t -> int
+
+val register_metrics : t -> Ariesrh_obs.Metrics.t -> unit

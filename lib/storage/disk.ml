@@ -75,3 +75,11 @@ let stats t = t.stats
 let reset_stats t =
   t.stats.page_reads <- 0;
   t.stats.page_writes <- 0
+
+let register_metrics t m =
+  let module M = Ariesrh_obs.Metrics in
+  let s = stats t in
+  M.counter m ~help:"data pages read from stable storage"
+    "ariesrh_disk_page_reads_total" (fun () -> s.page_reads);
+  M.counter m ~help:"data pages written to stable storage"
+    "ariesrh_disk_page_writes_total" (fun () -> s.page_writes)

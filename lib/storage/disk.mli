@@ -38,3 +38,5 @@ val write_page : t -> Page_id.t -> Page.t -> unit
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+val register_metrics : t -> Ariesrh_obs.Metrics.t -> unit

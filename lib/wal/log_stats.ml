@@ -1,3 +1,6 @@
+(* Bucket upper bounds (bytes) for the record-size histogram. *)
+let size_bounds = [| 16; 32; 64; 96; 128; 192; 256; 512 |]
+
 type t = {
   mutable appends : int;
   mutable reads : int;
@@ -9,6 +12,8 @@ type t = {
   mutable bytes_flushed : int;
   mutable reservations : int;
   mutable admission_rejects : int;
+  size_counts : int array;  (* length = Array.length size_bounds + 1 *)
+  mutable size_sum : int;
 }
 
 let create () =
@@ -23,6 +28,8 @@ let create () =
     bytes_flushed = 0;
     reservations = 0;
     admission_rejects = 0;
+    size_counts = Array.make (Array.length size_bounds + 1) 0;
+    size_sum = 0;
   }
 
 let reset t =
@@ -35,9 +42,18 @@ let reset t =
   t.flushes <- 0;
   t.bytes_flushed <- 0;
   t.reservations <- 0;
-  t.admission_rejects <- 0
+  t.admission_rejects <- 0;
+  Array.fill t.size_counts 0 (Array.length t.size_counts) 0;
+  t.size_sum <- 0
 
-let copy t = { t with appends = t.appends }
+let observe_size t bytes =
+  let n = Array.length size_bounds in
+  let rec idx i = if i >= n || bytes <= size_bounds.(i) then i else idx (i + 1) in
+  let i = idx 0 in
+  t.size_counts.(i) <- t.size_counts.(i) + 1;
+  t.size_sum <- t.size_sum + bytes
+
+let copy t = { t with size_counts = Array.copy t.size_counts }
 
 let diff a b =
   {
@@ -51,7 +67,38 @@ let diff a b =
     bytes_flushed = a.bytes_flushed - b.bytes_flushed;
     reservations = a.reservations - b.reservations;
     admission_rejects = a.admission_rejects - b.admission_rejects;
+    size_counts = Array.mapi (fun i c -> c - b.size_counts.(i)) a.size_counts;
+    size_sum = a.size_sum - b.size_sum;
   }
+
+let size_hist t =
+  Ariesrh_obs.Metrics.
+    { bounds = size_bounds; counts = Array.copy t.size_counts;
+      sum = t.size_sum }
+
+let register t m =
+  let module M = Ariesrh_obs.Metrics in
+  let c name help f = M.counter m ~help name f in
+  c "ariesrh_log_appends_total" "records appended" (fun () -> t.appends);
+  c "ariesrh_log_reads_total" "stable records decoded" (fun () -> t.reads);
+  c "ariesrh_log_page_fetches_total" "log pages brought into the buffer"
+    (fun () -> t.page_fetches);
+  c "ariesrh_log_random_seeks_total" "non-adjacent page fetches" (fun () ->
+      t.random_seeks);
+  c "ariesrh_log_rewrites_total" "in-place record rewrites" (fun () ->
+      t.rewrites);
+  c "ariesrh_log_rewrite_page_writes_total" "pages written back by rewrites"
+    (fun () -> t.rewrite_page_writes);
+  c "ariesrh_log_flushes_total" "flush calls that wrote something" (fun () ->
+      t.flushes);
+  c "ariesrh_log_bytes_flushed_total" "bytes made durable" (fun () ->
+      t.bytes_flushed);
+  c "ariesrh_log_reservations_total" "CLR-space reservations taken" (fun () ->
+      t.reservations);
+  c "ariesrh_log_admission_rejects_total" "appends refused with Log_full"
+    (fun () -> t.admission_rejects);
+  M.histogram m ~help:"encoded record size in bytes"
+    "ariesrh_log_record_bytes" (fun () -> size_hist t)
 
 let pp ppf t =
   Format.fprintf ppf

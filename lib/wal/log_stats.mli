@@ -18,12 +18,28 @@ type t = {
   mutable bytes_flushed : int;
   mutable reservations : int;  (** CLR-space reservations taken *)
   mutable admission_rejects : int;  (** appends refused with [Log_full] *)
+  size_counts : int array;
+      (** record-size histogram buckets (see {!size_bounds}); last slot
+          is the overflow bucket *)
+  mutable size_sum : int;  (** total encoded bytes observed *)
 }
+
+val size_bounds : int array
+(** Inclusive byte upper bounds of the size-histogram buckets. *)
 
 val create : unit -> t
 val reset : t -> unit
+
+val observe_size : t -> int -> unit
+(** Record one encoded record of the given size into the histogram.
+    A field increment pair — no allocation. *)
+
 val copy : t -> t
 val diff : t -> t -> t
 (** [diff after before] — counter-wise subtraction. *)
+
+val size_hist : t -> Ariesrh_obs.Metrics.hist
+val register : t -> Ariesrh_obs.Metrics.t -> unit
+(** Register every counter plus the size histogram, read-through. *)
 
 val pp : Format.formatter -> t -> unit

@@ -168,6 +168,7 @@ let store t s =
   t.count <- t.count + 1;
   t.live_bytes <- t.live_bytes + String.length s;
   t.stats.appends <- t.stats.appends + 1;
+  Log_stats.observe_size t.stats (String.length s);
   Lsn.of_int t.count
 
 let append t r =
@@ -381,3 +382,23 @@ let recover_tail t =
     t.master <- 0
   end;
   !dropped
+
+let register_metrics t m =
+  let module M = Ariesrh_obs.Metrics in
+  Log_stats.register t.stats m;
+  M.counter m ~help:"corrupt stable tail records dropped at restart"
+    "ariesrh_log_amputated_total" (fun () -> t.amputated_total);
+  M.gauge m ~help:"encoded bytes of retained records"
+    "ariesrh_log_used_bytes" (fun () -> t.live_bytes);
+  M.gauge m ~help:"retained record count" "ariesrh_log_used_records"
+    (fun () -> used_records t);
+  M.gauge m ~help:"bytes reserved for rollback CLRs"
+    "ariesrh_log_reserved_bytes" (fun () -> t.reserved_bytes);
+  M.gauge m ~help:"records reserved for rollback CLRs"
+    "ariesrh_log_reserved_records" (fun () -> t.reserved_records);
+  M.gauge m ~help:"LSN of the next record to be appended"
+    "ariesrh_log_head" (fun () -> t.count);
+  M.gauge m ~help:"durable LSN" "ariesrh_log_durable" (fun () ->
+      t.durable_count);
+  M.gauge_f m ~help:"log-space pressure in [0,1]" "ariesrh_log_pressure"
+    (fun () -> pressure t)

@@ -185,3 +185,8 @@ val master : t -> Lsn.t
 val set_master : t -> Lsn.t -> unit
 (** Raises [Invalid_argument] unless the LSN is durable — the WAL rule
     for the master record itself. *)
+
+val register_metrics : t -> Ariesrh_obs.Metrics.t -> unit
+(** Register this log's counters (via {!Log_stats.register}), the
+    record-size histogram, and gauges for usage, reservations, head,
+    durable horizon, and pressure. *)

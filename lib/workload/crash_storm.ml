@@ -13,6 +13,7 @@ type config = {
   crash_step : int;
   recovery_crash_depth : int;
   recovery_crash_gap : int;
+  forensic_dir : string option;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     crash_step = 1;
     recovery_crash_depth = 2;
     recovery_crash_gap = 3;
+    forensic_dir = None;
   }
 
 type outcome = {
@@ -90,6 +92,28 @@ let merge a b =
   }
 
 let fail o msg = o.failures <- msg :: o.failures
+
+(* Best-effort forensic dump when a check round added failures: freeze
+   the trace window, per-mismatch histories with lineage, and a metrics
+   snapshot (see {!Forensics}). Runs with faults gated off and is never
+   allowed to take the storm down. *)
+let maybe_dump ~config ~outcome ~fail_before ~kind ?crash_io ?tag ?expected
+    fault db =
+  match config.forensic_dir with
+  | Some dir when List.length outcome.failures > fail_before ->
+      Fault.set_enabled fault false;
+      let fresh =
+        List.filteri
+          (fun i _ -> i < List.length outcome.failures - fail_before)
+          outcome.failures
+      in
+      (try
+         ignore
+           (Forensics.write ~dir ~kind ~seed:config.seed ?crash_io ?tag
+              ?expected ~failures:fresh db)
+       with _ -> ());
+      Fault.set_enabled fault true
+  | _ -> ()
 
 (* Ground truth for "who committed": the transactions whose commit
    records are durable and decode — exactly what any restart will see.
@@ -234,7 +258,11 @@ let run_script ?(config = default_config) ?(impl = Config.Rh) spec =
     outcome.runs <- outcome.runs + 1;
     let fault = make_fault config ~salt:!crash_io in
     Fault.arm_crash_at fault !crash_io;
-    let db = Driver.fresh_db ~fault ~impl ~n_objects () in
+    let db =
+      Driver.fresh_db ~fault ~impl
+        ~tracing:(config.forensic_dir <> None)
+        ~n_objects ()
+    in
     let xid_map = Hashtbl.create 16 in
     let executed = ref 0 in
     let finished =
@@ -254,21 +282,24 @@ let run_script ?(config = default_config) ?(impl = Config.Rh) spec =
     else outcome.crashes <- outcome.crashes + 1;
     Db.crash db;
     let commits = durable_commits (Db.log_store db) in
+    let committed t =
+      match Hashtbl.find_opt xid_map t with
+      | Some x -> Xid.Set.mem x commits
+      | None -> false
+    in
+    let expected =
+      Oracle.expected_for ~n_objects ~committed ~crash_at:!executed script
+    in
+    let fail_before = List.length outcome.failures in
     (match recover_until_stable ~config ~outcome fault db with
     | Error msg ->
         fail outcome (Printf.sprintf "script crash_io=%d: %s" !crash_io msg)
     | Ok _report ->
-        let committed t =
-          match Hashtbl.find_opt xid_map t with
-          | Some x -> Xid.Set.mem x commits
-          | None -> false
-        in
-        let expected =
-          Oracle.expected_for ~n_objects ~committed ~crash_at:!executed script
-        in
         check_state ~outcome
           ~label:(Printf.sprintf "script crash_io=%d" !crash_io)
           fault db expected);
+    maybe_dump ~config ~outcome ~fail_before ~kind:"crash" ~crash_io:!crash_io
+      ~expected fault db;
     absorb_fault_stats outcome fault;
     outcome.repaired_pages <- outcome.repaired_pages + Db.repairs_total db;
     crash_io := !crash_io + max 1 config.crash_step
@@ -307,7 +338,11 @@ type client = {
 let run_sim ?(config = default_config) ?(sim = default_sim) () =
   let outcome = fresh_outcome () in
   let fault = make_fault config ~salt:0x5117 in
-  let db = Driver.fresh_db ~fault ~n_objects:sim.n_objects () in
+  let db =
+    Driver.fresh_db ~fault
+      ~tracing:(config.forensic_dir <> None)
+      ~n_objects:sim.n_objects ()
+  in
   let rng = Prng.create (Int64.add config.seed 77L) in
   let clients =
     Array.init sim.clients (fun _ -> { xid = None; ops_left = 0; touched = [] })
@@ -400,6 +435,7 @@ let run_sim ?(config = default_config) ?(sim = default_sim) () =
   let handle_crash () =
     outcome.crashes <- outcome.crashes + 1;
     Db.crash db;
+    let fail_before = List.length outcome.failures in
     (match recover_until_stable ~config ~outcome fault db with
     | Error msg ->
         fail outcome
@@ -409,6 +445,9 @@ let run_sim ?(config = default_config) ?(sim = default_sim) () =
         check_state ~outcome
           ~label:(Printf.sprintf "sim crash #%d" outcome.crashes)
           fault db (expected ()));
+    maybe_dump ~config ~outcome ~fail_before ~kind:"sim"
+      ~tag:(Printf.sprintf "crash%d" outcome.crashes)
+      ~expected:(expected ()) fault db;
     reset_clients ();
     Fault.arm_crash_in fault sim.crash_every
   in
@@ -421,9 +460,12 @@ let run_sim ?(config = default_config) ?(sim = default_sim) () =
   (* final clean crash + restart + reconciliation *)
   Fault.disarm_crash fault;
   Db.crash db;
+  let fail_before = List.length outcome.failures in
   (match recover_until_stable ~config ~outcome fault db with
   | Error msg -> fail outcome (Printf.sprintf "sim final restart: %s" msg)
   | Ok _ -> check_state ~outcome ~label:"sim final" fault db (expected ()));
+  maybe_dump ~config ~outcome ~fail_before ~kind:"sim" ~tag:"final"
+    ~expected:(expected ()) fault db;
   absorb_fault_stats outcome fault;
   outcome.repaired_pages <- outcome.repaired_pages + Db.repairs_total db;
   outcome

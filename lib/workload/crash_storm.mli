@@ -28,6 +28,11 @@ type config = {
   crash_step : int;  (** scripted: escalate the crash I/O point by this *)
   recovery_crash_depth : int;  (** nested crash-during-recovery levels *)
   recovery_crash_gap : int;  (** I/Os into each recovery before re-crash *)
+  forensic_dir : string option;
+      (** when set, storm databases run with the trace ring enabled and
+          every check round that adds failures writes a
+          {!Forensics.write} dump into this directory, keyed by seed and
+          crash point; [None] (the default) disables both *)
 }
 
 val default_config : config

@@ -27,9 +27,11 @@ val fresh_db :
   ?locking:bool ->
   ?log_capacity_bytes:int ->
   ?log_capacity_records:int ->
+  ?tracing:bool ->
   n_objects:int ->
   unit ->
   Db.t
 (** A Db sized for scripts over [n_objects] symbolic objects. The
     capacity knobs bound the WAL (default unbounded) — see
-    {!Ariesrh_wal.Log_store.create}. *)
+    {!Ariesrh_wal.Log_store.create}. [tracing] enables the structured
+    trace ring from creation (storms use it for forensic dumps). *)

@@ -1,0 +1,127 @@
+open Ariesrh_types
+open Ariesrh_core
+module Obs = Ariesrh_obs
+module Record = Ariesrh_wal.Record
+
+let engine_name = function
+  | Config.Rh -> "rh"
+  | Config.Eager -> "eager"
+  | Config.Lazy -> "lazy"
+
+let xid_str x = Format.asprintf "%a" Xid.pp x
+
+let op_str = function
+  | Record.Set { before; after } -> Printf.sprintf "set %d->%d" before after
+  | Record.Add d -> Printf.sprintf "%+d" d
+
+(* One history event of an object, in the same rendering the storm
+   failure messages use, plus — for updates — the lineage reconstructed
+   from the trace ring (Null when the ring never saw the update). *)
+let history_event_json ring = function
+  | Db.Updated { lsn; invoker; op } ->
+      let lineage =
+        match Obs.Lineage.query ring ~lsn () with
+        | Some l -> Obs.Lineage.to_json l
+        | None -> Obs.Json.Null
+      in
+      Obs.Json.Obj
+        [
+          ("kind", Obs.Json.String "update");
+          ("lsn", Obs.Json.Int (Lsn.to_int lsn));
+          ("invoker", Obs.Json.String (xid_str invoker));
+          ("op", Obs.Json.String (op_str op));
+          ( "str",
+            Obs.Json.String
+              (Printf.sprintf "%d:upd(%s,%s)" (Lsn.to_int lsn)
+                 (xid_str invoker) (op_str op)) );
+          ("lineage", lineage);
+        ]
+  | Db.Delegated { lsn; from_; to_; op_lsn } ->
+      Obs.Json.Obj
+        [
+          ("kind", Obs.Json.String "delegate");
+          ("lsn", Obs.Json.Int (Lsn.to_int lsn));
+          ("from", Obs.Json.String (xid_str from_));
+          ("to", Obs.Json.String (xid_str to_));
+          ( "op_lsn",
+            match op_lsn with
+            | Some l -> Obs.Json.Int (Lsn.to_int l)
+            | None -> Obs.Json.Null );
+          ( "str",
+            Obs.Json.String
+              (Printf.sprintf "%d:del(%s->%s)" (Lsn.to_int lsn)
+                 (xid_str from_) (xid_str to_)) );
+        ]
+  | Db.Compensated { lsn; by; undone } ->
+      Obs.Json.Obj
+        [
+          ("kind", Obs.Json.String "clr");
+          ("lsn", Obs.Json.Int (Lsn.to_int lsn));
+          ("by", Obs.Json.String (xid_str by));
+          ("undone", Obs.Json.Int (Lsn.to_int undone));
+          ( "str",
+            Obs.Json.String
+              (Printf.sprintf "%d:clr(%s,undid %d)" (Lsn.to_int lsn)
+                 (xid_str by) (Lsn.to_int undone)) );
+        ]
+
+let mismatches_json db ring want =
+  let out = ref [] in
+  for i = Array.length want - 1 downto 0 do
+    let oid = Oid.of_int i in
+    let got = Db.peek db oid in
+    if got <> want.(i) then
+      out :=
+        Obs.Json.Obj
+          [
+            ("object", Obs.Json.Int i);
+            ("got", Obs.Json.Int got);
+            ("want", Obs.Json.Int want.(i));
+            ( "history",
+              Obs.Json.List
+                (List.map (history_event_json ring) (Db.object_history db oid))
+            );
+          ]
+        :: !out
+  done;
+  !out
+
+let dump ~kind ~seed ?crash_io ?expected ?(last = 512) ~failures db =
+  let ring = Db.ring db in
+  Obs.Json.Obj
+    [
+      ("kind", Obs.Json.String kind);
+      ("engine", Obs.Json.String (engine_name (Db.config db).Config.impl));
+      ("seed", Obs.Json.String (Int64.to_string seed));
+      ( "crash_io",
+        match crash_io with Some k -> Obs.Json.Int k | None -> Obs.Json.Null );
+      ( "failures",
+        Obs.Json.List (List.rev_map (fun s -> Obs.Json.String s) failures) );
+      ( "mismatches",
+        Obs.Json.List
+          (match expected with
+          | None -> []
+          | Some want -> mismatches_json db ring want) );
+      ("trace", Obs.Ring.to_json ~last ring);
+      ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot (Db.metrics db)));
+    ]
+
+let file_name ~kind ~engine ~seed ?crash_io ?tag () =
+  Printf.sprintf "FORENSIC_%s_%s_seed%Ld%s%s.json" kind engine seed
+    (match crash_io with Some k -> Printf.sprintf "_io%d" k | None -> "")
+    (match tag with Some t -> "_" ^ t | None -> "")
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write ~dir ~kind ~seed ?crash_io ?tag ?expected ?last ~failures db =
+  let doc = dump ~kind ~seed ?crash_io ?expected ?last ~failures db in
+  let engine = engine_name (Db.config db).Config.impl in
+  let file = file_name ~kind ~engine ~seed ?crash_io ?tag () in
+  mkdir_p dir;
+  let path = Filename.concat dir file in
+  Obs.Json.to_file path doc;
+  path

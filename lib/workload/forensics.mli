@@ -1,0 +1,67 @@
+(** Forensic dumps for storm failures.
+
+    When a storm harness detects an invariant violation — a state
+    mismatch against the oracle, a structural invariant failure, a
+    non-idempotent restart, or a restart that died outright — the bug is
+    almost always long gone by the time a human looks: the interesting
+    history happened dozens of crash-recover cycles earlier. A forensic
+    dump freezes everything needed to diagnose it at the moment of
+    detection:
+
+    - the failure messages themselves;
+    - per-object mismatches, each with the object's full log history
+      (updates, delegations, compensations) and, for every update, its
+      {!Ariesrh_obs.Lineage} — the responsibility chain reconstructed
+      from the trace ring;
+    - the last window of the structured trace ring (the storm enables
+      tracing on its databases whenever a forensic directory is set);
+    - a metrics snapshot of the database's registry.
+
+    Dumps are deterministic: no wall-clock, no absolute paths, stable
+    field order — two runs of the same seed produce byte-identical
+    files, so a dump can be committed as a repro artifact (see
+    [test/test_known_bugs.ml]). *)
+
+open Ariesrh_core
+
+val engine_name : Config.delegation_impl -> string
+(** ["rh"], ["eager"], or ["lazy"]. *)
+
+val dump :
+  kind:string ->
+  seed:int64 ->
+  ?crash_io:int ->
+  ?expected:int array ->
+  ?last:int ->
+  failures:string list ->
+  Db.t ->
+  Ariesrh_obs.Json.t
+(** Build the dump document. [kind] names the harness (["crash"],
+    ["sim"], ["pressure"]); [crash_io] the failing crash point when the
+    harness has one; [expected] the oracle state (omitted = no mismatch
+    section); [last] bounds the trace window (default 512 events);
+    [failures] newest first, as the storm outcomes keep them. *)
+
+val file_name :
+  kind:string ->
+  engine:string ->
+  seed:int64 ->
+  ?crash_io:int ->
+  ?tag:string ->
+  unit ->
+  string
+(** [FORENSIC_<kind>_<engine>_seed<N>[_io<K>][_<tag>].json]. *)
+
+val write :
+  dir:string ->
+  kind:string ->
+  seed:int64 ->
+  ?crash_io:int ->
+  ?tag:string ->
+  ?expected:int array ->
+  ?last:int ->
+  failures:string list ->
+  Db.t ->
+  string
+(** {!dump} then write under [dir] (created if missing) with
+    {!file_name}; returns the path written. *)

@@ -25,6 +25,7 @@ type config = {
   backoff_base : int;
   max_backoff : int;
   max_retries : int;
+  forensic_dir : string option;
 }
 
 let default_config =
@@ -47,6 +48,7 @@ let default_config =
     backoff_base = 4;
     max_backoff = 64;
     max_retries = 10;
+    forensic_dir = None;
   }
 
 type outcome = {
@@ -157,6 +159,7 @@ let run ?(config = default_config) () =
   Fault.set_tear_log_on_crash fault true;
   let db =
     Db.create ~fault
+      ~tracing:(config.forensic_dir <> None)
       (Config.make ~n_objects:config.n_objects ~objects_per_page:8
          ~buffer_capacity:(max 4 (config.n_objects / 32))
          ~impl:config.impl ~locking:true
@@ -382,12 +385,32 @@ let run ?(config = default_config) () =
              (Printexc.to_string e)));
     Fault.set_enabled fault true
   in
+  (* best-effort forensic dump when a check round added failures; never
+     allowed to take the storm down (the db may be wedged mid-restart) *)
+  let maybe_dump ~fail_before ~tag =
+    match config.forensic_dir with
+    | Some dir when List.length outcome.failures > fail_before ->
+        Fault.set_enabled fault false;
+        let fresh =
+          List.filteri
+            (fun i _ -> i < List.length outcome.failures - fail_before)
+            outcome.failures
+        in
+        (try
+           ignore
+             (Forensics.write ~dir ~kind:"pressure" ~seed:config.seed ~tag
+                ~expected:(expected ()) ~failures:fresh db)
+         with _ -> ());
+        Fault.set_enabled fault true
+    | _ -> ()
+  in
   let fatal = ref false in
   let handle_crash () =
     outcome.crashes <- outcome.crashes + 1;
     Db.crash db;
     absorb_commits ();
-    match recover_until_stable () with
+    let fail_before = List.length outcome.failures in
+    (match recover_until_stable () with
     | Error msg ->
         (* the db never came back up — nothing after this is meaningful *)
         fail outcome (Printf.sprintf "crash #%d: %s" outcome.crashes msg);
@@ -398,7 +421,8 @@ let run ?(config = default_config) () =
         Governor.note_crash gov;
         reset_clients ();
         if config.crash_every > 0 then
-          Fault.arm_crash_in fault config.crash_every
+          Fault.arm_crash_in fault config.crash_every);
+    maybe_dump ~fail_before ~tag:(Printf.sprintf "crash%d" outcome.crashes)
   in
   let maybe_arm_squeeze () =
     if
@@ -460,11 +484,13 @@ let run ?(config = default_config) () =
   if not !fatal then begin
     Db.crash db;
     absorb_commits ();
+    let fail_before = List.length outcome.failures in
     (match recover_until_stable () with
     | Error msg -> fail outcome (Printf.sprintf "final restart: %s" msg)
     | Ok () ->
         absorb_commits ();
-        check_state "final")
+        check_state "final");
+    maybe_dump ~fail_before ~tag:"final"
   end;
   let gs = Governor.stats gov in
   outcome.gov_ticks <- gs.Governor.ticks;

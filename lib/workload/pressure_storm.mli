@@ -53,6 +53,11 @@ type config = {
   backoff_base : int;
   max_backoff : int;
   max_retries : int;
+  forensic_dir : string option;
+      (** when set, the storm database runs with the trace ring enabled
+          and every check round that adds failures writes a
+          {!Forensics.write} dump into this directory; [None] (the
+          default) disables both *)
 }
 
 val default_config : config

@@ -70,6 +70,33 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
   and abandoned = ref 0
   and victimized = ref 0
   and now = ref 0 in
+  (* the simulator's tallies, readable through the db's registry while
+     the run is in flight (a governor dashboard, the CLI's metrics
+     export) — registration replaces any previous sim's sources *)
+  let () =
+    let reg name help r =
+      Ariesrh_obs.Metrics.counter (Db.metrics db) ~help name (fun () -> !r)
+    in
+    reg "ariesrh_sim_committed_total" "Transactions committed by sim clients"
+      committed;
+    reg "ariesrh_sim_aborted_total" "Sim transactions rolled back" aborted;
+    reg "ariesrh_sim_waits_total" "Times a sim client parked on a lock" waits;
+    reg "ariesrh_sim_deadlocks_total" "Deadlock cycles broken" deadlocks;
+    reg "ariesrh_sim_delegations_total" "Delegations performed by sim clients"
+      delegations;
+    reg "ariesrh_sim_overloads_total" "Typed Overloaded refusals observed"
+      overloads;
+    reg "ariesrh_sim_log_fulls_total" "Typed Log_full refusals observed"
+      log_fulls;
+    reg "ariesrh_sim_backoffs_total" "Times a sim client entered backoff"
+      backoffs;
+    reg "ariesrh_sim_stall_steps_total" "Scheduler steps spent parked"
+      stall_steps;
+    reg "ariesrh_sim_abandoned_total" "Transactions given up after retries"
+      abandoned;
+    reg "ariesrh_sim_victimized_total" "Transactions killed externally"
+      victimized
+  in
   (* per-operation increments each live transaction is responsible for:
      (object, delta, update lsn) — lsn-level tracking lets the simulator
      exercise operation-granularity delegation too *)

@@ -18,4 +18,6 @@ let () =
       ("properties", Test_properties.suite);
       ("fault", Test_fault.suite);
       ("governor", Test_governor.suite);
+      ("obs", Test_obs.suite);
+      ("known-bugs", Test_known_bugs.suite);
     ]

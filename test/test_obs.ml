@@ -1,0 +1,243 @@
+(* The unified observability layer: metrics registry determinism, trace
+   ring wraparound, delegation-lineage queries across a crash, and the
+   recovery profiler surfaced through [Report.profile] on all three
+   engines. *)
+
+open Ariesrh_types
+open Ariesrh_core
+module Obs = Ariesrh_obs
+module Log_store = Ariesrh_wal.Log_store
+
+let xid = Xid.of_int
+let oid = Oid.of_int
+
+let mk ?(impl = Config.Rh) ?(tracing = false) () =
+  Db.create ~tracing
+    (Config.make ~n_objects:16 ~objects_per_page:4 ~buffer_capacity:8 ~impl
+       ~locking:true ())
+
+let flush_log db =
+  Log_store.flush (Db.log_store db) ~upto:(Log_store.head (Db.log_store db))
+
+(* --- metrics registry ---------------------------------------------- *)
+
+let registry_snapshot_deterministic () =
+  let m = Obs.Metrics.create () in
+  let a = ref 0 in
+  Obs.Metrics.counter m ~help:"test counter"
+    ~labels:[ ("engine", "rh") ]
+    "t_total"
+    (fun () -> !a);
+  Obs.Metrics.counter m ~help:"test counter"
+    ~labels:[ ("engine", "eager") ]
+    "t_total"
+    (fun () -> 7);
+  Obs.Metrics.gauge m ~help:"test gauge" "b_gauge" (fun () -> 3);
+  Obs.Metrics.histogram m ~help:"test hist" "a_hist" (fun () ->
+      { Obs.Metrics.bounds = [| 1; 2 |]; counts = [| 1; 0; 2 |]; sum = 9 });
+  a := 5;
+  let s1 = Obs.Metrics.snapshot m in
+  let s2 = Obs.Metrics.snapshot m in
+  (* same registry state -> byte-identical JSON, twice *)
+  Alcotest.(check string)
+    "snapshot JSON is reproducible"
+    (Obs.Json.to_string (Obs.Metrics.to_json s1))
+    (Obs.Json.to_string (Obs.Metrics.to_json s2));
+  (* sorted by (name, labels) *)
+  Alcotest.(check (list string))
+    "sorted by name then labels"
+    [ "a_hist"; "b_gauge"; "t_total"; "t_total" ]
+    (List.map (fun s -> s.Obs.Metrics.name) s1);
+  (match s1 with
+  | _ :: _ :: t1 :: t2 :: _ ->
+      Alcotest.(check (list (pair string string)))
+        "eager label sorts first"
+        [ ("engine", "eager") ]
+        t1.Obs.Metrics.labels;
+      Alcotest.(check (list (pair string string)))
+        "rh label second"
+        [ ("engine", "rh") ]
+        t2.Obs.Metrics.labels
+  | _ -> Alcotest.fail "expected 4 samples");
+  (* find *)
+  (match Obs.Metrics.find s1 ~labels:[ ("engine", "rh") ] "t_total" with
+  | Some { value = Obs.Metrics.Int 5; _ } -> ()
+  | _ -> Alcotest.fail "find t_total{engine=rh} = 5");
+  (* re-registration replaces the source, not duplicates it *)
+  Obs.Metrics.gauge m ~help:"test gauge" "b_gauge" (fun () -> 11);
+  let s3 = Obs.Metrics.snapshot m in
+  Alcotest.(check int) "still 4 samples" 4 (List.length s3);
+  match Obs.Metrics.find s3 "b_gauge" with
+  | Some { value = Obs.Metrics.Int 11; _ } -> ()
+  | _ -> Alcotest.fail "re-registered gauge reads 11"
+
+let registry_diff_and_merge () =
+  let m = Obs.Metrics.create () in
+  let c = ref 2 and g = ref 10 in
+  Obs.Metrics.counter m "c_total" (fun () -> !c);
+  Obs.Metrics.gauge m "g" (fun () -> !g);
+  let before = Obs.Metrics.snapshot m in
+  c := 9;
+  g := 4;
+  let after = Obs.Metrics.snapshot m in
+  let d = Obs.Metrics.diff after before in
+  (match Obs.Metrics.find d "c_total" with
+  | Some { value = Obs.Metrics.Int 7; _ } -> ()
+  | _ -> Alcotest.fail "counter diff subtracts (9-2)");
+  (match Obs.Metrics.find d "g" with
+  | Some { value = Obs.Metrics.Int 4; _ } -> ()
+  | _ -> Alcotest.fail "gauge diff keeps the after value");
+  let merged = Obs.Metrics.merge [ after; after ] in
+  (match Obs.Metrics.find merged "c_total" with
+  | Some { value = Obs.Metrics.Int 18; _ } -> ()
+  | _ -> Alcotest.fail "merged counters sum");
+  match Obs.Metrics.find merged "g" with
+  | Some { value = Obs.Metrics.Int 4; _ } -> ()
+  | _ -> Alcotest.fail "merged gauges take the last value"
+
+(* --- trace ring ---------------------------------------------------- *)
+
+let ring_wraparound () =
+  let r = Obs.Ring.create ~capacity:4 ~enabled:true () in
+  for i = 1 to 10 do
+    Obs.Ring.emit r (Obs.Event.Begin { xid = xid i; lsn = Lsn.of_int i })
+  done;
+  Alcotest.(check int) "total counts every emit" 10 (Obs.Ring.total r);
+  Alcotest.(check int) "dropped = total - capacity" 6 (Obs.Ring.dropped r);
+  Alcotest.(check (list int))
+    "retained window is the newest 4, oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Obs.Ring.seq) (Obs.Ring.entries r));
+  Alcotest.(check (list int))
+    "last 2" [ 8; 9 ]
+    (List.map (fun e -> e.Obs.Ring.seq) (Obs.Ring.last r 2));
+  Obs.Ring.clear r;
+  Alcotest.(check int) "clear empties the window" 0
+    (List.length (Obs.Ring.entries r));
+  (* a disabled ring does nothing *)
+  let d = Obs.Ring.create () in
+  Alcotest.(check bool) "disabled by default" false (Obs.Ring.enabled d);
+  Obs.Ring.emit d (Obs.Event.Crash { durable = Lsn.nil });
+  Alcotest.(check int) "emit on disabled ring is a no-op" 0 (Obs.Ring.total d)
+
+(* --- lineage across a delegation chain crossing a crash ------------ *)
+
+let lineage_chain_across_crash () =
+  let db = mk ~tracing:true () in
+  let ring = Db.ring db in
+  let t1 = Db.begin_txn db in
+  Db.add db t1 (oid 3) 5;
+  let u = Db.last_lsn_of db t1 in
+  let t2 = Db.begin_txn db in
+  let t3 = Db.begin_txn db in
+  Db.delegate db ~from_:t1 ~to_:t2 (oid 3);
+  Db.delegate db ~from_:t2 ~to_:t3 (oid 3);
+  (* t1's commit forces the log, making the update and both delegate
+     records durable; responsibility lives with t3, which never commits *)
+  Db.commit db t1;
+  let before_crash = Obs.Ring.total ring in
+  (match Obs.Lineage.query ring ~lsn:u () with
+  | None -> Alcotest.fail "update should be in the retained window"
+  | Some l ->
+      Alcotest.(check int) "invoker is t1" (Xid.to_int t1)
+        (Xid.to_int l.Obs.Lineage.invoker);
+      Alcotest.(check int) "holder is t3 after the chain" (Xid.to_int t3)
+        (Xid.to_int l.Obs.Lineage.holder);
+      Alcotest.(check int) "two transfers" 2
+        (List.length l.Obs.Lineage.transfers);
+      (match l.Obs.Lineage.transfers with
+      | [ a; b ] ->
+          Alcotest.(check int) "first hop from t1" (Xid.to_int t1)
+            (Xid.to_int a.Obs.Lineage.from_);
+          Alcotest.(check int) "first hop to t2" (Xid.to_int t2)
+            (Xid.to_int a.Obs.Lineage.to_);
+          Alcotest.(check int) "second hop to t3" (Xid.to_int t3)
+            (Xid.to_int b.Obs.Lineage.to_)
+      | _ -> Alcotest.fail "transfer chain shape");
+      match l.Obs.Lineage.status with
+      | Obs.Lineage.Live -> ()
+      | s -> Alcotest.failf "expected Live, got %s" (Obs.Lineage.status_str s));
+  (* crash: t3 is a loser, so restart compensates the delegated update *)
+  Db.crash db;
+  ignore (Db.recover db);
+  (match Obs.Lineage.query ring ~lsn:u () with
+  | None -> Alcotest.fail "lineage survives the crash"
+  | Some l -> (
+      Alcotest.(check int) "holder still t3" (Xid.to_int t3)
+        (Xid.to_int l.Obs.Lineage.holder);
+      match l.Obs.Lineage.status with
+      | Obs.Lineage.Compensated _ -> ()
+      | s ->
+          Alcotest.failf "expected Compensated after restart, got %s"
+            (Obs.Lineage.status_str s)));
+  (* the as-of view rewinds history: before the crash it was live *)
+  match Obs.Lineage.query ring ~lsn:u ~as_of:before_crash () with
+  | Some { Obs.Lineage.status = Obs.Lineage.Live; _ } -> ()
+  | Some { Obs.Lineage.status = s; _ } ->
+      Alcotest.failf "as-of view should be Live, got %s"
+        (Obs.Lineage.status_str s)
+  | None -> Alcotest.fail "as-of query finds the update"
+
+(* --- recovery profiler on all three engines ------------------------ *)
+
+let profiler_phases impl () =
+  let db = mk ~impl () in
+  let t1 = Db.begin_txn db in
+  Db.add db t1 (oid 1) 2;
+  Db.commit db t1;
+  let t2 = Db.begin_txn db in
+  Db.add db t2 (oid 2) 3;
+  let t3 = Db.begin_txn db in
+  Db.delegate db ~from_:t2 ~to_:t3 (oid 2);
+  flush_log db;
+  Db.crash db;
+  let r = Db.recover db in
+  let prof = r.Ariesrh_recovery.Report.profile in
+  let phase name =
+    match
+      List.find_opt
+        (fun p -> p.Obs.Profiler.name = name)
+        (Obs.Profiler.phases prof)
+    with
+    | Some p -> p
+    | None -> Alcotest.failf "missing profiler phase %s" name
+  in
+  let fwd = phase "restart.forward" in
+  Alcotest.(check bool) "forward ran" true (fwd.Obs.Profiler.runs >= 1);
+  Alcotest.(check bool)
+    "forward counted records" true
+    (match List.assoc_opt "records" fwd.Obs.Profiler.counts with
+    | Some n -> n > 0
+    | None -> false);
+  let bwd = phase "restart.backward" in
+  Alcotest.(check bool) "backward ran" true (bwd.Obs.Profiler.runs >= 1);
+  Alcotest.(check bool)
+    "backward counted the undos" true
+    (List.assoc_opt "undos" bwd.Obs.Profiler.counts = Some r.undos);
+  ignore (phase "restart.finish");
+  (* deterministic artifact: no wall time in the JSON *)
+  let json = Obs.Json.to_string (Obs.Profiler.to_json prof) in
+  Alcotest.(check bool)
+    "profiler JSON carries no seconds" false
+    (let rec contains i =
+       i + 7 <= String.length json
+       && (String.sub json i 7 = "seconds" || contains (i + 1))
+     in
+     contains 0)
+
+let suite =
+  [
+    Alcotest.test_case "registry: snapshot determinism" `Quick
+      registry_snapshot_deterministic;
+    Alcotest.test_case "registry: diff and merge" `Quick
+      registry_diff_and_merge;
+    Alcotest.test_case "ring: wraparound and disabled no-op" `Quick
+      ring_wraparound;
+    Alcotest.test_case "lineage: delegate chain across a crash" `Quick
+      lineage_chain_across_crash;
+    Alcotest.test_case "profiler: phases under rh" `Quick
+      (profiler_phases Config.Rh);
+    Alcotest.test_case "profiler: phases under eager" `Quick
+      (profiler_phases Config.Eager);
+    Alcotest.test_case "profiler: phases under lazy" `Quick
+      (profiler_phases Config.Lazy);
+  ]

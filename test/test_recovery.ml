@@ -20,7 +20,9 @@ let raw_env () =
       ~wal_flush:(fun _ -> ())
       ()
   in
-  Env.make ~log ~pool ~place:(fun o -> (Page_id.of_int 0, Oid.to_int o))
+  Env.make ~log ~pool
+    ~place:(fun o -> (Page_id.of_int 0, Oid.to_int o))
+    ()
 
 (* append an update record and apply it, as normal processing would *)
 let upd env ~prev x o d =
