@@ -14,6 +14,9 @@ open Ariesrh_core
 open Ariesrh_workload
 module Log_store = Ariesrh_wal.Log_store
 module Log_stats = Ariesrh_wal.Log_stats
+module Buffer_pool = Ariesrh_storage.Buffer_pool
+module Ob_list = Ariesrh_txn.Ob_list
+module Obs = Ariesrh_obs
 
 let header title claim =
   Format.printf "@.=== %s ===@.%s@.@." title claim
@@ -762,11 +765,166 @@ let e15 () =
       close_out oc;
       Format.printf "@.wrote %s@." path
 
+(* ------------------------------------------------------------------ *)
+(* E16: hot-path logical counters (perf-regression gate)               *)
+(* ------------------------------------------------------------------ *)
+
+(* An experiment may leave extra top-level fields for its
+   BENCH_<name>.json artifact here; [run_instrumented] drains the list
+   after the run. E16 uses it to publish the gated counters. *)
+let artifact_extra : (string * Obs.Json.t) list ref = ref []
+
+let e16 () =
+  header "E16: hot-path logical counters (perf-regression gate)"
+    "The four hot paths of this PR, measured with deterministic logical\n\
+     counters — never wall time, so CI can gate on exact drift:\n\
+     (a) decoded-record cache under a restart-heavy workload\n\
+     (b) O(1) LRU eviction: frames examined per eviction, across pool sizes\n\
+     (c) group commit: log forces under the concurrent simulator\n\
+     (d) invoker-indexed scope lookup under heavy delegation.\n\
+     CI regenerates these counters and fails if any regresses >5%\n\
+     against bench/baseline_e16.json.";
+  let engines =
+    [ ("rh", Config.Rh); ("lazy", Config.Lazy); ("eager", Config.Eager) ]
+  in
+  (* (a) restart-heavy decode workload: run a delegation-heavy script to
+     90%, then crash+recover repeatedly. Every restart re-reads the same
+     durable prefix; the cache turns those re-decodes into hits. *)
+  let restart_spec =
+    {
+      Gen.default with
+      n_objects = 128;
+      n_steps = 1500;
+      max_concurrent = 12;
+      p_delegate = 0.2;
+      p_commit = 0.05;
+      p_abort = 0.02;
+      p_checkpoint = 0.0;
+      terminate_all = false;
+    }
+  in
+  let restart_script = Gen.generate restart_spec ~seed:37L in
+  let restart_heavy impl ~record_cache =
+    let db = Driver.fresh_db ~impl ~record_cache ~n_objects:128 () in
+    Driver.run ~upto:(List.length restart_script * 9 / 10) db restart_script;
+    flush_log db;
+    for _ = 1 to 6 do
+      Db.crash db;
+      ignore (Db.recover db)
+    done;
+    (Log_store.decode_calls (Db.log_store db), Db.peek_all db)
+  in
+  (* (b) eviction scans: E12's skewed workload at two pool sizes; the
+     gate is scans == evictions (one frame examined per eviction)
+     whatever the pool size — the old fold examined every frame. *)
+  let evict_spec =
+    {
+      Gen.default with
+      n_objects = 512;
+      n_steps = 2500;
+      theta = 0.9;
+      p_checkpoint = 0.0;
+    }
+  in
+  let evict_script = Gen.generate evict_spec ~seed:17L in
+  let evictions impl ~capacity =
+    let db =
+      Db.create
+        (Config.make ~n_objects:512 ~objects_per_page:8
+           ~buffer_capacity:capacity ~impl ())
+    in
+    Driver.run db evict_script;
+    let pool = (Db.env db).Ariesrh_recovery.Env.pool in
+    let _, _, ev = Db.pool_counters db in
+    (ev, Buffer_pool.eviction_scans pool)
+  in
+  (* (c) group commit: the same contended simulator run with commits
+     forced one by one vs batched 8 at a time. *)
+  let sim_flushes impl ~group_commit =
+    let db =
+      Db.create
+        (Config.make ~n_objects:64 ~buffer_capacity:16 ~impl ~locking:true
+           ~group_commit ())
+    in
+    let o =
+      Sim.run ~clients:8 ~txns_per_client:60 ~n_objects:48
+        ~delegation_rate:0.25 ~seed:31L db
+    in
+    Db.flush_commits db;
+    assert o.Sim.state_ok;
+    ((Log_store.stats (Db.log_store db)).Log_stats.flushes, o.Sim.committed)
+  in
+  (* (d) scope probes: a delegation-heavy script plus one crash/recover,
+     so both normal-processing partition (split_out) and recovery
+     trimming (trim_covering) are exercised. The counter is global, so
+     measure the delta around the phase. *)
+  let scope_spec = { restart_spec with p_delegate = 0.4; n_steps = 2000 } in
+  let scope_script = Gen.generate scope_spec ~seed:41L in
+  let scope_probes impl =
+    let before = Ob_list.scope_probes () in
+    let db = Driver.fresh_db ~impl ~n_objects:128 () in
+    Driver.run ~upto:(List.length scope_script * 9 / 10) db scope_script;
+    flush_log db;
+    Db.crash db;
+    ignore (Db.recover db);
+    Ob_list.scope_probes () - before
+  in
+  let rows = ref [] in
+  Format.printf
+    "%-6s | %10s %10s %7s | %9s %9s | %9s %9s | %10s@." "engine"
+    "dec_cold" "dec_cache" "saved" "scan/ev4" "scan/ev32" "flushes"
+    "flushes_g" "scope_prb";
+  List.iter
+    (fun (name, impl) ->
+      let dec_cold, st_cold = restart_heavy impl ~record_cache:0 in
+      let dec_cached, st_cached =
+        restart_heavy impl ~record_cache:Config.default.Config.record_cache
+      in
+      assert (st_cold = st_cached);
+      let ev4, scans4 = evictions impl ~capacity:4 in
+      let ev32, scans32 = evictions impl ~capacity:32 in
+      assert (scans4 = ev4 && scans32 = ev32);
+      let fl_eager, committed = sim_flushes impl ~group_commit:0 in
+      let fl_grouped, committed' = sim_flushes impl ~group_commit:8 in
+      assert (committed = committed');
+      assert (fl_grouped < fl_eager);
+      let probes = scope_probes impl in
+      let saved =
+        100. *. (1. -. (float_of_int dec_cached /. float_of_int dec_cold))
+      in
+      assert (2 * dec_cached <= dec_cold);
+      Format.printf
+        "%-6s | %10d %10d %6.1f%% | %4d/%-4d %4d/%-4d | %9d %9d | %10d@."
+        name dec_cold dec_cached saved scans4 ev4 scans32 ev32 fl_eager
+        fl_grouped probes;
+      rows :=
+        ( name,
+          Obs.Json.Obj
+            [
+              ("decode_calls_uncached", Obs.Json.Int dec_cold);
+              ("decode_calls_cached", Obs.Json.Int dec_cached);
+              ("evictions_pool4", Obs.Json.Int ev4);
+              ("eviction_scans_pool4", Obs.Json.Int scans4);
+              ("evictions_pool32", Obs.Json.Int ev32);
+              ("eviction_scans_pool32", Obs.Json.Int scans32);
+              ("log_flushes_eager", Obs.Json.Int fl_eager);
+              ("log_flushes_grouped", Obs.Json.Int fl_grouped);
+              ("sim_committed", Obs.Json.Int committed);
+              ("scope_probes", Obs.Json.Int probes);
+            ] )
+        :: !rows)
+    engines;
+  artifact_extra := [ ("counters", Obs.Json.Obj (List.rev !rows)) ];
+  Format.printf
+    "@.all engines: cached restarts decode >=2x fewer records, every@.\
+     eviction examines exactly one frame, and group commit forces the@.\
+     log strictly less often at identical committed work.@."
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
   ]
 
 (* Every experiment unconditionally leaves a machine-readable artifact
@@ -775,7 +933,6 @@ let experiments =
    histograms sum; the Db create hook collects the registries). Unlike
    the forensic/trace artifacts, wall time is fine here — bench output
    is a measurement, not a committed repro. *)
-module Obs = Ariesrh_obs
 
 let run_instrumented name f =
   (* Retaining every database's registry would pin each db's log and
@@ -803,14 +960,20 @@ let run_instrumented name f =
   let ms = 1000. *. (Unix.gettimeofday () -. t0) in
   roll ();
   let path = Printf.sprintf "BENCH_%s.json" name in
+  let extra = !artifact_extra in
+  artifact_extra := [];
   Obs.Json.to_file path
     (Obs.Json.Obj
-       [
-         ("experiment", Obs.Json.String name);
-         ("wall_ms", Obs.Json.Float ms);
-         ("databases", Obs.Json.Int !dbs);
-         ("metrics", Obs.Metrics.to_json (Obs.Metrics.merge (List.rev !snaps)));
-       ]);
+       ([
+          ("experiment", Obs.Json.String name);
+          ("wall_ms", Obs.Json.Float ms);
+          ("databases", Obs.Json.Int !dbs);
+        ]
+       @ extra
+       @ [
+           ( "metrics",
+             Obs.Metrics.to_json (Obs.Metrics.merge (List.rev !snaps)) );
+         ]));
   Format.printf "@.[%s: %.0f ms; metrics -> %s]@." name ms path
 
 let () =

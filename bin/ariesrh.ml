@@ -406,6 +406,17 @@ let storm_cmd =
     Arg.(value & opt int 4
          & info [ "clients" ] ~doc:"Simulated storm concurrent clients.")
   in
+  let group_commit =
+    Arg.(value & opt int 0
+         & info [ "group-commit" ]
+             ~doc:"Batch commit log forces in groups of this size (0 = force \
+                   each commit).")
+  in
+  let record_cache =
+    Arg.(value & opt int Config.default.Config.record_cache
+         & info [ "record-cache" ]
+             ~doc:"Decoded-record cache capacity (0 = disable).")
+  in
   let forensic_dir =
     Arg.(value & opt string "."
          & info [ "forensic-dir" ] ~docv:"DIR"
@@ -413,11 +424,13 @@ let storm_cmd =
                    per-mismatch lineage, metrics); $(b,none) disables them.")
   in
   let run obs steps objects seeds seed0 rate impl depth crash_step sim_steps
-      clients forensic_dir =
+      clients group_commit record_cache forensic_dir =
     let base =
       { Crash_storm.default_config with
         recovery_crash_depth = depth;
         crash_step = max 1 crash_step;
+        group_commit;
+        record_cache;
         forensic_dir =
           (if forensic_dir = "none" then None else Some forensic_dir) }
     in
@@ -454,7 +467,8 @@ let storm_cmd =
              and log tails; verify every restart against the oracle")
     Term.(
       const run $ obs_term $ steps $ objects $ seeds $ seed0 $ rate $ impl
-      $ depth $ crash_step $ sim_steps $ clients $ forensic_dir)
+      $ depth $ crash_step $ sim_steps $ clients $ group_commit $ record_cache
+      $ forensic_dir)
 
 (* --- pressure-storm --- *)
 
@@ -494,6 +508,17 @@ let pressure_storm_cmd =
          & info [ "engine" ]
              ~doc:"Engine: rh, eager, or lazy. Default: all three.")
   in
+  let group_commit =
+    Arg.(value & opt int 0
+         & info [ "group-commit" ]
+             ~doc:"Batch commit log forces in groups of this size (0 = force \
+                   each commit).")
+  in
+  let record_cache =
+    Arg.(value & opt int Config.default.Config.record_cache
+         & info [ "record-cache" ]
+             ~doc:"Decoded-record cache capacity (0 = disable).")
+  in
   let forensic_dir =
     Arg.(value & opt string "."
          & info [ "forensic-dir" ] ~docv:"DIR"
@@ -501,7 +526,7 @@ let pressure_storm_cmd =
                    per-mismatch lineage, metrics); $(b,none) disables them.")
   in
   let run obs seeds seed0 steps clients capacity crash_every depth rate impl
-      forensic_dir =
+      group_commit record_cache forensic_dir =
     let engines =
       match impl with
       | Some i -> [ i ]
@@ -521,6 +546,8 @@ let pressure_storm_cmd =
               crash_every;
               recovery_crash_depth = depth;
               p_delegate = rate;
+              group_commit;
+              record_cache;
               forensic_dir =
                 (if forensic_dir = "none" then None else Some forensic_dir) }
           in
@@ -541,7 +568,8 @@ let pressure_storm_cmd =
              retry with backoff; the oracle is checked after every restart")
     Term.(
       const run $ obs_term $ seeds $ seed0 $ steps $ clients $ capacity
-      $ crash_every $ depth $ rate $ impl $ forensic_dir)
+      $ crash_every $ depth $ rate $ impl $ group_commit $ record_cache
+      $ forensic_dir)
 
 (* --- metrics --- *)
 

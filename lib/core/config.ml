@@ -12,6 +12,8 @@ type t = {
   locking : bool;
   log_capacity_bytes : int option;
   log_capacity_records : int option;
+  group_commit : int;
+  record_cache : int;
 }
 
 let default =
@@ -25,6 +27,8 @@ let default =
     locking = true;
     log_capacity_bytes = None;
     log_capacity_records = None;
+    group_commit = 0;
+    record_cache = 8192;
   }
 
 let make ?(n_objects = default.n_objects)
@@ -32,7 +36,9 @@ let make ?(n_objects = default.n_objects)
     ?(buffer_capacity = default.buffer_capacity)
     ?(log_page_size = default.log_page_size) ?(impl = default.impl)
     ?(forward_passes = default.forward_passes) ?(locking = default.locking)
-    ?log_capacity_bytes ?log_capacity_records () =
+    ?log_capacity_bytes ?log_capacity_records
+    ?(group_commit = default.group_commit)
+    ?(record_cache = default.record_cache) () =
   {
     n_objects;
     objects_per_page;
@@ -43,6 +49,8 @@ let make ?(n_objects = default.n_objects)
     locking;
     log_capacity_bytes;
     log_capacity_records;
+    group_commit;
+    record_cache;
   }
 
 let pages_needed t = (t.n_objects + t.objects_per_page - 1) / t.objects_per_page
@@ -59,7 +67,11 @@ let validate t =
   | Some c when c <= 0 ->
       invalid_arg "Config: log_capacity_bytes must be positive"
   | _ -> ());
-  match t.log_capacity_records with
+  (match t.log_capacity_records with
   | Some c when c <= 0 ->
       invalid_arg "Config: log_capacity_records must be positive"
-  | _ -> ()
+  | _ -> ());
+  if t.group_commit < 0 then
+    invalid_arg "Config: group_commit must be non-negative";
+  if t.record_cache < 0 then
+    invalid_arg "Config: record_cache must be non-negative"

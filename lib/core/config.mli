@@ -25,6 +25,15 @@ type t = {
       (** hard byte budget for the WAL; [None] = unbounded (default) *)
   log_capacity_records : int option;
       (** hard record budget for the WAL; [None] = unbounded (default) *)
+  group_commit : int;
+      (** commit batch size: [0] or [1] (default [0]) forces the log at
+          every commit; [n > 1] lets commits join a group that shares one
+          flush once [n] are pending (see [Db.flush_commits] for the
+          explicit barrier and [Db.set_commit_durable_hook] for observing
+          when a commit actually hardens) *)
+  record_cache : int;
+      (** decoded-record cache capacity for the log ([0] disables);
+          see [Log_store.create] *)
 }
 
 val default : t
@@ -41,6 +50,8 @@ val make :
   ?locking:bool ->
   ?log_capacity_bytes:int ->
   ?log_capacity_records:int ->
+  ?group_commit:int ->
+  ?record_cache:int ->
   unit ->
   t
 

@@ -30,6 +30,8 @@ type db_stats = {
   mutable delegate_ops : int;
   mutable checkpoints : int;
   mutable recoveries : int;
+  mutable group_joins : int;  (* commits that joined a pending group *)
+  mutable group_flushes : int;  (* shared forces closing a full group *)
 }
 
 type t = {
@@ -48,6 +50,11 @@ type t = {
   reserves : (int, txn_reserve) Hashtbl.t;  (* keyed by xid *)
   mutable refuse_begins : bool;  (* governor backpressure flags *)
   mutable refuse_delegations : bool;
+  (* Group commit: committed-but-not-yet-forced transactions waiting on
+     the shared flush, as (xid, commit-record LSN). Volatile — a crash
+     drops the group, and those transactions roll back at restart. *)
+  mutable gc_waiters : (Xid.t * Lsn.t) list;
+  mutable on_commit_durable : (Xid.t -> unit) option;
   env : Env.t;
   ring : Obs.Ring.t;
   metrics : Obs.Metrics.t Lazy.t;
@@ -85,7 +92,8 @@ let create ?(fault = Fault.none ()) ?(tracing = false)
   let log =
     Log_store.create ~page_size:config.log_page_size
       ?capacity_bytes:config.log_capacity_bytes
-      ?capacity_records:config.log_capacity_records ~fault ()
+      ?capacity_records:config.log_capacity_records
+      ~record_cache:config.record_cache ~fault ()
   in
   let pool =
     Buffer_pool.create ~fault ~capacity:config.buffer_capacity ~disk
@@ -113,6 +121,8 @@ let create ?(fault = Fault.none ()) ?(tracing = false)
       delegate_ops = 0;
       checkpoints = 0;
       recoveries = 0;
+      group_joins = 0;
+      group_flushes = 0;
     }
   in
   let metrics =
@@ -137,6 +147,10 @@ let create ?(fault = Fault.none ()) ?(tracing = false)
          "ariesrh_checkpoints_total" (fun () -> stats.checkpoints);
        M.counter metrics ~help:"restart recoveries run"
          "ariesrh_recoveries_total" (fun () -> stats.recoveries);
+       M.counter metrics ~help:"commits that joined a group-commit batch"
+         "ariesrh_group_commit_joins_total" (fun () -> stats.group_joins);
+       M.counter metrics ~help:"shared log forces closing a commit group"
+         "ariesrh_group_commit_flushes_total" (fun () -> stats.group_flushes);
        M.counter metrics ~help:"torn pages repaired" "ariesrh_repairs_total"
          (fun () -> env.Env.repairs);
        M.counter metrics ~help:"trace events emitted"
@@ -159,6 +173,8 @@ let create ?(fault = Fault.none ()) ?(tracing = false)
       reserves = Hashtbl.create 16;
       refuse_begins = false;
       refuse_delegations = false;
+      gc_waiters = [];
+      on_commit_durable = None;
       env;
       ring;
       metrics;
@@ -337,6 +353,36 @@ let finish t (info : Txn_table.info) =
   drop_permits t info.xid;
   Txn_table.remove t.tt info.xid
 
+(* --- group commit --- *)
+
+let set_commit_durable_hook t f = t.on_commit_durable <- f
+
+let notify_durable t xid =
+  match t.on_commit_durable with None -> () | Some f -> f xid
+
+(* Fire the durability hook for waiters whose commit record is already
+   covered by the durable horizon — a WAL-rule eviction flush, a
+   checkpoint, or an eager delegation force may harden a group as a side
+   effect, and those commits must not wait for the batch to fill. *)
+let settle_group t =
+  match t.gc_waiters with
+  | [] -> ()
+  | ws ->
+      let d = Log_store.durable t.log in
+      let hard, still = List.partition (fun (_, l) -> Lsn.(l <= d)) ws in
+      t.gc_waiters <- still;
+      List.iter (fun (x, _) -> notify_durable t x) (List.rev hard)
+
+let flush_commits t =
+  settle_group t;
+  match t.gc_waiters with
+  | [] -> ()
+  | ws ->
+      let hi = List.fold_left (fun a (_, l) -> Lsn.max a l) Lsn.nil ws in
+      Log_store.flush t.log ~upto:hi;
+      t.stats.group_flushes <- t.stats.group_flushes + 1;
+      settle_group t
+
 let commit t xid =
   let info = active_exn t xid in
   (* commit must never be refused for log space: it only shrinks the
@@ -344,7 +390,21 @@ let commit t xid =
   release_ledger t xid;
   let commit_lsn = append_on_chain_reserved t info Record.Commit in
   info.status <- Txn_table.Committed;
-  Log_store.flush t.log ~upto:info.last_lsn;
+  (if t.config.Config.group_commit <= 1 then begin
+     Log_store.flush t.log ~upto:commit_lsn;
+     notify_durable t xid
+   end
+   else begin
+     (* join the pending group; the shared force happens when the batch
+        fills (or at an explicit [flush_commits] barrier). The End
+        record, lock release, and table removal below do not wait: the
+        commit record alone decides the outcome at restart. *)
+     settle_group t;
+     t.gc_waiters <- (xid, commit_lsn) :: t.gc_waiters;
+     t.stats.group_joins <- t.stats.group_joins + 1;
+     if List.length t.gc_waiters >= t.config.Config.group_commit then
+       flush_commits t
+   end);
   ignore (append_on_chain_reserved t info Record.End);
   t.stats.commits <- t.stats.commits + 1;
   if tracing t then
@@ -563,7 +623,8 @@ let delegate t ~from_ ~to_ oid =
   | Some (entry, rest) ->
       tor_info.ob_list <- rest;
       tee_info.ob_list <-
-        Ob_list.receive tee_info.ob_list ~oid ~from_ entry.scopes);
+        Ob_list.receive tee_info.ob_list ~oid ~from_
+          (Ob_list.entry_scopes entry));
   move_reserved_object t ~from_ ~to_ oid;
   t.stats.delegations <- t.stats.delegations + 1;
   if tracing t then
@@ -597,9 +658,10 @@ let delegate_update t ~from_ ~to_ oid op_lsn =
     | [] -> raise (Errors.Not_responsible { xid = from_; oid })
     | [ x ] -> x
     | _ -> (
-        match (Log_store.read t.log op_lsn).Record.body with
+        let r = Log_store.read t.log op_lsn in
+        match r.Record.body with
         | Record.Update u when Oid.equal u.Record.oid oid ->
-            Record.writer_exn (Log_store.read t.log op_lsn)
+            Record.writer_exn r
         | _ -> raise (Errors.Not_responsible { xid = from_; oid }))
   in
   (* Operation-granularity delegation is for commuting updates — the
@@ -672,6 +734,8 @@ let checkpoint t =
   in
   Log_store.flush t.log ~upto:lsn;
   Log_store.set_master t.log lsn;
+  (* the checkpoint force covers any pending commit group *)
+  settle_group t;
   t.stats.checkpoints <- t.stats.checkpoints + 1;
   if tracing t then
     Obs.Ring.emit t.ring (Obs.Event.Checkpoint { begin_lsn; end_lsn = lsn })
@@ -696,6 +760,10 @@ let truncation_horizon t =
   end
 
 let truncate_log t =
+  (* settle first: truncation may drop durable commit records, and any
+     waiter they belong to must have been notified before its record
+     becomes unreadable *)
+  settle_group t;
   let horizon = truncation_horizon t in
   if Lsn.is_nil horizon then 0
   else begin
@@ -738,6 +806,10 @@ let crash t =
   if tracing t then
     Obs.Ring.emit t.ring
       (Obs.Event.Crash { durable = Log_store.durable t.log });
+  (* an unforced commit group dies with the crash: its transactions have
+     no durable commit record and roll back at restart, which is exactly
+     the group-commit durability contract *)
+  t.gc_waiters <- [];
   Log_store.crash t.log;
   Buffer_pool.crash t.pool;
   t.locks <- Lock_table.create ();
@@ -755,6 +827,7 @@ type backup = { pages : Page.t array; complete_upto : Lsn.t }
 let backup t =
   (* quiesce: every logged effect reaches the disk image *)
   Log_store.flush t.log ~upto:(Log_store.head t.log);
+  settle_group t;
   Buffer_pool.flush_all t.pool;
   {
     pages =
@@ -771,6 +844,7 @@ let media_failure t =
   for i = 0 to Disk.page_count t.disk - 1 do
     Disk.write_page t.disk (Page_id.of_int i) blank
   done;
+  t.gc_waiters <- [];
   Log_store.crash t.log;
   Buffer_pool.crash t.pool;
   t.locks <- Lock_table.create ();
@@ -835,6 +909,7 @@ let recover_with_fuel t ~fuel =
 
 let shutdown t =
   Log_store.flush t.log ~upto:(Log_store.head t.log);
+  settle_group t;
   Buffer_pool.flush_all t.pool
 
 (* --- inspection --- *)

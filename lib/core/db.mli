@@ -55,7 +55,29 @@ val begin_txn : t -> Xid.t
 val commit : t -> Xid.t -> unit
 (** Commit: commit record, log force, lock release, end record. Every
     update the transaction is responsible for — its own or delegated to
-    it — becomes permanent. Raises {!Errors.Txn_not_active} as needed. *)
+    it — becomes permanent. Raises {!Errors.Txn_not_active} as needed.
+
+    With [Config.group_commit > 1] the per-commit force is replaced by a
+    shared one: the commit joins a pending group and the log is forced
+    once when the batch fills (or at {!flush_commits}, a checkpoint, a
+    shutdown/backup quiesce, or as a side effect of any flush covering
+    the group). Locks are still released and the transaction ends
+    immediately — only {e durability} is deferred: a crash before the
+    shared force loses the group's commit records and those transactions
+    roll back at restart. Use {!set_commit_durable_hook} to learn when a
+    commit actually hardened. *)
+
+val flush_commits : t -> unit
+(** Explicit group-commit barrier: force the log up to the highest
+    pending commit record and notify every waiter. No-op when no commits
+    are pending. *)
+
+val set_commit_durable_hook : t -> (Xid.t -> unit) option -> unit
+(** [f xid] fires exactly when [xid]'s commit record is known durable:
+    synchronously inside {!commit} without group commit, at the closing
+    force (or any covering flush) with it. Waiters lost to a crash never
+    fire — their transactions roll back. Oracles that must track the set
+    of durable commits even across log truncation hook in here. *)
 
 val abort : t -> Xid.t -> unit
 (** Roll back every update the transaction is responsible for (§3.5:

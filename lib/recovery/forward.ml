@@ -17,10 +17,7 @@ type result = {
 }
 
 let trim_scope info ~oid ~invoker ~undone =
-  List.iter
-    (fun (s : Scope.t) ->
-      if Scope.covers s ~invoker ~oid undone then Scope.trim_below s undone)
-    (Ob_list.scopes_of info.Txn_table.ob_list oid);
+  Ob_list.trim_covering info.Txn_table.ob_list ~oid ~invoker undone;
   (* mirror normal processing: after a compensation the open scope on
      this object is closed, so a later update record opens a fresh scope
      instead of stretching back across the compensated range *)
@@ -181,7 +178,7 @@ let scan ?(passes = Merged) (env : Env.t) ~mode ~amputated =
                       tor_info.ob_list <- rest;
                       tee_info.ob_list <-
                         Ob_list.receive tee_info.ob_list ~oid ~from_:tor
-                          entry.scopes)))
+                          (Ob_list.entry_scopes entry))))
       | Record.Anchor ->
           let info = lookup (Record.writer_exn record) in
           info.last_lsn <- lsn

@@ -66,7 +66,17 @@ val crash : t -> unit
     already written. *)
 
 val evictions : t -> int
+
+val eviction_scans : t -> int
+(** Total frames examined while choosing eviction victims. With the
+    intrusive LRU list this is exactly one per eviction — independent of
+    pool size — where the seed's fold examined every resident frame. *)
+
 val hits : t -> int
 val misses : t -> int
+
+val dirty_count : t -> int
+(** Current number of dirty frames, maintained incrementally on the
+    dirty/clean transitions (no table scan). *)
 
 val register_metrics : t -> Ariesrh_obs.Metrics.t -> unit

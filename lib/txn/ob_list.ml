@@ -1,12 +1,24 @@
 open Ariesrh_types
 
+(* Scopes are indexed by invoker: every hot probe — [split_out] on an
+   operation delegation, CLR scope trimming during restart analysis —
+   names the invoker it is looking for, so it should touch only that
+   invoker's scopes instead of scanning the whole object entry (which
+   grows with the delegation chain). [covering_invokers] is the one
+   caller that genuinely needs all invokers and still walks everything. *)
 type entry = {
   deleg : Xid.t option;
-  scopes : Scope.t list;
+  by_invoker : Scope.t list Xid.Map.t;
   open_scope : Scope.t option;
 }
 
 type t = entry Oid.Map.t
+
+(* Scopes examined by covers-style probes, for the E16 perf gate. A
+   module-global (not per-db) so harnesses that build many dbs can still
+   difference it around a region of interest. *)
+let probes = ref 0
+let scope_probes () = !probes
 
 let empty = Oid.Map.empty
 let is_empty = Oid.Map.is_empty
@@ -15,7 +27,22 @@ let find t oid = Oid.Map.find_opt oid t
 let objects t = List.map fst (Oid.Map.bindings t)
 let cardinal = Oid.Map.cardinal
 
-let live_scopes entry = List.filter (fun s -> not (Scope.is_empty s)) entry.scopes
+let add_scope m (s : Scope.t) =
+  Xid.Map.update s.Scope.invoker
+    (function None -> Some [ s ] | Some ss -> Some (s :: ss))
+    m
+
+let fold_scopes entry ~init ~f =
+  Xid.Map.fold (fun _ ss acc -> List.fold_left f acc ss) entry.by_invoker init
+
+let live_scopes entry =
+  List.rev
+    (fold_scopes entry ~init:[] ~f:(fun acc s ->
+         if Scope.is_empty s then acc else s :: acc))
+
+let entry_scopes = live_scopes
+let entry_deleg entry = entry.deleg
+let entry_open_scope entry = entry.open_scope
 
 let note_update t ~owner ~oid lsn =
   match Oid.Map.find_opt oid t with
@@ -27,11 +54,21 @@ let note_update t ~owner ~oid lsn =
       | None ->
           let s = Scope.singleton ~invoker:owner ~oid lsn in
           Oid.Map.add oid
-            { entry with scopes = s :: entry.scopes; open_scope = Some s }
+            {
+              entry with
+              by_invoker = add_scope entry.by_invoker s;
+              open_scope = Some s;
+            }
             t)
   | None ->
       let s = Scope.singleton ~invoker:owner ~oid lsn in
-      Oid.Map.add oid { deleg = None; scopes = [ s ]; open_scope = Some s } t
+      Oid.Map.add oid
+        {
+          deleg = None;
+          by_invoker = add_scope Xid.Map.empty s;
+          open_scope = Some s;
+        }
+        t
 
 let take t oid =
   match Oid.Map.find_opt oid t with
@@ -43,33 +80,46 @@ let receive t ~oid ~from_ scopes =
   match Oid.Map.find_opt oid t with
   | Some entry ->
       Oid.Map.add oid
-        { entry with deleg = Some from_; scopes = incoming @ entry.scopes }
+        {
+          entry with
+          deleg = Some from_;
+          by_invoker = List.fold_right (Fun.flip add_scope) incoming entry.by_invoker;
+        }
         t
   | None ->
       Oid.Map.add oid
-        { deleg = Some from_; scopes = incoming; open_scope = None }
+        {
+          deleg = Some from_;
+          by_invoker = List.fold_right (Fun.flip add_scope) incoming Xid.Map.empty;
+          open_scope = None;
+        }
         t
 
 let covering_invokers t ~oid lsn =
   match Oid.Map.find_opt oid t with
   | None -> []
   | Some entry ->
-      List.filter_map
-        (fun (s : Scope.t) ->
-          if
-            (not (Scope.is_empty s))
-            && Lsn.(s.first <= lsn)
-            && Lsn.(lsn <= s.last)
-          then Some s.invoker
-          else None)
-        entry.scopes
+      List.rev
+        (fold_scopes entry ~init:[] ~f:(fun acc (s : Scope.t) ->
+             incr probes;
+             if
+               (not (Scope.is_empty s))
+               && Lsn.(s.first <= lsn)
+               && Lsn.(lsn <= s.last)
+             then s.invoker :: acc
+             else acc))
 
 let split_out t ~oid ~invoker lsn =
   match Oid.Map.find_opt oid t with
   | None -> (None, t)
   | Some entry -> (
+      let own = Option.value ~default:[] (Xid.Map.find_opt invoker entry.by_invoker) in
       let covering, rest =
-        List.partition (fun s -> Scope.covers s ~invoker ~oid lsn) entry.scopes
+        List.partition
+          (fun s ->
+            incr probes;
+            Scope.covers s ~invoker ~oid lsn)
+          own
       in
       match covering with
       | [] -> (None, t)
@@ -97,10 +147,26 @@ let split_out t ~oid ~invoker lsn =
               match post with suffix :: _ -> Some suffix | [] -> None
             else entry.open_scope
           in
-          ( Some moved,
-            Oid.Map.add oid
-              { entry with scopes = pre @ post @ rest; open_scope }
-              t ))
+          let by_invoker =
+            match pre @ post @ rest with
+            | [] -> Xid.Map.remove invoker entry.by_invoker
+            | ss -> Xid.Map.add invoker ss entry.by_invoker
+          in
+          (Some moved, Oid.Map.add oid { entry with by_invoker; open_scope } t))
+
+let trim_covering t ~oid ~invoker undone =
+  match Oid.Map.find_opt oid t with
+  | None -> ()
+  | Some entry -> (
+      match Xid.Map.find_opt invoker entry.by_invoker with
+      | None -> ()
+      | Some ss ->
+          List.iter
+            (fun (s : Scope.t) ->
+              incr probes;
+              if Scope.covers s ~invoker ~oid undone then
+                Scope.trim_below s undone)
+            ss)
 
 let close_open t oid =
   match Oid.Map.find_opt oid t with
@@ -124,14 +190,12 @@ let scopes_of t oid =
 let min_first t =
   Oid.Map.fold
     (fun _ entry acc ->
-      List.fold_left
-        (fun acc (s : Scope.t) ->
+      fold_scopes entry ~init:acc ~f:(fun acc (s : Scope.t) ->
           if Scope.is_empty s then acc
           else
             match acc with
             | None -> Some s.first
-            | Some m -> Some (Lsn.min m s.first))
-        acc entry.scopes)
+            | Some m -> Some (Lsn.min m s.first)))
     t None
 
 let to_ckpt ~owner t =
@@ -166,7 +230,11 @@ let of_ckpt_entry t (ob : Ariesrh_wal.Record.ckpt_ob) =
      open — the next update by the owner opens a fresh one, which is
      always sound (scopes need not be maximal). *)
   Oid.Map.add ob.ck_oid
-    { deleg = ob.ck_deleg; scopes; open_scope = None }
+    {
+      deleg = ob.ck_deleg;
+      by_invoker = List.fold_right (Fun.flip add_scope) scopes Xid.Map.empty;
+      open_scope = None;
+    }
     t
 
 let pp ppf t =
@@ -177,5 +245,5 @@ let pp ppf t =
         | None -> ""
         | Some x -> Format.asprintf " deleg=%a" Xid.pp x)
         (Format.pp_print_list ~pp_sep:Format.pp_print_space Scope.pp)
-        entry.scopes)
+        (live_scopes entry))
     t

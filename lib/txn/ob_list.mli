@@ -13,13 +13,28 @@
 
 open Ariesrh_types
 
-type entry = {
-  deleg : Xid.t option;  (** last delegator, if the entry arrived by delegation *)
-  scopes : Scope.t list;
-  open_scope : Scope.t option;  (** member of [scopes]; grows with own updates *)
-}
+type entry
+(** One object's responsibility record: the last delegator (when the
+    entry arrived by delegation), the scopes indexed {e by invoker} —
+    the hot probes ([split_out], CLR trimming) name the invoker they
+    want, so long delegation chains no longer cost a full scan — and the
+    open scope. *)
 
 type t
+
+val entry_scopes : entry -> Scope.t list
+(** The entry's live (non-empty) scopes, invoker-major order. *)
+
+val entry_deleg : entry -> Xid.t option
+(** The last delegator, if the entry arrived by delegation. *)
+
+val entry_open_scope : entry -> Scope.t option
+(** The scope the owner's own new updates extend, if one is open. *)
+
+val scope_probes : unit -> int
+(** Process-lifetime count of scopes examined by covers-style probes
+    ({!split_out}, {!trim_covering}, {!covering_invokers}) — the E16
+    perf-gate counter. Difference it around a region of interest. *)
 
 val empty : t
 val is_empty : t -> bool
@@ -50,6 +65,11 @@ val split_out : t -> oid:Oid.t -> invoker:Xid.t -> Lsn.t -> Scope.t option * t
 val covering_invokers : t -> oid:Oid.t -> Lsn.t -> Xid.t list
 (** Invokers of the live scopes covering an LSN (used to disambiguate an
     operation handle before splitting). *)
+
+val trim_covering : t -> oid:Oid.t -> invoker:Xid.t -> Lsn.t -> unit
+(** Trim (in place, via {!Scope.trim_below}) the invoker's scopes on the
+    object that cover the given LSN — restart analysis' CLR step.
+    Probes only that invoker's scopes. *)
 
 val close_open : t -> Oid.t -> t
 (** Close the open scope on one object: the next own update opens a

@@ -44,10 +44,16 @@ type t = {
   mutable reserved_records : int;
   fault : Fault.t;
   stats : Log_stats.t;
+  (* --- decoded-record cache --- *)
+  cache : (int, Record.t) Hashtbl.t;  (* idx -> decoded record *)
+  cache_cap : int;  (* 0 = caching disabled *)
+  mutable decode_calls : int;  (* lifetime Record.decode invocations *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 let create ?(page_size = 4096) ?capacity_bytes ?capacity_records
-    ?(fault = Fault.none ()) () =
+    ?(record_cache = 8192) ?(fault = Fault.none ()) () =
   {
     page_size;
     enc = [||];
@@ -67,9 +73,52 @@ let create ?(page_size = 4096) ?capacity_bytes ?capacity_records
     reserved_records = 0;
     fault;
     stats = Log_stats.create ();
+    cache = Hashtbl.create (min 64 (max 1 record_cache));
+    cache_cap = max 0 record_cache;
+    decode_calls = 0;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let stats t = t.stats
+let decode_calls t = t.decode_calls
+let record_cache_hits t = t.cache_hits
+let record_cache_misses t = t.cache_misses
+
+(* The cache holds only successfully decoded records, keyed by array
+   index. It must be invisible: I/O accounting (reads, page fetches,
+   seeks) is charged identically on hits and misses, and every mutation
+   of [enc] — rewrite, truncate, crash-applied tears, tail amputation,
+   LSN reuse after a crash — evicts the affected indices. Bounded
+   deterministically: when full, it is cleared wholesale (no
+   recency/randomness, so same-seed runs stay byte-identical). *)
+let raw_decode t s =
+  t.decode_calls <- t.decode_calls + 1;
+  Record.decode s
+
+let decode_at t idx =
+  if t.cache_cap = 0 then raw_decode t t.enc.(idx)
+  else
+    match Hashtbl.find_opt t.cache idx with
+    | Some r ->
+        t.cache_hits <- t.cache_hits + 1;
+        Ok r
+    | None ->
+        t.cache_misses <- t.cache_misses + 1;
+        let res = raw_decode t t.enc.(idx) in
+        (match res with
+        | Ok r ->
+            if Hashtbl.length t.cache >= t.cache_cap then Hashtbl.reset t.cache;
+            Hashtbl.replace t.cache idx r
+        | Error _ -> ());
+        res
+
+let cache_invalidate t idx = Hashtbl.remove t.cache idx
+
+let cache_invalidate_range t lo hi =
+  for i = lo to hi do
+    Hashtbl.remove t.cache i
+  done
 let amputated_total t = t.amputated_total
 let head t = Lsn.of_int t.count
 let durable t = Lsn.of_int t.durable_count
@@ -162,6 +211,9 @@ let unreserve t ~bytes ~records =
 
 let store t s =
   ensure_capacity t;
+  (* this index may have held an amputated/crash-discarded record whose
+     LSN is being reused — a stale decode must not survive that *)
+  cache_invalidate t t.count;
   t.enc.(t.count) <- s;
   t.offsets.(t.count) <- t.next_offset;
   t.next_offset <- t.next_offset + String.length s;
@@ -229,10 +281,13 @@ let crash t =
       if idx < t.durable_count then begin
         t.live_bytes <-
           t.live_bytes - String.length t.enc.(idx) + String.length bytes;
-        t.enc.(idx) <- bytes
+        t.enc.(idx) <- bytes;
+        cache_invalidate t idx
       end;
       t.pending_tear <- None
   | None -> ());
+  (* volatile tail dies with the crash — cached decodes of it must too *)
+  cache_invalidate_range t t.durable_count (t.count - 1);
   for i = t.durable_count to t.count - 1 do
     t.live_bytes <- t.live_bytes - String.length t.enc.(i)
   done;
@@ -283,6 +338,7 @@ let truncate t ~below =
   let reclaimed = max 0 (b - 1 - t.low) in
   if reclaimed > 0 then begin
     (* drop the encoded bytes so the space is really gone *)
+    cache_invalidate_range t t.low (b - 2);
     for i = t.low to b - 2 do
       t.live_bytes <- t.live_bytes - String.length t.enc.(i);
       t.enc.(i) <- ""
@@ -299,7 +355,7 @@ let read_result t lsn =
     t.stats.reads <- t.stats.reads + 1;
     touch_page t idx
   end;
-  Record.decode t.enc.(idx)
+  decode_at t idx
 
 let read t lsn =
   match read_result t lsn with
@@ -312,6 +368,7 @@ let rewrite t lsn r =
   if String.length s <> String.length t.enc.(idx) then
     invalid_arg "Log_store.rewrite: record size changed";
   t.enc.(idx) <- s;
+  cache_invalidate t idx;
   t.stats.rewrites <- t.stats.rewrites + 1;
   if idx < t.durable_count then begin
     touch_page t idx;
@@ -359,10 +416,13 @@ let recover_tail t =
   let dropped = ref [] in
   let continue = ref true in
   while !continue && t.count > t.low do
-    match Record.decode t.enc.(t.count - 1) with
+    (* decode the raw bytes, never a cached entry: this is the integrity
+       check on what actually survived the crash *)
+    match raw_decode t t.enc.(t.count - 1) with
     | Ok _ -> continue := false
     | Error e ->
         dropped := (Lsn.of_int t.count, e) :: !dropped;
+        cache_invalidate t (t.count - 1);
         t.live_bytes <- t.live_bytes - String.length t.enc.(t.count - 1);
         t.enc.(t.count - 1) <- "";
         t.count <- t.count - 1;

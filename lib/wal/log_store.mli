@@ -44,17 +44,37 @@ val create :
   ?page_size:int ->
   ?capacity_bytes:int ->
   ?capacity_records:int ->
+  ?record_cache:int ->
   ?fault:Ariesrh_fault.Fault.t ->
   unit ->
   t
 (** [page_size] (bytes, default 4096) governs the I/O cost model; see
     {!Log_stats}. [capacity_bytes] / [capacity_records] bound the log
-    (default: unbounded); see {!append} and {!reserve}. A live [fault]
-    injector can tear the last record of a crashing flush, raise
-    [Fault.Injected_crash] at flush points, and squeeze the byte budget
-    at append points. *)
+    (default: unbounded); see {!append} and {!reserve}. [record_cache]
+    (default 8192, [0] disables) bounds the decoded-record cache: {!read}
+    memoises successful decodes by LSN so repeated reads — backward
+    rollback chains, restart passes, history scans — skip the codec. The
+    cache is semantically invisible: the I/O cost model charges hits and
+    misses identically, and {!rewrite}, {!truncate}, {!crash} (volatile
+    tail + applied tears) and {!recover_tail} evict the affected entries.
+    When full it is cleared wholesale, keeping same-seed runs
+    deterministic. A live [fault] injector can tear the last record of a
+    crashing flush, raise [Fault.Injected_crash] at flush points, and
+    squeeze the byte budget at append points. *)
 
 val stats : t -> Log_stats.t
+
+val decode_calls : t -> int
+(** Lifetime number of [Record.decode] invocations — the counter the E16
+    perf gate tracks. Deliberately {e not} a registered metric: it
+    differs cache-on vs cache-off, and forensic dumps embed the metrics
+    snapshot, which must stay byte-identical either way. *)
+
+val record_cache_hits : t -> int
+(** Reads served from the decoded-record cache. *)
+
+val record_cache_misses : t -> int
+(** Cache-enabled reads that had to decode. *)
 
 val amputated_total : t -> int
 (** Lifetime count of corrupt tail records dropped by {!recover_tail}.

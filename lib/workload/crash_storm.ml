@@ -13,6 +13,8 @@ type config = {
   crash_step : int;
   recovery_crash_depth : int;
   recovery_crash_gap : int;
+  group_commit : int;
+  record_cache : int;
   forensic_dir : string option;
 }
 
@@ -25,6 +27,8 @@ let default_config =
     crash_step = 1;
     recovery_crash_depth = 2;
     recovery_crash_gap = 3;
+    group_commit = 0;
+    record_cache = Config.default.Config.record_cache;
     forensic_dir = None;
   }
 
@@ -259,7 +263,8 @@ let run_script ?(config = default_config) ?(impl = Config.Rh) spec =
     let fault = make_fault config ~salt:!crash_io in
     Fault.arm_crash_at fault !crash_io;
     let db =
-      Driver.fresh_db ~fault ~impl
+      Driver.fresh_db ~fault ~impl ~group_commit:config.group_commit
+        ~record_cache:config.record_cache
         ~tracing:(config.forensic_dir <> None)
         ~n_objects ()
     in
@@ -339,7 +344,8 @@ let run_sim ?(config = default_config) ?(sim = default_sim) () =
   let outcome = fresh_outcome () in
   let fault = make_fault config ~salt:0x5117 in
   let db =
-    Driver.fresh_db ~fault
+    Driver.fresh_db ~fault ~group_commit:config.group_commit
+      ~record_cache:config.record_cache
       ~tracing:(config.forensic_dir <> None)
       ~n_objects:sim.n_objects ()
   in

@@ -28,6 +28,15 @@ type config = {
   crash_step : int;  (** scripted: escalate the crash I/O point by this *)
   recovery_crash_depth : int;  (** nested crash-during-recovery levels *)
   recovery_crash_gap : int;  (** I/Os into each recovery before re-crash *)
+  group_commit : int;
+      (** commit-force batch size (see {!Config.t}); [0] (the default)
+          forces each commit record as it is written. The oracle is
+          group-commit-proof either way: committed = the commit records
+          that survived the crash, read straight off the log *)
+  record_cache : int;
+      (** decoded-record cache capacity ([0] disables); the storm must
+          behave identically — same outcomes, same forensic bytes —
+          at any setting *)
   forensic_dir : string option;
       (** when set, storm databases run with the trace ring enabled and
           every check round that adds failures writes a

@@ -27,11 +27,15 @@ val fresh_db :
   ?locking:bool ->
   ?log_capacity_bytes:int ->
   ?log_capacity_records:int ->
+  ?group_commit:int ->
+  ?record_cache:int ->
   ?tracing:bool ->
   n_objects:int ->
   unit ->
   Db.t
 (** A Db sized for scripts over [n_objects] symbolic objects. The
     capacity knobs bound the WAL (default unbounded) — see
-    {!Ariesrh_wal.Log_store.create}. [tracing] enables the structured
-    trace ring from creation (storms use it for forensic dumps). *)
+    {!Ariesrh_wal.Log_store.create}. [group_commit] batches commit
+    forces (see {!Config.t}); [record_cache] sizes the decoded-record
+    cache ([0] disables). [tracing] enables the structured trace ring
+    from creation (storms use it for forensic dumps). *)

@@ -25,6 +25,8 @@ type config = {
   backoff_base : int;
   max_backoff : int;
   max_retries : int;
+  group_commit : int;
+  record_cache : int;
   forensic_dir : string option;
 }
 
@@ -48,6 +50,8 @@ let default_config =
     backoff_base = 4;
     max_backoff = 64;
     max_retries = 10;
+    group_commit = 0;
+    record_cache = Config.default.Config.record_cache;
     forensic_dir = None;
   }
 
@@ -141,7 +145,7 @@ type client = {
    when only the stable prefix remains. Unlike the crash storm, the
    governor truncates the log while the storm runs, so commit records
    disappear; the harness accumulates this set monotonically (scan at
-   every crash + every successful commit return) instead of re-deriving
+   every crash + the commit-durable hook below) instead of re-deriving
    it from the log each time. *)
 let durable_commits log =
   let s = ref Xid.Set.empty in
@@ -163,7 +167,8 @@ let run ?(config = default_config) () =
       (Config.make ~n_objects:config.n_objects ~objects_per_page:8
          ~buffer_capacity:(max 4 (config.n_objects / 32))
          ~impl:config.impl ~locking:true
-         ~log_capacity_bytes:config.capacity_bytes ())
+         ~log_capacity_bytes:config.capacity_bytes
+         ~group_commit:config.group_commit ~record_cache:config.record_cache ())
   in
   let log = Db.log_store db in
   let gov = Governor.create ~config:config.governor db in
@@ -189,6 +194,14 @@ let run ?(config = default_config) () =
     Xid.Tbl.replace ledger to_ (moved @ ledger_of to_)
   in
   let committed_set = ref Xid.Set.empty in
+  (* A commit enters the set exactly when its commit record hardens: the
+     hook fires synchronously inside [Db.commit] without group commit,
+     and at the shared (or any covering) force with it — always before
+     the governor could truncate the record away. Commits whose group
+     dies with a crash never fire and roll back, so the set stays the
+     exact durable-commit oracle either way. *)
+  Db.set_commit_durable_hook db
+    (Some (fun x -> committed_set := Xid.Set.add x !committed_set));
   let absorb_commits () =
     committed_set := Xid.Set.union !committed_set (durable_commits log)
   in
@@ -313,7 +326,6 @@ let run ?(config = default_config) () =
           with
           | `Committed () ->
               outcome.committed <- outcome.committed + 1;
-              committed_set := Xid.Set.add x !committed_set;
               c.attempts <- 0;
               drop_txn c
           | `Aborted () -> drop_txn c

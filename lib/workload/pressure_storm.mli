@@ -28,8 +28,10 @@
     durable" can no longer be re-derived by scanning — truncation
     reclaims old commit records. The harness accumulates the durable
     commit set monotonically instead: a scan at every crash (before
-    recovery, when the stable prefix is intact) plus every successful
-    [commit] return (the commit's own log force just made it durable). *)
+    recovery, when the stable prefix is intact) plus a
+    {!Db.set_commit_durable_hook} subscription that fires exactly when
+    each commit record hardens — at [commit] return when commits force
+    eagerly, or at the batched force under group commit. *)
 
 open Ariesrh_core
 module Governor := Ariesrh_maintenance.Governor
@@ -53,6 +55,12 @@ type config = {
   backoff_base : int;
   max_backoff : int;
   max_retries : int;
+  group_commit : int;
+      (** commit-force batch size passed through to {!Config.t}; [0]
+          (the default) forces every commit record individually. The
+          storm's durable-commit oracle tracks hardening via
+          {!Db.set_commit_durable_hook}, so it stays exact either way *)
+  record_cache : int;  (** decoded-record cache capacity ([0] disables) *)
   forensic_dir : string option;
       (** when set, the storm database runs with the trace ring enabled
           and every check round that adds failures writes a

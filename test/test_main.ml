@@ -19,5 +19,6 @@ let () =
       ("fault", Test_fault.suite);
       ("governor", Test_governor.suite);
       ("obs", Test_obs.suite);
+      ("perf", Test_perf.suite);
       ("known-bugs", Test_known_bugs.suite);
     ]

@@ -161,7 +161,7 @@ let scope_algebra =
                 owners.(o) <- rest;
                 owners.(dst) <-
                   Ob_list.receive owners.(dst) ~oid ~from_:(xid o)
-                    entry.Ob_list.scopes)
+                    (Ob_list.entry_scopes entry))
         | 3 -> (
             (* operation-granularity: split out one of this owner's own
                updates currently in its list *)

@@ -53,7 +53,7 @@ let ob_list_new_scope_after_delegation () =
   let t = xid 1 and o = oid 4 in
   let ol = Ob_list.note_update Ob_list.empty ~owner:t ~oid:o (lsn 5) in
   let entry, ol = Option.get (Ob_list.take ol o) in
-  Alcotest.(check int) "entry had the scope" 1 (List.length entry.Ob_list.scopes);
+  Alcotest.(check int) "entry had the scope" 1 (List.length (Ob_list.entry_scopes entry));
   Alcotest.(check bool) "removed" false (Ob_list.mem ol o);
   let ol = Ob_list.note_update ol ~owner:t ~oid:o (lsn 9) in
   match Ob_list.scopes_of ol o with
@@ -69,7 +69,7 @@ let ob_list_delegate_back () =
   let ol = Ob_list.note_update Ob_list.empty ~owner:t ~oid:o (lsn 5) in
   let entry, ol = Option.get (Ob_list.take ol o) in
   (* ... t2 holds it for a while, then delegates back *)
-  let ol = Ob_list.receive ol ~oid:o ~from_:t2 entry.Ob_list.scopes in
+  let ol = Ob_list.receive ol ~oid:o ~from_:t2 (Ob_list.entry_scopes entry) in
   let ol = Ob_list.note_update ol ~owner:t ~oid:o (lsn 9) in
   match List.sort (fun a b -> Lsn.compare a.Scope.first b.Scope.first)
           (Ob_list.scopes_of ol o) with
@@ -88,8 +88,8 @@ let ob_list_receive_merges () =
   Alcotest.(check int) "scopes merged" 2 (List.length (Ob_list.scopes_of ol o));
   (match Ob_list.find ol o with
   | Some e -> (
-      Alcotest.(check bool) "deleg recorded" true (e.Ob_list.deleg = Some (xid 2));
-      match e.Ob_list.open_scope with
+      Alcotest.(check bool) "deleg recorded" true ((Ob_list.entry_deleg e) = Some (xid 2));
+      match Ob_list.entry_open_scope e with
       | Some s -> Alcotest.(check int) "own open scope survives" 8 (Lsn.to_int s.Scope.first)
       | None -> Alcotest.fail "open scope lost")
   | None -> Alcotest.fail "entry missing");
