@@ -417,6 +417,13 @@ let storm_cmd =
          & info [ "record-cache" ]
              ~doc:"Decoded-record cache capacity (0 = disable).")
   in
+  let audit =
+    Arg.(value & opt bool true
+         & info [ "audit" ]
+             ~doc:"Run the restart self-audit after every recovery (chain \
+                   closure, CLR targets, surgery bracketing); violations \
+                   fail the storm.")
+  in
   let forensic_dir =
     Arg.(value & opt string "."
          & info [ "forensic-dir" ] ~docv:"DIR"
@@ -424,13 +431,14 @@ let storm_cmd =
                    per-mismatch lineage, metrics); $(b,none) disables them.")
   in
   let run obs steps objects seeds seed0 rate impl depth crash_step sim_steps
-      clients group_commit record_cache forensic_dir =
+      clients group_commit record_cache audit forensic_dir =
     let base =
       { Crash_storm.default_config with
         recovery_crash_depth = depth;
         crash_step = max 1 crash_step;
         group_commit;
         record_cache;
+        audit;
         forensic_dir =
           (if forensic_dir = "none" then None else Some forensic_dir) }
     in
@@ -468,7 +476,7 @@ let storm_cmd =
     Term.(
       const run $ obs_term $ steps $ objects $ seeds $ seed0 $ rate $ impl
       $ depth $ crash_step $ sim_steps $ clients $ group_commit $ record_cache
-      $ forensic_dir)
+      $ audit $ forensic_dir)
 
 (* --- pressure-storm --- *)
 
@@ -519,6 +527,13 @@ let pressure_storm_cmd =
          & info [ "record-cache" ]
              ~doc:"Decoded-record cache capacity (0 = disable).")
   in
+  let audit =
+    Arg.(value & opt bool true
+         & info [ "audit" ]
+             ~doc:"Run the restart self-audit after every recovery (chain \
+                   closure, CLR targets, surgery bracketing); violations \
+                   fail the storm.")
+  in
   let forensic_dir =
     Arg.(value & opt string "."
          & info [ "forensic-dir" ] ~docv:"DIR"
@@ -526,7 +541,7 @@ let pressure_storm_cmd =
                    per-mismatch lineage, metrics); $(b,none) disables them.")
   in
   let run obs seeds seed0 steps clients capacity crash_every depth rate impl
-      group_commit record_cache forensic_dir =
+      group_commit record_cache audit forensic_dir =
     let engines =
       match impl with
       | Some i -> [ i ]
@@ -548,6 +563,7 @@ let pressure_storm_cmd =
               p_delegate = rate;
               group_commit;
               record_cache;
+              audit;
               forensic_dir =
                 (if forensic_dir = "none" then None else Some forensic_dir) }
           in
@@ -569,7 +585,7 @@ let pressure_storm_cmd =
     Term.(
       const run $ obs_term $ seeds $ seed0 $ steps $ clients $ capacity
       $ crash_every $ depth $ rate $ impl $ group_commit $ record_cache
-      $ forensic_dir)
+      $ audit $ forensic_dir)
 
 (* --- metrics --- *)
 

@@ -14,6 +14,8 @@ type t = {
   log_capacity_records : int option;
   group_commit : int;
   record_cache : int;
+  audit : bool;
+  rewrite_retries : int;
 }
 
 let default =
@@ -29,6 +31,8 @@ let default =
     log_capacity_records = None;
     group_commit = 0;
     record_cache = 8192;
+    audit = false;
+    rewrite_retries = 2;
   }
 
 let make ?(n_objects = default.n_objects)
@@ -38,7 +42,8 @@ let make ?(n_objects = default.n_objects)
     ?(forward_passes = default.forward_passes) ?(locking = default.locking)
     ?log_capacity_bytes ?log_capacity_records
     ?(group_commit = default.group_commit)
-    ?(record_cache = default.record_cache) () =
+    ?(record_cache = default.record_cache) ?(audit = default.audit)
+    ?(rewrite_retries = default.rewrite_retries) () =
   {
     n_objects;
     objects_per_page;
@@ -51,6 +56,8 @@ let make ?(n_objects = default.n_objects)
     log_capacity_records;
     group_commit;
     record_cache;
+    audit;
+    rewrite_retries;
   }
 
 let pages_needed t = (t.n_objects + t.objects_per_page - 1) / t.objects_per_page
@@ -74,4 +81,6 @@ let validate t =
   if t.group_commit < 0 then
     invalid_arg "Config: group_commit must be non-negative";
   if t.record_cache < 0 then
-    invalid_arg "Config: record_cache must be non-negative"
+    invalid_arg "Config: record_cache must be non-negative";
+  if t.rewrite_retries < 0 then
+    invalid_arg "Config: rewrite_retries must be non-negative"

@@ -34,6 +34,14 @@ type t = {
   record_cache : int;
       (** decoded-record cache capacity for the log ([0] disables);
           see [Log_store.create] *)
+  audit : bool;
+      (** run the restart self-audit ([Db.audit]) after every recovery;
+          a violated invariant raises [Audit.Audit_failed] (default
+          [false]) *)
+  rewrite_retries : int;
+      (** eager delegation: attempts to secure log space for the rewrite
+          surgery (with a checkpoint+truncate between attempts) before
+          falling back to a logical delegate record (default [2]) *)
 }
 
 val default : t
@@ -52,6 +60,8 @@ val make :
   ?log_capacity_records:int ->
   ?group_commit:int ->
   ?record_cache:int ->
+  ?audit:bool ->
+  ?rewrite_retries:int ->
   unit ->
   t
 

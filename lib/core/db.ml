@@ -55,6 +55,11 @@ type t = {
      drops the group, and those transactions roll back at restart. *)
   mutable gc_waiters : (Xid.t * Lsn.t) list;
   mutable on_commit_durable : (Xid.t -> unit) option;
+  (* Eager engine only: at least one delegation fell back to a logical
+     delegate record (surgery could not complete), so the log is no
+     longer purely physical. Rollback switches to scope-based undo and
+     the next restart heals the log via the lazy recovery path. *)
+  mutable degraded : bool;
   env : Env.t;
   ring : Obs.Ring.t;
   metrics : Obs.Metrics.t Lazy.t;
@@ -153,6 +158,22 @@ let create ?(fault = Fault.none ()) ?(tracing = false)
          "ariesrh_group_commit_flushes_total" (fun () -> stats.group_flushes);
        M.counter metrics ~help:"torn pages repaired" "ariesrh_repairs_total"
          (fun () -> env.Env.repairs);
+       M.counter metrics
+         ~help:"eager delegations that fell back to a logical record"
+         "ariesrh_rewrite_fallbacks_total" (fun () ->
+           env.Env.rewrite_fallbacks);
+       M.counter metrics
+         ~help:"interrupted rewrite surgeries rolled back at restart"
+         "ariesrh_surgery_rollbacks_total" (fun () ->
+           env.Env.surgery_rolled_back);
+       M.counter metrics
+         ~help:"ended rewrite surgeries re-installed at restart"
+         "ariesrh_surgery_rollforwards_total" (fun () ->
+           env.Env.surgery_rolled_forward);
+       M.counter metrics ~help:"restart self-audit passes run"
+         "ariesrh_audit_runs_total" (fun () -> env.Env.audit_runs);
+       M.counter metrics ~help:"restart self-audit passes that failed"
+         "ariesrh_audit_failures_total" (fun () -> env.Env.audit_failures);
        M.counter metrics ~help:"trace events emitted"
          "ariesrh_trace_events_total" (fun () -> Obs.Ring.total ring);
        M.counter metrics ~help:"trace events lost to ring wraparound"
@@ -175,6 +196,7 @@ let create ?(fault = Fault.none ()) ?(tracing = false)
       refuse_delegations = false;
       gc_waiters = [];
       on_commit_durable = None;
+      degraded = false;
       env;
       ring;
       metrics;
@@ -197,6 +219,8 @@ let pool_counters t =
    Buffer_pool.evictions t.pool)
 let env t = t.env
 let repairs_total t = t.env.Env.repairs
+let degraded t = t.degraded
+let rewrite_fallbacks t = t.env.Env.rewrite_fallbacks
 let place t oid = place_of t.config oid
 
 let check_oid t oid =
@@ -478,7 +502,8 @@ let rollback_chain ?(floor = Lsn.nil) t (info : Txn_table.info) =
         Hashtbl.replace compensated (Lsn.to_int undone) ()
     | Record.Update _ | Record.Begin | Record.Abort | Record.Commit
     | Record.End | Record.Delegate _ | Record.Anchor | Record.Ckpt_begin
-    | Record.Ckpt_end _ ->
+    | Record.Ckpt_end _ | Record.Rewrite_begin _ | Record.Rewrite_clr _
+    | Record.Rewrite_end _ ->
         ());
     k := Record.prev_for record info.xid
   done
@@ -496,7 +521,12 @@ let rollback_to t xid sp =
   let info = active_exn t xid in
   (match t.config.Config.impl with
   | Config.Rh | Config.Lazy -> rollback_scopes ~floor:sp t info
-  | Config.Eager -> rollback_chain ~floor:sp t info);
+  | Config.Eager ->
+      (* degraded: logical delegate records exist, so chains are no
+         longer the full authority on responsibility — undo over scopes,
+         which [Ob_list.absorb] keeps aligned with spliced history *)
+      if t.degraded then rollback_scopes ~floor:sp t info
+      else rollback_chain ~floor:sp t info);
   (* trimmed open scopes must not be extended again: new updates open
      fresh scopes, or they would stretch back across the compensated
      range *)
@@ -510,7 +540,8 @@ let abort t xid =
      never be refused for log space, or a full log would be fatal *)
   (match t.config.Config.impl with
   | Config.Rh | Config.Lazy -> rollback_scopes t info
-  | Config.Eager -> rollback_chain t info);
+  | Config.Eager ->
+      if t.degraded then rollback_scopes t info else rollback_chain t info);
   let abort_lsn = append_on_chain_reserved t info Record.Abort in
   Log_store.flush t.log ~upto:info.last_lsn;
   ignore (append_on_chain_reserved t info Record.End);
@@ -565,7 +596,164 @@ let add t xid oid d =
   lock t xid oid Mode.I;
   log_update t info oid (Record.Add d)
 
+(* --- checkpointing and log-space maintenance --- *)
+
+let checkpoint t =
+  (* checkpoints relieve log pressure — refusing one for log space would
+     deadlock the governor, so they bypass admission *)
+  let begin_lsn =
+    Log_store.append_reserved t.log (Record.mk_system Record.Ckpt_begin)
+  in
+  let ck_txns, ck_obs = Txn_table.to_ckpt t.tt in
+  let ck_dpt = Buffer_pool.dirty_page_table t.pool in
+  let lsn =
+    Log_store.append_reserved t.log
+      (Record.mk_system (Record.Ckpt_end { Record.ck_txns; ck_dpt; ck_obs }))
+  in
+  Log_store.flush t.log ~upto:lsn;
+  Log_store.set_master t.log lsn;
+  (* the checkpoint force covers any pending commit group *)
+  settle_group t;
+  t.stats.checkpoints <- t.stats.checkpoints + 1;
+  if tracing t then
+    Obs.Ring.emit t.ring (Obs.Event.Checkpoint { begin_lsn; end_lsn = lsn })
+
+let truncation_horizon t =
+  let master = Log_store.master t.log in
+  if Lsn.is_nil master then Lsn.nil
+  else begin
+    let horizon = ref master in
+    List.iter
+      (fun (_, rec_lsn) -> horizon := Lsn.min !horizon rec_lsn)
+      (Buffer_pool.dirty_page_table t.pool);
+    Txn_table.iter t.tt (fun info ->
+        (* conventional (eager-mode) undo walks the whole chain, begin
+           record included, so live transactions pin from their begin *)
+        if not (Lsn.is_nil info.begin_lsn) then
+          horizon := Lsn.min !horizon info.begin_lsn;
+        match Ob_list.min_first info.ob_list with
+        | Some first -> horizon := Lsn.min !horizon first
+        | None -> ());
+    !horizon
+  end
+
+let truncate_log t =
+  (* settle first: truncation may drop durable commit records, and any
+     waiter they belong to must have been notified before its record
+     becomes unreadable *)
+  settle_group t;
+  let horizon = truncation_horizon t in
+  if Lsn.is_nil horizon then 0
+  else begin
+    let below = Lsn.min horizon (Log_store.durable t.log) in
+    let reclaimed = Log_store.truncate t.log ~below in
+    if reclaimed > 0 && tracing t then
+      Obs.Ring.emit t.ring (Obs.Event.Truncate { below; reclaimed });
+    reclaimed
+  end
+
 (* --- delegation --- *)
+
+(* Crash-atomic eager delegation (the §3.2 baseline hardened): plan the
+   full chain surgery, secure log space for the whole protocol up front,
+   force an intent record plus per-target before/after images, apply the
+   in-place rewrites, then append the two chain anchors and the end
+   record and force them as one unit. A crash at any I/O point resolves
+   at the next restart to exactly the pre- or post-surgery log
+   ([Rewrite.recover_surgeries]). If space for the surgery cannot be
+   secured even after checkpoint-and-truncate retries, the delegation
+   falls back to a logical ARIES/RH-style delegate record and the engine
+   runs degraded until a restart heals the log. Returns the LSNs of the
+   update records re-attributed to the delegatee ([] on the logical
+   paths). *)
+let delegate_eager t (tor_info : Txn_table.info) (tee_info : Txn_table.info)
+    oid =
+  let from_ = tor_info.Txn_table.xid and to_ = tee_info.Txn_table.xid in
+  let anchors = 2 * Lazy.force anchor_cost in
+  let plan = Rewrite.plan_eager t.env ~tor_info ~tee_info oid in
+  let emit_delegate lsn =
+    if tracing t then
+      Obs.Ring.emit t.ring
+        (Obs.Event.Delegate { from_; to_; oid; lsn; op_lsn = None })
+  in
+  if plan.Rewrite.patches = [] then begin
+    (* no live records to move: no surgery, just the durable chain-head
+       anchors; [Log_full] here aborts the delegation cleanly *)
+    Log_store.reserve t.log ~bytes:anchors ~records:2;
+    let anchor_lsn = append_on_chain_reserved t tor_info Record.Anchor in
+    ignore (append_on_chain_reserved t tee_info Record.Anchor);
+    Log_store.unreserve t.log ~bytes:anchors ~records:2;
+    Log_store.flush t.log ~upto:(Log_store.head t.log);
+    emit_delegate anchor_lsn;
+    tor_info.undo_next <- tor_info.last_lsn;
+    tee_info.undo_next <- tee_info.last_lsn;
+    []
+  end
+  else begin
+    let sbytes, srecords =
+      Rewrite.surgery_cost ~deleg:(from_, to_, oid) plan.Rewrite.patches
+    in
+    let bytes = sbytes + anchors and records = srecords + 2 in
+    let rec secure attempt =
+      match Log_store.reserve t.log ~bytes ~records with
+      | () -> true
+      | exception Log_store.Log_full _
+        when attempt < t.config.Config.rewrite_retries ->
+          (* relieve pressure and retry: the checkpoint advances the
+             truncation horizon, the truncation reclaims the prefix *)
+          checkpoint t;
+          ignore (truncate_log t);
+          secure (attempt + 1)
+      | exception Log_store.Log_full _ -> false
+    in
+    if secure 0 then begin
+      let begin_lsn =
+        Rewrite.surgery_begin t.env ~deleg:(from_, to_, oid)
+          plan.Rewrite.patches
+      in
+      ignore (Rewrite.apply_plan t.env plan.Rewrite.patches);
+      tor_info.last_lsn <- plan.Rewrite.tor_last;
+      tee_info.last_lsn <- plan.Rewrite.tee_last;
+      (* The anchors make the new chain heads durable and visible inside
+         the next restart's analysis window (a spliced record below the
+         checkpoint would otherwise be unreachable). They go in BEFORE
+         the end record, so the closing force hardens anchors and
+         surgery outcome as one unit — a torn tail can lose only the end
+         record, and restart then rolls the fully-applied surgery
+         forward, consistent with the durable anchors. *)
+      let anchor_lsn = append_on_chain_reserved t tor_info Record.Anchor in
+      ignore (append_on_chain_reserved t tee_info Record.Anchor);
+      Rewrite.surgery_end t.env ~begin_lsn ~committed:true;
+      Log_store.unreserve t.log ~bytes ~records;
+      emit_delegate anchor_lsn;
+      (* after surgery the chains are the only authority; undo must
+         start at their heads (the old undo_next may point at a record
+         that was delegated away) — and checkpoints persist these *)
+      tor_info.undo_next <- tor_info.last_lsn;
+      tee_info.undo_next <- tee_info.last_lsn;
+      plan.Rewrite.moved
+    end
+    else begin
+      (* degraded-mode fallback: surgery space cannot be found — record
+         the delegation logically (admission-checked; [Log_full]
+         propagates before any state change) and let the next restart
+         heal the log via the lazy recovery path *)
+      let lsn =
+        Log_store.append t.log
+          (Record.mk from_ ~prev:tor_info.last_lsn
+             (Record.Delegate
+                { tee = to_; tee_prev = tee_info.last_lsn; oid; op = None }))
+      in
+      tor_info.last_lsn <- lsn;
+      tee_info.last_lsn <- lsn;
+      t.degraded <- true;
+      t.env.Env.rewrite_fallbacks <- t.env.Env.rewrite_fallbacks + 1;
+      if tracing t then
+        Obs.Ring.emit t.ring (Obs.Event.Rewrite_fallback { from_; to_; oid });
+      emit_delegate lsn;
+      []
+    end
+  end
 
 let delegate t ~from_ ~to_ oid =
   check_oid t oid;
@@ -578,46 +766,25 @@ let delegate t ~from_ ~to_ oid =
          { xid = Some from_; reason = Errors.Delegation_refused });
   if not (Ob_list.mem tor_info.ob_list oid) then
     raise (Errors.Not_responsible { xid = from_; oid });
-  (match t.config.Config.impl with
-  | Config.Rh | Config.Lazy ->
-      (* admission-checked; [Log_full] propagates before any state
-         change, so a refused delegation is a clean no-op *)
-      let lsn =
-        Log_store.append t.log
-          (Record.mk from_ ~prev:tor_info.last_lsn
-             (Record.Delegate
-                { tee = to_; tee_prev = tee_info.last_lsn; oid; op = None }))
-      in
-      tor_info.last_lsn <- lsn;
-      tee_info.last_lsn <- lsn;
-      if tracing t then
-        Obs.Ring.emit t.ring
-          (Obs.Event.Delegate { from_; to_; oid; lsn; op_lsn = None })
-  | Config.Eager ->
-      (* secure space for both anchor records before surgery mutates the
-         chains; [Log_full] here aborts the delegation cleanly *)
-      let anchors = 2 * Lazy.force anchor_cost in
-      Log_store.reserve t.log ~bytes:anchors ~records:2;
-      ignore (Rewrite.eager_delegate t.env ~tor_info ~tee_info oid);
-      (* The surgery's pointer patches span stable and volatile log
-         regions and are not crash-atomic on their own (the §3.2
-         correctness problem): a spliced stable record is unreachable if
-         the volatile chain head pointing at it dies with the crash. Make
-         the new chain heads durable — an anchor record per chain, then a
-         forced flush. This is part of eager delegation's real cost. *)
-      let anchor_lsn = append_on_chain_reserved t tor_info Record.Anchor in
-      ignore (append_on_chain_reserved t tee_info Record.Anchor);
-      Log_store.unreserve t.log ~bytes:anchors ~records:2;
-      Log_store.flush t.log ~upto:(Log_store.head t.log);
-      if tracing t then
-        Obs.Ring.emit t.ring
-          (Obs.Event.Delegate
-             { from_; to_; oid; lsn = anchor_lsn; op_lsn = None });
-      (* after surgery the chains are the only authority; undo must start
-         at their heads (the old undo_next may point at a moved record,
-         or miss records moved in) — and checkpoints persist these *)
-      tor_info.undo_next <- tor_info.last_lsn;
-      tee_info.undo_next <- tee_info.last_lsn);
+  let moved =
+    match t.config.Config.impl with
+    | Config.Rh | Config.Lazy ->
+        (* admission-checked; [Log_full] propagates before any state
+           change, so a refused delegation is a clean no-op *)
+        let lsn =
+          Log_store.append t.log
+            (Record.mk from_ ~prev:tor_info.last_lsn
+               (Record.Delegate
+                  { tee = to_; tee_prev = tee_info.last_lsn; oid; op = None }))
+        in
+        tor_info.last_lsn <- lsn;
+        tee_info.last_lsn <- lsn;
+        if tracing t then
+          Obs.Ring.emit t.ring
+            (Obs.Event.Delegate { from_; to_; oid; lsn; op_lsn = None });
+        []
+    | Config.Eager -> delegate_eager t tor_info tee_info oid
+  in
   (match Ob_list.take tor_info.ob_list oid with
   | None -> assert false
   | Some (entry, rest) ->
@@ -625,6 +792,11 @@ let delegate t ~from_ ~to_ oid =
       tee_info.ob_list <-
         Ob_list.receive tee_info.ob_list ~oid ~from_
           (Ob_list.entry_scopes entry));
+  (* physical surgery re-attributed these records to the delegatee: its
+     scope coverage must agree with the rewritten log, or the
+     degraded-mode (scope-based) rollback would miss them *)
+  if moved <> [] then
+    tee_info.ob_list <- Ob_list.absorb tee_info.ob_list ~owner:to_ ~oid moved;
   move_reserved_object t ~from_ ~to_ oid;
   t.stats.delegations <- t.stats.delegations + 1;
   if tracing t then
@@ -718,61 +890,7 @@ let delegate_all t ~from_ ~to_ =
 
 let responsible_objects t xid = Ob_list.objects (info_exn t xid).ob_list
 
-(* --- checkpointing, crash, recovery --- *)
-
-let checkpoint t =
-  (* checkpoints relieve log pressure — refusing one for log space would
-     deadlock the governor, so they bypass admission *)
-  let begin_lsn =
-    Log_store.append_reserved t.log (Record.mk_system Record.Ckpt_begin)
-  in
-  let ck_txns, ck_obs = Txn_table.to_ckpt t.tt in
-  let ck_dpt = Buffer_pool.dirty_page_table t.pool in
-  let lsn =
-    Log_store.append_reserved t.log
-      (Record.mk_system (Record.Ckpt_end { Record.ck_txns; ck_dpt; ck_obs }))
-  in
-  Log_store.flush t.log ~upto:lsn;
-  Log_store.set_master t.log lsn;
-  (* the checkpoint force covers any pending commit group *)
-  settle_group t;
-  t.stats.checkpoints <- t.stats.checkpoints + 1;
-  if tracing t then
-    Obs.Ring.emit t.ring (Obs.Event.Checkpoint { begin_lsn; end_lsn = lsn })
-
-let truncation_horizon t =
-  let master = Log_store.master t.log in
-  if Lsn.is_nil master then Lsn.nil
-  else begin
-    let horizon = ref master in
-    List.iter
-      (fun (_, rec_lsn) -> horizon := Lsn.min !horizon rec_lsn)
-      (Buffer_pool.dirty_page_table t.pool);
-    Txn_table.iter t.tt (fun info ->
-        (* conventional (eager-mode) undo walks the whole chain, begin
-           record included, so live transactions pin from their begin *)
-        if not (Lsn.is_nil info.begin_lsn) then
-          horizon := Lsn.min !horizon info.begin_lsn;
-        match Ob_list.min_first info.ob_list with
-        | Some first -> horizon := Lsn.min !horizon first
-        | None -> ());
-    !horizon
-  end
-
-let truncate_log t =
-  (* settle first: truncation may drop durable commit records, and any
-     waiter they belong to must have been notified before its record
-     becomes unreadable *)
-  settle_group t;
-  let horizon = truncation_horizon t in
-  if Lsn.is_nil horizon then 0
-  else begin
-    let below = Lsn.min horizon (Log_store.durable t.log) in
-    let reclaimed = Log_store.truncate t.log ~below in
-    if reclaimed > 0 && tracing t then
-      Obs.Ring.emit t.ring (Obs.Event.Truncate { below; reclaimed });
-    reclaimed
-  end
+(* --- crash, recovery --- *)
 
 (* Live transactions that keep the truncation horizon from advancing:
    each active transaction with the LSN it pins (its begin record or the
@@ -818,7 +936,9 @@ let crash t =
   (* reservation ledgers and backpressure are volatile control state *)
   Hashtbl.reset t.reserves;
   t.refuse_begins <- false;
-  t.refuse_delegations <- false
+  t.refuse_delegations <- false;
+  (* volatile too: recovery re-derives it from the durable log *)
+  t.degraded <- false
 
 (* --- media recovery --- *)
 
@@ -852,7 +972,15 @@ let media_failure t =
   t.permits <- [];
   Hashtbl.reset t.reserves;
   t.refuse_begins <- false;
-  t.refuse_delegations <- false
+  t.refuse_delegations <- false;
+  t.degraded <- false
+
+let audit t = Audit.check t.env
+
+let run_audit t =
+  Obs.Ring.emit t.ring (Obs.Event.Restart_enter Obs.Event.Audit);
+  Audit.run t.env;
+  Obs.Ring.emit t.ring (Obs.Event.Restart_leave Obs.Event.Audit)
 
 let recover t =
   let passes =
@@ -863,13 +991,36 @@ let recover t =
   let report =
     match t.config.Config.impl with
     | Config.Rh -> Aries_rh.recover ~passes t.env
-    | Config.Eager -> Aries.recover ~passes t.env
+    | Config.Eager ->
+        (* A degraded run may have left logical delegate records in the
+           durable log; conventional ARIES cannot interpret them, so
+           detect them (skipping any corrupt tail record — amputation
+           has not run yet) and heal through the lazy recovery path,
+           which splices them physically. After it, the log is purely
+           physical again and the engine leaves degraded mode. *)
+        let has_delegate =
+          let exception Found in
+          try
+            ignore
+              (Log_store.iter_valid_forward t.log
+                 ~from:(Log_store.truncated_below t.log)
+                 (fun _ r ->
+                   match r.Record.body with
+                   | Record.Delegate _ -> raise Found
+                   | _ -> ()));
+            false
+          with Found -> true
+        in
+        if has_delegate then Aries_rh.recover_physical t.env
+        else Aries.recover ~passes t.env
     | Config.Lazy -> Aries_rh.recover_physical t.env
   in
+  t.degraded <- false;
   t.tt <- Txn_table.create ();
   t.locks <- Lock_table.create ();
   t.permits <- [];
   t.stats.recoveries <- t.stats.recoveries + 1;
+  if t.config.Config.audit then run_audit t;
   report
 
 let restore_media t (b : backup) =

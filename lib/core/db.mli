@@ -220,7 +220,37 @@ val recover : t -> Ariesrh_recovery.Report.t
 (** Restart recovery per the configured implementation: [Rh] runs
     ARIES/RH; [Eager] runs conventional ARIES (the log was physically
     rewritten at delegation time); [Lazy] runs ARIES/RH plus the
-    physical rewrite it models. *)
+    physical rewrite it models.
+
+    On every engine, restart first resolves rewrite system transactions
+    ({!Ariesrh_recovery.Rewrite.recover_surgeries}): an un-ended eager
+    chain surgery is rolled forward when its apply phase had completed
+    and rolled back otherwise, so a crash at {e any} I/O point of a
+    delegation leaves exactly the pre- or post-surgery log. If a
+    degraded eager run ([rewrite_fallbacks]) left logical delegate
+    records behind, recovery detects them and heals through the lazy
+    path, splicing them physically; the engine leaves degraded mode.
+
+    With [Config.audit] set, a self-audit pass ({!audit}) runs after
+    recovery and raises [Ariesrh_recovery.Audit.Audit_failed] if the
+    durable log violates a chain-closure invariant. *)
+
+val audit : t -> string list
+(** Walk the durable log and check the restart invariants (strictly
+    decreasing chains, CLR targets, surgery bracketing, re-attribution
+    provenance); returns the violations, [[]] when clean. {!recover}
+    runs this automatically — and raises — when [Config.audit] is
+    set. *)
+
+val degraded : t -> bool
+(** The eager engine could not secure log space for a chain surgery and
+    fell back to a logical delegate record; scope-based rollback is in
+    force until the next {!recover} heals the log. Always [false] on
+    the other engines. *)
+
+val rewrite_fallbacks : t -> int
+(** How many eager delegations fell back to logical delegate records
+    (also exported as the [ariesrh_rewrite_fallbacks_total] metric). *)
 
 val recover_with_fuel :
   t -> fuel:int -> [ `Done of Ariesrh_recovery.Report.t | `Interrupted ]

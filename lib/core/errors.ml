@@ -53,4 +53,13 @@ let pp_exn ppf = function
   | Ariesrh_fault.Fault.Injected_crash { io; site } ->
       Format.fprintf ppf "injected crash at io #%d (%a)" io
         Ariesrh_fault.Fault.pp_site site
+  | Ariesrh_recovery.Audit.Audit_failed violations ->
+      Format.fprintf ppf "restart self-audit failed (%d violation%s):@ %a"
+        (List.length violations)
+        (if List.length violations = 1 then "" else "s")
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space
+           Format.pp_print_string)
+        violations
+  | Ariesrh_recovery.Rewrite.Surgery_corrupt msg ->
+      Format.fprintf ppf "rewrite surgery protocol violated: %s" msg
   | e -> Format.pp_print_string ppf (Printexc.to_string e)

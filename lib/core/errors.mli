@@ -34,5 +34,7 @@ val pp_exn : Format.formatter -> exn -> unit
 (** Also renders the storage/WAL corruption and capacity exceptions
     ([Ariesrh_wal.Log_store.Corrupt_record],
     [Ariesrh_wal.Log_store.Log_full],
-    [Ariesrh_storage.Buffer_pool.Torn_page]) and
-    [Ariesrh_fault.Fault.Injected_crash]. *)
+    [Ariesrh_storage.Buffer_pool.Torn_page]),
+    [Ariesrh_fault.Fault.Injected_crash], and the restart-integrity
+    exceptions ([Ariesrh_recovery.Audit.Audit_failed],
+    [Ariesrh_recovery.Rewrite.Surgery_corrupt]). *)

@@ -1,12 +1,13 @@
 module Prng = Ariesrh_util.Prng
 
-type site = Disk_read | Disk_write | Log_flush | Pool_miss
+type site = Disk_read | Disk_write | Log_flush | Pool_miss | Log_rewrite
 
 let pp_site ppf = function
   | Disk_read -> Format.pp_print_string ppf "disk-read"
   | Disk_write -> Format.pp_print_string ppf "disk-write"
   | Log_flush -> Format.pp_print_string ppf "log-flush"
   | Pool_miss -> Format.pp_print_string ppf "pool-miss"
+  | Log_rewrite -> Format.pp_print_string ppf "log-rewrite"
 
 exception Injected_crash of { io : int; site : site }
 
@@ -126,6 +127,16 @@ let on_pool_miss t =
     if tick t then begin
       fire t Ariesrh_obs.Event.Crash_point "pool-miss";
       die t Pool_miss
+    end
+
+(* An in-place rewrite of a durable log record is a synchronous I/O.
+   Called BEFORE the bytes are mutated, so a crash here leaves the target
+   record exactly as it was. *)
+let on_log_rewrite t =
+  if enabled t then
+    if tick t then begin
+      fire t Ariesrh_obs.Event.Crash_point "log-rewrite";
+      die t Log_rewrite
     end
 
 let no_write = { torn_keep = None; crash = false }

@@ -20,7 +20,7 @@
       interrupted the write. (This also preserves the WAL ordering
       invariant: no data page ever reaches disk after a torn flush.) *)
 
-type site = Disk_read | Disk_write | Log_flush | Pool_miss
+type site = Disk_read | Disk_write | Log_flush | Pool_miss | Log_rewrite
 
 val pp_site : Format.formatter -> site -> unit
 
@@ -96,6 +96,12 @@ val on_disk_read : t -> unit
 
 val on_pool_miss : t -> unit
 (** May raise [Injected_crash]. *)
+
+val on_log_rewrite : t -> unit
+(** In-place rewrite of a {e durable} log record — a synchronous I/O on
+    its own crash point. Called before the bytes are mutated, so a crash
+    at this site leaves the target record untouched. May raise
+    [Injected_crash]. *)
 
 val on_disk_write : t -> slots:int -> write_decision
 (** Never raises: the caller applies the (possibly torn) write first and

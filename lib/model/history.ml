@@ -38,7 +38,9 @@ let of_log log =
       | Record.Commit -> events := Committed (w ()) :: !events
       | Record.Abort -> events := Aborted (w ()) :: !events
       | Record.End -> events := Ended (w ()) :: !events
-      | Record.Anchor | Record.Ckpt_begin | Record.Ckpt_end _ -> ());
+      | Record.Anchor | Record.Ckpt_begin | Record.Ckpt_end _
+      | Record.Rewrite_begin _ | Record.Rewrite_clr _ | Record.Rewrite_end _
+        -> ());
   List.rev !events
 
 let winners t =

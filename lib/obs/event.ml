@@ -2,7 +2,14 @@ open Ariesrh_types
 
 type op = Add of int | Set of { before : int; after : int }
 
-type restart_phase = Amputate | Forward | Backward | Repair | Finish
+type restart_phase =
+  | Amputate
+  | Surgery
+  | Forward
+  | Backward
+  | Repair
+  | Finish
+  | Audit
 
 type fault_kind = Crash_point | Torn_write | Torn_flush | Squeeze
 
@@ -42,6 +49,8 @@ type t =
   | Recovered of { winners : int; losers : int; undos : int }
   | Governor of gov_action
   | Fault of { kind : fault_kind; site : string }
+  | Surgery_resolved of { rolled_back : int; rolled_forward : int }
+  | Rewrite_fallback of { from_ : Xid.t; to_ : Xid.t; oid : Oid.t }
 
 let op_str = function
   | Add d -> Printf.sprintf "add(%+d)" d
@@ -49,10 +58,12 @@ let op_str = function
 
 let phase_str = function
   | Amputate -> "amputate"
+  | Surgery -> "surgery"
   | Forward -> "forward"
   | Backward -> "backward"
   | Repair -> "repair"
   | Finish -> "finish"
+  | Audit -> "audit"
 
 let fault_str = function
   | Crash_point -> "crash"
@@ -81,6 +92,8 @@ let kind_str = function
   | Recovered _ -> "recovered"
   | Governor _ -> "governor"
   | Fault _ -> "fault"
+  | Surgery_resolved _ -> "surgery-resolved"
+  | Rewrite_fallback _ -> "rewrite-fallback"
 
 let fields = function
   | Begin { xid; lsn } | Commit { xid; lsn } | Abort { xid; lsn } ->
@@ -149,6 +162,17 @@ let fields = function
       [
         ("fault", Json.String (fault_str kind));
         ("site", Json.String site);
+      ]
+  | Surgery_resolved { rolled_back; rolled_forward } ->
+      [
+        ("rolled_back", Json.Int rolled_back);
+        ("rolled_forward", Json.Int rolled_forward);
+      ]
+  | Rewrite_fallback { from_; to_; oid } ->
+      [
+        ("from", Json.Int (xi from_));
+        ("to", Json.Int (xi to_));
+        ("oid", Json.Int (oi oid));
       ]
 
 let to_json ev = Json.Obj (("event", Json.String (kind_str ev)) :: fields ev)

@@ -14,7 +14,14 @@ open Ariesrh_types
 
 type op = Add of int | Set of { before : int; after : int }
 
-type restart_phase = Amputate | Forward | Backward | Repair | Finish
+type restart_phase =
+  | Amputate
+  | Surgery  (** rewrite system-transaction resolution *)
+  | Forward
+  | Backward
+  | Repair
+  | Finish
+  | Audit  (** post-recovery self-audit *)
 
 type fault_kind = Crash_point | Torn_write | Torn_flush | Squeeze
 
@@ -54,6 +61,11 @@ type t =
   | Recovered of { winners : int; losers : int; undos : int }
   | Governor of gov_action
   | Fault of { kind : fault_kind; site : string }
+  | Surgery_resolved of { rolled_back : int; rolled_forward : int }
+      (** restart resolved rewrite system transactions *)
+  | Rewrite_fallback of { from_ : Xid.t; to_ : Xid.t; oid : Oid.t }
+      (** eager surgery could not complete; fell back to a logical
+          delegate record *)
 
 val op_str : op -> string
 val phase_str : restart_phase -> string

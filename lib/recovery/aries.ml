@@ -8,6 +8,8 @@ let recover ?(passes = Forward.Merged) (env : Env.t) =
   env.prof <- Obs.Profiler.create ();
   let io_before = Log_stats.copy (Log_store.stats env.log) in
   let repairs_before = env.repairs in
+  let srb_before = env.surgery_rolled_back in
+  let srf_before = env.surgery_rolled_forward in
   let fwd = Forward.run ~passes env ~mode:Forward.Conventional in
   let tt = fwd.tt in
   let losers = Forward.losers fwd in
@@ -82,6 +84,9 @@ let recover ?(passes = Forward.Merged) (env : Env.t) =
               failwith "ARIES (conventional): delegate record in the log"
           | Record.Ckpt_begin | Record.Ckpt_end _ ->
               failwith "ARIES undo: checkpoint record on a transaction chain"
+          | Record.Rewrite_begin _ | Record.Rewrite_clr _
+          | Record.Rewrite_end _ ->
+              failwith "ARIES undo: rewrite system record on a transaction chain"
         in
         if not (Lsn.is_nil next) then Heap.push heap (next, info);
         undo_loop ()
@@ -132,6 +137,8 @@ let recover ?(passes = Forward.Merged) (env : Env.t) =
     undos = !undos;
     amputated = fwd.amputated;
     repaired_pages = env.repairs - repairs_before;
+    surgery_rolled_back = env.surgery_rolled_back - srb_before;
+    surgery_rolled_forward = env.surgery_rolled_forward - srf_before;
     log_io = Log_stats.diff io_after io_before;
     profile = env.prof;
   }

@@ -32,6 +32,8 @@ let recover_gen ?(naive_sweep = false) ?(passes = Forward.Merged) ~physical
   env.prof <- Obs.Profiler.create ();
   let io_before = Log_stats.copy (Log_store.stats env.log) in
   let repairs_before = env.repairs in
+  let srb_before = env.surgery_rolled_back in
+  let srf_before = env.surgery_rolled_forward in
   Trace.Log.debug (fun m ->
       m "restart: forward pass from master=%a head=%a" Lsn.pp
         (Log_store.master env.log) Lsn.pp (Log_store.head env.log));
@@ -54,6 +56,17 @@ let recover_gen ?(naive_sweep = false) ?(passes = Forward.Merged) ~physical
       losers
   in
   let undos_done = ref 0 in
+  (* Deferred lazy splices: the rewrite the lazy algorithm does at
+     restart — attribute each delegated-in record to its responsible
+     transaction, and flip the matching CLR's invoker to agree (or a
+     later restart's trim misses and the update is undone twice). The
+     rewrites are NOT applied inline: they are collected here and
+     installed as one rewrite system transaction after the sweep, so a
+     crash anywhere leaves the log either all-logical (delegate records
+     + original invokers, which mode [Rh_rewritten] replays fine) or
+     all-physical — never a half-spliced mix where record and CLR
+     disagree. *)
+  let splices = ref [] in
   let on_undo ~owner ~invoker ~undone ~undo_next upd =
     (match fuel with
     | Some n when !undos_done >= n ->
@@ -63,38 +76,29 @@ let recover_gen ?(naive_sweep = false) ?(passes = Forward.Merged) ~physical
         raise Interrupted
     | _ -> ());
     incr undos_done;
-    if physical && not (Xid.equal owner invoker) then begin
-      (* the rewrite the lazy algorithm would do: attribute the record to
-         its responsible transaction, and patch the chain pointer of the
-         record the old chain linked to *)
-      let original = Log_store.read env.log undone in
-      Log_store.rewrite env.log undone (Record.set_writer original owner);
-      (* The neighbour below the splice point belongs to the original
-         invoker's chain — a transaction that may have resolved long ago,
-         so nothing pins it and a governor may have truncated it away
-         (only the delegated scope itself pins the horizon, E8). A
-         reclaimed neighbour needs no patch: every future restart scans
-         from the truncation point, above it. *)
-      if
-        (not (Lsn.is_nil original.Record.prev))
-        && Lsn.(original.Record.prev >= Log_store.truncated_below env.log)
-      then begin
-        let neighbour = Log_store.read env.log original.Record.prev in
-        Log_store.rewrite env.log original.Record.prev neighbour
-      end
-    end;
-    (* After the rewrite, history reads as if [owner] invoked the update
-       itself, and a restart over the rewritten log will rebuild the
-       scope with [owner] as the invoker. The CLR must agree, or that
-       restart's trim misses and the update is undone twice. *)
-    if physical && not (Xid.equal owner invoker) then
-      Obs.Profiler.count env.prof "restart.backward" "rewrites" 1;
-    let invoker = if physical then owner else invoker in
+    let splice = physical && not (Xid.equal owner invoker) in
+    if splice then Obs.Profiler.count env.prof "restart.backward" "rewrites" 1;
     let info = Txn_table.find_exn tt owner in
-    let lsn =
-      append_on_chain env info
+    let clr = Record.mk info.xid ~prev:info.last_lsn
         (Record.Clr { upd; undone; invoker; undo_next })
     in
+    let lsn = Log_store.append_reserved env.log clr in
+    info.last_lsn <- lsn;
+    if splice then begin
+      let original = Log_store.read env.log undone in
+      let clr' =
+        { clr with
+          Record.body = Record.Clr { upd; undone; invoker = owner; undo_next }
+        }
+      in
+      splices :=
+        ({ Rewrite.target = undone;
+           before = original;
+           after = Record.set_writer original owner;
+         },
+         { Rewrite.target = lsn; before = clr; after = clr' })
+        :: !splices
+    end;
     Obs.Ring.emit env.ring
       (Obs.Event.Clr
          { xid = owner; invoker; oid = upd.Record.oid; lsn; undone });
@@ -121,6 +125,27 @@ let recover_gen ?(naive_sweep = false) ?(passes = Forward.Merged) ~physical
         "backward pass done: %d clusters, %d examined, %d skipped, %d          undone"
         sweep.Scope_sweep.clusters sweep.Scope_sweep.examined
         sweep.Scope_sweep.skipped sweep.Scope_sweep.undone);
+  (* install the deferred lazy splices as one rewrite system transaction:
+     intent + before/after images forced, then the in-place rewrites,
+     then the end record. A crash before the closing force rolls the
+     whole batch back at the next restart (all-logical history); after
+     it, roll-forward re-installs it (all-physical). *)
+  (match !splices with
+  | [] -> ()
+  | sp ->
+      let patches =
+        List.concat_map (fun (a, b) -> [ a; b ]) (List.rev sp)
+        |> List.sort (fun a b ->
+               Lsn.compare a.Rewrite.target b.Rewrite.target)
+      in
+      Obs.Ring.emit env.ring (Obs.Event.Restart_enter Obs.Event.Surgery);
+      Obs.Profiler.time env.prof "restart.splice" (fun () ->
+          let begin_lsn = Rewrite.surgery_begin env patches in
+          ignore (Rewrite.apply_plan env patches);
+          Rewrite.surgery_end env ~begin_lsn ~committed:true);
+      Obs.Profiler.count env.prof "restart.splice" "patches"
+        (List.length patches);
+      Obs.Ring.emit env.ring (Obs.Event.Restart_leave Obs.Event.Surgery));
   Obs.Ring.emit env.ring (Obs.Event.Restart_enter Obs.Event.Finish);
   Obs.Profiler.time env.prof "restart.finish" (fun () ->
       finish_losers env tt;
@@ -145,6 +170,8 @@ let recover_gen ?(naive_sweep = false) ?(passes = Forward.Merged) ~physical
     undos = sweep.Scope_sweep.undone;
     amputated = fwd.amputated;
     repaired_pages = env.repairs - repairs_before;
+    surgery_rolled_back = env.surgery_rolled_back - srb_before;
+    surgery_rolled_forward = env.surgery_rolled_forward - srf_before;
     log_io = Log_stats.diff io_after io_before;
     profile = env.prof;
   }

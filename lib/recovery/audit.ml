@@ -1,0 +1,124 @@
+open Ariesrh_types
+open Ariesrh_wal
+
+exception Audit_failed of string list
+
+(* Walk the durable log once and check the chain-closure invariants that
+   every engine must re-establish by the end of recovery:
+
+   - backward pointers strictly decrease: every [prev] (and delegate
+     [tee_prev]) sits strictly below its record, so every chain walk
+     terminates inside the log;
+   - no orphaned CLRs: a compensation's [undone] target, when still
+     retained, is an update record on the same object;
+   - rewrite surgeries are bracketed: no rewrite CLR or end record
+     outside an open surgery, and no surgery left un-ended once
+     recovery has finished;
+   - every re-attributed update has a durable transfer: an update
+     attributed to a transaction that begins {e above} it can only be
+     the product of chain surgery, so its LSN must appear among the
+     targets of a committed rewrite surgery. (An update whose writer has
+     no begin record at all is flagged too, unless truncation has eaten
+     the log prefix where that begin — or the old surgery — may have
+     lived.) *)
+let check (env : Env.t) =
+  let log = env.Env.log in
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
+  let base = Log_store.truncated_below log in
+  let durable = Log_store.durable log in
+  let truncated = Lsn.(base > Lsn.first) in
+  let in_range l = Lsn.(l >= base) && Lsn.(l <= durable) in
+  let begins : (int, Lsn.t) Hashtbl.t = Hashtbl.create 32 in
+  let updates = ref [] in
+  let committed_targets : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* (begin lsn, reversed CLR targets, end status) of the open surgery *)
+  let cur : (Lsn.t * Lsn.t list ref * bool option ref) option ref =
+    ref None
+  in
+  if Lsn.(durable >= base) then
+    Log_store.iter_forward log ~from:base ~upto:durable (fun lsn record ->
+        (match record.Record.xid with
+        | Some _ ->
+            let p = record.Record.prev in
+            if (not (Lsn.is_nil p)) && Lsn.(p >= lsn) then
+              err "record %a: prev %a does not strictly decrease" Lsn.pp lsn
+                Lsn.pp p
+        | None -> ());
+        match record.Record.body with
+        | Record.Begin ->
+            let x = Xid.to_int (Record.writer_exn record) in
+            if not (Hashtbl.mem begins x) then Hashtbl.replace begins x lsn
+        | Record.Update u ->
+            updates := (lsn, Record.writer_exn record, u.Record.oid) :: !updates
+        | Record.Delegate { tee_prev; _ } ->
+            if (not (Lsn.is_nil tee_prev)) && Lsn.(tee_prev >= lsn) then
+              err "delegate at %a: tee_prev %a does not strictly decrease"
+                Lsn.pp lsn Lsn.pp tee_prev
+        | Record.Clr { upd; undone; _ } ->
+            if in_range undone then (
+              match (Log_store.read log undone).Record.body with
+              | Record.Update u when Oid.equal u.Record.oid upd.Record.oid ->
+                  ()
+              | Record.Update u ->
+                  err "CLR at %a compensates %a on %a but targets %a" Lsn.pp
+                    lsn Lsn.pp undone Oid.pp upd.Record.oid Oid.pp
+                    u.Record.oid
+              | _ ->
+                  err "CLR at %a: undone target %a is not an update" Lsn.pp
+                    lsn Lsn.pp undone)
+        | Record.Rewrite_begin _ ->
+            (match !cur with
+            | Some (b, _, ended) when !ended = None ->
+                err
+                  "rewrite surgery at %a opens inside the un-ended surgery \
+                   at %a"
+                  Lsn.pp lsn Lsn.pp b
+            | _ -> ());
+            cur := Some (lsn, ref [], ref None)
+        | Record.Rewrite_clr { target; _ } -> (
+            match !cur with
+            | Some (_, ts, ended) when !ended = None -> ts := target :: !ts
+            | _ -> err "orphaned rewrite CLR at %a" Lsn.pp lsn)
+        | Record.Rewrite_end { begin_lsn; committed } -> (
+            match !cur with
+            | Some (b, ts, ended) when !ended = None && Lsn.equal b begin_lsn
+              ->
+                ended := Some committed;
+                if committed then
+                  List.iter
+                    (fun t -> Hashtbl.replace committed_targets (Lsn.to_int t) ())
+                    !ts
+            | _ ->
+                err "rewrite end at %a closes no open surgery (begin=%a)"
+                  Lsn.pp lsn Lsn.pp begin_lsn)
+        | Record.Commit | Record.Abort | Record.End | Record.Anchor
+        | Record.Ckpt_begin | Record.Ckpt_end _ ->
+            ());
+  (match !cur with
+  | Some (b, _, ended) when !ended = None ->
+      err "un-ended rewrite surgery at %a survived recovery" Lsn.pp b
+  | _ -> ());
+  List.iter
+    (fun (lsn, xid, _oid) ->
+      match Hashtbl.find_opt begins (Xid.to_int xid) with
+      | Some b when Lsn.(b > lsn) ->
+          if not (Hashtbl.mem committed_targets (Lsn.to_int lsn)) then
+            err
+              "update at %a attributed to %a (begins at %a) without a \
+               committed rewrite surgery covering it"
+              Lsn.pp lsn Xid.pp xid Lsn.pp b
+      | Some _ -> ()
+      | None ->
+          if not truncated then
+            err "update at %a by %a, which never begins" Lsn.pp lsn Xid.pp xid)
+    !updates;
+  List.rev !errors
+
+let run (env : Env.t) =
+  env.Env.audit_runs <- env.Env.audit_runs + 1;
+  match check env with
+  | [] -> ()
+  | vs ->
+      env.Env.audit_failures <- env.Env.audit_failures + 1;
+      raise (Audit_failed vs)

@@ -1,0 +1,23 @@
+(** Restart self-audit: after recovery finishes, re-walk the durable log
+    and assert the chain-closure invariants every engine must have
+    re-established — backward pointers strictly decrease (all chains
+    terminate), no orphaned CLRs, rewrite surgeries properly bracketed
+    and resolved, and every re-attributed update justified by a durable
+    committed rewrite surgery.
+
+    The audit is read-only and idempotent; storms run it after every
+    restart so a recovery bug surfaces as a typed failure at the restart
+    that introduced it, not as silent corruption found replays later. *)
+
+exception Audit_failed of string list
+(** One human-readable message per violated invariant, in log order. *)
+
+val check : Env.t -> string list
+(** Collect violations without raising; [[]] means the log is clean.
+    Bumps no counters. *)
+
+val run : Env.t -> unit
+(** [check], bumping [Env.audit_runs] (and [Env.audit_failures] when
+    violations are found, before raising).
+
+    @raise Audit_failed when any invariant is violated. *)

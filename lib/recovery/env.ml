@@ -8,9 +8,28 @@ type t = {
   mutable repairs : int;
   ring : Obs.Ring.t;
   mutable prof : Obs.Profiler.t;
+  (* lifetime counters for the rewrite-surgery machinery; read through
+     the metrics registry like every other stat record *)
+  mutable surgery_rolled_back : int;
+  mutable surgery_rolled_forward : int;
+  mutable rewrite_fallbacks : int;
+  mutable audit_runs : int;
+  mutable audit_failures : int;
 }
 
 let make ?ring ?prof ~log ~pool ~place () =
   let ring = match ring with Some r -> r | None -> Obs.Ring.create () in
   let prof = match prof with Some p -> p | None -> Obs.Profiler.create () in
-  { log; pool; place; repairs = 0; ring; prof }
+  {
+    log;
+    pool;
+    place;
+    repairs = 0;
+    ring;
+    prof;
+    surgery_rolled_back = 0;
+    surgery_rolled_forward = 0;
+    rewrite_fallbacks = 0;
+    audit_runs = 0;
+    audit_failures = 0;
+  }

@@ -18,6 +18,19 @@ type t = {
   mutable prof : Ariesrh_obs.Profiler.t;
       (** per-restart profiler; each recovery entry point installs a
           fresh one and hands it out via [Report.profile] *)
+  mutable surgery_rolled_back : int;
+      (** lifetime count of interrupted rewrite surgeries rolled back at
+          restart ({!Rewrite.recover_surgeries}) *)
+  mutable surgery_rolled_forward : int;
+      (** lifetime count of ended rewrite surgeries idempotently
+          re-installed at restart *)
+  mutable rewrite_fallbacks : int;
+      (** lifetime count of eager delegations that fell back to a
+          logical delegate record because physical surgery could not
+          complete *)
+  mutable audit_runs : int;  (** restart self-audit passes executed *)
+  mutable audit_failures : int;
+      (** restart self-audit passes that found a violated invariant *)
 }
 
 val make :

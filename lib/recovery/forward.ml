@@ -182,7 +182,11 @@ let scan ?(passes = Merged) (env : Env.t) ~mode ~amputated =
       | Record.Anchor ->
           let info = lookup (Record.writer_exn record) in
           info.last_lsn <- lsn
-      | Record.Ckpt_begin | Record.Ckpt_end _ -> ());
+      (* rewrite system-transaction records are resolved by
+         [Rewrite.recover_surgeries] before any scan runs; to analysis
+         and redo they are inert bookkeeping *)
+      | Record.Ckpt_begin | Record.Ckpt_end _ | Record.Rewrite_begin _
+      | Record.Rewrite_clr _ | Record.Rewrite_end _ -> ());
   if passes = Separate then redo_sweep ~from:redo_start ();
   {
     tt;
@@ -215,6 +219,22 @@ let run ?passes (env : Env.t) ~mode =
           m "restart: corrupt stable tail at %a (%a); treating as end of log"
             Lsn.pp lsn Record.pp_decode_error e))
     amputated;
+  (* resolve rewrite system transactions before any scan: an eager
+     delegation interrupted mid-splice is rolled back to its
+     before-images (or rolled forward if its end record is durable), so
+     the scans below only ever see pre- or post-surgery history *)
+  Obs.Ring.emit env.ring (Obs.Event.Restart_enter Obs.Event.Surgery);
+  let rolled_back, rolled_forward =
+    Obs.Profiler.time env.prof "restart.surgery" (fun () ->
+        Rewrite.recover_surgeries env)
+  in
+  Obs.Profiler.count env.prof "restart.surgery" "rolled_back" rolled_back;
+  Obs.Profiler.count env.prof "restart.surgery" "rolled_forward"
+    rolled_forward;
+  if rolled_back > 0 || rolled_forward > 0 then
+    Obs.Ring.emit env.ring
+      (Obs.Event.Surgery_resolved { rolled_back; rolled_forward });
+  Obs.Ring.emit env.ring (Obs.Event.Restart_leave Obs.Event.Surgery);
   Obs.Ring.emit env.ring (Obs.Event.Restart_enter Obs.Event.Forward);
   let result =
     Obs.Profiler.time env.prof "restart.forward" (fun () ->

@@ -11,6 +11,8 @@ type t = {
   undos : int;
   amputated : int;
   repaired_pages : int;
+  surgery_rolled_back : int;
+  surgery_rolled_forward : int;
   log_io : Ariesrh_wal.Log_stats.t;
   profile : Ariesrh_obs.Profiler.t;
 }
@@ -19,9 +21,11 @@ let pp ppf t =
   Format.fprintf ppf
     "@[<v>winners=%d losers=%d@ forward_records=%d redo_applied=%d@ \
      backward: examined=%d skipped=%d clusters=%d undos=%d@ faults: \
-     amputated=%d repaired_pages=%d@ log_io: %a@ profile:@ %a@]"
+     amputated=%d repaired_pages=%d@ surgery: rolled_back=%d \
+     rolled_forward=%d@ log_io: %a@ profile:@ %a@]"
     (Xid.Set.cardinal t.winners)
     (Xid.Set.cardinal t.losers)
     t.forward_records t.redo_applied t.backward_examined t.backward_skipped
-    t.clusters t.undos t.amputated t.repaired_pages Ariesrh_wal.Log_stats.pp
-    t.log_io Ariesrh_obs.Profiler.pp t.profile
+    t.clusters t.undos t.amputated t.repaired_pages t.surgery_rolled_back
+    t.surgery_rolled_forward Ariesrh_wal.Log_stats.pp t.log_io
+    Ariesrh_obs.Profiler.pp t.profile

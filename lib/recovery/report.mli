@@ -13,6 +13,10 @@ type t = {
   undos : int;  (** CLRs written by the backward pass *)
   amputated : int;  (** corrupt stable tail records dropped at restart *)
   repaired_pages : int;  (** torn data pages repaired at restart *)
+  surgery_rolled_back : int;
+      (** interrupted rewrite surgeries rolled back by this restart *)
+  surgery_rolled_forward : int;
+      (** ended rewrite surgeries idempotently re-installed *)
   log_io : Ariesrh_wal.Log_stats.t;  (** log device activity during recovery *)
   profile : Ariesrh_obs.Profiler.t;
       (** per-pass timings and counters for this restart

@@ -1,4 +1,5 @@
-(** The eager history-rewriting baseline (§3.1–3.2, Fig. 1).
+(** The eager history-rewriting baseline (§3.1–3.2, Fig. 1), made
+    crash-atomic with a rewrite {e system transaction}.
 
     Eager delegation physically rewrites the log at the moment of each
     [delegate]: every record of the delegator on the delegated object is
@@ -7,10 +8,100 @@
     paper notes is required for recovery to remain correct). After eager
     delegation the log contains no delegate records, and conventional
     ARIES recovery applies unchanged — at the price of random mid-log
-    reads and in-place writes that ARIES/RH avoids entirely. *)
+    reads and in-place writes that ARIES/RH avoids entirely.
+
+    Because those in-place writes hit {e durable} history, a crash in the
+    middle of a multi-record splice used to leave the log in a state
+    neither before nor after the delegation. The surgery protocol fixes
+    that: the full set of rewrites is computed as a {!plan} (pure),
+    logged as an intent record plus per-target physical CLRs
+    ({!surgery_begin}, forced), applied in place ({!apply_plan}), and
+    closed with an end record ({!surgery_end}) whose force also hardens
+    whatever dependent records the caller appended. Restart runs
+    {!recover_surgeries} before any scan: an un-ended surgery is rolled
+    back from its before-images; an ended one is idempotently
+    re-installed. Every crash point therefore resolves to exactly the
+    pre-surgery or the post-surgery log. *)
 
 open Ariesrh_types
+open Ariesrh_wal
 open Ariesrh_txn
+
+(** {1 Surgery plans} *)
+
+type patch = {
+  target : Lsn.t;  (** durable record being rewritten in place *)
+  before : Record.t;  (** its content entering the surgery *)
+  after : Record.t;  (** its content leaving the surgery *)
+}
+
+type plan = {
+  patches : patch list;  (** ascending target LSN, one per touched record *)
+  moved : Lsn.t list;  (** update records re-attributed to the delegatee *)
+  tor_last : Lsn.t;  (** delegator chain head after the splice *)
+  tee_last : Lsn.t;  (** delegatee chain head after the splice *)
+}
+
+val plan_eager :
+  Env.t -> tor_info:Txn_table.info -> tee_info:Txn_table.info -> Oid.t -> plan
+(** Compute the full chain surgery without touching the log or the
+    transaction table. Pure with respect to stable state: reads run
+    against an overlay of pending patches, so the plan can be logged and
+    crash-recovered before a single byte of durable history changes. *)
+
+val apply_plan : Env.t -> patch list -> int
+(** Perform the in-place rewrites. Each one is a synchronous durable I/O
+    (a {!Ariesrh_fault.Fault.Log_rewrite} crash site). Returns the
+    number of rewrites performed. *)
+
+(** {1 The rewrite system transaction} *)
+
+val surgery_cost : ?deleg:Xid.t * Xid.t * Oid.t -> patch list -> int * int
+(** [(bytes, records)] the surgery protocol will append for this patch
+    set: one intent record, one physical CLR per patch, one end record.
+    Callers reserve this (plus their own dependent records) up front so
+    no append inside the window can hit [Log_full]. *)
+
+val surgery_begin :
+  Env.t -> ?deleg:Xid.t * Xid.t * Oid.t -> patch list -> Lsn.t
+(** Append and force the intent record and the per-target before/after
+    CLRs. After this returns, a crash at any later point is recoverable.
+    All appends bypass admission — the caller must hold a reservation
+    covering {!surgery_cost}. Returns the intent record's LSN. *)
+
+val surgery_end : Env.t -> begin_lsn:Lsn.t -> committed:bool -> unit
+(** Append and force the end record, closing the system transaction.
+    Committing callers append any records that must live or die with the
+    surgery (chain anchors, delegation bookkeeping) {e before} calling
+    this: the closing force hardens them and the end record as one
+    unit. *)
+
+(** {1 Restart surgery recovery} *)
+
+exception Surgery_corrupt of string
+(** The durable log violates the surgery protocol (orphaned rewrite CLR,
+    unmatched end record, an un-ended surgery that is not the newest, or
+    an undecodable saved image). Not silently repaired. *)
+
+val recover_surgeries : Env.t -> int * int
+(** Resolve rewrite system transactions from the durable log. Runs after
+    tail amputation and before the forward scan on every engine. The
+    newest surgery, if un-ended, is rolled forward when every retained
+    target already holds its after-image (the apply phase completed; its
+    dependent records may be durable) and rolled back otherwise — in
+    both cases a closing end record is appended so later restarts see a
+    resolved surgery. Ended surgeries are idempotently re-installed.
+    Returns [(rolled_back, rolled_forward)] and bumps the matching
+    {!Env.t} counters.
+
+    The scan starts above the master checkpoint record (surgeries and
+    checkpoints never interleave, so everything at or below it is
+    resolved), keeping restart's extra pass proportional to the
+    since-checkpoint tail rather than the retained log.
+
+    @raise Surgery_corrupt on protocol violations. *)
+
+(** {1 Legacy entry points} *)
 
 val eager_delegate :
   Env.t ->
@@ -18,8 +109,10 @@ val eager_delegate :
   tee_info:Txn_table.info ->
   Oid.t ->
   int
-(** Perform the surgery; maintains both transactions' [last_lsn] chain
-    heads. Returns the number of in-place record rewrites performed. *)
+(** The raw splice, sans system transaction: plan + apply + chain-head
+    maintenance. [Db.delegate] drives the crash-atomic protocol itself;
+    tests and figures that call this directly get the bare (non-atomic)
+    §3.2 behaviour. Returns the number of in-place rewrites. *)
 
 val attribute_only : Env.t -> tor:Xid.t -> tee:Xid.t -> Oid.t -> from:Lsn.t -> int
 (** The {e literal} Fig. 1 loop: walk the delegator's backward chain from

@@ -156,7 +156,8 @@ let sweep ?(floor = Lsn.nil) (env : Env.t) ~scopes ~on_undo =
             | None -> ())
         | Record.Begin | Record.Commit | Record.Abort | Record.End
         | Record.Clr _ | Record.Delegate _ | Record.Ckpt_begin
-        | Record.Ckpt_end _ | Record.Anchor ->
+        | Record.Ckpt_end _ | Record.Anchor | Record.Rewrite_begin _
+        | Record.Rewrite_clr _ | Record.Rewrite_end _ ->
             ());
         (* α3 + α4: discard scopes that begin here, step left, stop when
            past the cluster's beginning or at the rollback floor *)

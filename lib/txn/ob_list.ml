@@ -168,6 +168,46 @@ let trim_covering t ~oid ~invoker undone =
                 Scope.trim_below s undone)
             ss)
 
+(* After eager chain surgery re-attributes records to [owner], the
+   owner's scope coverage must agree with the new log attribution, or a
+   scope-based rollback (the degraded-mode fallback) misses them. Each
+   moved LSN not already covered by one of the owner's own scopes gets a
+   singleton; distinct LSNs never overlap, so the disjointness invariant
+   holds. The open scope is closed first: extending it later could
+   stretch it across a freshly added singleton. *)
+let absorb t ~owner ~oid lsns =
+  match Oid.Map.find_opt oid t with
+  | None -> t
+  | Some entry ->
+      let own =
+        Option.value ~default:[] (Xid.Map.find_opt owner entry.by_invoker)
+      in
+      let covered l =
+        List.exists
+          (fun (s : Scope.t) ->
+            (not (Scope.is_empty s))
+            && Lsn.(s.first <= l)
+            && Lsn.(l <= s.last))
+          own
+      in
+      let fresh =
+        List.filter_map
+          (fun l ->
+            if covered l then None
+            else Some (Scope.singleton ~invoker:owner ~oid l))
+          lsns
+      in
+      Oid.Map.add oid
+        {
+          entry with
+          by_invoker =
+            (match fresh @ own with
+            | [] -> entry.by_invoker
+            | ss -> Xid.Map.add owner ss entry.by_invoker);
+          open_scope = None;
+        }
+        t
+
 let close_open t oid =
   match Oid.Map.find_opt oid t with
   | None | Some { open_scope = None; _ } -> t

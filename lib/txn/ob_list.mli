@@ -71,6 +71,14 @@ val trim_covering : t -> oid:Oid.t -> invoker:Xid.t -> Lsn.t -> unit
     object that cover the given LSN — restart analysis' CLR step.
     Probes only that invoker's scopes. *)
 
+val absorb : t -> owner:Xid.t -> oid:Oid.t -> Lsn.t list -> t
+(** After eager chain surgery re-attributed the records at these LSNs to
+    [owner], realign the owner's scope coverage with the rewritten log:
+    close the open scope on the object and add a singleton scope
+    (invoker [owner]) for every moved LSN not already covered by one of
+    the owner's own scopes. Keeps scope-based rollback (the
+    degraded-mode fallback) sound over physically spliced history. *)
+
 val close_open : t -> Oid.t -> t
 (** Close the open scope on one object: the next own update opens a
     fresh scope instead of extending. Required after a partial rollback

@@ -367,6 +367,10 @@ let rewrite t lsn r =
   let s = Record.encode r in
   if String.length s <> String.length t.enc.(idx) then
     invalid_arg "Log_store.rewrite: record size changed";
+  (* rewriting a durable record is a synchronous in-place I/O: it gets
+     its own crash point, fired before the bytes change so an injected
+     crash leaves the record intact *)
+  if idx < t.durable_count then Fault.on_log_rewrite t.fault;
   t.enc.(idx) <- s;
   cache_invalidate t idx;
   t.stats.rewrites <- t.stats.rewrites + 1;

@@ -44,6 +44,12 @@ type body =
   | Ckpt_begin
   | Ckpt_end of ckpt
   | Anchor
+  | Rewrite_begin of {
+      deleg : (Xid.t * Xid.t * Oid.t) option;
+      targets : Lsn.t list;
+    }
+  | Rewrite_clr of { target : Lsn.t; before : string; after : string }
+  | Rewrite_end of { begin_lsn : Lsn.t; committed : bool }
 
 type t = { xid : Xid.t option; prev : Lsn.t; body : body }
 
@@ -97,6 +103,22 @@ let pp_body ppf = function
   | Ckpt_begin -> Format.pp_print_string ppf "ckpt_begin"
   | Ckpt_end _ -> Format.pp_print_string ppf "ckpt_end"
   | Anchor -> Format.pp_print_string ppf "anchor"
+  | Rewrite_begin { deleg; targets } ->
+      Format.fprintf ppf "rewrite_begin%s targets=[%a]"
+        (match deleg with
+        | None -> ""
+        | Some (tor, tee, oid) ->
+            Format.asprintf " %a: %a->%a" Oid.pp oid Xid.pp tor Xid.pp tee)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Lsn.pp)
+        targets
+  | Rewrite_clr { target; before; after } ->
+      Format.fprintf ppf "rewrite_clr target=%a before=%dB after=%dB" Lsn.pp
+        target (String.length before) (String.length after)
+  | Rewrite_end { begin_lsn; committed } ->
+      Format.fprintf ppf "rewrite_end begin=%a %s" Lsn.pp begin_lsn
+        (if committed then "committed" else "aborted")
 
 let pp ppf t =
   (match t.xid with
@@ -117,6 +139,9 @@ let tag_of_body = function
   | Ckpt_begin -> 8
   | Ckpt_end _ -> 9
   | Anchor -> 10
+  | Rewrite_begin _ -> 11
+  | Rewrite_clr _ -> 12
+  | Rewrite_end _ -> 13
 
 let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
 
@@ -150,6 +175,10 @@ let put_update b (u : update) =
 let put_list b put xs =
   put_u32 b (List.length xs);
   List.iter (put b) xs
+
+let put_bytes b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
 
 let put_ckpt b ck =
   put_list b
@@ -213,7 +242,23 @@ let encode t =
           put_u8 b 1;
           put_u32 b (Lsn.to_int l);
           put_u32 b (Xid.to_int x))
-  | Ckpt_end ck -> put_ckpt b ck);
+  | Ckpt_end ck -> put_ckpt b ck
+  | Rewrite_begin { deleg; targets } ->
+      (match deleg with
+      | None -> put_u8 b 0
+      | Some (tor, tee, oid) ->
+          put_u8 b 1;
+          put_u32 b (Xid.to_int tor);
+          put_u32 b (Xid.to_int tee);
+          put_u32 b (Oid.to_int oid));
+      put_list b (fun b l -> put_u32 b (Lsn.to_int l)) targets
+  | Rewrite_clr { target; before; after } ->
+      put_u32 b (Lsn.to_int target);
+      put_bytes b before;
+      put_bytes b after
+  | Rewrite_end { begin_lsn; committed } ->
+      put_u32 b (Lsn.to_int begin_lsn);
+      put_u8 b (if committed then 1 else 0));
   let payload = Buffer.contents b in
   let b2 = Buffer.create (String.length payload + 4) in
   Buffer.add_string b2 payload;
@@ -276,6 +321,13 @@ let get_update c =
 let get_list c get =
   let n = get_u32 c in
   List.init n (fun _ -> get c)
+
+let get_bytes c =
+  let n = get_u32 c in
+  need c n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
 
 let get_ckpt c =
   let ck_txns =
@@ -355,6 +407,27 @@ let decode_exn s =
     | 8 -> Ckpt_begin
     | 9 -> Ckpt_end (get_ckpt c)
     | 10 -> Anchor
+    | 11 ->
+        let deleg =
+          match get_u8 c with
+          | 0 -> None
+          | _ ->
+              let tor = Xid.of_int (get_u32 c) in
+              let tee = Xid.of_int (get_u32 c) in
+              let oid = Oid.of_int (get_u32 c) in
+              Some (tor, tee, oid)
+        in
+        let targets = get_list c (fun c -> Lsn.of_int (get_u32 c)) in
+        Rewrite_begin { deleg; targets }
+    | 12 ->
+        let target = Lsn.of_int (get_u32 c) in
+        let before = get_bytes c in
+        let after = get_bytes c in
+        Rewrite_clr { target; before; after }
+    | 13 ->
+        let begin_lsn = Lsn.of_int (get_u32 c) in
+        let committed = get_u8 c <> 0 in
+        Rewrite_end { begin_lsn; committed }
     | n -> raise (Bad (Bad_tag n))
   in
   if c.pos <> String.length payload then

@@ -78,6 +78,29 @@ type body =
           without it, a spliced stable record can become unreachable when
           a crash eats the volatile records that pointed at it. ARIES/RH
           never needs one; the delegate record plays this role. *)
+  | Rewrite_begin of {
+      deleg : (Xid.t * Xid.t * Oid.t) option;
+          (** the pending delegation this surgery serves:
+              (delegator, delegatee, object); [None] for surgeries with
+              no driving delegation (e.g. lazy restart splices) *)
+      targets : Lsn.t list;  (** LSNs the surgery will rewrite in place *)
+    }
+      (** Intent record of a rewrite system transaction. Forced to disk
+          {e before} any in-place rewrite touches the stable log, so
+          restart knows a surgery may be half-applied. *)
+  | Rewrite_clr of { target : Lsn.t; before : string; after : string }
+      (** Redo-idempotent compensation for one in-place rewrite: the
+          encoded bytes of [target]'s record before and after surgery
+          (same length — only writer/chain fields differ). Restart rolls
+          the surgery forward by re-applying [after], or back by
+          restoring [before]; both are idempotent. *)
+  | Rewrite_end of { begin_lsn : Lsn.t; committed : bool }
+      (** Closes the system transaction opened at [begin_lsn].
+          [committed = true]: all rewrites (and the justifying
+          delegation/anchor records) are in the log — restart re-applies
+          the [after] images if in doubt. [committed = false]: the
+          surgery was rolled back (restart or fallback); the [before]
+          images have been restored. *)
 
 type t = {
   xid : Xid.t option;  (** writer; [None] only for checkpoint records *)

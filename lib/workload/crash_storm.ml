@@ -15,6 +15,7 @@ type config = {
   recovery_crash_gap : int;
   group_commit : int;
   record_cache : int;
+  audit : bool;
   forensic_dir : string option;
 }
 
@@ -29,6 +30,7 @@ let default_config =
     recovery_crash_gap = 3;
     group_commit = 0;
     record_cache = Config.default.Config.record_cache;
+    audit = true;
     forensic_dir = None;
   }
 
@@ -264,7 +266,7 @@ let run_script ?(config = default_config) ?(impl = Config.Rh) spec =
     Fault.arm_crash_at fault !crash_io;
     let db =
       Driver.fresh_db ~fault ~impl ~group_commit:config.group_commit
-        ~record_cache:config.record_cache
+        ~record_cache:config.record_cache ~audit:config.audit
         ~tracing:(config.forensic_dir <> None)
         ~n_objects ()
     in
@@ -345,7 +347,7 @@ let run_sim ?(config = default_config) ?(sim = default_sim) () =
   let fault = make_fault config ~salt:0x5117 in
   let db =
     Driver.fresh_db ~fault ~group_commit:config.group_commit
-      ~record_cache:config.record_cache
+      ~record_cache:config.record_cache ~audit:config.audit
       ~tracing:(config.forensic_dir <> None)
       ~n_objects:sim.n_objects ()
   in

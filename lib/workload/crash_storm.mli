@@ -37,6 +37,11 @@ type config = {
       (** decoded-record cache capacity ([0] disables); the storm must
           behave identically — same outcomes, same forensic bytes —
           at any setting *)
+  audit : bool;
+      (** run the restart self-audit ([Db.audit]) after every recovery;
+          a violation surfaces as [Audit_failed] and fails the storm.
+          Default [true] — storms are exactly where latent chain damage
+          would hide *)
   forensic_dir : string option;
       (** when set, storm databases run with the trace ring enabled and
           every check round that adds failures writes a

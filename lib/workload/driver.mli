@@ -29,6 +29,7 @@ val fresh_db :
   ?log_capacity_records:int ->
   ?group_commit:int ->
   ?record_cache:int ->
+  ?audit:bool ->
   ?tracing:bool ->
   n_objects:int ->
   unit ->
@@ -37,5 +38,7 @@ val fresh_db :
     capacity knobs bound the WAL (default unbounded) — see
     {!Ariesrh_wal.Log_store.create}. [group_commit] batches commit
     forces (see {!Config.t}); [record_cache] sizes the decoded-record
-    cache ([0] disables). [tracing] enables the structured trace ring
-    from creation (storms use it for forensic dumps). *)
+    cache ([0] disables); [audit] runs the restart self-audit after
+    every recovery (storms turn it on). [tracing] enables the
+    structured trace ring from creation (storms use it for forensic
+    dumps). *)

@@ -27,6 +27,7 @@ type config = {
   max_retries : int;
   group_commit : int;
   record_cache : int;
+  audit : bool;
   forensic_dir : string option;
 }
 
@@ -52,6 +53,7 @@ let default_config =
     max_retries = 10;
     group_commit = 0;
     record_cache = Config.default.Config.record_cache;
+    audit = true;
     forensic_dir = None;
   }
 
@@ -168,7 +170,8 @@ let run ?(config = default_config) () =
          ~buffer_capacity:(max 4 (config.n_objects / 32))
          ~impl:config.impl ~locking:true
          ~log_capacity_bytes:config.capacity_bytes
-         ~group_commit:config.group_commit ~record_cache:config.record_cache ())
+         ~group_commit:config.group_commit ~record_cache:config.record_cache
+         ~audit:config.audit ())
   in
   let log = Db.log_store db in
   let gov = Governor.create ~config:config.governor db in

@@ -61,6 +61,9 @@ type config = {
           storm's durable-commit oracle tracks hardening via
           {!Db.set_commit_durable_hook}, so it stays exact either way *)
   record_cache : int;  (** decoded-record cache capacity ([0] disables) *)
+  audit : bool;
+      (** run the restart self-audit after every recovery (default
+          [true]); violations fail the storm *)
   forensic_dir : string option;
       (** when set, the storm database runs with the trace ring enabled
           and every check round that adds failures writes a

@@ -104,7 +104,24 @@ let error_printers () =
     > 0);
   Alcotest.(check bool) "not responsible names both" true
     (s (Errors.Not_responsible { xid = Xid.of_int 3; oid = oid 4 })
-    = "t3 is not responsible for ob4")
+    = "t3 is not responsible for ob4");
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let audit_msg =
+    s (Ariesrh_recovery.Audit.Audit_failed
+         [ "update at 127 attributed to t13"; "un-ended rewrite surgery" ])
+  in
+  Alcotest.(check bool) "audit failure counts violations" true
+    (contains audit_msg "2 violations");
+  Alcotest.(check bool) "audit failure lists them" true
+    (contains audit_msg "attributed to t13");
+  Alcotest.(check bool) "surgery corruption renders" true
+    (contains
+       (s (Ariesrh_recovery.Rewrite.Surgery_corrupt "orphaned rewrite CLR"))
+       "orphaned rewrite CLR")
 
 let report_printer_smoke () =
   let db = mk () in

@@ -224,6 +224,55 @@ let profiler_phases impl () =
      in
      contains 0)
 
+(* The surgery/audit counters are registered at Db.create and must show
+   up — with correct values — in the exported OpenMetrics text. An
+   eager delegation plus an audited recovery drives audit_runs to at
+   least 1; a clean log keeps failures, fallbacks and surgery
+   resolutions at 0 (crash-free shutdown leaves no surgery to roll). *)
+let surgery_and_audit_counters_exported () =
+  let db =
+    Db.create
+      (Config.make ~n_objects:16 ~objects_per_page:4 ~buffer_capacity:8
+         ~impl:Config.Eager ~locking:true ~audit:true ())
+  in
+  let t1 = Db.begin_txn db in
+  Db.add db t1 (oid 1) 2;
+  let t2 = Db.begin_txn db in
+  Db.delegate db ~from_:t1 ~to_:t2 (oid 1);
+  Db.commit db t2;
+  Db.commit db t1;
+  flush_log db;
+  Db.crash db;
+  ignore (Db.recover db);
+  let text = Obs.Metrics.to_openmetrics (Obs.Metrics.snapshot (Db.metrics db)) in
+  let line name v = Printf.sprintf "%s %d" name v in
+  let contains needle =
+    let lh = String.length text and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub text i ln = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "openmetrics has %S" needle)
+        true (contains needle))
+    [
+      line "ariesrh_audit_runs_total" (Db.env db).Ariesrh_recovery.Env.audit_runs;
+      line "ariesrh_audit_failures_total" 0;
+      line "ariesrh_rewrite_fallbacks_total" 0;
+      line "ariesrh_surgery_rollbacks_total" 0;
+      (* restart re-installs the delegation's ended surgery *)
+      line "ariesrh_surgery_rollforwards_total"
+        (Db.env db).Ariesrh_recovery.Env.surgery_rolled_forward;
+    ];
+  Alcotest.(check bool) "audited recovery ran" true
+    ((Db.env db).Ariesrh_recovery.Env.audit_runs >= 1);
+  Alcotest.(check bool) "the surgery was re-installed" true
+    ((Db.env db).Ariesrh_recovery.Env.surgery_rolled_forward >= 1);
+  Alcotest.(check (list string)) "manual audit is clean" [] (Db.audit db);
+  Alcotest.(check bool) "not degraded" false (Db.degraded db);
+  Alcotest.(check int) "no fallbacks" 0 (Db.rewrite_fallbacks db)
+
 let suite =
   [
     Alcotest.test_case "registry: snapshot determinism" `Quick
@@ -240,4 +289,6 @@ let suite =
       (profiler_phases Config.Eager);
     Alcotest.test_case "profiler: phases under lazy" `Quick
       (profiler_phases Config.Lazy);
+    Alcotest.test_case "surgery/audit counters exported" `Quick
+      surgery_and_audit_counters_exported;
   ]

@@ -254,6 +254,76 @@ let eager_chain_integrity () =
   Alcotest.(check bool) "t2's chain is strictly decreasing" true
     (decreasing (chain t2))
 
+(* The once-quarantined eager seed-3 repro (test_known_bugs.ml kept its
+   forensic fixture): scripted storm, eager engine, crash armed at the
+   39th I/O — the exact crash point that used to leave a re-attributed
+   update durable without its responsibility transfer. The rewrite
+   system transaction resolves it now; the storm (which also checks
+   restart idempotence and runs the self-audit after every recovery)
+   must pass. *)
+let eager_seed3_surgery_now_atomic () =
+  let config =
+    { Ariesrh_workload.Crash_storm.default_config with
+      seed = 3L;
+      crash_step = 39;
+      forensic_dir = None }
+  in
+  let spec =
+    { Ariesrh_workload.Gen.default with
+      n_objects = 32;
+      n_steps = 160;
+      p_delegate = 0.2 }
+  in
+  let o =
+    Ariesrh_workload.Crash_storm.run_script ~config
+      ~impl:Ariesrh_core.Config.Eager spec
+  in
+  if not (Ariesrh_workload.Crash_storm.ok o) then
+    Alcotest.failf "seed-3 eager storm failed: %a"
+      Ariesrh_workload.Crash_storm.pp_outcome o
+
+(* Crash at EVERY I/O point of a delegation-heavy script — including
+   each I/O inside the surgery window (intent force, every in-place
+   rewrite, the closing force) — and require each restart to resolve to
+   exactly the pre- or post-surgery log: the storm's oracle and
+   idempotence checks fail otherwise, and the self-audit (on by
+   default) asserts the chain-closure invariants after every one of the
+   storm's restarts. Exercises both engines that rewrite history in
+   place: eager (surgery at delegation time) and lazy (batched splice
+   at restart). *)
+let surgery_window_crashes_idempotent =
+  QCheck.Test.make ~count:6
+    ~name:"crash at every I/O of the surgery window: restart idempotent"
+    (QCheck.make
+       ~print:(fun (seed, impl) ->
+         Printf.sprintf "seed=%Ld engine=%s" seed
+           (match impl with
+           | Ariesrh_core.Config.Eager -> "eager"
+           | Ariesrh_core.Config.Lazy -> "lazy"
+           | Ariesrh_core.Config.Rh -> "rh"))
+       QCheck.Gen.(
+         pair
+           (map Int64.of_int (int_bound 1000))
+           (oneofl [ Ariesrh_core.Config.Eager; Ariesrh_core.Config.Lazy ])))
+    (fun (seed, impl) ->
+      let config =
+        { Ariesrh_workload.Crash_storm.default_config with
+          seed;
+          crash_step = 1;
+          forensic_dir = None }
+      in
+      let spec =
+        { Ariesrh_workload.Gen.default with
+          n_objects = 12;
+          n_steps = 60;
+          p_delegate = 0.35 }
+      in
+      let o = Ariesrh_workload.Crash_storm.run_script ~config ~impl spec in
+      if not (Ariesrh_workload.Crash_storm.ok o) then
+        QCheck.Test.fail_reportf "storm failed: %a"
+          Ariesrh_workload.Crash_storm.pp_outcome o;
+      true)
+
 let attribute_only_literal () =
   let env = raw_env () in
   let l1 = upd env ~prev:Lsn.nil (xid 1) 0 1 in
@@ -287,6 +357,9 @@ let suite =
     Alcotest.test_case "redo is page-lsn conditional" `Quick redo_is_conditional;
     Alcotest.test_case "eager surgery chain integrity" `Quick
       eager_chain_integrity;
+    Alcotest.test_case "eager seed-3: surgery now crash-atomic" `Quick
+      eager_seed3_surgery_now_atomic;
+    QCheck_alcotest.to_alcotest surgery_window_crashes_idempotent;
     Alcotest.test_case "attribute-only literal Fig. 1" `Quick
       attribute_only_literal;
   ]

@@ -37,6 +37,31 @@ let sample_records =
            oid = oid 2;
            op = Some (lsn 4, xid 3);
          });
+    Record.mk (xid 4) ~prev:(lsn 12) Record.Anchor;
+    Record.mk_system
+      (Record.Rewrite_begin { deleg = None; targets = [ lsn 3; lsn 7 ] });
+    Record.mk_system
+      (Record.Rewrite_begin
+         { deleg = Some (xid 3, xid 4, oid 2); targets = [ lsn 5 ] });
+    Record.mk_system
+      (Record.Rewrite_clr
+         {
+           target = lsn 5;
+           (* real encoded records: the images a live surgery stores *)
+           before =
+             Record.encode
+               (Record.mk (xid 3) ~prev:(lsn 2)
+                  (Record.Update
+                     { oid = oid 2; page = pid 0; op = Record.Add 1 }));
+           after =
+             Record.encode
+               (Record.mk (xid 4) ~prev:(lsn 2)
+                  (Record.Update
+                     { oid = oid 2; page = pid 0; op = Record.Add 1 }));
+         });
+    Record.mk_system (Record.Rewrite_end { begin_lsn = lsn 13; committed = true });
+    Record.mk_system
+      (Record.Rewrite_end { begin_lsn = lsn 13; committed = false });
     Record.mk_system Record.Ckpt_begin;
     Record.mk_system
       (Record.Ckpt_end
@@ -154,12 +179,62 @@ let gen_record =
               (Record.Delegate
                  { tee = xid tee; tee_prev = lsn tp; oid = oid o; op = None }))
           (int_range 1 1000) (int_bound 1000) (int_bound 500);
+        return (mk Record.Anchor);
+        map2
+          (fun targets deleg ->
+            Record.mk_system
+              (Record.Rewrite_begin
+                 {
+                   deleg =
+                     Option.map
+                       (fun (a, b, o) -> (xid a, xid b, oid o))
+                       deleg;
+                   targets = List.map lsn targets;
+                 }))
+          (list_size (int_bound 8) (int_bound 1000))
+          (option (triple (int_range 1 1000) (int_range 1 1000) (int_bound 500)));
+        map3
+          (fun target before after ->
+            Record.mk_system (Record.Rewrite_clr { target = lsn target; before; after }))
+          (int_bound 1000)
+          (string_size (int_bound 40))
+          (string_size (int_bound 40));
+        map2
+          (fun b committed ->
+            Record.mk_system
+              (Record.Rewrite_end { begin_lsn = lsn b; committed }))
+          (int_bound 1000) bool;
       ])
 
 let codec_roundtrip_prop =
   QCheck.Test.make ~count:500 ~name:"codec roundtrips on random records"
     (QCheck.make gen_record)
     (fun r -> Record.decode (Record.encode r) = Ok r)
+
+(* rendering: forensic trails print surgery records by tag, and the CLR
+   images print as byte counts, never as raw bytes *)
+let rewrite_records_render () =
+  let printed body = Format.asprintf "%a" Record.pp (Record.mk_system body) in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "begin names the delegation" true
+    (contains
+       (printed
+          (Record.Rewrite_begin
+             { deleg = Some (xid 3, xid 4, oid 2); targets = [ lsn 5 ] }))
+       "rewrite_begin ob2: t3->t4");
+  Alcotest.(check bool) "clr prints image sizes" true
+    (contains
+       (printed
+          (Record.Rewrite_clr { target = lsn 5; before = "abc"; after = "xyz" }))
+       "before=3B after=3B");
+  Alcotest.(check bool) "end prints the verdict" true
+    (contains
+       (printed (Record.Rewrite_end { begin_lsn = lsn 13; committed = false }))
+       "aborted")
 
 let store_append_read () =
   let log = Log_store.create () in
@@ -274,6 +349,7 @@ let suite =
     Alcotest.test_case "codec roundtrip (samples)" `Quick roundtrip;
     Alcotest.test_case "checksum detects corruption" `Quick checksum_detects_corruption;
     Alcotest.test_case "truncation detected" `Quick truncation_detected;
+    Alcotest.test_case "rewrite records render" `Quick rewrite_records_render;
     QCheck_alcotest.to_alcotest codec_roundtrip_prop;
     Alcotest.test_case "store append/read" `Quick store_append_read;
     Alcotest.test_case "store crash drops tail" `Quick store_crash_drops_tail;
