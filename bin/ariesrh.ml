@@ -72,6 +72,63 @@ let obs_setup verbosity metrics_json =
 
 let obs_term = Term.(const obs_setup $ verbosity_arg $ metrics_json_arg)
 
+(* --- storage backend selection shared by every subcommand --- *)
+
+module Backend = Ariesrh_storage.Backend
+
+(* [root] is the directory the file backend lives under ([None] = sim).
+   Installed as a [Db] backend factory so every database the command
+   creates — including those built deep inside figures or storms —
+   lands in its own fresh subdirectory of [root]. *)
+type backend_sel = { backend_kind : string; backend_root : string option }
+
+let backend_kind_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sim", `Sim); ("file", `File) ]) `Sim
+    & info [ "backend" ] ~docv:"KIND"
+        ~doc:
+          "Storage backend: $(b,sim) (in-memory simulated devices, the \
+           default) or $(b,file) (real files: segmented checksummed WAL \
+           with fsync on force, doublewrite-style page file).")
+
+let backend_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backend-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory root for $(b,--backend file) (created if missing). \
+           Default: a fresh directory under the system temp dir.")
+
+let backend_setup kind dir =
+  match kind with
+  | `Sim ->
+      Db.set_backend_factory None;
+      { backend_kind = "sim"; backend_root = None }
+  | `File ->
+      let root =
+        match dir with
+        | Some d -> d
+        | None ->
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "ariesrh-%d" (Unix.getpid ()))
+      in
+      Backend.mkdir_p root;
+      let n = ref 0 in
+      Db.set_backend_factory
+        (Some
+           (fun () ->
+             incr n;
+             let dir = Filename.concat root (Printf.sprintf "db%d" !n) in
+             Backend.remove_tree dir;
+             Backend.File { dir }));
+      Format.eprintf "file backend root: %s@." root;
+      { backend_kind = "file"; backend_root = Some root }
+
+let backend_term = Term.(const backend_setup $ backend_kind_arg $ backend_dir_arg)
+
 (* call before any [exit]: cmdliner bodies that fail with [exit 1] must
    still flush the metrics export *)
 let finish obs =
@@ -90,14 +147,14 @@ let figures_cmd =
     Arg.(value & pos 0 string "all" & info [] ~docv:"FIGURE"
            ~doc:"Which figure to reproduce: f1 f2 f3 f4 f5 f7 f8 or all.")
   in
-  let run obs which =
+  let run obs (_ : backend_sel) which =
     Figures.run which;
     finish obs
   in
   Cmd.v
     (Cmd.info "figures"
        ~doc:"Reproduce the paper's figures as executable, checked artifacts")
-    Term.(const run $ obs_term $ which)
+    Term.(const run $ obs_term $ backend_term $ which)
 
 (* --- run --- *)
 
@@ -146,7 +203,8 @@ let run_cmd =
          & info [ "script" ] ~docv:"FILE"
              ~doc:"Replay a saved script instead of generating one.")
   in
-  let run obs steps objects seed rate impl crash_frac dump save load =
+  let run obs (_ : backend_sel) steps objects seed rate impl crash_frac dump
+      save load =
     let script =
       match load with
       | Some file ->
@@ -210,8 +268,8 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Run a random workload, crash, recover, verify against the oracle")
     Term.(
-      const run $ obs_term $ steps $ objects $ seed $ rate $ impl $ crash_frac
-      $ dump $ save $ load)
+      const run $ obs_term $ backend_term $ steps $ objects $ seed $ rate
+      $ impl $ crash_frac $ dump $ save $ load)
 
 (* --- compare --- *)
 
@@ -227,7 +285,7 @@ let compare_cmd =
     Arg.(value & opt float 0.12
          & info [ "delegation-rate" ] ~doc:"Delegation weight in the mix.")
   in
-  let run obs steps objects seed rate =
+  let run obs (_ : backend_sel) steps objects seed rate =
     let spec =
       { (spec_of ~objects ~steps ~delegation_rate:rate) with p_checkpoint = 0.0 }
     in
@@ -259,7 +317,7 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Recover the same crashed workload under rh, lazy, and eager")
-    Term.(const run $ obs_term $ steps $ objects $ seed $ rate)
+    Term.(const run $ obs_term $ backend_term $ steps $ objects $ seed $ rate)
 
 (* --- history --- *)
 
@@ -273,7 +331,7 @@ let history_cmd =
     Arg.(value & opt float 0.25
          & info [ "delegation-rate" ] ~doc:"Delegation weight.")
   in
-  let run obs ob steps seed rate =
+  let run obs (_ : backend_sel) ob steps seed rate =
     let spec =
       { (spec_of ~objects:32 ~steps ~delegation_rate:rate) with
         Gen.terminate_all = false }
@@ -324,7 +382,7 @@ let history_cmd =
   Cmd.v
     (Cmd.info "history"
        ~doc:"Show an object's update/delegation/compensation history")
-    Term.(const run $ obs_term $ ob $ steps $ seed $ rate)
+    Term.(const run $ obs_term $ backend_term $ ob $ steps $ seed $ rate)
 
 (* --- sim --- *)
 
@@ -344,7 +402,7 @@ let sim_cmd =
                                             delegating its work.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed.") in
-  let run obs clients txns objects rate seed =
+  let run obs (_ : backend_sel) clients txns objects rate seed =
     let db =
       Db.create (Config.make ~n_objects:(max 32 objects) ~buffer_capacity:32 ())
     in
@@ -362,7 +420,8 @@ let sim_cmd =
   Cmd.v
     (Cmd.info "sim"
        ~doc:"Closed-loop contention simulator with deadlock detection")
-    Term.(const run $ obs_term $ clients $ txns $ objects $ rate $ seed)
+    Term.(const run $ obs_term $ backend_term $ clients $ txns $ objects
+          $ rate $ seed)
 
 (* --- crash-storm --- *)
 
@@ -430,37 +489,82 @@ let storm_cmd =
              ~doc:"Directory for forensic failure dumps (event trail, \
                    per-mismatch lineage, metrics); $(b,none) disables them.")
   in
-  let run obs steps objects seeds seed0 rate impl depth crash_step sim_steps
-      clients group_commit record_cache audit forensic_dir =
-    let base =
-      { Crash_storm.default_config with
-        recovery_crash_depth = depth;
-        crash_step = max 1 crash_step;
-        group_commit;
-        record_cache;
-        audit;
-        forensic_dir =
-          (if forensic_dir = "none" then None else Some forensic_dir) }
-    in
+  let external_ =
+    Arg.(value & flag
+         & info [ "external" ]
+             ~doc:"Kill -9 storm: fork the workload as a child process, \
+                   SIGKILL it at each scheduled I/O point, reopen the \
+                   database files in the parent and verify recovery \
+                   against the oracle. Requires $(b,--backend file).")
+  in
+  let max_kills =
+    Arg.(value & opt int 0
+         & info [ "max-kills" ]
+             ~doc:"External storm: bound the scheduled kill points per \
+                   seed (0 = sweep until the script survives a run).")
+  in
+  let run obs sel steps objects seeds seed0 rate impl depth crash_step
+      sim_steps clients group_commit record_cache audit forensic_dir external_
+      max_kills =
+    let forensic_dir = if forensic_dir = "none" then None else Some forensic_dir in
     let spec = spec_of ~objects ~steps ~delegation_rate:rate in
     let total = ref None in
     let add label o =
       Format.printf "%s:@.  %a@." label Crash_storm.pp_outcome o;
       total := Some (match !total with None -> o | Some t -> Crash_storm.merge t o)
     in
-    for i = 0 to seeds - 1 do
-      let config = { base with seed = Int64.of_int (seed0 + i) } in
-      add
-        (Printf.sprintf "scripted storm (seed %d)" (seed0 + i))
-        (Crash_storm.run_script ~config ~impl spec)
-    done;
-    if sim_steps > 0 then begin
-      let sim =
-        { Crash_storm.default_sim with steps = sim_steps; clients }
+    if external_ then begin
+      let root =
+        match sel.backend_root with
+        | Some r -> r
+        | None ->
+            Format.eprintf "crash-storm --external requires --backend file@.";
+            exit 2
       in
-      add "simulated storm"
-        (Crash_storm.run_sim ~config:{ base with seed = Int64.of_int seed0 }
-           ~sim ())
+      for i = 0 to seeds - 1 do
+        let config =
+          { Supervisor.default_config with
+            seed = Int64.of_int (seed0 + i);
+            kill_step = max 1 crash_step;
+            max_kills = (if max_kills <= 0 then max_int else max_kills);
+            group_commit;
+            record_cache;
+            audit;
+            root =
+              Filename.concat root
+                (Printf.sprintf "external-seed%d" (seed0 + i));
+            forensic_dir }
+        in
+        add
+          (Printf.sprintf "external kill -9 storm (seed %d)" (seed0 + i))
+          (Supervisor.run ~config ~impl spec)
+      done
+    end
+    else begin
+      let base =
+        { Crash_storm.default_config with
+          recovery_crash_depth = depth;
+          crash_step = max 1 crash_step;
+          group_commit;
+          record_cache;
+          audit;
+          forensic_dir;
+          backend_root = sel.backend_root }
+      in
+      for i = 0 to seeds - 1 do
+        let config = { base with seed = Int64.of_int (seed0 + i) } in
+        add
+          (Printf.sprintf "scripted storm (seed %d)" (seed0 + i))
+          (Crash_storm.run_script ~config ~impl spec)
+      done;
+      if sim_steps > 0 then begin
+        let sim =
+          { Crash_storm.default_sim with steps = sim_steps; clients }
+        in
+        add "simulated storm"
+          (Crash_storm.run_sim ~config:{ base with seed = Int64.of_int seed0 }
+             ~sim ())
+      end
     end;
     match !total with
     | None -> finish obs
@@ -474,9 +578,9 @@ let storm_cmd =
        ~doc:"Crash at every I/O point, re-crash during recovery, tear pages \
              and log tails; verify every restart against the oracle")
     Term.(
-      const run $ obs_term $ steps $ objects $ seeds $ seed0 $ rate $ impl
-      $ depth $ crash_step $ sim_steps $ clients $ group_commit $ record_cache
-      $ audit $ forensic_dir)
+      const run $ obs_term $ backend_term $ steps $ objects $ seeds $ seed0
+      $ rate $ impl $ depth $ crash_step $ sim_steps $ clients $ group_commit
+      $ record_cache $ audit $ forensic_dir $ external_ $ max_kills)
 
 (* --- pressure-storm --- *)
 
@@ -540,8 +644,8 @@ let pressure_storm_cmd =
              ~doc:"Directory for forensic failure dumps (event trail, \
                    per-mismatch lineage, metrics); $(b,none) disables them.")
   in
-  let run obs seeds seed0 steps clients capacity crash_every depth rate impl
-      group_commit record_cache audit forensic_dir =
+  let run obs sel seeds seed0 steps clients capacity crash_every depth rate
+      impl group_commit record_cache audit forensic_dir =
     let engines =
       match impl with
       | Some i -> [ i ]
@@ -565,7 +669,8 @@ let pressure_storm_cmd =
               record_cache;
               audit;
               forensic_dir =
-                (if forensic_dir = "none" then None else Some forensic_dir) }
+                (if forensic_dir = "none" then None else Some forensic_dir);
+              backend_root = sel.backend_root }
           in
           let o = Pressure_storm.run ~config () in
           Format.printf "%s pressure storm (seed %d):@.  %a@.@."
@@ -583,9 +688,9 @@ let pressure_storm_cmd =
              checkpoints, truncates and applies backpressure while clients \
              retry with backoff; the oracle is checked after every restart")
     Term.(
-      const run $ obs_term $ seeds $ seed0 $ steps $ clients $ capacity
-      $ crash_every $ depth $ rate $ impl $ group_commit $ record_cache
-      $ audit $ forensic_dir)
+      const run $ obs_term $ backend_term $ seeds $ seed0 $ steps $ clients
+      $ capacity $ crash_every $ depth $ rate $ impl $ group_commit
+      $ record_cache $ audit $ forensic_dir)
 
 (* --- metrics --- *)
 
@@ -614,7 +719,7 @@ let metrics_cmd =
          & info [ "format" ] ~docv:"FMT"
              ~doc:"Exposition format: openmetrics (Prometheus text) or json.")
   in
-  let run obs impl steps objects seed rate format =
+  let run obs (_ : backend_sel) impl steps objects seed rate format =
     let spec = spec_of ~objects ~steps ~delegation_rate:rate in
     let script = Gen.generate spec ~seed:(Int64.of_int seed) in
     let db = Driver.fresh_db ~impl ~n_objects:objects () in
@@ -633,7 +738,8 @@ let metrics_cmd =
        ~doc:"Run a canned workload (with a checkpoint and a crash-restart) \
              and export every registered metric")
     Term.(
-      const run $ obs_term $ impl $ steps $ objects $ seed $ rate $ format)
+      const run $ obs_term $ backend_term $ impl $ steps $ objects $ seed
+      $ rate $ format)
 
 let main =
   Cmd.group

@@ -37,6 +37,7 @@ type db_stats = {
 type t = {
   config : Config.t;
   fault : Fault.t;
+  backend : Backend.t;
   disk : Disk.t;
   log : Log_store.t;
   mutable pool : Buffer_pool.t;
@@ -81,16 +82,29 @@ let obs_op : Record.op -> Obs.Event.op = function
 let on_create : (t -> unit) option ref = ref None
 let set_create_hook f = on_create := f
 
+(* Session hook: default backend for databases created without an
+   explicit [~backend]. A factory rather than a value because every
+   file-backed database needs its own directory — a CLI [--backend file]
+   installs one that hands out fresh subdirectories. *)
+let backend_factory : (unit -> Backend.t) option ref = ref None
+let set_backend_factory f = backend_factory := f
+
 let place_of config oid =
   let i = Oid.to_int oid in
   (Page_id.of_int (i / config.Config.objects_per_page),
    i mod config.Config.objects_per_page)
 
-let create ?(fault = Fault.none ()) ?(tracing = false)
+let create ?(fault = Fault.none ()) ?backend ?(tracing = false)
     ?(trace_capacity = Obs.Ring.default_capacity) config =
   Config.validate config;
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> (
+        match !backend_factory with Some f -> f () | None -> Backend.Sim)
+  in
   let disk =
-    Disk.create ~fault
+    Disk.create ~fault ~backend
       ~pages:(Config.pages_needed config)
       ~slots_per_page:config.objects_per_page ()
   in
@@ -98,8 +112,22 @@ let create ?(fault = Fault.none ()) ?(tracing = false)
     Log_store.create ~page_size:config.log_page_size
       ?capacity_bytes:config.log_capacity_bytes
       ?capacity_records:config.log_capacity_records
-      ~record_cache:config.record_cache ~fault ()
+      ~record_cache:config.record_cache ~fault ~backend ()
   in
+  (* Reopen path (file backend): the WAL a previous process left behind
+     was loaded as the durable prefix. Xid allocation must resume above
+     every xid that log mentions, as if drawn from a persistent counter
+     block. The scan stops at the first undecodable record — that is the
+     corrupt tail restart will amputate anyway. *)
+  let initial_next_xid = ref 1 in
+  if Log_store.length log > 0 then
+    ignore
+      (Log_store.iter_valid_forward log
+         ~from:(Log_store.truncated_below log)
+         (fun _ r ->
+           match Record.writer_exn r with
+           | x -> initial_next_xid := max !initial_next_xid (Xid.to_int x + 1)
+           | exception _ -> ()));
   let pool =
     Buffer_pool.create ~fault ~capacity:config.buffer_capacity ~disk
       ~wal_flush:(fun lsn -> Log_store.flush log ~upto:lsn)
@@ -132,7 +160,9 @@ let create ?(fault = Fault.none ()) ?(tracing = false)
   in
   let metrics =
     lazy
-      (let metrics = Obs.Metrics.create () in
+      (* every export says which storage backend produced it:
+         ariesrh_*{backend="sim|file"} *)
+      (let metrics = Obs.Metrics.create ~labels:[ Backend.label backend ] () in
        Log_store.register_metrics log metrics;
        Disk.register_metrics disk metrics;
        Buffer_pool.register_metrics pool metrics;
@@ -184,12 +214,13 @@ let create ?(fault = Fault.none ()) ?(tracing = false)
     {
       config;
       fault;
+      backend;
       disk;
       log;
       pool;
       locks = Lock_table.create ();
       tt = Txn_table.create ();
-      next_xid = 1;
+      next_xid = !initial_next_xid;
       permits = [];
       reserves = Hashtbl.create 16;
       refuse_begins = false;
@@ -208,6 +239,7 @@ let create ?(fault = Fault.none ()) ?(tracing = false)
 
 let config t = t.config
 let fault t = t.fault
+let backend t = t.backend
 let ring t = t.ring
 let metrics t = Lazy.force t.metrics
 let set_tracing t b = Obs.Ring.set_enabled t.ring b
@@ -1058,10 +1090,19 @@ let recover_with_fuel t ~fuel =
           `Done report
       | exception Aries_rh.Interrupted -> `Interrupted)
 
+let log_fsyncs t = Log_store.fsyncs t.log
+let page_fsyncs t = Disk.fsyncs t.disk
+
 let shutdown t =
   Log_store.flush t.log ~upto:(Log_store.head t.log);
   settle_group t;
-  Buffer_pool.flush_all t.pool
+  Buffer_pool.flush_all t.pool;
+  (* the page writes flush_all issued are only durable once synced *)
+  Disk.sync t.disk
+
+let close t =
+  Log_store.close t.log;
+  Disk.close t.disk
 
 (* --- inspection --- *)
 

@@ -12,6 +12,7 @@ type t
 
 val create :
   ?fault:Ariesrh_fault.Fault.t ->
+  ?backend:Ariesrh_storage.Backend.t ->
   ?tracing:bool ->
   ?trace_capacity:int ->
   Config.t ->
@@ -20,16 +21,37 @@ val create :
     the buffer pool; a torn-page repair callback is installed so that
     checksum-failing pages are repaired transparently on fetch.
 
+    [backend] (default [Sim]) selects the stable-storage device behind
+    the disk and the log. With [File { dir }] the durable state lives in
+    real files under [dir] (segmented WAL, fsynced on force; page file
+    with a doublewrite shadow region), and creating a database over an
+    existing directory is the {e reopen} path: the surviving WAL frames
+    become the durable log prefix, the page images come back as stored
+    (torn ones included), and xid allocation resumes above every xid the
+    log mentions. Call {!recover} to bring the reopened state to a
+    consistent point, exactly as after {!crash}.
+
     [tracing] (default [false]) enables the structured trace ring from
     the first operation; [trace_capacity] bounds its memory (default
     {!Ariesrh_obs.Ring.default_capacity} entries). Every database also
     carries a metrics registry ({!metrics}) into which the log store,
     disk, buffer pool, fault injector and the engine's own tallies are
     registered at creation — snapshotting it is always available and
-    costs nothing until read. *)
+    costs nothing until read. Every sample carries a
+    [backend="sim"|"file"] label. *)
 
 val config : t -> Config.t
 val fault : t -> Ariesrh_fault.Fault.t
+
+val backend : t -> Ariesrh_storage.Backend.t
+
+val log_fsyncs : t -> int
+(** Lifetime WAL fsyncs (segments + control file); [0] on sim. An
+    accessor, not a metric, so forensic dumps stay byte-comparable
+    across backends. *)
+
+val page_fsyncs : t -> int
+(** Lifetime page-file fsyncs; [0] on sim. *)
 
 (** {1 Observability} *)
 
@@ -46,6 +68,14 @@ val set_create_hook : (t -> unit) option -> unit
 (** Session-global hook invoked with every database subsequently
     created; the CLI uses it to aggregate metrics across the many
     databases a command may build. [None] uninstalls. *)
+
+val set_backend_factory : (unit -> Ariesrh_storage.Backend.t) option -> unit
+(** Session-global default backend for databases created without an
+    explicit [~backend] (a factory, because each file-backed database
+    needs its own directory). The CLI's [--backend file] installs one so
+    every database a subcommand builds — including those created deep
+    inside figures or storms — lands on real files. [None] (the initial
+    state) means [Sim]. *)
 
 (** {1 Transactions} *)
 
@@ -259,7 +289,14 @@ val recover_with_fuel :
     [`Interrupted], call {!crash} and recover again. *)
 
 val shutdown : t -> unit
-(** Clean stop: flush the log and all dirty pages. *)
+(** Clean stop: flush the log and all dirty pages (and on the file
+    backend, sync the page file). Does not release file descriptors —
+    see {!close}. *)
+
+val close : t -> unit
+(** Release the file backend's descriptors (idempotent; no-op on sim).
+    The database must not be used afterwards. Distinct from {!shutdown}
+    so harnesses can flush state yet keep operating the same handle. *)
 
 (** {1 Inspection (tests, figures, experiments)} *)
 

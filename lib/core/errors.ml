@@ -50,6 +50,14 @@ let pp_exn ppf = function
   | Ariesrh_storage.Buffer_pool.Torn_page pid ->
       Format.fprintf ppf "torn data page %a (checksum failed, no repair)"
         Page_id.pp pid
+  | Ariesrh_storage.Backend.Io_error { op; path; error } ->
+      Format.fprintf ppf "storage backend I/O error: %s on %s: %s" op path
+        (Unix.error_message error)
+  | Ariesrh_wal.Log_device.Wal_frame_corrupt { offset; expected; got } ->
+      Format.fprintf ppf
+        "WAL frame corrupt away from the tail at byte %d (expected %d, got \
+         %d)"
+        offset expected got
   | Ariesrh_fault.Fault.Injected_crash { io; site } ->
       Format.fprintf ppf "injected crash at io #%d (%a)" io
         Ariesrh_fault.Fault.pp_site site

@@ -34,7 +34,10 @@ val pp_exn : Format.formatter -> exn -> unit
 (** Also renders the storage/WAL corruption and capacity exceptions
     ([Ariesrh_wal.Log_store.Corrupt_record],
     [Ariesrh_wal.Log_store.Log_full],
-    [Ariesrh_storage.Buffer_pool.Torn_page]),
+    [Ariesrh_storage.Buffer_pool.Torn_page]), the file-backend I/O
+    exceptions ([Ariesrh_storage.Backend.Io_error],
+    [Ariesrh_wal.Log_device.Wal_frame_corrupt]) — so no raw
+    [Unix.Unix_error] ever reaches the user —
     [Ariesrh_fault.Fault.Injected_crash], and the restart-integrity
     exceptions ([Ariesrh_recovery.Audit.Audit_failed],
     [Ariesrh_recovery.Rewrite.Surgery_corrupt]). *)

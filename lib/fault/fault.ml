@@ -11,6 +11,8 @@ let pp_site ppf = function
 
 exception Injected_crash of { io : int; site : site }
 
+type crash_mode = Raise | Kill_process
+
 type log_tear = Truncate_tail of int | Flip_byte of int
 
 type write_decision = { torn_keep : int option; crash : bool }
@@ -29,6 +31,7 @@ type t = {
   mutable live : bool;  (* a [none] injector is permanently dead *)
   mutable enabled : bool;
   mutable crash_at : int;  (* absolute io count; -1 = disarmed *)
+  mutable crash_mode : crash_mode;
   mutable tear_data_every : int;  (* 0 = never *)
   mutable tear_data_on_crash : bool;
   mutable tear_log_on_crash : bool;
@@ -47,6 +50,7 @@ let make live seed =
     live;
     enabled = live;
     crash_at = -1;
+    crash_mode = Raise;
     tear_data_every = 0;
     tear_data_on_crash = false;
     tear_log_on_crash = false;
@@ -67,6 +71,8 @@ let arm_crash_at t io = t.crash_at <- io
 let arm_crash_in t n = t.crash_at <- t.stats.ios + max 1 n
 let disarm_crash t = t.crash_at <- -1
 let crash_armed t = t.crash_at >= 0
+let set_crash_mode t m = t.crash_mode <- m
+let crash_mode t = t.crash_mode
 let set_tear_data_every t n = t.tear_data_every <- max 0 n
 let set_tear_data_on_crash t b = t.tear_data_on_crash <- b
 let set_tear_log_on_crash t b = t.tear_log_on_crash <- b
@@ -113,7 +119,15 @@ let tick t =
   end
   else false
 
-let die t site = raise (Injected_crash { io = t.stats.ios; site })
+let die t site =
+  match t.crash_mode with
+  | Raise -> raise (Injected_crash { io = t.stats.ios; site })
+  | Kill_process ->
+      (* a real crash: the process dies mid-operation with no unwinding,
+         no cleanup, no flush — exactly what a kill -9 storm needs *)
+      Unix.kill (Unix.getpid ()) Sys.sigkill;
+      (* unreachable, but keeps [die : t -> site -> 'a] total *)
+      raise (Injected_crash { io = t.stats.ios; site })
 
 let on_disk_read t =
   if enabled t then

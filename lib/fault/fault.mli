@@ -28,6 +28,14 @@ exception Injected_crash of { io : int; site : site }
 (** Raised by the hooks below when an armed crash point is reached. [io]
     is the value of the global I/O counter at the crash. *)
 
+type crash_mode =
+  | Raise  (** raise [Injected_crash]; the caller simulates the restart *)
+  | Kill_process
+      (** send SIGKILL to the calling process at the crash point — no
+          unwinding, no cleanup. Only meaningful in a forked workload
+          child supervised by an external storm; see
+          {!Ariesrh_workload.Supervisor}. *)
+
 type log_tear =
   | Truncate_tail of int  (** drop this many bytes from the last record *)
   | Flip_byte of int  (** XOR a bit into the byte at this offset *)
@@ -70,6 +78,12 @@ val arm_crash_in : t -> int -> unit
 
 val disarm_crash : t -> unit
 val crash_armed : t -> bool
+
+val set_crash_mode : t -> crash_mode -> unit
+(** Default [Raise]. [Kill_process] makes every crash point a genuine
+    process death. *)
+
+val crash_mode : t -> crash_mode
 
 val set_tear_data_every : t -> int -> unit
 (** Tear every [n]-th data page write ([0] = never, the default). These

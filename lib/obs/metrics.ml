@@ -20,15 +20,19 @@ type source = {
   read : unit -> value;
 }
 
-type t = { mutable sources : source list }
+type t = {
+  mutable sources : source list;
+  base_labels : (string * string) list;
+      (* stamped onto every registration — e.g. [("backend", "file")] *)
+}
 
-let create () = { sources = [] }
+let create ?(labels = []) () = { sources = []; base_labels = labels }
 
 let canon_labels labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
 
 let register t ?(help = "") ?(labels = []) ~name kind read =
-  let labels = canon_labels labels in
+  let labels = canon_labels (t.base_labels @ labels) in
   let fresh =
     { s_name = name; s_labels = labels; s_kind = kind; s_help = help; read }
   in

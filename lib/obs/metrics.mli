@@ -29,7 +29,10 @@ type sample = {
 
 type t
 
-val create : unit -> t
+val create : ?labels:(string * string) list -> unit -> t
+(** [labels] are base labels stamped onto every registration — e.g.
+    [("backend", "file")] so every export says which storage backend
+    produced it. *)
 
 val register :
   t ->

@@ -1,0 +1,42 @@
+exception
+  Io_error of { op : string; path : string; error : Unix.error }
+
+type t = Sim | File of { dir : string }
+
+let kind = function Sim -> "sim" | File _ -> "file"
+let label t = ("backend", kind t)
+let is_file = function File _ -> true | Sim -> false
+
+let of_string ~dir = function
+  | "sim" -> Ok Sim
+  | "file" -> Ok (File { dir })
+  | s -> Error (Printf.sprintf "unknown backend %S (expected sim|file)" s)
+
+let pp ppf t =
+  match t with
+  | Sim -> Format.pp_print_string ppf "sim"
+  | File { dir } -> Format.fprintf ppf "file:%s" dir
+
+let wrap ~op ~path f =
+  try f ()
+  with Unix.Unix_error (error, _, _) -> raise (Io_error { op; path; error })
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      wrap ~op:"mkdir" ~path:d (fun () ->
+          try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  go dir
+
+let rec remove_tree dir =
+  match Sys.is_directory dir with
+  | true ->
+      Array.iter
+        (fun name -> remove_tree (Filename.concat dir name))
+        (Sys.readdir dir);
+      wrap ~op:"rmdir" ~path:dir (fun () -> Unix.rmdir dir)
+  | false -> (try Sys.remove dir with Sys_error _ -> ())
+  | exception Sys_error _ -> ()

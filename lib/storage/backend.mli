@@ -1,0 +1,52 @@
+(** Storage backend selector.
+
+    Every stable store in the system (the data-page {!Disk}, the WAL's
+    log device) is constructed against one of two backends:
+
+    - [Sim] — the in-memory simulated devices the repo grew up on:
+      deterministic, no real I/O, crashes are exceptions. Still the
+      default everywhere.
+    - [File { dir }] — real files under [dir]: an append-only segmented
+      WAL with length+checksum-framed records and [fdatasync] on force,
+      and a page file written with the same doublewrite-style
+      before-image discipline the simulated disk models. Crash recovery
+      runs unchanged over whatever bytes a dead process left behind.
+
+    The file backend is {e write-through}: the in-memory image stays
+    authoritative within a process, and the files mirror exactly the
+    durable prefix. This keeps I/O accounting, fault-injection schedules
+    and same-seed determinism byte-identical across backends — the sim
+    and file backends differ only in whether the durable state also
+    exists on disk (and in wall-clock time). *)
+
+exception
+  Io_error of { op : string; path : string; error : Unix.error }
+(** A typed wrapper for every [Unix.Unix_error] the file backend can
+    raise, so callers never see raw errno exceptions. [op] is the
+    syscall ("open", "pwrite", "fdatasync", ...), [path] the file. *)
+
+type t = Sim | File of { dir : string }
+
+val kind : t -> string
+(** ["sim"] or ["file"] — the value of the [backend] metrics label. *)
+
+val label : t -> string * string
+(** [("backend", kind t)], ready for {!Ariesrh_obs.Metrics.create}. *)
+
+val is_file : t -> bool
+
+val of_string : dir:string -> string -> (t, string) result
+(** Parse a [--backend] CLI value; [dir] is used when the value is
+    ["file"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val wrap : op:string -> path:string -> (unit -> 'a) -> 'a
+(** Run [f], converting [Unix.Unix_error] into {!Io_error}. *)
+
+val mkdir_p : string -> unit
+(** Create a directory (and parents) if missing. *)
+
+val remove_tree : string -> unit
+(** Recursively delete a directory (or file); missing paths are fine.
+    Storm harnesses use it to reclaim per-iteration database dirs. *)

@@ -12,16 +12,35 @@ type t = {
   slots_per_page : int;
   stats : stats;
   fault : Fault.t;
+  (* The stable device behind the arrays: a no-op for the sim backend, a
+     write-through page file for the file backend. The arrays stay
+     authoritative in-process; the device is what a kill -9 leaves
+     behind. *)
+  device : Page_device.t;
 }
 
-let create ?(fault = Fault.none ()) ~pages ~slots_per_page () =
+let create ?(fault = Fault.none ()) ?(backend = Backend.Sim) ~pages
+    ~slots_per_page () =
   if pages <= 0 then invalid_arg "Disk.create: pages must be positive";
+  let device =
+    match backend with
+    | Backend.Sim -> Page_device.sim
+    | Backend.File { dir } -> Page_device.create ~dir ~pages ~slots_per_page
+  in
+  let main, shadow =
+    match Page_device.load device with
+    | Some (main, shadow) -> (main, shadow)
+    | None ->
+        (Array.init pages (fun _ -> Page.create ~slots:slots_per_page),
+         Array.init pages (fun _ -> Page.create ~slots:slots_per_page))
+  in
   {
-    pages = Array.init pages (fun _ -> Page.create ~slots:slots_per_page);
-    shadow = Array.init pages (fun _ -> Page.create ~slots:slots_per_page);
+    pages = main;
+    shadow;
     slots_per_page;
     stats = { page_reads = 0; page_writes = 0 };
     fault;
+    device;
   }
 
 let page_count t = Array.length t.pages
@@ -55,7 +74,9 @@ let write_page t pid p =
       let stored = Page.copy p in
       Page.seal stored;
       t.pages.(i) <- stored;
-      t.shadow.(i) <- Page.copy stored
+      t.shadow.(i) <- Page.copy stored;
+      Page_device.write_main t.device i stored;
+      Page_device.write_shadow t.device i stored
   | Some keep ->
       (* Only the first [keep] slots of the new image reach the platter;
          the tail keeps the old contents. The checksum is the one intended
@@ -63,12 +84,19 @@ let write_page t pid p =
          happened to change nothing. The shadow is left alone. *)
       let torn = Page.copy p in
       Page.seal torn;
+      (* the device tears for real: a partial write of the new image over
+         the old bytes leaves exactly [torn] in the file *)
+      Page_device.write_main_torn t.device i torn ~keep;
       let old = t.pages.(i) in
       for s = keep to Page.slots p - 1 do
         Page.set torn s (Page.get old s)
       done;
       t.pages.(i) <- torn);
   if d.Fault.crash then Fault.die t.fault Fault.Disk_write
+
+let sync t = Page_device.sync t.device
+let fsyncs t = Page_device.fsyncs t.device
+let close t = Page_device.close t.device
 
 let stats t = t.stats
 

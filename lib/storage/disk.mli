@@ -18,7 +18,16 @@ type stats = { mutable page_reads : int; mutable page_writes : int }
 type t
 
 val create :
-  ?fault:Ariesrh_fault.Fault.t -> pages:int -> slots_per_page:int -> unit -> t
+  ?fault:Ariesrh_fault.Fault.t ->
+  ?backend:Backend.t ->
+  pages:int ->
+  slots_per_page:int ->
+  unit ->
+  t
+(** [backend] (default [Sim]) selects the stable device. With
+    [File { dir }], every stable write is mirrored into [dir/data.pages]
+    (main + doublewrite shadow regions) and an existing file's images are
+    loaded back — the reopen path after a real process death. *)
 
 val page_count : t -> int
 val slots_per_page : t -> int
@@ -35,6 +44,17 @@ val read_page_checked : t -> Page_id.t -> (Page.t, Page.t) result
 val write_page : t -> Page_id.t -> Page.t -> unit
 (** Stores a sealed copy of the given page (possibly torn under fault
     injection; may raise [Fault.Injected_crash] after the write). *)
+
+val sync : t -> unit
+(** [fsync] the page file on the file backend; no-op on sim. *)
+
+val fsyncs : t -> int
+(** Lifetime page-file fsyncs ([0] on sim). Deliberately an accessor and
+    not a registered metric, so forensic dumps stay byte-identical across
+    backends (the same precedent as {!Ariesrh_wal.Log_store.decode_calls}). *)
+
+val close : t -> unit
+(** Release the page-file descriptor (idempotent; no-op on sim). *)
 
 val stats : t -> stats
 val reset_stats : t -> unit

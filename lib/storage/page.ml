@@ -31,6 +31,11 @@ let seal t = t.checksum <- fingerprint t.page_lsn t.values
 let verify t = t.checksum = fingerprint t.page_lsn t.values
 let checksum t = t.checksum
 
+let restore ~page_lsn ~checksum values =
+  if Array.length values = 0 then
+    invalid_arg "Page.restore: slots must be positive";
+  { page_lsn; values = Array.copy values; checksum }
+
 let pp ppf t =
   Format.fprintf ppf "page_lsn=%a [%s]" Lsn.pp t.page_lsn
     (String.concat ";" (Array.to_list (Array.map string_of_int t.values)))

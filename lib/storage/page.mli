@@ -28,4 +28,10 @@ val verify : t -> bool
 
 val checksum : t -> int
 
+val restore : page_lsn:Lsn.t -> checksum:int -> int array -> t
+(** Rebuild a page from its stored representation, keeping the stored
+    checksum verbatim (it may legitimately mismatch: a torn page read
+    back from the file backend must still fail {!verify}). The value
+    array is copied. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,188 @@
+open Ariesrh_types
+
+(* On-disk layout of the page file (all fields int64 little-endian):
+
+     header   : magic "ARPGv1\n\000" | pages | slots_per_page | reserved
+     main     : pages x [checksum | page_lsn | value_0 .. value_{n-1}]
+     shadow   : same layout as main
+
+   The stored checksum is the one {!Page.seal} computed for the image the
+   writer intended; a torn write persists only a prefix of the new image,
+   so the stored checksum no longer matches the stored values — exactly
+   the detectability contract the simulated disk models. *)
+
+let magic = "ARPGv1\n\000"
+let header_bytes = 32
+
+type file = {
+  fd : Unix.file_descr;
+  path : string;
+  pages : int;
+  slots_per_page : int;
+  page_bytes : int;
+  mutable fsyncs : int;
+  mutable closed : bool;
+}
+
+type t = Sim_dev | File_dev of file
+
+let sim = Sim_dev
+let is_file = function File_dev _ -> true | Sim_dev -> false
+
+let write_all fd path b off len =
+  let written = ref 0 in
+  while !written < len do
+    let n =
+      Backend.wrap ~op:"write" ~path (fun () ->
+          Unix.write fd b (off + !written) (len - !written))
+    in
+    if n <= 0 then raise (Backend.Io_error { op = "write"; path; error = Unix.EIO });
+    written := !written + n
+  done
+
+let pwrite_at f ~off b len =
+  Backend.wrap ~op:"lseek" ~path:f.path (fun () ->
+      ignore (Unix.lseek f.fd off Unix.SEEK_SET));
+  write_all f.fd f.path b 0 len
+
+let read_exact f ~off b len =
+  Backend.wrap ~op:"lseek" ~path:f.path (fun () ->
+      ignore (Unix.lseek f.fd off Unix.SEEK_SET));
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    let n =
+      Backend.wrap ~op:"read" ~path:f.path (fun () ->
+          Unix.read f.fd b !got (len - !got))
+    in
+    if n = 0 then eof := true else got := !got + n
+  done;
+  !got
+
+let encode_page f p =
+  let b = Bytes.create f.page_bytes in
+  Bytes.set_int64_le b 0 (Int64.of_int (Page.checksum p));
+  Bytes.set_int64_le b 8 (Int64.of_int (Lsn.to_int (Page.page_lsn p)));
+  for s = 0 to f.slots_per_page - 1 do
+    Bytes.set_int64_le b ((2 + s) * 8) (Int64.of_int (Page.get p s))
+  done;
+  b
+
+let decode_page f b =
+  let checksum = Int64.to_int (Bytes.get_int64_le b 0) in
+  let page_lsn = Lsn.of_int (Int64.to_int (Bytes.get_int64_le b 8)) in
+  let values =
+    Array.init f.slots_per_page (fun s ->
+        Int64.to_int (Bytes.get_int64_le b ((2 + s) * 8)))
+  in
+  Page.restore ~page_lsn ~checksum values
+
+let main_off f i = header_bytes + (i * f.page_bytes)
+let shadow_off f i = header_bytes + ((f.pages + i) * f.page_bytes)
+
+let init_fresh f =
+  let h = Bytes.make header_bytes '\000' in
+  Bytes.blit_string magic 0 h 0 8;
+  Bytes.set_int64_le h 8 (Int64.of_int f.pages);
+  Bytes.set_int64_le h 16 (Int64.of_int f.slots_per_page);
+  pwrite_at f ~off:0 h header_bytes;
+  (* materialise both regions so a reopen always finds full images *)
+  let zero = encode_page f (Page.create ~slots:f.slots_per_page) in
+  for i = 0 to f.pages - 1 do
+    pwrite_at f ~off:(main_off f i) zero f.page_bytes;
+    pwrite_at f ~off:(shadow_off f i) zero f.page_bytes
+  done
+
+let create ~dir ~pages ~slots_per_page =
+  Backend.mkdir_p dir;
+  let path = Filename.concat dir "data.pages" in
+  let fd =
+    Backend.wrap ~op:"open" ~path (fun () ->
+        Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644)
+  in
+  let f =
+    {
+      fd;
+      path;
+      pages;
+      slots_per_page;
+      page_bytes = (2 + slots_per_page) * 8;
+      fsyncs = 0;
+      closed = false;
+    }
+  in
+  let size =
+    Backend.wrap ~op:"fstat" ~path (fun () -> (Unix.fstat fd).Unix.st_size)
+  in
+  if size = 0 then init_fresh f
+  else begin
+    let h = Bytes.create header_bytes in
+    if read_exact f ~off:0 h header_bytes < header_bytes then
+      raise (Backend.Io_error { op = "read-header"; path; error = Unix.EIO });
+    if Bytes.sub_string h 0 8 <> magic then
+      invalid_arg (Printf.sprintf "Page_device: %s is not a page file" path);
+    let got_pages = Int64.to_int (Bytes.get_int64_le h 8) in
+    let got_slots = Int64.to_int (Bytes.get_int64_le h 16) in
+    if got_pages <> pages || got_slots <> slots_per_page then
+      invalid_arg
+        (Printf.sprintf
+           "Page_device: %s geometry mismatch (file %dx%d, want %dx%d)" path
+           got_pages got_slots pages slots_per_page)
+  end;
+  File_dev f
+
+let load = function
+  | Sim_dev -> None
+  | File_dev f ->
+      let b = Bytes.create f.page_bytes in
+      let region off0 =
+        Array.init f.pages (fun i ->
+            let off = off0 + (i * f.page_bytes) in
+            if read_exact f ~off b f.page_bytes < f.page_bytes then
+              (* the region was never fully materialised (the process died
+                 inside [init_fresh]); treat the missing tail as fresh *)
+              Page.create ~slots:f.slots_per_page
+            else decode_page f b)
+      in
+      Some (region (main_off f 0), region (shadow_off f 0))
+
+let write_main t i p =
+  match t with
+  | Sim_dev -> ()
+  | File_dev f -> pwrite_at f ~off:(main_off f i) (encode_page f p) f.page_bytes
+
+(* A torn write is a genuinely partial write of the new image: only the
+   stored checksum, the page LSN and the first [keep] slot values reach
+   the file; the remaining bytes keep whatever the previous image held —
+   the same prefix-of-slots semantics the simulated disk applies. *)
+let write_main_torn t i p ~keep =
+  match t with
+  | Sim_dev -> ()
+  | File_dev f ->
+      let b = encode_page f p in
+      let partial = (2 + max 0 (min keep f.slots_per_page)) * 8 in
+      Backend.wrap ~op:"lseek" ~path:f.path (fun () ->
+          ignore (Unix.lseek f.fd (main_off f i) Unix.SEEK_SET));
+      write_all f.fd f.path b 0 partial
+
+let write_shadow t i p =
+  match t with
+  | Sim_dev -> ()
+  | File_dev f ->
+      pwrite_at f ~off:(shadow_off f i) (encode_page f p) f.page_bytes
+
+let sync = function
+  | Sim_dev -> ()
+  | File_dev f ->
+      Backend.wrap ~op:"fsync" ~path:f.path (fun () -> Unix.fsync f.fd);
+      f.fsyncs <- f.fsyncs + 1
+
+let fsyncs = function Sim_dev -> 0 | File_dev f -> f.fsyncs
+
+let close = function
+  | Sim_dev -> ()
+  | File_dev f ->
+      if not f.closed then begin
+        f.closed <- true;
+        Backend.wrap ~op:"close" ~path:f.path (fun () -> Unix.close f.fd)
+      end

@@ -1,0 +1,42 @@
+(** The stable-storage device behind {!Disk}.
+
+    The simulated device is a no-op: the disk's in-memory arrays are the
+    whole story. The file device mirrors every stable page write into a
+    single page file ([data.pages] under the backend directory) holding a
+    header, the main region and the doublewrite-style shadow region, so
+    that a process killed mid-run leaves behind exactly the images the
+    in-memory disk held — including genuinely partial (torn) writes.
+
+    The in-memory arrays stay authoritative within a process; the file
+    is only read back by {!load} when a new process reopens the
+    database. *)
+
+type t
+
+val sim : t
+(** The inert device: every write is a no-op, {!load} is [None]. *)
+
+val create : dir:string -> pages:int -> slots_per_page:int -> t
+(** Open (or create and zero-fill) [dir/data.pages]. Raises
+    [Invalid_argument] if an existing file has different geometry and
+    {!Backend.Io_error} on I/O failure. *)
+
+val is_file : t -> bool
+
+val load : t -> (Page.t array * Page.t array) option
+(** [(main, shadow)] as stored — torn images come back failing
+    [Page.verify], exactly as written. [None] for the sim device. *)
+
+val write_main : t -> int -> Page.t -> unit
+val write_shadow : t -> int -> Page.t -> unit
+
+val write_main_torn : t -> int -> Page.t -> keep:int -> unit
+(** Partial write of the new image: stored checksum, page LSN and the
+    first [keep] slot values only — the file keeps the old bytes for the
+    remaining slots. *)
+
+val sync : t -> unit
+(** [fsync] the page file (counted). No-op on the sim device. *)
+
+val fsyncs : t -> int
+val close : t -> unit

@@ -1,0 +1,74 @@
+(** The stable device behind {!Log_store}.
+
+    The simulated device is a no-op — the store's in-memory encoded-record
+    array is the whole story. The file device mirrors the durable prefix
+    into an append-only {e segmented} WAL under the backend directory:
+    length+crc-framed records in numbered [<id>.wal] segments plus a
+    [wal.ctl] control file holding the master-checkpoint pointer and the
+    truncation point, both fsynced on update.
+
+    Write-through discipline: {!flush} receives exactly the records the
+    in-memory store is making durable and [fsync]s them (the commit
+    force), so the on-disk file always equals the store's durable prefix.
+    The volatile tail never touches the device — records a process never
+    flushed are simply absent after a kill, which is the honest
+    userspace-buffer durability model. An injected torn flush is written
+    for real (a cut or bit-flipped file tail) and skips the fsync: the
+    power failed mid-write. *)
+
+exception Wal_frame_corrupt of { offset : int; expected : int; got : int }
+(** A frame violates the WAL's framing away from the tail: short header
+    or payload followed by further frames, or a crc mismatch that is not
+    the final frame. (A damaged {e tail} frame is not an error — the
+    reopen scan loads it so restart amputates it.) [expected]/[got] are
+    the violated quantity (byte count or crc). *)
+
+type t
+
+type loaded = {
+  enc : string array;  (** stored payload per record index; [""] below [low] *)
+  count : int;  (** frames present — the reopened durable prefix *)
+  low : int;  (** records below this index were truncated away *)
+  master : int;  (** master checkpoint pointer from the control file *)
+}
+
+val sim : t
+val is_file : t -> bool
+
+val create : dir:string -> ?seg_max:int -> unit -> t
+(** Open (or initialise) the WAL under [dir]. [seg_max] (default 64 KiB)
+    caps a segment's size; a frame never spans segments. *)
+
+val load : t -> loaded option
+(** Scan the segments and return the surviving log, or [None] when the
+    device is simulated or the WAL is empty. A genuinely cut tail frame
+    (partial header) is discarded as never-flushed; a cut or corrupt
+    tail {e payload} is loaded verbatim so [recover_tail] amputates it.
+    Raises {!Wal_frame_corrupt} for damage anywhere but the tail. *)
+
+val flush : t -> start_idx:int -> frames:string list -> tear:Ariesrh_fault.Fault.log_tear option -> unit
+(** Append the encoded records for indices [start_idx..] and fsync. If
+    [start_idx] is below the device's frame count the obsolete tail
+    frames are ftruncated away first (LSN reuse after crash/amputation).
+    [tear] damages the final frame for real and skips the fsync. *)
+
+val rewrite : t -> idx:int -> string -> unit
+(** In-place rewrite of a durable frame (same payload length — history
+    surgery). Covered by the next fsync. *)
+
+val set_master : t -> int -> unit
+(** Persist the master checkpoint pointer (control-file write + fsync). *)
+
+val set_low : t -> int -> unit
+(** Persist the truncation point and unlink whole segments that fell
+    entirely below it. *)
+
+val sync : t -> unit
+(** fsync the active segment (counted). *)
+
+val fsyncs : t -> int
+(** Lifetime fsync count across segments and the control file; [0] on
+    the sim device. An accessor, not a registered metric — see
+    {!Log_store.decode_calls} for the precedent. *)
+
+val close : t -> unit

@@ -44,6 +44,10 @@ type t = {
   mutable reserved_records : int;
   fault : Fault.t;
   stats : Log_stats.t;
+  (* The stable device mirroring the durable prefix: a no-op for the sim
+     backend, the segmented WAL file for the file backend. The in-memory
+     arrays stay authoritative in-process. *)
+  device : Log_device.t;
   (* --- decoded-record cache --- *)
   cache : (int, Record.t) Hashtbl.t;  (* idx -> decoded record *)
   cache_cap : int;  (* 0 = caching disabled *)
@@ -53,32 +57,62 @@ type t = {
 }
 
 let create ?(page_size = 4096) ?capacity_bytes ?capacity_records
-    ?(record_cache = 8192) ?(fault = Fault.none ()) () =
-  {
-    page_size;
-    enc = [||];
-    offsets = [||];
-    count = 0;
-    next_offset = 0;
-    durable_count = 0;
-    buffered_page = -1;
-    master = 0;
-    low = 0;
-    pending_tear = None;
-    amputated_total = 0;
-    cap_bytes = capacity_bytes;
-    cap_records = capacity_records;
-    live_bytes = 0;
-    reserved_bytes = 0;
-    reserved_records = 0;
-    fault;
-    stats = Log_stats.create ();
-    cache = Hashtbl.create (min 64 (max 1 record_cache));
-    cache_cap = max 0 record_cache;
-    decode_calls = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-  }
+    ?(record_cache = 8192) ?(fault = Fault.none ())
+    ?(backend = Ariesrh_storage.Backend.Sim) () =
+  let device =
+    match backend with
+    | Ariesrh_storage.Backend.Sim -> Log_device.sim
+    | Ariesrh_storage.Backend.File { dir } -> Log_device.create ~dir ()
+  in
+  let t =
+    {
+      page_size;
+      enc = [||];
+      offsets = [||];
+      count = 0;
+      next_offset = 0;
+      durable_count = 0;
+      buffered_page = -1;
+      master = 0;
+      low = 0;
+      pending_tear = None;
+      amputated_total = 0;
+      cap_bytes = capacity_bytes;
+      cap_records = capacity_records;
+      live_bytes = 0;
+      reserved_bytes = 0;
+      reserved_records = 0;
+      fault;
+      stats = Log_stats.create ();
+      device;
+      cache = Hashtbl.create (min 64 (max 1 record_cache));
+      cache_cap = max 0 record_cache;
+      decode_calls = 0;
+      cache_hits = 0;
+      cache_misses = 0;
+    }
+  in
+  (* Reopen path: rebuild the durable prefix from whatever frames the
+     previous process (possibly killed mid-run) left on disk. Everything
+     loaded was flushed — the volatile tail died with that process. *)
+  (match Log_device.load device with
+  | None -> ()
+  | Some l ->
+      t.enc <- Array.copy l.Log_device.enc;
+      t.count <- l.Log_device.count;
+      t.durable_count <- l.Log_device.count;
+      t.master <- l.Log_device.master;
+      t.low <- l.Log_device.low;
+      t.offsets <- Array.make (max 1 t.count) 0;
+      let off = ref 0 in
+      for i = 0 to t.count - 1 do
+        t.offsets.(i) <- !off;
+        off := !off + String.length t.enc.(i);
+        if i >= t.low then
+          t.live_bytes <- t.live_bytes + String.length t.enc.(i)
+      done;
+      t.next_offset <- !off);
+  t
 
 let stats t = t.stats
 let decode_calls t = t.decode_calls
@@ -252,17 +286,31 @@ let append_with_reserve t ~reserve_bytes ~reserve_records r =
 let flush t ~upto =
   let target = min (Lsn.to_int upto) t.count in
   if target > t.durable_count then begin
+    let start_idx = t.durable_count in
     let bytes = ref 0 in
     for i = t.durable_count to target - 1 do
       bytes := !bytes + String.length t.enc.(i)
     done;
-    (* rewriting the tail log page heals any previously scheduled tear *)
+    (* rewriting the tail log page heals any previously scheduled tear —
+       on the file backend the torn frame must be healed for real *)
+    (match t.pending_tear with
+    | Some (idx, _) when idx < t.durable_count ->
+        Log_device.rewrite t.device ~idx t.enc.(idx)
+    | _ -> ());
     t.pending_tear <- None;
     t.durable_count <- target;
     t.stats.flushes <- t.stats.flushes + 1;
     t.stats.bytes_flushed <- t.stats.bytes_flushed + !bytes;
     let last = t.enc.(target - 1) in
     let d = Fault.on_log_flush t.fault ~last_len:(String.length last) in
+    (* the device write happens before the injected power failure fires:
+       a torn flush leaves a genuinely damaged file tail and no fsync *)
+    (if Log_device.is_file t.device then
+       let frames = ref [] in
+       (for i = target - 1 downto start_idx do
+          frames := t.enc.(i) :: !frames
+        done);
+       Log_device.flush t.device ~start_idx ~frames:!frames ~tear:d.Fault.tear);
     (match d.Fault.tear with
     | None -> ()
     | Some (Fault.Truncate_tail n) ->
@@ -307,7 +355,8 @@ let master t = Lsn.of_int t.master
 let set_master t lsn =
   if Lsn.to_int lsn > t.durable_count then
     invalid_arg "Log_store.set_master: checkpoint record not durable";
-  t.master <- Lsn.to_int lsn
+  t.master <- Lsn.to_int lsn;
+  Log_device.set_master t.device t.master
 
 let page_of t idx = t.offsets.(idx) / t.page_size
 
@@ -343,7 +392,8 @@ let truncate t ~below =
       t.live_bytes <- t.live_bytes - String.length t.enc.(i);
       t.enc.(i) <- ""
     done;
-    t.low <- b - 1
+    t.low <- b - 1;
+    Log_device.set_low t.device t.low
   end;
   reclaimed
 
@@ -375,6 +425,7 @@ let rewrite t lsn r =
   cache_invalidate t idx;
   t.stats.rewrites <- t.stats.rewrites + 1;
   if idx < t.durable_count then begin
+    Log_device.rewrite t.device ~idx s;
     touch_page t idx;
     t.stats.rewrite_page_writes <- t.stats.rewrite_page_writes + 1
   end
@@ -446,6 +497,10 @@ let recover_tail t =
     t.master <- 0
   end;
   !dropped
+
+let sync t = Log_device.sync t.device
+let fsyncs t = Log_device.fsyncs t.device
+let close t = Log_device.close t.device
 
 let register_metrics t m =
   let module M = Ariesrh_obs.Metrics in

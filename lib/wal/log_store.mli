@@ -46,9 +46,18 @@ val create :
   ?capacity_records:int ->
   ?record_cache:int ->
   ?fault:Ariesrh_fault.Fault.t ->
+  ?backend:Ariesrh_storage.Backend.t ->
   unit ->
   t
-(** [page_size] (bytes, default 4096) governs the I/O cost model; see
+(** [backend] (default [Sim]) selects the stable device behind the log.
+    With [File { dir }] the durable prefix is mirrored write-through into
+    a segmented WAL under [dir] (frames fsynced on flush — the commit
+    force), and an existing WAL's surviving frames are loaded back as the
+    reopened durable prefix: the restart path after a real process death.
+    The in-memory array stays authoritative in-process, so I/O accounting
+    and fault scheduling are identical across backends.
+
+    [page_size] (bytes, default 4096) governs the I/O cost model; see
     {!Log_stats}. [capacity_bytes] / [capacity_records] bound the log
     (default: unbounded); see {!append} and {!reserve}. [record_cache]
     (default 8192, [0] disables) bounds the decoded-record cache: {!read}
@@ -205,6 +214,17 @@ val master : t -> Lsn.t
 val set_master : t -> Lsn.t -> unit
 (** Raises [Invalid_argument] unless the LSN is durable — the WAL rule
     for the master record itself. *)
+
+val sync : t -> unit
+(** [fsync] the active WAL segment on the file backend; no-op on sim. *)
+
+val fsyncs : t -> int
+(** Lifetime WAL fsyncs — segments plus the control file ([0] on sim).
+    An accessor rather than a registered metric so forensic dumps stay
+    byte-identical across backends (same precedent as {!decode_calls}). *)
+
+val close : t -> unit
+(** Release the WAL file descriptors (idempotent; no-op on sim). *)
 
 val register_metrics : t -> Ariesrh_obs.Metrics.t -> unit
 (** Register this log's counters (via {!Log_stats.register}), the

@@ -17,6 +17,7 @@ type config = {
   record_cache : int;
   audit : bool;
   forensic_dir : string option;
+  backend_root : string option;
 }
 
 let default_config =
@@ -32,7 +33,26 @@ let default_config =
     record_cache = Config.default.Config.record_cache;
     audit = true;
     forensic_dir = None;
+    backend_root = None;
   }
+
+(* Each storm database gets its own directory under [backend_root]: an
+   existing directory would be the reopen path, and a storm iteration
+   must start from an empty database. *)
+let backend_of config ~tag =
+  match config.backend_root with
+  | None -> Ariesrh_storage.Backend.Sim
+  | Some root ->
+      let dir = Filename.concat root tag in
+      Ariesrh_storage.Backend.remove_tree dir;
+      Ariesrh_storage.Backend.File { dir }
+
+let backend_cleanup config db =
+  Db.close db;
+  match Db.backend db with
+  | Ariesrh_storage.Backend.File { dir } when config.backend_root <> None ->
+      Ariesrh_storage.Backend.remove_tree dir
+  | _ -> ()
 
 type outcome = {
   mutable runs : int;
@@ -265,7 +285,9 @@ let run_script ?(config = default_config) ?(impl = Config.Rh) spec =
     let fault = make_fault config ~salt:!crash_io in
     Fault.arm_crash_at fault !crash_io;
     let db =
-      Driver.fresh_db ~fault ~impl ~group_commit:config.group_commit
+      Driver.fresh_db ~fault
+        ~backend:(backend_of config ~tag:(Printf.sprintf "io%d" !crash_io))
+        ~impl ~group_commit:config.group_commit
         ~record_cache:config.record_cache ~audit:config.audit
         ~tracing:(config.forensic_dir <> None)
         ~n_objects ()
@@ -309,6 +331,7 @@ let run_script ?(config = default_config) ?(impl = Config.Rh) spec =
       ~expected fault db;
     absorb_fault_stats outcome fault;
     outcome.repaired_pages <- outcome.repaired_pages + Db.repairs_total db;
+    backend_cleanup config db;
     crash_io := !crash_io + max 1 config.crash_step
   done;
   outcome
@@ -346,7 +369,9 @@ let run_sim ?(config = default_config) ?(sim = default_sim) () =
   let outcome = fresh_outcome () in
   let fault = make_fault config ~salt:0x5117 in
   let db =
-    Driver.fresh_db ~fault ~group_commit:config.group_commit
+    Driver.fresh_db ~fault
+      ~backend:(backend_of config ~tag:"sim-storm")
+      ~group_commit:config.group_commit
       ~record_cache:config.record_cache ~audit:config.audit
       ~tracing:(config.forensic_dir <> None)
       ~n_objects:sim.n_objects ()
@@ -476,4 +501,5 @@ let run_sim ?(config = default_config) ?(sim = default_sim) () =
     ~expected:(expected ()) fault db;
   absorb_fault_stats outcome fault;
   outcome.repaired_pages <- outcome.repaired_pages + Db.repairs_total db;
+  backend_cleanup config db;
   outcome

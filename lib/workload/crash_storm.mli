@@ -47,6 +47,10 @@ type config = {
           every check round that adds failures writes a
           {!Forensics.write} dump into this directory, keyed by seed and
           crash point; [None] (the default) disables both *)
+  backend_root : string option;
+      (** when set, every storm database runs on the file backend in its
+          own fresh directory under this root (removed again as the
+          iteration ends); [None] (the default) keeps the sim backend *)
 }
 
 val default_config : config

@@ -1,10 +1,10 @@
 open Ariesrh_types
 open Ariesrh_core
 
-let fresh_db ?fault ?(impl = Config.Rh) ?(locking = true) ?log_capacity_bytes
-    ?log_capacity_records ?group_commit ?record_cache ?audit ?tracing
-    ~n_objects () =
-  Db.create ?fault ?tracing
+let fresh_db ?fault ?backend ?(impl = Config.Rh) ?(locking = true)
+    ?log_capacity_bytes ?log_capacity_records ?group_commit ?record_cache
+    ?audit ?tracing ~n_objects () =
+  Db.create ?fault ?backend ?tracing
     (Config.make ~n_objects ~objects_per_page:8
        ~buffer_capacity:(max 4 (n_objects / 32))
        ~impl ~locking ?log_capacity_bytes ?log_capacity_records ?group_commit

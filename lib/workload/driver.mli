@@ -23,6 +23,7 @@ val run_to_crash :
 
 val fresh_db :
   ?fault:Ariesrh_fault.Fault.t ->
+  ?backend:Ariesrh_storage.Backend.t ->
   ?impl:Config.delegation_impl ->
   ?locking:bool ->
   ?log_capacity_bytes:int ->

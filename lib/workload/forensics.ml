@@ -92,6 +92,8 @@ let dump ~kind ~seed ?crash_io ?expected ?(last = 512) ~failures db =
     [
       ("kind", Obs.Json.String kind);
       ("engine", Obs.Json.String (engine_name (Db.config db).Config.impl));
+      ( "backend",
+        Obs.Json.String (Ariesrh_storage.Backend.kind (Db.backend db)) );
       ("seed", Obs.Json.String (Int64.to_string seed));
       ( "crash_io",
         match crash_io with Some k -> Obs.Json.Int k | None -> Obs.Json.Null );

@@ -29,6 +29,7 @@ type config = {
   record_cache : int;
   audit : bool;
   forensic_dir : string option;
+  backend_root : string option;
 }
 
 let default_config =
@@ -55,6 +56,7 @@ let default_config =
     record_cache = Config.default.Config.record_cache;
     audit = true;
     forensic_dir = None;
+    backend_root = None;
   }
 
 type outcome = {
@@ -163,8 +165,16 @@ let run ?(config = default_config) () =
   let outcome = fresh_outcome () in
   let fault = Fault.create ~seed:config.seed () in
   Fault.set_tear_log_on_crash fault true;
+  let backend =
+    match config.backend_root with
+    | None -> Ariesrh_storage.Backend.Sim
+    | Some root ->
+        let dir = Filename.concat root "pressure-storm" in
+        Ariesrh_storage.Backend.remove_tree dir;
+        Ariesrh_storage.Backend.File { dir }
+  in
   let db =
-    Db.create ~fault
+    Db.create ~fault ~backend
       ~tracing:(config.forensic_dir <> None)
       (Config.make ~n_objects:config.n_objects ~objects_per_page:8
          ~buffer_capacity:(max 4 (config.n_objects / 32))
@@ -517,4 +527,9 @@ let run ?(config = default_config) () =
   let ls = Log_store.stats log in
   outcome.reservations <- ls.Ariesrh_wal.Log_stats.reservations;
   outcome.admission_rejects <- ls.Ariesrh_wal.Log_stats.admission_rejects;
+  Db.close db;
+  (match backend with
+  | Ariesrh_storage.Backend.File { dir } ->
+      Ariesrh_storage.Backend.remove_tree dir
+  | Ariesrh_storage.Backend.Sim -> ());
   outcome

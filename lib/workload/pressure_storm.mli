@@ -69,6 +69,10 @@ type config = {
           and every check round that adds failures writes a
           {!Forensics.write} dump into this directory; [None] (the
           default) disables both *)
+  backend_root : string option;
+      (** when set, the storm database runs on the file backend in a
+          fresh directory under this root (removed again when the storm
+          ends); [None] (the default) keeps the sim backend *)
 }
 
 val default_config : config

@@ -12,8 +12,8 @@ let xid = Xid.of_int
 let oid = Oid.of_int
 let lsn = Lsn.of_int
 
-let mk ?fault ?(impl = Config.Rh) ?(buffer_capacity = 8) () =
-  Db.create ?fault
+let mk ?fault ?backend ?(impl = Config.Rh) ?(buffer_capacity = 8) () =
+  Db.create ?fault ?backend
     (Config.make ~n_objects:64 ~objects_per_page:4 ~buffer_capacity ~impl
        ~locking:true ())
 
@@ -60,9 +60,9 @@ let append_updates log n =
                })))
   done
 
-let tail_tear_amputates () =
+let tail_tear_amputates backend () =
   let fault = Fault.create ~seed:3L () in
-  let log = Log_store.create ~fault () in
+  let log = Log_store.create ~fault ~backend:(backend "fault-wal") () in
   append_updates log 3;
   Log_store.flush log ~upto:(lsn 3);
   append_updates log 1;
@@ -143,9 +143,9 @@ let truncate_with_unflushed_tail () =
 
 (* --- torn data pages: detect by checksum, repair on demand --------- *)
 
-let torn_page_repaired_on_fetch () =
+let torn_page_repaired_on_fetch backend () =
   let fault = Fault.create ~seed:11L () in
-  let db = mk ~fault ~buffer_capacity:4 () in
+  let db = mk ~fault ~backend:(backend "fault-torn") ~buffer_capacity:4 () in
   Fault.set_tear_data_every fault 1;
   let t = Db.begin_txn db in
   for i = 0 to 15 do
@@ -188,9 +188,9 @@ let obliteration_script db fault ~tear =
   Db.crash db;
   (t1, Db.recover db)
 
-let corrupt_tail_obliterates_commit () =
+let corrupt_tail_obliterates_commit backend () =
   let fault = Fault.create ~seed:5L () in
-  let db = mk ~fault () in
+  let db = mk ~fault ~backend:(backend "fault-obl") () in
   let t1, report = obliteration_script db fault ~tear:true in
   Alcotest.(check bool) "commit record amputated" true
     (Log_store.amputated_total (Db.log_store db) > 0);
@@ -199,9 +199,9 @@ let corrupt_tail_obliterates_commit () =
   Alcotest.(check int) "delegated update obliterated" 0
     (Db.peek db (oid 0))
 
-let intact_tail_preserves_commit () =
+let intact_tail_preserves_commit backend () =
   let fault = Fault.create ~seed:5L () in
-  let db = mk ~fault () in
+  let db = mk ~fault ~backend:(backend "fault-keep") () in
   let t1, report = obliteration_script db fault ~tear:false in
   Alcotest.(check int) "nothing amputated" 0
     (Log_store.amputated_total (Db.log_store db));
@@ -253,22 +253,33 @@ let storm_any_seed =
       let outcome = Crash_storm.run_script ~config ~impl spec in
       Crash_storm.ok outcome)
 
+let per_backend =
+  List.concat_map
+    (fun (bname, backend) ->
+      List.map
+        (fun (name, f) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s [%s]" name bname)
+            `Quick (f backend))
+        [
+          ("torn log tail is amputated", tail_tear_amputates);
+          ("torn pages repaired on fetch", torn_page_repaired_on_fetch);
+          ("corrupt tail obliterates delegated commit",
+           corrupt_tail_obliterates_commit);
+          ("intact tail preserves delegated commit",
+           intact_tail_preserves_commit);
+        ])
+    Test_backend.backends
+
 let suite =
   [
     Alcotest.test_case "decode surfaces typed errors" `Quick
       decode_typed_errors;
-    Alcotest.test_case "torn log tail is amputated" `Quick
-      tail_tear_amputates;
     Alcotest.test_case "truncate then crash" `Quick truncate_then_crash;
     Alcotest.test_case "truncate with unflushed tail" `Quick
       truncate_with_unflushed_tail;
-    Alcotest.test_case "torn pages repaired on fetch" `Quick
-      torn_page_repaired_on_fetch;
-    Alcotest.test_case "corrupt tail obliterates delegated commit" `Quick
-      corrupt_tail_obliterates_commit;
-    Alcotest.test_case "intact tail preserves delegated commit" `Quick
-      intact_tail_preserves_commit;
     Alcotest.test_case "scripted crash storm" `Quick scripted_storm_clean;
     Alcotest.test_case "sim crash storm" `Quick sim_storm_clean;
     QCheck_alcotest.to_alcotest storm_any_seed;
   ]
+  @ per_backend

@@ -5,6 +5,7 @@ let () =
       ("small", Test_small.suite);
       ("wal", Test_wal.suite);
       ("storage", Test_storage.suite);
+      ("backend", Test_backend.suite);
       ("lock", Test_lock.suite);
       ("txn", Test_txn.suite);
       ("recovery", Test_recovery.suite);

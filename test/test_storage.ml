@@ -1,5 +1,6 @@
-(* Pages, simulated disk, and the buffer pool's STEAL/NO-FORCE + WAL
-   discipline. *)
+(* Pages, the disk (simulated or file-backed), and the buffer pool's
+   STEAL/NO-FORCE + WAL discipline. Disk and pool behaviour must be
+   identical on both backends, so every test below runs on each. *)
 
 open Ariesrh_types
 open Ariesrh_storage
@@ -19,8 +20,13 @@ let page_basics () =
   Page.set p 2 1;
   Alcotest.(check int) "copy is independent" 99 (Page.get q 2)
 
-let disk_copies () =
-  let d = Disk.create ~pages:2 ~slots_per_page:4 () in
+(* Each case gets a fresh disk on the backend under test (a new scratch
+   directory per call for the file backend). *)
+let mk_disk backend ~pages ~slots_per_page =
+  Disk.create ~backend:(backend "storage") ~pages ~slots_per_page ()
+
+let disk_copies backend () =
+  let d = mk_disk backend ~pages:2 ~slots_per_page:4 in
   let p = Disk.read_page d (pid 0) in
   Page.set p 0 7;
   Alcotest.(check int) "disk unaffected by mutating a read copy" 0
@@ -30,10 +36,11 @@ let disk_copies () =
   Alcotest.(check int) "disk stores a copy" 7
     (Page.get (Disk.read_page d (pid 0)) 0);
   Alcotest.(check int) "reads counted" 3 (Disk.stats d).page_reads;
-  Alcotest.(check int) "writes counted" 1 (Disk.stats d).page_writes
+  Alcotest.(check int) "writes counted" 1 (Disk.stats d).page_writes;
+  Disk.close d
 
-let pool_eviction_writes_back () =
-  let d = Disk.create ~pages:8 ~slots_per_page:2 () in
+let pool_eviction_writes_back backend () =
+  let d = mk_disk backend ~pages:8 ~slots_per_page:2 in
   let flushed = ref [] in
   let pool =
     Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun l ->
@@ -47,10 +54,11 @@ let pool_eviction_writes_back () =
     (Page.get (Disk.read_page d (pid 0)) 0);
   Alcotest.(check bool) "WAL rule: log flushed up to page lsn first" true
     (List.mem 10 !flushed);
-  Alcotest.(check int) "one eviction" 1 (Buffer_pool.evictions pool)
+  Alcotest.(check int) "one eviction" 1 (Buffer_pool.evictions pool);
+  Disk.close d
 
-let pool_dirty_page_table () =
-  let d = Disk.create ~pages:4 ~slots_per_page:2 () in
+let pool_dirty_page_table backend () =
+  let d = mk_disk backend ~pages:4 ~slots_per_page:2 in
   let pool = Buffer_pool.create ~capacity:4 ~disk:d ~wal_flush:(fun _ -> ()) () in
   Buffer_pool.apply pool (pid 1) ~lsn:(lsn 5) (fun p -> Page.set p 0 1);
   Buffer_pool.apply pool (pid 1) ~lsn:(lsn 9) (fun p -> Page.set p 1 2);
@@ -60,10 +68,11 @@ let pool_dirty_page_table () =
   Alcotest.(check int) "recLSN is the first dirtying lsn" 5 (Lsn.to_int rec_lsn);
   Buffer_pool.flush_all pool;
   Alcotest.(check int) "clean after flush_all" 0
-    (List.length (Buffer_pool.dirty_page_table pool))
+    (List.length (Buffer_pool.dirty_page_table pool));
+  Disk.close d
 
-let pool_apply_if_newer () =
-  let d = Disk.create ~pages:2 ~slots_per_page:2 () in
+let pool_apply_if_newer backend () =
+  let d = mk_disk backend ~pages:2 ~slots_per_page:2 in
   let pool = Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun _ -> ()) () in
   Alcotest.(check bool) "applies on fresh page" true
     (Buffer_pool.apply_if_newer pool (pid 0) ~lsn:(lsn 5) (fun p -> Page.set p 0 1));
@@ -72,33 +81,44 @@ let pool_apply_if_newer () =
   Alcotest.(check bool) "skips equal lsn" false
     (Buffer_pool.apply_if_newer pool (pid 0) ~lsn:(lsn 5) (fun p -> Page.set p 0 9));
   Alcotest.(check int) "value from the applied update" 1
-    (Buffer_pool.read_object pool (pid 0) ~slot:0)
+    (Buffer_pool.read_object pool (pid 0) ~slot:0);
+  Disk.close d
 
-let pool_crash_loses_dirty () =
-  let d = Disk.create ~pages:2 ~slots_per_page:2 () in
+let pool_crash_loses_dirty backend () =
+  let d = mk_disk backend ~pages:2 ~slots_per_page:2 in
   let pool = Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun _ -> ()) () in
   Buffer_pool.apply pool (pid 0) ~lsn:(lsn 3) (fun p -> Page.set p 0 77);
   Buffer_pool.crash pool;
   Alcotest.(check int) "dirty update lost" 0
-    (Buffer_pool.read_object pool (pid 0) ~slot:0)
+    (Buffer_pool.read_object pool (pid 0) ~slot:0);
+  Disk.close d
 
-let pool_hit_miss_accounting () =
-  let d = Disk.create ~pages:4 ~slots_per_page:2 () in
+let pool_hit_miss_accounting backend () =
+  let d = mk_disk backend ~pages:4 ~slots_per_page:2 in
   let pool = Buffer_pool.create ~capacity:2 ~disk:d ~wal_flush:(fun _ -> ()) () in
   ignore (Buffer_pool.read_object pool (pid 0) ~slot:0);
   ignore (Buffer_pool.read_object pool (pid 0) ~slot:1);
   ignore (Buffer_pool.read_object pool (pid 1) ~slot:0);
   Alcotest.(check int) "misses" 2 (Buffer_pool.misses pool);
-  Alcotest.(check int) "hits" 1 (Buffer_pool.hits pool)
+  Alcotest.(check int) "hits" 1 (Buffer_pool.hits pool);
+  Disk.close d
 
 let suite =
-  [
-    Alcotest.test_case "page basics" `Quick page_basics;
-    Alcotest.test_case "disk copies" `Quick disk_copies;
-    Alcotest.test_case "pool eviction writes back (STEAL + WAL)" `Quick
-      pool_eviction_writes_back;
-    Alcotest.test_case "pool dirty page table" `Quick pool_dirty_page_table;
-    Alcotest.test_case "pool apply_if_newer (redo test)" `Quick pool_apply_if_newer;
-    Alcotest.test_case "pool crash loses dirty pages" `Quick pool_crash_loses_dirty;
-    Alcotest.test_case "pool hit/miss accounting" `Quick pool_hit_miss_accounting;
-  ]
+  Alcotest.test_case "page basics" `Quick page_basics
+  :: List.concat_map
+       (fun (bname, backend) ->
+         List.map
+           (fun (name, f) ->
+             Alcotest.test_case
+               (Printf.sprintf "%s [%s]" name bname)
+               `Quick (f backend))
+           [
+             ("disk copies", disk_copies);
+             ("pool eviction writes back (STEAL + WAL)",
+              pool_eviction_writes_back);
+             ("pool dirty page table", pool_dirty_page_table);
+             ("pool apply_if_newer (redo test)", pool_apply_if_newer);
+             ("pool crash loses dirty pages", pool_crash_loses_dirty);
+             ("pool hit/miss accounting", pool_hit_miss_accounting);
+           ])
+       Test_backend.backends
