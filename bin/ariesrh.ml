@@ -692,6 +692,343 @@ let pressure_storm_cmd =
       $ capacity $ crash_every $ depth $ rate $ impl $ group_commit
       $ record_cache $ audit $ forensic_dir)
 
+(* --- media ops: backup / restore / scrub / media-storm --- *)
+
+module Archive = Ariesrh_storage.Archive
+
+let impl_of_tag = function
+  | 0 -> Config.Rh
+  | 1 -> Config.Eager
+  | 2 -> Config.Lazy
+  | t -> failwith (Printf.sprintf "archive manifest: unknown engine tag %d" t)
+
+let db_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "db" ] ~docv:"DIR"
+        ~doc:
+          "Directory of an existing file-backed database (as left by any \
+           command run with $(b,--backend file)). Opened in place — the \
+           geometry flags must match the run that created it.")
+
+let archive_dir_arg ~doc =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "archive" ] ~docv:"DIR" ~doc)
+
+let media_geometry =
+  let objects =
+    Arg.(value & opt int 128
+         & info [ "objects" ] ~doc:"Number of objects (must match the db).")
+  in
+  let opp =
+    Arg.(value & opt int Config.default.Config.objects_per_page
+         & info [ "objects-per-page" ]
+             ~doc:"Objects per page (must match the db).")
+  in
+  let impl =
+    Arg.(value & opt impl_conv Config.Rh
+         & info [ "engine" ] ~doc:"Engine: rh, eager, or lazy.")
+  in
+  (objects, opp, impl)
+
+(* Open an existing database directory in place — never through the
+   backend factory, whose job is handing out {e fresh} scratch dirs. *)
+let reopen_db ~dir ~objects ~objects_per_page ~impl =
+  Db.set_backend_factory None;
+  if not (Sys.file_exists dir) then
+    failwith (Printf.sprintf "no database directory at %s" dir);
+  Db.create
+    ~backend:(Backend.File { dir })
+    (Config.make ~n_objects:objects ~objects_per_page ~impl ())
+
+let backup_cmd =
+  let objects, opp, impl = media_geometry in
+  let archive =
+    archive_dir_arg
+      ~doc:
+        "Archive directory to create or extend: checksummed page-image \
+         snapshot, manifest with the backup LSN, and the continuous WAL \
+         copy."
+  in
+  let run obs db_dir archive_dir objects opp impl =
+    (try
+       let db = reopen_db ~dir:db_dir ~objects ~objects_per_page:opp ~impl in
+       ignore (Db.recover db);
+       ignore (Db.attach_archive ~dir:archive_dir db);
+       let upto = Db.backup_to_archive db in
+       Format.printf
+         "{\"archive\": \"%s\", \"complete_upto\": %d, \"pages\": %d, \
+          \"archived_records\": %d}@."
+         archive_dir
+         (Ariesrh_types.Lsn.to_int upto)
+         (Config.pages_needed (Db.config db))
+         (Db.archived_upto db);
+       Db.close db
+     with e ->
+       Format.eprintf "backup failed: %a@." Errors.pp_exn e;
+       finish obs;
+       exit 1);
+    finish obs
+  in
+  Cmd.v
+    (Cmd.info "backup"
+       ~doc:
+         "Take a durable archive backup of a file-backed database: full \
+          page-image snapshot plus a caught-up continuous WAL copy, each \
+          independently checksummed. The archive alone supports a cold \
+          $(b,ariesrh restore) after total media loss.")
+    Term.(const run $ obs_term $ db_dir_arg $ archive $ objects $ opp $ impl)
+
+let restore_cmd =
+  let archive =
+    archive_dir_arg
+      ~doc:"Archive directory to restore from (cold open: geometry and \
+            engine come from its manifest)."
+  in
+  let db_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~docv:"DIR"
+          ~doc:
+            "Restore into a file-backed database at $(docv) (fresh; \
+             refused if it already exists). Default: restore in memory \
+             and verify only.")
+  in
+  let run obs archive_dir db_dir =
+    (try
+       let a = Archive.open_dir archive_dir in
+       let g = Archive.geometry a in
+       let backend =
+         match db_dir with
+         | None -> Backend.Sim
+         | Some d ->
+             if Sys.file_exists d then
+               failwith (Printf.sprintf "refusing to restore over %s" d);
+             Backend.File { dir = d }
+       in
+       Db.set_backend_factory None;
+       let db =
+         Db.create ~backend
+           (Config.make ~n_objects:g.Archive.n_objects
+              ~objects_per_page:g.Archive.objects_per_page
+              ~impl:(impl_of_tag g.Archive.impl_tag) ())
+       in
+       let report = Db.restore_from_archive db a in
+       let violations = Db.audit db in
+       let valid =
+         match Db.validate db with Ok () -> true | Error _ -> false
+       in
+       Format.printf
+         "{\"archive\": \"%s\", \"engine\": \"%s\", \"objects\": %d, \
+          \"redo_applied\": %d, \"valid\": %b, \"audit_violations\": %d%s}@."
+         archive_dir
+         (Forensics.engine_name (impl_of_tag g.Archive.impl_tag))
+         g.Archive.n_objects report.Ariesrh_recovery.Report.redo_applied valid
+         (List.length violations)
+         (match db_dir with
+         | None -> ""
+         | Some d -> Printf.sprintf ", \"db\": \"%s\"" d);
+       List.iter (fun v -> Format.eprintf "audit: %s@." v) violations;
+       Db.close db;
+       if (not valid) || violations <> [] then begin
+         finish obs;
+         exit 1
+       end
+     with e ->
+       Format.eprintf "restore failed: %a@." Errors.pp_exn e;
+       finish obs;
+       exit 1);
+    finish obs
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:
+         "Cold-restore a database from a durable archive after total media \
+          loss: install the snapshot pages and archived WAL, replay history \
+          since the backup LSN, run restart recovery, and verify \
+          (invariants + restart self-audit). Exits nonzero unless the \
+          restored state is fully consistent.")
+    Term.(const run $ obs_term $ archive $ db_dir)
+
+let scrub_cmd =
+  let objects, opp, impl = media_geometry in
+  let archive =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "archive" ] ~docv:"DIR"
+          ~doc:
+            "Attach this archive as a heal source (WAL records, page \
+             images) and include its own files in the sweep.")
+  in
+  let run obs db_dir archive_dir objects opp impl =
+    (try
+       let db = reopen_db ~dir:db_dir ~objects ~objects_per_page:opp ~impl in
+       (match archive_dir with
+       | Some d -> ignore (Db.attach_archive ~dir:d db)
+       | None -> ());
+       (* heal-then-recover: sweep the reopened (crashed) media first so
+          the restart scan never trips over rot, then let the offline
+          torn-page repair and recovery settle the rest *)
+       let pre = Db.scrub db in
+       let torn = Ariesrh_recovery.Repair.torn_pages (Db.env db) in
+       ignore (Db.recover db);
+       let post = Db.scrub db in
+       let quarantined = Db.quarantined db in
+       Format.printf
+         "{\"checked\": %d, \"corrupt\": %d, \"healed\": %d, \
+          \"torn_pages_repaired\": %d, \"unhealable\": %d, \
+          \"quarantined\": [%s]}@."
+         (pre.Db.checked + post.Db.checked)
+         (pre.Db.corrupt + post.Db.corrupt)
+         (pre.Db.healed + post.Db.healed)
+         torn
+         (List.length quarantined)
+         (String.concat ", "
+            (List.map
+               (fun (t, i) -> Printf.sprintf "{\"media\": \"%s\", \"id\": %d}" t i)
+               quarantined));
+       Db.close db;
+       if quarantined <> [] then begin
+         finish obs;
+         exit 1
+       end
+     with e ->
+       Format.eprintf "scrub failed: %a@." Errors.pp_exn e;
+       finish obs;
+       exit 1);
+    finish obs
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Offline integrity sweep of a file-backed database: verify every \
+          page (main and doublewrite shadow), every durable WAL record, and \
+          the attached archive's files; heal what has an intact redundant \
+          source. JSON summary on stdout; exits nonzero if anything stays \
+          quarantined.")
+    Term.(const run $ obs_term $ db_dir_arg $ archive $ objects $ opp $ impl)
+
+let media_storm_cmd =
+  let seeds =
+    Arg.(value & opt int 3
+         & info [ "seeds" ] ~doc:"Number of storms (distinct seeds).")
+  in
+  let seed0 =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First storm seed.")
+  in
+  let rounds =
+    Arg.(value & opt int Media_storm.default_config.Media_storm.rounds
+         & info [ "rounds" ] ~doc:"Corruption/crash rounds per storm.")
+  in
+  let steps =
+    Arg.(value & opt int Media_storm.default_config.Media_storm.steps_per_round
+         & info [ "steps" ] ~doc:"Workload steps per round.")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Concurrent clients.")
+  in
+  let objects =
+    Arg.(value & opt int Media_storm.default_config.Media_storm.n_objects
+         & info [ "objects" ] ~doc:"Number of objects.")
+  in
+  let rate =
+    Arg.(value & opt float 0.2
+         & info [ "delegation-rate" ] ~doc:"Delegation weight in the mix.")
+  in
+  let crash_every =
+    Arg.(value & opt int 3
+         & info [ "crash-every-rounds" ]
+             ~doc:"Arm a crash every n-th round (0 = never).")
+  in
+  let scrub_batch =
+    Arg.(value & opt int 8
+         & info [ "scrub-batch" ]
+             ~doc:"Incremental scrubber batch riding the workload.")
+  in
+  let group_commit =
+    Arg.(value & opt int 0
+         & info [ "group-commit" ]
+             ~doc:"Batch commit log forces in groups of this size (0 = force \
+                   each commit).")
+  in
+  let audit =
+    Arg.(value & opt bool true
+         & info [ "audit" ]
+             ~doc:"Run the restart self-audit after every recovery; \
+                   violations fail the storm.")
+  in
+  let archive_dir =
+    Arg.(value & opt (some string) None
+         & info [ "archive-dir" ] ~docv:"DIR"
+             ~doc:
+               "Mirror each storm's archive to disk under $(docv) and \
+                cold-open it for the final restore. Default: in-memory \
+                archive.")
+  in
+  let impl =
+    Arg.(value & opt (some impl_conv) None
+         & info [ "engine" ]
+             ~doc:"Engine: rh, eager, or lazy. Default: all three.")
+  in
+  let forensic_dir =
+    Arg.(value & opt string "."
+         & info [ "forensic-dir" ] ~docv:"DIR"
+             ~doc:"Directory for forensic failure dumps (event trail, \
+                   per-mismatch lineage, metrics); $(b,none) disables them.")
+  in
+  let run obs sel seeds seed0 rounds steps clients objects rate crash_every
+      scrub_batch group_commit audit archive_dir impl forensic_dir =
+    let engines =
+      match impl with
+      | Some i -> [ i ]
+      | None -> [ Config.Rh; Config.Eager; Config.Lazy ]
+    in
+    let config =
+      { Media_storm.default_config with
+        Media_storm.seed = Int64.of_int seed0;
+        rounds;
+        steps_per_round = steps;
+        clients;
+        n_objects = objects;
+        p_delegate = rate;
+        crash_every_rounds = crash_every;
+        scrub_batch;
+        group_commit;
+        audit;
+        backend_root = sel.backend_root;
+        archive_root = archive_dir;
+        forensic_dir =
+          (if forensic_dir = "none" then None else Some forensic_dir) }
+    in
+    let failed = ref false in
+    List.iter
+      (fun impl ->
+        let o = Media_storm.run_seeds ~config ~impl ~seeds () in
+        Format.printf "%s media storm (%d seeds):@.  %a@.@."
+          (Forensics.engine_name impl) seeds Media_storm.pp_outcome o;
+        if not (Media_storm.ok o) then failed := true)
+      engines;
+    finish obs;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "media-storm"
+       ~doc:
+         "Silent-corruption storms: seeded bit-rot, lost and misdirected \
+          writes, and archive rot interleaved with crashes while the \
+          scrubber heals from shadows, the archive and the live log; every \
+          round is checked against the oracle and the final phase proves a \
+          cold restore after total media loss.")
+    Term.(
+      const run $ obs_term $ backend_term $ seeds $ seed0 $ rounds $ steps
+      $ clients $ objects $ rate $ crash_every $ scrub_batch $ group_commit
+      $ audit $ archive_dir $ impl $ forensic_dir)
+
 (* --- metrics --- *)
 
 let metrics_cmd =
@@ -746,6 +1083,7 @@ let main =
     (Cmd.info "ariesrh" ~version:"1.0.0"
        ~doc:"Delegation by efficiently rewriting history (ARIES/RH)")
     [ figures_cmd; run_cmd; compare_cmd; sim_cmd; history_cmd; storm_cmd;
-      pressure_storm_cmd; metrics_cmd ]
+      pressure_storm_cmd; backup_cmd; restore_cmd; scrub_cmd;
+      media_storm_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval main)

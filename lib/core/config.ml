@@ -16,6 +16,10 @@ type t = {
   record_cache : int;
   audit : bool;
   rewrite_retries : int;
+  max_archive_lag : int;
+      (* with continuous WAL archiving attached: how many durable records
+         the live log may run ahead of the archive before admission
+         raises [Archive_lagging]. 0 = no backpressure. *)
 }
 
 let default =
@@ -33,6 +37,7 @@ let default =
     record_cache = 8192;
     audit = false;
     rewrite_retries = 2;
+    max_archive_lag = 0;
   }
 
 let make ?(n_objects = default.n_objects)
@@ -43,7 +48,8 @@ let make ?(n_objects = default.n_objects)
     ?log_capacity_bytes ?log_capacity_records
     ?(group_commit = default.group_commit)
     ?(record_cache = default.record_cache) ?(audit = default.audit)
-    ?(rewrite_retries = default.rewrite_retries) () =
+    ?(rewrite_retries = default.rewrite_retries)
+    ?(max_archive_lag = default.max_archive_lag) () =
   {
     n_objects;
     objects_per_page;
@@ -58,6 +64,7 @@ let make ?(n_objects = default.n_objects)
     record_cache;
     audit;
     rewrite_retries;
+    max_archive_lag;
   }
 
 let pages_needed t = (t.n_objects + t.objects_per_page - 1) / t.objects_per_page
@@ -83,4 +90,6 @@ let validate t =
   if t.record_cache < 0 then
     invalid_arg "Config: record_cache must be non-negative";
   if t.rewrite_retries < 0 then
-    invalid_arg "Config: rewrite_retries must be non-negative"
+    invalid_arg "Config: rewrite_retries must be non-negative";
+  if t.max_archive_lag < 0 then
+    invalid_arg "Config: max_archive_lag must be non-negative"

@@ -42,6 +42,11 @@ type t = {
       (** eager delegation: attempts to secure log space for the rewrite
           surgery (with a checkpoint+truncate between attempts) before
           falling back to a logical delegate record (default [2]) *)
+  max_archive_lag : int;
+      (** with continuous WAL archiving attached: how many durable
+          records the live log may run ahead of the archive before
+          admission raises [Errors.Archive_lagging]. [0] (default) =
+          no backpressure *)
 }
 
 val default : t
@@ -62,6 +67,7 @@ val make :
   ?record_cache:int ->
   ?audit:bool ->
   ?rewrite_retries:int ->
+  ?max_archive_lag:int ->
   unit ->
   t
 

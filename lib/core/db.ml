@@ -34,6 +34,17 @@ type db_stats = {
   mutable group_flushes : int;  (* shared forces closing a full group *)
 }
 
+(* Media-integrity tallies: what the scrubber checked, what it found,
+   what it could and could not put back. *)
+type media_stats = {
+  mutable scrub_passes : int;
+  mutable scrub_checked : int;
+  mutable scrub_corrupt : int;
+  mutable media_heals : int;
+  mutable scrub_unhealable : int;
+  mutable archived_records : int;  (* WAL records copied into the archive *)
+}
+
 type t = {
   config : Config.t;
   fault : Fault.t;
@@ -61,6 +72,16 @@ type t = {
      longer purely physical. Rollback switches to scope-based undo and
      the next restart heals the log via the lazy recovery path. *)
   mutable degraded : bool;
+  (* Media resilience: the durable archive (page snapshot + continuous
+     WAL copy) this database feeds, if any. Survives [crash] — the
+     archive models separate media. [backup_pin] keeps truncation from
+     reclaiming log an in-memory [backup] still needs for media replay;
+     [quarantined] lists corruption the scrubber found but could not
+     heal from any source. *)
+  mutable archive : Archive.t option;
+  mutable backup_pin : Lsn.t;
+  mutable quarantined : (string * int) list;
+  media : media_stats;
   env : Env.t;
   ring : Obs.Ring.t;
   metrics : Obs.Metrics.t Lazy.t;
@@ -142,6 +163,16 @@ let create ?(fault = Fault.none ()) ?backend ?(tracing = false)
        (fun kind site ->
          Obs.Ring.emit ring (Obs.Event.Fault { kind; site })));
   let env = Env.make ~ring ~log ~pool ~place:(place_of config) () in
+  let media =
+    {
+      scrub_passes = 0;
+      scrub_checked = 0;
+      scrub_corrupt = 0;
+      media_heals = 0;
+      scrub_unhealable = 0;
+      archived_records = 0;
+    }
+  in
   (* A torn page found by any fetch is repaired in place: restore the
      before-image and replay the log for that page. *)
   Buffer_pool.set_repair pool (fun pid shadow -> Repair.page env pid shadow);
@@ -204,6 +235,18 @@ let create ?(fault = Fault.none ()) ?backend ?(tracing = false)
          "ariesrh_audit_runs_total" (fun () -> env.Env.audit_runs);
        M.counter metrics ~help:"restart self-audit passes that failed"
          "ariesrh_audit_failures_total" (fun () -> env.Env.audit_failures);
+       M.counter metrics ~help:"scrub sweeps completed"
+         "ariesrh_scrub_passes_total" (fun () -> media.scrub_passes);
+       M.counter metrics ~help:"objects checked by the scrubber"
+         "ariesrh_scrub_checked_total" (fun () -> media.scrub_checked);
+       M.counter metrics ~help:"corrupt objects found by the scrubber"
+         "ariesrh_scrub_corrupt_total" (fun () -> media.scrub_corrupt);
+       M.counter metrics ~help:"corrupt objects healed from a redundant copy"
+         "ariesrh_media_heals_total" (fun () -> media.media_heals);
+       M.counter metrics ~help:"corrupt objects with no intact source"
+         "ariesrh_scrub_unhealable_total" (fun () -> media.scrub_unhealable);
+       M.counter metrics ~help:"WAL records copied into the media archive"
+         "ariesrh_wal_archived_total" (fun () -> media.archived_records);
        M.counter metrics ~help:"trace events emitted"
          "ariesrh_trace_events_total" (fun () -> Obs.Ring.total ring);
        M.counter metrics ~help:"trace events lost to ring wraparound"
@@ -228,12 +271,53 @@ let create ?(fault = Fault.none ()) ?backend ?(tracing = false)
       gc_waiters = [];
       on_commit_durable = None;
       degraded = false;
+      archive = None;
+      backup_pin = Lsn.nil;
+      quarantined = [];
+      media;
       env;
       ring;
       metrics;
       stats;
     }
   in
+  (* Silent-corruption injection: when the schedule says rot, pick a
+     victim — a slot of a stored page image, or a durable WAL record —
+     from the injector's own deterministic stream. With an archive
+     attached, WAL rot prefers records the archive has already copied:
+     rot takes time, so it hits cold data, and the model guarantees a
+     heal source exists. The hook runs with the injector disabled, and
+     the corruption primitives never tick the I/O clock, so arming
+     bitrot shifts no crash schedule. *)
+  Fault.set_bitrot_hook fault
+    (Some
+       (fun () ->
+         let npages = Disk.page_count t.disk in
+         let low = Lsn.to_int (Log_store.truncated_below t.log) - 1 in
+         let hi =
+           let durable = Lsn.to_int (Log_store.durable t.log) in
+           match t.archive with
+           | Some a -> min durable (Archive.archived_upto a)
+           | None -> durable
+         in
+         let nwal = max 0 (hi - low) in
+         let k = Fault.rng_int fault (npages + nwal) in
+         if k < npages then
+           Disk.bitrot_main t.disk (Page_id.of_int k)
+             ~slot:(Fault.rng_int fault config.Config.objects_per_page)
+         else Log_store.bitrot_record t.log ~idx:(low + (k - npages))));
+  (* History surgery rewrites records in place; an already-archived copy
+     must follow, or a cold restore resurrects bytes the live log has
+     disowned — e.g. a mid-surgery attribution whose surgery later
+     rolled back. *)
+  Log_store.set_rewrite_hook t.log
+    (Some
+       (fun ~idx s ->
+         match t.archive with
+         | Some a when idx >= Archive.wal_base a && idx < Archive.archived_upto a
+           ->
+             Archive.heal_wal a ~idx s
+         | _ -> ()));
   (match !on_create with None -> () | Some f -> f t);
   t
 
@@ -381,6 +465,18 @@ let permit t ~holder ~grantee =
 let begin_txn t =
   if t.refuse_begins then
     raise (Errors.Overloaded { xid = None; reason = Errors.Begin_refused });
+  (* typed media backpressure: with continuous archiving on, refuse new
+     work once the live log runs too far ahead of the archive — a crash
+     of the archive medium in that window would strand more history than
+     the operator allowed *)
+  (match t.archive with
+  | Some a when t.config.Config.max_archive_lag > 0 ->
+      let durable = Log_store.durable t.log in
+      let archived = Archive.archived_upto a in
+      if Lsn.to_int durable - archived > t.config.Config.max_archive_lag then
+        raise
+          (Errors.Archive_lagging { durable; archived = Lsn.of_int archived })
+  | _ -> ());
   let base = Lazy.force base_cost in
   let xid = Xid.of_int t.next_xid in
   (* admit the Begin record and its resolution reservation atomically:
@@ -669,15 +765,73 @@ let truncation_horizon t =
     !horizon
   end
 
+(* --- continuous WAL archiving --- *)
+
+(* Copy every newly-sealed durable record into the archive. The read
+   side ([Log_store.raw_get]) and the archive append are both outside
+   the fault injector's I/O clock, so archiving never perturbs a crash
+   schedule. Records at or above [Log_store.archive_bound] — scheduled
+   to tear at the next crash — are never archived: the archive must not
+   resurrect bytes a crash amputates. *)
+let archive_catchup t =
+  match t.archive with
+  | None -> 0
+  | Some a ->
+      let bound = Log_store.archive_bound t.log in
+      let start =
+        if Archive.archived_upto a > 0 then Archive.archived_upto a
+        else Lsn.to_int (Log_store.truncated_below t.log) - 1
+      in
+      let n = ref 0 in
+      (try
+         for idx = start to bound - 1 do
+           (* never archive bytes that already fail to decode: after a
+              crash the stable tail may carry an applied tear that
+              restart amputation has not dropped yet, and the archive
+              must not adopt bytes the log is about to disown *)
+           if not (Log_store.record_intact t.log ~idx) then raise Exit;
+           Archive.append_wal a ~idx (Log_store.raw_get t.log ~idx);
+           incr n
+         done
+       with Exit -> ());
+      if !n > 0 then begin
+        Archive.sync a;
+        t.media.archived_records <- t.media.archived_records + !n;
+        if tracing t then
+          Obs.Ring.emit t.ring
+            (Obs.Event.Archive_catchup { upto = Lsn.of_int bound })
+      end;
+      !n
+
+(* The media pin: the first LSN that truncation must retain because the
+   archive has not copied it yet, or because an outstanding in-memory
+   backup needs it for media replay. [Lsn.nil] when unconstrained. *)
+let media_pin t =
+  let archive_pin =
+    match t.archive with
+    | Some a -> Lsn.of_int (Archive.archived_upto a + 1)
+    | None -> Lsn.nil
+  in
+  if Lsn.is_nil archive_pin then t.backup_pin
+  else if Lsn.is_nil t.backup_pin then archive_pin
+  else Lsn.min archive_pin t.backup_pin
+
 let truncate_log t =
   (* settle first: truncation may drop durable commit records, and any
      waiter they belong to must have been notified before its record
      becomes unreadable *)
   settle_group t;
+  (* archive first too, so the pin only holds back what genuinely is not
+     yet copied — reclamation must never strand a restore *)
+  ignore (archive_catchup t);
   let horizon = truncation_horizon t in
   if Lsn.is_nil horizon then 0
   else begin
     let below = Lsn.min horizon (Log_store.durable t.log) in
+    let below =
+      let pin = media_pin t in
+      if Lsn.is_nil pin then below else Lsn.min below pin
+    in
     let reclaimed = Log_store.truncate t.log ~below in
     if reclaimed > 0 && tracing t then
       Obs.Ring.emit t.ring (Obs.Event.Truncate { below; reclaimed });
@@ -974,6 +1128,16 @@ let crash t =
 
 (* --- media recovery --- *)
 
+(* Heal one page (shadow or snapshot base + page-LSN-conditioned WAL
+   replay) with the fault injector parked: integrity maintenance must
+   never shift a crash or corruption schedule. *)
+let repair_quiet t pid base =
+  let was = Fault.enabled t.fault in
+  Fault.set_enabled t.fault false;
+  Fun.protect
+    ~finally:(fun () -> Fault.set_enabled t.fault was)
+    (fun () -> ignore (Repair.page t.env pid base))
+
 type backup = { pages : Page.t array; complete_upto : Lsn.t }
 
 let backup t =
@@ -981,12 +1145,33 @@ let backup t =
   Log_store.flush t.log ~upto:(Log_store.head t.log);
   settle_group t;
   Buffer_pool.flush_all t.pool;
-  {
-    pages =
-      Array.init (Disk.page_count t.disk) (fun i ->
-          Disk.read_page t.disk (Page_id.of_int i));
-    complete_upto = Log_store.durable t.log;
-  }
+  let b =
+    {
+      pages =
+        Array.init (Disk.page_count t.disk) (fun i ->
+            (* checked: a backup taken from a torn or stale (lost-write)
+               main image would bake the corruption into the snapshot —
+               heal first, then copy *)
+            let pid = Page_id.of_int i in
+            match Disk.read_page_checked t.disk pid with
+            | Ok p -> p
+            | Error shadow ->
+                repair_quiet t pid shadow;
+                Disk.peek_main t.disk pid);
+      complete_upto = Log_store.durable t.log;
+    }
+  in
+  (* media replay needs the log from the backup point forward: pin it so
+     the governor cannot reclaim it out from under [restore_media]. The
+     caller releases the pin ([release_backup_pin]) when it discards the
+     backup. *)
+  let pin = Lsn.next b.complete_upto in
+  t.backup_pin <-
+    (if Lsn.is_nil t.backup_pin then pin else Lsn.min t.backup_pin pin);
+  b
+
+let release_backup_pin t = t.backup_pin <- Lsn.nil
+let backup_pin t = t.backup_pin
 
 let media_failure t =
   if tracing t then
@@ -1076,6 +1261,371 @@ let restore_media t (b : backup) =
       | Record.Clr { upd; _ } -> ignore (Apply.redo t.env lsn upd)
       | _ -> ());
   recover t
+
+(* --- the media archive: attach, backup, cold restore --- *)
+
+let impl_tag_of = function
+  | Config.Rh -> 0
+  | Config.Eager -> 1
+  | Config.Lazy -> 2
+
+let archive t = t.archive
+
+let set_archive t a =
+  (match t.archive with
+  | Some _ -> invalid_arg "Db.set_archive: an archive is already attached"
+  | None -> ());
+  let g = Archive.geometry a in
+  if
+    g.Archive.n_objects <> t.config.Config.n_objects
+    || g.Archive.objects_per_page <> t.config.Config.objects_per_page
+  then invalid_arg "Db.set_archive: archive geometry does not match";
+  t.archive <- Some a;
+  ignore (archive_catchup t)
+
+let attach_archive ?dir t =
+  let a =
+    Archive.create ?dir ~n_objects:t.config.Config.n_objects
+      ~objects_per_page:t.config.Config.objects_per_page
+      ~impl_tag:(impl_tag_of t.config.Config.impl) ()
+  in
+  set_archive t a;
+  a
+
+let archived_upto t =
+  match t.archive with None -> 0 | Some a -> Archive.archived_upto a
+
+(* Full durable backup into the archive: page snapshot plus WAL catchup.
+   After this, the archive alone can rebuild the exact committed state
+   ([restore_from_archive]) — no in-memory pin needed. *)
+let backup_to_archive t =
+  match t.archive with
+  | None -> invalid_arg "Db.backup_to_archive: no archive attached"
+  | Some a ->
+      Log_store.flush t.log ~upto:(Log_store.head t.log);
+      settle_group t;
+      Buffer_pool.flush_all t.pool;
+      Disk.sync t.disk;
+      let pages =
+        Array.init (Disk.page_count t.disk) (fun i ->
+            Disk.peek_main t.disk (Page_id.of_int i))
+      in
+      let complete_upto = Log_store.durable t.log in
+      Archive.put_snapshot a ~pages ~complete_upto
+        ~master:(Log_store.master t.log);
+      ignore (archive_catchup t);
+      complete_upto
+
+(* Cold restore after total media loss: install the snapshot pages and
+   the archived WAL into a {e fresh, empty} database of the same
+   geometry, replay history since the snapshot (page-LSN conditioned),
+   and run ordinary restart recovery to settle in-flight transactions.
+   The database comes out exactly as a reopen after that history. *)
+let restore_from_archive t a =
+  if Log_store.length t.log > 0 then
+    invalid_arg "Db.restore_from_archive: database is not empty";
+  let g = Archive.geometry a in
+  if
+    g.Archive.n_objects <> t.config.Config.n_objects
+    || g.Archive.objects_per_page <> t.config.Config.objects_per_page
+  then invalid_arg "Db.restore_from_archive: archive geometry does not match";
+  let s =
+    match Archive.snapshot a with
+    | Some s -> s
+    | None ->
+        raise
+          (Archive.Archive_corrupt
+             { path = "archive"; what = "no page snapshot to restore from" })
+  in
+  t.gc_waiters <- [];
+  Buffer_pool.crash t.pool;
+  Array.iteri
+    (fun i p -> Disk.install_page t.disk (Page_id.of_int i) (Page.copy p))
+    s.Archive.pages;
+  let base = Archive.wal_base a in
+  let frames = Array.make (Archive.archived_upto a - base) "" in
+  Archive.iter_wal a (fun ~idx enc -> frames.(idx - base) <- enc);
+  Log_store.install_archive t.log ~low:base
+    ~master:(Lsn.to_int s.Archive.master)
+    frames;
+  let from =
+    Lsn.max (Lsn.next s.Archive.complete_upto) (Log_store.truncated_below t.log)
+  in
+  Log_store.iter_forward t.log ~from (fun lsn record ->
+      match record.Record.body with
+      | Record.Update u -> ignore (Apply.redo t.env lsn u)
+      | Record.Clr { upd; _ } -> ignore (Apply.redo t.env lsn upd)
+      | _ -> ());
+  let report = recover t in
+  t.archive <- Some a;
+  report
+
+(* --- the scrubber: detect, quarantine, heal --- *)
+
+type scrub_outcome = {
+  checked : int;
+  corrupt : int;
+  healed : int;
+  unhealable : int;
+}
+
+let zero_outcome = { checked = 0; corrupt = 0; healed = 0; unhealable = 0 }
+
+let add_outcome a b =
+  {
+    checked = a.checked + b.checked;
+    corrupt = a.corrupt + b.corrupt;
+    healed = a.healed + b.healed;
+    unhealable = a.unhealable + b.unhealable;
+  }
+
+let quarantined t = List.rev t.quarantined
+
+let note_quarantine t ~target ~id =
+  t.media.scrub_corrupt <- t.media.scrub_corrupt + 1;
+  if tracing t then Obs.Ring.emit t.ring (Obs.Event.Quarantine { target; id })
+
+let note_heal t ~target ~id ~how =
+  t.media.media_heals <- t.media.media_heals + 1;
+  t.quarantined <- List.filter (fun q -> q <> (target, id)) t.quarantined;
+  if tracing t then
+    Obs.Ring.emit t.ring (Obs.Event.Media_heal { target; id; how })
+
+let note_unhealable t ~target ~id =
+  t.media.scrub_unhealable <- t.media.scrub_unhealable + 1;
+  if not (List.mem (target, id) t.quarantined) then
+    t.quarantined <- (target, id) :: t.quarantined
+
+(* Repair [pid] from an intact base image by replaying the durable log
+   (page-LSN conditioned) with the fault injector held off: heal I/O
+   must never shift a crash schedule or tear mid-heal. *)
+(* Bridge a truncated gap from the archived WAL: replay archived records
+   with LSN below the live log's retained start onto [img]. Used when a
+   page must be rebuilt from the (older) archive snapshot. *)
+let replay_archived_gap t a pid img =
+  let low = Lsn.to_int (Log_store.truncated_below t.log) in
+  let spp = t.config.Config.objects_per_page in
+  Archive.iter_wal a (fun ~idx enc ->
+      let lsn = idx + 1 in
+      if lsn < low then
+        match Record.decode enc with
+        | Error _ -> ()
+        | Ok r -> (
+            match r.Record.body with
+            | Record.Update u | Record.Clr { upd = u; _ } ->
+                if
+                  Page_id.to_int u.Record.page = Page_id.to_int pid
+                  && Lsn.(Lsn.of_int lsn > Page.page_lsn img)
+                then begin
+                  let slot = Oid.to_int u.Record.oid mod spp in
+                  (match u.Record.op with
+                  | Record.Add d -> Page.set img slot (Page.get img slot + d)
+                  | Record.Set { after; _ } -> Page.set img slot after);
+                  Page.set_page_lsn img (Lsn.of_int lsn)
+                end
+            | _ -> ()))
+
+(* One page: verify main, shadow, and their agreement. Clean writes
+   update both images together, so two checksum-valid images that differ
+   are the signature of a lost or misdirected write — and in every
+   corrupt case the shadow (always WAL-covered: write-back forces the
+   log first) plus durable replay reconstructs the true current image.
+   Only when both images are dead does the archive snapshot serve as the
+   base, bridging any truncated gap from the archived WAL. *)
+let scrub_page t i =
+  let pid = Page_id.of_int i in
+  let main_ok = Disk.verify_main t.disk pid in
+  let shadow_ok = Disk.verify_shadow t.disk pid in
+  if main_ok && shadow_ok && Disk.main_matches_shadow t.disk pid then
+    { zero_outcome with checked = 1 }
+  else begin
+    note_quarantine t ~target:"page" ~id:i;
+    let healed ~how =
+      note_heal t ~target:"page" ~id:i ~how;
+      { checked = 1; corrupt = 1; healed = 1; unhealable = 0 }
+    in
+    let unhealable () =
+      note_unhealable t ~target:"page" ~id:i;
+      { checked = 1; corrupt = 1; healed = 0; unhealable = 1 }
+    in
+    if main_ok && not shadow_ok then begin
+      (* the shadow itself rotted; main is intact *)
+      Disk.reseal_shadow_from_main t.disk pid;
+      healed ~how:"reseal-shadow"
+    end
+    else if shadow_ok then begin
+      repair_quiet t pid (Disk.shadow_copy t.disk pid);
+      if Disk.verify_main t.disk pid then healed ~how:"shadow-replay"
+      else unhealable ()
+    end
+    else begin
+      match t.archive with
+      | Some a -> (
+          match Archive.snapshot a with
+          | Some s when Page.verify s.Archive.pages.(i) ->
+              let img = Page.copy s.Archive.pages.(i) in
+              replay_archived_gap t a pid img;
+              Page.seal img;
+              Disk.install_page t.disk pid img;
+              repair_quiet t pid img;
+              if Disk.verify_main t.disk pid then healed ~how:"archive-image"
+              else unhealable ()
+          | _ -> unhealable ())
+      | None -> unhealable ()
+    end
+  end
+
+(* One durable WAL record: every record carries its own trailing
+   checksum, so rot anywhere in the payload is caught by a decode. The
+   only source for a heal is the archive's copy. *)
+let scrub_wal_record t idx =
+  if Log_store.record_intact t.log ~idx then { zero_outcome with checked = 1 }
+  else begin
+    let heal_source =
+      match t.archive with
+      | None -> None
+      | Some a -> (
+          match Archive.wal_get a ~idx with
+          | Some enc when Result.is_ok (Record.decode enc) -> Some enc
+          | _ -> None)
+    in
+    match heal_source with
+    | Some enc ->
+        note_quarantine t ~target:"wal" ~id:idx;
+        Log_store.heal_record t.log ~idx enc;
+        note_heal t ~target:"wal" ~id:idx ~how:"archive-frame";
+        { checked = 1; corrupt = 1; healed = 1; unhealable = 0 }
+    | None when idx = Lsn.to_int (Log_store.durable t.log) - 1 ->
+        (* the corrupt record is the very tail of the durable log and no
+           archive copy exists: indistinguishable from a crash-torn
+           flush, which is restart amputation's business, not the
+           scrubber's — leave it to [recover_tail] *)
+        { zero_outcome with checked = 1 }
+    | None ->
+        note_quarantine t ~target:"wal" ~id:idx;
+        note_unhealable t ~target:"wal" ~id:idx;
+        { checked = 1; corrupt = 1; healed = 0; unhealable = 1 }
+  end
+
+let scrub_pages ?(first = 0) ?count t =
+  let n = Disk.page_count t.disk in
+  let first = max 0 (min first n) in
+  let count = match count with None -> n - first | Some c -> min c (n - first) in
+  let out = ref zero_outcome in
+  for i = first to first + count - 1 do
+    out := add_outcome !out (scrub_page t i)
+  done;
+  t.media.scrub_checked <- t.media.scrub_checked + (!out).checked;
+  if tracing t && count > 0 then
+    Obs.Ring.emit t.ring
+      (Obs.Event.Scrub_pass
+         { target = "pages"; checked = (!out).checked; corrupt = (!out).corrupt });
+  !out
+
+let scrub_wal ?first ?count t =
+  let low = Lsn.to_int (Log_store.truncated_below t.log) - 1 in
+  let durable = Lsn.to_int (Log_store.durable t.log) in
+  let first = match first with None -> low | Some f -> max f low in
+  let avail = max 0 (durable - first) in
+  let count = match count with None -> avail | Some c -> min c avail in
+  let out = ref zero_outcome in
+  for idx = first to first + count - 1 do
+    out := add_outcome !out (scrub_wal_record t idx)
+  done;
+  t.media.scrub_checked <- t.media.scrub_checked + (!out).checked;
+  if tracing t && count > 0 then
+    Obs.Ring.emit t.ring
+      (Obs.Event.Scrub_pass
+         { target = "wal"; checked = (!out).checked; corrupt = (!out).corrupt });
+  !out
+
+(* The archive's own media rots too. An archived frame heals from the
+   live log while the record is still retained and intact; a snapshot
+   page heals from the live disk image (newer than the snapshot point is
+   fine: restore's replay is page-LSN conditioned, so already-applied
+   redos no-op). *)
+let scrub_archive t =
+  match t.archive with
+  | None -> zero_outcome
+  | Some a ->
+      let bad_pages, bad_wal = Archive.check a in
+      let checked =
+        (match Archive.snapshot a with
+        | Some s -> Array.length s.Archive.pages
+        | None -> 0)
+        + (Archive.archived_upto a - Archive.wal_base a)
+      in
+      let out = ref { zero_outcome with checked } in
+      let low = Lsn.to_int (Log_store.truncated_below t.log) - 1 in
+      let durable = Lsn.to_int (Log_store.durable t.log) in
+      List.iter
+        (fun idx ->
+          note_quarantine t ~target:"archive-wal" ~id:idx;
+          if idx >= low && idx < durable && Log_store.record_intact t.log ~idx
+          then begin
+            Archive.heal_wal a ~idx (Log_store.raw_get t.log ~idx);
+            note_heal t ~target:"archive-wal" ~id:idx ~how:"live-log";
+            out := add_outcome !out { zero_outcome with corrupt = 1; healed = 1 }
+          end
+          else begin
+            note_unhealable t ~target:"archive-wal" ~id:idx;
+            out :=
+              add_outcome !out { zero_outcome with corrupt = 1; unhealable = 1 }
+          end)
+        bad_wal;
+      (match (Archive.snapshot a, bad_pages) with
+      | Some s, _ :: _ ->
+          let pages = Array.map Page.copy s.Archive.pages in
+          let healed_any = ref false in
+          List.iter
+            (fun i ->
+              note_quarantine t ~target:"archive-page" ~id:i;
+              let pid = Page_id.of_int i in
+              if Disk.verify_main t.disk pid then begin
+                pages.(i) <- Disk.peek_main t.disk pid;
+                healed_any := true;
+                note_heal t ~target:"archive-page" ~id:i ~how:"live-page";
+                out :=
+                  add_outcome !out
+                    { zero_outcome with corrupt = 1; healed = 1 }
+              end
+              else begin
+                note_unhealable t ~target:"archive-page" ~id:i;
+                out :=
+                  add_outcome !out
+                    { zero_outcome with corrupt = 1; unhealable = 1 }
+              end)
+            bad_pages;
+          if !healed_any then
+            Archive.put_snapshot a ~pages
+              ~complete_upto:s.Archive.complete_upto ~master:s.Archive.master
+      | _ -> ());
+      t.media.scrub_checked <- t.media.scrub_checked + (!out).checked;
+      if tracing t then
+        Obs.Ring.emit t.ring
+          (Obs.Event.Scrub_pass
+             {
+               target = "archive";
+               checked = (!out).checked;
+               corrupt = (!out).corrupt;
+             });
+      !out
+
+let scrub t =
+  ignore (archive_catchup t);
+  let out =
+    add_outcome
+      (add_outcome (scrub_pages t) (scrub_wal t))
+      (scrub_archive t)
+  in
+  t.media.scrub_passes <- t.media.scrub_passes + 1;
+  out
+
+let media_counters t =
+  ( t.media.scrub_checked,
+    t.media.scrub_corrupt,
+    t.media.media_heals,
+    t.media.scrub_unhealable )
 
 let recover_with_fuel t ~fuel =
   match t.config.Config.impl with

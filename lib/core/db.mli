@@ -232,6 +232,18 @@ type backup
     complete up to. *)
 
 val backup : t -> backup
+(** Also pins the log at the backup point (see {!truncate_log}): media
+    replay needs every record from there forward, so truncation will not
+    reclaim past it until {!release_backup_pin}. *)
+
+val release_backup_pin : t -> unit
+(** Drop the truncation pin the last {!backup} installed — the caller
+    has discarded (or no longer trusts) the in-memory backup. After
+    this, {!restore_media} with an old backup may legitimately raise
+    [Errors.Log_truncated_past_backup]. *)
+
+val backup_pin : t -> Lsn.t
+(** The backup pin currently in force; [Lsn.nil] when none. *)
 
 val media_failure : t -> unit
 (** The data disk is destroyed (all pages zeroed) along with volatile
@@ -245,6 +257,96 @@ val restore_media : t -> backup -> Ariesrh_recovery.Report.t
     failure. Raises [Errors.Log_truncated_past_backup] if the log was
     truncated past the backup point (the records needed to roll forward
     are gone). *)
+
+(** {1 The media archive}
+
+    A durable copy of last resort ({!Ariesrh_storage.Archive}): a
+    checksummed page snapshot plus a continuous copy of every sealed
+    durable WAL record. While an archive is attached, {!truncate_log}
+    pins reclamation behind the archive horizon — with continuous
+    archiving on, [Errors.Log_truncated_past_backup] cannot happen —
+    and catches the archive up before every truncation. *)
+
+val attach_archive : ?dir:string -> t -> Ariesrh_storage.Archive.t
+(** Create (or reopen, under [dir]) an archive matching this database's
+    geometry, attach it, and copy the durable log in. *)
+
+val set_archive : t -> Ariesrh_storage.Archive.t -> unit
+(** Attach an existing archive. Raises [Invalid_argument] on a geometry
+    mismatch or if one is already attached. *)
+
+val archive : t -> Ariesrh_storage.Archive.t option
+
+val archive_catchup : t -> int
+(** Copy every newly-sealed durable record into the archive (never a
+    record a pending torn flush may still amputate); returns how many
+    were copied. Runs automatically on {!truncate_log} and from the
+    governor's tick. Safe no-op without an archive. *)
+
+val archived_upto : t -> int
+(** Records with 0-based log index below this are archived ([0] without
+    an archive). *)
+
+val backup_to_archive : t -> Lsn.t
+(** Quiesce, snapshot the full page image into the archive, and catch
+    the WAL copy up: after this the archive alone rebuilds the exact
+    committed state ({!restore_from_archive}). Returns the LSN the
+    snapshot is complete up to. Raises [Invalid_argument] without an
+    archive. *)
+
+val restore_from_archive :
+  t -> Ariesrh_storage.Archive.t -> Ariesrh_recovery.Report.t
+(** Cold restore after {e total} media loss (data {e and} log devices):
+    into a fresh, empty database of the same geometry, install the
+    snapshot pages and the archived WAL, replay history since the
+    snapshot (page-LSN conditioned), and run restart recovery. The
+    archive is attached afterwards. Raises [Invalid_argument] if the
+    database is not empty or the geometry differs, and
+    [Archive.Archive_corrupt] if the archive holds no snapshot. *)
+
+(** {1 The scrubber: detect, quarantine, heal}
+
+    Incremental checksum sweeps over the three media: data pages (main
+    {e and} doublewrite shadow, plus their agreement — two checksum-valid
+    images that differ are the signature of a lost or misdirected
+    write), the durable WAL (every record carries its own trailing
+    checksum), and the archive's own files. Corruption is quarantined
+    (traced, counted, listed) and healed from the best redundant source:
+    a page from its shadow (or the archive snapshot) plus page-LSN
+    conditioned replay via {!Ariesrh_recovery.Repair}; a WAL record
+    from its archived copy; an archived frame from the live log. Heal
+    I/O runs with the fault injector held off, so scrubbing never
+    shifts a crash schedule. *)
+
+type scrub_outcome = {
+  checked : int;
+  corrupt : int;  (** newly quarantined this sweep *)
+  healed : int;
+  unhealable : int;  (** left quarantined — no intact source *)
+}
+
+val scrub : t -> scrub_outcome
+(** Full sweep: archive catchup, then pages, durable WAL, archive. *)
+
+val scrub_pages : ?first:int -> ?count:int -> t -> scrub_outcome
+(** Sweep [count] pages starting at page [first] (defaults: all). *)
+
+val scrub_wal : ?first:int -> ?count:int -> t -> scrub_outcome
+(** Sweep [count] durable records starting at 0-based absolute index
+    [first] (clamped to the retained durable window; defaults: all). *)
+
+val scrub_archive : t -> scrub_outcome
+(** Recheck every archive checksum; heal from the live copies. *)
+
+val quarantined : t -> (string * int) list
+(** Corruption found but not healed, as [(target, id)] — [target] one of
+    ["page"], ["wal"], ["archive-page"], ["archive-wal"]. A later sweep
+    that heals the object removes it. *)
+
+val media_counters : t -> int * int * int * int
+(** [(checked, corrupt, heals, unhealable)] lifetime scrubber tallies —
+    also exported as the [ariesrh_scrub_*] / [ariesrh_media_heals_total]
+    metrics. *)
 
 val recover : t -> Ariesrh_recovery.Report.t
 (** Restart recovery per the configured implementation: [Rh] runs

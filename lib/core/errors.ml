@@ -11,6 +11,15 @@ exception Overloaded of { xid : Xid.t option; reason : overload_reason }
 exception Log_truncated_past_backup of { backup : Lsn.t; retained : Lsn.t }
 exception Unsupported_by_engine of { op : string; impl : string }
 
+exception Archive_lagging of { durable : Lsn.t; archived : Lsn.t }
+(** Continuous WAL archiving fell further behind the durable head than
+    the configured bound; admission backpressure until it catches up. *)
+
+exception Media_unhealable of { target : string; id : int }
+(** The scrubber found corruption it could not repair from any source
+    (shadow, archive snapshot, archived WAL) — the object stays
+    quarantined. *)
+
 let pp_overload_reason ppf = function
   | Begin_refused ->
       Format.pp_print_string ppf "new transactions refused under log pressure"
@@ -39,6 +48,18 @@ let pp_exn ppf = function
         Lsn.pp backup Lsn.pp retained
   | Unsupported_by_engine { op; impl } ->
       Format.fprintf ppf "%s is not supported by the %s engine" op impl
+  | Archive_lagging { durable; archived } ->
+      Format.fprintf ppf
+        "WAL archiving lagging (durable at %a, archived up to %a); \
+         admission refused until the archiver catches up"
+        Lsn.pp durable Lsn.pp archived
+  | Media_unhealable { target; id } ->
+      Format.fprintf ppf
+        "unhealable media corruption: %s %d has no intact source \
+         (shadow, archive snapshot or archived WAL)"
+        target id
+  | Ariesrh_storage.Archive.Archive_corrupt { path; what } ->
+      Format.fprintf ppf "media archive corrupt: %s (%s)" path what
   | Ariesrh_wal.Log_store.Log_full { dimension; need; used; reserved; capacity }
     ->
       Format.fprintf ppf

@@ -28,6 +28,17 @@ exception Unsupported_by_engine of { op : string; impl : string }
 (** The operation requires a capability this engine variant lacks (e.g.
     operation-granularity delegation under [Eager]). *)
 
+exception Archive_lagging of { durable : Lsn.t; archived : Lsn.t }
+(** Continuous WAL archiving fell further behind the durable head than
+    [Config.max_archive_lag] allows; admission refuses new transactions
+    (typed backpressure) until the archiver catches up. *)
+
+exception Media_unhealable of { target : string; id : int }
+(** The scrubber found corruption it could not repair from any source
+    (shadow, archive snapshot, archived WAL); [target] is
+    ["page"], ["wal"] or an archive component and [id] the page number
+    or 0-based record index. The object stays quarantined. *)
+
 val pp_overload_reason : Format.formatter -> overload_reason -> unit
 
 val pp_exn : Format.formatter -> exn -> unit
@@ -38,6 +49,7 @@ val pp_exn : Format.formatter -> exn -> unit
     exceptions ([Ariesrh_storage.Backend.Io_error],
     [Ariesrh_wal.Log_device.Wal_frame_corrupt]) — so no raw
     [Unix.Unix_error] ever reaches the user —
-    [Ariesrh_fault.Fault.Injected_crash], and the restart-integrity
+    [Ariesrh_fault.Fault.Injected_crash], the restart-integrity
     exceptions ([Ariesrh_recovery.Audit.Audit_failed],
-    [Ariesrh_recovery.Rewrite.Surgery_corrupt]). *)
+    [Ariesrh_recovery.Rewrite.Surgery_corrupt]), and the media-archive
+    exception ([Ariesrh_storage.Archive.Archive_corrupt]). *)

@@ -15,7 +15,13 @@ type crash_mode = Raise | Kill_process
 
 type log_tear = Truncate_tail of int | Flip_byte of int
 
-type write_decision = { torn_keep : int option; crash : bool }
+type write_decision = {
+  torn_keep : int option;
+  lost : bool;
+  misdirect : int option;
+  crash : bool;
+}
+
 type flush_decision = { tear : log_tear option; crash : bool }
 
 type stats = {
@@ -24,6 +30,9 @@ type stats = {
   mutable torn_writes : int;
   mutable torn_flushes : int;
   mutable squeezes : int;
+  mutable bitrots : int;
+  mutable lost_writes : int;
+  mutable misdirected_writes : int;
 }
 
 type t = {
@@ -39,6 +48,11 @@ type t = {
   mutable appends : int;  (* log appends observed (volatile, not I/O) *)
   mutable squeeze_at : int;  (* absolute append count; -1 = disarmed *)
   mutable squeeze_keep : float;
+  mutable bitrot_at : int list;  (* absolute io counts, sorted ascending *)
+  mutable lost_at : int list;  (* fire at next data write at/after count *)
+  mutable misdirect_at : int list;
+  mutable bitrot_hook : (unit -> unit) option;
+      (* applies rot to a victim chosen by the owner; installed by [Db] *)
   stats : stats;
   mutable tracer : (Ariesrh_obs.Event.fault_kind -> string -> unit) option;
       (* observability hook: fires on every fault; [None] costs nothing *)
@@ -58,8 +72,13 @@ let make live seed =
     appends = 0;
     squeeze_at = -1;
     squeeze_keep = 1.0;
+    bitrot_at = [];
+    lost_at = [];
+    misdirect_at = [];
+    bitrot_hook = None;
     stats = { ios = 0; crashes = 0; torn_writes = 0; torn_flushes = 0;
-              squeezes = 0 };
+              squeezes = 0; bitrots = 0; lost_writes = 0;
+              misdirected_writes = 0 };
     tracer = None;
   }
 
@@ -90,6 +109,40 @@ let set_tracer t f = t.tracer <- f
 let fire t kind site =
   match t.tracer with None -> () | Some f -> f kind site
 
+(* --- silent media corruption --------------------------------------- *)
+
+let arm_sorted l at = List.sort compare (at :: l)
+
+let arm_bitrot t ~at = if t.live then t.bitrot_at <- arm_sorted t.bitrot_at at
+let arm_lost_write t ~at = if t.live then t.lost_at <- arm_sorted t.lost_at at
+
+let arm_misdirected_write t ~at =
+  if t.live then t.misdirect_at <- arm_sorted t.misdirect_at at
+
+let media_armed t =
+  t.bitrot_at <> [] || t.lost_at <> [] || t.misdirect_at <> []
+
+let set_bitrot_hook t f = t.bitrot_hook <- f
+let rng_int t bound = if bound <= 1 then 0 else Prng.int t.rng bound
+
+(* A bitrot arm fires at the first I/O whose counter reaches it: the rot
+   happened at rest, the I/O clock merely timestamps when. The hook (the
+   owning [Db]) picks the victim bytes; injection is gated off around the
+   call so applying the rot never perturbs the I/O schedule itself. *)
+let check_bitrot t =
+  match t.bitrot_at with
+  | at :: rest when t.stats.ios >= at -> (
+      t.bitrot_at <- rest;
+      t.stats.bitrots <- t.stats.bitrots + 1;
+      fire t Ariesrh_obs.Event.Bitrot "at-rest";
+      match t.bitrot_hook with
+      | None -> ()
+      | Some h ->
+          let was = t.enabled in
+          t.enabled <- false;
+          Fun.protect ~finally:(fun () -> t.enabled <- was) h)
+  | _ -> ()
+
 let register_metrics t m =
   let module M = Ariesrh_obs.Metrics in
   let s = t.stats in
@@ -102,16 +155,25 @@ let register_metrics t m =
   M.counter m ~help:"torn log flush tails"
     "ariesrh_fault_torn_flushes_total" (fun () -> s.torn_flushes);
   M.counter m ~help:"log-capacity squeezes fired"
-    "ariesrh_fault_squeezes_total" (fun () -> s.squeezes)
+    "ariesrh_fault_squeezes_total" (fun () -> s.squeezes);
+  M.counter m ~help:"silent bitrot corruptions injected"
+    "ariesrh_fault_bitrots_total" (fun () -> s.bitrots);
+  M.counter m ~help:"lost data page writes injected"
+    "ariesrh_fault_lost_writes_total" (fun () -> s.lost_writes);
+  M.counter m ~help:"misdirected data page writes injected"
+    "ariesrh_fault_misdirected_writes_total" (fun () ->
+      s.misdirected_writes)
 
 let fault_points t =
   t.stats.crashes + t.stats.torn_writes + t.stats.torn_flushes
-  + t.stats.squeezes
+  + t.stats.squeezes + t.stats.bitrots + t.stats.lost_writes
+  + t.stats.misdirected_writes
 
 (* Advance the I/O counter and consume the armed crash point if reached.
    Returns whether a crash fires at this operation. *)
 let tick t =
   t.stats.ios <- t.stats.ios + 1;
+  check_bitrot t;
   if t.crash_at >= 0 && t.stats.ios >= t.crash_at then begin
     t.crash_at <- -1;
     t.stats.crashes <- t.stats.crashes + 1;
@@ -153,9 +215,10 @@ let on_log_rewrite t =
       die t Log_rewrite
     end
 
-let no_write = { torn_keep = None; crash = false }
+let no_write = { torn_keep = None; lost = false; misdirect = None;
+                 crash = false }
 
-let on_disk_write t ~slots =
+let on_disk_write t ~slots ~pages =
   if not (enabled t) then no_write
   else begin
     let crash = tick t in
@@ -172,8 +235,31 @@ let on_disk_write t ~slots =
       end
       else None
     in
+    (* a lost / misdirected write fires at the first data page write whose
+       I/O counter has reached the armed point: the schedule is keyed on
+       the shared clock but only a write can lose or misdirect itself *)
+    let lost =
+      match t.lost_at with
+      | at :: rest when t.stats.ios >= at ->
+          t.lost_at <- rest;
+          t.stats.lost_writes <- t.stats.lost_writes + 1;
+          fire t Ariesrh_obs.Event.Lost_write "disk-write";
+          true
+      | _ -> false
+    in
+    let misdirect =
+      match t.misdirect_at with
+      | at :: rest when t.stats.ios >= at && pages > 1 ->
+          t.misdirect_at <- rest;
+          t.stats.misdirected_writes <- t.stats.misdirected_writes + 1;
+          fire t Ariesrh_obs.Event.Misdirected_write "disk-write";
+          (* offset in [0, pages-2]; the caller maps it off the true
+             target so the victim is always a different page *)
+          Some (Prng.int t.rng (pages - 1))
+      | _ -> None
+    in
     if crash then fire t Ariesrh_obs.Event.Crash_point "disk-write";
-    { torn_keep; crash }
+    { torn_keep; lost; misdirect; crash }
   end
 
 (* Log appends are volatile memory writes, not I/O: they advance their

@@ -40,10 +40,26 @@ type log_tear =
   | Truncate_tail of int  (** drop this many bytes from the last record *)
   | Flip_byte of int  (** XOR a bit into the byte at this offset *)
 
-type write_decision = { torn_keep : int option; crash : bool }
-(** [torn_keep = Some k]: persist only the first [k] slots of the new
-    page image (the rest keep their old contents). [crash]: raise
-    [Injected_crash] {e after} the (possibly torn) write is applied. *)
+type write_decision = {
+  torn_keep : int option;
+      (** [Some k]: persist only the first [k] slots of the new page
+          image (the rest keep their old contents) *)
+  lost : bool;
+      (** the device acknowledged the write but never applied it: the
+          main image keeps its old (checksum-valid!) contents. The
+          shadow copy still receives the new image — a lost write is a
+          failure of one physical write, not of the doublewrite pair —
+          which is exactly what makes it detectable by comparison. *)
+  misdirect : int option;
+      (** [Some r]: the new image landed on the wrong page. [r] is an
+          offset in [0, pages-2]; the caller derives the victim as
+          [(target + 1 + r) mod pages] so it is never the target
+          itself. The victim's main image is overwritten with a
+          checksum-valid image belonging to another page; the target's
+          main image keeps its old contents. Shadows stay correct. *)
+  crash : bool;
+      (** raise [Injected_crash] {e after} the write is applied *)
+}
 
 type flush_decision = { tear : log_tear option; crash : bool }
 
@@ -53,6 +69,9 @@ type stats = {
   mutable torn_writes : int;  (** torn data page writes *)
   mutable torn_flushes : int;  (** torn log flush tails *)
   mutable squeezes : int;  (** log-capacity squeezes fired *)
+  mutable bitrots : int;  (** silent at-rest corruptions injected *)
+  mutable lost_writes : int;  (** lost data page writes injected *)
+  mutable misdirected_writes : int;  (** misdirected page writes injected *)
 }
 
 type t
@@ -105,6 +124,35 @@ val arm_squeeze_in : t -> appends:int -> keep:float -> unit
 
 val squeeze_armed : t -> bool
 
+val arm_bitrot : t -> at:int -> unit
+(** Silent at-rest corruption: at the first I/O whose counter reaches
+    [at], the installed {!set_bitrot_hook} is invoked to rot a victim
+    chosen by the owner. Repeated arming queues multiple firings. The
+    hook runs with injection gated off, so applying the rot never
+    perturbs the I/O-keyed crash schedule. *)
+
+val arm_lost_write : t -> at:int -> unit
+(** At the first {e data page write} whose I/O counter has reached [at],
+    the write is acknowledged but the main image is never updated (see
+    {!write_decision.lost}). Repeated arming queues multiple firings. *)
+
+val arm_misdirected_write : t -> at:int -> unit
+(** At the first data page write whose I/O counter has reached [at], the
+    new image lands on a different page picked by the injector's PRNG
+    (see {!write_decision.misdirect}). *)
+
+val media_armed : t -> bool
+(** Any bitrot / lost-write / misdirected-write arming still pending. *)
+
+val set_bitrot_hook : t -> (unit -> unit) option -> unit
+(** Install the corruption applicator called when an armed bitrot fires.
+    The owning [Db] picks the victim bytes (page or WAL record, both
+    backends) so schedules stay byte-identical across [Sim] and [File]. *)
+
+val rng_int : t -> int -> int
+(** Draw from the injector's PRNG (uniform in [0, bound)); used by the
+    bitrot hook to pick victims deterministically from the fault seed. *)
+
 val on_disk_read : t -> unit
 (** May raise [Injected_crash]. *)
 
@@ -117,7 +165,7 @@ val on_log_rewrite : t -> unit
     at this site leaves the target record untouched. May raise
     [Injected_crash]. *)
 
-val on_disk_write : t -> slots:int -> write_decision
+val on_disk_write : t -> slots:int -> pages:int -> write_decision
 (** Never raises: the caller applies the (possibly torn) write first and
     then calls [die] if [crash] is set. *)
 

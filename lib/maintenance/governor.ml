@@ -56,6 +56,10 @@ let pp_stats ppf s =
 type t = {
   config : config;
   db : Db.t;
+  (* media maintenance riding the governor's clock: the incremental
+     scrubber (one batch per evaluation) and, with an archive attached,
+     a WAL-archiving catchup before each reclamation decision *)
+  scrubber : Scrubber.t option;
   stats : stats;
   mutable steps : int;  (* engine steps observed since creation *)
   mutable last_ckpt_head : int;  (* log head at the last checkpoint taken *)
@@ -65,12 +69,13 @@ type t = {
 
 let policy_name p = Format.asprintf "%a" pp_policy p
 
-let create ?(config = default_config) db =
+let create ?(config = default_config) ?scrubber db =
   validate_config config;
   let t =
   {
     config;
     db;
+    scrubber;
     stats =
       {
         ticks = 0;
@@ -175,6 +180,11 @@ let victimize t =
 
 let evaluate t =
   t.stats.ticks <- t.stats.ticks + 1;
+  (* media maintenance first: keep the archive's WAL copy current (so
+     the archive pin never needlessly blocks the reclamation below) and
+     advance the scrubber one bounded batch *)
+  ignore (Db.archive_catchup t.db);
+  (match t.scrubber with Some s -> ignore (Scrubber.step s) | None -> ());
   let deescalate t =
     (match List.nth_opt t.config.policies (t.level - 1) with
     | Some p -> emit t (Obs.Event.Deescalate (policy_name p))

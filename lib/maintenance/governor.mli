@@ -58,15 +58,21 @@ val pp_stats : Format.formatter -> stats -> unit
 
 type t
 
-val create : ?config:config -> Db.t -> t
+val create : ?config:config -> ?scrubber:Scrubber.t -> Db.t -> t
 (** Raises [Invalid_argument] on a nonsensical config (watermarks
-    outside (0, 1], [hard < soft], non-positive [tick_every]). *)
+    outside (0, 1], [hard < soft], non-positive [tick_every]).
+
+    [scrubber] attaches a background media scrubber: each evaluation
+    advances it one batch, so checksum sweeps ride the governor's clock
+    with no thread of their own. *)
 
 val tick : t -> unit
 (** Call once per engine step. Every [tick_every]-th call evaluates the
-    watermarks and acts. May raise [Fault.Injected_crash] out of a
-    checkpoint's log flush when fault injection is live — exactly like
-    any other engine step. *)
+    watermarks and acts — and first runs media maintenance: a WAL
+    archiving catchup ({!Ariesrh_core.Db.archive_catchup}) and one
+    scrubber batch when one is attached. May raise
+    [Fault.Injected_crash] out of a checkpoint's log flush when fault
+    injection is live — exactly like any other engine step. *)
 
 val force_tick : t -> unit
 (** Evaluate immediately, ignoring the [tick_every] throttle. *)

@@ -1,0 +1,31 @@
+(** Background media scrubber.
+
+    Drives {!Ariesrh_core.Db.scrub_pages} / [scrub_wal] /
+    [scrub_archive] incrementally: each {!step} checks a bounded batch
+    of objects and advances a cursor over the three media (data pages,
+    the retained durable WAL, the archive), wrapping when a full sweep
+    completes. Ticked from the governor so silent corruption is found
+    and healed in bounded time without a stop-the-world scan; detection,
+    quarantine and healing semantics live in [Db] — this module is only
+    the pacing. *)
+
+open Ariesrh_core
+
+type t
+
+val create : ?batch:int -> Db.t -> t
+(** [batch] (default 16) objects checked per {!step}; raises
+    [Invalid_argument] if non-positive. *)
+
+val step : t -> Db.scrub_outcome
+(** Check the next batch and advance the cursor. *)
+
+val run_full : t -> Db.scrub_outcome
+(** Step until one complete sweep over all three media finishes,
+    returning the summed outcome. *)
+
+val steps : t -> int
+val sweeps : t -> int
+(** Completed full sweeps. *)
+
+val register_metrics : t -> Ariesrh_obs.Metrics.t -> unit

@@ -11,7 +11,14 @@ type restart_phase =
   | Finish
   | Audit
 
-type fault_kind = Crash_point | Torn_write | Torn_flush | Squeeze
+type fault_kind =
+  | Crash_point
+  | Torn_write
+  | Torn_flush
+  | Squeeze
+  | Bitrot
+  | Lost_write
+  | Misdirected_write
 
 type gov_action =
   | Escalate of string
@@ -51,6 +58,10 @@ type t =
   | Fault of { kind : fault_kind; site : string }
   | Surgery_resolved of { rolled_back : int; rolled_forward : int }
   | Rewrite_fallback of { from_ : Xid.t; to_ : Xid.t; oid : Oid.t }
+  | Scrub_pass of { target : string; checked : int; corrupt : int }
+  | Quarantine of { target : string; id : int }
+  | Media_heal of { target : string; id : int; how : string }
+  | Archive_catchup of { upto : Lsn.t }
 
 let op_str = function
   | Add d -> Printf.sprintf "add(%+d)" d
@@ -70,6 +81,9 @@ let fault_str = function
   | Torn_write -> "torn-write"
   | Torn_flush -> "torn-flush"
   | Squeeze -> "squeeze"
+  | Bitrot -> "bitrot"
+  | Lost_write -> "lost-write"
+  | Misdirected_write -> "misdirected-write"
 
 let xi = Xid.to_int
 let oi = Oid.to_int
@@ -94,6 +108,10 @@ let kind_str = function
   | Fault _ -> "fault"
   | Surgery_resolved _ -> "surgery-resolved"
   | Rewrite_fallback _ -> "rewrite-fallback"
+  | Scrub_pass _ -> "scrub-pass"
+  | Quarantine _ -> "quarantine"
+  | Media_heal _ -> "media-heal"
+  | Archive_catchup _ -> "archive-catchup"
 
 let fields = function
   | Begin { xid; lsn } | Commit { xid; lsn } | Abort { xid; lsn } ->
@@ -174,6 +192,21 @@ let fields = function
         ("to", Json.Int (xi to_));
         ("oid", Json.Int (oi oid));
       ]
+  | Scrub_pass { target; checked; corrupt } ->
+      [
+        ("target", Json.String target);
+        ("checked", Json.Int checked);
+        ("corrupt", Json.Int corrupt);
+      ]
+  | Quarantine { target; id } ->
+      [ ("target", Json.String target); ("id", Json.Int id) ]
+  | Media_heal { target; id; how } ->
+      [
+        ("target", Json.String target);
+        ("id", Json.Int id);
+        ("how", Json.String how);
+      ]
+  | Archive_catchup { upto } -> [ ("upto", Json.Int (li upto)) ]
 
 let to_json ev = Json.Obj (("event", Json.String (kind_str ev)) :: fields ev)
 

@@ -23,7 +23,14 @@ type restart_phase =
   | Finish
   | Audit  (** post-recovery self-audit *)
 
-type fault_kind = Crash_point | Torn_write | Torn_flush | Squeeze
+type fault_kind =
+  | Crash_point
+  | Torn_write
+  | Torn_flush
+  | Squeeze
+  | Bitrot  (** silent checksum-detectable byte corruption at rest *)
+  | Lost_write  (** a page write acknowledged but never applied *)
+  | Misdirected_write  (** a page write applied to the wrong page slot *)
 
 type gov_action =
   | Escalate of string  (** policy name *)
@@ -66,6 +73,15 @@ type t =
   | Rewrite_fallback of { from_ : Xid.t; to_ : Xid.t; oid : Oid.t }
       (** eager surgery could not complete; fell back to a logical
           delegate record *)
+  | Scrub_pass of { target : string; checked : int; corrupt : int }
+      (** one incremental scrubber sweep over [target]
+          ("pages"/"wal"/"archive") *)
+  | Quarantine of { target : string; id : int }
+      (** corruption detected and the object fenced pending heal *)
+  | Media_heal of { target : string; id : int; how : string }
+      (** a quarantined object healed ([how] = "shadow"/"archive"/...) *)
+  | Archive_catchup of { upto : Lsn.t }
+      (** continuous WAL archiving copied durable records below [upto] *)
 
 val op_str : op -> string
 val phase_str : restart_phase -> string

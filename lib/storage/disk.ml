@@ -58,41 +58,136 @@ let read_page t pid =
   t.stats.page_reads <- t.stats.page_reads + 1;
   Page.copy t.pages.(i)
 
+let images_agree a b =
+  Lsn.equal (Page.page_lsn a) (Page.page_lsn b)
+  && Page.slots a = Page.slots b
+  &&
+  let rec eq s = s >= Page.slots a || (Page.get a s = Page.get b s && eq (s + 1)) in
+  eq 0
+
 let read_page_checked t pid =
   let i = check t pid in
   Fault.on_disk_read t.fault;
   t.stats.page_reads <- t.stats.page_reads + 1;
-  let p = t.pages.(i) in
-  if Page.verify p then Ok (Page.copy p) else Error (Page.copy t.shadow.(i))
+  let p = t.pages.(i) and s = t.shadow.(i) in
+  if not (Page.verify p) then Error (Page.copy s)
+  else if Page.verify s && not (images_agree p s) then
+    (* Two checksum-valid images that disagree: a lost or misdirected
+       write, caught at read time. Returning the stale main copy here
+       would launder the corruption — the caller builds new updates on
+       top of it and the next clean flush overwrites both copies, putting
+       the lost delta beyond any detector forever. The shadow plus
+       page-LSN-conditioned WAL replay reconstructs the true image
+       whichever copy is really newer, so route it through the same
+       repair path as a torn page. *)
+    Error (Page.copy s)
+  else Ok (Page.copy p)
 
 let write_page t pid p =
   let i = check t pid in
-  let d = Fault.on_disk_write t.fault ~slots:(Page.slots p) in
+  let d =
+    Fault.on_disk_write t.fault ~slots:(Page.slots p)
+      ~pages:(Array.length t.pages)
+  in
   t.stats.page_writes <- t.stats.page_writes + 1;
-  (match d.Fault.torn_keep with
-  | None ->
-      let stored = Page.copy p in
-      Page.seal stored;
-      t.pages.(i) <- stored;
-      t.shadow.(i) <- Page.copy stored;
-      Page_device.write_main t.device i stored;
-      Page_device.write_shadow t.device i stored
-  | Some keep ->
-      (* Only the first [keep] slots of the new image reach the platter;
-         the tail keeps the old contents. The checksum is the one intended
-         for the full new image, so verification fails unless the tear
-         happened to change nothing. The shadow is left alone. *)
-      let torn = Page.copy p in
-      Page.seal torn;
-      (* the device tears for real: a partial write of the new image over
-         the old bytes leaves exactly [torn] in the file *)
-      Page_device.write_main_torn t.device i torn ~keep;
-      let old = t.pages.(i) in
-      for s = keep to Page.slots p - 1 do
-        Page.set torn s (Page.get old s)
-      done;
-      t.pages.(i) <- torn);
+  (if d.Fault.lost then begin
+     (* the device acknowledged the write but the main image never made
+        it: the old — still checksum-valid — image survives on both the
+        array and the file. The doublewrite pair is two physical writes,
+        so the shadow still lands; main <> shadow is what the scrubber
+        later catches. *)
+     let stored = Page.copy p in
+     Page.seal stored;
+     t.shadow.(i) <- Page.copy stored;
+     Page_device.write_shadow t.device i stored
+   end
+   else
+     match d.Fault.misdirect with
+     | Some r ->
+         (* the full — checksum-valid — new image lands on the wrong
+            page; the intended target keeps its old image. Shadows stay
+            where they should: the victim's shadow still holds its own
+            last clean image, the target's shadow gets the new one. *)
+         let n = Array.length t.pages in
+         let v = (i + 1 + r) mod n in
+         let stored = Page.copy p in
+         Page.seal stored;
+         t.pages.(v) <- Page.copy stored;
+         Page_device.write_main t.device v stored;
+         t.shadow.(i) <- Page.copy stored;
+         Page_device.write_shadow t.device i stored
+     | None -> (
+         match d.Fault.torn_keep with
+         | None ->
+             let stored = Page.copy p in
+             Page.seal stored;
+             t.pages.(i) <- stored;
+             t.shadow.(i) <- Page.copy stored;
+             Page_device.write_main t.device i stored;
+             Page_device.write_shadow t.device i stored
+         | Some keep ->
+             (* Only the first [keep] slots of the new image reach the
+                platter; the tail keeps the old contents. The checksum is
+                the one intended for the full new image, so verification
+                fails unless the tear happened to change nothing. The
+                shadow is left alone. *)
+             let torn = Page.copy p in
+             Page.seal torn;
+             (* the device tears for real: a partial write of the new
+                image over the old bytes leaves exactly [torn] in the
+                file *)
+             Page_device.write_main_torn t.device i torn ~keep;
+             let old = t.pages.(i) in
+             for s = keep to Page.slots p - 1 do
+               Page.set torn s (Page.get old s)
+             done;
+             t.pages.(i) <- torn));
   if d.Fault.crash then Fault.die t.fault Fault.Disk_write
+
+(* --- media scrub / heal primitives --------------------------------- *)
+
+(* All of these bypass fault injection: they are the scrubber's and the
+   injector's own access paths and must never advance the I/O clock
+   (healing or rotting a page must not shift a crash schedule). *)
+
+let verify_main t pid = Page.verify t.pages.(check t pid)
+let verify_shadow t pid = Page.verify t.shadow.(check t pid)
+
+let main_matches_shadow t pid =
+  let i = check t pid in
+  images_agree t.pages.(i) t.shadow.(i)
+
+let peek_main t pid = Page.copy t.pages.(check t pid)
+let shadow_copy t pid = Page.copy t.shadow.(check t pid)
+
+(* Heal write: install a clean image on both the main and shadow copies
+   of both the arrays and the device. *)
+let install_page t pid p =
+  let i = check t pid in
+  let stored = Page.copy p in
+  Page.seal stored;
+  t.pages.(i) <- stored;
+  t.shadow.(i) <- Page.copy stored;
+  Page_device.write_main t.device i stored;
+  Page_device.write_shadow t.device i stored
+
+(* The shadow itself rotted while main is fine: refresh it from main. *)
+let reseal_shadow_from_main t pid =
+  let i = check t pid in
+  let fresh = Page.copy t.pages.(i) in
+  t.shadow.(i) <- fresh;
+  Page_device.write_shadow t.device i fresh
+
+(* Injection: flip low bits of one slot of the main image in place — the
+   stored checksum keeps the value {!Page.seal} computed for the intact
+   image, so the page no longer verifies, on the arrays and on the file
+   alike. *)
+let bitrot_main t pid ~slot =
+  let i = check t pid in
+  let p = t.pages.(i) in
+  let s = if Page.slots p = 0 then 0 else slot mod Page.slots p in
+  Page.set p s (Page.get p s lxor 0b101);
+  Page_device.write_main t.device i p
 
 let sync t = Page_device.sync t.device
 let fsyncs t = Page_device.fsyncs t.device

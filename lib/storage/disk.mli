@@ -45,6 +45,40 @@ val write_page : t -> Page_id.t -> Page.t -> unit
 (** Stores a sealed copy of the given page (possibly torn under fault
     injection; may raise [Fault.Injected_crash] after the write). *)
 
+(** {2 Media scrub / heal primitives}
+
+    None of these advance the fault injector's I/O clock: they are the
+    scrubber's and the injector's own access paths, and healing or
+    rotting a page must never shift a crash schedule. *)
+
+val verify_main : t -> Page_id.t -> bool
+(** Does the stored main image pass its checksum? *)
+
+val verify_shadow : t -> Page_id.t -> bool
+(** Does the stored shadow (doublewrite) image pass its checksum? *)
+
+val main_matches_shadow : t -> Page_id.t -> bool
+(** Are the main and shadow images identical? Clean writes always update
+    both together, so a checksum-valid mismatch is the signature of a
+    lost or misdirected write. *)
+
+val peek_main : t -> Page_id.t -> Page.t
+(** Copy of the main image, no integrity check, no fault tick. *)
+
+val shadow_copy : t -> Page_id.t -> Page.t
+(** Copy of the shadow image, no fault tick. *)
+
+val install_page : t -> Page_id.t -> Page.t -> unit
+(** Heal write: seal and install the image as both main and shadow, on
+    the arrays and the device. Never torn, never ticks the injector. *)
+
+val reseal_shadow_from_main : t -> Page_id.t -> unit
+(** The shadow itself rotted while main verifies: refresh shadow := main. *)
+
+val bitrot_main : t -> Page_id.t -> slot:int -> unit
+(** Injection primitive: flip bits in one slot of the stored main image
+    without re-sealing, so the page stops verifying — on the file too. *)
+
 val sync : t -> unit
 (** [fsync] the page file on the file backend; no-op on sim. *)
 

@@ -452,6 +452,31 @@ let flush t ~start_idx ~frames ~tear =
         f.need_sync <- false
       end
 
+(* Cold-restore install: replace whatever a fresh open created with the
+   archived frame sequence starting at absolute idx [low]. Only valid on
+   a device that has not accepted any flushes yet. *)
+let install t ~low ~master ~frames =
+  match t with
+  | Sim_dev -> ()
+  | File_dev f ->
+      List.iter
+        (fun s ->
+          (match s.fd with
+          | Some fd -> Unix.close fd; s.fd <- None
+          | None -> ());
+          try Sys.remove s.path with Sys_error _ -> ())
+        f.segs;
+      f.segs <- [];
+      f.pos_seg <- [||];
+      f.pos_off <- [||];
+      f.pos_len <- [||];
+      f.count <- low;
+      ignore (new_segment f ~first_idx:low);
+      flush t ~start_idx:low ~frames ~tear:None;
+      f.master <- master;
+      f.low <- low;
+      write_ctl f
+
 (* --- in-place rewrite (history surgery, baselines only) ------------- *)
 
 let rewrite t ~idx payload =

@@ -52,6 +52,11 @@ val flush : t -> start_idx:int -> frames:string list -> tear:Ariesrh_fault.Fault
     frames are ftruncated away first (LSN reuse after crash/amputation).
     [tear] damages the final frame for real and skips the fsync. *)
 
+val install : t -> low:int -> master:int -> frames:string list -> unit
+(** Cold-restore install: discard whatever a fresh open created and
+    write the archived frame sequence (absolute indices [low..]) plus
+    the control state. Only valid before any flush has been accepted. *)
+
 val rewrite : t -> idx:int -> string -> unit
 (** In-place rewrite of a durable frame (same payload length — history
     surgery). Covered by the next fsync. *)

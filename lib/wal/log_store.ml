@@ -48,6 +48,10 @@ type t = {
      backend, the segmented WAL file for the file backend. The in-memory
      arrays stay authoritative in-process. *)
   device : Log_device.t;
+  (* Observer for in-place history surgery: continuous WAL archiving
+     must see rewritten bytes, or a cold restore resurrects the
+     pre-surgery attribution the live log has since disowned. *)
+  mutable rewrite_hook : (idx:int -> string -> unit) option;
   (* --- decoded-record cache --- *)
   cache : (int, Record.t) Hashtbl.t;  (* idx -> decoded record *)
   cache_cap : int;  (* 0 = caching disabled *)
@@ -85,6 +89,7 @@ let create ?(page_size = 4096) ?capacity_bytes ?capacity_records
       fault;
       stats = Log_stats.create ();
       device;
+      rewrite_hook = None;
       cache = Hashtbl.create (min 64 (max 1 record_cache));
       cache_cap = max 0 record_cache;
       decode_calls = 0;
@@ -428,7 +433,10 @@ let rewrite t lsn r =
     Log_device.rewrite t.device ~idx s;
     touch_page t idx;
     t.stats.rewrite_page_writes <- t.stats.rewrite_page_writes + 1
-  end
+  end;
+  match t.rewrite_hook with None -> () | Some h -> h ~idx s
+
+let set_rewrite_hook t h = t.rewrite_hook <- h
 
 let iter_forward ?upto t ~from f =
   let start = if Lsn.is_nil from then 1 else Lsn.to_int from in
@@ -497,6 +505,92 @@ let recover_tail t =
     t.master <- 0
   end;
   !dropped
+
+(* --- media: archive access, scrub and heal -------------------------- *)
+
+(* None of these advance the fault injector's I/O clock or the decode
+   counters: they are the archiver's and the scrubber's own access
+   paths, and integrity maintenance must never shift a crash schedule
+   (or an E16-gated counter). *)
+
+let check_idx t idx =
+  if idx < t.low || idx >= t.durable_count then
+    invalid_arg
+      (Printf.sprintf "Log_store: idx %d outside durable window [%d..%d)"
+         idx t.low t.durable_count)
+
+(* Encoded bytes of a durable record, verbatim — the archiver's read. *)
+let raw_get t ~idx =
+  check_idx t idx;
+  t.enc.(idx)
+
+(* The continuous archiver must stop short of a record whose stable copy
+   is scheduled to tear: archiving it clean would resurrect bytes that a
+   crash before the next flush amputates. *)
+let archive_bound t =
+  match t.pending_tear with
+  | Some (idx, _) -> min idx t.durable_count
+  | None -> t.durable_count
+
+(* Raw integrity check: does the stored record still decode? Every
+   record carries its own trailing FNV-1a checksum, so rot anywhere in
+   the payload is caught here. Cache-bypassing by construction. *)
+let record_intact t ~idx =
+  check_idx t idx;
+  match Record.decode t.enc.(idx) with Ok _ -> true | Error _ -> false
+
+(* Heal a rotted durable record from its archive copy. *)
+let heal_record t ~idx s =
+  check_idx t idx;
+  if String.length s <> String.length t.enc.(idx) then
+    invalid_arg "Log_store.heal_record: archived copy length mismatch";
+  t.enc.(idx) <- s;
+  cache_invalidate t idx;
+  Log_device.rewrite t.device ~idx s
+
+(* Injection primitive: flip bits in one durable record's stored bytes,
+   memory and device alike. The device frame is rewritten with a crc
+   over the rotted payload, so the reopen scan loads the rot verbatim
+   and detection happens — as on Sim — at the record checksum. *)
+let bitrot_record t ~idx =
+  check_idx t idx;
+  if String.length t.enc.(idx) > 0 then begin
+    let b = Bytes.of_string t.enc.(idx) in
+    let i = Bytes.length b - 1 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x08));
+    t.enc.(idx) <- Bytes.to_string b;
+    cache_invalidate t idx;
+    Log_device.rewrite t.device ~idx t.enc.(idx)
+  end
+
+(* Cold-restore install: populate an empty, freshly created store with
+   the archived record sequence (absolute indices [low..low+n)). The
+   store comes out exactly as a reopen after the archived history:
+   everything durable, master set, records below [low] reclaimed. *)
+let install_archive t ~low ~master frames =
+  if t.count <> 0 then
+    invalid_arg "Log_store.install_archive: store not empty";
+  let n = Array.length frames in
+  let count = low + n in
+  if master > count then
+    invalid_arg "Log_store.install_archive: master beyond archived head";
+  t.enc <- Array.make (max 1 count) "";
+  Array.blit frames 0 t.enc low n;
+  t.offsets <- Array.make (max 1 count) 0;
+  let off = ref 0 in
+  for i = 0 to count - 1 do
+    t.offsets.(i) <- !off;
+    off := !off + String.length t.enc.(i);
+    if i >= low then t.live_bytes <- t.live_bytes + String.length t.enc.(i)
+  done;
+  t.next_offset <- !off;
+  t.count <- count;
+  t.durable_count <- count;
+  t.master <- master;
+  t.low <- low;
+  t.pending_tear <- None;
+  Hashtbl.reset t.cache;
+  Log_device.install t.device ~low ~master ~frames:(Array.to_list frames)
 
 let sync t = Log_device.sync t.device
 let fsyncs t = Log_device.fsyncs t.device

@@ -163,6 +163,13 @@ val rewrite : t -> Lsn.t -> Record.t -> unit
 (** Replace the record at an LSN (history surgery, baselines only).
     Charged as a page fetch + page write when the record is stable. *)
 
+val set_rewrite_hook : t -> (idx:int -> string -> unit) option -> unit
+(** Observe every in-place {!rewrite} (surgery apply {e and} its
+    crash-recovery rollback) with the new encoded bytes. The WAL
+    archiver uses this to refresh its copy of an already-archived
+    record — without it a cold restore would resurrect pre-surgery
+    attributions the live log has since disowned. *)
+
 val iter_forward :
   ?upto:Lsn.t -> t -> from:Lsn.t -> (Lsn.t -> Record.t -> unit) -> unit
 (** Sequential sweep from [from] (or [Lsn.first] if nil) to [upto]
@@ -214,6 +221,44 @@ val master : t -> Lsn.t
 val set_master : t -> Lsn.t -> unit
 (** Raises [Invalid_argument] unless the LSN is durable — the WAL rule
     for the master record itself. *)
+
+(** {2 Media: archive access, scrub and heal}
+
+    None of these advance the fault injector's I/O clock or the decode
+    counters — integrity maintenance must never shift a crash schedule
+    or an E16-gated counter. All take 0-based absolute record indices
+    (idx = lsn - 1) within the durable retained window. *)
+
+val raw_get : t -> idx:int -> string
+(** Encoded bytes of a durable record, verbatim — the archiver's read.
+    Raises [Invalid_argument] outside the durable retained window. *)
+
+val archive_bound : t -> int
+(** Records with idx < this are safe to archive: durable, and not
+    scheduled to tear by a pending torn flush (archiving a record whose
+    stable copy may still tear would resurrect bytes a crash
+    amputates). *)
+
+val record_intact : t -> idx:int -> bool
+(** Does the stored record still decode? Every record carries its own
+    trailing FNV-1a checksum, so rot anywhere in the payload is caught.
+    Cache-bypassing. *)
+
+val heal_record : t -> idx:int -> string -> unit
+(** Replace a rotted durable record with its archived copy (same
+    length), in memory and on the device. *)
+
+val bitrot_record : t -> idx:int -> unit
+(** Injection primitive: flip bits in one durable record's stored
+    bytes, memory and device alike. The device frame keeps a valid
+    frame crc so a reopen loads the rot verbatim — detection happens,
+    as on Sim, at the record checksum. *)
+
+val install_archive : t -> low:int -> master:int -> string array -> unit
+(** Cold-restore install on an empty, freshly created store: adopt the
+    archived record sequence (absolute indices [low..]) as the durable
+    prefix, with [master] set and everything below [low] reclaimed.
+    The store comes out exactly as a reopen after that history. *)
 
 val sync : t -> unit
 (** [fsync] the active WAL segment on the file backend; no-op on sim. *)

@@ -22,4 +22,5 @@ let () =
       ("obs", Test_obs.suite);
       ("perf", Test_perf.suite);
       ("known-bugs", Test_known_bugs.suite);
+      ("media", Test_media.suite);
     ]
