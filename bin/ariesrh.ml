@@ -319,70 +319,264 @@ let compare_cmd =
        ~doc:"Recover the same crashed workload under rh, lazy, and eager")
     Term.(const run $ obs_term $ backend_term $ steps $ objects $ seed $ rate)
 
-(* --- history --- *)
+(* --- time travel: history / asof / explain / lineage --- *)
+
+module Temporal = Ariesrh_temporal.Temporal
+module Lsn = Ariesrh_types.Lsn
+module Xid = Ariesrh_types.Xid
+module Oid = Ariesrh_types.Oid
+
+(* Shared workload builder for the time-travel subcommands: generate a
+   script, run it on a fresh database (the selected backend applies),
+   and — when [crash_frac > 0] — crash partway and recover, so the
+   queries run over a log that restart has already rewritten (lazy
+   splice, eager surgery rollback). *)
+let temporal_db ~impl ~objects ~steps ~rate ~seed ~crash_frac ~tracing () =
+  let spec = spec_of ~objects ~steps ~delegation_rate:rate in
+  let script = Gen.generate spec ~seed:(Int64.of_int seed) in
+  let db = Driver.fresh_db ~impl ~tracing ~n_objects:objects () in
+  (if crash_frac > 0. then begin
+     let n = List.length script in
+     let at = min n (int_of_float (crash_frac *. float_of_int n)) in
+     Driver.run ~upto:at db script;
+     Db.crash db;
+     ignore (Db.recover db)
+   end
+   else Driver.run db script);
+  db
+
+let tt_steps =
+  Arg.(value & opt int 300 & info [ "steps" ] ~doc:"Workload steps.")
+
+let tt_objects =
+  Arg.(value & opt int 32 & info [ "objects" ] ~doc:"Number of objects.")
+
+let tt_seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.")
+
+let tt_rate =
+  Arg.(value & opt float 0.25
+       & info [ "delegation-rate" ] ~doc:"Delegation weight in the mix.")
+
+let tt_impl =
+  Arg.(value & opt impl_conv Config.Rh
+       & info [ "engine" ] ~doc:"Engine: rh, eager, or lazy.")
+
+let tt_crash =
+  Arg.(value & opt float 0.
+       & info [ "crash-frac" ]
+           ~doc:"Crash after this fraction of the workload and recover \
+                 before querying, so the log has been rewritten by \
+                 restart (0 = run to completion).")
+
+(* deterministic-JSON error envelope shared by the temporal queries:
+   typed refusals print a machine-readable object and exit 1 *)
+let tt_guard obs f =
+  match f () with
+  | () -> finish obs
+  | exception Errors.History_unavailable { lsn; available_from; available_upto }
+    ->
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [ ("error", Obs.Json.String "history_unavailable");
+                ("lsn", Obs.Json.Int (Lsn.to_int lsn));
+                ("available_from", Obs.Json.Int (Lsn.to_int available_from));
+                ("available_upto", Obs.Json.Int (Lsn.to_int available_upto)) ]));
+      finish obs;
+      exit 1
+  | exception Errors.No_such_txn x ->
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [ ("error", Obs.Json.String "no_such_txn");
+                ("xid", Obs.Json.Int (Xid.to_int x)) ]));
+      finish obs;
+      exit 1
 
 let history_cmd =
   let ob = Arg.(required & pos 0 (some int) None & info [] ~docv:"OBJECT") in
-  let steps =
-    Arg.(value & opt int 300 & info [ "steps" ] ~doc:"Workload steps.")
+  let upto =
+    Arg.(value & opt (some int) None
+         & info [ "upto" ] ~docv:"LSN"
+             ~doc:"Bound the chain at this LSN (default: the durable \
+                   horizon).")
   in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
-  let rate =
-    Arg.(value & opt float 0.25
-         & info [ "delegation-rate" ] ~doc:"Delegation weight.")
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the chain as deterministic JSON.")
   in
-  let run obs (_ : backend_sel) ob steps seed rate =
-    let spec =
-      { (spec_of ~objects:32 ~steps ~delegation_rate:rate) with
-        Gen.terminate_all = false }
+  let run obs (_ : backend_sel) ob steps objects seed rate impl crash_frac
+      upto json =
+    tt_guard obs @@ fun () ->
+    let db =
+      temporal_db ~impl ~objects ~steps ~rate ~seed ~crash_frac
+        ~tracing:false ()
     in
-    let script = Gen.generate spec ~seed:(Int64.of_int seed) in
-    let db = Driver.fresh_db ~n_objects:32 () in
-    Driver.run db script;
-    let oid = Ariesrh_types.Oid.of_int ob in
-    Format.printf "history of ob%d (%d events in the run):@.@." ob
-      (List.length (Db.object_history db oid));
-    List.iter
-      (fun e ->
-        match e with
-        | Db.Updated { lsn; invoker; op } ->
-            Format.printf "  %4d  update by %a (%s)@."
-              (Ariesrh_types.Lsn.to_int lsn)
-              Ariesrh_types.Xid.pp invoker
-              (match op with
-              | Ariesrh_wal.Record.Set { before; after } ->
-                  Printf.sprintf "set %d->%d" before after
-              | Ariesrh_wal.Record.Add d -> Printf.sprintf "add %+d" d)
-        | Db.Delegated { lsn; from_; to_; op_lsn } ->
-            Format.printf "  %4d  responsibility %a -> %a%s@."
-              (Ariesrh_types.Lsn.to_int lsn)
-              Ariesrh_types.Xid.pp from_ Ariesrh_types.Xid.pp to_
-              (match op_lsn with
-              | None -> " (whole object)"
-              | Some l ->
-                  Printf.sprintf " (operation at LSN %d)"
-                    (Ariesrh_types.Lsn.to_int l))
-        | Db.Compensated { lsn; by; undone } ->
-            Format.printf "  %4d  compensated by %a (undid LSN %d)@."
-              (Ariesrh_types.Lsn.to_int lsn)
-              Ariesrh_types.Xid.pp by
-              (Ariesrh_types.Lsn.to_int undone))
-      (Db.object_history db oid);
-    (match Db.responsible_now db oid with
-    | [] -> Format.printf "@.no live responsibility (all settled).@."
-    | pairs ->
-        Format.printf "@.live responsibility now:@.";
-        List.iter
-          (fun (owner, invoker) ->
-            Format.printf "  %a answers for %a's updates@."
-              Ariesrh_types.Xid.pp owner Ariesrh_types.Xid.pp invoker)
-          pairs);
-    finish obs
+    let oid = Oid.of_int ob in
+    let upto =
+      match upto with
+      | Some l -> Lsn.of_int l
+      | None -> (Temporal.coverage db).Temporal.upto
+    in
+    let versions = Temporal.history db ~upto oid in
+    if json then
+      print_endline
+        (Obs.Json.to_string (Temporal.history_to_json ~oid ~upto versions))
+    else begin
+      Format.printf "history of ob%d as of LSN %d (%d versions):@.@." ob
+        (Lsn.to_int upto) (List.length versions);
+      List.iter
+        (fun (v : Temporal.version) ->
+          Format.printf "  %4d  %s by %a" (Lsn.to_int v.v_lsn)
+            (match v.v_op with
+            | Ariesrh_wal.Record.Set { before; after } ->
+                Printf.sprintf "set %d->%d" before after
+            | Ariesrh_wal.Record.Add d -> Printf.sprintf "add %+d" d)
+            Xid.pp v.v_writer;
+          if not (Xid.equal v.v_provenance v.v_writer) then
+            Format.printf " (invoked by %a, rewritten in place)" Xid.pp
+              v.v_provenance;
+          if not (Xid.equal v.v_holder v.v_provenance) then
+            Format.printf " -> answered by %a" Xid.pp v.v_holder;
+          List.iter
+            (fun (t : Temporal.transfer) ->
+              Format.printf "@.        delegated %a -> %a at %d%s" Xid.pp
+                t.t_from Xid.pp t.t_to (Lsn.to_int t.t_at)
+                (if t.t_op_level then " (operation)" else ""))
+            v.v_transfers;
+          List.iter
+            (fun (s : Temporal.surgery) ->
+              Format.printf "@.        surgery at %d (intent %d, %s)"
+                (Lsn.to_int s.s_clr) (Lsn.to_int s.s_intent)
+                (if s.s_committed then "committed" else "rolled back"))
+            v.v_surgeries;
+          Format.printf "  [%s]@." (Temporal.status_str v.v_status))
+        versions
+    end
   in
   Cmd.v
     (Cmd.info "history"
-       ~doc:"Show an object's update/delegation/compensation history")
-    Term.(const run $ obs_term $ backend_term $ ob $ steps $ seed $ rate)
+       ~doc:"Reconstruct an object's full version chain from the durable \
+             log: physical writer, original invoker (recovered from \
+             surgery before-images), responsible party, delegations, \
+             rewrite surgeries, and commit status")
+    Term.(
+      const run $ obs_term $ backend_term $ ob $ tt_steps $ tt_objects
+      $ tt_seed $ tt_rate $ tt_impl $ tt_crash $ upto $ json)
+
+let asof_cmd =
+  let lsn =
+    Arg.(required & opt (some int) None
+         & info [ "lsn" ] ~docv:"LSN" ~doc:"The LSN to read as of.")
+  in
+  let ob =
+    Arg.(value & pos 0 (some int) None
+         & info [] ~docv:"OBJECT"
+             ~doc:"Object to read; omit for a full snapshot.")
+  in
+  let run obs (_ : backend_sel) lsn ob steps objects seed rate impl
+      crash_frac =
+    tt_guard obs @@ fun () ->
+    let db =
+      temporal_db ~impl ~objects ~steps ~rate ~seed ~crash_frac
+        ~tracing:false ()
+    in
+    let l = Lsn.of_int lsn in
+    let cov = Temporal.coverage db in
+    let body =
+      match ob with
+      | Some o ->
+          [ ("object", Obs.Json.Int o);
+            ("value", Obs.Json.Int (Temporal.as_of db ~lsn:l (Oid.of_int o)))
+          ]
+      | None ->
+          [ ("snapshot",
+             Obs.Json.List
+               (Array.to_list
+                  (Array.map
+                     (fun v -> Obs.Json.Int v)
+                     (Temporal.snapshot_at db l)))) ]
+    in
+    print_endline
+      (Obs.Json.to_string
+         (Obs.Json.Obj
+            (( "lsn", Obs.Json.Int lsn )
+             :: ("coverage", Temporal.coverage_to_json cov)
+             :: body)))
+  in
+  Cmd.v
+    (Cmd.info "asof"
+       ~doc:"Read the committed value of an object (or a full snapshot) \
+             at an arbitrary LSN, reconstructed from the durable log and \
+             the attached archive; refuses with a typed error when the \
+             truncated prefix is not bridged")
+    Term.(
+      const run $ obs_term $ backend_term $ lsn $ ob $ tt_steps $ tt_objects
+      $ tt_seed $ tt_rate $ tt_impl $ tt_crash)
+
+let explain_cmd =
+  let xid =
+    Arg.(required & pos 0 (some int) None
+         & info [] ~docv:"XID" ~doc:"Engine transaction id to reenact.")
+  in
+  let run obs (_ : backend_sel) xid steps objects seed rate impl crash_frac =
+    tt_guard obs @@ fun () ->
+    let db =
+      temporal_db ~impl ~objects ~steps ~rate ~seed ~crash_frac
+        ~tracing:false ()
+    in
+    print_endline
+      (Obs.Json.to_string
+         (Temporal.explain_to_json (Temporal.explain db (Xid.of_int xid))))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Reenact one transaction over the as_of snapshot at its begin \
+             LSN and report where provenance (who performed each \
+             operation) and attribution (who history now holds \
+             responsible) diverge after delegation and rewriting")
+    Term.(
+      const run $ obs_term $ backend_term $ xid $ tt_steps $ tt_objects
+      $ tt_seed $ tt_rate $ tt_impl $ tt_crash)
+
+let lineage_cmd =
+  let lsn =
+    Arg.(required & opt (some int) None
+         & info [ "lsn" ] ~docv:"LSN"
+             ~doc:"LSN of the update to trace responsibility for.")
+  in
+  let as_of =
+    Arg.(value & opt (some int) None
+         & info [ "as-of" ] ~docv:"SEQ"
+             ~doc:"Exclusive trace-ring sequence bound: answer as of \
+                   this observation step (default: everything emitted).")
+  in
+  let run obs (_ : backend_sel) lsn as_of steps objects seed rate impl
+      crash_frac =
+    tt_guard obs @@ fun () ->
+    let db =
+      temporal_db ~impl ~objects ~steps ~rate ~seed ~crash_frac
+        ~tracing:true ()
+    in
+    let answer =
+      match Obs.Lineage.query (Db.ring db) ~lsn:(Lsn.of_int lsn) ?as_of ()
+      with
+      | Some t -> Obs.Lineage.to_json t
+      | None -> Obs.Json.Null
+    in
+    print_endline
+      (Obs.Json.to_string
+         (Obs.Json.Obj
+            [ ("lsn", Obs.Json.Int lsn); ("lineage", answer) ]))
+  in
+  Cmd.v
+    (Cmd.info "lineage"
+       ~doc:"Query the structured trace ring for who is responsible for \
+             the update at an LSN (Obs.Lineage), as deterministic JSON; \
+             lineage is null when the ring no longer retains the events")
+    Term.(
+      const run $ obs_term $ backend_term $ lsn $ as_of $ tt_steps
+      $ tt_objects $ tt_seed $ tt_rate $ tt_impl $ tt_crash)
 
 (* --- sim --- *)
 
@@ -489,6 +683,13 @@ let storm_cmd =
              ~doc:"Directory for forensic failure dumps (event trail, \
                    per-mismatch lineage, metrics); $(b,none) disables them.")
   in
+  let time_travel =
+    Arg.(value & opt bool true
+         & info [ "time-travel" ]
+             ~doc:"Run concurrent analytic time-travel readers: \
+                   Temporal.snapshot_at at sampled durable commit LSNs \
+                   must equal the oracle's expected state at that point.")
+  in
   let external_ =
     Arg.(value & flag
          & info [ "external" ]
@@ -504,8 +705,8 @@ let storm_cmd =
                    seed (0 = sweep until the script survives a run).")
   in
   let run obs sel steps objects seeds seed0 rate impl depth crash_step
-      sim_steps clients group_commit record_cache audit forensic_dir external_
-      max_kills =
+      sim_steps clients group_commit record_cache audit time_travel
+      forensic_dir external_ max_kills =
     let forensic_dir = if forensic_dir = "none" then None else Some forensic_dir in
     let spec = spec_of ~objects ~steps ~delegation_rate:rate in
     let total = ref None in
@@ -548,6 +749,7 @@ let storm_cmd =
           group_commit;
           record_cache;
           audit;
+          time_travel;
           forensic_dir;
           backend_root = sel.backend_root }
       in
@@ -580,7 +782,8 @@ let storm_cmd =
     Term.(
       const run $ obs_term $ backend_term $ steps $ objects $ seeds $ seed0
       $ rate $ impl $ depth $ crash_step $ sim_steps $ clients $ group_commit
-      $ record_cache $ audit $ forensic_dir $ external_ $ max_kills)
+      $ record_cache $ audit $ time_travel $ forensic_dir $ external_
+      $ max_kills)
 
 (* --- pressure-storm --- *)
 
@@ -638,6 +841,14 @@ let pressure_storm_cmd =
                    closure, CLR targets, surgery bracketing); violations \
                    fail the storm.")
   in
+  let time_travel =
+    Arg.(value & opt bool true
+         & info [ "time-travel" ]
+             ~doc:"Run analytic time-travel readers in every check round: \
+                   exact ledger match while history is intact, typed \
+                   History_unavailable refusal once the governor \
+                   truncates.")
+  in
   let forensic_dir =
     Arg.(value & opt string "."
          & info [ "forensic-dir" ] ~docv:"DIR"
@@ -645,7 +856,7 @@ let pressure_storm_cmd =
                    per-mismatch lineage, metrics); $(b,none) disables them.")
   in
   let run obs sel seeds seed0 steps clients capacity crash_every depth rate
-      impl group_commit record_cache audit forensic_dir =
+      impl group_commit record_cache audit time_travel forensic_dir =
     let engines =
       match impl with
       | Some i -> [ i ]
@@ -668,6 +879,7 @@ let pressure_storm_cmd =
               group_commit;
               record_cache;
               audit;
+              time_travel;
               forensic_dir =
                 (if forensic_dir = "none" then None else Some forensic_dir);
               backend_root = sel.backend_root }
@@ -690,7 +902,7 @@ let pressure_storm_cmd =
     Term.(
       const run $ obs_term $ backend_term $ seeds $ seed0 $ steps $ clients
       $ capacity $ crash_every $ depth $ rate $ impl $ group_commit
-      $ record_cache $ audit $ forensic_dir)
+      $ record_cache $ audit $ time_travel $ forensic_dir)
 
 (* --- media ops: backup / restore / scrub / media-storm --- *)
 
@@ -1082,8 +1294,8 @@ let main =
   Cmd.group
     (Cmd.info "ariesrh" ~version:"1.0.0"
        ~doc:"Delegation by efficiently rewriting history (ARIES/RH)")
-    [ figures_cmd; run_cmd; compare_cmd; sim_cmd; history_cmd; storm_cmd;
-      pressure_storm_cmd; backup_cmd; restore_cmd; scrub_cmd;
-      media_storm_cmd; metrics_cmd ]
+    [ figures_cmd; run_cmd; compare_cmd; sim_cmd; history_cmd; asof_cmd;
+      explain_cmd; lineage_cmd; storm_cmd; pressure_storm_cmd; backup_cmd;
+      restore_cmd; scrub_cmd; media_storm_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval main)

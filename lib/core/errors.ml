@@ -20,6 +20,21 @@ exception Media_unhealable of { target : string; id : int }
     (shadow, archive snapshot, archived WAL) — the object stays
     quarantined. *)
 
+exception
+  History_unavailable of {
+    lsn : Lsn.t;
+    available_from : Lsn.t;
+    available_upto : Lsn.t;
+  }
+(** A time-travel query asked for a point the durable history no longer
+    (or does not yet) covers: [lsn] lies outside
+    [[available_from, available_upto]], and neither the live log nor an
+    attached archive bridges the gap. Raised by [Temporal] instead of
+    ever answering from a silently partial prefix. *)
+
+let history_unavailable ~lsn ~available_from ~available_upto =
+  raise (History_unavailable { lsn; available_from; available_upto })
+
 let pp_overload_reason ppf = function
   | Begin_refused ->
       Format.pp_print_string ppf "new transactions refused under log pressure"
@@ -58,6 +73,11 @@ let pp_exn ppf = function
         "unhealable media corruption: %s %d has no intact source \
          (shadow, archive snapshot or archived WAL)"
         target id
+  | History_unavailable { lsn; available_from; available_upto } ->
+      Format.fprintf ppf
+        "history unavailable at %a: durable history covers %a..%a \
+         (truncated prefix not bridged by any archive)"
+        Lsn.pp lsn Lsn.pp available_from Lsn.pp available_upto
   | Ariesrh_storage.Archive.Archive_corrupt { path; what } ->
       Format.fprintf ppf "media archive corrupt: %s (%s)" path what
   | Ariesrh_wal.Log_store.Log_full { dimension; need; used; reserved; capacity }

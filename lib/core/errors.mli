@@ -39,6 +39,23 @@ exception Media_unhealable of { target : string; id : int }
     ["page"], ["wal"] or an archive component and [id] the page number
     or 0-based record index. The object stays quarantined. *)
 
+exception
+  History_unavailable of {
+    lsn : Lsn.t;
+    available_from : Lsn.t;
+    available_upto : Lsn.t;
+  }
+(** A time-travel query asked for a point the durable history does not
+    cover: [lsn] lies outside [[available_from, available_upto]] — the
+    prefix was truncated and no attached archive bridges the gap from
+    genesis, or [lsn] is above the durable horizon. Raised by
+    [Ariesrh_temporal.Temporal] instead of ever answering from a
+    silently partial history. *)
+
+val history_unavailable :
+  lsn:Lsn.t -> available_from:Lsn.t -> available_upto:Lsn.t -> 'a
+(** Raise {!History_unavailable}. *)
+
 val pp_overload_reason : Format.formatter -> overload_reason -> unit
 
 val pp_exn : Format.formatter -> exn -> unit

@@ -4,6 +4,7 @@ module Fault = Ariesrh_fault.Fault
 module Log_store = Ariesrh_wal.Log_store
 module Record = Ariesrh_wal.Record
 module Prng = Ariesrh_util.Prng
+module Temporal = Ariesrh_temporal.Temporal
 
 type config = {
   seed : int64;
@@ -16,6 +17,7 @@ type config = {
   group_commit : int;
   record_cache : int;
   audit : bool;
+  time_travel : bool;
   forensic_dir : string option;
   backend_root : string option;
 }
@@ -32,6 +34,7 @@ let default_config =
     group_commit = 0;
     record_cache = Config.default.Config.record_cache;
     audit = true;
+    time_travel = true;
     forensic_dir = None;
     backend_root = None;
   }
@@ -66,6 +69,7 @@ type outcome = {
   mutable repaired_pages : int;
   mutable fault_points : int;
   mutable checks : int;
+  mutable tt_reads : int;
   mutable failures : string list;
 }
 
@@ -82,6 +86,7 @@ let fresh_outcome () =
     repaired_pages = 0;
     fault_points = 0;
     checks = 0;
+    tt_reads = 0;
     failures = [];
   }
 
@@ -91,9 +96,10 @@ let pp_outcome ppf o =
   Format.fprintf ppf
     "@[<v>runs=%d actions=%d@ crashes=%d nested=%d recoveries=%d@ \
      torn_writes=%d torn_flushes=%d amputated=%d repaired_pages=%d@ \
-     fault_points=%d checks=%d failures=%d%a@]"
+     fault_points=%d checks=%d tt_reads=%d failures=%d%a@]"
     o.runs o.actions o.crashes o.nested_crashes o.recoveries o.torn_writes
     o.torn_flushes o.amputated o.repaired_pages o.fault_points o.checks
+    o.tt_reads
     (List.length o.failures)
     (fun ppf -> function
       | [] -> ()
@@ -114,6 +120,7 @@ let merge a b =
     repaired_pages = a.repaired_pages + b.repaired_pages;
     fault_points = a.fault_points + b.fault_points;
     checks = a.checks + b.checks;
+    tt_reads = a.tt_reads + b.tt_reads;
     failures = b.failures @ a.failures;
   }
 
@@ -259,6 +266,51 @@ let check_state ~outcome ~label fault db expected =
         (Printf.sprintf "%s: re-restart raised %s" label (Printexc.to_string e)));
   Fault.set_enabled fault true
 
+(* --- time-travel readers --- *)
+
+let pp_arr a = String.concat ";" (Array.to_list (Array.map string_of_int a))
+
+(* Evenly spaced subset of [points] (first and last always included)
+   bounding the per-round cost of the as_of sweep. *)
+let sample_points points ~limit =
+  let n = List.length points in
+  if n <= limit || limit < 2 then points
+  else
+    let arr = Array.of_list points in
+    List.init limit (fun i -> arr.(i * (n - 1) / (limit - 1)))
+
+(* The as_of-equals-ledger oracle: at each sampled durable commit LSN,
+   the temporal snapshot reconstructed from the log (before/after
+   images, delegate records, surgery CLRs) must equal the harness's
+   expected state at that point. Caller has faults gated off. *)
+let tt_check ~outcome ~label db ~expected_at points =
+  List.iter
+    (fun (l, x) ->
+      outcome.tt_reads <- outcome.tt_reads + 1;
+      let want = expected_at l in
+      match Temporal.snapshot_at db l with
+      | snap ->
+          if snap <> want then
+            fail outcome
+              (Printf.sprintf
+                 "%s: as_of lsn %d (commit of %s): got [%s] want [%s]" label
+                 (Lsn.to_int l)
+                 (Format.asprintf "%a" Xid.pp x)
+                 (pp_arr snap) (pp_arr want))
+      | exception e ->
+          fail outcome
+            (Printf.sprintf "%s: as_of lsn %d raised %s" label (Lsn.to_int l)
+               (Format.asprintf "%a" Errors.pp_exn e)))
+    points
+
+(* xid -> durable commit LSN, from the retained log *)
+let commit_lsn_map cps =
+  let t = Xid.Tbl.create 64 in
+  List.iter
+    (fun (l, x) -> if not (Xid.Tbl.mem t x) then Xid.Tbl.replace t x l)
+    cps;
+  t
+
 let absorb_fault_stats outcome fault =
   let s = Fault.stats fault in
   outcome.torn_writes <- outcome.torn_writes + s.Fault.torn_writes;
@@ -326,7 +378,32 @@ let run_script ?(config = default_config) ?(impl = Config.Rh) spec =
     | Ok _report ->
         check_state ~outcome
           ~label:(Printf.sprintf "script crash_io=%d" !crash_io)
-          fault db expected);
+          fault db expected;
+        if config.time_travel then begin
+          (* analytic sweep over the recovered log: as_of at each
+             durable commit LSN must equal the oracle replay with the
+             commit set restricted to commits at or below that LSN *)
+          Fault.set_enabled fault false;
+          let cps = Temporal.commit_points db in
+          let commit_lsn = commit_lsn_map cps in
+          let expected_at l =
+            let committed_at t =
+              match Hashtbl.find_opt xid_map t with
+              | Some x -> (
+                  match Xid.Tbl.find_opt commit_lsn x with
+                  | Some cl -> Lsn.(cl <= l)
+                  | None -> false)
+              | None -> false
+            in
+            Oracle.expected_for ~n_objects ~committed:committed_at
+              ~crash_at:!executed script
+          in
+          tt_check ~outcome
+            ~label:(Printf.sprintf "script crash_io=%d tt" !crash_io)
+            db ~expected_at
+            (sample_points cps ~limit:8);
+          Fault.set_enabled fault true
+        end);
     maybe_dump ~config ~outcome ~fail_before ~kind:"crash" ~crash_io:!crash_io
       ~expected fault db;
     absorb_fault_stats outcome fault;
@@ -405,6 +482,37 @@ let run_sim ?(config = default_config) ?(sim = default_sim) () =
       ledger;
     v
   in
+  (* Ledger state at an arbitrary durable commit LSN: the entries of
+     every transaction whose commit record is at or below that point.
+     Sound because an entry's holder at LSN l either is its final
+     holder (then both sides use the same commit record) or delegated
+     it onward above l — and a delegation always precedes the
+     delegator's commit, so that holder's commit is above l too and
+     both sides exclude the entry. *)
+  let tt_expected_at commit_lsn l =
+    let v = Array.make sim.n_objects 0 in
+    Xid.Tbl.iter
+      (fun x entries ->
+        match Xid.Tbl.find_opt commit_lsn x with
+        | Some cl when Lsn.(cl <= l) ->
+            List.iter (fun (o, d) -> v.(o) <- v.(o) + d) entries
+        | _ -> ())
+      ledger;
+    v
+  in
+  (* one round of concurrent analytic readers, faults gated off so the
+     storm's crash schedule is untouched *)
+  let tt_round ~label ~limit =
+    if config.time_travel then begin
+      Fault.set_enabled fault false;
+      let cps = Temporal.commit_points db in
+      let commit_lsn = commit_lsn_map cps in
+      tt_check ~outcome ~label db
+        ~expected_at:(tt_expected_at commit_lsn)
+        (sample_points cps ~limit);
+      Fault.set_enabled fault true
+    end
+  in
   let other_active self =
     let cands = ref [] in
     Array.iteri
@@ -477,7 +585,9 @@ let run_sim ?(config = default_config) ?(sim = default_sim) () =
         outcome.runs <- outcome.runs + 1;
         check_state ~outcome
           ~label:(Printf.sprintf "sim crash #%d" outcome.crashes)
-          fault db (expected ()));
+          fault db (expected ());
+        tt_round ~label:(Printf.sprintf "sim crash #%d tt" outcome.crashes)
+          ~limit:8);
     maybe_dump ~config ~outcome ~fail_before ~kind:"sim"
       ~tag:(Printf.sprintf "crash%d" outcome.crashes)
       ~expected:(expected ()) fault db;
@@ -487,8 +597,12 @@ let run_sim ?(config = default_config) ?(sim = default_sim) () =
   Fault.arm_crash_in fault sim.crash_every;
   for i = 1 to sim.steps do
     outcome.actions <- outcome.actions + 1;
-    try step (i mod sim.clients)
-    with Fault.Injected_crash _ -> handle_crash ()
+    (try step (i mod sim.clients)
+     with Fault.Injected_crash _ -> handle_crash ());
+    (* an analytic time-travel reader interleaved with the OLTP
+       clients: probe the latest durable commit point mid-run *)
+    if i mod 37 = 0 then tt_round ~label:(Printf.sprintf "sim step %d tt" i)
+        ~limit:2
   done;
   (* final clean crash + restart + reconciliation *)
   Fault.disarm_crash fault;
@@ -496,7 +610,9 @@ let run_sim ?(config = default_config) ?(sim = default_sim) () =
   let fail_before = List.length outcome.failures in
   (match recover_until_stable ~config ~outcome fault db with
   | Error msg -> fail outcome (Printf.sprintf "sim final restart: %s" msg)
-  | Ok _ -> check_state ~outcome ~label:"sim final" fault db (expected ()));
+  | Ok _ ->
+      check_state ~outcome ~label:"sim final" fault db (expected ());
+      tt_round ~label:"sim final tt" ~limit:16);
   maybe_dump ~config ~outcome ~fail_before ~kind:"sim" ~tag:"final"
     ~expected:(expected ()) fault db;
   absorb_fault_stats outcome fault;

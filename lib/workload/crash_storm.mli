@@ -42,6 +42,13 @@ type config = {
           a violation surfaces as [Audit_failed] and fails the storm.
           Default [true] — storms are exactly where latent chain damage
           would hide *)
+  time_travel : bool;
+      (** run concurrent analytic time-travel readers: during the sim
+          storm and after every check round, [Temporal.snapshot_at] at
+          sampled durable commit LSNs must equal the harness's expected
+          state at that point (the as_of-equals-ledger oracle). Readers
+          run with faults gated off so crash schedules are unchanged.
+          Default [true] *)
   forensic_dir : string option;
       (** when set, storm databases run with the trace ring enabled and
           every check round that adds failures writes a
@@ -67,6 +74,7 @@ type outcome = {
   mutable repaired_pages : int;
   mutable fault_points : int;  (** crashes + nested + torn writes + tears *)
   mutable checks : int;  (** oracle/invariant/idempotence check rounds *)
+  mutable tt_reads : int;  (** time-travel as_of reads performed *)
   mutable failures : string list;  (** newest first; empty = storm passed *)
 }
 

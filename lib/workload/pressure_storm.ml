@@ -5,6 +5,7 @@ module Log_store = Ariesrh_wal.Log_store
 module Record = Ariesrh_wal.Record
 module Prng = Ariesrh_util.Prng
 module Governor = Ariesrh_maintenance.Governor
+module Temporal = Ariesrh_temporal.Temporal
 
 type config = {
   seed : int64;
@@ -28,6 +29,7 @@ type config = {
   group_commit : int;
   record_cache : int;
   audit : bool;
+  time_travel : bool;
   forensic_dir : string option;
   backend_root : string option;
 }
@@ -55,6 +57,7 @@ let default_config =
     group_commit = 0;
     record_cache = Config.default.Config.record_cache;
     audit = true;
+    time_travel = true;
     forensic_dir = None;
     backend_root = None;
   }
@@ -83,6 +86,8 @@ type outcome = {
   mutable reservations : int;
   mutable admission_rejects : int;
   mutable peak_pressure : float;
+  mutable tt_reads : int;
+  mutable tt_refused : int;
   mutable failures : string list;
 }
 
@@ -111,6 +116,8 @@ let fresh_outcome () =
     reservations = 0;
     admission_rejects = 0;
     peak_pressure = 0.;
+    tt_reads = 0;
+    tt_refused = 0;
     failures = [];
   }
 
@@ -124,12 +131,12 @@ let pp_outcome ppf o =
      nested=%d recoveries=%d squeezes=%d checks=%d drain_commits=%d@ \
      governor: ticks=%d checkpoints=%d truncations=%d records_truncated=%d \
      victims=%d@ log: reservations=%d admission_rejects=%d \
-     peak_pressure=%.2f@ failures=%d%a@]"
+     peak_pressure=%.2f@ tt_reads=%d tt_refused=%d failures=%d%a@]"
     o.steps_run o.committed o.aborted o.delegations o.overloads o.log_fulls
     o.backoffs o.abandoned o.victimized o.crashes o.nested_crashes
     o.recoveries o.squeezes o.checks o.drain_commits o.gov_ticks
     o.gov_checkpoints o.gov_truncations o.gov_records_truncated o.gov_victims
-    o.reservations o.admission_rejects o.peak_pressure
+    o.reservations o.admission_rejects o.peak_pressure o.tt_reads o.tt_refused
     (List.length o.failures)
     (fun ppf -> function
       | [] -> ()
@@ -381,6 +388,84 @@ let run ?(config = default_config) () =
     in
     go 0
   in
+  (* Analytic time-travel readers over the pressure-governed log. Two
+     regimes, decided by {!Temporal.coverage}: while the governor has
+     not truncated yet, every [Temporal.snapshot_at] at a durable commit
+     LSN must equal the responsibility ledger filtered by commit-LSN
+     (same soundness argument as the crash storm: a ledger entry's
+     holder at L either committed at or below L on both sides, or
+     delegated onward above L and is excluded on both sides). Once the
+     governor truncates — no archive is ever attached here — every read
+     must refuse with the typed [History_unavailable], never return a
+     silently partial reconstruction. Caller has faults gated off. *)
+  let time_travel_check ~label ~pp_arr () =
+    match Temporal.coverage db with
+    | exception e ->
+        fail outcome
+          (Printf.sprintf "%s: tt coverage raised %s" label
+             (Printexc.to_string e))
+    | cov when Lsn.compare cov.Temporal.from_ Lsn.first > 0 ->
+        List.iter
+          (fun l ->
+            outcome.tt_reads <- outcome.tt_reads + 1;
+            match Temporal.snapshot_at db l with
+            | (_ : int array) ->
+                fail outcome
+                  (Printf.sprintf
+                     "%s: tt read at %s answered despite truncated \
+                      unbridged history"
+                     label
+                     (Format.asprintf "%a" Lsn.pp l))
+            | exception Errors.History_unavailable _ ->
+                outcome.tt_refused <- outcome.tt_refused + 1
+            | exception e ->
+                fail outcome
+                  (Printf.sprintf "%s: tt read at %s raised %s" label
+                     (Format.asprintf "%a" Lsn.pp l)
+                     (Printexc.to_string e)))
+          [ Lsn.first; cov.Temporal.upto ]
+    | _ ->
+        let cps = Temporal.commit_points db in
+        let commit_lsn = Xid.Tbl.create 64 in
+        List.iter
+          (fun (l, x) ->
+            if not (Xid.Tbl.mem commit_lsn x) then Xid.Tbl.add commit_lsn x l)
+          cps;
+        let expected_at l =
+          let v = Array.make config.n_objects 0 in
+          Xid.Tbl.iter
+            (fun x entries ->
+              match Xid.Tbl.find_opt commit_lsn x with
+              | Some cl when Lsn.compare cl l <= 0 ->
+                  List.iter (fun (o, d) -> v.(o) <- v.(o) + d) entries
+              | _ -> ())
+            ledger;
+          v
+        in
+        let n = List.length cps in
+        let limit = 6 in
+        let stride = if n <= limit then 1 else (n + limit - 1) / limit in
+        List.iteri
+          (fun i (l, _) ->
+            if i mod stride = 0 || i = n - 1 then begin
+              outcome.tt_reads <- outcome.tt_reads + 1;
+              let want = expected_at l in
+              match Temporal.snapshot_at db l with
+              | got ->
+                  if got <> want then
+                    fail outcome
+                      (Printf.sprintf
+                         "%s: tt state at %s: got [%s] want [%s]" label
+                         (Format.asprintf "%a" Lsn.pp l)
+                         (pp_arr got) (pp_arr want))
+              | exception e ->
+                  fail outcome
+                    (Printf.sprintf "%s: tt read at %s raised %s" label
+                       (Format.asprintf "%a" Lsn.pp l)
+                       (Printexc.to_string e))
+            end)
+          cps
+  in
   let check_state label =
     Fault.set_enabled fault false;
     outcome.checks <- outcome.checks + 1;
@@ -408,6 +493,7 @@ let run ?(config = default_config) () =
         fail outcome
           (Printf.sprintf "%s: re-restart raised %s" label
              (Printexc.to_string e)));
+    if config.time_travel then time_travel_check ~label ~pp_arr ();
     Fault.set_enabled fault true
   in
   (* best-effort forensic dump when a check round added failures; never

@@ -64,6 +64,14 @@ type config = {
   audit : bool;
       (** run the restart self-audit after every recovery (default
           [true]); violations fail the storm *)
+  time_travel : bool;
+      (** run analytic time-travel readers in every check round (default
+          [true]). While the log is untruncated, [Temporal.snapshot_at]
+          at sampled durable commit LSNs must equal the ledger filtered
+          by commit LSN; once the governor truncates (no archive is
+          attached here), every read must refuse with the typed
+          [Errors.History_unavailable] — a silently partial answer fails
+          the storm. Readers run with faults gated off. *)
   forensic_dir : string option;
       (** when set, the storm database runs with the trace ring enabled
           and every check round that adds failures writes a
@@ -104,6 +112,10 @@ type outcome = {
   mutable reservations : int;  (** log-store reservation operations *)
   mutable admission_rejects : int;  (** appends the log store refused *)
   mutable peak_pressure : float;  (** highest {!Db.log_pressure} seen *)
+  mutable tt_reads : int;  (** time-travel reads attempted *)
+  mutable tt_refused : int;
+      (** reads that refused with [History_unavailable] (expected once
+          the governor truncates) *)
   mutable failures : string list;
 }
 

@@ -3,6 +3,8 @@ open Ariesrh_core
 module Prng = Ariesrh_util.Prng
 module Deadlock = Ariesrh_lock.Deadlock
 module Log_store = Ariesrh_wal.Log_store
+module Fault = Ariesrh_fault.Fault
+module Metrics = Ariesrh_obs.Metrics
 
 type outcome = {
   committed : int;
@@ -17,7 +19,16 @@ type outcome = {
   abandoned : int;
   victimized : int;
   state_ok : bool;
+  latencies : (string * (int * int)) list;
+      (** per txn class: (commits measured, summed begin->commit latency
+          in logical I/O-clock ticks) *)
 }
+
+(* begin->commit latency buckets, in logical I/O-clock ticks (inclusive
+   upper bounds; one overflow slot beyond the last) *)
+let latency_bounds = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 |]
+
+let txn_classes = [| "read_only"; "writer"; "delegating" |]
 
 (* one planned operation of a client transaction; all updates are
    commutative adds, reads provide the S/I contention *)
@@ -97,6 +108,52 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
     reg "ariesrh_sim_victimized_total" "Transactions killed externally"
       victimized
   in
+  (* Per-txn-class begin->commit latency in logical I/O-clock ticks
+     (the fault injector's deterministic I/O counter, so same-seed runs
+     report identical histograms). Class comes from the plan: read-only,
+     plain writer, or delegating. *)
+  let lat_counts =
+    Array.init (Array.length txn_classes) (fun _ ->
+        Array.make (Array.length latency_bounds + 1) 0)
+  in
+  let lat_sums = Array.make (Array.length txn_classes) 0 in
+  let () =
+    Array.iteri
+      (fun i cls ->
+        Metrics.histogram (Db.metrics db)
+          ~help:"Sim begin->commit latency per txn class (logical I/O ticks)"
+          ~labels:[ ("class", cls) ]
+          "ariesrh_sim_txn_latency_ios"
+          (fun () ->
+            {
+              Metrics.bounds = latency_bounds;
+              counts = Array.copy lat_counts.(i);
+              sum = lat_sums.(i);
+            }))
+      txn_classes
+  in
+  let io_now () = (Fault.stats (Db.fault db)).Fault.ios in
+  let class_of_plan plan =
+    if List.exists (function Delegate_op -> true | _ -> false) plan then 2
+    else if List.for_all (function Read_op _ -> true | _ -> false) plan then 0
+    else 1
+  in
+  (* xid -> (class index, I/O clock at begin) for in-flight txns *)
+  let started : (int * int) Xid.Tbl.t = Xid.Tbl.create 32 in
+  let observe_latency xid =
+    match Xid.Tbl.find_opt started xid with
+    | None -> ()
+    | Some (ci, b) ->
+        let d = io_now () - b in
+        let nb = Array.length latency_bounds in
+        let rec bucket i =
+          if i >= nb || d <= latency_bounds.(i) then i else bucket (i + 1)
+        in
+        let bi = bucket 0 in
+        lat_counts.(ci).(bi) <- lat_counts.(ci).(bi) + 1;
+        lat_sums.(ci) <- lat_sums.(ci) + d;
+        Xid.Tbl.remove started xid
+  in
   (* per-operation increments each live transaction is responsible for:
      (object, delta, update lsn) — lsn-level tracking lets the simulator
      exercise operation-granularity delegation too *)
@@ -173,6 +230,7 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
      hard log pressure): drop its volatile tracking and retry the plan *)
   let on_victimized c xid =
     incr victimized;
+    Xid.Tbl.remove started xid;
     Xid.Tbl.remove pending xid;
     Deadlock.remove_txn graph xid;
     enter_backoff c
@@ -185,6 +243,7 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
     (match Db.abort db xid with
     | () -> incr aborted
     | exception (Errors.No_such_txn _ | Errors.Txn_not_active _) -> ());
+    Xid.Tbl.remove started xid;
     Xid.Tbl.remove pending xid;
     Deadlock.remove_txn graph xid;
     enter_backoff c
@@ -198,6 +257,7 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
         | exception (Errors.No_such_txn _ | Errors.Txn_not_active _) ->
             (* already gone — a governor got there first *)
             incr victimized);
+        Xid.Tbl.remove started xid;
         Xid.Tbl.remove pending xid;
         Deadlock.remove_txn graph xid;
         c.phase <- Idle (* retries the same plan with a fresh xid *)
@@ -303,7 +363,9 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
           if c.plan = [] then
             c.plan <- plan_txn rng ~ops_per_txn ~n_objects ~delegation_rate;
           match Db.begin_txn db with
-          | xid -> c.phase <- Running { xid; remaining = c.plan }
+          | xid ->
+              Xid.Tbl.replace started xid (class_of_plan c.plan, io_now ());
+              c.phase <- Running { xid; remaining = c.plan }
           | exception Errors.Overloaded _ ->
               incr overloads;
               enter_backoff c
@@ -314,6 +376,7 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
     | Running { xid; remaining = [] } -> (
         match Db.commit db xid with
         | () ->
+            observe_latency xid;
             pend_commit xid;
             Deadlock.remove_txn graph xid;
             incr committed;
@@ -379,4 +442,10 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
     abandoned = !abandoned;
     victimized = !victimized;
     state_ok;
+    latencies =
+      Array.to_list
+        (Array.mapi
+           (fun i cls ->
+             (cls, (Array.fold_left ( + ) 0 lat_counts.(i), lat_sums.(i))))
+           txn_classes);
   }

@@ -31,6 +31,13 @@ type outcome = {
   abandoned : int;  (** transactions given up after [max_retries] *)
   victimized : int;  (** transactions killed externally (governor) *)
   state_ok : bool;  (** engine state matches the committed-increment sums *)
+  latencies : (string * (int * int)) list;
+      (** per txn class ([read_only] / [writer] / [delegating]):
+          (commits measured, summed begin->commit latency in logical
+          I/O-clock ticks). The full distribution is exported through
+          the db's metrics registry as the
+          [ariesrh_sim_txn_latency_ios] histogram, one series per
+          [class] label. *)
 }
 
 val run :

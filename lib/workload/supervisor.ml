@@ -49,6 +49,7 @@ let fresh_outcome () =
     repaired_pages = 0;
     fault_points = 0;
     checks = 0;
+    tt_reads = 0;
     failures = [];
   }
 

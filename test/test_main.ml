@@ -23,4 +23,5 @@ let () =
       ("perf", Test_perf.suite);
       ("known-bugs", Test_known_bugs.suite);
       ("media", Test_media.suite);
+      ("temporal", Test_temporal.suite);
     ]

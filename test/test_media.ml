@@ -54,6 +54,10 @@ let pp_exn_total () =
        "archiving lagging");
       (Errors.Media_unhealable { target = "page"; id = 2 },
        "unhealable media corruption");
+      (Errors.History_unavailable
+         { lsn = Lsn.of_int 2; available_from = l;
+           available_upto = Lsn.of_int 40 },
+       "history unavailable");
       (Archive.Archive_corrupt { path = "pages.arc"; what = "bad crc" },
        "media archive corrupt");
       (Log_store.Log_full

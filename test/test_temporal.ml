@@ -1,0 +1,392 @@
+(* Time-travel observability: as_of reconstruction, per-object history
+   attribution, archive bridging below the truncation horizon, and
+   reenactment — checked on random workloads for every engine and both
+   backends, plus committed deterministic reenactment cases. *)
+
+open Ariesrh_types
+open Ariesrh_core
+open Ariesrh_workload
+module Temporal = Ariesrh_temporal.Temporal
+module Backend = Ariesrh_storage.Backend
+module Log_store = Ariesrh_wal.Log_store
+
+let n_objects = 32
+
+let spec steps =
+  { Gen.default with n_objects; n_steps = steps; p_delegate = 0.3 }
+
+type params = {
+  seed : int64;
+  steps : int;
+  crash_frac : float;
+  which : int;  (* engine: 0 rh, 1 eager, 2 lazy *)
+  file : bool;  (* file backend instead of sim *)
+}
+
+let impl_of = function
+  | 0 -> Config.Rh
+  | 1 -> Config.Eager
+  | _ -> Config.Lazy
+
+let impl_name = function 0 -> "rh" | 1 -> "eager" | _ -> "lazy"
+
+let print_params p =
+  Printf.sprintf "{seed=%Ld; steps=%d; crash_frac=%.2f; engine=%s; file=%b}"
+    p.seed p.steps p.crash_frac (impl_name p.which) p.file
+
+let gen_params =
+  QCheck.Gen.(
+    map
+      (fun (seed, steps, crash_frac, which, file) ->
+        { seed = Int64.of_int seed; steps; crash_frac; which; file })
+      (tup5 (int_bound 1_000_000) (int_range 20 120)
+         (float_bound_inclusive 1.0) (int_range 0 2)
+         (map (fun n -> n = 0) (int_bound 3))))
+
+let arb = QCheck.make ~print:print_params gen_params
+
+let script_of p = Gen.generate (spec p.steps) ~seed:p.seed
+
+let crash_point p script =
+  let n = List.length script in
+  min n (int_of_float (p.crash_frac *. float_of_int n))
+
+(* private scratch dirs for the file backend, removed on success *)
+let scratch = ref 0
+
+let fresh_dir tag =
+  incr scratch;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ariesrh-temporal-%d-%s-%d" (Unix.getpid ()) tag
+         !scratch)
+  in
+  Backend.remove_tree d;
+  d
+
+let with_db p ~tag ?tracing f =
+  let dir = if p.file then Some (fresh_dir tag) else None in
+  let backend =
+    match dir with None -> Backend.Sim | Some dir -> Backend.File { dir }
+  in
+  let db =
+    Driver.fresh_db ~backend ~impl:(impl_of p.which) ?tracing ~n_objects ()
+  in
+  let r = f db in
+  Db.close db;
+  Option.iter Backend.remove_tree dir;
+  r
+
+let pp_arr a = String.concat ";" (Array.to_list (Array.map string_of_int a))
+
+(* (a) the as_of read at the last durable commit LSN reconstructs
+   exactly the live committed state — random scripts, every engine,
+   both backends, through a crash + restart (which rewrites the log
+   under eager/lazy). Updates above that LSN belong to transactions
+   without a durable commit, so both sides exclude them. *)
+let asof_final_matches_live =
+  QCheck.Test.make ~count:120 ~name:"as_of at last commit LSN = live state"
+    arb (fun p ->
+      with_db p ~tag:"asof" (fun db ->
+          let script = script_of p in
+          let at = crash_point p script in
+          ignore (Driver.run_to_crash db script ~crash_at:at);
+          (match List.rev (Temporal.commit_points db) with
+          | [] -> ()
+          | (l, _) :: _ ->
+              let snap = Temporal.snapshot_at db l in
+              let live = Db.peek_all db in
+              if snap <> live then
+                QCheck.Test.fail_reportf
+                  "as_of %d: [%s]@ live: [%s]" (Lsn.to_int l) (pp_arr snap)
+                  (pp_arr live));
+          true))
+
+(* also exact at every intermediate commit point, against the
+   LSN-filtered oracle replay (scripts are conflict-free, so script
+   order = LSN order) *)
+let asof_matches_oracle_at_every_commit =
+  QCheck.Test.make ~count:60
+    ~name:"as_of at each commit LSN matches the LSN-filtered oracle" arb
+    (fun p ->
+      with_db p ~tag:"asofall" (fun db ->
+          let script = script_of p in
+          let at = crash_point p script in
+          let xid_map = Hashtbl.create 16 in
+          (try
+             Driver.run ~upto:at ~xid_map db script;
+             Db.crash db
+           with Ariesrh_fault.Fault.Injected_crash _ -> ());
+          ignore (Db.recover db);
+          let commit_lsn = Xid.Tbl.create 32 in
+          List.iter
+            (fun (l, x) ->
+              if not (Xid.Tbl.mem commit_lsn x) then
+                Xid.Tbl.add commit_lsn x l)
+            (Temporal.commit_points db);
+          let committed_at l t =
+            match Hashtbl.find_opt xid_map t with
+            | None -> false
+            | Some x -> (
+                match Xid.Tbl.find_opt commit_lsn x with
+                | Some cl -> Lsn.(cl <= l)
+                | None -> false)
+          in
+          List.iter
+            (fun (l, _) ->
+              let want =
+                Oracle.expected_for ~n_objects ~committed:(committed_at l)
+                  ~crash_at:at script
+              in
+              let got = Temporal.snapshot_at db l in
+              if got <> want then
+                QCheck.Test.fail_reportf "at %d: got [%s] want [%s]"
+                  (Lsn.to_int l) (pp_arr got) (pp_arr want))
+            (Temporal.commit_points db);
+          true))
+
+(* (b) per-object history attribution (holder + resolution status)
+   agrees with the trace ring's independent Obs.Lineage reconstruction,
+   across delegate chains that cross a crash *)
+let history_agrees_with_lineage =
+  QCheck.Test.make ~count:60
+    ~name:"history attribution agrees with Obs.Lineage across a crash" arb
+    (fun p ->
+      with_db p ~tag:"lineage" ~tracing:true (fun db ->
+          let script = script_of p in
+          let at = crash_point p script in
+          ignore (Driver.run_to_crash db script ~crash_at:at);
+          let upto = (Temporal.coverage db).Temporal.upto in
+          for o = 0 to n_objects - 1 do
+            List.iter
+              (fun (v : Temporal.version) ->
+                match Temporal.lineage_check db v with
+                | `Agree | `No_data -> ()
+                | `Disagree msg ->
+                    QCheck.Test.fail_reportf "ob%d lsn %d: %s" o
+                      (Lsn.to_int v.v_lsn) msg)
+              (Temporal.history db ~upto (Oid.of_int o))
+          done;
+          true))
+
+(* (c) coverage is all-or-nothing: after the prefix is truncated, an
+   attached archive bridging from genesis keeps every below-horizon
+   read exact (same answer as before truncation), and without one
+   every read raises the typed History_unavailable — never a silently
+   partial reconstruction *)
+let truncation_bridges_or_refuses =
+  QCheck.Test.make ~count:40
+    ~name:"below-horizon as_of: archive-exact or typed refusal"
+    QCheck.(pair arb bool)
+    (fun (p, with_archive) ->
+      with_db p ~tag:"trunc" (fun db ->
+          if with_archive then ignore (Db.attach_archive db);
+          Driver.run db (script_of p);
+          match Temporal.commit_points db with
+          | [] -> true
+          | cps ->
+              let l, _ = List.nth cps (List.length cps / 2) in
+              let before = Temporal.snapshot_at db l in
+              Db.checkpoint db;
+              ignore (Db.truncate_log db);
+              let truncated =
+                Lsn.(
+                  Log_store.truncated_below (Db.log_store db) > Lsn.first)
+              in
+              (if with_archive then begin
+                 let after = Temporal.snapshot_at db l in
+                 if after <> before then
+                   QCheck.Test.fail_reportf
+                     "archive bridge not exact at %d: [%s] vs [%s]"
+                     (Lsn.to_int l) (pp_arr after) (pp_arr before);
+                 if truncated && not (Temporal.coverage db).Temporal.bridged
+                 then QCheck.Test.fail_reportf "truncated but not bridged"
+               end
+               else if truncated then
+                 match Temporal.snapshot_at db l with
+                 | got ->
+                     QCheck.Test.fail_reportf
+                       "answered [%s] below an unbridged horizon"
+                       (pp_arr got)
+                 | exception Errors.History_unavailable _ -> ()
+               else if Temporal.snapshot_at db l <> before then
+                 QCheck.Test.fail_reportf "untruncated answer changed");
+              true))
+
+(* --- deterministic reenactment: delegated-then-rewritten --- *)
+
+(* t1 invokes an update on ob0, delegates ob0 to t2, both commit; t2
+   also writes ob1 itself. The explain report for t2 must show the
+   received operation with provenance t1, and name the durable record
+   that moved responsibility. *)
+let delegated_pair impl =
+  let db = Driver.fresh_db ~impl ~n_objects:4 () in
+  let t1 = Db.begin_txn db in
+  let t2 = Db.begin_txn db in
+  Db.add db t1 (Oid.of_int 0) 5;
+  Db.delegate db ~from_:t1 ~to_:t2 (Oid.of_int 0);
+  Db.commit db t1;
+  Db.add db t2 (Oid.of_int 1) 2;
+  Db.commit db t2;
+  (db, t1, t2)
+
+let value e oid =
+  match List.assoc_opt (Oid.of_int oid) e with
+  | Some v -> v
+  | None -> Alcotest.failf "report has no entry for ob%d" oid
+
+let check_reenactment ~via_delegate db t1 t2 =
+  let e2 = Temporal.explain db t2 in
+  Alcotest.(check bool) "t2 committed" true (e2.Temporal.e_commit <> None);
+  Alcotest.(check int) "t2 received one op" 1
+    (List.length e2.Temporal.e_received);
+  (match e2.Temporal.e_divergences with
+  | [ d ] ->
+      Alcotest.(check bool) "provenance is t1" true
+        (Xid.equal d.Temporal.d_provenance t1);
+      Alcotest.(check bool) "attribution is t2" true
+        (Xid.equal d.Temporal.d_attribution t2);
+      (match d.Temporal.d_direction with
+      | `Received -> ()
+      | `Delegated_away -> Alcotest.fail "t2 should have received");
+      (match (via_delegate, d.Temporal.d_via) with
+      | true, `Delegate _ -> ()
+      | false, `Surgery _ -> ()
+      | _, `Unknown -> Alcotest.fail "divergence lost its durable record"
+      | true, `Surgery _ -> Alcotest.fail "expected a Delegate record"
+      | false, `Delegate _ -> Alcotest.fail "expected an in-place surgery")
+  | ds -> Alcotest.failf "t2: %d divergences, wanted 1" (List.length ds));
+  (* what t2 replayed itself vs what the rewritten log attributes to it *)
+  Alcotest.(check int) "t2 replayed ob0" 0 (value e2.Temporal.e_replayed 0);
+  Alcotest.(check int) "t2 attributed ob0" 5
+    (value e2.Temporal.e_attributed 0);
+  Alcotest.(check int) "t2 attributed ob1" 2
+    (value e2.Temporal.e_attributed 1);
+  Alcotest.(check int) "as_of at t2's commit, ob0" 5
+    (value e2.Temporal.e_as_of_end 0);
+  (* the delegator's report shows the mirror image *)
+  let e1 = Temporal.explain db t1 in
+  (match e1.Temporal.e_divergences with
+  | [ d ] -> (
+      match d.Temporal.d_direction with
+      | `Delegated_away -> ()
+      | `Received -> Alcotest.fail "t1 should have delegated away")
+  | ds -> Alcotest.failf "t1: %d divergences, wanted 1" (List.length ds));
+  Alcotest.(check int) "t1 replayed ob0" 5 (value e1.Temporal.e_replayed 0);
+  Alcotest.(check int) "t1 attributed ob0" 0
+    (value e1.Temporal.e_attributed 0)
+
+let reenact_rh () =
+  let db, t1, t2 = delegated_pair Config.Rh in
+  check_reenactment ~via_delegate:true db t1 t2;
+  Db.close db
+
+let reenact_eager () =
+  (* eager rewrites history in place at delegation: the update's writer
+     is t2 as the log reads now, t1 only survives in the surgery's
+     before-image *)
+  let db, t1, t2 = delegated_pair Config.Eager in
+  (match Temporal.history db (Oid.of_int 0) with
+  | [ v ] ->
+      Alcotest.(check bool) "writer rewritten to t2" true
+        (Xid.equal v.Temporal.v_writer t2);
+      Alcotest.(check bool) "provenance recovered as t1" true
+        (Xid.equal v.Temporal.v_provenance t1);
+      Alcotest.(check bool) "carries a committed surgery" true
+        (List.exists
+           (fun (s : Temporal.surgery) -> s.Temporal.s_committed)
+           v.Temporal.v_surgeries)
+  | vs -> Alcotest.failf "ob0: %d versions, wanted 1" (List.length vs));
+  check_reenactment ~via_delegate:false db t1 t2;
+  Db.close db
+
+let reenact_lazy_committed () =
+  (* lazy defers rewriting to restart, and the splice only fires while
+     undoing a loser: a fully committed delegated pair keeps its
+     Delegate record as the authoritative transfer, before and after a
+     restart *)
+  let db, t1, t2 = delegated_pair Config.Lazy in
+  check_reenactment ~via_delegate:true db t1 t2;
+  Db.crash db;
+  ignore (Db.recover db);
+  check_reenactment ~via_delegate:true db t1 t2;
+  Db.close db
+
+let reenact_lazy_spliced () =
+  (* the lazy splice proper: t2 receives ob0 and then dies uncommitted.
+     Restart undoes the delegated-in update as t2's and splices the
+     record in place — writer becomes t2, t1 survives only in the
+     surgery's before-image, and the CLR is attributed to t2 *)
+  let db = Driver.fresh_db ~impl:Config.Lazy ~n_objects:4 () in
+  let t1 = Db.begin_txn db in
+  let t2 = Db.begin_txn db in
+  Db.add db t1 (Oid.of_int 0) 5;
+  Db.delegate db ~from_:t1 ~to_:t2 (Oid.of_int 0);
+  Db.commit db t1;
+  Db.crash db;
+  ignore (Db.recover db);
+  (match Temporal.history db (Oid.of_int 0) with
+  | [ v ] ->
+      Alcotest.(check bool) "writer spliced to t2" true
+        (Xid.equal v.Temporal.v_writer t2);
+      Alcotest.(check bool) "provenance recovered as t1" true
+        (Xid.equal v.Temporal.v_provenance t1);
+      Alcotest.(check bool) "carries a committed surgery" true
+        (List.exists
+           (fun (s : Temporal.surgery) -> s.Temporal.s_committed)
+           v.Temporal.v_surgeries);
+      (match v.Temporal.v_status with
+      | Temporal.Compensated { by; _ } ->
+          Alcotest.(check bool) "compensated by t2" true (Xid.equal by t2)
+      | s -> Alcotest.failf "status %s, wanted compensated"
+               (Temporal.status_str s))
+  | vs -> Alcotest.failf "ob0: %d versions, wanted 1" (List.length vs));
+  let e = Temporal.explain db t2 in
+  Alcotest.(check bool) "t2 has no durable commit" true
+    (e.Temporal.e_commit = None);
+  (match e.Temporal.e_divergences with
+  | [ d ] -> (
+      Alcotest.(check bool) "provenance is t1" true
+        (Xid.equal d.Temporal.d_provenance t1);
+      (match d.Temporal.d_direction with
+      | `Received -> ()
+      | `Delegated_away -> Alcotest.fail "t2 should have received");
+      match d.Temporal.d_via with
+      | `Surgery _ -> ()
+      | `Delegate _ -> Alcotest.fail "splice should hide behind surgery"
+      | `Unknown -> Alcotest.fail "divergence lost its durable record")
+  | ds -> Alcotest.failf "t2: %d divergences, wanted 1" (List.length ds));
+  (* the rolled-back delegation contributes nothing anywhere *)
+  Alcotest.(check int) "t2 attributed ob0" 0
+    (value e.Temporal.e_attributed 0);
+  Alcotest.(check int) "as_of at the durable horizon, ob0" 0
+    (value e.Temporal.e_as_of_end 0);
+  Db.close db
+
+let explain_unknown_txn () =
+  let db = Driver.fresh_db ~n_objects:4 () in
+  (match Temporal.explain db (Xid.of_int 999) with
+  | _ -> Alcotest.fail "explain of an unknown xid must raise"
+  | exception Errors.No_such_txn _ -> ());
+  Db.close db
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      asof_final_matches_live;
+      asof_matches_oracle_at_every_commit;
+      history_agrees_with_lineage;
+      truncation_bridges_or_refuses;
+    ]
+  @ [
+      Alcotest.test_case "reenact delegated txn (rh)" `Quick reenact_rh;
+      Alcotest.test_case "reenact delegated-then-rewritten (eager)" `Quick
+        reenact_eager;
+      Alcotest.test_case "reenact delegated pair (lazy, across restart)"
+        `Quick reenact_lazy_committed;
+      Alcotest.test_case "reenact delegated-then-spliced (lazy loser)"
+        `Quick reenact_lazy_spliced;
+      Alcotest.test_case "explain refuses unknown xid" `Quick
+        explain_unknown_txn;
+    ]

@@ -133,6 +133,39 @@ let sim_state_consistent () =
   Alcotest.(check bool) "state matches committed increments" true o.state_ok;
   Alcotest.(check int) "all transactions eventually commit" (6 * 40) o.committed
 
+let sim_latency_histograms () =
+  (* a live (if never armed) injector: the latency clock is the fault
+     layer's logical I/O counter, which a [Fault.none] db keeps at 0 *)
+  let fault = Ariesrh_fault.Fault.create ~seed:1L () in
+  let db =
+    Db.create ~fault (Config.make ~n_objects:32 ~buffer_capacity:16 ())
+  in
+  let o = Sim.run ~clients:6 ~txns_per_client:40 ~seed:7L db in
+  (* every commit is observed exactly once, in one of the txn classes *)
+  let measured = List.fold_left (fun a (_, (n, _)) -> a + n) 0 o.latencies in
+  Alcotest.(check int) "one latency sample per commit" o.committed measured;
+  Alcotest.(check bool) "latency ticks accumulated" true
+    (List.exists (fun (_, (_, sum)) -> sum > 0) o.latencies);
+  (* and the full distribution is exported through the metrics registry,
+     one series per class, bucket counts consistent with the outcome *)
+  let series =
+    List.filter
+      (fun (s : Ariesrh_obs.Metrics.sample) ->
+        s.name = "ariesrh_sim_txn_latency_ios")
+      (Ariesrh_obs.Metrics.snapshot (Db.metrics db))
+  in
+  Alcotest.(check int) "one histogram per txn class" 3 (List.length series);
+  let total =
+    List.fold_left
+      (fun a (s : Ariesrh_obs.Metrics.sample) ->
+        match s.value with
+        | Ariesrh_obs.Metrics.Hist h ->
+            a + Array.fold_left ( + ) 0 h.counts
+        | _ -> Alcotest.fail "latency series is not a histogram")
+      0 series
+  in
+  Alcotest.(check int) "histogram counts sum to commits" o.committed total
+
 let sim_contention_happens () =
   let db = Db.create (Config.make ~n_objects:4 ~buffer_capacity:16 ()) in
   let o = Sim.run ~clients:8 ~txns_per_client:30 ~n_objects:4 ~seed:2L db in
@@ -194,6 +227,7 @@ let suite =
     Alcotest.test_case "oracle split responsibility" `Quick
       oracle_split_responsibility;
     Alcotest.test_case "sim state consistent" `Quick sim_state_consistent;
+    Alcotest.test_case "sim latency histograms" `Quick sim_latency_histograms;
     Alcotest.test_case "sim contention happens" `Quick sim_contention_happens;
     Alcotest.test_case "sim deadlocks resolved" `Quick sim_deadlocks_resolved;
     Alcotest.test_case "sim delegation under contention" `Quick
