@@ -21,6 +21,21 @@ module Obs = Ariesrh_obs
 let header title claim =
   Format.printf "@.=== %s ===@.%s@.@." title claim
 
+(* Every machine-readable artifact (BENCH_*.json) lands in one
+   directory, set by ARIESRH_BENCH_DIR (default [_bench/], created on
+   first use) — never the repo root. *)
+let bench_dir =
+  lazy
+    (let dir =
+       match Sys.getenv_opt "ARIESRH_BENCH_DIR" with
+       | Some d when d <> "" -> d
+       | _ -> "_bench"
+     in
+     Ariesrh_storage.Backend.mkdir_p dir;
+     dir)
+
+let bench_path name = Filename.concat (Lazy.force bench_dir) name
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -737,9 +752,8 @@ let e15 () =
        paying against *)
     [ 0; 32768; 12288; 4096 ];
   (* machine-readable artifact for CI trend tracking *)
-  match Sys.getenv_opt "ARIESRH_E15_JSON" with
-  | None -> ()
-  | Some path ->
+  let path = bench_path "BENCH_e15_engines.json" in
+  let () =
       let oc = open_out path in
       let engines =
         List.rev_map
@@ -764,6 +778,8 @@ let e15 () =
         (String.concat ",\n" engines);
       close_out oc;
       Format.printf "@.wrote %s@." path
+  in
+  ()
 
 (* ------------------------------------------------------------------ *)
 (* E16: hot-path logical counters (perf-regression gate)               *)
@@ -1249,12 +1265,145 @@ let e19 () =
           ] );
     ]
 
+(* set by an experiment whose pass/fail gate should fail the process
+   without losing the artifact (run_instrumented writes it after the
+   experiment body returns) *)
+let exit_code = ref 0
+
+let e20 () =
+  header "E20: sharded engine — multicore scaling with cross-shard transfers"
+    "N independent shards (per-shard WAL, buffer pool, lock table), one\n\
+     domain each, objects hash-partitioned. Each domain runs a closed\n\
+     loop of shard-local transactions; ~5% of them also touch one\n\
+     object homed on the neighbouring shard, pulling it over with the\n\
+     crash-atomic transfer protocol (< 10% of ops cross shards).\n\
+     Committed-transaction throughput should scale with shard count;\n\
+     the gate (>= ARIESRH_E20_MIN_SCALE x at 4 shards, default 2.0)\n\
+     applies only where the host grants >= 4 domains.";
+  let module Sharded = Ariesrh_shard.Sharded in
+  let module Shard_pool = Ariesrh_shard.Shard_pool in
+  let txns_per_shard = 3000 in
+  let ops_per_txn = 4 in
+  let objects_per_shard = 64 in
+  let run shards =
+    let pool = Shard_pool.create shards in
+    let n_objects = shards * objects_per_shard in
+    let config =
+      Config.make ~n_objects ~objects_per_page:8
+        ~buffer_capacity:(max 16 (n_objects / 8))
+        ~impl:Config.Rh ~locking:true ~shards ()
+    in
+    let sh = Sharded.create ~pool config in
+    (* per-domain tallies; each slot is written by one domain only *)
+    let applied = Array.make shards 0 in
+    let cross = Array.make shards 0 in
+    let skipped = Array.make shards 0 in
+    let worker i =
+      let rng = Random.State.make [| 0xE20; i |] in
+      (* object o is based on shard (o mod shards): shard i's local
+         pool interleaves with every other shard's *)
+      let obj_of owner =
+        Oid.of_int ((Random.State.int rng objects_per_shard * shards) + owner)
+      in
+      let try_add x oid =
+        match Sharded.add sh x oid 1 with
+        | () -> applied.(i) <- applied.(i) + 1; true
+        | exception Errors.Xfer_refused _ ->
+            (* the object is locked on its current shard right now —
+               skip the op, the transaction commits without it *)
+            skipped.(i) <- skipped.(i) + 1;
+            false
+      in
+      for k = 1 to txns_per_shard do
+        (* service peers' transfer jobs queued on this shard *)
+        Shard_pool.poll pool;
+        let x = Sharded.begin_txn sh ~shard:i in
+        for _ = 1 to ops_per_txn do
+          ignore (try_add x (obj_of i))
+        done;
+        if shards > 1 && k mod 20 = 0 then begin
+          if try_add x (obj_of ((i + 1) mod shards)) then
+            cross.(i) <- cross.(i) + 1
+        end;
+        Sharded.commit sh x
+      done
+    in
+    let (), ms = time (fun () -> ignore (Shard_pool.map pool worker)) in
+    Sharded.flush_commits sh;
+    (* every committed +1 must be visible exactly once, wherever the
+       object ended up homed *)
+    let total_applied = Array.fold_left ( + ) 0 applied in
+    let sum = Array.fold_left ( + ) 0 (Sharded.peek_all sh) in
+    assert (sum = total_applied);
+    (match Sharded.audit sh with
+    | [] -> ()
+    | vs -> failwith (String.concat "; " vs));
+    let c = Sharded.counters sh in
+    Sharded.close sh;
+    Shard_pool.shutdown pool;
+    let committed = shards * txns_per_shard in
+    let tps = 1000. *. float_of_int committed /. ms in
+    (ms, committed, tps, Array.fold_left ( + ) 0 cross,
+     Array.fold_left ( + ) 0 skipped, c)
+  in
+  let rows = ref [] in
+  Format.printf "%-7s | %10s %10s %12s | %9s %8s %8s@." "shards" "txns"
+    "wall(ms)" "txn/s" "migrated" "cross" "refused";
+  let results =
+    List.map
+      (fun shards ->
+        let ms, committed, tps, cross, skipped, c = run shards in
+        Format.printf "%-7d | %10d %10.0f %12.0f | %9d %8d %8d@." shards
+          committed ms tps c.Sharded.migrations cross c.Sharded.migrations_refused;
+        rows :=
+          Obs.Json.Obj
+            [
+              ("shards", Obs.Json.Int shards);
+              ("committed_txns", Obs.Json.Int committed);
+              ("wall_ms", Obs.Json.Float ms);
+              ("txns_per_sec", Obs.Json.Float tps);
+              ("migrations", Obs.Json.Int c.Sharded.migrations);
+              ("cross_shard_txns", Obs.Json.Int cross);
+              ("refused", Obs.Json.Int c.Sharded.migrations_refused);
+              ("ops_skipped", Obs.Json.Int skipped);
+            ]
+          :: !rows;
+        (shards, tps))
+      [ 1; 2; 4 ]
+  in
+  let tps_of n = List.assoc n results in
+  let scale = tps_of 4 /. tps_of 1 in
+  let min_scale =
+    match Sys.getenv_opt "ARIESRH_E20_MIN_SCALE" with
+    | Some s -> float_of_string s
+    | None -> 2.0
+  in
+  let domains = Domain.recommended_domain_count () in
+  let gated = domains >= 4 in
+  let pass = (not gated) || scale >= min_scale in
+  Format.printf "@.scaling 1 -> 4 shards: %.2fx (gate: >= %.1fx, %s)@." scale
+    min_scale
+    (if not gated then
+       Printf.sprintf "SKIPPED — host grants only %d domain(s)" domains
+     else if pass then "PASS"
+     else "FAIL");
+  if not pass then exit_code := 1;
+  artifact_extra :=
+    [
+      ("scaling", Obs.Json.List (List.rev !rows));
+      ("scale_4_over_1", Obs.Json.Float scale);
+      ("min_scale", Obs.Json.Float min_scale);
+      ("recommended_domains", Obs.Json.Int domains);
+      ("gate_enforced", Obs.Json.Bool gated);
+      ("gate_pass", Obs.Json.Bool pass);
+    ]
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("e19", e19);
+    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
   ]
 
 (* Every experiment unconditionally leaves a machine-readable artifact
@@ -1289,7 +1438,7 @@ let run_instrumented name f =
   Fun.protect ~finally:(fun () -> Db.set_create_hook None) f;
   let ms = 1000. *. (Unix.gettimeofday () -. t0) in
   roll ();
-  let path = Printf.sprintf "BENCH_%s.json" name in
+  let path = bench_path (Printf.sprintf "BENCH_%s.json" name) in
   let extra = !artifact_extra in
   artifact_extra := [];
   Obs.Json.to_file path
@@ -1320,4 +1469,5 @@ let () =
       match List.assoc_opt name experiments with
       | Some f -> run_instrumented name f
       | None -> Format.eprintf "unknown experiment %S@." name)
-    requested
+    requested;
+  exit !exit_code

@@ -704,9 +704,17 @@ let storm_cmd =
              ~doc:"External storm: bound the scheduled kill points per \
                    seed (0 = sweep until the script survives a run).")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ]
+             ~doc:"Run the storm on a sharded engine with this many \
+                   shards (cross-shard migrations under the same crash \
+                   schedule, cross-shard transfer audit on recovery); 1 \
+                   keeps the plain single-database storm.")
+  in
   let run obs sel steps objects seeds seed0 rate impl depth crash_step
       sim_steps clients group_commit record_cache audit time_travel
-      forensic_dir external_ max_kills =
+      forensic_dir external_ max_kills shards =
     let forensic_dir = if forensic_dir = "none" then None else Some forensic_dir in
     let spec = spec_of ~objects ~steps ~delegation_rate:rate in
     let total = ref None in
@@ -715,6 +723,10 @@ let storm_cmd =
       total := Some (match !total with None -> o | Some t -> Crash_storm.merge t o)
     in
     if external_ then begin
+      if shards > 1 then begin
+        Format.eprintf "crash-storm --external does not take --shards yet@.";
+        exit 2
+      end;
       let root =
         match sel.backend_root with
         | Some r -> r
@@ -751,7 +763,8 @@ let storm_cmd =
           audit;
           time_travel;
           forensic_dir;
-          backend_root = sel.backend_root }
+          backend_root = sel.backend_root;
+          shards = max 1 shards }
       in
       for i = 0 to seeds - 1 do
         let config = { base with seed = Int64.of_int (seed0 + i) } in
@@ -783,7 +796,7 @@ let storm_cmd =
       const run $ obs_term $ backend_term $ steps $ objects $ seeds $ seed0
       $ rate $ impl $ depth $ crash_step $ sim_steps $ clients $ group_commit
       $ record_cache $ audit $ time_travel $ forensic_dir $ external_
-      $ max_kills)
+      $ max_kills $ shards)
 
 (* --- pressure-storm --- *)
 

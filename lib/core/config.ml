@@ -20,6 +20,10 @@ type t = {
       (* with continuous WAL archiving attached: how many durable records
          the live log may run ahead of the archive before admission
          raises [Archive_lagging]. 0 = no backpressure. *)
+  shards : int;
+      (* shard count for [Sharded.create]: objects are hash-partitioned
+         across this many independent engines (per-shard WAL, buffer
+         pool, lock table). A plain [Db] ignores it; 1 = no sharding. *)
 }
 
 let default =
@@ -38,6 +42,7 @@ let default =
     audit = false;
     rewrite_retries = 2;
     max_archive_lag = 0;
+    shards = 1;
   }
 
 let make ?(n_objects = default.n_objects)
@@ -49,7 +54,8 @@ let make ?(n_objects = default.n_objects)
     ?(group_commit = default.group_commit)
     ?(record_cache = default.record_cache) ?(audit = default.audit)
     ?(rewrite_retries = default.rewrite_retries)
-    ?(max_archive_lag = default.max_archive_lag) () =
+    ?(max_archive_lag = default.max_archive_lag)
+    ?(shards = default.shards) () =
   {
     n_objects;
     objects_per_page;
@@ -65,6 +71,7 @@ let make ?(n_objects = default.n_objects)
     audit;
     rewrite_retries;
     max_archive_lag;
+    shards;
   }
 
 let pages_needed t = (t.n_objects + t.objects_per_page - 1) / t.objects_per_page
@@ -92,4 +99,5 @@ let validate t =
   if t.rewrite_retries < 0 then
     invalid_arg "Config: rewrite_retries must be non-negative";
   if t.max_archive_lag < 0 then
-    invalid_arg "Config: max_archive_lag must be non-negative"
+    invalid_arg "Config: max_archive_lag must be non-negative";
+  if t.shards < 1 then invalid_arg "Config: shards must be at least 1"

@@ -47,6 +47,11 @@ type t = {
           records the live log may run ahead of the archive before
           admission raises [Errors.Archive_lagging]. [0] (default) =
           no backpressure *)
+  shards : int;
+      (** shard count for [Sharded.create]: objects hash-partitioned
+          across this many independent engines, each with its own WAL,
+          buffer pool and lock table. A plain [Db] ignores it. [1]
+          (default) = no sharding *)
 }
 
 val default : t
@@ -68,6 +73,7 @@ val make :
   ?audit:bool ->
   ?rewrite_retries:int ->
   ?max_archive_lag:int ->
+  ?shards:int ->
   unit ->
   t
 

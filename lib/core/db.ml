@@ -47,6 +47,9 @@ type media_stats = {
 
 type t = {
   config : Config.t;
+  shard : int;
+      (* which shard of a [Sharded] engine this database is ([0] for a
+         standalone db); stamps the metrics label and forensic dumps *)
   fault : Fault.t;
   backend : Backend.t;
   disk : Disk.t;
@@ -80,6 +83,10 @@ type t = {
      heal from any source. *)
   mutable archive : Archive.t option;
   mutable backup_pin : Lsn.t;
+  mutable external_pin : Lsn.t;
+      (* extra truncation pin owned by an outer layer: a [Sharded]
+         router pins each shard's log at the oldest in-flight transfer
+         so restart resolution can always find its intent records *)
   mutable quarantined : (string * int) list;
   media : media_stats;
   env : Env.t;
@@ -116,7 +123,7 @@ let place_of config oid =
    i mod config.Config.objects_per_page)
 
 let create ?(fault = Fault.none ()) ?backend ?(tracing = false)
-    ?(trace_capacity = Obs.Ring.default_capacity) config =
+    ?(trace_capacity = Obs.Ring.default_capacity) ?(shard = 0) config =
   Config.validate config;
   let backend =
     match backend with
@@ -191,9 +198,13 @@ let create ?(fault = Fault.none ()) ?backend ?(tracing = false)
   in
   let metrics =
     lazy
-      (* every export says which storage backend produced it:
-         ariesrh_*{backend="sim|file"} *)
-      (let metrics = Obs.Metrics.create ~labels:[ Backend.label backend ] () in
+      (* every export says which storage backend and shard produced it:
+         ariesrh_*{backend="sim|file",shard="<i>"} *)
+      (let metrics =
+         Obs.Metrics.create
+           ~labels:[ Backend.label backend; ("shard", string_of_int shard) ]
+           ()
+       in
        Log_store.register_metrics log metrics;
        Disk.register_metrics disk metrics;
        Buffer_pool.register_metrics pool metrics;
@@ -256,6 +267,7 @@ let create ?(fault = Fault.none ()) ?backend ?(tracing = false)
   let t =
     {
       config;
+      shard;
       fault;
       backend;
       disk;
@@ -273,6 +285,7 @@ let create ?(fault = Fault.none ()) ?backend ?(tracing = false)
       degraded = false;
       archive = None;
       backup_pin = Lsn.nil;
+      external_pin = Lsn.nil;
       quarantined = [];
       media;
       env;
@@ -322,6 +335,7 @@ let create ?(fault = Fault.none ()) ?backend ?(tracing = false)
   t
 
 let config t = t.config
+let shard t = t.shard
 let fault t = t.fault
 let backend t = t.backend
 let ring t = t.ring
@@ -631,7 +645,8 @@ let rollback_chain ?(floor = Lsn.nil) t (info : Txn_table.info) =
     | Record.Update _ | Record.Begin | Record.Abort | Record.Commit
     | Record.End | Record.Delegate _ | Record.Anchor | Record.Ckpt_begin
     | Record.Ckpt_end _ | Record.Rewrite_begin _ | Record.Rewrite_clr _
-    | Record.Rewrite_end _ ->
+    | Record.Rewrite_end _ | Record.Xfer_out _ | Record.Xfer_in _
+    | Record.Xfer_end _ ->
         ());
     k := Record.prev_for record info.xid
   done
@@ -812,9 +827,10 @@ let media_pin t =
     | Some a -> Lsn.of_int (Archive.archived_upto a + 1)
     | None -> Lsn.nil
   in
-  if Lsn.is_nil archive_pin then t.backup_pin
-  else if Lsn.is_nil t.backup_pin then archive_pin
-  else Lsn.min archive_pin t.backup_pin
+  let min_pin a b =
+    if Lsn.is_nil a then b else if Lsn.is_nil b then a else Lsn.min a b
+  in
+  min_pin (min_pin archive_pin t.backup_pin) t.external_pin
 
 let truncate_log t =
   (* settle first: truncation may drop durable commit records, and any
@@ -837,6 +853,54 @@ let truncate_log t =
       Obs.Ring.emit t.ring (Obs.Event.Truncate { below; reclaimed });
     reclaimed
   end
+
+let set_external_pin t lsn = t.external_pin <- lsn
+
+(* --- cross-shard transfer primitives --- *)
+
+(* The three log writes of the [Sharded] two-phase migration protocol.
+   Each is a forced system record; sequencing lives in the router. Only
+   the in-flight flush can tear at a crash, so a completed force here is
+   durable — the same assumption the commit protocol makes. *)
+
+let lock_holders t oid = Lock_table.holders t.locks oid
+
+let xfer_out t ~xfer_id ~hop ~oid ~target ~value =
+  check_oid t oid;
+  (* admission-checked: migration is optional work and must not eat the
+     space reserved for rollback or recovery *)
+  let lsn =
+    Log_store.append t.log
+      (Record.mk_system (Record.Xfer_out { xfer_id; hop; oid; target; value }))
+  in
+  Log_store.flush t.log ~upto:lsn;
+  lsn
+
+let xfer_in t ~xfer_id ~hop ~oid ~source ~value =
+  check_oid t oid;
+  let page, slot = place t oid in
+  let before = Buffer_pool.read_object t.pool page ~slot in
+  let lsn =
+    Log_store.append t.log
+      (Record.mk_system
+         (Record.Xfer_in { xfer_id; hop; oid; page; source; before; value }))
+  in
+  Log_store.flush t.log ~upto:lsn;
+  (* the forward pass redoes this record page-LSN conditioned, exactly
+     like an update — adopting the value now keeps the cache coherent *)
+  Apply.force t.env lsn
+    { Record.oid; page; op = Record.Set { before; after = value } };
+  lsn
+
+let xfer_end t ~xfer_id ~oid ~committed =
+  (* resolution must never die of log exhaustion: like CLRs and
+     checkpoints, the end record rides the reserved headroom *)
+  let lsn =
+    Log_store.append_reserved t.log
+      (Record.mk_system (Record.Xfer_end { xfer_id; oid; committed }))
+  in
+  Log_store.flush t.log ~upto:lsn;
+  lsn
 
 (* --- delegation --- *)
 

@@ -15,6 +15,7 @@ val create :
   ?backend:Ariesrh_storage.Backend.t ->
   ?tracing:bool ->
   ?trace_capacity:int ->
+  ?shard:int ->
   Config.t ->
   t
 (** [fault] (default inert) is threaded into the disk, the log store and
@@ -37,10 +38,18 @@ val create :
     carries a metrics registry ({!metrics}) into which the log store,
     disk, buffer pool, fault injector and the engine's own tallies are
     registered at creation — snapshotting it is always available and
-    costs nothing until read. Every sample carries a
-    [backend="sim"|"file"] label. *)
+    costs nothing until read. Every sample carries
+    [backend="sim"|"file"] and [shard="<i>"] labels.
+
+    [shard] (default [0]) is the index this database occupies inside a
+    {!Sharded} engine; it only stamps the metrics label — a standalone
+    database and shard 0 of a sharded one are indistinguishable. *)
 
 val config : t -> Config.t
+
+val shard : t -> int
+(** The shard index given at {!create} ([0] for a standalone db). *)
+
 val fault : t -> Ariesrh_fault.Fault.t
 
 val backend : t -> Ariesrh_storage.Backend.t
@@ -190,6 +199,42 @@ val truncation_horizon : t -> Lsn.t
 val truncate_log : t -> int
 (** Reclaim the log prefix below {!truncation_horizon}; returns how many
     records were discarded. *)
+
+val set_external_pin : t -> Lsn.t -> unit
+(** Extra truncation pin owned by an outer layer (combined with the
+    media pins by {!truncate_log}): a {!Sharded} router pins each
+    shard's log at the oldest in-flight transfer intent so restart
+    resolution and home-table reconstruction can always read it.
+    [Lsn.nil] (the initial value) removes the constraint. *)
+
+(** {1 Cross-shard transfer primitives}
+
+    The three forced system records of the [Sharded] two-phase
+    migration protocol. Sequencing and resolution live in the router
+    ([Ariesrh_shard.Sharded] / [Ariesrh_recovery.Xfer]); each primitive
+    appends one record and forces the log through it. *)
+
+val lock_holders : t -> Oid.t -> (Xid.t * Ariesrh_lock.Mode.t) list
+(** Transactions currently holding a lock on the object (any mode). The
+    router refuses to migrate an object that is locked. *)
+
+val xfer_out :
+  t -> xfer_id:int -> hop:int -> oid:Oid.t -> target:int -> value:int -> Lsn.t
+(** Force the transfer intent on the source shard's log.
+    Admission-checked: may raise [Ariesrh_wal.Log_store.Log_full], in
+    which case nothing happened and the migration is simply abandoned. *)
+
+val xfer_in :
+  t -> xfer_id:int -> hop:int -> oid:Oid.t -> source:int -> value:int -> Lsn.t
+(** Force the transfer record on the target shard's log and apply the
+    carried value to the target page (page-LSN conditioned, exactly as
+    the forward pass would redo it). The durable presence of this record
+    is the commit point of the transfer. Admission-checked. *)
+
+val xfer_end : t -> xfer_id:int -> oid:Oid.t -> committed:bool -> Lsn.t
+(** Force the end record closing the intent on the source shard's log.
+    Rides the reserved log headroom (like CLRs), so resolution never
+    dies of [Log_full]. *)
 
 (** {1 Log-space governance}
 

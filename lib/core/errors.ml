@@ -15,6 +15,11 @@ exception Archive_lagging of { durable : Lsn.t; archived : Lsn.t }
 (** Continuous WAL archiving fell further behind the durable head than
     the configured bound; admission backpressure until it catches up. *)
 
+exception Xfer_refused of { oid : Oid.t; holders : Xid.t list }
+(** A cross-shard migration was refused because live transactions still
+    hold locks on the object; retry after they finish. Migration only
+    moves durably committed state, so it never preempts a lock. *)
+
 exception Media_unhealable of { target : string; id : int }
 (** The scrubber found corruption it could not repair from any source
     (shadow, archive snapshot, archived WAL) — the object stays
@@ -68,6 +73,11 @@ let pp_exn ppf = function
         "WAL archiving lagging (durable at %a, archived up to %a); \
          admission refused until the archiver catches up"
         Lsn.pp durable Lsn.pp archived
+  | Xfer_refused { oid; holders } ->
+      Format.fprintf ppf
+        "cross-shard transfer of %a refused: locks held by %a" Oid.pp oid
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space Xid.pp)
+        holders
   | Media_unhealable { target; id } ->
       Format.fprintf ppf
         "unhealable media corruption: %s %d has no intact source \

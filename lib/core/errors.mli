@@ -33,6 +33,12 @@ exception Archive_lagging of { durable : Lsn.t; archived : Lsn.t }
     [Config.max_archive_lag] allows; admission refuses new transactions
     (typed backpressure) until the archiver catches up. *)
 
+exception Xfer_refused of { oid : Oid.t; holders : Xid.t list }
+(** A cross-shard migration was refused because live transactions still
+    hold locks on the object. Migration only moves durably committed
+    state, so it never preempts a lock; retry once the holders finish
+    (or route the work to the object's current home shard). *)
+
 exception Media_unhealable of { target : string; id : int }
 (** The scrubber found corruption it could not repair from any source
     (shadow, archive snapshot, archived WAL); [target] is

@@ -60,6 +60,9 @@ type t = {
      scrubber (one batch per evaluation) and, with an archive attached,
      a WAL-archiving catchup before each reclamation decision *)
   scrubber : Scrubber.t option;
+  (* sharded engines: the shared per-shard pressure view and this
+     governor's slot in it *)
+  view : (Pressure_view.t * int) option;
   stats : stats;
   mutable steps : int;  (* engine steps observed since creation *)
   mutable last_ckpt_head : int;  (* log head at the last checkpoint taken *)
@@ -69,13 +72,18 @@ type t = {
 
 let policy_name p = Format.asprintf "%a" pp_policy p
 
-let create ?(config = default_config) ?scrubber db =
+let create ?(config = default_config) ?scrubber ?view db =
   validate_config config;
+  (match view with
+  | Some (v, i) when i < 0 || i >= Pressure_view.size v ->
+      invalid_arg "Governor: view slot out of range"
+  | _ -> ());
   let t =
   {
     config;
     db;
     scrubber;
+    view;
     stats =
       {
         ticks = 0;
@@ -192,16 +200,35 @@ let evaluate t =
     t.level <- 0;
     apply_flags t
   in
+  (* in a sharded engine, publish the local pressure and fold in the
+     cluster maximum: the advisory ladder (refuse delegations/begins)
+     engages when ANY shard runs hot — intake slows before migrations
+     pile more work onto the hot shard. Reclamation and victimization
+     stay strictly local: checkpointing this shard cannot relieve a
+     peer, and aborting a local pinner is only justified by local
+     pressure. *)
+  let publish p =
+    match t.view with Some (v, i) -> Pressure_view.publish v i p | None -> ()
+  in
+  let cluster p =
+    match t.view with
+    | Some (v, _) -> Float.max p (Pressure_view.max_pressure v)
+    | None -> p
+  in
   let p = Db.log_pressure t.db in
-  if p < t.config.soft then begin
+  publish p;
+  if cluster p < t.config.soft then begin
     if t.level > 0 then deescalate t
   end
   else begin
     t.stats.soft_trips <- t.stats.soft_trips + 1;
-    maybe_checkpoint t;
-    reclaim t;
+    if p >= t.config.soft then begin
+      maybe_checkpoint t;
+      reclaim t
+    end;
     let p = Db.log_pressure t.db in
-    if p >= t.config.hard then begin
+    publish p;
+    if cluster p >= t.config.hard then begin
       t.stats.hard_trips <- t.stats.hard_trips + 1;
       let before = t.level in
       t.level <- min (t.level + 1) (List.length t.config.policies);
@@ -210,9 +237,9 @@ let evaluate t =
         | Some pol -> emit t (Obs.Event.Escalate (policy_name pol))
         | None -> ());
       apply_flags t;
-      if active Victimize_oldest t then victimize t
+      if active Victimize_oldest t && p >= t.config.hard then victimize t
     end
-    else if p < t.config.soft && t.level > 0 then
+    else if cluster p < t.config.soft && t.level > 0 then
       (* hysteresis: drop backpressure only once below the soft mark *)
       deescalate t
   end

@@ -58,13 +58,25 @@ val pp_stats : Format.formatter -> stats -> unit
 
 type t
 
-val create : ?config:config -> ?scrubber:Scrubber.t -> Db.t -> t
+val create :
+  ?config:config ->
+  ?scrubber:Scrubber.t ->
+  ?view:Pressure_view.t * int ->
+  Db.t ->
+  t
 (** Raises [Invalid_argument] on a nonsensical config (watermarks
-    outside (0, 1], [hard < soft], non-positive [tick_every]).
+    outside (0, 1], [hard < soft], non-positive [tick_every]) or a
+    [view] slot out of range.
 
     [scrubber] attaches a background media scrubber: each evaluation
     advances it one batch, so checksum sweeps ride the governor's clock
-    with no thread of their own. *)
+    with no thread of their own.
+
+    [view] plugs this governor into a sharded engine's shared
+    {!Pressure_view} at the given slot: every evaluation publishes the
+    local pressure and folds the cluster maximum into the advisory
+    backpressure ladder (one hot shard throttles every shard's
+    intake). Reclamation and victimization stay strictly local. *)
 
 val tick : t -> unit
 (** Call once per engine step. Every [tick_every]-th call evaluates the

@@ -1,0 +1,37 @@
+(* A cluster-wide view of per-shard log pressure.
+
+   Each shard's governor publishes its own pressure here on every
+   evaluation and reads the cluster maximum back. Slots are
+   single-writer (one per shard); readers may observe a slightly stale
+   float, which is fine for an advisory watermark — the view trades
+   precision for zero coordination. *)
+
+type t = { slots : float array }
+
+let create n =
+  if n < 1 then invalid_arg "Pressure_view.create: need at least one slot";
+  { slots = Array.make n 0. }
+
+let size t = Array.length t.slots
+
+let publish t i p =
+  if i < 0 || i >= Array.length t.slots then
+    invalid_arg "Pressure_view.publish: no such slot";
+  t.slots.(i) <- p
+
+let shard t i =
+  if i < 0 || i >= Array.length t.slots then
+    invalid_arg "Pressure_view.shard: no such slot";
+  t.slots.(i)
+
+let max_pressure t = Array.fold_left Float.max 0. t.slots
+
+let mean t =
+  Array.fold_left ( +. ) 0. t.slots /. float_of_int (Array.length t.slots)
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf p -> Format.fprintf ppf "%.2f" p))
+    (Array.to_seq t.slots)

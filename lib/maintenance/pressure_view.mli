@@ -1,0 +1,27 @@
+(** A cluster-wide view of per-shard log pressure.
+
+    One slot per shard; each shard's {!Governor} publishes its local
+    {!Ariesrh_core.Db.log_pressure} on every evaluation and consults
+    {!max_pressure} when engaging the advisory backpressure ladder — so
+    one shard running hot throttles the whole cluster's intake before
+    migrations pile more work onto it. Slots are single-writer and
+    reads tolerate staleness; no locking anywhere. *)
+
+type t
+
+val create : int -> t
+(** One slot per shard. *)
+
+val size : t -> int
+
+val publish : t -> int -> float -> unit
+(** [publish t shard pressure] — called by shard [shard]'s governor. *)
+
+val shard : t -> int -> float
+(** Last published pressure of one shard. *)
+
+val max_pressure : t -> float
+(** The hottest shard right now (0 if nothing published yet). *)
+
+val mean : t -> float
+val pp : Format.formatter -> t -> unit

@@ -40,6 +40,7 @@ let of_log log =
       | Record.End -> events := Ended (w ()) :: !events
       | Record.Anchor | Record.Ckpt_begin | Record.Ckpt_end _
       | Record.Rewrite_begin _ | Record.Rewrite_clr _ | Record.Rewrite_end _
+      | Record.Xfer_out _ | Record.Xfer_in _ | Record.Xfer_end _
         -> ());
   List.rev !events
 

@@ -87,6 +87,9 @@ let recover ?(passes = Forward.Merged) (env : Env.t) =
           | Record.Rewrite_begin _ | Record.Rewrite_clr _
           | Record.Rewrite_end _ ->
               failwith "ARIES undo: rewrite system record on a transaction chain"
+          | Record.Xfer_out _ | Record.Xfer_in _ | Record.Xfer_end _ ->
+              failwith
+                "ARIES undo: transfer system record on a transaction chain"
         in
         if not (Lsn.is_nil next) then Heap.push heap (next, info);
         undo_loop ()

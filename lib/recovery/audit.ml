@@ -36,6 +36,19 @@ let check (env : Env.t) =
   let cur : (Lsn.t * Lsn.t list ref * bool option ref) option ref =
     ref None
   in
+  (* open cross-shard transfers: xfer_id -> (out lsn, oid) *)
+  let open_xfers : (int, Lsn.t * Oid.t) Hashtbl.t = Hashtbl.create 8 in
+  (* per-object last transfer hop seen on this log, in LSN order *)
+  let last_hop : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let note_hop lsn oid hop =
+    let k = Oid.to_int oid in
+    (match Hashtbl.find_opt last_hop k with
+    | Some h when hop <= h ->
+        err "transfer at %a: hop %d for %a does not increase (last %d)"
+          Lsn.pp lsn hop Oid.pp oid h
+    | _ -> ());
+    Hashtbl.replace last_hop k hop
+  in
   if Lsn.(durable >= base) then
     Log_store.iter_forward log ~from:base ~upto:durable (fun lsn record ->
         (match record.Record.xid with
@@ -92,6 +105,29 @@ let check (env : Env.t) =
             | _ ->
                 err "rewrite end at %a closes no open surgery (begin=%a)"
                   Lsn.pp lsn Lsn.pp begin_lsn)
+        (* Per-shard transfer bracketing. An un-ended [Xfer_out] is NOT
+           an error here: per-shard recovery audits before the router
+           resolves in-doubt transfers against the target shard's log.
+           [check_transfers] (cross-shard, post-resolution) enforces
+           the rest. *)
+        | Record.Xfer_out { xfer_id; hop; oid; _ } ->
+            note_hop lsn oid hop;
+            if Hashtbl.mem open_xfers xfer_id then
+              err "transfer intent at %a: xfer #%d already open" Lsn.pp lsn
+                xfer_id
+            else Hashtbl.replace open_xfers xfer_id (lsn, oid)
+        | Record.Xfer_in { hop; oid; _ } -> note_hop lsn oid hop
+        | Record.Xfer_end { xfer_id; oid; _ } -> (
+            match Hashtbl.find_opt open_xfers xfer_id with
+            | Some (_, out_oid) ->
+                if not (Oid.equal out_oid oid) then
+                  err "transfer end at %a: xfer #%d ends %a but opened on %a"
+                    Lsn.pp lsn xfer_id Oid.pp oid Oid.pp out_oid;
+                Hashtbl.remove open_xfers xfer_id
+            | None ->
+                if not truncated then
+                  err "transfer end at %a closes no open xfer #%d" Lsn.pp lsn
+                    xfer_id)
         | Record.Commit | Record.Abort | Record.End | Record.Anchor
         | Record.Ckpt_begin | Record.Ckpt_end _ ->
             ());
@@ -113,6 +149,129 @@ let check (env : Env.t) =
           if not truncated then
             err "update at %a by %a, which never begins" Lsn.pp lsn Xid.pp xid)
     !updates;
+  List.rev !errors
+
+(* Cross-shard transfer invariant, checked over every shard's durable
+   log together, after the router has resolved in-doubt transfers:
+
+   - no [Xfer_out] is left un-ended anywhere;
+   - a committed [Xfer_out] has exactly one matching [Xfer_in] on the
+     shard it names, with the same object, hop and carried value;
+   - an aborted [Xfer_out] has no matching [Xfer_in] on any shard;
+   - every [Xfer_in] is justified by a durable [Xfer_out] on the shard
+     it names as its source.
+
+   Truncation relaxes the pairing checks in the usual way: once a
+   shard's log prefix is gone, the partner record may legitimately have
+   lived there. *)
+let check_transfers (shards : (int * Env.t) list) =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
+  let truncated_shard : (int, bool) Hashtbl.t = Hashtbl.create 8 in
+  let is_truncated s =
+    Option.value ~default:false (Hashtbl.find_opt truncated_shard s)
+  in
+  (* xfer_id -> (shard, lsn, oid, hop, target, value, committed option) *)
+  let outs :
+      (int, int * Lsn.t * Oid.t * int * int * int * bool option) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  (* xfer_id -> (shard, lsn, oid, hop, source, value) *)
+  let ins : (int, int * Lsn.t * Oid.t * int * int * int) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (shard, (env : Env.t)) ->
+      let log = env.Env.log in
+      let base = Log_store.truncated_below log in
+      let durable = Log_store.durable log in
+      Hashtbl.replace truncated_shard shard Lsn.(base > Lsn.first);
+      if Lsn.(durable >= base) then
+        Log_store.iter_forward log ~from:base ~upto:durable (fun lsn record ->
+            match record.Record.body with
+            | Record.Xfer_out { xfer_id; hop; oid; target; value } ->
+                if Hashtbl.mem outs xfer_id then
+                  err "shard %d: duplicate transfer intent #%d at %a" shard
+                    xfer_id Lsn.pp lsn
+                else
+                  Hashtbl.add outs xfer_id
+                    (shard, lsn, oid, hop, target, value, None)
+            | Record.Xfer_in { xfer_id; hop; oid; source; value; _ } ->
+                if Hashtbl.mem ins xfer_id then
+                  err "shard %d: duplicate transfer-in #%d at %a" shard
+                    xfer_id Lsn.pp lsn
+                else
+                  Hashtbl.add ins xfer_id (shard, lsn, oid, hop, source, value)
+            | Record.Xfer_end { xfer_id; oid; committed } -> (
+                match Hashtbl.find_opt outs xfer_id with
+                | Some (s, l, o, h, t, v, None) when s = shard ->
+                    if not (Oid.equal o oid) then
+                      err "shard %d: transfer end #%d at %a names %a, not %a"
+                        shard xfer_id Lsn.pp lsn Oid.pp oid Oid.pp o;
+                    Hashtbl.replace outs xfer_id
+                      (s, l, o, h, t, v, Some committed)
+                | Some (s, _, _, _, _, _, None) ->
+                    err
+                      "shard %d: transfer end #%d at %a but the intent lives \
+                       on shard %d"
+                      shard xfer_id Lsn.pp lsn s
+                | Some (_, _, _, _, _, _, Some _) ->
+                    err "shard %d: transfer #%d ended twice (at %a)" shard
+                      xfer_id Lsn.pp lsn
+                | None ->
+                    if not (is_truncated shard) then
+                      err "shard %d: transfer end #%d at %a with no intent"
+                        shard xfer_id Lsn.pp lsn)
+            | _ -> ()))
+    shards;
+  Hashtbl.iter
+    (fun xfer_id (shard, lsn, oid, hop, target, value, ended) ->
+      match ended with
+      | None ->
+          err "shard %d: transfer #%d at %a still in doubt after resolution"
+            shard xfer_id Lsn.pp lsn
+      | Some true -> (
+          match Hashtbl.find_opt ins xfer_id with
+          | Some (in_shard, _, in_oid, in_hop, in_source, in_value) ->
+              if in_shard <> target then
+                err
+                  "transfer #%d committed to shard %d but landed on shard %d"
+                  xfer_id target in_shard;
+              if in_source <> shard then
+                err "transfer #%d: in record claims source %d, intent on %d"
+                  xfer_id in_source shard;
+              if not (Oid.equal in_oid oid) then
+                err "transfer #%d: object mismatch (%a out, %a in)" xfer_id
+                  Oid.pp oid Oid.pp in_oid;
+              if in_hop <> hop then
+                err "transfer #%d: hop mismatch (%d out, %d in)" xfer_id hop
+                  in_hop;
+              if in_value <> value then
+                err "transfer #%d on %a: carried value mismatch (%d out, %d \
+                     in)"
+                  xfer_id Oid.pp oid value in_value
+          | None ->
+              if not (is_truncated target) then
+                err
+                  "transfer #%d on %a committed on shard %d but shard %d has \
+                   no transfer-in"
+                  xfer_id Oid.pp oid shard target)
+      | Some false -> (
+          match Hashtbl.find_opt ins xfer_id with
+          | Some (in_shard, in_lsn, _, _, _, _) ->
+              err
+                "transfer #%d aborted on shard %d but shard %d adopted it at \
+                 %a"
+                xfer_id shard in_shard Lsn.pp in_lsn
+          | None -> ()))
+    outs;
+  Hashtbl.iter
+    (fun xfer_id (shard, lsn, _, _, source, _) ->
+      if not (Hashtbl.mem outs xfer_id) && not (is_truncated source) then
+        err
+          "shard %d: transfer-in #%d at %a with no durable intent on shard %d"
+          shard xfer_id Lsn.pp lsn source)
+    ins;
   List.rev !errors
 
 let run (env : Env.t) =

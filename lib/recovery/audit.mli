@@ -16,6 +16,15 @@ val check : Env.t -> string list
 (** Collect violations without raising; [[]] means the log is clean.
     Bumps no counters. *)
 
+val check_transfers : (int * Env.t) list -> string list
+(** Cross-shard transfer audit over [(shard index, env)] for every
+    shard, run after the router has resolved in-doubt transfers: no
+    un-ended [Xfer_out] anywhere; a committed [Xfer_out] pairs with
+    exactly one [Xfer_in] on the shard it names (same object, hop and
+    carried value); an aborted one pairs with none; every [Xfer_in] is
+    justified by a durable intent on its claimed source. Pairing checks
+    relax across truncated shard logs. [[]] means clean. *)
+
 val run : Env.t -> unit
 (** [check], bumping [Env.audit_runs] (and [Env.audit_failures] when
     violations are found, before raising).

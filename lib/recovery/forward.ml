@@ -96,6 +96,9 @@ let scan ?(passes = Merged) (env : Env.t) ~mode ~amputated =
         match record.Record.body with
         | Record.Update u -> redo ~authoritative lsn u
         | Record.Clr { upd; _ } -> redo ~authoritative lsn upd
+        | Record.Xfer_in { oid; page; before; value; _ } ->
+            redo ~authoritative lsn
+              { Record.oid; page; op = Record.Set { before; after = value } }
         | _ -> ())
   in
   (* with merged passes, records below the analysis window still need
@@ -182,11 +185,20 @@ let scan ?(passes = Merged) (env : Env.t) ~mode ~amputated =
       | Record.Anchor ->
           let info = lookup (Record.writer_exn record) in
           info.last_lsn <- lsn
+      (* a durable cross-shard transfer-in is a system-written page
+         update: redo it like one (page-LSN conditioned, all modes) so
+         adopting the value and recording the adoption stay atomic *)
+      | Record.Xfer_in { oid; page; before; value; _ } ->
+          if redo_here then
+            redo ~authoritative:false lsn
+              { Record.oid; page; op = Record.Set { before; after = value } }
       (* rewrite system-transaction records are resolved by
-         [Rewrite.recover_surgeries] before any scan runs; to analysis
-         and redo they are inert bookkeeping *)
+         [Rewrite.recover_surgeries] before any scan runs; transfer
+         intent/end records by [Xfer.resolve] after per-shard recovery;
+         to analysis and redo they are inert bookkeeping *)
       | Record.Ckpt_begin | Record.Ckpt_end _ | Record.Rewrite_begin _
-      | Record.Rewrite_clr _ | Record.Rewrite_end _ -> ());
+      | Record.Rewrite_clr _ | Record.Rewrite_end _ | Record.Xfer_out _
+      | Record.Xfer_end _ -> ());
   if passes = Separate then redo_sweep ~from:redo_start ();
   {
     tt;

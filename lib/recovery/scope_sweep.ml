@@ -157,7 +157,8 @@ let sweep ?(floor = Lsn.nil) (env : Env.t) ~scopes ~on_undo =
         | Record.Begin | Record.Commit | Record.Abort | Record.End
         | Record.Clr _ | Record.Delegate _ | Record.Ckpt_begin
         | Record.Ckpt_end _ | Record.Anchor | Record.Rewrite_begin _
-        | Record.Rewrite_clr _ | Record.Rewrite_end _ ->
+        | Record.Rewrite_clr _ | Record.Rewrite_end _ | Record.Xfer_out _
+        | Record.Xfer_in _ | Record.Xfer_end _ ->
             ());
         (* α3 + α4: discard scopes that begin here, step left, stop when
            past the cluster's beginning or at the rollback floor *)

@@ -1,0 +1,179 @@
+(* One OCaml domain per shard, each draining its own job queue. The
+   router uses this to pin every shard's engine to a single domain:
+   whatever domain wants to touch shard [i]'s state ships a closure to
+   worker [i] instead, so no [Db.t] is ever shared across domains.
+
+   [exec] from worker [i] to shard [i] runs inline (re-entrancy);
+   [exec] to another shard enqueues and waits, draining its own queue
+   while blocked so two workers migrating into each other's shards
+   cannot deadlock. *)
+
+type job = unit -> unit
+
+type t = {
+  n : int;
+  queues : job Queue.t array;
+  locks : Mutex.t array;
+  conds : Condition.t array;
+  mutable domains : unit Domain.t array;
+  mutable stopped : bool;
+}
+
+(* which shard the current domain works for, [None] on the main domain *)
+let my_shard_key : int option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let push t i job =
+  Mutex.lock t.locks.(i);
+  Queue.push job t.queues.(i);
+  Condition.signal t.conds.(i);
+  Mutex.unlock t.locks.(i)
+
+(* run one pending job of shard [i], if any; never blocks *)
+let run_one t i =
+  Mutex.lock t.locks.(i);
+  let job = Queue.take_opt t.queues.(i) in
+  Mutex.unlock t.locks.(i);
+  match job with
+  | Some j ->
+      j ();
+      true
+  | None -> false
+
+let rec worker_loop t i =
+  Mutex.lock t.locks.(i);
+  while Queue.is_empty t.queues.(i) && not t.stopped do
+    Condition.wait t.conds.(i) t.locks.(i)
+  done;
+  let job = Queue.take_opt t.queues.(i) in
+  Mutex.unlock t.locks.(i);
+  match job with
+  | Some j ->
+      j ();
+      worker_loop t i
+  | None -> () (* stopped with an empty queue *)
+
+let create n =
+  if n < 1 then invalid_arg "Shard_pool.create: need at least one shard";
+  let t =
+    {
+      n;
+      queues = Array.init n (fun _ -> Queue.create ());
+      locks = Array.init n (fun _ -> Mutex.create ());
+      conds = Array.init n (fun _ -> Condition.create ());
+      domains = [||];
+      stopped = false;
+    }
+  in
+  t.domains <-
+    Array.init n (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set my_shard_key (Some i);
+            worker_loop t i));
+  t
+
+let size t = t.n
+
+(* let a worker running a long job service its own queue: without this,
+   a peer's cross-shard call queued behind the long job waits for the
+   whole job to finish (or deadlocks, if the job itself is waiting on
+   that peer) *)
+let poll t =
+  match Domain.DLS.get my_shard_key with
+  | Some i -> ignore (run_one t i)
+  | None -> ()
+
+let exec t i f =
+  if i < 0 || i >= t.n then invalid_arg "Shard_pool.exec: no such shard";
+  match Domain.DLS.get my_shard_key with
+  | Some j when j = i -> f ()
+  | me ->
+      let slot = ref None in
+      let m = Mutex.create () in
+      let c = Condition.create () in
+      push t i (fun () ->
+          let r = try Ok (f ()) with e -> Error e in
+          Mutex.lock m;
+          slot := Some r;
+          Condition.signal c;
+          Mutex.unlock m);
+      let result =
+        match me with
+        | None ->
+            (* main domain: plain blocking wait *)
+            Mutex.lock m;
+            while !slot = None do
+              Condition.wait c m
+            done;
+            let r = Option.get !slot in
+            Mutex.unlock m;
+            r
+        | Some j ->
+            (* a worker waiting on a peer must keep draining its own
+               queue, or two cross-shard calls deadlock each other.
+               Spin first (on real multicore the peer answers within
+               microseconds), then back off to a short sleep so an
+               oversubscribed host hands the core over at timer
+               granularity instead of a whole scheduler quantum *)
+            let idle = ref 0 in
+            let rec spin () =
+              let done_ =
+                Mutex.lock m;
+                let d = !slot in
+                Mutex.unlock m;
+                d
+              in
+              match done_ with
+              | Some r -> r
+              | None ->
+                  if run_one t j then idle := 0
+                  else begin
+                    incr idle;
+                    if !idle < 1000 then Domain.cpu_relax ()
+                    else begin
+                      idle := 0;
+                      Unix.sleepf 1e-4
+                    end
+                  end;
+                  spin ()
+            in
+            spin ()
+      in
+      (match result with Ok v -> v | Error e -> raise e)
+
+let map t f =
+  let results = Array.make t.n None in
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let pending = ref t.n in
+  for i = 0 to t.n - 1 do
+    push t i (fun () ->
+        let r = try Ok (f i) with e -> Error e in
+        Mutex.lock m;
+        results.(i) <- Some r;
+        decr pending;
+        Condition.signal c;
+        Mutex.unlock m)
+  done;
+  Mutex.lock m;
+  while !pending > 0 do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  Array.map
+    (fun r ->
+      match Option.get r with Ok v -> v | Error e -> raise e)
+    results
+
+let shutdown t =
+  if not t.stopped then begin
+    Array.iteri
+      (fun i l ->
+        Mutex.lock l;
+        t.stopped <- true;
+        Condition.signal t.conds.(i);
+        Mutex.unlock l)
+      t.locks;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end

@@ -1,0 +1,34 @@
+(** One OCaml domain per shard, each draining its own job queue.
+
+    The router uses this to pin each shard's engine to a single domain:
+    any domain that wants to touch shard [i]'s state ships a closure to
+    worker [i], so no [Db.t] is ever shared across domains. Without a
+    pool the router runs inline on the calling domain (the
+    deterministic mode the storms use). *)
+
+type t
+
+val create : int -> t
+(** Spawn one worker domain per shard. *)
+
+val size : t -> int
+
+val exec : t -> int -> (unit -> 'a) -> 'a
+(** [exec t i f] runs [f] on shard [i]'s worker and returns its result
+    (re-raising its exception). From worker [i] itself, [f] runs
+    inline. A worker waiting on a peer drains its own queue while
+    blocked, so cross-shard calls between workers never deadlock. *)
+
+val poll : t -> unit
+(** Run one pending job of the calling worker's own queue, if any; a
+    no-op from the main domain. A worker running a long job (a
+    closed-loop benchmark driver, say) must call this periodically so
+    peers' cross-shard calls make progress. *)
+
+val map : t -> (int -> 'a) -> 'a array
+(** Run [f i] on every shard's worker concurrently and collect the
+    results; re-raises the first exception encountered. How per-shard
+    recovery becomes parallel. *)
+
+val shutdown : t -> unit
+(** Drain every queue, stop the workers and join the domains. *)

@@ -1,0 +1,424 @@
+open Ariesrh_types
+module Db = Ariesrh_core.Db
+module Config = Ariesrh_core.Config
+module Errors = Ariesrh_core.Errors
+module Audit = Ariesrh_recovery.Audit
+module Xfer = Ariesrh_recovery.Xfer
+module Log_store = Ariesrh_wal.Log_store
+module Fault = Ariesrh_fault.Fault
+
+(* The router: N independent engines (per-shard WAL, buffer pool, lock
+   table), objects hash-partitioned by [base_home], transactions pinned
+   to one shard for their whole life. Cross-shard work is crash-atomic
+   object migration: when a transaction touches an object homed
+   elsewhere, the router transfers the object's durably committed state
+   to the transaction's shard with the two-phase protocol below, then
+   runs the op locally. [shards = 1] routes everything to shard 0 and
+   never migrates — byte-identical to a plain [Db].
+
+   The two-phase migration protocol (delegation across WALs, built from
+   the same forced-intent discipline as the rewrite system txns):
+
+     1. forced [Xfer_out] intent on the source shard (admission-checked);
+     2. forced [Xfer_in] on the target, carrying the committed value —
+        its durable presence is the commit point;
+     3. forced [Xfer_end committed=true] on the source (reserved space).
+
+   A crash at any I/O point resolves at restart ([Xfer.resolve]): the
+   intent rolls forward iff the target-side record became durable.
+   Only the in-flight flush can tear, so each completed force above is
+   durable before the next step begins — the same assumption the
+   commit protocol makes. *)
+
+type xid = { shard : int; txn : Xid.t }
+
+let pp_xid ppf fx = Format.fprintf ppf "s%d:%a" fx.shard Xid.pp fx.txn
+
+type counters = {
+  migrations : int;
+  migrations_refused : int;
+  resolved_forward : int;
+  resolved_back : int;
+}
+
+type t = {
+  config : Config.t;
+  n : int;
+  dbs : Db.t array;
+  pool : Shard_pool.t option;
+  mu : Mutex.t;  (* guards the routing tables below *)
+  homes : (int, int) Hashtbl.t;  (* oid -> home, only when <> base *)
+  hops : (int, int) Hashtbl.t;  (* oid -> last transfer hop consumed *)
+  latest_in : (int, int * Lsn.t) Hashtbl.t;
+      (* oid -> (shard, lsn) of its latest Xfer_in: what the external
+         truncation pin must keep readable for home reconstruction *)
+  inflight : (int, int * Lsn.t) Hashtbl.t;
+      (* xfer_id -> (source shard, intent lsn) while the transfer is
+         between its Xfer_out and Xfer_end *)
+  migrating : (int, unit) Hashtbl.t;
+      (* oid -> claimed: at most one transfer of an object in flight,
+         and shard workers treat a claimed object as unavailable *)
+  mutable next_xfer_id : int;
+  mutable migrations : int;
+  mutable migrations_refused : int;
+  mutable resolved_forward : int;
+  mutable resolved_back : int;
+}
+
+let create ?fault ?(tracing = false) ?pool config =
+  Config.validate config;
+  let n = config.Config.shards in
+  (match pool with
+  | Some p when Shard_pool.size p <> n ->
+      invalid_arg "Sharded.create: pool size does not match config.shards"
+  | _ -> ());
+  let dbs =
+    Array.init n (fun i ->
+        (* a shared injector keeps the single logical I/O clock the
+           deterministic storms need; without one, each shard gets its
+           own inert injector so parallel shards never share state *)
+        let fault =
+          match fault with Some f -> f | None -> Fault.none ()
+        in
+        Db.create ~fault ~tracing ~shard:i config)
+  in
+  {
+    config;
+    n;
+    dbs;
+    pool;
+    mu = Mutex.create ();
+    homes = Hashtbl.create 64;
+    hops = Hashtbl.create 64;
+    latest_in = Hashtbl.create 64;
+    inflight = Hashtbl.create 4;
+    migrating = Hashtbl.create 4;
+    next_xfer_id = 1;
+    migrations = 0;
+    migrations_refused = 0;
+    resolved_forward = 0;
+    resolved_back = 0;
+  }
+
+let shards t = t.n
+let config t = t.config
+let db t i = t.dbs.(i)
+let dbs t = Array.copy t.dbs
+
+let counters t =
+  {
+    migrations = t.migrations;
+    migrations_refused = t.migrations_refused;
+    resolved_forward = t.resolved_forward;
+    resolved_back = t.resolved_back;
+  }
+
+let exec t i f =
+  match t.pool with None -> f () | Some p -> Shard_pool.exec p i f
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let base_home t oid = Oid.to_int oid mod t.n
+
+let home t oid =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.homes (Oid.to_int oid) with
+      | Some h -> h
+      | None -> base_home t oid)
+
+(* recompute every shard's external truncation pin: the oldest LSN
+   among (a) the latest Xfer_in of each object whose latest transfer
+   landed on that shard and (b) any in-flight intent. Called with
+   [t.mu] held; the pin itself is a plain word-sized field write, so it
+   is published directly rather than shipped to the shard's worker
+   (shipping would block under [t.mu], which workers also take). *)
+let update_pins t =
+  let mins = Array.make t.n Lsn.nil in
+  let note s lsn =
+    if Lsn.is_nil mins.(s) || Lsn.(lsn < mins.(s)) then mins.(s) <- lsn
+  in
+  Hashtbl.iter (fun _ (s, lsn) -> note s lsn) t.latest_in;
+  Hashtbl.iter (fun _ (s, lsn) -> note s lsn) t.inflight;
+  Array.iteri (fun i db -> Db.set_external_pin db mins.(i)) t.dbs
+
+(* cooperative wait: a pool worker spinning on a router condition must
+   keep servicing its own queue, or the migration it waits for can be
+   stuck behind it. Spin first, then back off to a short sleep for
+   oversubscribed hosts. *)
+let relax t ~tries =
+  (match t.pool with Some p -> Shard_pool.poll p | None -> ());
+  if tries < 1000 then Domain.cpu_relax () else Unix.sleepf 1e-4
+
+(* Crash-atomic migration of one object's durably committed state.
+   Refuses (typed) while any transaction holds a lock on the object —
+   migration never preempts; the value it carries is always a committed
+   one.
+
+   Concurrency discipline (pool mode): the object is first *claimed*
+   under [t.mu] — at most one transfer of an object is ever in flight,
+   and shard workers treat a claimed object as unavailable. [t.mu] is
+   never held across a cross-worker call (that deadlocks against a
+   worker blocked on [t.mu]); instead the whole source phase — holder
+   check, commit hardening, value read, forced intent — ships as ONE
+   job, so shard-local ops serialize either wholly before it (their
+   lock makes the transfer refuse) or wholly after the claim is
+   visible. *)
+let migrate t oid ~target =
+  if target < 0 || target >= t.n then invalid_arg "Sharded.migrate: no shard";
+  let key = Oid.to_int oid in
+  let rec claim tries =
+    Mutex.lock t.mu;
+    if Hashtbl.mem t.migrating key then begin
+      (* someone else is moving this object; wait it out *)
+      Mutex.unlock t.mu;
+      relax t ~tries;
+      claim (if tries >= 1000 then 0 else tries + 1)
+    end
+    else begin
+      let source =
+        match Hashtbl.find_opt t.homes key with
+        | Some h -> h
+        | None -> base_home t oid
+      in
+      if source = target then begin
+        Mutex.unlock t.mu;
+        None
+      end
+      else begin
+        Hashtbl.replace t.migrating key ();
+        let xfer_id = t.next_xfer_id in
+        t.next_xfer_id <- xfer_id + 1;
+        (* the hop number is consumed even if the transfer aborts:
+           gaps are harmless, reuse of a never-durable hop likewise *)
+        let hop = 1 + Option.value ~default:0 (Hashtbl.find_opt t.hops key) in
+        Hashtbl.replace t.hops key hop;
+        Mutex.unlock t.mu;
+        Some (source, xfer_id, hop)
+      end
+    end
+  in
+  match claim 0 with
+  | None -> ()
+  | Some (source, xfer_id, hop) ->
+      let release () = locked t (fun () -> Hashtbl.remove t.migrating key) in
+      Fun.protect ~finally:release @@ fun () ->
+      let src = t.dbs.(source) and dst = t.dbs.(target) in
+      (* 1. the whole source phase as one shard job, ending in the
+         forced intent (admission-checked: Log_full means nothing
+         happened and the migration is abandoned) *)
+      let value, out_lsn =
+        try
+          exec t source (fun () ->
+              (match Db.lock_holders src oid with
+              | [] -> ()
+              | holders ->
+                  raise
+                    (Errors.Xfer_refused
+                       { oid; holders = List.map fst holders }));
+              (* harden any group-pending commit so the carried value
+                 is a durably committed one *)
+              Db.flush_commits src;
+              let value = Db.peek src oid in
+              let out_lsn =
+                Db.xfer_out src ~xfer_id ~hop ~oid ~target ~value
+              in
+              (value, out_lsn))
+        with Errors.Xfer_refused _ as e ->
+          locked t (fun () ->
+              t.migrations_refused <- t.migrations_refused + 1);
+          raise e
+      in
+      (* the intent is durable and must stay readable until closed *)
+      locked t (fun () ->
+          Hashtbl.replace t.inflight xfer_id (source, out_lsn);
+          update_pins t);
+      let finish committed =
+        locked t (fun () -> Hashtbl.remove t.inflight xfer_id);
+        exec t source (fun () ->
+            ignore (Db.xfer_end src ~xfer_id ~oid ~committed))
+      in
+      (* 2. transfer record + value adoption on the target — the
+         commit point of the migration *)
+      let in_lsn =
+        try exec t target (fun () -> Db.xfer_in dst ~xfer_id ~hop ~oid ~source ~value)
+        with Log_store.Log_full _ as e ->
+          (* target refused admission: nothing durable landed there,
+             roll the intent back and re-raise *)
+          finish false;
+          locked t (fun () -> update_pins t);
+          raise e
+      in
+      locked t (fun () ->
+          Hashtbl.replace t.latest_in key (target, in_lsn);
+          if target = base_home t oid then Hashtbl.remove t.homes key
+          else Hashtbl.replace t.homes key target;
+          t.migrations <- t.migrations + 1);
+      (* 3. close the intent (reserved space — cannot die of Log_full) *)
+      finish true;
+      locked t (fun () -> update_pins t)
+
+(* --- the single-db API, routed --- *)
+
+let begin_txn t ~shard =
+  if shard < 0 || shard >= t.n then invalid_arg "Sharded.begin_txn: no shard";
+  { shard; txn = exec t shard (fun () -> Db.begin_txn t.dbs.(shard)) }
+
+let on_shard t fx f = exec t fx.shard (fun () -> f t.dbs.(fx.shard))
+let commit t fx = on_shard t fx (fun db -> Db.commit db fx.txn)
+let abort t fx = on_shard t fx (fun db -> Db.abort db fx.txn)
+let is_active t fx = on_shard t fx (fun db -> Db.is_active db fx.txn)
+let savepoint t fx = on_shard t fx (fun db -> Db.savepoint db fx.txn)
+
+let rollback_to t fx sp =
+  on_shard t fx (fun db -> Db.rollback_to db fx.txn sp)
+
+(* Migrate-on-touch: an op on an object homed elsewhere first pulls the
+   object to the transaction's shard (its whole durable history of
+   record: the committed value), then runs locally under the local lock
+   table.
+
+   The availability check runs INSIDE the shard job: per-shard
+   single-threading then makes check + op atomic against the migration
+   protocol's source phase, which runs as one job on the same worker.
+   A check done on the calling domain instead would race a concurrent
+   migration and apply the op to a stale copy. *)
+let rec on_object t fx oid f =
+  let key = Oid.to_int oid in
+  let ran =
+    exec t fx.shard (fun () ->
+        let at_home =
+          locked t (fun () ->
+              (not (Hashtbl.mem t.migrating key))
+              && (match Hashtbl.find_opt t.homes key with
+                 | Some h -> h
+                 | None -> base_home t oid)
+                 = fx.shard)
+        in
+        if at_home then Some (f t.dbs.(fx.shard)) else None)
+  in
+  match ran with
+  | Some v -> v
+  | None ->
+      (* homed elsewhere or mid-transfer: pull it here and retry *)
+      migrate t oid ~target:fx.shard;
+      on_object t fx oid f
+
+let read t fx oid = on_object t fx oid (fun db -> Db.read db fx.txn oid)
+let write t fx oid v = on_object t fx oid (fun db -> Db.write db fx.txn oid v)
+let add t fx oid d = on_object t fx oid (fun db -> Db.add db fx.txn oid d)
+
+let same_shard op a b =
+  if a.shard <> b.shard then
+    invalid_arg
+      (Printf.sprintf
+         "Sharded.%s: transactions live on different shards (%d and %d) — \
+          delegate after migrating the work, not across live transactions"
+         op a.shard b.shard)
+
+let delegate t ~from_ ~to_ oid =
+  same_shard "delegate" from_ to_;
+  on_shard t from_ (fun db -> Db.delegate db ~from_:from_.txn ~to_:to_.txn oid)
+
+let delegate_update t ~from_ ~to_ oid op_lsn =
+  same_shard "delegate_update" from_ to_;
+  on_shard t from_ (fun db ->
+      Db.delegate_update db ~from_:from_.txn ~to_:to_.txn oid op_lsn)
+
+let delegate_all t ~from_ ~to_ =
+  same_shard "delegate_all" from_ to_;
+  on_shard t from_ (fun db -> Db.delegate_all db ~from_:from_.txn ~to_:to_.txn)
+
+let permit t ~holder ~grantee =
+  same_shard "permit" holder grantee;
+  on_shard t holder (fun db ->
+      Db.permit db ~holder:holder.txn ~grantee:grantee.txn)
+
+let responsible_objects t fx =
+  on_shard t fx (fun db -> Db.responsible_objects db fx.txn)
+
+(* --- whole-engine operations --- *)
+
+let each t f = Array.iteri (fun i db -> exec t i (fun () -> f db)) t.dbs
+
+let sum t f =
+  let acc = ref 0 in
+  Array.iteri (fun i db -> acc := !acc + exec t i (fun () -> f db)) t.dbs;
+  !acc
+
+let flush_commits t = each t Db.flush_commits
+let checkpoint t = each t Db.checkpoint
+let truncate_log t = sum t Db.truncate_log
+let crash t = each t Db.crash
+let shutdown t = each t Db.shutdown
+let close t = each t Db.close
+
+let envs t = List.init t.n (fun i -> (i, Db.env t.dbs.(i)))
+
+(* Restart: per-shard recovery (in parallel when a pool is attached —
+   each shard's log is independent), then cross-shard resolution of
+   in-doubt transfers, then routing-table reconstruction from the
+   durable logs alone. With [config.audit] set, the cross-shard
+   transfer audit runs after resolution (each shard's own restart
+   self-audit already ran inside [Db.recover]). *)
+let recover t =
+  let reports =
+    match t.pool with
+    | Some p -> Shard_pool.map p (fun i -> Db.recover t.dbs.(i))
+    | None -> Array.map Db.recover t.dbs
+  in
+  locked t (fun () ->
+      let envs = envs t in
+      let res = Xfer.resolve envs in
+      t.resolved_forward <- t.resolved_forward + res.Xfer.rolled_forward;
+      t.resolved_back <- t.resolved_back + res.Xfer.rolled_back;
+      let rb = Xfer.rebuild envs ~base:(base_home t) in
+      Hashtbl.reset t.homes;
+      Hashtbl.iter (Hashtbl.replace t.homes) rb.Xfer.homes;
+      Hashtbl.reset t.hops;
+      Hashtbl.iter (Hashtbl.replace t.hops) rb.Xfer.last_hops;
+      Hashtbl.reset t.latest_in;
+      Hashtbl.iter (Hashtbl.replace t.latest_in) rb.Xfer.last_ins;
+      Hashtbl.reset t.inflight;
+      Hashtbl.reset t.migrating;
+      t.next_xfer_id <- max t.next_xfer_id rb.Xfer.next_xfer_id;
+      update_pins t;
+      if t.config.Config.audit then
+        match Audit.check_transfers envs with
+        | [] -> ()
+        | vs -> raise (Audit.Audit_failed vs));
+  reports
+
+let audit t =
+  let per_shard =
+    List.concat (Array.to_list (Array.mapi
+      (fun i db -> List.map (Printf.sprintf "shard %d: %s" i)
+                     (exec t i (fun () -> Db.audit db)))
+      t.dbs))
+  in
+  per_shard @ locked t (fun () -> Audit.check_transfers (envs t))
+
+let validate t =
+  let errs = ref [] in
+  Array.iteri
+    (fun i db ->
+      match exec t i (fun () -> Db.validate db) with
+      | Ok () -> ()
+      | Error m -> errs := Printf.sprintf "shard %d: %s" i m :: !errs)
+    t.dbs;
+  (match locked t (fun () -> Audit.check_transfers (envs t)) with
+  | [] -> ()
+  | vs -> errs := vs @ !errs);
+  match !errs with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))
+
+let peek t oid =
+  let h = home t oid in
+  exec t h (fun () -> Db.peek t.dbs.(h) oid)
+
+let peek_all t =
+  Array.init t.config.Config.n_objects (fun i -> peek t (Oid.of_int i))
+
+let active_count t = sum t Db.active_count

@@ -1,0 +1,138 @@
+(** N independent engines behind the single-database API.
+
+    Objects are hash-partitioned across [config.shards] shards, each a
+    complete {!Ariesrh_core.Db} of its own (per-shard WAL, buffer pool,
+    lock table, metrics shard label). Transactions are pinned to one
+    shard for their whole life; touching an object homed elsewhere
+    first {e migrates} it — a crash-atomic two-phase transfer of the
+    object's durably committed state, built from the same forced-intent
+    discipline as the rewrite system transactions:
+
+    + forced [Xfer_out] intent on the source shard,
+    + forced [Xfer_in] (marker + value adoption in one record) on the
+      target — its durable presence is the transfer's commit point,
+    + [Xfer_end] closing the intent through reserved log headroom.
+
+    A crash at any I/O point leaves the pair resolvable at restart:
+    {!recover} runs per-shard recovery (in parallel when a
+    {!Shard_pool} is attached), closes in-doubt intents forward or
+    backward from the target-side evidence ({!Ariesrh_recovery.Xfer}),
+    rebuilds the routing tables from the durable logs alone, and — with
+    [config.audit] — cross-checks every transfer pair across shards.
+
+    [shards = 1] never migrates and is byte-identical to a plain [Db]. *)
+
+open Ariesrh_types
+module Db = Ariesrh_core.Db
+module Config = Ariesrh_core.Config
+
+type t
+
+type xid = { shard : int; txn : Xid.t }
+(** A transaction handle: raw xids are per-shard and collide across
+    shards, so the façade pairs them with the owning shard. *)
+
+val pp_xid : Format.formatter -> xid -> unit
+
+type counters = {
+  migrations : int;  (** committed cross-shard transfers *)
+  migrations_refused : int;  (** transfers refused because of live locks *)
+  resolved_forward : int;  (** in-doubt intents rolled forward at restart *)
+  resolved_back : int;  (** in-doubt intents rolled back at restart *)
+}
+
+val create :
+  ?fault:Ariesrh_fault.Fault.t ->
+  ?tracing:bool ->
+  ?pool:Shard_pool.t ->
+  Config.t ->
+  t
+(** [config.shards] engines. A [fault] injector, when given, is shared
+    by every shard — the single logical I/O clock the deterministic
+    storms count on (share one only when running inline); without one
+    each shard gets its own inert injector. [pool] (size must equal
+    [config.shards]) routes every shard's work to its own domain;
+    without it everything runs inline on the caller. Backends come from
+    {!Db.set_backend_factory}, so [--backend file] hands each shard its
+    own directory. *)
+
+val shards : t -> int
+val config : t -> Config.t
+
+val db : t -> int -> Db.t
+(** Direct access to one shard's engine (forensics, metrics, tests). *)
+
+val dbs : t -> Db.t array
+
+val counters : t -> counters
+
+val base_home : t -> Oid.t -> int
+(** Hash home of an object: where it lives before any migration. *)
+
+val home : t -> Oid.t -> int
+(** Current home (base, unless the object has migrated). *)
+
+(** {1 Cross-shard migration} *)
+
+val migrate : t -> Oid.t -> target:int -> unit
+(** Move an object's durably committed state to [target] with the
+    two-phase transfer protocol. No-op if already homed there. Raises
+    {!Ariesrh_core.Errors.Xfer_refused} while any transaction holds a
+    lock on the object — migration never preempts — and re-raises
+    [Log_full] from either side's admission check (source-side: nothing
+    happened; target-side: the durable intent is rolled back first). *)
+
+(** {1 The single-database API, routed}
+
+    Ops route to the transaction's shard; {!read}, {!write} and {!add}
+    migrate the object there first when it is homed elsewhere
+    (migrate-on-touch). Delegation and permits are same-shard —
+    cross-shard responsibility moves via {!migrate}, not across live
+    transactions. *)
+
+val begin_txn : t -> shard:int -> xid
+val commit : t -> xid -> unit
+val abort : t -> xid -> unit
+val is_active : t -> xid -> bool
+val savepoint : t -> xid -> Lsn.t
+val rollback_to : t -> xid -> Lsn.t -> unit
+val read : t -> xid -> Oid.t -> int
+val write : t -> xid -> Oid.t -> int -> unit
+val add : t -> xid -> Oid.t -> int -> unit
+val delegate : t -> from_:xid -> to_:xid -> Oid.t -> unit
+val delegate_update : t -> from_:xid -> to_:xid -> Oid.t -> Lsn.t -> unit
+val delegate_all : t -> from_:xid -> to_:xid -> unit
+val permit : t -> holder:xid -> grantee:xid -> unit
+val responsible_objects : t -> xid -> Oid.t list
+
+(** {1 Whole-engine operations} *)
+
+val flush_commits : t -> unit
+val checkpoint : t -> unit
+
+val truncate_log : t -> int
+(** Sum of records dropped across shards. Each shard's horizon also
+    respects the router's external pin: the latest [Xfer_in] of every
+    migrated object stays readable for home reconstruction. *)
+
+val crash : t -> unit
+
+val recover : t -> Ariesrh_recovery.Report.t array
+(** Per-shard recovery (parallel with a pool), transfer resolution,
+    routing-table rebuild, and — with [config.audit] — the cross-shard
+    transfer audit (raising {!Ariesrh_recovery.Audit.Audit_failed} on
+    violation), in that order. *)
+
+val audit : t -> string list
+(** Per-shard {!Db.audit} findings (prefixed with the shard) plus the
+    cross-shard transfer pairing audit. *)
+
+val validate : t -> (unit, string) result
+
+val peek : t -> Oid.t -> int
+(** Committed value, read at the object's current home. *)
+
+val peek_all : t -> int array
+val active_count : t -> int
+val shutdown : t -> unit
+val close : t -> unit

@@ -127,6 +127,10 @@ type scan = {
   sc_versions : version array; (* ascending LSN *)
   sc_commits : Lsn.t Xid.Tbl.t;
   sc_begins : Lsn.t Xid.Tbl.t;
+  sc_adoptions : (Lsn.t * Oid.t * int) list;
+      (* cross-shard [Xfer_in] adoptions, ascending LSN: system-written
+         value sets with no writer transaction, durably committed by
+         their presence alone *)
 }
 
 let scan db ~upto =
@@ -144,6 +148,7 @@ let scan db ~upto =
   let begins = Xid.Tbl.create 64 in
   let open_surgeries = ref [] in
   let closed = ref [] in
+  let adoptions = ref [] in
   let oid_list oid =
     match Hashtbl.find_opt by_oid (Oid.to_int oid) with
     | Some l -> !l
@@ -190,8 +195,12 @@ let scan db ~upto =
           if not (Xid.Tbl.mem aborts x) then Xid.Tbl.replace aborts x lsn
       | Record.Delegate { tee; oid; op; _ } -> (
           let tor = Record.writer_exn r in
+          (* a compensated update is closed — its CLR already named the
+             responsible party, so a later delegation of the object
+             moves only the still-live operations (Lineage agrees:
+             transfers apply to Live versions only) *)
           let move v op_level =
-            if Xid.equal v.m_holder tor then begin
+            if Xid.equal v.m_holder tor && v.m_comp = None then begin
               v.m_holder <- tee;
               v.m_transfers <-
                 { t_at = lsn; t_from = tor; t_to = tee; t_op_level = op_level }
@@ -223,7 +232,10 @@ let scan db ~upto =
           in
           open_surgeries := rest;
           List.iter (fun os -> closed := (os, committed) :: !closed) matching
-      | Record.End | Record.Anchor | Record.Ckpt_begin | Record.Ckpt_end _ ->
+      | Record.Xfer_in { oid; value; _ } ->
+          adoptions := (lsn, oid, value) :: !adoptions
+      | Record.End | Record.Anchor | Record.Ckpt_begin | Record.Ckpt_end _
+      | Record.Xfer_out _ | Record.Xfer_end _ ->
           ());
   (* a surgery never closed by [upto] counts as not committed: its
      intent is durable but nothing proves the rewrites completed *)
@@ -289,35 +301,44 @@ let scan db ~upto =
     Array.of_list (List.rev_map finalize !order)
   in
   { sc_upto = upto; sc_versions = versions; sc_commits = commits;
-    sc_begins = begins }
+    sc_begins = begins; sc_adoptions = List.rev !adoptions }
 
 let apply_op value = function
   | Record.Set { after; _ } -> after
   | Record.Add d -> value + d
 
+(* committed versions and transfer adoptions merged in LSN order:
+   (lsn, oid, op) ascending *)
+let committed_ops sc =
+  let vs =
+    Array.to_list sc.sc_versions
+    |> List.filter_map (fun v ->
+           match v.v_status with
+           | Committed _ -> Some (v.v_lsn, v.v_oid, v.v_op)
+           | _ -> None)
+  in
+  let ads =
+    List.map
+      (fun (l, o, value) -> (l, o, Record.Set { before = 0; after = value }))
+      sc.sc_adoptions
+  in
+  List.sort (fun (a, _, _) (b, _, _) -> Lsn.compare a b) (vs @ ads)
+
 let as_of db ~lsn oid =
   let sc = scan db ~upto:lsn in
-  Array.fold_left
-    (fun acc v ->
-      if Oid.equal v.v_oid oid then
-        match v.v_status with
-        | Committed _ -> apply_op acc v.v_op
-        | _ -> acc
-      else acc)
-    0 sc.sc_versions
+  List.fold_left
+    (fun acc (_, o, op) -> if Oid.equal o oid then apply_op acc op else acc)
+    0 (committed_ops sc)
 
 let snapshot_at db lsn =
   let sc = scan db ~upto:lsn in
   let n = (Db.config db).Config.n_objects in
   let out = Array.make n 0 in
-  Array.iter
-    (fun v ->
-      match v.v_status with
-      | Committed _ ->
-          let i = Oid.to_int v.v_oid in
-          if i < n then out.(i) <- apply_op out.(i) v.v_op
-      | _ -> ())
-    sc.sc_versions;
+  List.iter
+    (fun (_, o, op) ->
+      let i = Oid.to_int o in
+      if i < n then out.(i) <- apply_op out.(i) op)
+    (committed_ops sc);
   out
 
 let history db ?upto oid =

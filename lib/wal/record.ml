@@ -50,6 +50,23 @@ type body =
     }
   | Rewrite_clr of { target : Lsn.t; before : string; after : string }
   | Rewrite_end of { begin_lsn : Lsn.t; committed : bool }
+  | Xfer_out of {
+      xfer_id : int;
+      hop : int;
+      oid : Oid.t;
+      target : int;
+      value : int;
+    }
+  | Xfer_in of {
+      xfer_id : int;
+      hop : int;
+      oid : Oid.t;
+      page : Page_id.t;
+      source : int;
+      before : int;
+      value : int;
+    }
+  | Xfer_end of { xfer_id : int; oid : Oid.t; committed : bool }
 
 type t = { xid : Xid.t option; prev : Lsn.t; body : body }
 
@@ -119,6 +136,15 @@ let pp_body ppf = function
   | Rewrite_end { begin_lsn; committed } ->
       Format.fprintf ppf "rewrite_end begin=%a %s" Lsn.pp begin_lsn
         (if committed then "committed" else "aborted")
+  | Xfer_out { xfer_id; hop; oid; target; value } ->
+      Format.fprintf ppf "xfer_out #%d hop=%d %a -> shard%d value=%d" xfer_id
+        hop Oid.pp oid target value
+  | Xfer_in { xfer_id; hop; oid; source; before; value; _ } ->
+      Format.fprintf ppf "xfer_in #%d hop=%d %a <- shard%d %d->%d" xfer_id hop
+        Oid.pp oid source before value
+  | Xfer_end { xfer_id; oid; committed } ->
+      Format.fprintf ppf "xfer_end #%d %a %s" xfer_id Oid.pp oid
+        (if committed then "committed" else "aborted")
 
 let pp ppf t =
   (match t.xid with
@@ -142,6 +168,9 @@ let tag_of_body = function
   | Rewrite_begin _ -> 11
   | Rewrite_clr _ -> 12
   | Rewrite_end _ -> 13
+  | Xfer_out _ -> 14
+  | Xfer_in _ -> 15
+  | Xfer_end _ -> 16
 
 let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
 
@@ -258,6 +287,24 @@ let encode t =
       put_bytes b after
   | Rewrite_end { begin_lsn; committed } ->
       put_u32 b (Lsn.to_int begin_lsn);
+      put_u8 b (if committed then 1 else 0)
+  | Xfer_out { xfer_id; hop; oid; target; value } ->
+      put_u32 b xfer_id;
+      put_u32 b hop;
+      put_u32 b (Oid.to_int oid);
+      put_u32 b target;
+      put_i64 b value
+  | Xfer_in { xfer_id; hop; oid; page; source; before; value } ->
+      put_u32 b xfer_id;
+      put_u32 b hop;
+      put_u32 b (Oid.to_int oid);
+      put_u32 b (Page_id.to_int page);
+      put_u32 b source;
+      put_i64 b before;
+      put_i64 b value
+  | Xfer_end { xfer_id; oid; committed } ->
+      put_u32 b xfer_id;
+      put_u32 b (Oid.to_int oid);
       put_u8 b (if committed then 1 else 0));
   let payload = Buffer.contents b in
   let b2 = Buffer.create (String.length payload + 4) in
@@ -428,6 +475,27 @@ let decode_exn s =
         let begin_lsn = Lsn.of_int (get_u32 c) in
         let committed = get_u8 c <> 0 in
         Rewrite_end { begin_lsn; committed }
+    | 14 ->
+        let xfer_id = get_u32 c in
+        let hop = get_u32 c in
+        let oid = Oid.of_int (get_u32 c) in
+        let target = get_u32 c in
+        let value = get_i64 c in
+        Xfer_out { xfer_id; hop; oid; target; value }
+    | 15 ->
+        let xfer_id = get_u32 c in
+        let hop = get_u32 c in
+        let oid = Oid.of_int (get_u32 c) in
+        let page = Page_id.of_int (get_u32 c) in
+        let source = get_u32 c in
+        let before = get_i64 c in
+        let value = get_i64 c in
+        Xfer_in { xfer_id; hop; oid; page; source; before; value }
+    | 16 ->
+        let xfer_id = get_u32 c in
+        let oid = Oid.of_int (get_u32 c) in
+        let committed = get_u8 c <> 0 in
+        Xfer_end { xfer_id; oid; committed }
     | n -> raise (Bad (Bad_tag n))
   in
   if c.pos <> String.length payload then

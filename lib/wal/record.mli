@@ -101,6 +101,36 @@ type body =
           the [after] images if in doubt. [committed = false]: the
           surgery was rolled back (restart or fallback); the [before]
           images have been restored. *)
+  | Xfer_out of { xfer_id : int; hop : int; oid : Oid.t; target : int; value : int }
+      (** Cross-shard transfer intent, forced on the {e source} shard's
+          log before anything touches the target. [hop] is the per-object
+          transfer sequence number (strictly increasing across the
+          object's whole migration history); [value] is the durably
+          committed value being carried. An [Xfer_out] with no matching
+          [Xfer_end] on the same log is an in-doubt transfer: restart
+          resolves it against the target shard's durable log. *)
+  | Xfer_in of {
+      xfer_id : int;
+      hop : int;
+      oid : Oid.t;
+      page : Page_id.t;
+      source : int;
+      before : int;
+      value : int;
+    }
+      (** Transfer record forced on the {e target} shard's log. It is
+          both the durable transfer marker and a redo-conditioned page
+          update ([before]→[value] on [page], applied by the forward
+          pass like an [Update]), so adopting the value and recording
+          the adoption are one atomic log write. Its durable presence is
+          the commit point of the transfer. *)
+  | Xfer_end of { xfer_id : int; oid : Oid.t; committed : bool }
+      (** Closes the transfer opened by the matching [Xfer_out] on the
+          same (source) log. [committed = true]: the target's [Xfer_in]
+          is durable — the object now lives there. [committed = false]:
+          the transfer was rolled back; the object never left. Written
+          via reserved log space so resolution cannot die of
+          [Log_full]. *)
 
 type t = {
   xid : Xid.t option;  (** writer; [None] only for checkpoint records *)

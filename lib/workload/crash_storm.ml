@@ -5,6 +5,7 @@ module Log_store = Ariesrh_wal.Log_store
 module Record = Ariesrh_wal.Record
 module Prng = Ariesrh_util.Prng
 module Temporal = Ariesrh_temporal.Temporal
+module Sharded = Ariesrh_shard.Sharded
 
 type config = {
   seed : int64;
@@ -20,6 +21,7 @@ type config = {
   time_travel : bool;
   forensic_dir : string option;
   backend_root : string option;
+  shards : int;
 }
 
 let default_config =
@@ -37,6 +39,7 @@ let default_config =
     time_travel = true;
     forensic_dir = None;
     backend_root = None;
+    shards = 1;
   }
 
 (* Each storm database gets its own directory under [backend_root]: an
@@ -70,6 +73,9 @@ type outcome = {
   mutable fault_points : int;
   mutable checks : int;
   mutable tt_reads : int;
+  mutable migrations : int;
+  mutable migration_refusals : int;
+  mutable xfers_resolved : int;
   mutable failures : string list;
 }
 
@@ -87,6 +93,9 @@ let fresh_outcome () =
     fault_points = 0;
     checks = 0;
     tt_reads = 0;
+    migrations = 0;
+    migration_refusals = 0;
+    xfers_resolved = 0;
     failures = [];
   }
 
@@ -96,10 +105,11 @@ let pp_outcome ppf o =
   Format.fprintf ppf
     "@[<v>runs=%d actions=%d@ crashes=%d nested=%d recoveries=%d@ \
      torn_writes=%d torn_flushes=%d amputated=%d repaired_pages=%d@ \
-     fault_points=%d checks=%d tt_reads=%d failures=%d%a@]"
+     fault_points=%d checks=%d tt_reads=%d@ migrations=%d \
+     migration_refusals=%d xfers_resolved=%d failures=%d%a@]"
     o.runs o.actions o.crashes o.nested_crashes o.recoveries o.torn_writes
     o.torn_flushes o.amputated o.repaired_pages o.fault_points o.checks
-    o.tt_reads
+    o.tt_reads o.migrations o.migration_refusals o.xfers_resolved
     (List.length o.failures)
     (fun ppf -> function
       | [] -> ()
@@ -121,6 +131,9 @@ let merge a b =
     fault_points = a.fault_points + b.fault_points;
     checks = a.checks + b.checks;
     tt_reads = a.tt_reads + b.tt_reads;
+    migrations = a.migrations + b.migrations;
+    migration_refusals = a.migration_refusals + b.migration_refusals;
+    xfers_resolved = a.xfers_resolved + b.xfers_resolved;
     failures = b.failures @ a.failures;
   }
 
@@ -324,9 +337,227 @@ let make_fault config ~salt =
   Fault.set_tear_log_on_crash fault config.tear_log_on_crash;
   fault
 
+(* --- sharded plumbing ---
+
+   A sharded storm is the same storm with the engine swapped: one
+   shared fault injector (single logical I/O clock), durable commits
+   read per shard (raw xids collide across logs, so the committed test
+   pairs each façade xid with its shard), recovery through
+   [Sharded.recover] (per-shard restart + transfer resolution + the
+   cross-shard audit), and checks through home-routed peeks. The
+   time-travel readers stay on the single-db storms: an as_of point is
+   a per-shard LSN, and a cross-shard cut is a different instrument. *)
+
+let sharded_backend_scope config ~tag f =
+  match config.backend_root with
+  | None -> f ()
+  | Some root ->
+      let dir = Filename.concat root tag in
+      Ariesrh_storage.Backend.remove_tree dir;
+      let k = ref 0 in
+      Db.set_backend_factory
+        (Some
+           (fun () ->
+             let d = Filename.concat dir (Printf.sprintf "shard%d" !k) in
+             incr k;
+             Ariesrh_storage.Backend.File { dir = d }));
+      Fun.protect ~finally:(fun () -> Db.set_backend_factory None) f
+
+let sharded_cleanup config ~tag sh =
+  Sharded.close sh;
+  match config.backend_root with
+  | None -> ()
+  | Some root ->
+      Ariesrh_storage.Backend.remove_tree (Filename.concat root tag)
+
+let durable_commits_sharded sh =
+  Array.map (fun db -> durable_commits (Db.log_store db)) (Sharded.dbs sh)
+
+let amputated_sharded sh =
+  Array.fold_left
+    (fun a db -> a + Log_store.amputated_total (Db.log_store db))
+    0 (Sharded.dbs sh)
+
+let repairs_sharded sh =
+  Array.fold_left (fun a db -> a + Db.repairs_total db) 0 (Sharded.dbs sh)
+
+let absorb_sharded_counters outcome sh =
+  let c = Sharded.counters sh in
+  outcome.migrations <- outcome.migrations + c.Sharded.migrations;
+  outcome.migration_refusals <-
+    outcome.migration_refusals + c.Sharded.migrations_refused;
+  outcome.xfers_resolved <-
+    outcome.xfers_resolved + c.Sharded.resolved_forward
+    + c.Sharded.resolved_back
+
+let recover_until_stable_sharded ~config ~outcome fault sh =
+  let amputated_before = amputated_sharded sh in
+  let rec go depth =
+    if depth < config.recovery_crash_depth then
+      Fault.arm_crash_in fault config.recovery_crash_gap
+    else Fault.disarm_crash fault;
+    match Sharded.recover sh with
+    | _reports ->
+        Fault.disarm_crash fault;
+        outcome.recoveries <- outcome.recoveries + 1;
+        outcome.amputated <-
+          outcome.amputated + amputated_sharded sh - amputated_before;
+        Ok ()
+    | exception Fault.Injected_crash _ when depth <= config.recovery_crash_depth
+      ->
+        (* the re-crash may land anywhere: inside one shard's restart,
+           between shards, or mid-resolution — the re-run must converge
+           regardless *)
+        outcome.nested_crashes <- outcome.nested_crashes + 1;
+        Sharded.crash sh;
+        go (depth + 1)
+    | exception e -> Error (Printexc.to_string e)
+  in
+  go 0
+
+let check_state_sharded ~outcome ~label fault sh expected =
+  Fault.set_enabled fault false;
+  outcome.checks <- outcome.checks + 1;
+  let peek () =
+    Array.init (Array.length expected) (fun i -> Sharded.peek sh (Oid.of_int i))
+  in
+  let pp_arr a =
+    String.concat ";" (Array.to_list (Array.map string_of_int a))
+  in
+  let first_diff a =
+    let rec go i =
+      if i >= Array.length a then ""
+      else if a.(i) <> expected.(i) then
+        let oid = Oid.of_int i in
+        let h = Sharded.home sh oid in
+        Printf.sprintf " (ob%d@s%d: got %d want %d; history:%s)" i h a.(i)
+          expected.(i)
+          (describe_object (Sharded.db sh h) i)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let actual = peek () in
+  if actual <> expected then
+    fail outcome
+      (Printf.sprintf "%s: state mismatch: got [%s] want [%s]%s" label
+         (pp_arr actual) (pp_arr expected) (first_diff actual));
+  (match Sharded.validate sh with
+  | Ok () -> ()
+  | Error msg -> fail outcome (Printf.sprintf "%s: invariants: %s" label msg));
+  (match
+     Sharded.crash sh;
+     Sharded.recover sh
+   with
+  | _ ->
+      outcome.recoveries <- outcome.recoveries + 1;
+      let again = peek () in
+      if again <> expected then
+        fail outcome
+          (Printf.sprintf "%s: restart not idempotent: got [%s] want [%s]"
+             label (pp_arr again) (pp_arr expected))
+  | exception e ->
+      fail outcome
+        (Printf.sprintf "%s: re-restart raised %s" label (Printexc.to_string e)));
+  Fault.set_enabled fault true
+
+let maybe_dump_sharded ~config ~outcome ~fail_before ~kind ?crash_io ?tag
+    ?expected fault sh =
+  match config.forensic_dir with
+  | Some dir when List.length outcome.failures > fail_before ->
+      Fault.set_enabled fault false;
+      let fresh =
+        List.filteri
+          (fun i _ -> i < List.length outcome.failures - fail_before)
+          outcome.failures
+      in
+      Array.iteri
+        (fun i db ->
+          let tag =
+            match tag with
+            | Some t -> Printf.sprintf "%s-s%d" t i
+            | None -> Printf.sprintf "s%d" i
+          in
+          try
+            ignore
+              (Forensics.write ~dir ~kind ~seed:config.seed ?crash_io ~tag
+                 ?expected ~failures:fresh db)
+          with _ -> ())
+        (Sharded.dbs sh);
+      Fault.set_enabled fault true
+  | _ -> ()
+
 (* --- scripted storm --- *)
 
-let run_script ?(config = default_config) ?(impl = Config.Rh) spec =
+let run_script_sharded ~config ~impl spec =
+  let outcome = fresh_outcome () in
+  let script = Gen.generate spec ~seed:config.seed in
+  let n_objects = spec.Gen.n_objects in
+  let homes = Shard_driver.assign_homes script ~shards:config.shards in
+  let crash_io = ref (max 1 config.crash_step) in
+  let continue = ref true in
+  while !continue do
+    outcome.runs <- outcome.runs + 1;
+    let tag = Printf.sprintf "io%d" !crash_io in
+    sharded_backend_scope config ~tag (fun () ->
+        let fault = make_fault config ~salt:!crash_io in
+        Fault.arm_crash_at fault !crash_io;
+        let sh =
+          Shard_driver.fresh ~fault ~impl ~group_commit:config.group_commit
+            ~record_cache:config.record_cache ~audit:config.audit
+            ~tracing:(config.forensic_dir <> None)
+            ~shards:config.shards ~n_objects ()
+        in
+        let xid_map = Hashtbl.create 16 in
+        let executed = ref 0 in
+        let finished =
+          match
+            Shard_driver.run ~xid_map
+              ~on_action:(fun i -> executed := i + 1)
+              ~homes sh script
+          with
+          | () -> true
+          | exception Fault.Injected_crash _ -> false
+        in
+        outcome.actions <- outcome.actions + !executed;
+        if finished then begin
+          continue := false;
+          Fault.disarm_crash fault
+        end
+        else outcome.crashes <- outcome.crashes + 1;
+        Sharded.crash sh;
+        let commits = durable_commits_sharded sh in
+        let committed t =
+          match Hashtbl.find_opt xid_map t with
+          | Some fx -> Xid.Set.mem fx.Sharded.txn commits.(fx.Sharded.shard)
+          | None -> false
+        in
+        let expected =
+          Oracle.expected_for ~n_objects ~committed ~crash_at:!executed script
+        in
+        let fail_before = List.length outcome.failures in
+        (match recover_until_stable_sharded ~config ~outcome fault sh with
+        | Error msg ->
+            fail outcome
+              (Printf.sprintf "script shards=%d crash_io=%d: %s" config.shards
+                 !crash_io msg)
+        | Ok () ->
+            check_state_sharded ~outcome
+              ~label:
+                (Printf.sprintf "script shards=%d crash_io=%d" config.shards
+                   !crash_io)
+              fault sh expected);
+        maybe_dump_sharded ~config ~outcome ~fail_before ~kind:"shard-crash"
+          ~crash_io:!crash_io ~expected fault sh;
+        absorb_fault_stats outcome fault;
+        absorb_sharded_counters outcome sh;
+        outcome.repaired_pages <- outcome.repaired_pages + repairs_sharded sh;
+        sharded_cleanup config ~tag sh);
+    crash_io := !crash_io + max 1 config.crash_step
+  done;
+  outcome
+
+let run_script_plain ~config ~impl spec =
   let outcome = fresh_outcome () in
   let script = Gen.generate spec ~seed:config.seed in
   let n_objects = spec.Gen.n_objects in
@@ -413,6 +644,10 @@ let run_script ?(config = default_config) ?(impl = Config.Rh) spec =
   done;
   outcome
 
+let run_script ?(config = default_config) ?(impl = Config.Rh) spec =
+  if config.shards <= 1 then run_script_plain ~config ~impl spec
+  else run_script_sharded ~config ~impl spec
+
 (* --- simulated storm --- *)
 
 type sim_config = {
@@ -442,7 +677,7 @@ type client = {
   mutable touched : int list;  (* objects this txn is responsible for *)
 }
 
-let run_sim ?(config = default_config) ?(sim = default_sim) () =
+let run_sim_plain ~config ~sim () =
   let outcome = fresh_outcome () in
   let fault = make_fault config ~salt:0x5117 in
   let db =
@@ -619,3 +854,176 @@ let run_sim ?(config = default_config) ?(sim = default_sim) () =
   outcome.repaired_pages <- outcome.repaired_pages + Db.repairs_total db;
   backend_cleanup config db;
   outcome
+
+(* Sharded sim storm: clients are dealt round-robin onto shards and
+   keep beginning their transactions there; objects are picked
+   uniformly, so most touches hit an object homed on another shard and
+   go through a live migration first — under the same crash schedule as
+   everything else. A migration that finds the object locked by another
+   shard's client is refused by the router; the client just skips that
+   op (deterministically — the refusal consumes no randomness). The
+   ledger is keyed by façade xid: raw xids collide across shards. *)
+
+type shard_client = {
+  mutable fx : Sharded.xid option;
+  mutable left : int;
+  mutable mine : int list;  (* objects this txn is responsible for *)
+}
+
+let run_sim_sharded ~config ~sim () =
+  let outcome = fresh_outcome () in
+  sharded_backend_scope config ~tag:"sim-storm" (fun () ->
+      let fault = make_fault config ~salt:0x5117 in
+      let sh =
+        Shard_driver.fresh ~fault ~group_commit:config.group_commit
+          ~record_cache:config.record_cache ~audit:config.audit
+          ~tracing:(config.forensic_dir <> None)
+          ~shards:config.shards ~n_objects:sim.n_objects ()
+      in
+      let rng = Prng.create (Int64.add config.seed 77L) in
+      let shard_of i = i mod config.shards in
+      let clients =
+        Array.init sim.clients (fun _ -> { fx = None; left = 0; mine = [] })
+      in
+      let ledger : (Sharded.xid, (int * int) list) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let ledger_of x =
+        match Hashtbl.find_opt ledger x with Some l -> l | None -> []
+      in
+      let ledger_add x o d = Hashtbl.replace ledger x ((o, d) :: ledger_of x) in
+      let ledger_move ~from_ ~to_ o =
+        let moved, kept =
+          List.partition (fun (o', _) -> o' = o) (ledger_of from_)
+        in
+        Hashtbl.replace ledger from_ kept;
+        Hashtbl.replace ledger to_ (moved @ ledger_of to_)
+      in
+      let expected () =
+        let commits = durable_commits_sharded sh in
+        let v = Array.make sim.n_objects 0 in
+        Hashtbl.iter
+          (fun x entries ->
+            if Xid.Set.mem x.Sharded.txn commits.(x.Sharded.shard) then
+              List.iter (fun (o, d) -> v.(o) <- v.(o) + d) entries)
+          ledger;
+        v
+      in
+      (* delegation stays same-shard: cross-shard responsibility moves
+         with the object, not across live transactions *)
+      let other_active self =
+        let cands = ref [] in
+        Array.iteri
+          (fun i c ->
+            match c.fx with
+            | Some x when i <> self && shard_of i = shard_of self ->
+                cands := (i, x) :: !cands
+            | _ -> ())
+          clients;
+        match !cands with
+        | [] -> None
+        | l -> Some (List.nth l (Prng.int rng (List.length l)))
+      in
+      let commits_done = ref 0 in
+      let step self =
+        let c = clients.(self) in
+        match c.fx with
+        | None ->
+            let x = Sharded.begin_txn sh ~shard:(shard_of self) in
+            c.fx <- Some x;
+            c.left <- 1 + Prng.int rng sim.ops_per_txn;
+            c.mine <- []
+        | Some x when c.left > 0 -> (
+            c.left <- c.left - 1;
+            let delegate_now =
+              c.mine <> [] && Prng.float rng 1.0 < sim.p_delegate
+            in
+            match (if delegate_now then other_active self else None) with
+            | Some (yi, y) ->
+                let o = List.nth c.mine (Prng.int rng (List.length c.mine)) in
+                Sharded.delegate sh ~from_:x ~to_:y (Oid.of_int o);
+                ledger_move ~from_:x ~to_:y o;
+                c.mine <- List.filter (fun o' -> o' <> o) c.mine;
+                clients.(yi).mine <- o :: clients.(yi).mine
+            | None -> (
+                let o = Prng.int rng sim.n_objects in
+                let d = 1 + Prng.int rng 9 in
+                match Sharded.add sh x (Oid.of_int o) d with
+                | () ->
+                    ledger_add x o d;
+                    if not (List.mem o c.mine) then c.mine <- o :: c.mine
+                | exception Errors.Xfer_refused _ ->
+                    (* object locked on another shard right now; skip *)
+                    ()))
+        | Some x ->
+            if Prng.int rng 10 = 0 then Sharded.abort sh x
+            else begin
+              Sharded.commit sh x;
+              incr commits_done;
+              if
+                sim.checkpoint_every > 0
+                && !commits_done mod sim.checkpoint_every = 0
+              then Sharded.checkpoint sh
+            end;
+            c.fx <- None;
+            c.mine <- []
+      in
+      let reset_clients () =
+        Array.iter
+          (fun c ->
+            c.fx <- None;
+            c.left <- 0;
+            c.mine <- [])
+          clients
+      in
+      let handle_crash () =
+        outcome.crashes <- outcome.crashes + 1;
+        Sharded.crash sh;
+        let fail_before = List.length outcome.failures in
+        (match recover_until_stable_sharded ~config ~outcome fault sh with
+        | Error msg ->
+            fail outcome
+              (Printf.sprintf "sim shards=%d crash #%d: %s" config.shards
+                 outcome.crashes msg)
+        | Ok () ->
+            outcome.runs <- outcome.runs + 1;
+            check_state_sharded ~outcome
+              ~label:
+                (Printf.sprintf "sim shards=%d crash #%d" config.shards
+                   outcome.crashes)
+              fault sh (expected ()));
+        maybe_dump_sharded ~config ~outcome ~fail_before ~kind:"shard-sim"
+          ~tag:(Printf.sprintf "crash%d" outcome.crashes)
+          ~expected:(expected ()) fault sh;
+        reset_clients ();
+        Fault.arm_crash_in fault sim.crash_every
+      in
+      Fault.arm_crash_in fault sim.crash_every;
+      for i = 1 to sim.steps do
+        outcome.actions <- outcome.actions + 1;
+        try step (i mod sim.clients)
+        with Fault.Injected_crash _ -> handle_crash ()
+      done;
+      (* final clean crash + restart + reconciliation *)
+      Fault.disarm_crash fault;
+      Sharded.crash sh;
+      let fail_before = List.length outcome.failures in
+      (match recover_until_stable_sharded ~config ~outcome fault sh with
+      | Error msg ->
+          fail outcome
+            (Printf.sprintf "sim shards=%d final restart: %s" config.shards msg)
+      | Ok () ->
+          check_state_sharded ~outcome
+            ~label:(Printf.sprintf "sim shards=%d final" config.shards)
+            fault sh (expected ()));
+      maybe_dump_sharded ~config ~outcome ~fail_before ~kind:"shard-sim"
+        ~tag:"final" ~expected:(expected ()) fault sh;
+      absorb_fault_stats outcome fault;
+      absorb_sharded_counters outcome sh;
+      outcome.repaired_pages <- outcome.repaired_pages + repairs_sharded sh;
+      sharded_cleanup config ~tag:"sim-storm" sh;
+      outcome)
+
+let run_sim ?(config = default_config) ?(sim = default_sim) () =
+  if config.shards <= 1 then run_sim_plain ~config ~sim ()
+  else run_sim_sharded ~config ~sim ()

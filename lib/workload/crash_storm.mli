@@ -57,7 +57,21 @@ type config = {
   backend_root : string option;
       (** when set, every storm database runs on the file backend in its
           own fresh directory under this root (removed again as the
-          iteration ends); [None] (the default) keeps the sim backend *)
+          iteration ends); [None] (the default) keeps the sim backend —
+          a sharded storm gives each shard its own subdirectory *)
+  shards : int;
+      (** run the storm on a {!Ariesrh_shard.Sharded} engine with this
+          many shards ([1], the default, keeps the plain single-db
+          storm). Scripted storms co-home each transaction component on
+          one shard ({!Shard_driver.assign_homes}), so every object's
+          base-home-to-component migration happens lock-free and the
+          crash sweep walks every I/O point of the transfer protocol;
+          sim storms let clients on different shards contend, so the
+          refusal path fires too. Checks route through the current
+          homes, recovery resolves in-doubt transfers and (with
+          [audit]) runs the cross-shard pairing audit. Time-travel
+          readers only run at [shards = 1] — an as_of point is a
+          per-shard LSN *)
 }
 
 val default_config : config
@@ -75,6 +89,10 @@ type outcome = {
   mutable fault_points : int;  (** crashes + nested + torn writes + tears *)
   mutable checks : int;  (** oracle/invariant/idempotence check rounds *)
   mutable tt_reads : int;  (** time-travel as_of reads performed *)
+  mutable migrations : int;  (** committed cross-shard transfers *)
+  mutable migration_refusals : int;  (** transfers refused (locks held) *)
+  mutable xfers_resolved : int;
+      (** in-doubt transfer intents closed at restart (either way) *)
   mutable failures : string list;  (** newest first; empty = storm passed *)
 }
 

@@ -50,6 +50,9 @@ let fresh_outcome () =
     fault_points = 0;
     checks = 0;
     tt_reads = 0;
+    migrations = 0;
+    migration_refusals = 0;
+    xfers_resolved = 0;
     failures = [];
   }
 

@@ -24,4 +24,5 @@ let () =
       ("known-bugs", Test_known_bugs.suite);
       ("media", Test_media.suite);
       ("temporal", Test_temporal.suite);
+      ("shard", Test_shard.suite);
     ]

@@ -75,6 +75,8 @@ let pp_exn_total () =
        "injected crash");
       (Ariesrh_recovery.Audit.Audit_failed [ "page 0 stale" ],
        "self-audit failed");
+      (Errors.Xfer_refused { oid = oid 1; holders = [ x ] },
+       "cross-shard transfer");
       (Ariesrh_recovery.Rewrite.Surgery_corrupt "orphan intent",
        "surgery protocol violated");
     ]

@@ -245,8 +245,10 @@ let surgery_and_audit_counters_exported () =
   Db.crash db;
   ignore (Db.recover db);
   let text = Obs.Metrics.to_openmetrics (Obs.Metrics.snapshot (Db.metrics db)) in
-  (* Every Db registry now carries a backend base label. *)
-  let line name v = Printf.sprintf "%s{backend=\"sim\"} %d" name v in
+  (* Every Db registry now carries backend and shard base labels. *)
+  let line name v =
+    Printf.sprintf "%s{backend=\"sim\",shard=\"0\"} %d" name v
+  in
   let contains needle =
     let lh = String.length text and ln = String.length needle in
     let rec go i = i + ln <= lh && (String.sub text i ln = needle || go (i + 1)) in

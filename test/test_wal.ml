@@ -62,6 +62,23 @@ let sample_records =
     Record.mk_system (Record.Rewrite_end { begin_lsn = lsn 13; committed = true });
     Record.mk_system
       (Record.Rewrite_end { begin_lsn = lsn 13; committed = false });
+    Record.mk_system
+      (Record.Xfer_out
+         { xfer_id = 9; hop = 3; oid = oid 5; target = 2; value = -17 });
+    Record.mk_system
+      (Record.Xfer_in
+         {
+           xfer_id = 9;
+           hop = 3;
+           oid = oid 5;
+           page = pid 0;
+           source = 1;
+           before = 4;
+           value = -17;
+         });
+    Record.mk_system (Record.Xfer_end { xfer_id = 9; oid = oid 5; committed = true });
+    Record.mk_system
+      (Record.Xfer_end { xfer_id = 10; oid = oid 6; committed = false });
     Record.mk_system Record.Ckpt_begin;
     Record.mk_system
       (Record.Ckpt_end
