@@ -1398,12 +1398,211 @@ let e20 () =
       ("gate_pass", Obs.Json.Bool pass);
     ]
 
+let e21 () =
+  header "E21: instant restart — time-to-first-commit vs. log length"
+    "A long-lived loser keeps updating one object across an ever-growing\n\
+     committed history with periodic checkpoints. Offline restart must\n\
+     finish redo and walk the loser's whole update chain before serving\n\
+     anything, so its logical time-to-first-commit (forward records +\n\
+     backward records examined/skipped + undos) grows with the log.\n\
+     On-demand restart runs analysis only — bounded by the checkpoint\n\
+     interval — opens immediately, and drains the same backlog in the\n\
+     background; the partitioned variant (4 shards, one domain each)\n\
+     additionally runs every shard's analysis in parallel. The gates are\n\
+     deterministic logical counters; wall times are informative.";
+  let module Report = Ariesrh_recovery.Report in
+  let n_objects = 128 in
+  let ckpt_every = 50 in
+  let loser_every = 10 in
+  (* [txns] committed single-add transactions, a checkpoint every
+     [ckpt_every], and one transaction begun before all of it that adds
+     to object 0 every [loser_every] commits and never commits itself *)
+  let build ~mode ~txns =
+    let db = Driver.fresh_db ~recovery_mode:mode ~n_objects () in
+    let loser = Db.begin_txn db in
+    Db.add db loser (Oid.of_int 0) 1;
+    for k = 1 to txns do
+      let x = Db.begin_txn db in
+      Db.add db x (Oid.of_int (1 + (k mod (n_objects - 1)))) 1;
+      Db.commit db x;
+      if k mod loser_every = 0 then Db.add db loser (Oid.of_int 0) 1;
+      if k mod ckpt_every = 0 then Db.checkpoint db
+    done;
+    Db.crash db;
+    db
+  in
+  (* all ≡ 25 mod ckpt_every: every run crashes the same distance past
+     its last checkpoint, so the analysis tail is comparable across
+     lengths (a multiple of ckpt_every would leave it degenerately 0) *)
+  let lengths = [ 425; 825; 1625 ] in
+  let rows = ref [] in
+  Format.printf "%-6s | %9s %8s | %11s %11s %10s %6s@." "txns" "off_ttfc"
+    "od_ttfc" "off_rec(ms)" "od_open(ms)" "drain(ms)" "steps";
+  let results =
+    List.map
+      (fun txns ->
+        let off = build ~mode:Config.Offline ~txns in
+        let off_report, off_ms = time (fun () -> Db.recover off) in
+        let off_ttfc =
+          off_report.Report.forward_records
+          + off_report.Report.backward_examined
+          + off_report.Report.backward_skipped + off_report.Report.undos
+        in
+        let off_state = Db.peek_all off in
+        Db.close off;
+        let od = build ~mode:Config.On_demand ~txns in
+        let od_report, od_ms = time (fun () -> Db.recover od) in
+        let od_ttfc = od_report.Report.forward_records in
+        assert (Db.recovering od);
+        let steps = ref 0 in
+        let (), drain_ms =
+          time (fun () -> while Db.recovery_step od do incr steps done)
+        in
+        (* the drained lazy restart must land exactly where the offline
+           one did, and both must carry every committed increment *)
+        assert (Db.peek_all od = off_state);
+        assert (Array.fold_left ( + ) 0 off_state = txns);
+        let redo_ms =
+          Obs.Profiler.wall_ms od_report.Report.profile "restart.ondemand.redo"
+        and undo_ms =
+          Obs.Profiler.wall_ms od_report.Report.profile "restart.ondemand.undo"
+        in
+        Db.close od;
+        Format.printf "%-6d | %9d %8d | %11.3f %11.3f %10.3f %6d@." txns
+          off_ttfc od_ttfc off_ms od_ms drain_ms !steps;
+        rows :=
+          Obs.Json.Obj
+            [
+              ("txns", Obs.Json.Int txns);
+              ("offline_ttfc_records", Obs.Json.Int off_ttfc);
+              ("on_demand_ttfc_records", Obs.Json.Int od_ttfc);
+              ("offline_recover_ms", Obs.Json.Float off_ms);
+              ("on_demand_open_ms", Obs.Json.Float od_ms);
+              ("on_demand_drain_ms", Obs.Json.Float drain_ms);
+              ("on_demand_drain_steps", Obs.Json.Int !steps);
+              ("on_demand_redo_ms", Obs.Json.Float redo_ms);
+              ("on_demand_undo_ms", Obs.Json.Float undo_ms);
+            ]
+          :: !rows;
+        (txns, off_ttfc, od_ttfc))
+      lengths
+  in
+  (* partitioned variant: the same total history dealt across 4 shards,
+     analysis per shard in parallel; self-skips below 4 domains *)
+  let domains = Domain.recommended_domain_count () in
+  let part_rows =
+    if domains < 4 then begin
+      Format.printf
+        "@.partitioned variant skipped — host grants only %d domain(s)@."
+        domains;
+      []
+    end
+    else begin
+      let module Shard_pool = Ariesrh_shard.Shard_pool in
+      let module Sharded = Ariesrh_shard.Sharded in
+      let shards = 4 in
+      let txns = List.nth lengths (List.length lengths - 1) in
+      let pool = Shard_pool.create shards in
+      let config =
+        Config.make ~n_objects ~objects_per_page:8
+          ~buffer_capacity:(max 4 (n_objects / 32))
+          ~impl:Config.Rh ~locking:true ~recovery_mode:Config.On_demand
+          ~shards ()
+      in
+      let sh = Sharded.create ~pool config in
+      let mine = Array.make shards [] in
+      for o = n_objects - 1 downto 0 do
+        let h = Sharded.base_home sh (Oid.of_int o) in
+        mine.(h) <- o :: mine.(h)
+      done;
+      let losers =
+        Array.init shards (fun i ->
+            let x = Sharded.begin_txn sh ~shard:i in
+            Sharded.add sh x (Oid.of_int (List.hd mine.(i))) 1;
+            x)
+      in
+      for k = 1 to txns do
+        let i = k mod shards in
+        let pool_i = mine.(i) in
+        let o = List.nth pool_i (1 + (k mod (List.length pool_i - 1))) in
+        let x = Sharded.begin_txn sh ~shard:i in
+        Sharded.add sh x (Oid.of_int o) 1;
+        Sharded.commit sh x;
+        if k mod loser_every = 0 then
+          Sharded.add sh losers.(i) (Oid.of_int (List.hd mine.(i))) 1;
+        if k mod ckpt_every = 0 then Sharded.checkpoint sh
+      done;
+      Sharded.crash sh;
+      let reports, open_ms = time (fun () -> Sharded.recover sh) in
+      let part_ttfc =
+        Array.fold_left
+          (fun a (r : Report.t) -> max a r.Report.forward_records)
+          0 reports
+      in
+      let steps = ref 0 in
+      let (), drain_ms =
+        time (fun () -> while Sharded.recovery_step sh do incr steps done)
+      in
+      assert (Array.fold_left ( + ) 0 (Sharded.peek_all sh) = txns);
+      Sharded.close sh;
+      Shard_pool.shutdown pool;
+      Format.printf
+        "@.partitioned (4 shards, %d txns): max per-shard ttfc %d records, \
+         open %.3f ms, drain %.3f ms (%d steps)@."
+        txns part_ttfc open_ms drain_ms !steps;
+      [
+        ("partitioned_shards", Obs.Json.Int shards);
+        ("partitioned_txns", Obs.Json.Int txns);
+        ("partitioned_ttfc_records", Obs.Json.Int part_ttfc);
+        ("partitioned_open_ms", Obs.Json.Float open_ms);
+        ("partitioned_drain_ms", Obs.Json.Float drain_ms);
+        ("partitioned_drain_steps", Obs.Json.Int !steps);
+      ]
+    end
+  in
+  (* deterministic gates: time-to-first-commit stays bounded on-demand
+     (it must not track the log length) and grows offline *)
+  let _, off_min, od_min = List.hd results in
+  let _, off_max, od_max = List.nth results (List.length results - 1) in
+  let min_ratio =
+    match Sys.getenv_opt "ARIESRH_E21_MIN_RATIO" with
+    | Some s -> float_of_string s
+    | None -> 3.0
+  in
+  let ratio = float_of_int off_max /. float_of_int (max 1 od_max) in
+  let bounded = od_max <= 2 * od_min in
+  let grows = off_max > off_min in
+  let pass = bounded && grows && ratio >= min_ratio in
+  Format.printf
+    "@.ttfc at %dx the log: on-demand %d -> %d records (bounded: %s), \
+     offline %d -> %d; offline/on-demand at max %.1fx (gate: >= %.1fx, %s)@."
+    (let a, _, _ = List.hd results
+     and b, _, _ = List.nth results (List.length results - 1) in
+     b / a)
+    od_min od_max
+    (if bounded then "yes" else "NO")
+    off_min off_max ratio min_ratio
+    (if pass then "PASS" else "FAIL");
+  if not pass then exit_code := 1;
+  artifact_extra :=
+    [
+      ("lengths", Obs.Json.List (List.rev !rows));
+      ("offline_ttfc_max", Obs.Json.Int off_max);
+      ("on_demand_ttfc_max", Obs.Json.Int od_max);
+      ("ttfc_ratio", Obs.Json.Float ratio);
+      ("min_ratio", Obs.Json.Float min_ratio);
+      ("on_demand_bounded", Obs.Json.Bool bounded);
+      ("recommended_domains", Obs.Json.Int domains);
+      ("gate_pass", Obs.Json.Bool pass);
+    ]
+    @ part_rows
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
+    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
   ]
 
 (* Every experiment unconditionally leaves a machine-readable artifact

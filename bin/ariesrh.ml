@@ -203,8 +203,19 @@ let run_cmd =
          & info [ "script" ] ~docv:"FILE"
              ~doc:"Replay a saved script instead of generating one.")
   in
+  let recover_mode =
+    Arg.(value
+         & opt (enum [ ("offline", Config.Offline);
+                       ("on-demand", Config.On_demand) ])
+             Config.Offline
+         & info [ "recover-mode" ] ~docv:"MODE"
+             ~doc:"Restart discipline after the crash: $(b,offline) replays \
+                   redo and undo before serving anything; $(b,on-demand) \
+                   runs analysis only, opens immediately, and drains the \
+                   backlog afterwards (shown separately).")
+  in
   let run obs (_ : backend_sel) steps objects seed rate impl crash_frac dump
-      save load =
+      save load recover_mode =
     let script =
       match load with
       | Some file ->
@@ -229,7 +240,9 @@ let run_cmd =
     let n = List.length script in
     let at = min n (int_of_float (crash_frac *. float_of_int n)) in
     Format.printf "workload: %s@." (Script.stats script);
-    let db = Driver.fresh_db ~impl ~n_objects:objects () in
+    let db =
+      Driver.fresh_db ~impl ~recovery_mode:recover_mode ~n_objects:objects ()
+    in
     Driver.run ~upto:at db script;
     Db.crash db;
     Format.printf "crash after %d/%d actions@." at n;
@@ -246,6 +259,16 @@ let run_cmd =
     let dt = Unix.gettimeofday () -. t0 in
     Format.printf "recovery (%0.3f ms):@.%a@." (1000. *. dt)
       Ariesrh_recovery.Report.pp report;
+    if Db.recovering db then begin
+      Format.printf
+        "open for traffic with restart backlog %d; draining in the \
+         background...@."
+        (Db.recovery_backlog db);
+      let t1 = Unix.gettimeofday () in
+      Db.await_recovery db;
+      Format.printf "backlog drained (%0.3f ms).@."
+        (1000. *. (Unix.gettimeofday () -. t1))
+    end;
     (* cross-check against the oracle *)
     let expected = Oracle.expected ~n_objects:objects ~crash_at:at script in
     if Db.peek_all db = expected then
@@ -269,7 +292,7 @@ let run_cmd =
        ~doc:"Run a random workload, crash, recover, verify against the oracle")
     Term.(
       const run $ obs_term $ backend_term $ steps $ objects $ seed $ rate
-      $ impl $ crash_frac $ dump $ save $ load)
+      $ impl $ crash_frac $ dump $ save $ load $ recover_mode)
 
 (* --- compare --- *)
 
@@ -798,6 +821,107 @@ let storm_cmd =
       $ record_cache $ audit $ time_travel $ forensic_dir $ external_
       $ max_kills $ shards)
 
+(* --- recovery-storm --- *)
+
+let recovery_storm_cmd =
+  let steps =
+    Arg.(value & opt int 120
+         & info [ "steps" ] ~doc:"Scripted workload steps per storm.")
+  in
+  let objects =
+    Arg.(value & opt int 24 & info [ "objects" ] ~doc:"Number of objects.")
+  in
+  let seeds =
+    Arg.(value & opt int 3
+         & info [ "seeds" ] ~doc:"Number of storms (distinct seeds).")
+  in
+  let seed0 =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First storm seed.")
+  in
+  let rate =
+    Arg.(value & opt float 0.2
+         & info [ "delegation-rate" ] ~doc:"Delegation weight in the mix.")
+  in
+  let impl =
+    Arg.(value & opt impl_conv Config.Rh
+         & info [ "engine" ] ~doc:"Engine: rh, eager, or lazy.")
+  in
+  let depth =
+    Arg.(value & opt int 2
+         & info [ "depth" ]
+             ~doc:"Nested crash levels injected during analysis, sweeper \
+                   steps, and foreground repairs.")
+  in
+  let crash_step =
+    Arg.(value & opt int 1
+         & info [ "crash-step" ]
+             ~doc:"Escalate the crash I/O point by this much.")
+  in
+  let group_commit =
+    Arg.(value & opt int 0
+         & info [ "group-commit" ]
+             ~doc:"Batch commit log forces in groups of this size (0 = force \
+                   each commit).")
+  in
+  let record_cache =
+    Arg.(value & opt int Config.default.Config.record_cache
+         & info [ "record-cache" ]
+             ~doc:"Decoded-record cache capacity (0 = disable).")
+  in
+  let audit =
+    Arg.(value & opt bool true
+         & info [ "audit" ]
+             ~doc:"Run the restart self-audit after every drained recovery; \
+                   violations fail the storm.")
+  in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ]
+             ~doc:"Run the storm on a sharded engine with this many shards: \
+                   per-shard analysis (the partitioned forward pass), \
+                   incremental availability per shard, probes routed to \
+                   each object's home; 1 keeps the plain storm.")
+  in
+  let run obs sel steps objects seeds seed0 rate impl depth crash_step
+      group_commit record_cache audit shards =
+    let spec = spec_of ~objects ~steps ~delegation_rate:rate in
+    let base =
+      { Recovery_storm.default_config with
+        Crash_storm.recovery_crash_depth = depth;
+        crash_step = max 1 crash_step;
+        group_commit;
+        record_cache;
+        audit;
+        backend_root = sel.backend_root;
+        shards = max 1 shards }
+    in
+    let total = ref None in
+    for i = 0 to seeds - 1 do
+      let config = { base with Crash_storm.seed = Int64.of_int (seed0 + i) } in
+      let o = Recovery_storm.run_script ~config ~impl spec in
+      Format.printf "recovery storm (seed %d):@.  %a@." (seed0 + i)
+        Recovery_storm.pp_outcome o;
+      total :=
+        Some (match !total with None -> o | Some t -> Recovery_storm.merge t o)
+    done;
+    match !total with
+    | None -> finish obs
+    | Some t ->
+        Format.printf "@.total:@.  %a@." Recovery_storm.pp_outcome t;
+        finish obs;
+        if not (Recovery_storm.ok t) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "recovery-storm"
+       ~doc:"Crash at every I/O point, restart on-demand (analysis only, \
+             open immediately), re-crash while the sweeper and foreground \
+             repairs race, and verify the drained state against the oracle \
+             and an offline twin")
+    Term.(
+      const run $ obs_term $ backend_term $ steps $ objects $ seeds $ seed0
+      $ rate $ impl $ depth $ crash_step $ group_commit $ record_cache
+      $ audit $ shards)
+
 (* --- pressure-storm --- *)
 
 let pressure_storm_cmd =
@@ -1308,7 +1432,8 @@ let main =
     (Cmd.info "ariesrh" ~version:"1.0.0"
        ~doc:"Delegation by efficiently rewriting history (ARIES/RH)")
     [ figures_cmd; run_cmd; compare_cmd; sim_cmd; history_cmd; asof_cmd;
-      explain_cmd; lineage_cmd; storm_cmd; pressure_storm_cmd; backup_cmd;
+      explain_cmd; lineage_cmd; storm_cmd; recovery_storm_cmd;
+      pressure_storm_cmd; backup_cmd;
       restore_cmd; scrub_cmd; media_storm_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval main)

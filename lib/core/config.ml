@@ -2,6 +2,8 @@ type delegation_impl = Rh | Eager | Lazy
 
 type forward_passes = Merged | Separate
 
+type recovery_mode = Offline | On_demand
+
 type t = {
   n_objects : int;
   objects_per_page : int;
@@ -24,6 +26,12 @@ type t = {
       (* shard count for [Sharded.create]: objects are hash-partitioned
          across this many independent engines (per-shard WAL, buffer
          pool, lock table). A plain [Db] ignores it; 1 = no sharding. *)
+  recovery_mode : recovery_mode;
+      (* Offline: [Db.recover] runs the full three-pass restart before
+         returning. On_demand: restart runs analysis only, opens for
+         traffic immediately, and redoes/undoes lazily (first touch +
+         background sweeper); unreachable objects refuse with
+         [Errors.Recovering]. *)
 }
 
 let default =
@@ -43,6 +51,7 @@ let default =
     rewrite_retries = 2;
     max_archive_lag = 0;
     shards = 1;
+    recovery_mode = Offline;
   }
 
 let make ?(n_objects = default.n_objects)
@@ -55,7 +64,7 @@ let make ?(n_objects = default.n_objects)
     ?(record_cache = default.record_cache) ?(audit = default.audit)
     ?(rewrite_retries = default.rewrite_retries)
     ?(max_archive_lag = default.max_archive_lag)
-    ?(shards = default.shards) () =
+    ?(shards = default.shards) ?(recovery_mode = default.recovery_mode) () =
   {
     n_objects;
     objects_per_page;
@@ -72,6 +81,7 @@ let make ?(n_objects = default.n_objects)
     rewrite_retries;
     max_archive_lag;
     shards;
+    recovery_mode;
   }
 
 let pages_needed t = (t.n_objects + t.objects_per_page - 1) / t.objects_per_page

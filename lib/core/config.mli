@@ -13,6 +13,20 @@ type forward_passes =
   | Merged  (** one combined analysis+redo sweep (default, §3.3) *)
   | Separate  (** classic ARIES: analysis sweep, then redo sweep *)
 
+type recovery_mode =
+  | Offline
+      (** [Db.recover] completes the full three-pass restart before
+          returning (default) *)
+  | On_demand
+      (** [Db.recover] runs only the bounded analysis pass (tail
+          amputation, surgery resolution, transaction table + dirty-page
+          table since the last checkpoint), then opens for traffic:
+          pages are redone lazily on first touch, loser transactions are
+          undone lazily when their objects are touched or by the
+          background sweeper ([Db.recovery_step], ridden by the
+          governor), and accesses that cannot yet be served refuse with
+          the retryable [Errors.Recovering] *)
+
 type t = {
   n_objects : int;
   objects_per_page : int;
@@ -52,6 +66,10 @@ type t = {
           across this many independent engines, each with its own WAL,
           buffer pool and lock table. A plain [Db] ignores it. [1]
           (default) = no sharding *)
+  recovery_mode : recovery_mode;
+      (** how [Db.recover] trades restart latency against availability:
+          [Offline] (default) finishes everything before returning,
+          [On_demand] opens after analysis and drains the rest lazily *)
 }
 
 val default : t
@@ -74,6 +92,7 @@ val make :
   ?rewrite_retries:int ->
   ?max_archive_lag:int ->
   ?shards:int ->
+  ?recovery_mode:recovery_mode ->
   unit ->
   t
 

@@ -34,6 +34,16 @@ type db_stats = {
   mutable group_flushes : int;  (* shared forces closing a full group *)
 }
 
+(* On-demand restart state: present between an [On_demand]-mode
+   [recover] and backlog convergence. A separate mutable record (like
+   [media_stats]) so the lazy metrics closures can read it without a
+   cycle through [t]. [served_degraded] is a lifetime tally — it
+   outlives the drain it counted. *)
+type od_state = {
+  mutable live : On_demand.t option;
+  mutable served_degraded : int;
+}
+
 (* Media-integrity tallies: what the scrubber checked, what it found,
    what it could and could not put back. *)
 type media_stats = {
@@ -88,6 +98,7 @@ type t = {
          router pins each shard's log at the oldest in-flight transfer
          so restart resolution can always find its intent records *)
   mutable quarantined : (string * int) list;
+  od : od_state;
   media : media_stats;
   env : Env.t;
   ring : Obs.Ring.t;
@@ -170,6 +181,7 @@ let create ?(fault = Fault.none ()) ?backend ?(tracing = false)
        (fun kind site ->
          Obs.Ring.emit ring (Obs.Event.Fault { kind; site })));
   let env = Env.make ~ring ~log ~pool ~place:(place_of config) () in
+  let od = { live = None; served_degraded = 0 } in
   let media =
     {
       scrub_passes = 0;
@@ -258,6 +270,14 @@ let create ?(fault = Fault.none ()) ?backend ?(tracing = false)
          "ariesrh_scrub_unhealable_total" (fun () -> media.scrub_unhealable);
        M.counter metrics ~help:"WAL records copied into the media archive"
          "ariesrh_wal_archived_total" (fun () -> media.archived_records);
+       M.gauge metrics
+         ~help:"remaining on-demand restart work (pending pages + losers)"
+         "ariesrh_recovery_backlog" (fun () ->
+           match od.live with None -> 0 | Some o -> On_demand.backlog o);
+       M.counter metrics
+         ~help:"accesses served while an on-demand restart was draining"
+         "ariesrh_recovery_served_degraded_total" (fun () ->
+           od.served_degraded);
        M.counter metrics ~help:"trace events emitted"
          "ariesrh_trace_events_total" (fun () -> Obs.Ring.total ring);
        M.counter metrics ~help:"trace events lost to ring wraparound"
@@ -287,6 +307,7 @@ let create ?(fault = Fault.none ()) ?backend ?(tracing = false)
       backup_pin = Lsn.nil;
       external_pin = Lsn.nil;
       quarantined = [];
+      od;
       media;
       env;
       ring;
@@ -349,7 +370,17 @@ let pool_counters t =
    Buffer_pool.evictions t.pool)
 let env t = t.env
 let repairs_total t = t.env.Env.repairs
-let degraded t = t.degraded
+let recovering t = t.od.live <> None
+
+let recovery_backlog t =
+  match t.od.live with None -> 0 | Some o -> On_demand.backlog o
+
+let recovery_served_degraded t = t.od.served_degraded
+
+(* degraded covers both flavours of "up but not fully itself": the eager
+   engine's logical-fallback mode, and an on-demand restart still
+   draining its backlog *)
+let degraded t = t.degraded || recovering t
 let rewrite_fallbacks t = t.env.Env.rewrite_fallbacks
 let place t oid = place_of t.config oid
 
@@ -696,8 +727,26 @@ let abort t xid =
 
 (* --- object operations --- *)
 
+(* The servability rule while an on-demand restart drains: first land
+   the page's pending redo slice (bounded foreground work — also
+   mandatory before any new update force-stamps the page, or the stamp
+   would make the pending slice silently skip), then refuse with the
+   retryable [Recovering] if a loser's scope still covers the object —
+   its committed value is not yet separable from the loser's uncommitted
+   writes. Post-restart transactions never wait on loser locks (early
+   lock release); they wait on the shrinking backlog. *)
+let od_guard t oid =
+  match t.od.live with
+  | None -> ()
+  | Some o ->
+      On_demand.ensure_object o oid;
+      if On_demand.covered o oid then
+        raise (Errors.Recovering { oid; backlog = On_demand.backlog o });
+      t.od.served_degraded <- t.od.served_degraded + 1
+
 let read t xid oid =
   check_oid t oid;
+  od_guard t oid;
   let info = active_exn t xid in
   ignore info;
   lock t xid oid Mode.S;
@@ -727,6 +776,7 @@ let log_update t (info : Txn_table.info) oid op =
 
 let write t xid oid v =
   check_oid t oid;
+  od_guard t oid;
   let info = active_exn t xid in
   lock t xid oid Mode.X;
   let page, slot = place t oid in
@@ -735,6 +785,7 @@ let write t xid oid v =
 
 let add t xid oid d =
   check_oid t oid;
+  od_guard t oid;
   let info = active_exn t xid in
   lock t xid oid Mode.I;
   log_update t info oid (Record.Add d)
@@ -742,6 +793,12 @@ let add t xid oid d =
 (* --- checkpointing and log-space maintenance --- *)
 
 let checkpoint t =
+  if recovering t then ()
+    (* a fuzzy checkpoint taken mid-drain would record a transaction
+       table without the undrained losers and a dirty-page table without
+       the pending slices; a later restart starting from it would miss
+       them. The drain is short — skip until converged. *)
+  else begin
   (* checkpoints relieve log pressure — refusing one for log space would
      deadlock the governor, so they bypass admission *)
   let begin_lsn =
@@ -760,6 +817,7 @@ let checkpoint t =
   t.stats.checkpoints <- t.stats.checkpoints + 1;
   if tracing t then
     Obs.Ring.emit t.ring (Obs.Event.Checkpoint { begin_lsn; end_lsn = lsn })
+  end
 
 let truncation_horizon t =
   let master = Log_store.master t.log in
@@ -833,6 +891,11 @@ let media_pin t =
   min_pin (min_pin archive_pin t.backup_pin) t.external_pin
 
 let truncate_log t =
+  if recovering t then 0
+    (* the crash emptied the buffer pool, so [truncation_horizon] no
+       longer sees the dirty pages' recLSNs — reclaiming now could drop
+       the very slices the pending redo still needs *)
+  else begin
   (* settle first: truncation may drop durable commit records, and any
      waiter they belong to must have been notified before its record
      becomes unreadable *)
@@ -853,6 +916,7 @@ let truncate_log t =
       Obs.Ring.emit t.ring (Obs.Event.Truncate { below; reclaimed });
     reclaimed
   end
+  end
 
 let set_external_pin t lsn = t.external_pin <- lsn
 
@@ -865,8 +929,17 @@ let set_external_pin t lsn = t.external_pin <- lsn
 
 let lock_holders t oid = Lock_table.holders t.locks oid
 
+(* A migrating object must carry its settled committed value: bring the
+   page current and drain any loser covering it before the transfer
+   record bakes the value in. *)
+let od_drain_for_xfer t oid =
+  match t.od.live with
+  | None -> ()
+  | Some o -> On_demand.drain_object o oid
+
 let xfer_out t ~xfer_id ~hop ~oid ~target ~value =
   check_oid t oid;
+  od_drain_for_xfer t oid;
   (* admission-checked: migration is optional work and must not eat the
      space reserved for rollback or recovery *)
   let lsn =
@@ -878,6 +951,7 @@ let xfer_out t ~xfer_id ~hop ~oid ~target ~value =
 
 let xfer_in t ~xfer_id ~hop ~oid ~source ~value =
   check_oid t oid;
+  od_drain_for_xfer t oid;
   let page, slot = place t oid in
   let before = Buffer_pool.read_object t.pool page ~slot in
   let lsn =
@@ -1188,7 +1262,10 @@ let crash t =
   t.refuse_begins <- false;
   t.refuse_delegations <- false;
   (* volatile too: recovery re-derives it from the durable log *)
-  t.degraded <- false
+  t.degraded <- false;
+  (* an interrupted on-demand drain is volatile as well: the next
+     restart's analysis re-derives a (smaller) backlog from the log *)
+  t.od.live <- None
 
 (* --- media recovery --- *)
 
@@ -1204,7 +1281,17 @@ let repair_quiet t pid base =
 
 type backup = { pages : Page.t array; complete_upto : Lsn.t }
 
+(* Whole-store media operations need a settled store: a snapshot taken
+   mid-drain would bake un-redone pages and un-undone losers into the
+   copy. Refuse (retryably) until the backlog converges. *)
+let require_settled t =
+  match t.od.live with
+  | None -> ()
+  | Some o ->
+      raise (Errors.Recovery_incomplete { backlog = On_demand.backlog o })
+
 let backup t =
+  require_settled t;
   (* quiesce: every logged effect reaches the disk image *)
   Log_store.flush t.log ~upto:(Log_store.head t.log);
   settle_group t;
@@ -1254,7 +1341,8 @@ let media_failure t =
   Hashtbl.reset t.reserves;
   t.refuse_begins <- false;
   t.refuse_delegations <- false;
-  t.degraded <- false
+  t.degraded <- false;
+  t.od.live <- None
 
 let audit t = Audit.check t.env
 
@@ -1263,48 +1351,104 @@ let run_audit t =
   Audit.run t.env;
   Obs.Ring.emit t.ring (Obs.Event.Restart_leave Obs.Event.Audit)
 
+(* A degraded run may have left logical delegate records in the durable
+   log; conventional ARIES cannot interpret them, so detect them
+   (skipping any corrupt tail record — amputation has not run yet) and
+   heal through the lazy recovery path, which splices them physically.
+   After it, the log is purely physical again and the engine leaves
+   degraded mode. *)
+let has_delegate t =
+  let exception Found in
+  try
+    ignore
+      (Log_store.iter_valid_forward t.log
+         ~from:(Log_store.truncated_below t.log)
+         (fun _ r ->
+           match r.Record.body with
+           | Record.Delegate _ -> raise Found
+           | _ -> ()));
+    false
+  with Found -> true
+
 let recover t =
+  (* re-entering restart subsumes any prior interrupted drain *)
+  t.od.live <- None;
   let passes =
     match t.config.Config.forward_passes with
     | Config.Merged -> Forward.Merged
     | Config.Separate -> Forward.Separate
   in
-  let report =
-    match t.config.Config.impl with
-    | Config.Rh -> Aries_rh.recover ~passes t.env
-    | Config.Eager ->
-        (* A degraded run may have left logical delegate records in the
-           durable log; conventional ARIES cannot interpret them, so
-           detect them (skipping any corrupt tail record — amputation
-           has not run yet) and heal through the lazy recovery path,
-           which splices them physically. After it, the log is purely
-           physical again and the engine leaves degraded mode. *)
-        let has_delegate =
-          let exception Found in
-          try
-            ignore
-              (Log_store.iter_valid_forward t.log
-                 ~from:(Log_store.truncated_below t.log)
-                 (fun _ r ->
-                   match r.Record.body with
-                   | Record.Delegate _ -> raise Found
-                   | _ -> ()));
-            false
-          with Found -> true
-        in
-        if has_delegate then Aries_rh.recover_physical t.env
-        else Aries.recover ~passes t.env
-    | Config.Lazy -> Aries_rh.recover_physical t.env
-  in
-  t.degraded <- false;
-  t.tt <- Txn_table.create ();
-  t.locks <- Lock_table.create ();
-  t.permits <- [];
-  t.stats.recoveries <- t.stats.recoveries + 1;
-  if t.config.Config.audit then run_audit t;
-  report
+  match t.config.Config.recovery_mode with
+  | Config.Offline ->
+      let report =
+        match t.config.Config.impl with
+        | Config.Rh -> Aries_rh.recover ~passes t.env
+        | Config.Eager ->
+            if has_delegate t then Aries_rh.recover_physical t.env
+            else Aries.recover ~passes t.env
+        | Config.Lazy -> Aries_rh.recover_physical t.env
+      in
+      t.degraded <- false;
+      t.tt <- Txn_table.create ();
+      t.locks <- Lock_table.create ();
+      t.permits <- [];
+      t.stats.recoveries <- t.stats.recoveries + 1;
+      if t.config.Config.audit then run_audit t;
+      report
+  | Config.On_demand ->
+      (* analysis only (bounded by the checkpoint interval), then open.
+         The scope-sweep undo the drain uses works on every engine; the
+         lazy splice ([physical]) is needed exactly where the offline
+         path would have used [recover_physical]. *)
+      let physical =
+        match t.config.Config.impl with
+        | Config.Rh -> false
+        | Config.Eager -> has_delegate t
+        | Config.Lazy -> true
+      in
+      let o, report = On_demand.start ~passes ~physical t.env in
+      t.degraded <- false;
+      t.tt <- Txn_table.create ();
+      t.locks <- Lock_table.create ();
+      t.permits <- [];
+      t.stats.recoveries <- t.stats.recoveries + 1;
+      if On_demand.backlog o = 0 then begin
+        (* converged at once (e.g. clean shutdown): indistinguishable
+           from an offline restart, audit now *)
+        if t.config.Config.audit then run_audit t
+      end
+      else t.od.live <- Some o;
+      report
+
+(* Convergence: once the backlog is empty the store is exactly what the
+   offline restart would have produced — drop the drain state, flush,
+   and run the self-audit the open-for-traffic restart deferred. *)
+let maybe_finalize_recovery t =
+  match t.od.live with
+  | None -> ()
+  | Some o ->
+      if On_demand.backlog o = 0 then begin
+        t.od.live <- None;
+        Log_store.flush t.log ~upto:(Log_store.head t.log);
+        if t.config.Config.audit then run_audit t
+      end
+
+let recovery_step t =
+  match t.od.live with
+  | None -> false
+  | Some o ->
+      ignore (On_demand.step o);
+      maybe_finalize_recovery t;
+      t.od.live <> None
+
+let await_recovery t =
+  (match t.od.live with
+  | None -> ()
+  | Some o -> while On_demand.step o do () done);
+  maybe_finalize_recovery t
 
 let restore_media t (b : backup) =
+  require_settled t;
   let replay_from = Lsn.next b.complete_upto in
   if Lsn.(Log_store.truncated_below t.log > replay_from) then
     raise
@@ -1363,6 +1507,7 @@ let archived_upto t =
    After this, the archive alone can rebuild the exact committed state
    ([restore_from_archive]) — no in-memory pin needed. *)
 let backup_to_archive t =
+  require_settled t;
   match t.archive with
   | None -> invalid_arg "Db.backup_to_archive: no archive attached"
   | Some a ->
@@ -1676,6 +1821,7 @@ let scrub_archive t =
       !out
 
 let scrub t =
+  require_settled t;
   ignore (archive_catchup t);
   let out =
     add_outcome
@@ -1692,6 +1838,7 @@ let media_counters t =
     t.media.scrub_unhealable )
 
 let recover_with_fuel t ~fuel =
+  t.od.live <- None;
   match t.config.Config.impl with
   | Config.Eager | Config.Lazy ->
       invalid_arg "Db.recover_with_fuel: only supported for the Rh engine"
@@ -1722,6 +1869,13 @@ let close t =
 
 let peek t oid =
   check_oid t oid;
+  (* foreground repair: inspection never refuses — it lands the page's
+     slice and drains every loser covering the object first *)
+  (match t.od.live with
+  | None -> ()
+  | Some o ->
+      On_demand.drain_object o oid;
+      maybe_finalize_recovery t);
   let page, slot = place t oid in
   Buffer_pool.read_object t.pool page ~slot
 

@@ -399,6 +399,19 @@ val recover : t -> Ariesrh_recovery.Report.t
     rewritten at delegation time); [Lazy] runs ARIES/RH plus the
     physical rewrite it models.
 
+    With [Config.recovery_mode = On_demand], only the restart preamble
+    and a pure analysis pass run before [recover] returns — cost bounded
+    by the checkpoint interval — and the store opens for traffic
+    immediately. Redo happens lazily per page (first touch or
+    {!recovery_step}), undo lazily per loser; an access to an object a
+    loser's scope still covers is refused with the retryable
+    {!Errors.Recovering}. {!checkpoint} is a no-op, {!truncate_log}
+    reclaims nothing, and whole-store media operations raise
+    {!Errors.Recovery_incomplete} until the backlog drains
+    ({!await_recovery}); [Config.audit]'s self-audit runs at
+    convergence instead of at return. The returned report covers the
+    analysis pass; undo work accrues afterwards.
+
     On every engine, restart first resolves rewrite system transactions
     ({!Ariesrh_recovery.Rewrite.recover_surgeries}): an un-ended eager
     chain surgery is rolled forward when its apply phase had completed
@@ -420,10 +433,33 @@ val audit : t -> string list
     set. *)
 
 val degraded : t -> bool
-(** The eager engine could not secure log space for a chain surgery and
-    fell back to a logical delegate record; scope-based rollback is in
-    force until the next {!recover} heals the log. Always [false] on
-    the other engines. *)
+(** The store is up but not fully itself: the eager engine fell back to
+    a logical delegate record (scope-based rollback is in force until
+    the next {!recover} heals the log), or an on-demand restart is
+    still draining its backlog ({!recovering}). *)
+
+val recovering : t -> bool
+(** An [On_demand] restart has opened the store but not yet drained its
+    backlog. *)
+
+val recovery_backlog : t -> int
+(** Remaining on-demand restart work: pages awaiting their redo slice
+    plus losers awaiting undo ([0] when not {!recovering}; also the
+    [ariesrh_recovery_backlog] gauge). *)
+
+val recovery_step : t -> bool
+(** One unit of background drain (deterministic order: oldest loser,
+    else lowest pending page); returns whether the store is {e still}
+    recovering. The governor calls this from its tick. *)
+
+val await_recovery : t -> unit
+(** Drain the whole backlog, then finalize: flush, and run the deferred
+    self-audit when [Config.audit] is set. No-op when not recovering. *)
+
+val recovery_served_degraded : t -> int
+(** Lifetime count of transactional accesses served while an on-demand
+    restart was draining (also the
+    [ariesrh_recovery_served_degraded_total] metric). *)
 
 val rewrite_fallbacks : t -> int
 (** How many eager delegations fell back to logical delegate records
@@ -448,7 +484,10 @@ val close : t -> unit
 (** {1 Inspection (tests, figures, experiments)} *)
 
 val peek : t -> Oid.t -> int
-(** Current value of an object, bypassing transactions and locks. *)
+(** Current value of an object, bypassing transactions and locks. While
+    {!recovering}, peek never refuses: it repairs in the foreground
+    (lands the page's redo slice, drains every covering loser) so the
+    committed value is always inspectable. *)
 
 val peek_all : t -> int array
 (** Values of all objects in oid order. *)

@@ -20,6 +20,18 @@ exception Xfer_refused of { oid : Oid.t; holders : Xid.t list }
     hold locks on the object; retry after they finish. Migration only
     moves durably committed state, so it never preempts a lock. *)
 
+exception Recovering of { oid : Oid.t; backlog : int }
+(** On-demand restart: the object is still covered by an unresolved
+    loser transaction's scope, so serving it now would expose
+    uncommitted state. Retryable — the backlog shrinks with every
+    sweeper step, and the refusal clears once the covering losers are
+    undone. *)
+
+exception Recovery_incomplete of { backlog : int }
+(** A whole-store operation (backup, scrub, restore, media swap) was
+    asked for while an on-demand restart is still draining its backlog;
+    retry after [Db.await_recovery]. *)
+
 exception Media_unhealable of { target : string; id : int }
 (** The scrubber found corruption it could not repair from any source
     (shadow, archive snapshot, archived WAL) — the object stays
@@ -78,6 +90,16 @@ let pp_exn ppf = function
         "cross-shard transfer of %a refused: locks held by %a" Oid.pp oid
         (Format.pp_print_list ~pp_sep:Format.pp_print_space Xid.pp)
         holders
+  | Recovering { oid; backlog } ->
+      Format.fprintf ppf
+        "still recovering %a: a loser transaction's scope covers it \
+         (restart backlog %d); retry after the sweep"
+        Oid.pp oid backlog
+  | Recovery_incomplete { backlog } ->
+      Format.fprintf ppf
+        "restart recovery incomplete (backlog %d); retry once the \
+         on-demand sweep has drained"
+        backlog
   | Media_unhealable { target; id } ->
       Format.fprintf ppf
         "unhealable media corruption: %s %d has no intact source \

@@ -39,6 +39,21 @@ exception Xfer_refused of { oid : Oid.t; holders : Xid.t list }
     state, so it never preempts a lock; retry once the holders finish
     (or route the work to the object's current home shard). *)
 
+exception Recovering of { oid : Oid.t; backlog : int }
+(** On-demand restart ([Config.On_demand]): the object is still covered
+    by an unresolved loser transaction's scope, so serving it now would
+    expose uncommitted state. Retryable backpressure — [backlog] is the
+    remaining restart work ([Db.recovery_backlog]) and shrinks with
+    every sweeper step; the refusal clears once the covering losers are
+    undone (first foreground touch via [Db.peek], a [Db.recovery_step],
+    or [Db.await_recovery]). *)
+
+exception Recovery_incomplete of { backlog : int }
+(** A whole-store operation (backup, scrub, restore, media swap) was
+    asked for while an on-demand restart is still draining its backlog.
+    These operations need a settled store; retry after
+    [Db.await_recovery]. *)
+
 exception Media_unhealable of { target : string; id : int }
 (** The scrubber found corruption it could not repair from any source
     (shadow, archive snapshot, archived WAL); [target] is

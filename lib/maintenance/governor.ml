@@ -44,14 +44,15 @@ type stats = {
   mutable soft_trips : int;
   mutable hard_trips : int;
   mutable victims : int;
+  mutable recovery_steps : int;
 }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "ticks=%d checkpoints=%d truncations=%d records_truncated=%d \
-     soft_trips=%d hard_trips=%d victims=%d"
+     soft_trips=%d hard_trips=%d victims=%d recovery_steps=%d"
     s.ticks s.checkpoints s.truncations s.records_truncated s.soft_trips
-    s.hard_trips s.victims
+    s.hard_trips s.victims s.recovery_steps
 
 type t = {
   config : config;
@@ -93,6 +94,7 @@ let create ?(config = default_config) ?scrubber ?view db =
         soft_trips = 0;
         hard_trips = 0;
         victims = 0;
+        recovery_steps = 0;
       };
     steps = 0;
     last_ckpt_head = 0;
@@ -188,6 +190,15 @@ let victimize t =
 
 let evaluate t =
   t.stats.ticks <- t.stats.ticks + 1;
+  (* an on-demand restart still draining owns this tick: advance the
+     backlog one unit and defer everything else — checkpoints and
+     truncation are gated off anyway, and the whole-store scrubber
+     would refuse with [Recovery_incomplete] *)
+  if Db.recovering t.db then begin
+    ignore (Db.recovery_step t.db);
+    t.stats.recovery_steps <- t.stats.recovery_steps + 1
+  end
+  else begin
   (* media maintenance first: keep the archive's WAL copy current (so
      the archive pin never needlessly blocks the reclamation below) and
      advance the scrubber one bounded batch *)
@@ -242,6 +253,7 @@ let evaluate t =
     else if cluster p < t.config.soft && t.level > 0 then
       (* hysteresis: drop backpressure only once below the soft mark *)
       deescalate t
+  end
   end
 
 let tick t =

@@ -52,6 +52,8 @@ type stats = {
   mutable soft_trips : int;  (** evaluations at or above [soft] *)
   mutable hard_trips : int;  (** evaluations still at or above [hard] *)
   mutable victims : int;
+  mutable recovery_steps : int;
+      (** evaluations spent draining an on-demand restart backlog *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -82,7 +84,10 @@ val tick : t -> unit
 (** Call once per engine step. Every [tick_every]-th call evaluates the
     watermarks and acts — and first runs media maintenance: a WAL
     archiving catchup ({!Ariesrh_core.Db.archive_catchup}) and one
-    scrubber batch when one is attached. May raise
+    scrubber batch when one is attached. While the database is
+    {!Ariesrh_core.Db.recovering}, an evaluation instead advances the
+    on-demand restart backlog one {!Ariesrh_core.Db.recovery_step} —
+    the governor is the background sweeper. May raise
     [Fault.Injected_crash] out of a checkpoint's log flush when fault
     injection is live — exactly like any other engine step. *)
 

@@ -40,6 +40,11 @@ let phases t = List.rev t.rev_phases
 let total_seconds t =
   List.fold_left (fun acc p -> acc +. p.seconds) 0. (phases t)
 
+let wall_ms t name =
+  match List.find_opt (fun p -> p.name = name) t.rev_phases with
+  | Some p -> 1000. *. p.seconds
+  | None -> 0.
+
 (* Wall time is deliberately excluded: profiler JSON lands in committed
    artifacts that must be byte-identical across same-seed runs. *)
 let to_json t =

@@ -27,5 +27,12 @@ val count : t -> string -> string -> int -> unit
 
 val phases : t -> phase list
 val total_seconds : t -> float
+
+val wall_ms : t -> string -> float
+(** Accumulated wall milliseconds of the named phase (0 if it never
+    ran). The accessor exists so benches can read per-pass wall time
+    without it leaking into [to_json] — committed forensic artifacts
+    must stay byte-identical across same-seed runs. *)
+
 val to_json : t -> Json.t
 val pp : Format.formatter -> t -> unit

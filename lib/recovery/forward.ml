@@ -14,6 +14,7 @@ type result = {
   forward_records : int;
   redo_applied : int;
   amputated : int;
+  dpt : Lsn.t Page_id.Tbl.t;
 }
 
 let trim_scope info ~oid ~invoker ~undone =
@@ -23,7 +24,8 @@ let trim_scope info ~oid ~invoker ~undone =
      instead of stretching back across the compensated range *)
   info.ob_list <- Ob_list.close_open info.Txn_table.ob_list oid
 
-let scan ?(passes = Merged) (env : Env.t) ~mode ~amputated =
+let scan ?(passes = Merged) ?(apply_redo = true) (env : Env.t) ~mode
+    ~amputated =
   let tt = Txn_table.create () in
   let winners = ref Xid.Set.empty in
   let forward_records = ref 0 in
@@ -79,7 +81,12 @@ let scan ?(passes = Merged) (env : Env.t) ~mode ~amputated =
           end
       | Some rec_lsn -> Lsn.(lsn >= rec_lsn)
     in
-    if fetch_needed && Apply.redo env lsn u then incr redo_applied
+    (* with [apply_redo] off (on-demand restart) the sweep is pure
+       analysis: the DPT above still records each dirty page's recLSN —
+       the slice the lazy per-page redo will replay — but no page is
+       fetched or written here *)
+    if fetch_needed && apply_redo && Apply.redo env lsn u then
+      incr redo_applied
   in
   (* A record may mention a transaction before its begin record: eager
      rewriting attributes older records to the delegatee. Analysis adds
@@ -104,10 +111,13 @@ let scan ?(passes = Merged) (env : Env.t) ~mode ~amputated =
   (* with merged passes, records below the analysis window still need
      their redo sweep first; with separate passes one redo sweep covers
      everything after the analysis below *)
-  if passes = Merged && Lsn.(redo_start < analysis_start) then
+  (* analysis-only mode needs no pre-analysis sweep: every page dirtied
+     below the checkpoint sits in the seeded DPT with its exact recLSN,
+     which is where the on-demand slice redo starts *)
+  if apply_redo && passes = Merged && Lsn.(redo_start < analysis_start) then
     redo_sweep ~from:redo_start ~upto:(Lsn.prev analysis_start) ();
-  (* analysis (+ redo when merged) *)
-  let redo_here = passes = Merged in
+  (* analysis (+ redo when merged; DPT maintenance always) *)
+  let redo_here = passes = Merged || not apply_redo in
   Log_store.iter_forward env.log ~from:analysis_start (fun lsn record ->
       incr forward_records;
       match record.Record.body with
@@ -199,16 +209,17 @@ let scan ?(passes = Merged) (env : Env.t) ~mode ~amputated =
       | Record.Ckpt_begin | Record.Ckpt_end _ | Record.Rewrite_begin _
       | Record.Rewrite_clr _ | Record.Rewrite_end _ | Record.Xfer_out _
       | Record.Xfer_end _ -> ());
-  if passes = Separate then redo_sweep ~from:redo_start ();
+  if apply_redo && passes = Separate then redo_sweep ~from:redo_start ();
   {
     tt;
     winners = !winners;
     forward_records = !forward_records;
     redo_applied = !redo_applied;
     amputated;
+    dpt;
   }
 
-let run ?passes (env : Env.t) ~mode =
+let run ?passes ?apply_redo (env : Env.t) ~mode =
   (* Restart preamble, before any scan: amputate the corrupt stable
      tail — in the failure model only the last record of the crashing
      flush can be torn, and ARIES treats the first corrupt record as
@@ -250,7 +261,7 @@ let run ?passes (env : Env.t) ~mode =
   Obs.Ring.emit env.ring (Obs.Event.Restart_enter Obs.Event.Forward);
   let result =
     Obs.Profiler.time env.prof "restart.forward" (fun () ->
-        scan ?passes env ~mode ~amputated:(List.length amputated))
+        scan ?passes ?apply_redo env ~mode ~amputated:(List.length amputated))
   in
   Obs.Profiler.count env.prof "restart.forward" "records"
     result.forward_records;

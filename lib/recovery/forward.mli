@@ -38,16 +38,28 @@ type result = {
   redo_applied : int;
   amputated : int;
       (** corrupt stable tail records dropped by the restart preamble *)
+  dpt : Lsn.t Page_id.Tbl.t;
+      (** the rebuilt dirty-page table: page -> recLSN of its earliest
+          possibly-unapplied update. With [apply_redo:false] this is the
+          on-demand restart's work list — each page's pending redo is
+          exactly the log slice [recLSN .. durable head] filtered to the
+          page, conditioned on the page LSN. *)
 }
 
-val run : ?passes:passes -> Env.t -> mode:mode -> result
+val run : ?passes:passes -> ?apply_redo:bool -> Env.t -> mode:mode -> result
 (** Runs the restart preamble first: amputate the corrupt stable log
     tail ([Log_store.recover_tail]). Torn data pages are repaired on
     demand when fetched through the buffer pool (see [Repair.page]), so
     redo never trusts a torn image yet restart I/O stays bounded by the
     dirty page table. The preamble and the pass itself are idempotent,
     which is what makes restart re-entrant under crashes injected during
-    recovery. *)
+    recovery.
+
+    [apply_redo] (default [true]): with [false] the sweep performs pure
+    analysis — the transaction table, scopes, winners and the dirty-page
+    table are rebuilt exactly as usual, but no page is fetched or
+    redone. The on-demand restart uses this to bound time-to-open by the
+    checkpoint interval and replays each page's slice lazily. *)
 
 val losers : result -> Txn_table.info list
 (** Live transactions that did not commit: to be rolled back. *)

@@ -1,0 +1,288 @@
+open Ariesrh_types
+open Ariesrh_wal
+open Ariesrh_txn
+module Obs = Ariesrh_obs
+
+(* On-demand (incremental) restart, after Sauer & Härder's single-pass
+   instant recovery: run only the bounded analysis pass, open for
+   traffic, and do the rest lazily.
+
+   The analysis pass (Forward.run ~apply_redo:false) rebuilds the
+   transaction table, the loser scopes, and the dirty-page table — but
+   touches no page. Afterwards:
+
+   - every dirty page's missing redo is exactly the log slice
+     [recLSN .. horizon] filtered to that page, page-LSN conditioned, so
+     it can be replayed the first time anything touches the page
+     ([ensure_page]) — or by the background sweeper;
+
+   - every loser transaction's undo is scoped to the objects its
+     Ob_List covers, so losers can be undone one at a time
+     ([drain_loser]), each drain an ordinary cluster sweep + CLRs +
+     abort/end, flushed as a unit. Draining per loser is sound: X locks
+     mean at most one loser holds uncommitted Sets on any object, and
+     concurrent Adds commute, so no cross-loser undo ordering exists to
+     violate;
+
+   - an object covered by a live loser scope is NOT servable to
+     transactions (its committed value is not yet separable from the
+     loser's uncommitted writes); the engine refuses such accesses with
+     the retryable [Errors.Recovering] until the loser drains.
+
+   Everything here is re-entrant: this state is volatile, CLRs trim
+   scopes durably, redo is page-LSN conditioned, and ended losers
+   vanish from the next analysis — a crash at any point during the
+   drain simply re-runs a smaller instance of the same restart. *)
+
+type t = {
+  env : Env.t;
+  physical : bool;
+      (* lazy engine: splice delegated-in records physically while
+         undoing, exactly as the offline backward pass would *)
+  tt : Txn_table.t;  (* losers only; entries leave as they drain *)
+  pending : Lsn.t Page_id.Tbl.t;  (* page -> recLSN, removed once redone *)
+  horizon : Lsn.t;  (* durable head at analysis time: redo replays to here *)
+  mutable lazy_redo : int;  (* updates applied by slice redo *)
+  mutable undos : int;  (* CLRs written by lazy drains *)
+}
+
+let append_on_chain env (info : Txn_table.info) body =
+  let record = Record.mk info.xid ~prev:info.last_lsn body in
+  let lsn = Log_store.append_reserved env.Env.log record in
+  info.last_lsn <- lsn;
+  lsn
+
+let start ?passes ~physical (env : Env.t) =
+  env.prof <- Obs.Profiler.create ();
+  let io_before = Log_stats.copy (Log_store.stats env.log) in
+  let repairs_before = env.repairs in
+  let srb_before = env.surgery_rolled_back in
+  let srf_before = env.surgery_rolled_forward in
+  let mode = if physical then Forward.Rh_rewritten else Forward.Rh in
+  let fwd = Forward.run ?passes ~apply_redo:false env ~mode in
+  (* everything lazily replayed stops at the durable head as analysis
+     saw it; records appended from here on are applied at append time,
+     to pages whose slice redo has already run *)
+  let horizon = Log_store.head env.log in
+  (* committed-but-not-ended transactions need no undo and no page
+     work: end them now (bounded, one record each) so only real losers
+     survive into the lazy phase *)
+  let committed =
+    Txn_table.fold fwd.tt ~init:[] ~f:(fun acc info ->
+        match info.status with
+        | Txn_table.Committed -> info :: acc
+        | Txn_table.Active | Txn_table.Rolling_back -> acc)
+  in
+  List.iter
+    (fun (info : Txn_table.info) ->
+      ignore (append_on_chain env info Record.End);
+      Txn_table.remove fwd.tt info.xid)
+    committed;
+  Log_store.flush env.log ~upto:(Log_store.head env.log);
+  let losers =
+    Txn_table.fold fwd.tt ~init:Xid.Set.empty ~f:(fun s i ->
+        Xid.Set.add i.Txn_table.xid s)
+  in
+  let t =
+    {
+      env;
+      physical;
+      tt = fwd.tt;
+      pending = fwd.dpt;
+      horizon;
+      lazy_redo = 0;
+      undos = 0;
+    }
+  in
+  let report =
+    {
+      Report.winners = fwd.winners;
+      losers;
+      forward_records = fwd.forward_records;
+      redo_applied = fwd.redo_applied;
+      backward_examined = 0;
+      backward_skipped = 0;
+      clusters = 0;
+      undos = 0;
+      amputated = fwd.amputated;
+      repaired_pages = env.repairs - repairs_before;
+      surgery_rolled_back = env.surgery_rolled_back - srb_before;
+      surgery_rolled_forward = env.surgery_rolled_forward - srf_before;
+      log_io = Log_stats.diff (Log_store.stats env.log) io_before;
+      profile = env.prof;
+    }
+  in
+  (t, report)
+
+let backlog t = Page_id.Tbl.length t.pending + Txn_table.count t.tt
+let pending_pages t = Page_id.Tbl.length t.pending
+let loser_count t = Txn_table.count t.tt
+let lazy_redo t = t.lazy_redo
+let lazy_undos t = t.undos
+
+let covered t oid =
+  Txn_table.fold t.tt ~init:false ~f:(fun acc info ->
+      acc || Ob_list.mem info.Txn_table.ob_list oid)
+
+(* Replay the page's missing redo slice: every update/CLR/transfer-in
+   for this page in [recLSN .. horizon], page-LSN conditioned (so
+   records already on disk, or already replayed by a torn-page repair,
+   skip harmlessly). Removing the pending entry only after the slice
+   completes keeps an interrupted ensure retryable. *)
+let ensure_page t page =
+  match Page_id.Tbl.find_opt t.pending page with
+  | None -> ()
+  | Some rec_lsn ->
+      let applied = ref 0 in
+      Obs.Profiler.time t.env.prof "restart.ondemand.redo" (fun () ->
+          Log_store.iter_forward t.env.log ~from:rec_lsn ~upto:t.horizon
+            (fun lsn record ->
+              let redo (u : Record.update) =
+                if
+                  Page_id.equal u.page page
+                  && Lsn.(lsn >= rec_lsn)
+                  && Apply.redo t.env lsn u
+                then incr applied
+              in
+              match record.Record.body with
+              | Record.Update u -> redo u
+              | Record.Clr { upd; _ } -> redo upd
+              | Record.Xfer_in { oid; page = p; before; value; _ } ->
+                  redo
+                    {
+                      Record.oid;
+                      page = p;
+                      op = Record.Set { before; after = value };
+                    }
+              | _ -> ()));
+      t.lazy_redo <- t.lazy_redo + !applied;
+      Obs.Profiler.count t.env.prof "restart.ondemand.redo" "pages" 1;
+      Obs.Profiler.count t.env.prof "restart.ondemand.redo" "redo_applied"
+        !applied;
+      Page_id.Tbl.remove t.pending page
+
+let ensure_object t oid = ensure_page t (fst (t.env.place oid))
+
+(* Undo one loser completely: cluster sweep over its scopes, CLR per
+   undone update, the lazy engine's physical splice batched as one
+   rewrite system transaction, then abort/end — flushed as a unit.
+   This is the offline backward pass restricted to a single loser. *)
+let drain_loser t (info : Txn_table.info) =
+  let scopes =
+    List.map (fun s -> (info.xid, s)) (Ob_list.all_scopes info.ob_list)
+  in
+  let splices = ref [] in
+  let on_undo ~owner ~invoker ~undone ~undo_next upd =
+    (* the sweep will force the inverse stamped with the CLR's (high)
+       LSN; the page's pending redo must land first or the stamp would
+       make it silently skip — the redo-before-undo rule *)
+    ensure_page t upd.Record.page;
+    t.undos <- t.undos + 1;
+    let inf = Txn_table.find_exn t.tt owner in
+    let clr =
+      Record.mk inf.xid ~prev:inf.last_lsn
+        (Record.Clr { upd; undone; invoker; undo_next })
+    in
+    let lsn = Log_store.append_reserved t.env.log clr in
+    inf.last_lsn <- lsn;
+    if t.physical && not (Xid.equal owner invoker) then begin
+      Obs.Profiler.count t.env.prof "restart.ondemand.undo" "rewrites" 1;
+      let original = Log_store.read t.env.log undone in
+      let clr' =
+        { clr with
+          Record.body = Record.Clr { upd; undone; invoker = owner; undo_next }
+        }
+      in
+      splices :=
+        ( { Rewrite.target = undone;
+            before = original;
+            after = Record.set_writer original owner;
+          },
+          { Rewrite.target = lsn; before = clr; after = clr' } )
+        :: !splices
+    end;
+    Obs.Ring.emit t.env.ring
+      (Obs.Event.Clr
+         { xid = owner; invoker; oid = upd.Record.oid; lsn; undone });
+    inf.undo_next <- undo_next;
+    lsn
+  in
+  let sweep =
+    Obs.Profiler.time t.env.prof "restart.ondemand.undo" (fun () ->
+        Scope_sweep.sweep t.env ~scopes ~on_undo)
+  in
+  Obs.Profiler.count t.env.prof "restart.ondemand.undo" "undos"
+    sweep.Scope_sweep.undone;
+  (* per-loser splice surgery: a crash between losers leaves each
+     delegation either fully logical or fully physical, which the
+     Rh_rewritten analysis replays per delegation — never a mix where a
+     record and its CLR disagree *)
+  (match !splices with
+  | [] -> ()
+  | sp ->
+      let patches =
+        List.concat_map (fun (a, b) -> [ a; b ]) (List.rev sp)
+        |> List.sort (fun a b -> Lsn.compare a.Rewrite.target b.Rewrite.target)
+      in
+      let begin_lsn = Rewrite.surgery_begin t.env patches in
+      ignore (Rewrite.apply_plan t.env patches);
+      Rewrite.surgery_end t.env ~begin_lsn ~committed:true);
+  (match info.status with
+  | Txn_table.Active ->
+      ignore (append_on_chain t.env info Record.Abort);
+      ignore (append_on_chain t.env info Record.End)
+  | Txn_table.Rolling_back | Txn_table.Committed ->
+      ignore (append_on_chain t.env info Record.End));
+  Txn_table.remove t.tt info.xid;
+  Log_store.flush t.env.log ~upto:(Log_store.head t.env.log)
+
+(* smallest-xid first: deterministic regardless of hash-table iteration
+   order, so fault-injection I/O points reproduce *)
+let oldest_loser t =
+  Txn_table.fold t.tt ~init:None ~f:(fun acc info ->
+      match acc with
+      | Some (best : Txn_table.info) when Xid.compare best.xid info.xid <= 0 ->
+          acc
+      | _ -> Some info)
+
+let min_pending_page t =
+  Page_id.Tbl.fold
+    (fun page _ acc ->
+      match acc with
+      | Some best when Page_id.compare best page <= 0 -> acc
+      | _ -> Some page)
+    t.pending None
+
+(* Drain every loser covering the object (after its page is current);
+   the foreground-repair path behind [Db.peek]. *)
+let drain_object t oid =
+  ensure_object t oid;
+  let rec go () =
+    match
+      Txn_table.fold t.tt ~init:None ~f:(fun acc info ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if Ob_list.mem info.Txn_table.ob_list oid then Some info
+              else None)
+    with
+    | Some info ->
+        drain_loser t info;
+        go ()
+    | None -> ()
+  in
+  go ()
+
+(* One unit of background work; [false] = nothing left, the store has
+   fully converged with what an offline restart would have produced. *)
+let step t =
+  match oldest_loser t with
+  | Some info ->
+      drain_loser t info;
+      true
+  | None -> (
+      match min_pending_page t with
+      | Some page ->
+          ensure_page t page;
+          true
+      | None -> false)

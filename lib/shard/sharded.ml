@@ -390,6 +390,23 @@ let recover t =
         | vs -> raise (Audit.Audit_failed vs));
   reports
 
+(* On-demand restart, routed: each shard drains its own backlog, so the
+   forward pass is partitioned by shard AND each shard is incrementally
+   available — an access refused on one shard never blocks the rest. *)
+let recovering t = sum t (fun db -> if Db.recovering db then 1 else 0) > 0
+let recovery_backlog t = sum t Db.recovery_backlog
+
+let recovery_step t =
+  match t.pool with
+  | Some p ->
+      Array.exists Fun.id (Shard_pool.map p (fun i -> Db.recovery_step t.dbs.(i)))
+  | None -> Array.exists Fun.id (Array.map Db.recovery_step t.dbs)
+
+let await_recovery t =
+  match t.pool with
+  | Some p -> ignore (Shard_pool.map p (fun i -> Db.await_recovery t.dbs.(i)))
+  | None -> Array.iter Db.await_recovery t.dbs
+
 let audit t =
   let per_shard =
     List.concat (Array.to_list (Array.mapi

@@ -121,7 +121,30 @@ val recover : t -> Ariesrh_recovery.Report.t array
 (** Per-shard recovery (parallel with a pool), transfer resolution,
     routing-table rebuild, and — with [config.audit] — the cross-shard
     transfer audit (raising {!Ariesrh_recovery.Audit.Audit_failed} on
-    violation), in that order. *)
+    violation), in that order.
+
+    With [Config.recovery_mode = On_demand] each shard runs only its
+    analysis pass before this returns (parallel with a pool — the
+    forward pass is partitioned by shard), and every shard is
+    incrementally available afterwards: accesses drain on first touch
+    or refuse with [Errors.Recovering], and the backlog is drained by
+    {!recovery_step}/{!await_recovery} or the per-shard governors.
+    Transfer resolution and routing rebuild are log-only, so they are
+    safe before any page is redone; a migration of an undrained object
+    repairs it in the foreground first. *)
+
+val recovering : t -> bool
+(** Any shard still has on-demand restart backlog. *)
+
+val recovery_backlog : t -> int
+(** Total remaining on-demand restart work across shards. *)
+
+val recovery_step : t -> bool
+(** One background drain unit on {e every} shard still recovering (in
+    parallel with a pool); returns whether any backlog remains. *)
+
+val await_recovery : t -> unit
+(** Drain every shard's backlog to convergence (parallel with a pool). *)
 
 val audit : t -> string list
 (** Per-shard {!Db.audit} findings (prefixed with the shard) plus the

@@ -3,12 +3,12 @@ open Ariesrh_core
 
 let fresh_db ?fault ?backend ?(impl = Config.Rh) ?(locking = true)
     ?log_capacity_bytes ?log_capacity_records ?group_commit ?record_cache
-    ?audit ?tracing ~n_objects () =
+    ?audit ?recovery_mode ?tracing ~n_objects () =
   Db.create ?fault ?backend ?tracing
     (Config.make ~n_objects ~objects_per_page:8
        ~buffer_capacity:(max 4 (n_objects / 32))
        ~impl ~locking ?log_capacity_bytes ?log_capacity_records ?group_commit
-       ?record_cache ?audit ())
+       ?record_cache ?audit ?recovery_mode ())
 
 let run ?upto ?(on_action = fun _ -> ()) ?xid_map db script =
   (* symbolic transaction index -> engine xid *)

@@ -31,6 +31,7 @@ val fresh_db :
   ?group_commit:int ->
   ?record_cache:int ->
   ?audit:bool ->
+  ?recovery_mode:Config.recovery_mode ->
   ?tracing:bool ->
   n_objects:int ->
   unit ->

@@ -21,6 +21,7 @@ val fresh :
   ?group_commit:int ->
   ?record_cache:int ->
   ?audit:bool ->
+  ?recovery_mode:Config.recovery_mode ->
   ?tracing:bool ->
   shards:int ->
   n_objects:int ->

@@ -14,6 +14,7 @@ type outcome = {
   delegations : int;
   overloads : int;
   log_fulls : int;
+  recoverings : int;
   backoffs : int;
   stall_steps : int;
   abandoned : int;
@@ -76,6 +77,7 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
   and delegations = ref 0
   and overloads = ref 0
   and log_fulls = ref 0
+  and recoverings = ref 0
   and backoffs = ref 0
   and stall_steps = ref 0
   and abandoned = ref 0
@@ -99,6 +101,8 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
       overloads;
     reg "ariesrh_sim_log_fulls_total" "Typed Log_full refusals observed"
       log_fulls;
+    reg "ariesrh_sim_recovering_total" "Typed Recovering refusals observed"
+      recoverings;
     reg "ariesrh_sim_backoffs_total" "Times a sim client entered backoff"
       backoffs;
     reg "ariesrh_sim_stall_steps_total" "Scheduler steps spent parked"
@@ -240,6 +244,19 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
      retry the same plan *)
   let on_log_full c xid =
     incr log_fulls;
+    (match Db.abort db xid with
+    | () -> incr aborted
+    | exception (Errors.No_such_txn _ | Errors.Txn_not_active _) -> ());
+    Xid.Tbl.remove started xid;
+    Xid.Tbl.remove pending xid;
+    Deadlock.remove_txn graph xid;
+    enter_backoff c
+  in
+  (* an access landed on an object a restart loser still covers: the
+     refusal is retryable backpressure, exactly like [Log_full] — roll
+     back, park, retry the same plan once the sweep has drained it *)
+  let on_recovering c xid =
+    incr recoverings;
     (match Db.abort db xid with
     | () -> incr aborted
     | exception (Errors.No_such_txn _ | Errors.Txn_not_active _) -> ());
@@ -393,6 +410,7 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
             c.phase <- Blocked { xid; op; remaining = rest };
             break_deadlock xid
         | exception Log_store.Log_full _ -> on_log_full c xid
+        | exception Errors.Recovering _ -> on_recovering c xid
         | exception (Errors.No_such_txn _ | Errors.Txn_not_active _) ->
             on_victimized c xid)
     | Blocked { xid; op; remaining } -> (
@@ -400,6 +418,7 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
         | true -> c.phase <- Running { xid; remaining }
         | false -> break_deadlock xid
         | exception Log_store.Log_full _ -> on_log_full c xid
+        | exception Errors.Recovering _ -> on_recovering c xid
         | exception (Errors.No_such_txn _ | Errors.Txn_not_active _) ->
             on_victimized c xid)
   in
@@ -437,6 +456,7 @@ let run ?(clients = 8) ?(txns_per_client = 50) ?(ops_per_txn = 6)
     delegations = !delegations;
     overloads = !overloads;
     log_fulls = !log_fulls;
+    recoverings = !recoverings;
     backoffs = !backoffs;
     stall_steps = !stall_steps;
     abandoned = !abandoned;

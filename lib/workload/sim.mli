@@ -26,6 +26,9 @@ type outcome = {
   delegations : int;
   overloads : int;  (** typed [Errors.Overloaded] refusals observed *)
   log_fulls : int;  (** typed [Log_store.Log_full] refusals observed *)
+  recoverings : int;
+      (** typed [Errors.Recovering] refusals observed (an access landed
+          on an object an on-demand restart had not yet drained) *)
   backoffs : int;  (** times a client parked in exponential backoff *)
   stall_steps : int;  (** total scheduler steps spent parked *)
   abandoned : int;  (** transactions given up after [max_retries] *)
@@ -57,7 +60,8 @@ val run :
     locking enabled.
 
     On a bounded log, clients degrade gracefully instead of failing:
-    a typed [Errors.Overloaded] or [Log_store.Log_full] refusal rolls
+    a typed [Errors.Overloaded], [Log_store.Log_full] or
+    [Errors.Recovering] refusal rolls
     the transaction back (when one was open) and parks the client for
     [backoff_base * 2^attempt] scheduler steps, capped at [max_backoff]
     (defaults 4 and 64) — deterministic, so a given seed still replays

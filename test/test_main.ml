@@ -25,4 +25,5 @@ let () =
       ("media", Test_media.suite);
       ("temporal", Test_temporal.suite);
       ("shard", Test_shard.suite);
+      ("on-demand", Test_on_demand.suite);
     ]

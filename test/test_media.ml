@@ -79,6 +79,8 @@ let pp_exn_total () =
        "cross-shard transfer");
       (Ariesrh_recovery.Rewrite.Surgery_corrupt "orphan intent",
        "surgery protocol violated");
+      (Errors.Recovering { oid = oid 1; backlog = 3 }, "still recovering");
+      (Errors.Recovery_incomplete { backlog = 2 }, "recovery incomplete");
     ]
   in
   List.iter
